@@ -1,0 +1,45 @@
+// Shared helpers for the benchmark harnesses: dataset construction at a
+// bench-friendly scale, model construction, and uniform header printing.
+//
+// Every bench binary regenerates one table or figure of the paper; see
+// DESIGN.md §3 for the experiment index. Benches print the paper's rows and
+// also write a CSV next to the binary for plotting.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "data/synthetic.hpp"
+#include "tgnn/config.hpp"
+#include "tgnn/inference.hpp"
+#include "tgnn/model.hpp"
+
+namespace tgnn::bench {
+
+inline void banner(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n\n");
+}
+
+/// Model config matching a dataset's feature dims.
+inline core::ModelConfig config_for(const data::Dataset& ds,
+                                    const std::string& preset) {
+  if (preset == "baseline")
+    return core::baseline_config(ds.edge_dim(), ds.node_dim());
+  return core::np_config(preset.back(), ds.edge_dim(), ds.node_dim());
+}
+
+/// Build a model and, when it uses the LUT encoder, fit it on the training
+/// stream (required before any encode call).
+inline core::TgnModel make_model(const core::ModelConfig& cfg,
+                                 const data::Dataset& ds,
+                                 std::uint64_t seed = 1) {
+  core::TgnModel model(cfg, seed);
+  if (model.lut_encoder())
+    model.fit_lut(core::collect_dt_samples(ds, ds.train_range()));
+  return model;
+}
+
+}  // namespace tgnn::bench

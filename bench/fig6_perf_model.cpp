@@ -1,0 +1,72 @@
+// Fig. 6: predicted (Section V analytic model) vs actual (cycle simulator)
+// latency and throughput for the NP(M) model on the Wikipedia-like dataset,
+// on both FPGAs, across batch sizes — with the per-point prediction error.
+#include <cmath>
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "fpga/accelerator.hpp"
+#include "perf/perf_model.hpp"
+#include "util/argparse.hpp"
+#include "util/table.hpp"
+
+using namespace tgnn;
+
+int main(int argc, char** argv) {
+  ArgParser args;
+  args.add_flag("edge_scale", "1.0", "dataset scale vs 30k-edge default");
+  if (!args.parse(argc, argv)) return 1;
+  const double scale = args.get_double("edge_scale");
+
+  bench::banner("Fig. 6 — performance model vs cycle simulator",
+                "Zhou et al., IPDPS'22, Fig. 6 (paper error: 9.9-12.8%)");
+
+  const auto ds = data::wikipedia_like(scale);
+  const auto cfg = core::np_config('M', ds.edge_dim(), ds.node_dim());
+  const auto model = bench::make_model(cfg, ds);
+  const auto region = ds.test_range();
+  const std::vector<std::size_t> batches = {100, 200, 500, 1000, 2000, 4000};
+
+  struct Case {
+    fpga::DesignConfig dc;
+    fpga::FpgaDevice dev;
+  };
+  double err_sum = 0.0;
+  std::size_t err_n = 0;
+  for (const auto& c : {Case{fpga::u200_design(), fpga::alveo_u200()},
+                        Case{fpga::zcu104_design(), fpga::zcu104()}}) {
+    Table t({"batch", "actual lat (ms)", "pred lat (ms)", "lat err",
+             "actual thpt (kE/s)", "pred thpt (kE/s)", "thpt err"});
+    for (std::size_t batch : batches) {
+      if (region.size() < batch) break;
+      fpga::Accelerator acc(model, ds, c.dc, c.dev);
+      acc.warmup({0, region.begin});
+      const auto run = acc.run({region.begin, region.begin + batch}, batch);
+      const double actual_lat = run.mean_latency_s();
+      const double actual_tp = run.throughput_eps();
+
+      perf::PerfModel pm(c.dc, c.dev, cfg);
+      pm.set_vertices_per_edge(perf::PerfModel::measure_vertices_per_edge(
+          ds, {region.begin, region.begin + batch}, c.dc.nb));
+      const auto pred = pm.predict(batch);
+
+      const double lat_err =
+          std::fabs(pred.latency_s - actual_lat) / actual_lat;
+      const double tp_err =
+          std::fabs(pred.throughput_eps - actual_tp) / actual_tp;
+      err_sum += lat_err;
+      ++err_n;
+      t.add_row({std::to_string(batch), Table::num(actual_lat * 1e3, 3),
+                 Table::num(pred.latency_s * 1e3, 3), Table::pct(lat_err),
+                 Table::num(actual_tp / 1e3, 1),
+                 Table::num(pred.throughput_eps / 1e3, 1),
+                 Table::pct(tp_err)});
+    }
+    t.print(std::cout, "Fig. 6 — " + c.dc.name + ", NP(M), wikipedia");
+    t.write_csv("fig6_" + c.dc.name + ".csv");
+    std::printf("\n");
+  }
+  std::printf("mean latency prediction error: %.1f%% (paper: 9.9%%-12.8%%)\n",
+              100.0 * err_sum / static_cast<double>(err_n));
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Fig. 7: accuracy-latency scatter on the Wikipedia-like dataset at batch
+// size 200 — the TGN baseline on CPU/GPU, APAN on CPU/GPU, and the
+// co-designed NP(L/M/S) models on U200 and ZCU104.
+#include <iostream>
+#include <memory>
+#include <thread>
+
+#include "baselines/apan.hpp"
+#include "baselines/cpu_runner.hpp"
+#include "baselines/gpu_sim.hpp"
+#include "bench/common.hpp"
+#include "fpga/accelerator.hpp"
+#include "tgnn/trainer.hpp"
+#include "util/argparse.hpp"
+#include "util/table.hpp"
+
+using namespace tgnn;
+
+int main(int argc, char** argv) {
+  ArgParser args;
+  args.add_flag("edge_scale", "0.27", "dataset scale vs 30k-edge default");
+  args.add_flag("epochs", "3", "training epochs per model");
+  args.add_flag("batch", "200", "inference batch size (paper: 200)");
+  args.add_flag("threads", "0", "CPU threads (0 = hw concurrency)");
+  if (!args.parse(argc, argv)) return 1;
+  const double scale = args.get_double("edge_scale");
+  const auto batch = static_cast<std::size_t>(args.get_int("batch"));
+  int threads = static_cast<int>(args.get_int("threads"));
+  if (threads <= 0)
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+
+  bench::banner("Fig. 7 — accuracy vs latency (wikipedia, batch 200)",
+                "Zhou et al., IPDPS'22, Fig. 7");
+
+  const auto ds = data::wikipedia_like(scale);
+  core::TrainOptions topts;
+  topts.epochs = static_cast<std::size_t>(args.get_int("epochs"));
+  topts.batch_size = batch;
+
+  Table t({"method", "platform", "AP", "latency (ms)"});
+
+  // ---- TGN baseline (teacher): CPU measured + GPU modelled.
+  const auto base_cfg = core::baseline_config(ds.edge_dim(), ds.node_dim());
+  auto teacher = std::make_unique<core::TgnModel>(base_cfg, 1);
+  Rng drng(2);
+  core::Decoder tdec(base_cfg, drng);
+  std::printf("  training TGN baseline ...\n");
+  const auto tfit = core::fit_and_eval(*teacher, tdec, ds, topts);
+  {
+    baselines::CpuRunner cpu(*teacher, ds, threads);
+    cpu.warmup({0, ds.val_end});
+    const auto run = cpu.run(ds.test_range(), batch);
+    t.add_row({"TGN", "CPU", Table::num(tfit.test_ap, 4),
+               Table::num(run.mean_latency_s() * 1e3, 2)});
+    baselines::GpuSim gpu(baselines::titan_xp(), base_cfg);
+    t.add_row({"TGN", "GPU", Table::num(tfit.test_ap, 4),
+               Table::num(gpu.batch_seconds(batch, 2 * batch) * 1e3, 2)});
+  }
+
+  // ---- APAN: CPU measured + GPU modelled (few, tiny kernels).
+  {
+    baselines::ApanConfig acfg;
+    acfg.edge_dim = ds.edge_dim();
+    acfg.node_dim = ds.node_dim();
+    baselines::Apan apan(acfg, ds, 5);
+    baselines::Apan::TrainOptions aopts;
+    aopts.epochs = topts.epochs + 2;  // APAN is cheap to train
+    aopts.batch_size = batch;
+    std::printf("  training APAN ...\n");
+    apan.train(aopts);
+    apan.reset_state();
+    apan.fast_forward({0, ds.val_end});
+    Rng arng(7);
+    const double ap = apan.evaluate_ap(ds.test_range(), batch, arng);
+    apan.reset_state();
+    apan.fast_forward({0, ds.val_end});
+    const auto lat = apan.measure_latency(ds.test_range(), batch);
+    double mean = 0.0;
+    for (double l : lat) mean += l / static_cast<double>(lat.size());
+    t.add_row({"APAN", "CPU", Table::num(ap, 4), Table::num(mean * 1e3, 2)});
+    // GPU: mailbox attention is ~8 logical kernels with tiny GEMMs; the
+    // latency is essentially the launch budget.
+    const auto spec = baselines::titan_xp();
+    const double gpu_lat =
+        8.0 * spec.framework_ops_factor * spec.kernel_launch_s;
+    t.add_row({"APAN", "GPU", Table::num(ap, 4),
+               Table::num(gpu_lat * 1e3, 2)});
+  }
+
+  // ---- Co-designed students on the FPGAs (distilled from the teacher).
+  for (char size : {'L', 'M', 'S'}) {
+    const auto cfg = core::np_config(size, ds.edge_dim(), ds.node_dim());
+    core::TgnModel student(cfg, 10 + size);
+    core::Decoder sdec(cfg, drng);
+    core::TrainOptions sopts = topts;
+    sopts.teacher = teacher.get();
+    std::printf("  training NP(%c) student ...\n", size);
+    const auto sfit = core::fit_and_eval(student, sdec, ds, sopts);
+
+    struct Case {
+      const char* label;
+      fpga::DesignConfig dc;
+      fpga::FpgaDevice dev;
+    };
+    for (const auto& c :
+         {Case{"U200", fpga::u200_design(), fpga::alveo_u200()},
+          Case{"ZCU104", fpga::zcu104_design(), fpga::zcu104()}}) {
+      fpga::Accelerator acc(student, ds, c.dc, c.dev);
+      acc.warmup({0, ds.val_end});
+      const auto run = acc.run(ds.test_range(), batch);
+      t.add_row({std::string("Ours NP(") + size + ")", c.label,
+                 Table::num(sfit.test_ap, 4),
+                 Table::num(run.mean_latency_s() * 1e3, 2)});
+    }
+  }
+
+  t.print(std::cout, "Fig. 7 — accuracy vs latency");
+  t.write_csv("fig7_accuracy_latency.csv");
+  return 0;
+}

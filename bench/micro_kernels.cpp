@@ -1,0 +1,150 @@
+// Google-benchmark microbenchmarks of the kernels every experiment sits on:
+// GEMM shapes used by the model, the GRU cell, both attention variants, the
+// two time encoders, and the hardware-model primitives (FIFO, Updater
+// cache). These quantify the per-op claims behind Table II (SAT removes the
+// K/Q GEMMs; LUT turns the encoder into a table read).
+#include <benchmark/benchmark.h>
+
+#include "fpga/fifo.hpp"
+#include "fpga/updater_cache.hpp"
+#include "nn/gru_cell.hpp"
+#include "tgnn/attention.hpp"
+#include "tgnn/lut_time_encoder.hpp"
+#include "tgnn/simplified_attention.hpp"
+#include "tgnn/time_encoder.hpp"
+#include "util/rng.hpp"
+
+using namespace tgnn;
+
+namespace {
+
+core::ModelConfig paper_cfg() {
+  core::ModelConfig cfg;  // mem 100, time 100, emb 100, edge 172, mr 10
+  return cfg;
+}
+
+void BM_Gemm(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  const auto n = static_cast<std::size_t>(state.range(2));
+  Rng rng(1);
+  const Tensor a = Tensor::randn(m, k, rng);
+  const Tensor b = Tensor::randn(n, k, rng);
+  for (auto _ : state) {
+    Tensor c = ops::matmul_nt(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(m * k * n));
+}
+BENCHMARK(BM_Gemm)
+    ->Args({200, 472, 100})   // GRU input gate on a 200-edge batch
+    ->Args({200, 372, 100})   // attention V
+    ->Args({1, 372, 100})     // per-node V
+    ->Args({400, 100, 100});  // hidden-to-hidden
+
+void BM_GruCellForward(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  const auto cfg = paper_cfg();
+  Rng rng(2);
+  nn::GruCell gru("g", cfg.gru_in_dim(), cfg.mem_dim, rng);
+  const Tensor x = Tensor::randn(rows, cfg.gru_in_dim(), rng);
+  const Tensor h = Tensor::randn(rows, cfg.mem_dim, rng);
+  for (auto _ : state) {
+    Tensor out = gru.forward(x, h);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rows));
+}
+BENCHMARK(BM_GruCellForward)->Arg(10)->Arg(100)->Arg(400);
+
+void BM_VanillaAttentionNode(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto cfg = paper_cfg();
+  Rng rng(3);
+  core::VanillaAttention att(cfg, rng);
+  core::AttnNodeInput in;
+  in.q_in = Tensor::randn(1, cfg.q_in_dim(), rng);
+  in.kv_in = Tensor::randn(n, cfg.kv_in_dim(), rng);
+  const Tensor f = Tensor::randn(1, cfg.mem_dim, rng);
+  for (auto _ : state) {
+    Tensor h = att.forward(f.row(0), in);
+    benchmark::DoNotOptimize(h.data());
+  }
+}
+BENCHMARK(BM_VanillaAttentionNode)->Arg(2)->Arg(6)->Arg(10);
+
+void BM_SimplifiedAttentionNode(benchmark::State& state) {
+  const auto budget = static_cast<std::size_t>(state.range(0));
+  const auto cfg = paper_cfg();
+  Rng rng(4);
+  core::SimplifiedAttention sat(cfg, rng);
+  std::vector<double> dts(cfg.num_neighbors);
+  for (std::size_t j = 0; j < dts.size(); ++j)
+    dts[j] = 10.0 * static_cast<double>(j + 1);
+  const auto scores = sat.score(dts, budget);
+  Rng rng2(5);
+  const Tensor v_in =
+      Tensor::randn(scores.keep.size(), cfg.kv_in_dim(), rng2);
+  const Tensor f = Tensor::randn(1, cfg.mem_dim, rng2);
+  for (auto _ : state) {
+    const auto s = sat.score(dts, budget);
+    Tensor h = sat.aggregate(f.row(0), s, v_in);
+    benchmark::DoNotOptimize(h.data());
+  }
+}
+BENCHMARK(BM_SimplifiedAttentionNode)->Arg(2)->Arg(6)->Arg(10);
+
+void BM_CosTimeEncoder(benchmark::State& state) {
+  Rng rng(6);
+  core::CosTimeEncoder enc(100, rng);
+  Tensor out(1, 100);
+  double dt = 0.0;
+  for (auto _ : state) {
+    enc.encode_scalar(dt += 1.0, out.row(0));
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_CosTimeEncoder);
+
+void BM_LutTimeEncoder(benchmark::State& state) {
+  core::LutTimeEncoder enc(128, 100);
+  Rng rng(7);
+  std::vector<double> samples(5000);
+  for (auto& s : samples) s = rng.pareto(1.0, 1.2);
+  enc.fit(samples, nullptr);
+  Tensor out(1, 100);
+  double dt = 0.0;
+  for (auto _ : state) {
+    enc.encode_scalar(dt += 1.0, out.row(0));
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_LutTimeEncoder);
+
+void BM_UpdaterCacheWriteDrain(benchmark::State& state) {
+  fpga::UpdaterCache cache(64, 2);
+  Rng rng(8);
+  for (auto _ : state) {
+    for (int i = 0; i < 16; ++i)
+      cache.write(i % 2, static_cast<std::uint32_t>(rng.uniform_int(32)));
+    auto out = cache.drain();
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_UpdaterCacheWriteDrain);
+
+void BM_FifoPushPop(benchmark::State& state) {
+  fpga::Fifo<std::uint64_t> fifo(1024);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    fifo.push(v++);
+    benchmark::DoNotOptimize(fifo.pop());
+  }
+}
+BENCHMARK(BM_FifoPushPop);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// Table I: kMEM / kMAC counts and per-part execution time (sample / memory /
+// GNN / update) per dynamic node embedding for the TGN-attn baseline on the
+// Wikipedia- and Reddit-like datasets, on 1 CPU thread, many CPU threads,
+// and the modelled GPU.
+#include <iostream>
+#include <thread>
+
+#include "baselines/cpu_runner.hpp"
+#include "baselines/gpu_sim.hpp"
+#include "bench/common.hpp"
+#include "tgnn/complexity.hpp"
+#include "util/argparse.hpp"
+#include "util/table.hpp"
+
+using namespace tgnn;
+
+int main(int argc, char** argv) {
+  ArgParser args;
+  args.add_flag("edge_scale", "0.4", "dataset scale vs 30k-edge default");
+  args.add_flag("batch", "200", "inference batch size");
+  args.add_flag("threads", "0", "parallel CPU threads (0 = hw concurrency)");
+  if (!args.parse(argc, argv)) return 1;
+  const double scale = args.get_double("edge_scale");
+  const auto batch = static_cast<std::size_t>(args.get_int("batch"));
+  int threads = static_cast<int>(args.get_int("threads"));
+  if (threads <= 0)
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+
+  bench::banner("Table I — per-embedding complexity and execution time",
+                "Zhou et al., IPDPS'22, Table I");
+
+  for (const std::string name : {"wikipedia", "reddit"}) {
+    const auto ds = data::by_name(name, scale);
+    const auto cfg = core::baseline_config(ds.edge_dim(), ds.node_dim());
+    const auto rep = core::analyze(cfg);
+    const auto model = bench::make_model(cfg, ds);
+
+    // Measured per-part times on 1 thread and `threads` threads.
+    auto run_cpu = [&](int t) {
+      baselines::CpuRunner runner(model, ds, t);
+      runner.warmup({0, ds.val_end});
+      return runner.run(ds.test_range(), batch);
+    };
+    const auto r1 = run_cpu(1);
+    const auto rn = run_cpu(threads);
+
+    // Modelled GPU per-part times for the same number of embeddings.
+    baselines::GpuSim gpu(baselines::titan_xp(), cfg);
+    const std::size_t bat_emb =
+        r1.num_embeddings / std::max<std::size_t>(1, r1.batch_latency_s.size());
+    core::PartTimes gp = gpu.batch_parts(batch, bat_emb);
+
+    Table t({"part", "kMEM", "kMEM%", "kMAC", "kMAC%", "1-thread (ns)",
+             std::to_string(threads) + "-thread (ns)", "GPU (ns)"});
+    struct Row {
+      const char* name;
+      core::PartCount c;
+      double t1, tn, tg;
+    };
+    const double n_emb = static_cast<double>(r1.num_embeddings);
+    auto ns1 = [&](double sec) { return sec * 1e9 / n_emb; };
+    auto nsn = [&](double sec) {
+      return sec * 1e9 / static_cast<double>(rn.num_embeddings);
+    };
+    auto nsg = [&](double sec) {
+      return sec * 1e9 / static_cast<double>(bat_emb);
+    };
+    const Row rows[] = {
+        {"sample", rep.sample, ns1(r1.parts.sample), nsn(rn.parts.sample),
+         nsg(gp.sample)},
+        {"memory", rep.memory, ns1(r1.parts.memory), nsn(rn.parts.memory),
+         nsg(gp.memory)},
+        {"GNN", rep.gnn, ns1(r1.parts.gnn), nsn(rn.parts.gnn), nsg(gp.gnn)},
+        {"update", rep.update, ns1(r1.parts.update), nsn(rn.parts.update),
+         nsg(gp.update)},
+    };
+    for (const auto& row : rows) {
+      t.add_row({row.name, Table::num(row.c.mems / 1e3, 1),
+                 Table::pct(row.c.mems / rep.total_mems()),
+                 Table::num(row.c.macs / 1e3, 1),
+                 Table::pct(row.c.macs / rep.total_macs()),
+                 Table::num(row.t1, 0), Table::num(row.tn, 0),
+                 Table::num(row.tg, 0)});
+    }
+    t.add_row({"total", Table::num(rep.total_mems() / 1e3, 1), "100%",
+               Table::num(rep.total_macs() / 1e3, 1), "100%",
+               Table::num(ns1(r1.parts.total()), 0),
+               Table::num(nsn(rn.parts.total()), 0),
+               Table::num(nsg(gp.total()), 0)});
+    t.print(std::cout, "Table I — " + name + " (per dynamic node embedding)");
+    t.write_csv("table1_" + name + ".csv");
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Table II: accuracy (AP), complexity, and single-thread throughput of the
+// accumulated model optimizations — Baseline -> +SAT -> +LUT -> +NP(L/M/S)
+// — on the three datasets. Students with simplified attention are trained
+// with knowledge distillation from the dataset's baseline teacher (Eq. 17).
+#include <iostream>
+#include <memory>
+
+#include "baselines/cpu_runner.hpp"
+#include "bench/common.hpp"
+#include "tgnn/complexity.hpp"
+#include "tgnn/trainer.hpp"
+#include "util/argparse.hpp"
+#include "util/table.hpp"
+
+using namespace tgnn;
+
+int main(int argc, char** argv) {
+  ArgParser args;
+  args.add_flag("edge_scale", "0.27", "dataset scale vs 30k-edge default");
+  args.add_flag("epochs", "3", "training epochs per model");
+  args.add_flag("batch", "200", "training/inference batch size");
+  args.add_flag("datasets", "wikipedia,reddit,gdelt", "comma-separated list");
+  if (!args.parse(argc, argv)) return 1;
+  const double scale = args.get_double("edge_scale");
+
+  core::TrainOptions topts;
+  topts.epochs = static_cast<std::size_t>(args.get_int("epochs"));
+  topts.batch_size = static_cast<std::size_t>(args.get_int("batch"));
+
+  bench::banner("Table II — accumulated model optimizations",
+                "Zhou et al., IPDPS'22, Table II");
+
+  std::string list = args.get("datasets");
+  std::vector<std::string> names;
+  for (std::size_t pos = 0; pos < list.size();) {
+    const auto comma = list.find(',', pos);
+    names.push_back(list.substr(pos, comma - pos));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+
+  for (const auto& name : names) {
+    const auto ds = data::by_name(name, scale);
+    const auto ladder = core::presets(ds.edge_dim(), ds.node_dim());
+
+    Table t({"model", "|N(v)|", "kMEM", "kMEM%", "kMAC(GRU)", "kMAC(GNN)",
+             "kMAC(tot)", "kMAC%", "AP", "dAP", "thpt (kE/s)", "speedup"});
+
+    // Train the teacher first; it supervises every simplified student.
+    std::unique_ptr<core::TgnModel> teacher;
+    double base_macs = 0.0, base_mems = 0.0, base_ap = 0.0, base_tp = 0.0;
+
+    for (const auto& rung : ladder) {
+      auto model = std::make_unique<core::TgnModel>(rung.config, 1);
+      Rng drng(2);
+      core::Decoder dec(rung.config, drng);
+      core::TrainOptions opts = topts;
+      if (rung.config.attention == core::AttentionKind::kSimplified)
+        opts.teacher = teacher.get();
+      std::printf("  training %-9s on %-9s ...\n", rung.label.c_str(),
+                  name.c_str());
+      const auto fit = core::fit_and_eval(*model, dec, ds, opts);
+
+      baselines::CpuRunner runner(*model, ds, /*threads=*/1);
+      runner.warmup({0, ds.val_end});
+      const auto run = runner.run(ds.test_range(), topts.batch_size);
+
+      const auto rep = core::analyze(rung.config);
+      if (rung.label == "Baseline") {
+        base_macs = rep.total_macs();
+        base_mems = rep.total_mems();
+        base_ap = fit.test_ap;
+        base_tp = run.throughput_eps();
+        teacher = std::move(model);
+      }
+      t.add_row({rung.label,
+                 std::to_string(rung.config.effective_neighbors()),
+                 Table::num(rep.total_mems() / 1e3, 1),
+                 Table::pct(rep.total_mems() / base_mems),
+                 Table::num(rep.gru_macs() / 1e3, 1),
+                 Table::num(rep.gnn_macs() / 1e3, 1),
+                 Table::num(rep.total_macs() / 1e3, 1),
+                 Table::pct(rep.total_macs() / base_macs),
+                 Table::num(fit.test_ap, 4),
+                 Table::num(fit.test_ap - base_ap, 4),
+                 Table::num(run.throughput_eps() / 1e3, 2),
+                 Table::num(run.throughput_eps() / base_tp, 2) + "x"});
+    }
+    t.print(std::cout, "Table II — " + name);
+    t.write_csv("table2_" + name + ".csv");
+    std::printf("\n");
+  }
+  return 0;
+}

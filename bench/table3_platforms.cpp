@@ -1,0 +1,39 @@
+// Table III: specifications of the hardware platforms modelled in this
+// repository (the FPGA devices the simulator is parameterized with and the
+// CPU/GPU baselines).
+#include <iostream>
+#include <thread>
+
+#include "baselines/gpu_sim.hpp"
+#include "bench/common.hpp"
+#include "fpga/device.hpp"
+#include "util/table.hpp"
+
+using namespace tgnn;
+
+int main() {
+  bench::banner("Table III — hardware platform specifications",
+                "Zhou et al., IPDPS'22, Table III");
+
+  Table t({"platform", "dies/sockets", "compute resources per die",
+           "ext. memory BW"});
+  for (const auto& dev : {fpga::alveo_u200(), fpga::zcu104()}) {
+    t.add_row({dev.name, std::to_string(dev.dies),
+               std::to_string(dev.luts_per_die / 1000) + "K LUTs, " +
+                   std::to_string(dev.dsps_per_die) + " DSPs, " +
+                   std::to_string(dev.brams_per_die) + " BRAMs, " +
+                   std::to_string(dev.urams_per_die) + " URAMs",
+               Table::num(dev.ddr_bandwidth_gbps, 1) + " GB/s DDR4"});
+  }
+  const auto gpu = baselines::titan_xp();
+  t.add_row({gpu.name + " (GPU baseline, modelled)", "1",
+             Table::num(gpu.peak_flops / 1e12, 2) + " TFLOP/s fp32",
+             Table::num(gpu.mem_bw / 1e9, 0) + " GB/s HBM"});
+  t.add_row({"Host CPU (measured)", "-",
+             std::to_string(std::thread::hardware_concurrency()) +
+                 " hardware threads",
+             "host DDR"});
+  t.print(std::cout, "Table III");
+  t.write_csv("table3_platforms.csv");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Table IV: design configurations and estimated resource utilization of the
+// accelerator on both FPGAs (architectural estimate; the paper reports
+// post-place-&-route numbers from Vitis 2020.2 — see EXPERIMENTS.md).
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "fpga/resource_estimator.hpp"
+#include "util/table.hpp"
+
+using namespace tgnn;
+
+int main() {
+  bench::banner("Table IV — design configuration and resource utilization",
+                "Zhou et al., IPDPS'22, Table IV");
+
+  const auto cfg = core::np_config('M', 172, 0);
+
+  Table t({"design", "Ncu", "Sg^2", "SFAM", "SFTM", "LUT", "DSP", "BRAM",
+           "URAM", "freq (MHz)", "fits device"});
+  struct Case {
+    fpga::DesignConfig dc;
+    fpga::FpgaDevice dev;
+  };
+  for (const auto& c : {Case{fpga::u200_design(), fpga::alveo_u200()},
+                        Case{fpga::zcu104_design(), fpga::zcu104()}}) {
+    fpga::ResourceEstimator est(c.dc, cfg, c.dev);
+    const auto u = est.estimate();
+    t.add_row({c.dc.name, std::to_string(c.dc.ncu),
+               std::to_string(c.dc.sg) + "x" + std::to_string(c.dc.sg),
+               std::to_string(c.dc.sfam), std::to_string(c.dc.sftm),
+               std::to_string(u.luts / 1000) + "k", std::to_string(u.dsps),
+               std::to_string(u.brams), std::to_string(u.urams),
+               Table::num(u.freq_mhz, 0), u.fits(c.dev) ? "yes" : "NO"});
+  }
+  t.print(std::cout, "Table IV (architectural estimates)");
+  t.write_csv("table4_resources.csv");
+
+  std::printf(
+      "\npaper (post-P&R, Vitis 2020.2): U200 563k LUT / 2512 DSP / 1415 "
+      "BRAM / 448 URAM @250MHz; ZCU104 125k LUT / 744 DSP / 240 BRAM / 0 "
+      "URAM @125MHz\n");
+  std::printf(
+      "estimates count the datapath (MAC arrays at 5 DSP each, FIFOs, "
+      "caches, fused LUT tables); HLS control overhead is booked to "
+      "fabric.\n");
+  return 0;
+}

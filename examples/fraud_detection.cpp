@@ -1,0 +1,108 @@
+// Fraud detection on a transaction stream — the paper's motivating
+// application ("a fraud detection application would like to frequently
+// examine all users involved in newly appearing transactions", §II-A).
+//
+// Scenario: train a co-designed TGNN on normal user-item interactions, then
+// stream the test period in small batches. For every incoming transaction
+// we score the (user, item) pair from the fresh dynamic embeddings; injected
+// fraudulent transactions (random cross-community pairs that break the
+// users' behavioural patterns) should receive markedly lower scores.
+//
+//   ./fraud_detection [--edges 8000] [--epochs 3] [--fraud_rate 0.05]
+#include <algorithm>
+#include <cstdio>
+
+#include "data/synthetic.hpp"
+#include "tgnn/trainer.hpp"
+#include "util/argparse.hpp"
+#include "util/rng.hpp"
+
+using namespace tgnn;
+
+int main(int argc, char** argv) {
+  ArgParser args;
+  args.add_flag("edges", "8000", "number of synthetic transactions");
+  args.add_flag("epochs", "3", "training epochs");
+  args.add_flag("fraud_rate", "0.05", "fraction of test edges replaced by fraud");
+  args.add_flag("batch", "100", "streaming batch size");
+  if (!args.parse(argc, argv)) return 1;
+
+  const double scale = static_cast<double>(args.get_int("edges")) / 30000.0;
+  const auto ds = data::wikipedia_like(scale);
+  std::printf("transaction stream: %zu nodes, %zu transactions\n",
+              static_cast<std::size_t>(ds.num_nodes()), ds.num_edges());
+
+  // Train the co-designed NP(M) model (what would run on the accelerator).
+  const auto cfg = core::np_config('M', ds.edge_dim(), ds.node_dim());
+  core::TgnModel model(cfg, 1);
+  Rng drng(2);
+  core::Decoder dec(cfg, drng);
+  core::TrainOptions topts;
+  topts.epochs = static_cast<std::size_t>(args.get_int("epochs"));
+  std::printf("training NP(M) model (%zu epochs) ...\n", topts.epochs);
+  core::Trainer(model, dec, ds, topts).train();
+
+  // Stream the test period; inject fraud by rewiring a fraction of the
+  // incoming edges to random destinations (pattern-breaking transactions).
+  core::InferenceEngine engine(model, ds, /*use_fifo=*/true);
+  engine.warmup({0, ds.val_end});
+
+  Rng rng(7);
+  const double fraud_rate = args.get_double("fraud_rate");
+  const auto batch = static_cast<std::size_t>(args.get_int("batch"));
+  const auto& pool = engine.dst_pool();
+
+  std::vector<double> normal_scores, fraud_scores;
+  for (const auto& b : ds.graph.fixed_size_batches(
+           ds.val_end, ds.num_edges(), batch)) {
+    const auto edges = ds.graph.edges(b);
+    // Pick fraud positions and their substitute destinations.
+    std::vector<graph::NodeId> alt(edges.size());
+    std::vector<bool> is_fraud(edges.size());
+    for (std::size_t k = 0; k < edges.size(); ++k) {
+      is_fraud[k] = rng.bernoulli(fraud_rate);
+      alt[k] = pool[rng.uniform_int(pool.size())];
+    }
+    // Embed the batch's vertices plus the substitute destinations.
+    const auto res = engine.process_batch(b, alt);
+    for (std::size_t k = 0; k < edges.size(); ++k) {
+      const auto hu = res.embedding_of(edges[k].src);
+      if (is_fraud[k])
+        fraud_scores.push_back(dec.score(hu, res.embedding_of(alt[k])));
+      else
+        normal_scores.push_back(
+            dec.score(hu, res.embedding_of(edges[k].dst)));
+    }
+  }
+
+  auto mean = [](const std::vector<double>& v) {
+    double s = 0.0;
+    for (double x : v) s += x;
+    return v.empty() ? 0.0 : s / static_cast<double>(v.size());
+  };
+  std::printf("\nscored %zu normal and %zu fraudulent transactions\n",
+              normal_scores.size(), fraud_scores.size());
+  std::printf("mean score: normal %+.3f, fraud %+.3f\n", mean(normal_scores),
+              mean(fraud_scores));
+
+  // Detection quality: AUC of normal-vs-fraud separation and recall at a
+  // fixed 5%-alert budget.
+  std::vector<core::ScoredSample> samples;
+  for (double s : normal_scores) samples.push_back({-s, false});
+  for (double s : fraud_scores) samples.push_back({-s, true});  // low = alarm
+  std::printf("fraud-detection AUC = %.4f\n", core::auc_roc(samples));
+
+  std::vector<double> all;
+  for (double s : normal_scores) all.push_back(s);
+  for (double s : fraud_scores) all.push_back(s);
+  std::sort(all.begin(), all.end());
+  const double threshold = all[all.size() / 20];  // lowest 5% alerted
+  std::size_t caught = 0;
+  for (double s : fraud_scores)
+    if (s <= threshold) ++caught;
+  std::printf("alerting on the lowest 5%% of scores catches %.1f%% of fraud\n",
+              100.0 * static_cast<double>(caught) /
+                  static_cast<double>(std::max<std::size_t>(1,
+                                                            fraud_scores.size())));
+  return 0;
+}

@@ -1,0 +1,305 @@
+#include "baselines/apan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_map>
+
+#include "nn/loss.hpp"
+#include "tensor/ops.hpp"
+#include "util/stopwatch.hpp"
+
+namespace tgnn::baselines {
+
+namespace {
+tgnn::Rng& ctor_rng(std::uint64_t seed) {
+  thread_local tgnn::Rng rng(0);
+  rng.reseed(seed);
+  return rng;
+}
+}  // namespace
+
+Apan::Apan(const ApanConfig& cfg, const data::Dataset& ds, std::uint64_t seed)
+    : cfg_(cfg), ds_(ds), time_enc_(cfg.time_dim, ctor_rng(seed)),
+      w_score_("apan.w_score", cfg.mail_in_dim(), cfg.score_hidden,
+               ctor_rng(seed + 1)),
+      a_("apan.a", Tensor(cfg.score_hidden)),
+      w_value_("apan.w_value", cfg.mail_in_dim(), cfg.emb_dim,
+               ctor_rng(seed + 2)),
+      mailbox_(ds.graph.num_nodes()), mail_head_(ds.graph.num_nodes(), 0) {
+  {
+    core::ModelConfig mc;
+    mc.emb_dim = cfg.emb_dim;
+    mc.decoder_hidden = cfg.decoder_hidden;
+    tgnn::Rng r(seed + 3);
+    decoder_ = core::Decoder(mc, r);
+  }
+  tgnn::Rng r(seed + 4);
+  for (std::size_t i = 0; i < a_.value.size(); ++i)
+    a_.value[i] = r.uniform(-0.3f, 0.3f);
+
+  for (auto* p : time_enc_.parameters()) params_.add(p);
+  for (auto* p : w_score_.parameters()) params_.add(p);
+  params_.add(&a_);
+  for (auto* p : w_value_.parameters()) params_.add(p);
+  for (auto* p : decoder_.parameters()) params_.add(p);
+
+  std::set<graph::NodeId> dsts;
+  for (const auto& e : ds.graph.edges()) dsts.insert(e.dst);
+  dst_pool_.assign(dsts.begin(), dsts.end());
+}
+
+void Apan::reset_state() {
+  for (auto& box : mailbox_) box.clear();
+  std::fill(mail_head_.begin(), mail_head_.end(), 0);
+}
+
+void Apan::deliver(const graph::TemporalEdge& e) {
+  auto payload_for = [&](graph::NodeId other) {
+    Mail m;
+    m.ts = e.ts;
+    m.payload.resize(cfg_.payload_dim());
+    if (cfg_.edge_dim > 0) {
+      const auto f = ds_.edge_features.row(e.eid);
+      std::copy(f.begin(), f.end(), m.payload.begin());
+    } else if (cfg_.node_dim > 0) {
+      const auto f = ds_.node_features.row(other);
+      std::copy(f.begin(), f.end(), m.payload.begin());
+    }
+    return m;
+  };
+  auto push = [&](graph::NodeId v, Mail m) {
+    auto& box = mailbox_[v];
+    if (box.size() < cfg_.mailbox_size) {
+      box.push_back(std::move(m));
+    } else {
+      box[mail_head_[v]] = std::move(m);
+      mail_head_[v] = (mail_head_[v] + 1) % cfg_.mailbox_size;
+    }
+  };
+  push(e.src, payload_for(e.dst));
+  push(e.dst, payload_for(e.src));
+}
+
+void Apan::fast_forward(const graph::BatchRange& range) {
+  for (std::size_t i = range.begin; i < range.end; ++i)
+    deliver(ds_.graph.edge(i));
+}
+
+Tensor Apan::embed(graph::NodeId v, double t) const {
+  return embed_cached(v, t, nullptr);
+}
+
+Tensor Apan::embed_cached(graph::NodeId v, double t, EmbedCache* cache) const {
+  const auto& box = mailbox_[v];
+  const std::size_t m = box.size();
+  Tensor h(1, cfg_.emb_dim);
+  if (m == 0) {
+    if (cache) *cache = EmbedCache{};
+    return h;
+  }
+
+  Tensor x(m, cfg_.mail_in_dim());
+  std::vector<double> dts(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    auto row = x.row(k);
+    std::copy(box[k].payload.begin(), box[k].payload.end(), row.begin());
+    dts[k] = std::max(0.0, t - box[k].ts);
+    time_enc_.encode_scalar(dts[k],
+                            row.subspan(cfg_.payload_dim(), cfg_.time_dim));
+  }
+  // score_k = a . tanh(W_s x_k); alpha = softmax(score); h = sum alpha V_k
+  Tensor hidden = ops::tanh(w_score_.forward(x));
+  std::vector<float> scores(m, 0.0f);
+  for (std::size_t k = 0; k < m; ++k)
+    for (std::size_t d = 0; d < cfg_.score_hidden; ++d)
+      scores[k] += a_.value[d] * hidden(k, d);
+  std::vector<float> alpha(scores);
+  ops::softmax_span(alpha);
+  Tensor v_rows = w_value_.forward(x);
+  for (std::size_t k = 0; k < m; ++k)
+    for (std::size_t d = 0; d < cfg_.emb_dim; ++d)
+      h(0, d) += alpha[k] * v_rows(k, d);
+
+  if (cache) {
+    cache->x = std::move(x);
+    cache->hidden = std::move(hidden);
+    cache->alpha = std::move(alpha);
+    cache->scores = std::move(scores);
+    cache->v = std::move(v_rows);
+    cache->dts = std::move(dts);
+  }
+  return h;
+}
+
+void Apan::embed_backward(const EmbedCache& c, const Tensor& dh) {
+  const std::size_t m = c.x.rows();
+  if (m == 0) return;
+
+  std::vector<float> dalpha(m, 0.0f);
+  Tensor dv(m, cfg_.emb_dim);
+  for (std::size_t k = 0; k < m; ++k) {
+    for (std::size_t d = 0; d < cfg_.emb_dim; ++d) {
+      dalpha[k] += dh(0, d) * c.v(k, d);
+      dv(k, d) = c.alpha[k] * dh(0, d);
+    }
+  }
+  float dot = 0.0f;
+  for (std::size_t k = 0; k < m; ++k) dot += c.alpha[k] * dalpha[k];
+  std::vector<float> dscore(m);
+  for (std::size_t k = 0; k < m; ++k)
+    dscore[k] = c.alpha[k] * (dalpha[k] - dot);
+
+  // score_k = a . hidden_k
+  Tensor dhidden(m, cfg_.score_hidden);
+  for (std::size_t k = 0; k < m; ++k)
+    for (std::size_t d = 0; d < cfg_.score_hidden; ++d) {
+      a_.grad[d] += dscore[k] * c.hidden(k, d);
+      dhidden(k, d) = dscore[k] * a_.value[d];
+    }
+  // tanh backward.
+  for (std::size_t i = 0; i < dhidden.size(); ++i)
+    dhidden[i] *= 1.0f - c.hidden[i] * c.hidden[i];
+
+  Tensor dx = w_score_.backward(c.x, dhidden);
+  dx += w_value_.backward(c.x, dv);
+
+  // Route the time-encoding slice of dx into the encoder.
+  Tensor dphi(m, cfg_.time_dim);
+  for (std::size_t k = 0; k < m; ++k)
+    for (std::size_t d = 0; d < cfg_.time_dim; ++d)
+      dphi(k, d) = dx(k, cfg_.payload_dim() + d);
+  time_enc_.backward(c.dts, dphi);
+}
+
+void Apan::train(const TrainOptions& opts) {
+  nn::Adam::Options aopts;
+  aopts.lr = opts.lr;
+  nn::Adam adam(params_, aopts);
+  tgnn::Rng rng(opts.seed);
+
+  const auto range = ds_.train_range();
+  const auto batches =
+      ds_.graph.fixed_size_batches(range.begin, range.end, opts.batch_size);
+  for (std::size_t epoch = 0; epoch < opts.epochs; ++epoch) {
+    reset_state();
+    for (const auto& b : batches) {
+      const auto edges = ds_.graph.edges(b);
+      if (edges.empty()) continue;
+
+      // Unique nodes to embed: endpoints + negatives.
+      std::vector<graph::NodeId> nodes;
+      std::vector<double> t_ev;
+      std::unordered_map<graph::NodeId, std::size_t> index;
+      auto touch = [&](graph::NodeId v, double ts) {
+        auto [it, ins] = index.try_emplace(v, nodes.size());
+        if (ins) {
+          nodes.push_back(v);
+          t_ev.push_back(ts);
+        } else {
+          t_ev[it->second] = std::max(t_ev[it->second], ts);
+        }
+      };
+      for (const auto& e : edges) {
+        touch(e.src, e.ts);
+        touch(e.dst, e.ts);
+      }
+      std::vector<graph::NodeId> negs(edges.size());
+      for (auto& v : negs) {
+        v = dst_pool_[rng.uniform_int(dst_pool_.size())];
+        touch(v, edges.back().ts);
+      }
+
+      std::vector<EmbedCache> caches(nodes.size());
+      Tensor emb(nodes.size(), cfg_.emb_dim);
+      for (std::size_t i = 0; i < nodes.size(); ++i) {
+        Tensor h = embed_cached(nodes[i], t_ev[i], &caches[i]);
+        std::copy(h.row(0).begin(), h.row(0).end(), emb.row(i).begin());
+      }
+
+      const std::size_t n_pairs = 2 * edges.size();
+      Tensor pairs(n_pairs, 3 * cfg_.emb_dim);
+      Tensor targets(n_pairs, 1);
+      for (std::size_t k = 0; k < edges.size(); ++k) {
+        const auto hu = emb.row(index.at(edges[k].src));
+        const auto hv = emb.row(index.at(edges[k].dst));
+        const auto hn = emb.row(index.at(negs[k]));
+        core::Decoder::build_pair(hu, hv, pairs.row(k));
+        targets(k, 0) = 1.0f;
+        core::Decoder::build_pair(hu, hn, pairs.row(edges.size() + k));
+        targets(edges.size() + k, 0) = 0.0f;
+      }
+      core::Decoder::Cache dcache;
+      Tensor logits = decoder_.forward(pairs, &dcache);
+      const auto bce = nn::bce_with_logits(logits, targets);
+
+      params_.zero_grad();
+      Tensor dpairs = decoder_.backward(dcache, bce.grad);
+      Tensor dh(nodes.size(), cfg_.emb_dim);
+      for (std::size_t k = 0; k < edges.size(); ++k) {
+        const std::size_t iu = index.at(edges[k].src);
+        const std::size_t iv = index.at(edges[k].dst);
+        const std::size_t in_ = index.at(negs[k]);
+        core::Decoder::route_pair_grad(dpairs.row(k), emb.row(iu),
+                                       emb.row(iv), dh.row(iu), dh.row(iv));
+        core::Decoder::route_pair_grad(dpairs.row(edges.size() + k),
+                                       emb.row(iu), emb.row(in_), dh.row(iu),
+                                       dh.row(in_));
+      }
+      Tensor dh_row(1, cfg_.emb_dim);
+      for (std::size_t i = 0; i < nodes.size(); ++i) {
+        std::copy(dh.row(i).begin(), dh.row(i).end(), dh_row.row(0).begin());
+        embed_backward(caches[i], dh_row);
+      }
+      params_.clip_grad_norm(opts.grad_clip);
+      adam.step();
+
+      for (const auto& e : edges) deliver(e);
+    }
+  }
+}
+
+double Apan::evaluate_ap(const graph::BatchRange& range, std::size_t batch_size,
+                         tgnn::Rng& rng) {
+  std::vector<core::ScoredSample> samples;
+  for (const auto& b :
+       ds_.graph.fixed_size_batches(range.begin, range.end, batch_size)) {
+    const auto edges = ds_.graph.edges(b);
+    for (const auto& e : edges) {
+      const Tensor hu = embed(e.src, e.ts);
+      const Tensor hv = embed(e.dst, e.ts);
+      const graph::NodeId neg = dst_pool_[rng.uniform_int(dst_pool_.size())];
+      const Tensor hn = embed(neg, e.ts);
+      samples.push_back({decoder_.score(hu.row(0), hv.row(0)), true});
+      samples.push_back({decoder_.score(hu.row(0), hn.row(0)), false});
+    }
+    for (const auto& e : edges) deliver(e);
+  }
+  return core::average_precision(std::move(samples));
+}
+
+std::vector<double> Apan::measure_latency(const graph::BatchRange& range,
+                                          std::size_t batch_size) {
+  std::vector<double> lat;
+  for (const auto& b :
+       ds_.graph.fixed_size_batches(range.begin, range.end, batch_size)) {
+    const auto edges = ds_.graph.edges(b);
+    std::set<graph::NodeId> uniq;
+    for (const auto& e : edges) {
+      uniq.insert(e.src);
+      uniq.insert(e.dst);
+    }
+    Stopwatch sw;
+    for (graph::NodeId v : uniq) {
+      volatile float sink = embed(v, edges.back().ts)(0, 0);
+      (void)sink;
+    }
+    lat.push_back(sw.seconds());
+    // Mail delivery happens asynchronously in APAN: excluded from latency,
+    // still applied to keep state moving.
+    for (const auto& e : edges) deliver(e);
+  }
+  return lat;
+}
+
+}  // namespace tgnn::baselines

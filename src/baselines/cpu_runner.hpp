@@ -1,0 +1,55 @@
+// CPU baseline runner: streams a dataset range through an InferenceEngine
+// and measures latency / throughput / the Table I per-part breakdown, with
+// a configurable thread count (1 thread and 32 threads in the paper).
+//
+// This is a *real* measurement of the reference implementation on the build
+// machine — the only baseline in this repo that is not modelled (see
+// DESIGN.md §1).
+#pragma once
+
+#include "tgnn/inference.hpp"
+
+namespace tgnn::baselines {
+
+struct RunResult {
+  double total_seconds = 0.0;
+  std::size_t num_edges = 0;
+  std::size_t num_embeddings = 0;
+  core::PartTimes parts;
+  std::vector<double> batch_latency_s;  ///< per processed batch
+
+  [[nodiscard]] double throughput_eps() const {
+    return total_seconds > 0.0 ? static_cast<double>(num_edges) / total_seconds
+                               : 0.0;
+  }
+  [[nodiscard]] double mean_latency_s() const;
+  [[nodiscard]] double ns_per_embedding() const {
+    return num_embeddings > 0
+               ? total_seconds * 1e9 / static_cast<double>(num_embeddings)
+               : 0.0;
+  }
+};
+
+class CpuRunner {
+ public:
+  /// threads == 1 runs fully serial; otherwise the GNN stage is OpenMP-
+  /// parallel across vertices and the GEMMs use OpenMP internally.
+  CpuRunner(const core::TgnModel& model, const data::Dataset& ds, int threads);
+
+  /// Stream [range] in fixed-size batches; state starts from whatever the
+  /// engine currently holds (call warmup() first to fast-forward).
+  RunResult run(const graph::BatchRange& range, std::size_t batch_size);
+
+  /// Stream in fixed time windows (the paper's 15-minute real-time
+  /// scenario); returns one latency sample per non-empty window.
+  RunResult run_windows(const graph::BatchRange& range, double window_seconds);
+
+  void warmup(const graph::BatchRange& range) { engine_.warmup(range); }
+  core::InferenceEngine& engine() { return engine_; }
+
+ private:
+  core::InferenceEngine engine_;
+  int threads_;
+};
+
+}  // namespace tgnn::baselines

@@ -1,0 +1,72 @@
+// Analytic GPU baseline (substitution for the paper's Nvidia Titan Xp —
+// see DESIGN.md §1).
+//
+// Per-batch execution time is modelled as
+//
+//   T = N_kernels * t_launch
+//     + max(FLOPs / (peak_flops * flop_eff), bytes / (mem_bw * bw_eff))
+//
+// i.e. a fixed kernel-launch budget plus a roofline over compute and HBM
+// traffic. This captures the two GPU behaviours the paper's evaluation
+// hinges on: (1) small batches are launch-latency-bound, so latency is flat
+// while throughput collapses; (2) large batches become roofline-bound and
+// overtake the CPU. Kernel counts come from the model structure (so SAT/LUT
+// genuinely remove kernels); FLOP/byte counts come from the same complexity
+// meter used for Tables I/II.
+#pragma once
+
+#include <string>
+
+#include "tgnn/complexity.hpp"
+#include "tgnn/inference.hpp"
+
+namespace tgnn::baselines {
+
+struct GpuSpec {
+  std::string name;
+  double peak_flops;      ///< FP32 FLOP/s
+  double mem_bw;          ///< bytes/s
+  double kernel_launch_s; ///< per-kernel launch + sync overhead
+  double flop_eff;        ///< achieved fraction of peak on these GEMM shapes
+  double bw_eff;          ///< achieved fraction of peak bandwidth
+  /// PyTorch-graph expansion: each logical op in kernels_per_batch() lowers
+  /// to several framework kernels (slicing, cat, index_select, dtype casts)
+  /// plus Python dispatch. Calibrated against the TGN reference code's
+  /// small-batch GPU latency (Table I / Fig. 5).
+  double framework_ops_factor;
+};
+
+/// Titan Xp (Table III): 3840 CUDA cores @ 1.53 GHz, 547 GB/s.
+GpuSpec titan_xp();
+
+/// Number of kernel launches per processed batch for a model config
+/// (memory gates, attention GEMMs, softmax, scatter/gather ...).
+std::size_t kernels_per_batch(const core::ModelConfig& cfg);
+
+class GpuSim {
+ public:
+  GpuSim(GpuSpec spec, core::ModelConfig cfg)
+      : spec_(std::move(spec)), cfg_(std::move(cfg)) {}
+
+  /// Estimated wall time to process one batch of `num_edges` edges
+  /// producing `num_embeddings` embeddings.
+  [[nodiscard]] double batch_seconds(std::size_t num_edges,
+                                     std::size_t num_embeddings) const;
+
+  /// Table I-style per-part breakdown of the same estimate.
+  [[nodiscard]] core::PartTimes batch_parts(std::size_t num_edges,
+                                            std::size_t num_embeddings) const;
+
+  /// Stream an edge range in fixed-size batches: total seconds.
+  [[nodiscard]] double run_seconds(const data::Dataset& ds,
+                                   const graph::BatchRange& range,
+                                   std::size_t batch_size) const;
+
+  [[nodiscard]] const GpuSpec& spec() const { return spec_; }
+
+ private:
+  GpuSpec spec_;
+  core::ModelConfig cfg_;
+};
+
+}  // namespace tgnn::baselines

@@ -1,0 +1,38 @@
+#include "data/dataset.hpp"
+
+#include <set>
+#include <stdexcept>
+
+namespace tgnn::data {
+
+void apply_chrono_split(Dataset& ds, double train_frac, double val_frac) {
+  if (train_frac <= 0.0 || val_frac < 0.0 || train_frac + val_frac >= 1.0)
+    throw std::invalid_argument("apply_chrono_split: bad fractions");
+  const auto n = ds.graph.num_edges();
+  ds.train_end = static_cast<std::size_t>(static_cast<double>(n) * train_frac);
+  ds.val_end = static_cast<std::size_t>(
+      static_cast<double>(n) * (train_frac + val_frac));
+}
+
+DatasetStats compute_stats(const Dataset& ds) {
+  DatasetStats st;
+  st.num_nodes = ds.graph.num_nodes();
+  st.num_edges = ds.graph.num_edges();
+  st.span_seconds = ds.graph.t_max() - ds.graph.t_min();
+  st.mean_degree = st.num_nodes == 0
+                       ? 0.0
+                       : 2.0 * static_cast<double>(st.num_edges) /
+                             static_cast<double>(st.num_nodes);
+  std::set<std::pair<graph::NodeId, graph::NodeId>> seen;
+  std::size_t repeats = 0;
+  for (const auto& e : ds.graph.edges()) {
+    if (!seen.insert({e.src, e.dst}).second) ++repeats;
+  }
+  st.repeat_fraction = st.num_edges == 0
+                           ? 0.0
+                           : static_cast<double>(repeats) /
+                                 static_cast<double>(st.num_edges);
+  return st;
+}
+
+}  // namespace tgnn::data

@@ -1,0 +1,183 @@
+#include "fpga/accelerator.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace tgnn::fpga {
+
+namespace {
+constexpr std::size_t kNumStages = 9;
+// Stage indices.
+constexpr std::size_t kLoadEdges = 0, kLoadState = 1, kPrefetch = 2,
+                      kMuuEncode = 3, kMuuGates = 4, kEuAttn = 5, kEuAgg = 6,
+                      kWriteback = 7, kStoreEmb = 8;
+constexpr bool kIsDdrStage[kNumStages] = {true,  true,  true,  false, false,
+                                          false, false, true,  true};
+}  // namespace
+
+Accelerator::Accelerator(const core::TgnModel& model, const data::Dataset& ds,
+                         DesignConfig dc, FpgaDevice dev)
+    : model_(model), dc_(std::move(dc)), dev_(std::move(dev)),
+      ddr_(dev_.ddr_bandwidth_gbps), loader_(model.config()),
+      muu_(dc_, model.config()), eu_(dc_, model.config()),
+      cache_(static_cast<std::size_t>(dc_.ncu) * 4 * dc_.nb, dc_.ncu,
+             dc_.updater_scan),
+      engine_(model, ds, /*use_fifo=*/true) {
+  if (model.config().attention != core::AttentionKind::kSimplified)
+    throw std::invalid_argument(
+        "Accelerator: requires a co-designed (simplified-attention) model — "
+        "the vanilla attention cannot be scheduled with prefetching");
+}
+
+void Accelerator::reset() {
+  engine_.reset();
+  cache_.reset();
+  sim_time_ = 0.0;
+}
+
+double Accelerator::simulate_batch_seconds(
+    std::span<const graph::TemporalEdge> edges) {
+  if (edges.empty()) return 0.0;
+  const auto& mc = model_.config();
+  const double cyc = dc_.cycle_seconds();
+
+  // Partition into processing batches of Nb edges, round-robin over CUs.
+  struct Chunk {
+    BatchShape shape;
+    std::array<double, kNumStages> dur{};
+  };
+  std::vector<Chunk> chunks;
+  for (std::size_t base = 0; base < edges.size(); base += dc_.nb) {
+    const std::size_t n = std::min(dc_.nb, edges.size() - base);
+    Chunk ck;
+    ck.shape.edges = n;
+
+    // Unique vertices in the chunk + total kept-neighbor slots (table fill
+    // read from pre-batch state; budget-capped).
+    std::set<graph::NodeId> uniq;
+    for (std::size_t i = 0; i < n; ++i) {
+      uniq.insert(edges[base + i].src);
+      uniq.insert(edges[base + i].dst);
+    }
+    ck.shape.vertices = uniq.size();
+    std::size_t nbr = 0;
+    const auto& table = *engine_.state().table;
+    for (graph::NodeId v : uniq)
+      nbr += std::min<std::size_t>(mc.effective_neighbors(), table.fill(v));
+    ck.shape.neighbors = nbr;
+
+    // Updater cache: two vertex records per edge; duplicates within the
+    // in-flight window are eliminated (redundant-update elimination).
+    const int cu = static_cast<int>((base / dc_.nb) % dc_.ncu);
+    std::size_t writes = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (graph::NodeId v : {edges[base + i].src, edges[base + i].dst}) {
+        if (!cache_.write(cu, v)) {
+          cache_.drain();
+          cache_.write(cu, v);
+        }
+        ++writes;
+      }
+    }
+    ck.shape.commits = cache_.drain().size();
+
+    // ---- DDR stage durations (refresh charged at the stream's phase).
+    ck.dur[kLoadEdges] = loader_.load_edges(ck.shape).seconds_at(ddr_, sim_time_);
+    ck.dur[kLoadState] =
+        loader_.load_vertex_state(ck.shape).seconds_at(ddr_, sim_time_);
+    ck.dur[kPrefetch] =
+        loader_.prefetch_neighbors(ck.shape).seconds_at(ddr_, sim_time_);
+    ck.dur[kWriteback] =
+        loader_.writeback_state(ck.shape).seconds_at(ddr_, sim_time_) +
+        static_cast<double>(cache_.drain_cycles(writes)) * cyc;
+    ck.dur[kStoreEmb] =
+        loader_.store_embeddings(ck.shape).seconds_at(ddr_, sim_time_);
+
+    // ---- compute stage durations.
+    const std::size_t nv = ck.shape.vertices;
+    ck.dur[kMuuEncode] = static_cast<double>(muu_.encode_cycles(nv)) * cyc;
+    ck.dur[kMuuGates] = static_cast<double>(muu_.gate_cycles(nv)) * cyc;
+    ck.dur[kEuAttn] =
+        static_cast<double>(eu_.attention_cycles(nv) + eu_.encode_cycles(nv)) *
+        cyc;
+    ck.dur[kEuAgg] = static_cast<double>(eu_.aggregation_cycles(nv) +
+                                         eu_.transform_cycles(nv)) *
+                     cyc;
+    chunks.push_back(ck);
+  }
+
+  // Reservation-table schedule: DDR stages share the memory controller,
+  // compute stages are per-CU, write-back is serialized in chunk order.
+  std::array<double, kNumStages> ddr_free{};
+  std::vector<std::array<double, kNumStages>> cu_free(dc_.ncu);
+  for (auto& f : cu_free) f.fill(0.0);
+  double serialize_free = 0.0;
+  double last_finish = 0.0;
+  for (std::size_t b = 0; b < chunks.size(); ++b) {
+    const int cu = static_cast<int>(b % dc_.ncu);
+    double t = 0.0;
+    for (std::size_t s = 0; s < kNumStages; ++s) {
+      double start = t;
+      if (kIsDdrStage[s])
+        start = std::max(start, ddr_free[s]);
+      else
+        start = std::max(start, cu_free[cu][s]);
+      if (s == kWriteback) start = std::max(start, serialize_free);
+      const double finish = start + chunks[b].dur[s];
+      if (kIsDdrStage[s])
+        ddr_free[s] = finish;
+      else
+        cu_free[cu][s] = finish;
+      if (s == kWriteback) serialize_free = finish;
+      t = finish;
+    }
+    last_finish = std::max(last_finish, t);
+  }
+  sim_time_ += last_finish;
+  return last_finish;
+}
+
+Accelerator::Output Accelerator::process_batch(
+    const graph::BatchRange& r, std::span<const graph::NodeId> extra_nodes) {
+  Output out;
+  // Timing uses the pre-batch state (neighbor fills); then the functional
+  // engine advances the state.
+  out.latency_s =
+      simulate_batch_seconds(engine_.dataset().graph.edges(r));
+  out.functional = engine_.process_batch(r, extra_nodes);
+  return out;
+}
+
+Accelerator::RunSummary Accelerator::run(const graph::BatchRange& range,
+                                         std::size_t batch_size) {
+  RunSummary res;
+  const auto& g = engine_.dataset().graph;
+  for (const auto& b :
+       g.fixed_size_batches(range.begin, range.end, batch_size)) {
+    const auto out = process_batch(b);
+    res.batch_latency_s.push_back(out.latency_s);
+    res.total_s += out.latency_s;
+    res.num_edges += b.size();
+    res.num_embeddings += out.functional.nodes.size();
+  }
+  return res;
+}
+
+Accelerator::RunSummary Accelerator::run_windows(const graph::BatchRange& range,
+                                                 double window_seconds) {
+  RunSummary res;
+  const auto& g = engine_.dataset().graph;
+  for (const auto& b :
+       g.fixed_window_batches(range.begin, range.end, window_seconds)) {
+    if (b.size() == 0) continue;
+    const auto out = process_batch(b);
+    res.batch_latency_s.push_back(out.latency_s);
+    res.total_s += out.latency_s;
+    res.num_edges += b.size();
+    res.num_embeddings += out.functional.nodes.size();
+  }
+  return res;
+}
+
+}  // namespace tgnn::fpga

@@ -1,0 +1,96 @@
+// Top-level FPGA accelerator simulator (Fig. 2).
+//
+// Functional path: the numerics of Algorithm 1 (identical to the reference
+// InferenceEngine; the tiled MUU/EU datapaths are proven equivalent in the
+// test suite), so accuracy on the "FPGA" equals accuracy of the model —
+// the paper's claim in §VI-B.
+//
+// Timing path: each application batch is split into processing batches of
+// Nb edges dispatched round-robin over Ncu Computation Units; every
+// processing batch walks the 9-stage schedule of Fig. 4 through a
+// reservation-table simulation where
+//   * DDR stages (load edges / load state / prefetch / write-back / store)
+//     share one memory controller and pay burst-efficiency alpha(l) plus
+//     periodic refresh,
+//   * compute stages (MUU encode/gates, EU attention/aggregate/transform)
+//     are per-CU, with cycle counts from the MAC-array shapes,
+//   * the write-back stage is serialized in batch order through the Updater
+//     cache, which also eliminates redundant vertex write-backs.
+//
+// The accelerator requires a co-designed model (simplified attention): the
+// prefetch stage and the EU's aggregate-then-transform order both depend on
+// Eq. 16 — exactly the model-architecture coupling the paper describes.
+#pragma once
+
+#include "fpga/data_loader.hpp"
+#include "fpga/ddr_model.hpp"
+#include "fpga/device.hpp"
+#include "fpga/embedding_unit.hpp"
+#include "fpga/memory_update_unit.hpp"
+#include "fpga/updater_cache.hpp"
+#include "tgnn/inference.hpp"
+
+namespace tgnn::fpga {
+
+class Accelerator {
+ public:
+  Accelerator(const core::TgnModel& model, const data::Dataset& ds,
+              DesignConfig dc, FpgaDevice dev);
+
+  struct Output {
+    core::InferenceEngine::BatchResult functional;
+    double latency_s = 0.0;
+  };
+
+  /// Process one application batch: simulated latency + functional result.
+  Output process_batch(const graph::BatchRange& r,
+                       std::span<const graph::NodeId> extra_nodes = {});
+
+  struct RunSummary {
+    double total_s = 0.0;
+    std::size_t num_edges = 0;
+    std::size_t num_embeddings = 0;
+    std::vector<double> batch_latency_s;
+    [[nodiscard]] double throughput_eps() const {
+      return total_s > 0.0 ? static_cast<double>(num_edges) / total_s : 0.0;
+    }
+    [[nodiscard]] double mean_latency_s() const {
+      if (batch_latency_s.empty()) return 0.0;
+      double s = 0.0;
+      for (double l : batch_latency_s) s += l;
+      return s / static_cast<double>(batch_latency_s.size());
+    }
+  };
+
+  /// Stream a range in fixed-size batches.
+  RunSummary run(const graph::BatchRange& range, std::size_t batch_size);
+  /// Stream in fixed time windows (15-minute real-time scenario).
+  RunSummary run_windows(const graph::BatchRange& range, double window_seconds);
+
+  void warmup(const graph::BatchRange& range) { engine_.warmup(range); }
+  void reset();
+
+  [[nodiscard]] const UpdaterCache::Stats& updater_stats() const {
+    return cache_.stats();
+  }
+  [[nodiscard]] const DesignConfig& design() const { return dc_; }
+  [[nodiscard]] const FpgaDevice& device() const { return dev_; }
+  [[nodiscard]] core::InferenceEngine& engine() { return engine_; }
+
+  /// Simulated wall time of one application batch (timing only).
+  double simulate_batch_seconds(std::span<const graph::TemporalEdge> edges);
+
+ private:
+  const core::TgnModel& model_;
+  DesignConfig dc_;
+  FpgaDevice dev_;
+  DdrModel ddr_;
+  DataLoader loader_;
+  MemoryUpdateUnit muu_;
+  EmbeddingUnit eu_;
+  UpdaterCache cache_;
+  core::InferenceEngine engine_;
+  double sim_time_ = 0.0;  ///< absolute accelerator time (for refresh phase)
+};
+
+}  // namespace tgnn::fpga

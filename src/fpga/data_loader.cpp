@@ -1,0 +1,42 @@
+#include "fpga/data_loader.hpp"
+
+namespace tgnn::fpga {
+
+Transfer DataLoader::load_edges(const BatchShape& s) const {
+  const std::size_t pkt = 16 + mc_.edge_dim * kZd;  // ids + ts + feature
+  return {s.edges * pkt, pkt};
+}
+
+Transfer DataLoader::load_vertex_state(const BatchShape& s) const {
+  const std::size_t nbr_row = mc_.num_neighbors * 12;  // id + eid + ts
+  const std::size_t mem_row = mc_.mem_dim * kZd;
+  const std::size_t mail_row = mc_.raw_mail_dim() * kZd + kZd;
+  const std::size_t per_v = nbr_row + mem_row + mail_row;
+  return {s.vertices * per_v, mail_row};
+}
+
+Transfer DataLoader::prefetch_neighbors(const BatchShape& s) const {
+  const std::size_t per_n =
+      mc_.mem_dim * kZd + mc_.edge_dim * kZd + mc_.node_dim * kZd;
+  return {s.neighbors * per_n, mc_.mem_dim * kZd};
+}
+
+Transfer DataLoader::writeback_state(const BatchShape& s) const {
+  const std::size_t mem_row = mc_.mem_dim * kZd;
+  const std::size_t mail_row = mc_.raw_mail_dim() * kZd + kZd;
+  const std::size_t nbr_entry = 12;
+  return {s.commits * (mem_row + mail_row + nbr_entry), mail_row};
+}
+
+Transfer DataLoader::store_embeddings(const BatchShape& s) const {
+  const std::size_t row = mc_.emb_dim * kZd;
+  return {s.vertices * row, row};
+}
+
+std::size_t DataLoader::total_bytes(const BatchShape& s) const {
+  return load_edges(s).bytes + load_vertex_state(s).bytes +
+         prefetch_neighbors(s).bytes + writeback_state(s).bytes +
+         store_embeddings(s).bytes;
+}
+
+}  // namespace tgnn::fpga

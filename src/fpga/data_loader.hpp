@@ -1,0 +1,57 @@
+// Data Loader / Updater DDR traffic: byte counts and burst lengths for each
+// memory-touching pipeline stage (Fig. 4 stages 1-5), per processing batch.
+//
+// Burst length = the row size of the table being streamed (mail row, memory
+// row, feature row ...), which is what determines alpha(l) in the DDR model.
+#pragma once
+
+#include "fpga/ddr_model.hpp"
+#include "tgnn/config.hpp"
+
+namespace tgnn::fpga {
+
+struct Transfer {
+  std::size_t bytes = 0;
+  std::size_t burst = 1;  ///< bytes per burst transaction
+
+  [[nodiscard]] double seconds(const DdrModel& ddr) const {
+    return ddr.seconds_for(bytes, burst);
+  }
+  [[nodiscard]] double seconds_at(const DdrModel& ddr, double t_start) const {
+    return ddr.seconds_with_refresh(t_start, bytes, burst);
+  }
+};
+
+/// Per-processing-batch statistics the traffic depends on.
+struct BatchShape {
+  std::size_t edges = 0;      ///< Nb
+  std::size_t vertices = 0;   ///< unique involved vertices (<= 2 Nb)
+  std::size_t neighbors = 0;  ///< total neighbor slots fetched (after pruning)
+  std::size_t commits = 0;    ///< vertex records surviving the Updater cache
+};
+
+class DataLoader {
+ public:
+  explicit DataLoader(const core::ModelConfig& mc) : mc_(mc) {}
+
+  /// Stage 1: edge packets (src, dst, ts, eid) + the new edge's own feature.
+  [[nodiscard]] Transfer load_edges(const BatchShape& s) const;
+  /// Stage 2: neighbor-table rows + vertex memory + mail vectors.
+  [[nodiscard]] Transfer load_vertex_state(const BatchShape& s) const;
+  /// Stage 3: prefetch of kept neighbors' memory + edge features
+  /// (enabled by Eq. 16 — scores precede any neighbor fetch).
+  [[nodiscard]] Transfer prefetch_neighbors(const BatchShape& s) const;
+  /// Stage 4: write back neighbor table, memory, mail (post Updater dedup).
+  [[nodiscard]] Transfer writeback_state(const BatchShape& s) const;
+  /// Stage 5: store output embeddings.
+  [[nodiscard]] Transfer store_embeddings(const BatchShape& s) const;
+
+  /// Sum of all five stages' bytes (for roofline sanity checks).
+  [[nodiscard]] std::size_t total_bytes(const BatchShape& s) const;
+
+ private:
+  static constexpr std::size_t kZd = 4;  ///< float32
+  core::ModelConfig mc_;
+};
+
+}  // namespace tgnn::fpga

@@ -1,0 +1,44 @@
+#include "fpga/ddr_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tgnn::fpga {
+
+DdrModel::DdrModel(double peak_gbps, double burst_overhead_bytes,
+                   double t_refi_s, double t_rfc_s)
+    : peak_(peak_gbps * 1e9), overhead_(burst_overhead_bytes),
+      t_refi_(t_refi_s), t_rfc_(t_rfc_s) {
+  if (peak_gbps <= 0.0) throw std::invalid_argument("DdrModel: bad bandwidth");
+}
+
+double DdrModel::alpha(std::size_t burst_bytes) const {
+  if (burst_bytes == 0) return 1.0;
+  const auto l = static_cast<double>(burst_bytes);
+  return l / (l + overhead_);
+}
+
+double DdrModel::seconds_for(std::size_t total_bytes,
+                             std::size_t burst_bytes) const {
+  if (total_bytes == 0) return 0.0;
+  return static_cast<double>(total_bytes) / (alpha(burst_bytes) * peak_);
+}
+
+double DdrModel::seconds_with_refresh(double t_start, std::size_t total_bytes,
+                                      std::size_t burst_bytes) const {
+  double busy = seconds_for(total_bytes, burst_bytes);
+  if (busy == 0.0) return 0.0;
+  // Refreshes whose scheduled instant lands inside [t_start, t_start+busy)
+  // each extend the window by t_RFC (which can pull in further refreshes;
+  // iterate to fixpoint — converges since t_rfc << t_refi).
+  for (int iter = 0; iter < 4; ++iter) {
+    const double n =
+        std::floor((t_start + busy) / t_refi_) - std::floor(t_start / t_refi_);
+    const double with = seconds_for(total_bytes, burst_bytes) + n * t_rfc_;
+    if (with == busy) break;
+    busy = with;
+  }
+  return busy;
+}
+
+}  // namespace tgnn::fpga

@@ -1,0 +1,45 @@
+// External DDR memory model.
+//
+// Effective bandwidth follows the burst-length dependence measured by Lu et
+// al. (FPGA'21, the paper's [21]): a transaction of l bytes pays a fixed
+// per-burst overhead, so alpha(l) = l / (l + overhead) and sustained
+// bandwidth is alpha(l) * BW_peak. On top of that, DRAM refresh steals
+// t_RFC every t_REFI — the "refreshing behaviour ... hard to predict" the
+// paper cites as a performance-model error source (§VI-B); the cycle
+// simulator charges it, the analytic model of Section V does not.
+#pragma once
+
+#include <cstddef>
+
+namespace tgnn::fpga {
+
+class DdrModel {
+ public:
+  /// peak_gbps in GB/s (1e9 bytes).
+  explicit DdrModel(double peak_gbps, double burst_overhead_bytes = 64.0,
+                    double t_refi_s = 7.8e-6, double t_rfc_s = 350e-9);
+
+  /// Burst-efficiency factor alpha(l) in (0, 1].
+  [[nodiscard]] double alpha(std::size_t burst_bytes) const;
+
+  /// Transfer time for total_bytes moved in bursts of burst_bytes,
+  /// WITHOUT refresh (what Eq. 21 models).
+  [[nodiscard]] double seconds_for(std::size_t total_bytes,
+                                   std::size_t burst_bytes) const;
+
+  /// Same, plus the refresh stalls that fall inside the busy window starting
+  /// at absolute time t_start (deterministic periodic refresh).
+  [[nodiscard]] double seconds_with_refresh(double t_start,
+                                            std::size_t total_bytes,
+                                            std::size_t burst_bytes) const;
+
+  [[nodiscard]] double peak_bytes_per_s() const { return peak_; }
+
+ private:
+  double peak_;      ///< bytes/s
+  double overhead_;  ///< bytes-equivalent per burst
+  double t_refi_;
+  double t_rfc_;
+};
+
+}  // namespace tgnn::fpga

@@ -1,0 +1,53 @@
+#include "fpga/device.hpp"
+
+namespace tgnn::fpga {
+
+FpgaDevice alveo_u200() {
+  FpgaDevice d;
+  d.name = "Xilinx Alveo U200";
+  d.dies = 3;
+  d.luts_per_die = 394'000;
+  d.dsps_per_die = 2280;
+  d.brams_per_die = 720;
+  d.urams_per_die = 320;
+  d.ddr_bandwidth_gbps = 77.0;
+  return d;
+}
+
+FpgaDevice zcu104() {
+  FpgaDevice d;
+  d.name = "Xilinx ZCU104";
+  d.dies = 1;
+  d.luts_per_die = 230'000;
+  d.dsps_per_die = 1728;
+  d.brams_per_die = 312;
+  d.urams_per_die = 96;
+  d.ddr_bandwidth_gbps = 19.2;
+  return d;
+}
+
+DesignConfig u200_design() {
+  DesignConfig c;
+  c.name = "U200";
+  c.ncu = 2;
+  c.sg = 8;
+  c.sfam = 16;
+  c.sftm = 64;  // 8 x 8
+  c.nb = 16;
+  c.freq_mhz = 250.0;
+  return c;
+}
+
+DesignConfig zcu104_design() {
+  DesignConfig c;
+  c.name = "ZCU104";
+  c.ncu = 1;
+  c.sg = 4;
+  c.sfam = 8;
+  c.sftm = 16;  // 4 x 4
+  c.nb = 8;
+  c.freq_mhz = 125.0;
+  return c;
+}
+
+}  // namespace tgnn::fpga

@@ -1,0 +1,52 @@
+// FPGA platform and design-point descriptions (Tables III & IV).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace tgnn::fpga {
+
+/// Physical platform budget (Table III). Resource counts are per die;
+/// `dies` of them are available (U200 spans 3 SLRs).
+struct FpgaDevice {
+  std::string name;
+  int dies = 1;
+  std::size_t luts_per_die = 0;
+  std::size_t dsps_per_die = 0;
+  std::size_t brams_per_die = 0;  ///< 36 Kbit blocks
+  std::size_t urams_per_die = 0;  ///< 288 Kbit blocks
+  double ddr_bandwidth_gbps = 0;  ///< GB/s peak to external DDR
+
+  [[nodiscard]] std::size_t total_luts() const { return dies * luts_per_die; }
+  [[nodiscard]] std::size_t total_dsps() const { return dies * dsps_per_die; }
+  [[nodiscard]] std::size_t total_brams() const { return dies * brams_per_die; }
+  [[nodiscard]] std::size_t total_urams() const { return dies * urams_per_die; }
+};
+
+/// Xilinx Alveo U200: 3 SLRs, 394K LUT / 2280 DSP / 720 BRAM / 320 URAM per
+/// die, 77 GB/s DDR4.
+FpgaDevice alveo_u200();
+/// Xilinx ZCU104: 230K LUT / 1728 DSP / 312 BRAM / 96 URAM, 19.2 GB/s DDR4.
+FpgaDevice zcu104();
+
+/// Accelerator design point (Table IV): number of Computation Units, the
+/// MAC-array shapes, the processing-batch size Nb, and the post-P&R clock.
+struct DesignConfig {
+  std::string name;
+  int ncu = 1;          ///< Computation Units
+  std::size_t sg = 4;   ///< each MUU gate uses an Sg x Sg MAC array
+  std::size_t sfam = 8; ///< FAM multiply-add tree lanes
+  std::size_t sftm = 16;///< FTM MAC array size (rows x cols product)
+  std::size_t nb = 8;   ///< edges per processing batch (pipeline stage width)
+  double freq_mhz = 125.0;
+  int updater_scan = 3; ///< Updater commit pointer: cache lines scanned/cycle
+
+  [[nodiscard]] double cycle_seconds() const { return 1e-6 / freq_mhz; }
+};
+
+/// U200 design point: Ncu=2, Sg=8 (8x8 arrays), SFAM=16, SFTM=8x8, 250 MHz.
+DesignConfig u200_design();
+/// ZCU104 design point: Ncu=1, Sg=4, SFAM=8, SFTM=4x4, 125 MHz.
+DesignConfig zcu104_design();
+
+}  // namespace tgnn::fpga

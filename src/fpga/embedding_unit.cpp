@@ -1,0 +1,100 @@
+#include "fpga/embedding_unit.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tgnn::fpga {
+
+namespace {
+std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+}  // namespace
+
+std::uint64_t EmbeddingUnit::attention_cycles(std::size_t nv) const {
+  const std::uint64_t mr = mc_.num_neighbors;
+  return nv * (ceil_div(mr * mr, dc_.sfam) + mr);
+}
+
+std::uint64_t EmbeddingUnit::encode_cycles(std::size_t nv) const {
+  const std::uint64_t k = mc_.effective_neighbors();
+  if (mc_.time_encoder == core::TimeEncoderKind::kLut) return nv * k;
+  return nv * k * ceil_div(mc_.time_dim, dc_.sfam);
+}
+
+std::uint64_t EmbeddingUnit::aggregation_cycles(std::size_t nv) const {
+  // Aggregation width: the raw per-neighbor payload the FAM tree sums.
+  std::uint64_t w = mc_.kv_in_dim();
+  if (mc_.time_encoder == core::TimeEncoderKind::kLut) w -= mc_.time_dim;
+  return nv * mc_.effective_neighbors() * ceil_div(w, dc_.sfam);
+}
+
+std::uint64_t EmbeddingUnit::transform_cycles(std::size_t nv) const {
+  std::uint64_t kv = mc_.kv_in_dim();
+  if (mc_.time_encoder == core::TimeEncoderKind::kLut) kv -= mc_.time_dim;
+  // W_v fold (kv -> emb) + output projection ((emb + mem) -> emb).
+  const std::uint64_t macs =
+      kv * mc_.emb_dim + (mc_.emb_dim + mc_.mem_dim) * mc_.emb_dim;
+  return nv * ceil_div(macs, dc_.sftm);
+}
+
+Tensor EmbeddingUnit::forward_tiled(
+    const core::SimplifiedAttention& sat, std::span<const float> f_self,
+    const core::SimplifiedAttention::Scores& scores, const Tensor& v_in,
+    std::uint64_t* cycles) const {
+  const std::size_t kept = scores.keep.size();
+  if (v_in.rows() != kept)
+    throw std::invalid_argument("EU::forward_tiled: rows != kept");
+  const std::size_t kv = v_in.cols();
+  const std::size_t emb = sat.wv.out_dim();
+
+  // AM: softmax over kept logits (comparators + exp LUT in hardware).
+  std::vector<float> alpha(kept, 0.0f);
+  if (kept > 0) {
+    float mx = -1e30f;
+    for (std::size_t i = 0; i < kept; ++i)
+      mx = std::max(mx, scores.logits[scores.keep[i]]);
+    float z = 0.0f;
+    for (std::size_t i = 0; i < kept; ++i) {
+      alpha[i] = std::exp(scores.logits[scores.keep[i]] - mx);
+      z += alpha[i];
+    }
+    for (auto& a : alpha) a /= z;
+  }
+  if (cycles) *cycles += attention_cycles(1);
+
+  // FAM: aggregate raw vectors on SFAM lanes.
+  std::vector<float> agg(kv, 0.0f);
+  for (std::size_t i = 0; i < kept; ++i) {
+    const auto row = v_in.row(i);
+    for (std::size_t d = 0; d < kv; ++d) agg[d] += alpha[i] * row[d];
+  }
+  if (cycles)
+    *cycles += kept * ((kv + dc_.sfam - 1) / dc_.sfam);
+
+  // FTM part 1: v_bar = W_v agg + b_v (skipped entirely for 0 neighbors —
+  // alpha would be an empty sum; mirror the reference's attn = 0).
+  std::vector<float> v_bar(emb, 0.0f);
+  if (kept > 0) {
+    for (std::size_t o = 0; o < emb; ++o) {
+      float acc = sat.wv.b.value[o];
+      for (std::size_t d = 0; d < kv; ++d) acc += sat.wv.w.value(o, d) * agg[d];
+      v_bar[o] = acc;
+    }
+  }
+  // FTM part 2: h = W_o [v_bar || f_self] + b_o.
+  Tensor h(1, emb);
+  const std::size_t mem = f_self.size();
+  for (std::size_t o = 0; o < emb; ++o) {
+    float acc = sat.wo.b.value[o];
+    for (std::size_t d = 0; d < emb; ++d)
+      acc += sat.wo.w.value(o, d) * v_bar[d];
+    for (std::size_t d = 0; d < mem; ++d)
+      acc += sat.wo.w.value(o, emb + d) * f_self[d];
+    h(0, o) = acc;
+  }
+  if (cycles) *cycles += transform_cycles(1);
+  return h;
+}
+
+}  // namespace tgnn::fpga

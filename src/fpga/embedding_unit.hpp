@@ -1,0 +1,53 @@
+// Embedding Unit (EU): Attention Module + Feature Aggregation Module +
+// Feature Transformation Module (§IV-B).
+//
+// The EU exploits the co-design's key linearity: with simplified attention
+// (Eq. 16) the weights alpha are independent of neighbor features, so
+//
+//   sum_j alpha_j (W_v x_j + b_v)  ==  W_v (sum_j alpha_j x_j) + b_v
+//
+// (alpha sums to 1). The FAM therefore aggregates *raw* neighbor vectors on
+// a multiply-add tree (SFAM lanes) and the FTM applies W_v and the output
+// transform once per vertex on an SFTM MAC array — this is why the hardware
+// aggregates "alpha(u) . s_u" and transforms after aggregation, and it is
+// what makes the EU cost per vertex instead of per neighbor.
+//
+// forward_tiled() computes exactly that order and is unit-tested to match
+// SimplifiedAttention::aggregate (which projects per neighbor) to float
+// tolerance — the numerical statement of the linearity.
+#pragma once
+
+#include "fpga/device.hpp"
+#include "tgnn/simplified_attention.hpp"
+
+namespace tgnn::fpga {
+
+class EmbeddingUnit {
+ public:
+  EmbeddingUnit(const DesignConfig& dc, const core::ModelConfig& mc)
+      : dc_(dc), mc_(mc) {}
+
+  /// Stage 7-(1): attention logits a + W_t dt (mr x mr matvec on FAM lanes)
+  /// + top-k selection (comparator tree, ~mr cycles).
+  [[nodiscard]] std::uint64_t attention_cycles(std::size_t nv) const;
+  /// Stage 7-(2): time encoding for kept neighbors.
+  [[nodiscard]] std::uint64_t encode_cycles(std::size_t nv) const;
+  /// Stage 7-(3): FAM aggregation of kept raw neighbor vectors.
+  [[nodiscard]] std::uint64_t aggregation_cycles(std::size_t nv) const;
+  /// Stage 7-(4): FTM transforms (W_v fold + output projection).
+  [[nodiscard]] std::uint64_t transform_cycles(std::size_t nv) const;
+
+  /// Functional EU for one vertex: aggregate-then-transform order.
+  /// v_in rows correspond to scores.keep (as in SimplifiedAttention).
+  [[nodiscard]] Tensor forward_tiled(const core::SimplifiedAttention& sat,
+                                     std::span<const float> f_self,
+                                     const core::SimplifiedAttention::Scores& scores,
+                                     const Tensor& v_in,
+                                     std::uint64_t* cycles = nullptr) const;
+
+ private:
+  DesignConfig dc_;
+  core::ModelConfig mc_;
+};
+
+}  // namespace tgnn::fpga

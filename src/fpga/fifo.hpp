@@ -1,0 +1,51 @@
+// Bounded FIFO connecting hardware modules (the paper wires MUU gates, the
+// EU sub-modules, and the SLR boundaries with on-chip FIFOs). Used
+// functionally in the simulator and unit-tested for queue semantics; the
+// occupancy high-water mark feeds the BRAM estimate.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <stdexcept>
+
+namespace tgnn::fpga {
+
+template <typename T>
+class Fifo {
+ public:
+  explicit Fifo(std::size_t capacity) : cap_(capacity) {
+    if (capacity == 0) throw std::invalid_argument("Fifo: capacity 0");
+  }
+
+  [[nodiscard]] bool full() const { return q_.size() >= cap_; }
+  [[nodiscard]] bool empty() const { return q_.empty(); }
+  [[nodiscard]] std::size_t size() const { return q_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return cap_; }
+  [[nodiscard]] std::size_t high_water() const { return high_water_; }
+
+  /// False if the FIFO is full (caller must stall).
+  bool push(T v) {
+    if (full()) return false;
+    q_.push_back(std::move(v));
+    high_water_ = std::max(high_water_, q_.size());
+    return true;
+  }
+
+  std::optional<T> pop() {
+    if (q_.empty()) return std::nullopt;
+    T v = std::move(q_.front());
+    q_.pop_front();
+    return v;
+  }
+
+  void clear() { q_.clear(); }
+
+ private:
+  std::size_t cap_;
+  std::deque<T> q_;
+  std::size_t high_water_ = 0;
+};
+
+}  // namespace tgnn::fpga

@@ -1,0 +1,88 @@
+#include "fpga/memory_update_unit.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tgnn::fpga {
+
+namespace {
+std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+}  // namespace
+
+std::uint64_t MemoryUpdateUnit::encode_cycles(std::size_t nv) const {
+  if (mc_.time_encoder == core::TimeEncoderKind::kLut)
+    return nv;  // one fused-table read per vertex (§III-C: 1 clock cycle)
+  return nv * ceil_div(mc_.time_dim, dc_.sg);
+}
+
+std::uint64_t MemoryUpdateUnit::gate_cycles(std::size_t nv) const {
+  // Effective GRU input width: the LUT encoder pre-fuses the Phi slice.
+  std::uint64_t in = mc_.gru_in_dim();
+  if (mc_.time_encoder == core::TimeEncoderKind::kLut) in -= mc_.time_dim;
+  const std::uint64_t per_gate =
+      ceil_div(in, dc_.sg) * ceil_div(mc_.mem_dim, dc_.sg) +
+      ceil_div(mc_.mem_dim, dc_.sg) * ceil_div(mc_.mem_dim, dc_.sg);
+  return nv * per_gate;
+}
+
+Tensor MemoryUpdateUnit::forward_tiled(const nn::GruCell& gru, const Tensor& x,
+                                       const Tensor& h,
+                                       std::uint64_t* cycles) const {
+  if (x.rows() != h.rows())
+    throw std::invalid_argument("MUU::forward_tiled: row mismatch");
+  const std::size_t nv = x.rows();
+  const std::size_t in = x.cols();
+  const std::size_t hid = h.cols();
+  const std::size_t sg = dc_.sg;
+
+  // Tiled matrix-vector: out[o] += sum over sg x sg tiles, accumulating in
+  // the MAC array's order (tile rows outer, tile cols inner).
+  auto matvec_tiled = [&](const Tensor& w, const float* v, std::size_t vdim,
+                          const Tensor& b, float* out) {
+    std::uint64_t tile_count = 0;
+    for (std::size_t ot = 0; ot < w.rows(); ot += sg) {
+      const std::size_t oe = std::min(w.rows(), ot + sg);
+      for (std::size_t o = ot; o < oe; ++o) out[o] = b[o];
+      for (std::size_t it = 0; it < vdim; it += sg) {
+        const std::size_t ie = std::min(vdim, it + sg);
+        ++tile_count;
+        for (std::size_t o = ot; o < oe; ++o) {
+          float acc = 0.0f;
+          for (std::size_t i = it; i < ie; ++i) acc += w(o, i) * v[i];
+          out[o] += acc;
+        }
+      }
+    }
+    if (cycles) *cycles += tile_count;
+  };
+
+  Tensor out(nv, hid);
+  std::vector<float> pre_r(hid), pre_z(hid), pre_n(hid), tmp(hid), q(hid);
+  for (std::size_t r = 0; r < nv; ++r) {
+    const float* xv = x.row(r).data();
+    const float* hv = h.row(r).data();
+    // Reset gate.
+    matvec_tiled(gru.w_ir.value, xv, in, gru.b_ir.value, pre_r.data());
+    matvec_tiled(gru.w_hr.value, hv, hid, gru.b_hr.value, tmp.data());
+    for (std::size_t d = 0; d < hid; ++d)
+      pre_r[d] = 1.0f / (1.0f + std::exp(-(pre_r[d] + tmp[d])));
+    // Update gate.
+    matvec_tiled(gru.w_iz.value, xv, in, gru.b_iz.value, pre_z.data());
+    matvec_tiled(gru.w_hz.value, hv, hid, gru.b_hz.value, tmp.data());
+    for (std::size_t d = 0; d < hid; ++d)
+      pre_z[d] = 1.0f / (1.0f + std::exp(-(pre_z[d] + tmp[d])));
+    // Memory gate.
+    matvec_tiled(gru.w_in.value, xv, in, gru.b_in.value, pre_n.data());
+    matvec_tiled(gru.w_hn.value, hv, hid, gru.b_hn.value, q.data());
+    for (std::size_t d = 0; d < hid; ++d)
+      pre_n[d] = std::tanh(pre_n[d] + pre_r[d] * q[d]);
+    // Merging gate.
+    for (std::size_t d = 0; d < hid; ++d)
+      out(r, d) = (1.0f - pre_z[d]) * pre_n[d] + pre_z[d] * hv[d];
+  }
+  return out;
+}
+
+}  // namespace tgnn::fpga

@@ -1,0 +1,53 @@
+// Memory Update Unit (MUU): the GRU of Eq. 7-10 mapped onto Sg x Sg
+// multiply-accumulate arrays, one per gate, connected by FIFOs (§IV-B).
+//
+// Two faces:
+//  * cycle model — stage occupancies used by the pipeline scheduler.
+//    Following Fig. 4 / Eq. 19, the gates are SEPARATE pipeline stages
+//    (6-(2)..6-(5)), each with its own Sg x Sg array, so the MUU's
+//    steady-state occupancy per processing batch is ONE gate's GEMM time:
+//    gate_cycles(nv) ~ nv * (f_mail + f_mem) * f_mem / Sg^2. The total
+//    MUU work (Eq. 20's "3 *" bound) is total_gate_cycles().
+//  * functional datapath — forward_tiled() actually computes the GRU with
+//    Sg x Sg tiled loops (the MAC-array execution order) and counts the
+//    cycles the tiling implies. Unit tests assert it matches nn::GruCell to
+//    float tolerance, which is the simulator's claim that FPGA accuracy
+//    equals model accuracy.
+#pragma once
+
+#include "fpga/device.hpp"
+#include "nn/gru_cell.hpp"
+#include "tgnn/config.hpp"
+
+namespace tgnn::fpga {
+
+class MemoryUpdateUnit {
+ public:
+  MemoryUpdateUnit(const DesignConfig& dc, const core::ModelConfig& mc)
+      : dc_(dc), mc_(mc) {}
+
+  /// Time-encoding stage 6-(1): LUT encoder reads 1 entry/cycle; the cos
+  /// encoder computes time_dim elements on Sg lanes.
+  [[nodiscard]] std::uint64_t encode_cycles(std::size_t nv) const;
+
+  /// Occupancy of ONE gate stage (6-(2..4) are identical GEMMs) for nv
+  /// vertex updates — the MUU's pipeline-period contribution (Eq. 19).
+  [[nodiscard]] std::uint64_t gate_cycles(std::size_t nv) const;
+  /// Total gate work across the three GEMM gates (Eq. 20's bound); equals
+  /// the cycles forward_tiled() counts.
+  [[nodiscard]] std::uint64_t total_gate_cycles(std::size_t nv) const {
+    return 3 * gate_cycles(nv);
+  }
+
+  /// Functional tiled GRU over a batch: x [nv, gru_in], h [nv, mem].
+  /// If `cycles` is non-null, accumulates the MAC-array cycles consumed.
+  [[nodiscard]] Tensor forward_tiled(const nn::GruCell& gru, const Tensor& x,
+                                     const Tensor& h,
+                                     std::uint64_t* cycles = nullptr) const;
+
+ private:
+  DesignConfig dc_;
+  core::ModelConfig mc_;
+};
+
+}  // namespace tgnn::fpga

@@ -1,0 +1,34 @@
+#include "fpga/pipeline.hpp"
+
+#include <algorithm>
+
+namespace tgnn::fpga {
+
+PipelineResult PipelineScheduler::run(
+    const std::vector<StageDurations>& batches) const {
+  PipelineResult res;
+  if (batches.empty()) return res;
+
+  // finish[s] = when stage s last became free.
+  std::array<double, kPipelineStages> stage_free{};
+  double serialize_free = 0.0;
+  res.batch_finish_s.reserve(batches.size());
+
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    double t = 0.0;  // when this batch leaves the previous stage
+    for (std::size_t s = 0; s < kPipelineStages; ++s) {
+      double start = std::max(t, stage_free[s]);
+      if (s == serialize_stage_) start = std::max(start, serialize_free);
+      const double finish = start + batches[b].t[s];
+      stage_free[s] = finish;
+      if (s == serialize_stage_) serialize_free = finish;
+      t = finish;
+    }
+    res.batch_finish_s.push_back(t);
+    if (b == 0) res.fill_s = t;
+  }
+  res.total_s = res.batch_finish_s.back();
+  return res;
+}
+
+}  // namespace tgnn::fpga

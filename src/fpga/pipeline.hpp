@@ -1,0 +1,53 @@
+// Reservation-table pipeline scheduler for the 9-stage task schedule of
+// Fig. 4. Each processing batch occupies each stage for a batch-dependent
+// duration; batch b may enter stage s only when (a) it has left stage s-1
+// and (b) batch b-1 has left stage s. The update stage is additionally
+// serialized in arrival order across CUs (the Updater commits
+// chronologically).
+//
+// Unlike the analytic model (Eq. 22), this accounts for pipeline fill /
+// drain and for stage-time variation between batches — two of the error
+// sources the paper attributes its model mismatch to.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+namespace tgnn::fpga {
+
+inline constexpr std::size_t kPipelineStages = 9;
+
+/// Stage order (Fig. 4): 1 load edges, 2 load vertex state, 3 prefetch
+/// neighbors, 6 MUU compute, 7 EU compute, 4 write back state, 5 store
+/// embeddings, plus two commit slots folded into write-back below.
+/// We model the schedule as a linear 7-deep pipeline; the MUU's five
+/// internal sub-stages and the EU's four are folded into their occupancy
+/// (their internal pipelining is inside the cycle counts).
+struct StageDurations {
+  // seconds per stage, in dataflow order.
+  std::array<double, kPipelineStages> t{};
+};
+
+struct PipelineResult {
+  double total_s = 0.0;                 ///< finish time of the last batch
+  double fill_s = 0.0;                  ///< finish time of the first batch
+  std::vector<double> batch_finish_s;   ///< per-batch completion times
+};
+
+class PipelineScheduler {
+ public:
+  /// `serialize_stage`: index of the stage whose executions must additionally
+  /// finish in batch order across all lanes (the Updater write-back); pass
+  /// kPipelineStages to disable.
+  explicit PipelineScheduler(std::size_t serialize_stage = 5)
+      : serialize_stage_(serialize_stage) {}
+
+  [[nodiscard]] PipelineResult run(
+      const std::vector<StageDurations>& batches) const;
+
+ private:
+  std::size_t serialize_stage_;
+};
+
+}  // namespace tgnn::fpga

@@ -1,0 +1,73 @@
+#include "fpga/resource_estimator.hpp"
+
+namespace tgnn::fpga {
+
+namespace {
+constexpr std::size_t kDspPerMult = 3;
+constexpr std::size_t kDspPerAcc = 2;
+constexpr std::size_t kDspPerMac = kDspPerMult + kDspPerAcc;
+constexpr std::size_t kBramBits = 36 * 1024;
+constexpr std::size_t kUramBits = 288 * 1024;
+}  // namespace
+
+std::size_t ResourceEstimator::dsps_per_cu() const {
+  // MUU: three gate MAC arrays of Sg x Sg, plus the merging gate's
+  // elementwise lane (2 mults per lane, Sg lanes).
+  const std::size_t muu =
+      3 * dc_.sg * dc_.sg * kDspPerMac + dc_.sg * 2 * kDspPerMult;
+  // EU: FAM multiply-add tree (SFAM multipliers; adders in fabric),
+  // FTM MAC array of SFTM lanes. The AM's logit matvec reuses FAM lanes.
+  const std::size_t eu = dc_.sfam * kDspPerMult + dc_.sftm * kDspPerMac;
+  return muu + eu;
+}
+
+std::size_t ResourceEstimator::lut_table_bytes() const {
+  if (mc_.time_encoder != core::TimeEncoderKind::kLut) return 0;
+  // Fused tables (§III-C): Phi-slice products pre-computed for the three
+  // GRU input gates (each bins x mem) and the EU value path (bins x emb).
+  const std::size_t out_dims = 3 * mc_.mem_dim + mc_.emb_dim;
+  return mc_.lut_bins * out_dims * 4;
+}
+
+Utilization ResourceEstimator::estimate() const {
+  Utilization u;
+  u.freq_mhz = dc_.freq_mhz;
+
+  u.dsps = static_cast<std::size_t>(dc_.ncu) * dsps_per_cu();
+
+  // ---- BRAM: inter-module FIFOs + Updater cache + fused LUT tables (on
+  // devices without URAM) + edge-parser buffers.
+  const std::size_t fifo_bits =
+      /*per boundary*/ 2 * dc_.nb * (mc_.raw_mail_dim() + mc_.mem_dim) * 32;
+  const std::size_t n_fifos = 8;  // module boundaries in Fig. 2
+  std::size_t bram_bits = n_fifos * fifo_bits * dc_.ncu;
+  const std::size_t cache_bits =
+      static_cast<std::size_t>(dc_.ncu) * 4 * dc_.nb *
+      (mc_.raw_mail_dim() + mc_.mem_dim + 2) * 32;
+  bram_bits += cache_bits;
+
+  // ---- URAM: prefetch buffers for neighbor memory/features + fused LUT
+  // tables on boards that have URAM; otherwise everything lands in BRAM.
+  const std::size_t prefetch_bits = static_cast<std::size_t>(dc_.ncu) * dc_.nb *
+                                    2 * mc_.num_neighbors *
+                                    (mc_.mem_dim + mc_.edge_dim) * 32;
+  const std::size_t lut_bits = lut_table_bytes() * 8;
+  if (dev_.total_urams() > 0) {
+    u.urams = (prefetch_bits + lut_bits + kUramBits - 1) / kUramBits;
+  } else {
+    bram_bits += prefetch_bits + lut_bits;
+  }
+  u.brams = (bram_bits + kBramBits - 1) / kBramBits;
+
+  // ---- LUT fabric: calibrated per-module estimates (control FSMs, FIFO
+  // glue, comparator trees, float add trees for the FAM, AXI shell).
+  const std::size_t per_cu_luts = 24'000 /* MUU control + elementwise */ +
+                                  14'000 /* EU incl. top-k comparators */ +
+                                  6'000 /* loader lanes */;
+  u.luts = 40'000 /* shell + DMA + edge parser + updater */ +
+           static_cast<std::size_t>(dc_.ncu) * per_cu_luts +
+           (dev_.dies > 1 ? 12'000 * (dev_.dies - 1) : 0) /* SLR crossings */;
+  return u;
+}
+
+}  // namespace tgnn::fpga

@@ -1,0 +1,53 @@
+// FPGA resource estimator for Table IV.
+//
+// Counting rules (from the paper's §VI-A and standard Vitis HLS float32
+// mappings):
+//   * one float32 multiplier  = 3 DSP48E2
+//   * one float32 accumulator = 2 DSP48E2
+//   * a MAC lane therefore costs 5 DSPs; FAM adder-tree adders beyond the
+//     multipliers are absorbed into fabric (the paper describes the FAM as
+//     a multiply-add *tree*)
+//   * BRAM = 36 Kbit, URAM = 288 Kbit
+//
+// LUT counts are calibrated per-module constants (control logic, FIFOs,
+// comparators) — they are estimates, flagged as such in the bench output.
+#pragma once
+
+#include "fpga/device.hpp"
+#include "tgnn/config.hpp"
+
+namespace tgnn::fpga {
+
+struct Utilization {
+  std::size_t luts = 0;
+  std::size_t dsps = 0;
+  std::size_t brams = 0;
+  std::size_t urams = 0;
+  double freq_mhz = 0.0;
+
+  [[nodiscard]] bool fits(const FpgaDevice& dev) const {
+    return luts <= dev.total_luts() && dsps <= dev.total_dsps() &&
+           brams <= dev.total_brams() && urams <= dev.total_urams();
+  }
+};
+
+class ResourceEstimator {
+ public:
+  ResourceEstimator(const DesignConfig& dc, const core::ModelConfig& mc,
+                    const FpgaDevice& dev)
+      : dc_(dc), mc_(mc), dev_(dev) {}
+
+  [[nodiscard]] Utilization estimate() const;
+
+  /// DSPs of one Computation Unit (MUU + EU).
+  [[nodiscard]] std::size_t dsps_per_cu() const;
+  /// On-chip bytes of the fused LUT time-encoder tables (all consumers).
+  [[nodiscard]] std::size_t lut_table_bytes() const;
+
+ private:
+  DesignConfig dc_;
+  core::ModelConfig mc_;
+  const FpgaDevice& dev_;
+};
+
+}  // namespace tgnn::fpga

@@ -1,0 +1,69 @@
+#include "fpga/updater_cache.hpp"
+
+#include <stdexcept>
+
+namespace tgnn::fpga {
+
+UpdaterCache::UpdaterCache(std::size_t lines, int ncu, int scan_per_cycle)
+    : lines_(lines), write_pos_(ncu), ncu_(ncu), scan_(scan_per_cycle) {
+  if (ncu <= 0 || scan_per_cycle <= 0 || lines == 0)
+    throw std::invalid_argument("UpdaterCache: bad geometry");
+  if (lines % ncu != 0)
+    throw std::invalid_argument("UpdaterCache: lines must be divisible by ncu");
+  for (int c = 0; c < ncu; ++c) write_pos_[c] = static_cast<std::size_t>(c);
+}
+
+bool UpdaterCache::write(int cu, std::uint32_t vid) {
+  if (cu < 0 || cu >= ncu_) throw std::out_of_range("UpdaterCache: bad cu");
+  const std::size_t pos = write_pos_[cu];
+  if (lines_[pos].valid) return false;  // ring full for this CU lane
+  // Fully-associative duplicate check over uncommitted lines: a newer
+  // version of the vertex supersedes the pending one.
+  for (auto& line : lines_) {
+    if (line.valid && line.vid == vid) {
+      line.valid = false;
+      ++stats_.invalidations;
+    }
+  }
+  lines_[pos] = {vid, true};
+  ++stats_.writes;
+  write_pos_[cu] = (pos + static_cast<std::size_t>(ncu_)) % lines_.size();
+  return true;
+}
+
+std::vector<std::uint32_t> UpdaterCache::drain() {
+  std::vector<std::uint32_t> out;
+  // Walk the ring once from the commit pointer: every slot that could hold
+  // a pending line is visited in write (chronological) order.
+  for (std::size_t step = 0; step < lines_.size(); ++step) {
+    auto& line = lines_[(commit_pos_ + step) % lines_.size()];
+    if (line.valid) {
+      out.push_back(line.vid);
+      line.valid = false;
+      ++stats_.commits;
+    }
+  }
+  stats_.commit_cycles += drain_cycles(lines_.size());
+  return out;
+}
+
+std::uint64_t UpdaterCache::drain_cycles(std::size_t n_lines) const {
+  return (n_lines + static_cast<std::size_t>(scan_) - 1) /
+         static_cast<std::size_t>(scan_);
+}
+
+std::size_t UpdaterCache::pending() const {
+  std::size_t n = 0;
+  for (const auto& l : lines_)
+    if (l.valid) ++n;
+  return n;
+}
+
+void UpdaterCache::reset() {
+  for (auto& l : lines_) l.valid = false;
+  for (int c = 0; c < ncu_; ++c) write_pos_[c] = static_cast<std::size_t>(c);
+  commit_pos_ = 0;
+  stats_ = {};
+}
+
+}  // namespace tgnn::fpga

@@ -1,0 +1,61 @@
+// The Updater (§IV-B, Fig. 3): a fully-associative cache with rotating
+// pointers that (1) receives updated vertex records from the CUs, (2) keeps
+// write-back to external memory in chronological order, and (3) eliminates
+// redundant writes — if an *uncommitted* line holds the same vertex id as an
+// incoming record, the stale line is invalidated so only the newest version
+// reaches DDR.
+//
+// Geometry: CU c writes to positions c, c+Ncu, c+2*Ncu, ... (interleaved
+// rotating write pointers), which encodes the round-robin edge assignment;
+// the commit pointer walks the ring in order, scanning `scan` consecutive
+// lines per cycle and committing valid ones, so chronology is preserved by
+// construction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tgnn::fpga {
+
+class UpdaterCache {
+ public:
+  struct Stats {
+    std::uint64_t writes = 0;
+    std::uint64_t invalidations = 0;  ///< redundant updates eliminated
+    std::uint64_t commits = 0;        ///< lines written back to DDR
+    std::uint64_t commit_cycles = 0;
+  };
+
+  UpdaterCache(std::size_t lines, int ncu, int scan_per_cycle = 3);
+
+  /// CU `cu` hands over the updated record of vertex `vid`.
+  /// Returns false if the ring is full (caller must drain first).
+  bool write(int cu, std::uint32_t vid);
+
+  /// Drain every pending line in chronological order; returns the vids
+  /// committed (invalidated lines are skipped) and charges commit cycles.
+  std::vector<std::uint32_t> drain();
+
+  /// Cycles the commit pointer needs to retire n lines (scan lines/cycle).
+  [[nodiscard]] std::uint64_t drain_cycles(std::size_t n_lines) const;
+
+  [[nodiscard]] std::size_t pending() const;
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t capacity() const { return lines_.size(); }
+
+  void reset();
+
+ private:
+  struct Line {
+    std::uint32_t vid = 0;
+    bool valid = false;
+  };
+  std::vector<Line> lines_;
+  std::vector<std::size_t> write_pos_;  ///< next ring slot per CU
+  std::size_t commit_pos_ = 0;
+  int ncu_;
+  int scan_;
+  Stats stats_;
+};
+
+}  // namespace tgnn::fpga

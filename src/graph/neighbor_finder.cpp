@@ -1,0 +1,36 @@
+#include "graph/neighbor_finder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tgnn::graph {
+
+void NeighborFinder::insert(const TemporalEdge& e) {
+  if (e.src >= hist_.size() || e.dst >= hist_.size())
+    throw std::out_of_range("NeighborFinder::insert: node out of range");
+  hist_[e.src].push_back({e.dst, e.eid, e.ts});
+  hist_[e.dst].push_back({e.src, e.eid, e.ts});
+}
+
+std::vector<NeighborHit> NeighborFinder::most_recent(NodeId v, double t,
+                                                     std::size_t k) const {
+  if (v >= hist_.size())
+    throw std::out_of_range("NeighborFinder::most_recent: node out of range");
+  const auto& h = hist_[v];
+  // Binary search for the first interaction at ts >= t; history is sorted.
+  auto it = std::lower_bound(
+      h.begin(), h.end(), t,
+      [](const NeighborHit& hit, double tt) { return hit.ts < tt; });
+  const std::size_t end = static_cast<std::size_t>(it - h.begin());
+  const std::size_t take = std::min(k, end);
+  std::vector<NeighborHit> out;
+  out.reserve(take);
+  for (std::size_t i = end - take; i < end; ++i) out.push_back(h[i]);
+  return out;  // oldest -> newest
+}
+
+void NeighborFinder::clear() {
+  for (auto& h : hist_) h.clear();
+}
+
+}  // namespace tgnn::graph

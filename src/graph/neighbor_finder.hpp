@@ -1,0 +1,46 @@
+// Software most-recent temporal neighbor sampler — the "sample" stage of the
+// baseline TGN pipeline (Table I). Maintains per-node interaction histories
+// in chronological order; most_recent(v, t, k) returns up to k interactions
+// strictly before t, newest first.
+//
+// This is the general (unbounded-history) sampler the CPU/GPU baselines use.
+// The FPGA design replaces it with the bounded FIFO NeighborTable
+// (graph/neighbor_table.hpp) — one of the paper's hardware optimizations.
+#pragma once
+
+#include <vector>
+
+#include "graph/temporal_graph.hpp"
+
+namespace tgnn::graph {
+
+struct NeighborHit {
+  NodeId node = 0;
+  EdgeId eid = 0;
+  double ts = 0.0;
+};
+
+class NeighborFinder {
+ public:
+  explicit NeighborFinder(NodeId num_nodes) : hist_(num_nodes) {}
+
+  /// Record an interaction (appended for both endpoints). Timestamps must be
+  /// non-decreasing per node (guaranteed by chronological edge streams).
+  void insert(const TemporalEdge& e);
+
+  /// Up to k most recent interactions of v strictly before time t,
+  /// ordered oldest -> newest (the order the attention layer consumes:
+  /// t_v0 <= t_v1 <= ... as in §III-A).
+  [[nodiscard]] std::vector<NeighborHit> most_recent(NodeId v, double t,
+                                                     std::size_t k) const;
+
+  /// Total stored interactions of v (degree over all time).
+  [[nodiscard]] std::size_t degree(NodeId v) const { return hist_[v].size(); }
+
+  void clear();
+
+ private:
+  std::vector<std::vector<NeighborHit>> hist_;
+};
+
+}  // namespace tgnn::graph

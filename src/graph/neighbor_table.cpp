@@ -1,0 +1,45 @@
+#include "graph/neighbor_table.hpp"
+
+#include <stdexcept>
+
+namespace tgnn::graph {
+
+NeighborTable::NeighborTable(NodeId num_nodes, std::size_t mr)
+    : num_nodes_(num_nodes), mr_(mr), slots_(std::size_t{num_nodes} * mr),
+      head_(num_nodes, 0), counts_(num_nodes, 0) {
+  if (mr == 0) throw std::invalid_argument("NeighborTable: mr must be > 0");
+}
+
+void NeighborTable::insert(NodeId v, NodeId neighbor, EdgeId eid, double ts) {
+  if (v >= num_nodes_)
+    throw std::out_of_range("NeighborTable::insert: node out of range");
+  Slot& s = slots_[std::size_t{v} * mr_ + head_[v]];
+  s.node = neighbor;
+  s.eid = eid;
+  s.ts = ts;
+  head_[v] = static_cast<std::uint32_t>((head_[v] + 1) % mr_);
+  if (counts_[v] < mr_) ++counts_[v];
+}
+
+void NeighborTable::insert_edge(const TemporalEdge& e) {
+  insert(e.src, e.dst, e.eid, e.ts);
+  insert(e.dst, e.src, e.eid, e.ts);
+}
+
+std::vector<NeighborHit> NeighborTable::row(NodeId v) const {
+  if (v >= num_nodes_)
+    throw std::out_of_range("NeighborTable::row: node out of range");
+  const std::size_t n = counts_[v];
+  std::vector<NeighborHit> out;
+  out.reserve(n);
+  // Oldest entry sits at head - count (mod mr).
+  std::size_t idx = (head_[v] + mr_ - n) % mr_;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Slot& s = slots_[std::size_t{v} * mr_ + idx];
+    out.push_back({s.node, s.eid, s.ts});
+    idx = (idx + 1) % mr_;
+  }
+  return out;
+}
+
+}  // namespace tgnn::graph

@@ -1,0 +1,61 @@
+// Bounded FIFO neighbor table — the paper's FIFO-based hardware sampler
+// (§I, §IV-A "Vertex Neighbor Table").
+//
+// Each vertex keeps exactly `mr` slots holding its most recent interactions;
+// inserting into a full row evicts the oldest entry, which is exactly the
+// behaviour of the on-chip FIFO the accelerator uses instead of a general
+// temporal sampler. Reads return the row oldest -> newest so the attention
+// layer sees timestamp-sorted neighbors (§III-A).
+//
+// Because evicted history is gone forever, the FIFO table can differ from
+// the unbounded NeighborFinder when a node is asked for more neighbors than
+// it interacted with recently; the equivalence (and divergence) conditions
+// are pinned down in tests/graph/neighbor_table_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/neighbor_finder.hpp"
+
+namespace tgnn::graph {
+
+class NeighborTable {
+ public:
+  NeighborTable(NodeId num_nodes, std::size_t mr);
+
+  [[nodiscard]] std::size_t capacity() const { return mr_; }
+  [[nodiscard]] NodeId num_nodes() const { return num_nodes_; }
+
+  /// Append one interaction for vertex v (FIFO-evicts if full).
+  void insert(NodeId v, NodeId neighbor, EdgeId eid, double ts);
+
+  /// Record an edge for both endpoints (Alg. 1 lines 13-14).
+  void insert_edge(const TemporalEdge& e);
+
+  /// Current entries of v, oldest -> newest (up to mr of them).
+  [[nodiscard]] std::vector<NeighborHit> row(NodeId v) const;
+
+  /// Number of valid entries for v.
+  [[nodiscard]] std::size_t fill(NodeId v) const { return counts_[v]; }
+
+  /// Bytes of one table row in the external-memory layout (for the DDR
+  /// traffic model): mr * (node id + edge id + timestamp).
+  [[nodiscard]] std::size_t row_bytes() const {
+    return mr_ * (sizeof(NodeId) + sizeof(EdgeId) + sizeof(float));
+  }
+
+ private:
+  struct Slot {
+    NodeId node;
+    EdgeId eid;
+    double ts;
+  };
+  NodeId num_nodes_;
+  std::size_t mr_;
+  std::vector<Slot> slots_;          ///< num_nodes x mr ring buffers
+  std::vector<std::uint32_t> head_;  ///< next write position per vertex
+  std::vector<std::uint32_t> counts_;
+};
+
+}  // namespace tgnn::graph

@@ -1,0 +1,51 @@
+#include "graph/temporal_graph.hpp"
+
+#include <stdexcept>
+
+namespace tgnn::graph {
+
+TemporalGraph::TemporalGraph(NodeId num_nodes, std::vector<TemporalEdge> edges,
+                             bool assign_eids)
+    : num_nodes_(num_nodes), edges_(std::move(edges)) {
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    auto& e = edges_[i];
+    if (e.src >= num_nodes_ || e.dst >= num_nodes_)
+      throw std::invalid_argument("TemporalGraph: node id out of range");
+    if (i > 0 && e.ts < edges_[i - 1].ts)
+      throw std::invalid_argument("TemporalGraph: edges not chronological");
+    if (assign_eids) e.eid = static_cast<EdgeId>(i);
+  }
+}
+
+std::vector<BatchRange> TemporalGraph::fixed_size_batches(
+    std::size_t from, std::size_t to, std::size_t batch_size) const {
+  if (batch_size == 0) throw std::invalid_argument("batch_size must be > 0");
+  if (to > edges_.size() || from > to)
+    throw std::invalid_argument("fixed_size_batches: bad range");
+  std::vector<BatchRange> out;
+  for (std::size_t b = from; b < to; b += batch_size)
+    out.push_back({b, std::min(to, b + batch_size)});
+  return out;
+}
+
+std::vector<BatchRange> TemporalGraph::fixed_window_batches(
+    std::size_t from, std::size_t to, double window) const {
+  if (window <= 0.0) throw std::invalid_argument("window must be > 0");
+  if (to > edges_.size() || from > to)
+    throw std::invalid_argument("fixed_window_batches: bad range");
+  std::vector<BatchRange> out;
+  if (from == to) return out;
+  double w_start = edges_[from].ts;
+  std::size_t begin = from;
+  for (std::size_t i = from; i < to; ++i) {
+    while (edges_[i].ts >= w_start + window) {
+      out.push_back({begin, i});
+      begin = i;
+      w_start += window;
+    }
+  }
+  out.push_back({begin, to});
+  return out;
+}
+
+}  // namespace tgnn::graph

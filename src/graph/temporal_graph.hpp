@@ -1,0 +1,71 @@
+// Temporal graph: a chronologically ordered stream of timestamped edges.
+//
+// Matches the paper's data model (§IV-A): each edge is e(src, dst, f_e, t_e)
+// where f_e is stored externally (row `eid` of the dataset's edge-feature
+// matrix) so the graph structure stays compact.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace tgnn::graph {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+struct TemporalEdge {
+  NodeId src = 0;
+  NodeId dst = 0;
+  double ts = 0.0;  ///< event timestamp (seconds)
+  EdgeId eid = 0;   ///< row in the dataset's edge-feature matrix
+};
+
+/// A batch is a contiguous [begin, end) range of the edge stream.
+struct BatchRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  [[nodiscard]] std::size_t size() const { return end - begin; }
+};
+
+class TemporalGraph {
+ public:
+  TemporalGraph() = default;
+  /// Takes ownership of the edge stream; verifies chronological order and
+  /// assigns sequential eids if `assign_eids`.
+  TemporalGraph(NodeId num_nodes, std::vector<TemporalEdge> edges,
+                bool assign_eids = true);
+
+  [[nodiscard]] NodeId num_nodes() const { return num_nodes_; }
+  [[nodiscard]] std::size_t num_edges() const { return edges_.size(); }
+  [[nodiscard]] const TemporalEdge& edge(std::size_t i) const {
+    return edges_[i];
+  }
+  [[nodiscard]] std::span<const TemporalEdge> edges() const { return edges_; }
+  [[nodiscard]] std::span<const TemporalEdge> edges(const BatchRange& r) const {
+    return {edges_.data() + r.begin, r.size()};
+  }
+
+  [[nodiscard]] double t_min() const {
+    return edges_.empty() ? 0.0 : edges_.front().ts;
+  }
+  [[nodiscard]] double t_max() const {
+    return edges_.empty() ? 0.0 : edges_.back().ts;
+  }
+
+  /// Split [from, to) into batches of `batch_size` edges (last may be short).
+  [[nodiscard]] std::vector<BatchRange> fixed_size_batches(
+      std::size_t from, std::size_t to, std::size_t batch_size) const;
+
+  /// Split [from, to) into batches covering fixed time windows of `window`
+  /// seconds (the paper's 15-minute real-time inference scenario, Fig. 5
+  /// right column). Empty windows produce empty batches.
+  [[nodiscard]] std::vector<BatchRange> fixed_window_batches(
+      std::size_t from, std::size_t to, double window) const;
+
+ private:
+  NodeId num_nodes_ = 0;
+  std::vector<TemporalEdge> edges_;
+};
+
+}  // namespace tgnn::graph

@@ -1,0 +1,55 @@
+#include "graph/vertex_state.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tgnn::graph {
+
+VertexMemory::VertexMemory(NodeId num_nodes, std::size_t dim)
+    : num_nodes_(num_nodes), dim_(dim),
+      data_(std::size_t{num_nodes} * dim, 0.0f), ts_(num_nodes, 0.0) {}
+
+std::span<const float> VertexMemory::get(NodeId v) const {
+  if (v >= num_nodes_) throw std::out_of_range("VertexMemory::get");
+  return {data_.data() + std::size_t{v} * dim_, dim_};
+}
+
+void VertexMemory::set(NodeId v, std::span<const float> value, double ts) {
+  if (v >= num_nodes_) throw std::out_of_range("VertexMemory::set");
+  if (value.size() != dim_)
+    throw std::invalid_argument("VertexMemory::set: dim mismatch");
+  std::copy(value.begin(), value.end(), data_.begin() + std::size_t{v} * dim_);
+  ts_[v] = ts;
+}
+
+void VertexMemory::reset() {
+  std::fill(data_.begin(), data_.end(), 0.0f);
+  std::fill(ts_.begin(), ts_.end(), 0.0);
+}
+
+VertexMailbox::VertexMailbox(NodeId num_nodes, std::size_t raw_dim)
+    : num_nodes_(num_nodes), dim_(raw_dim),
+      data_(std::size_t{num_nodes} * raw_dim, 0.0f), ts_(num_nodes, 0.0),
+      valid_(num_nodes, 0) {}
+
+std::span<const float> VertexMailbox::mail(NodeId v) const {
+  if (v >= num_nodes_) throw std::out_of_range("VertexMailbox::mail");
+  return {data_.data() + std::size_t{v} * dim_, dim_};
+}
+
+void VertexMailbox::put(NodeId v, std::span<const float> raw, double ts) {
+  if (v >= num_nodes_) throw std::out_of_range("VertexMailbox::put");
+  if (raw.size() != dim_)
+    throw std::invalid_argument("VertexMailbox::put: dim mismatch");
+  std::copy(raw.begin(), raw.end(), data_.begin() + std::size_t{v} * dim_);
+  ts_[v] = ts;
+  valid_[v] = 1;
+}
+
+void VertexMailbox::reset() {
+  std::fill(data_.begin(), data_.end(), 0.0f);
+  std::fill(ts_.begin(), ts_.end(), 0.0);
+  std::fill(valid_.begin(), valid_.end(), 0);
+}
+
+}  // namespace tgnn::graph

@@ -1,0 +1,78 @@
+// Persistent per-vertex state of a memory-based TGNN (§II, §IV-A):
+//
+//  * VertexMemory — the node-memory table {s_v}: one f_mem vector per vertex
+//    plus the timestamp of its last update (needed for the Δt fed to the
+//    time encoder when the memory is next refreshed).
+//  * VertexMailbox — the cached raw messages {m_v}: written when an edge
+//    touches v, consumed by the GRU updater at v's NEXT event. Storing the
+//    *raw* concatenation [s_v || s_other || f_e] plus the mail timestamp
+//    (rather than a time-encoded vector) lets the consumer pick its own time
+//    encoder — this is what makes the LUT-encoder substitution (§III-C) a
+//    drop-in change.
+//
+// Both tables live in "external memory" from the accelerator's point of
+// view; their row sizes feed the DDR traffic model.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/temporal_graph.hpp"
+
+namespace tgnn::graph {
+
+class VertexMemory {
+ public:
+  VertexMemory(NodeId num_nodes, std::size_t dim);
+
+  [[nodiscard]] std::size_t dim() const { return dim_; }
+  [[nodiscard]] NodeId num_nodes() const { return num_nodes_; }
+
+  [[nodiscard]] std::span<const float> get(NodeId v) const;
+  void set(NodeId v, std::span<const float> value, double ts);
+
+  /// Timestamp of the last memory update of v (0 before any update).
+  [[nodiscard]] double last_update(NodeId v) const { return ts_[v]; }
+
+  void reset();
+
+  [[nodiscard]] std::size_t row_bytes() const { return dim_ * sizeof(float); }
+
+ private:
+  NodeId num_nodes_;
+  std::size_t dim_;
+  std::vector<float> data_;
+  std::vector<double> ts_;
+};
+
+class VertexMailbox {
+ public:
+  VertexMailbox(NodeId num_nodes, std::size_t raw_dim);
+
+  [[nodiscard]] std::size_t raw_dim() const { return dim_; }
+
+  /// True once v has received at least one message.
+  [[nodiscard]] bool has_mail(NodeId v) const { return valid_[v]; }
+  [[nodiscard]] std::span<const float> mail(NodeId v) const;
+  [[nodiscard]] double mail_ts(NodeId v) const { return ts_[v]; }
+
+  /// Overwrite v's cached message ("most-recent" aggregator: the newest
+  /// message simply replaces the old one).
+  void put(NodeId v, std::span<const float> raw, double ts);
+
+  void reset();
+
+  [[nodiscard]] std::size_t row_bytes() const {
+    return dim_ * sizeof(float) + sizeof(float);  // payload + timestamp
+  }
+
+ private:
+  NodeId num_nodes_;
+  std::size_t dim_;
+  std::vector<float> data_;
+  std::vector<double> ts_;
+  std::vector<std::uint8_t> valid_;
+};
+
+}  // namespace tgnn::graph

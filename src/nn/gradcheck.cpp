@@ -1,0 +1,38 @@
+#include "nn/gradcheck.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tgnn::nn {
+
+GradCheckResult check_gradients(ParamStore& store,
+                                const std::function<double()>& loss_fn,
+                                double eps, std::size_t max_checks_per_param) {
+  GradCheckResult res;
+  for (auto* p : store.params()) {
+    const std::size_t n = p->value.size();
+    // Deterministic stride so large matrices are subsampled evenly.
+    const std::size_t stride = std::max<std::size_t>(1, n / max_checks_per_param);
+    for (std::size_t i = 0; i < n; i += stride) {
+      const float saved = p->value[i];
+      p->value[i] = saved + static_cast<float>(eps);
+      const double lp = loss_fn();
+      p->value[i] = saved - static_cast<float>(eps);
+      const double lm = loss_fn();
+      p->value[i] = saved;
+      const double numeric = (lp - lm) / (2.0 * eps);
+      const double analytic = p->grad[i];
+      const double abs_err = std::fabs(numeric - analytic);
+      const double rel_err =
+          abs_err / std::max(1e-4, std::fabs(numeric) + std::fabs(analytic));
+      if (rel_err > res.max_rel_err) {
+        res.max_rel_err = rel_err;
+        res.worst_param = p->name + "[" + std::to_string(i) + "]";
+      }
+      res.max_abs_err = std::max(res.max_abs_err, abs_err);
+    }
+  }
+  return res;
+}
+
+}  // namespace tgnn::nn

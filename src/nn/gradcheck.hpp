@@ -1,0 +1,31 @@
+// Finite-difference gradient checking used by the property tests: every
+// analytic backward in this repo (Linear, GRU, attention, time encoders,
+// full model) is validated against central differences.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "nn/parameter.hpp"
+
+namespace tgnn::nn {
+
+struct GradCheckResult {
+  double max_abs_err = 0.0;
+  double max_rel_err = 0.0;
+  std::string worst_param;
+  bool ok(double tol) const { return max_rel_err < tol; }
+};
+
+/// loss_fn must recompute the full forward pass and return the scalar loss
+/// (gradients are NOT needed from it). analytic gradients must already be
+/// accumulated in the parameters' grad fields before calling.
+///
+/// For each scalar parameter theta: numeric = (L(theta+eps) - L(theta-eps)) / 2eps,
+/// relative error = |numeric - analytic| / max(1e-4, |numeric| + |analytic|).
+GradCheckResult check_gradients(ParamStore& store,
+                                const std::function<double()>& loss_fn,
+                                double eps = 1e-3,
+                                std::size_t max_checks_per_param = 24);
+
+}  // namespace tgnn::nn

@@ -1,0 +1,27 @@
+#include "nn/linear.hpp"
+
+#include "util/rng.hpp"
+
+namespace tgnn::nn {
+
+Linear::Linear(std::string name, std::size_t in_dim, std::size_t out_dim,
+               tgnn::Rng& rng)
+    : w(name + ".w", Tensor::xavier(out_dim, in_dim, rng)),
+      b(name + ".b", Tensor(out_dim)) {}
+
+Tensor Linear::forward(const Tensor& x) const {
+  return ops::affine(x, w.value, b.value);
+}
+
+Tensor Linear::backward(const Tensor& x, const Tensor& dy) {
+  // dW += dY^T X : [out, m] x [m, in]
+  ops::matmul_tn_acc(dy, x, w.grad);
+  Tensor db = ops::colsum(dy);
+  b.grad += db;
+  // dX = dY W : [m, out] x [out, in]
+  return ops::matmul(dy, w.value);
+}
+
+std::vector<Parameter*> Linear::parameters() { return {&w, &b}; }
+
+}  // namespace tgnn::nn

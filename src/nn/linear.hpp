@@ -1,0 +1,45 @@
+// Fully-connected layer with analytic backward.
+//
+// Forward:  Y = X W^T + b,  X: [m, in], W: [out, in], b: [out].
+// Backward: dX = dY W, dW += dY^T X, db += colsum(dY).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/parameter.hpp"
+#include "tensor/ops.hpp"
+
+namespace tgnn {
+class Rng;
+}
+
+namespace tgnn::nn {
+
+class Linear {
+ public:
+  Linear() = default;
+  Linear(std::string name, std::size_t in_dim, std::size_t out_dim,
+         tgnn::Rng& rng);
+
+  [[nodiscard]] Tensor forward(const Tensor& x) const;
+
+  /// Backward: given dY and the forward input X, accumulates weight/bias
+  /// grads and returns dX.
+  Tensor backward(const Tensor& x, const Tensor& dy);
+
+  [[nodiscard]] std::vector<Parameter*> parameters();
+
+  [[nodiscard]] std::size_t in_dim() const { return w.value.cols(); }
+  [[nodiscard]] std::size_t out_dim() const { return w.value.rows(); }
+
+  /// Number of multiply-accumulates for a forward pass over m rows.
+  [[nodiscard]] std::size_t macs(std::size_t m_rows) const {
+    return m_rows * in_dim() * out_dim();
+  }
+
+  Parameter w;  ///< [out, in]
+  Parameter b;  ///< [out]
+};
+
+}  // namespace tgnn::nn

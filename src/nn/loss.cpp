@@ -1,0 +1,77 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace tgnn::nn {
+
+double stable_sigmoid(double x) {
+  if (x >= 0.0) return 1.0 / (1.0 + std::exp(-x));
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+LossResult bce_with_logits(const Tensor& logits, const Tensor& targets) {
+  if (logits.size() != targets.size())
+    throw std::invalid_argument("bce_with_logits: shape mismatch");
+  const std::size_t m = logits.size();
+  LossResult res;
+  res.grad = Tensor(logits.rows(), logits.cols());
+  double total = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const double x = logits[i];
+    const double y = targets[i];
+    // max(x,0) - x*y + log(1 + exp(-|x|)) : stable BCE-with-logits.
+    total += std::max(x, 0.0) - x * y + std::log1p(std::exp(-std::fabs(x)));
+    res.grad[i] = static_cast<float>((stable_sigmoid(x) - y) / m);
+  }
+  res.value = total / static_cast<double>(m);
+  return res;
+}
+
+LossResult soft_cross_entropy(const Tensor& student_logits,
+                              const Tensor& teacher_logits, double temperature) {
+  if (student_logits.rows() != teacher_logits.rows() ||
+      student_logits.cols() != teacher_logits.cols())
+    throw std::invalid_argument("soft_cross_entropy: shape mismatch");
+  if (temperature <= 0.0)
+    throw std::invalid_argument("soft_cross_entropy: T must be > 0");
+
+  const std::size_t m = student_logits.rows(), n = student_logits.cols();
+  LossResult res;
+  res.grad = Tensor(m, n);
+  double total = 0.0;
+  std::vector<double> p(n), q(n);
+  for (std::size_t i = 0; i < m; ++i) {
+    // Teacher probabilities p = softmax(teacher / T).
+    double mx_t = -1e300, mx_s = -1e300;
+    for (std::size_t j = 0; j < n; ++j) {
+      mx_t = std::max(mx_t, static_cast<double>(teacher_logits(i, j)));
+      mx_s = std::max(mx_s, static_cast<double>(student_logits(i, j)));
+    }
+    double zt = 0.0, zs = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      p[j] = std::exp((teacher_logits(i, j) - mx_t) / temperature);
+      q[j] = std::exp((student_logits(i, j) - mx_s) / temperature);
+      zt += p[j];
+      zs += q[j];
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      p[j] /= zt;
+      q[j] /= zs;
+      // -p log q  with log q computed stably.
+      const double logq =
+          (student_logits(i, j) - mx_s) / temperature - std::log(zs);
+      total -= p[j] * logq;
+      // dL/d student_logit = (q - p) / (T * m)
+      res.grad(i, j) =
+          static_cast<float>((q[j] - p[j]) / (temperature * m));
+    }
+  }
+  res.value = total / static_cast<double>(m);
+  return res;
+}
+
+}  // namespace tgnn::nn

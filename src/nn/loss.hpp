@@ -1,0 +1,33 @@
+// Training losses:
+//  * Binary cross-entropy with logits — the self-supervised temporal link
+//    prediction objective (positive = observed temporal edge, negative =
+//    sampled non-edge).
+//  * Soft cross-entropy at temperature T — the knowledge-distillation loss
+//    of Eq. 17 that aligns the student's simplified attention logits with
+//    the teacher's vanilla attention logits.
+#pragma once
+
+#include <span>
+
+#include "tensor/tensor.hpp"
+
+namespace tgnn::nn {
+
+struct LossResult {
+  double value = 0.0;  ///< mean loss over the batch
+  Tensor grad;         ///< d loss / d logits (already divided by batch size)
+};
+
+/// BCE over logits x with targets y in {0,1}; both [m,1] (or any equal shape).
+LossResult bce_with_logits(const Tensor& logits, const Tensor& targets);
+
+/// Distillation loss between student and teacher attention logits (Eq. 17):
+///   L = -sum softmax(teacher/T) . log softmax(student/T), averaged over rows.
+/// Returns gradient w.r.t. the student logits. The teacher is a constant.
+LossResult soft_cross_entropy(const Tensor& student_logits,
+                              const Tensor& teacher_logits, double temperature);
+
+/// Numerically stable scalar sigmoid.
+double stable_sigmoid(double x);
+
+}  // namespace tgnn::nn

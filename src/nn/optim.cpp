@@ -1,0 +1,38 @@
+#include "nn/optim.hpp"
+
+#include <cmath>
+
+namespace tgnn::nn {
+
+Adam::Adam(ParamStore& store, Options opts) : store_(store), opts_(opts) {
+  m_.reserve(store.params().size());
+  v_.reserve(store.params().size());
+  for (const auto* p : store.params()) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(opts_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(opts_.beta2, static_cast<double>(t_));
+  const auto& params = store_.params();
+  for (std::size_t k = 0; k < params.size(); ++k) {
+    Parameter& p = *params[k];
+    Tensor& m = m_[k];
+    Tensor& v = v_[k];
+    for (std::size_t i = 0; i < p.value.size(); ++i) {
+      double g = p.grad[i];
+      if (opts_.weight_decay != 0.0) g += opts_.weight_decay * p.value[i];
+      m[i] = static_cast<float>(opts_.beta1 * m[i] + (1.0 - opts_.beta1) * g);
+      v[i] = static_cast<float>(opts_.beta2 * v[i] + (1.0 - opts_.beta2) * g * g);
+      const double mhat = m[i] / bc1;
+      const double vhat = v[i] / bc2;
+      p.value[i] -=
+          static_cast<float>(opts_.lr * mhat / (std::sqrt(vhat) + opts_.eps));
+    }
+  }
+}
+
+}  // namespace tgnn::nn

@@ -1,0 +1,38 @@
+// Adam optimizer (Kingma & Ba) over a ParamStore, with optional weight decay.
+#pragma once
+
+#include <vector>
+
+#include "nn/parameter.hpp"
+
+namespace tgnn::nn {
+
+class Adam {
+ public:
+  struct Options {
+    double lr = 1e-3;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double eps = 1e-8;
+    double weight_decay = 0.0;
+  };
+
+  Adam(ParamStore& store, Options opts);
+  explicit Adam(ParamStore& store) : Adam(store, Options()) {}
+
+  /// One update step from accumulated gradients.
+  void step();
+
+  void set_lr(double lr) { opts_.lr = lr; }
+  [[nodiscard]] double lr() const { return opts_.lr; }
+  [[nodiscard]] std::size_t steps() const { return t_; }
+
+ private:
+  ParamStore& store_;
+  Options opts_;
+  std::size_t t_ = 0;
+  std::vector<Tensor> m_;  ///< first-moment estimate per parameter
+  std::vector<Tensor> v_;  ///< second-moment estimate per parameter
+};
+
+}  // namespace tgnn::nn

@@ -1,0 +1,26 @@
+#include "nn/parameter.hpp"
+
+#include <cmath>
+
+namespace tgnn::nn {
+
+std::size_t ParamStore::count() const {
+  std::size_t n = 0;
+  for (const auto* p : params_) n += p->value.size();
+  return n;
+}
+
+double ParamStore::clip_grad_norm(double max_norm) {
+  double sq = 0.0;
+  for (const auto* p : params_)
+    for (std::size_t i = 0; i < p->grad.size(); ++i)
+      sq += static_cast<double>(p->grad[i]) * p->grad[i];
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm && norm > 0.0) {
+    const float scale = static_cast<float>(max_norm / norm);
+    for (auto* p : params_) p->grad *= scale;
+  }
+  return norm;
+}
+
+}  // namespace tgnn::nn

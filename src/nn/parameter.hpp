@@ -1,0 +1,52 @@
+// Learnable parameter = value tensor + gradient accumulator, plus a registry
+// that the optimizer walks. Layers own their Parameters and register them
+// with the module's ParamStore; the trainer hands the store to Adam.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace tgnn::nn {
+
+struct Parameter {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  Parameter() = default;
+  Parameter(std::string n, Tensor v)
+      : name(std::move(n)), value(std::move(v)),
+        grad(value.rows(), value.cols()) {}
+
+  void zero_grad() { grad.zero(); }
+};
+
+/// Flat registry of parameters owned by the model's layers.
+/// Non-owning: layers keep the Parameter objects alive.
+class ParamStore {
+ public:
+  void add(Parameter* p) { params_.push_back(p); }
+  void add_all(const std::vector<Parameter*>& ps) {
+    params_.insert(params_.end(), ps.begin(), ps.end());
+  }
+
+  [[nodiscard]] const std::vector<Parameter*>& params() const { return params_; }
+
+  void zero_grad() {
+    for (auto* p : params_) p->zero_grad();
+  }
+
+  /// Total number of scalar parameters.
+  [[nodiscard]] std::size_t count() const;
+
+  /// Global gradient-norm clipping (returns the pre-clip norm).
+  double clip_grad_norm(double max_norm);
+
+ private:
+  std::vector<Parameter*> params_;
+};
+
+}  // namespace tgnn::nn

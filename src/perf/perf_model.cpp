@@ -1,0 +1,104 @@
+#include "perf/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "fpga/data_loader.hpp"
+#include "fpga/embedding_unit.hpp"
+#include "fpga/memory_update_unit.hpp"
+
+namespace tgnn::perf {
+
+PerfModel::PerfModel(fpga::DesignConfig dc, fpga::FpgaDevice dev,
+                     core::ModelConfig mc)
+    : dc_(std::move(dc)), dev_(std::move(dev)), mc_(std::move(mc)),
+      ddr_(dev_.ddr_bandwidth_gbps) {}
+
+void PerfModel::set_vertices_per_edge(double v) {
+  if (v <= 0.0 || v > 2.0)
+    throw std::invalid_argument("vertices_per_edge must be in (0, 2]");
+  vertices_per_edge_ = v;
+}
+
+double PerfModel::measure_vertices_per_edge(const data::Dataset& ds,
+                                            const graph::BatchRange& range,
+                                            std::size_t nb) {
+  if (range.size() == 0 || nb == 0) return 2.0;
+  std::size_t vertices = 0, edges = 0;
+  for (std::size_t base = range.begin; base < range.end; base += nb) {
+    const std::size_t end = std::min(range.end, base + nb);
+    std::set<graph::NodeId> uniq;
+    for (std::size_t i = base; i < end; ++i) {
+      uniq.insert(ds.graph.edge(i).src);
+      uniq.insert(ds.graph.edge(i).dst);
+    }
+    vertices += uniq.size();
+    edges += end - base;
+  }
+  return static_cast<double>(vertices) / static_cast<double>(edges);
+}
+
+std::vector<double> PerfModel::stage_durations() const {
+  const double cyc = dc_.cycle_seconds();
+  const auto nv = static_cast<std::size_t>(
+      std::ceil(vertices_per_edge_ * static_cast<double>(dc_.nb)));
+
+  const fpga::MemoryUpdateUnit muu(dc_, mc_);
+  const fpga::EmbeddingUnit eu(dc_, mc_);
+  fpga::DataLoader loader(mc_);
+  fpga::BatchShape shape;
+  shape.edges = dc_.nb;
+  shape.vertices = nv;
+  shape.neighbors = nv * mc_.effective_neighbors();
+  shape.commits = nv;
+
+  // Mirror the simulator's 9-stage schedule (fpga/accelerator.cpp).
+  return {
+      loader.load_edges(shape).seconds(ddr_),
+      loader.load_vertex_state(shape).seconds(ddr_),
+      loader.prefetch_neighbors(shape).seconds(ddr_),
+      cyc * static_cast<double>(muu.encode_cycles(nv)),
+      cyc * static_cast<double>(muu.gate_cycles(nv)),
+      cyc * static_cast<double>(eu.attention_cycles(nv) +
+                                eu.encode_cycles(nv)),
+      cyc * static_cast<double>(eu.aggregation_cycles(nv) +
+                                eu.transform_cycles(nv)),
+      loader.writeback_state(shape).seconds(ddr_),
+      loader.store_embeddings(shape).seconds(ddr_),
+  };
+}
+
+Prediction PerfModel::steady_state() const {
+  const auto stages = stage_durations();
+
+  Prediction p;
+  // Eq. 19/20: the dominant compute stage.
+  p.t_comp_s = std::max({stages[3], stages[4], stages[5], stages[6]});
+  // Eq. 21: total load/store per processing batch.
+  p.t_ls_s = stages[0] + stages[1] + stages[2] + stages[7] + stages[8];
+  // Eq. 18. The DDR stages occupy distinct channels in the simulated
+  // architecture, so the steady-state period is bounded by the largest
+  // single stage, with Eq. 18's max(T_comp, T_LS) as the conservative cap.
+  const double max_stage = *std::max_element(stages.begin(), stages.end());
+  p.tp_s = std::max(p.t_comp_s, max_stage);
+  // Pipeline fill: first batch traverses every stage once.
+  p.fill_s = 0.0;
+  for (double s : stages) p.fill_s += s;
+  // Eq. 22, with the Ncu CUs working processing batches in parallel.
+  p.throughput_eps =
+      static_cast<double>(dc_.nb) * static_cast<double>(dc_.ncu) / p.tp_s;
+  return p;
+}
+
+Prediction PerfModel::predict(std::size_t batch_edges) const {
+  Prediction p = steady_state();
+  const double waves = std::ceil(static_cast<double>(batch_edges) /
+                                 static_cast<double>(dc_.nb * dc_.ncu));
+  // Eq. 22 refined: latency = fill + (waves - 1) * Tp.
+  p.latency_s = p.fill_s + std::max(0.0, waves - 1.0) * p.tp_s;
+  return p;
+}
+
+}  // namespace tgnn::perf

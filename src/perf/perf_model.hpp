@@ -1,0 +1,73 @@
+// Analytic performance model of Section V (Eq. 18-22).
+//
+// Given the algorithm parameters (feature widths, neighbor budget), the
+// design configuration (Ncu, Sg, SFAM, SFTM, Nb, frequency), and the memory
+// characteristics (peak bandwidth + burst efficiency alpha(l)), predicts
+// the pipeline period Tp, the maximum throughput Nb*Ncu/Tp, and the latency
+// of an N-edge batch.
+//
+// Two calibrations beyond the paper's closed forms, both computable from
+// workload statistics the model is allowed to know a priori:
+//  * vertices-per-edge: Eq. 20 implicitly assumes every edge contributes
+//    two distinct vertices per processing batch; real streams repeat
+//    endpoints. measure_vertices_per_edge() samples the dedup factor.
+//  * pipeline fill: Eq. 22 charges (beta - 1) full periods for fill; the
+//    scheduler's actual fill is the sum of the (unequal) stage durations.
+//
+// The model still deliberately excludes DDR refresh, per-chunk vertex-count
+// variance, and Updater commit contention — the error sources the paper
+// cites for its 9.9-12.8% mismatch (Fig. 6); the cycle simulator charges
+// all three.
+#pragma once
+
+#include "data/dataset.hpp"
+#include "fpga/ddr_model.hpp"
+#include "fpga/device.hpp"
+#include "tgnn/config.hpp"
+
+namespace tgnn::perf {
+
+struct Prediction {
+  double t_comp_s = 0.0;  ///< Eq. 19/20 (dominant compute stage)
+  double t_ls_s = 0.0;    ///< Eq. 21 (total load/store per batch)
+  double tp_s = 0.0;      ///< Eq. 18
+  double fill_s = 0.0;    ///< pipeline fill (first batch end-to-end)
+  double throughput_eps = 0.0;  ///< Eq. 22 (max throughput)
+  double latency_s = 0.0;       ///< Eq. 22 for a batch of N edges
+};
+
+class PerfModel {
+ public:
+  PerfModel(fpga::DesignConfig dc, fpga::FpgaDevice dev, core::ModelConfig mc);
+
+  /// Expected unique vertices touched per edge within an Nb window
+  /// (in (0, 2]); default 2.0 = worst case, no repeated endpoints.
+  void set_vertices_per_edge(double v);
+
+  /// Sample the dedup factor of a workload: mean unique endpoints per edge
+  /// over consecutive nb-edge windows of `range`.
+  static double measure_vertices_per_edge(const data::Dataset& ds,
+                                          const graph::BatchRange& range,
+                                          std::size_t nb);
+
+  /// Pipeline period and max throughput (batch-size independent).
+  [[nodiscard]] Prediction steady_state() const;
+
+  /// Full prediction for an application batch of `batch_edges` edges.
+  [[nodiscard]] Prediction predict(std::size_t batch_edges) const;
+
+  /// Number of pipeline stages beta in Eq. 22.
+  static constexpr std::size_t kBeta = 9;
+
+ private:
+  /// All 9 stage durations (seconds) for one processing batch.
+  [[nodiscard]] std::vector<double> stage_durations() const;
+
+  fpga::DesignConfig dc_;
+  fpga::FpgaDevice dev_;
+  core::ModelConfig mc_;
+  fpga::DdrModel ddr_;
+  double vertices_per_edge_ = 2.0;
+};
+
+}  // namespace tgnn::perf

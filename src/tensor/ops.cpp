@@ -1,0 +1,232 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tgnn::ops {
+
+namespace {
+
+// Parallelize GEMMs only when the output is large enough to amortize the
+// fork/join; tiny per-batch matrices (common at small TGNN batch sizes)
+// run serially for latency.
+constexpr std::size_t kParallelThreshold = 64 * 64;
+
+void check(bool cond, const char* msg) {
+  if (!cond) throw std::invalid_argument(msg);
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  check(a.cols() == b.rows(), "matmul: inner dims mismatch");
+  Tensor c(a.rows(), b.cols());
+  matmul_acc(a, b, c);
+  return c;
+}
+
+void matmul_acc(const Tensor& a, const Tensor& b, Tensor& c) {
+  check(a.cols() == b.rows(), "matmul_acc: inner dims mismatch");
+  check(c.rows() == a.rows() && c.cols() == b.cols(),
+        "matmul_acc: output shape mismatch");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // i-k-j loop order: unit-stride inner loop over both B and C rows.
+#pragma omp parallel for schedule(static) if (m * n >= kParallelThreshold)
+  for (std::size_t i = 0; i < m; ++i) {
+    float* crow = pc + i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float av = pa[i * k + kk];
+      if (av == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  check(a.cols() == b.cols(), "matmul_nt: inner dims mismatch");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  Tensor c(m, n);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+#pragma omp parallel for schedule(static) if (m * n >= kParallelThreshold)
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    float* crow = pc + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      float acc = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      crow[j] = acc;
+    }
+  }
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  Tensor c(a.cols(), b.cols());
+  matmul_tn_acc(a, b, c);
+  return c;
+}
+
+void matmul_tn_acc(const Tensor& a, const Tensor& b, Tensor& c) {
+  check(a.rows() == b.rows(), "matmul_tn: inner dims mismatch");
+  check(c.rows() == a.cols() && c.cols() == b.cols(),
+        "matmul_tn_acc: output shape mismatch");
+  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // Serial over k (accumulation order), parallel-safe only across i; keep
+  // serial: weight-gradient matrices are small (hidden x input dims).
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const float* arow = pa + kk * m;
+    const float* brow = pb + kk * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = pc + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+Tensor affine(const Tensor& x, const Tensor& w, const Tensor& b) {
+  check(w.cols() == x.cols(), "affine: weight in-dim mismatch");
+  check(b.size() == w.rows(), "affine: bias dim mismatch");
+  Tensor y = matmul_nt(x, w);
+  const std::size_t m = y.rows(), n = y.cols();
+  float* py = y.data();
+  const float* pb = b.data();
+#pragma omp parallel for schedule(static) if (m * n >= kParallelThreshold)
+  for (std::size_t i = 0; i < m; ++i) {
+    float* row = py + i * n;
+    for (std::size_t j = 0; j < n; ++j) row[j] += pb[j];
+  }
+  return y;
+}
+
+Tensor sigmoid(const Tensor& x) {
+  Tensor y = x;
+  sigmoid_inplace(y);
+  return y;
+}
+
+void sigmoid_inplace(Tensor& x) {
+  float* p = x.data();
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) p[i] = 1.0f / (1.0f + std::exp(-p[i]));
+}
+
+Tensor tanh(const Tensor& x) {
+  Tensor y = x;
+  tanh_inplace(y);
+  return y;
+}
+
+void tanh_inplace(Tensor& x) {
+  float* p = x.data();
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) p[i] = std::tanh(p[i]);
+}
+
+Tensor relu(const Tensor& x) {
+  Tensor y = x;
+  float* p = y.data();
+  for (std::size_t i = 0; i < y.size(); ++i) p[i] = std::max(0.0f, p[i]);
+  return y;
+}
+
+Tensor hadamard(const Tensor& a, const Tensor& b) {
+  check(a.rows() == b.rows() && a.cols() == b.cols(), "hadamard: shape mismatch");
+  Tensor c = a;
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::size_t i = 0; i < c.size(); ++i) pc[i] *= pb[i];
+  return c;
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  Tensor c = a;
+  c += b;
+  return c;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  Tensor c = a;
+  c -= b;
+  return c;
+}
+
+Tensor softmax_rows(const Tensor& x) {
+  Tensor y = x;
+  for (std::size_t i = 0; i < y.rows(); ++i) softmax_span(y.row(i));
+  return y;
+}
+
+void softmax_span(std::span<float> v) {
+  if (v.empty()) return;
+  float mx = v[0];
+  for (float f : v) mx = std::max(mx, f);
+  float total = 0.0f;
+  for (auto& f : v) {
+    f = std::exp(f - mx);
+    total += f;
+  }
+  const float inv = 1.0f / total;
+  for (auto& f : v) f *= inv;
+}
+
+Tensor concat_cols(const std::vector<const Tensor*>& parts) {
+  check(!parts.empty(), "concat_cols: no parts");
+  const std::size_t rows = parts[0]->rows();
+  std::size_t cols = 0;
+  for (const auto* p : parts) {
+    check(p->rows() == rows, "concat_cols: row mismatch");
+    cols += p->cols();
+  }
+  Tensor out(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    float* dst = out.data() + i * cols;
+    for (const auto* p : parts) {
+      const auto src = p->row(i);
+      std::copy(src.begin(), src.end(), dst);
+      dst += src.size();
+    }
+  }
+  return out;
+}
+
+Tensor slice_cols(const Tensor& x, std::size_t lo, std::size_t hi) {
+  check(lo <= hi && hi <= x.cols(), "slice_cols: bad range");
+  Tensor out(x.rows(), hi - lo);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const auto src = x.row(i);
+    std::copy(src.begin() + lo, src.begin() + hi, out.row(i).begin());
+  }
+  return out;
+}
+
+Tensor colsum(const Tensor& x) {
+  Tensor out(x.cols());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const auto src = x.row(i);
+    for (std::size_t j = 0; j < x.cols(); ++j) out[j] += src[j];
+  }
+  return out;
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  check(a.rows() == b.rows() && a.cols() == b.cols(), "max_abs_diff: shape");
+  float m = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  return m;
+}
+
+}  // namespace tgnn::ops

@@ -1,0 +1,60 @@
+// Dense kernels over Tensor: GEMM (plain / transposed variants), elementwise
+// activations, row-wise softmax, and column concatenation/slicing.
+//
+// GEMM is cache-blocked and OpenMP-parallel across row blocks; everything
+// the TGNN model computes — GRU gates, attention keys/queries/values, the
+// decoder — reduces to these kernels, so they are also what the
+// micro-benchmarks (bench/micro_kernels) measure.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace tgnn::ops {
+
+/// C = A[m,k] * B[k,n]. Allocates C.
+Tensor matmul(const Tensor& a, const Tensor& b);
+/// C = A[m,k] * B[n,k]^T  (B stored row-major as [n,k]). Allocates C[m,n].
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+/// C = A[k,m]^T * B[k,n]. Allocates C[m,n].
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+/// C += A[k,m]^T * B[k,n] (accumulating; used for weight-gradient updates).
+void matmul_tn_acc(const Tensor& a, const Tensor& b, Tensor& c);
+/// C += A[m,k] * B[k,n].
+void matmul_acc(const Tensor& a, const Tensor& b, Tensor& c);
+
+/// Y = X * W^T + broadcast(b); W is [out,in], b is [out] (1-D tensor).
+Tensor affine(const Tensor& x, const Tensor& w, const Tensor& b);
+
+/// Elementwise sigmoid / tanh (allocating and in-place variants).
+Tensor sigmoid(const Tensor& x);
+Tensor tanh(const Tensor& x);
+void sigmoid_inplace(Tensor& x);
+void tanh_inplace(Tensor& x);
+/// ReLU (used by the decoder MLP).
+Tensor relu(const Tensor& x);
+
+/// Elementwise product / sum (allocating).
+Tensor hadamard(const Tensor& a, const Tensor& b);
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+
+/// Row-wise softmax (numerically stable).
+Tensor softmax_rows(const Tensor& x);
+/// Softmax over a contiguous span (in place), numerically stable.
+void softmax_span(std::span<float> v);
+
+/// Column-wise concatenation of parts (all with equal row count).
+Tensor concat_cols(const std::vector<const Tensor*>& parts);
+/// Copy columns [lo, hi) of x into a new tensor.
+Tensor slice_cols(const Tensor& x, std::size_t lo, std::size_t hi);
+/// Sum over rows -> 1-D tensor of length cols (bias gradients).
+Tensor colsum(const Tensor& x);
+
+/// Max |a-b| over all elements; shapes must match. For tests.
+float max_abs_diff(const Tensor& a, const Tensor& b);
+
+}  // namespace tgnn::ops

@@ -1,0 +1,81 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace tgnn {
+
+Tensor Tensor::full(std::size_t rows, std::size_t cols, float v) {
+  Tensor t(rows, cols);
+  t.fill(v);
+  return t;
+}
+
+Tensor Tensor::randn(std::size_t rows, std::size_t cols, Rng& rng, float stddev) {
+  Tensor t(rows, cols);
+  for (std::size_t i = 0; i < t.size(); ++i)
+    t[i] = static_cast<float>(rng.normal(0.0, stddev));
+  return t;
+}
+
+Tensor Tensor::xavier(std::size_t fan_out, std::size_t fan_in, Rng& rng) {
+  Tensor t(fan_out, fan_in);
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  for (std::size_t i = 0; i < t.size(); ++i) t[i] = rng.uniform(-bound, bound);
+  return t;
+}
+
+Tensor Tensor::from(std::size_t rows, std::size_t cols,
+                    std::initializer_list<float> values) {
+  if (values.size() != rows * cols)
+    throw std::invalid_argument("Tensor::from: size mismatch");
+  Tensor t(rows, cols);
+  std::copy(values.begin(), values.end(), t.data());
+  return t;
+}
+
+void Tensor::reshape(std::size_t rows, std::size_t cols) {
+  if (rows * cols != data_.size())
+    throw std::invalid_argument("Tensor::reshape: size mismatch");
+  rows_ = rows;
+  cols_ = cols;
+}
+
+Tensor& Tensor::operator+=(const Tensor& o) {
+  if (o.size() != size()) throw std::invalid_argument("Tensor+=: size mismatch");
+  for (std::size_t i = 0; i < size(); ++i) data_[i] += o.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& o) {
+  if (o.size() != size()) throw std::invalid_argument("Tensor-=: size mismatch");
+  for (std::size_t i = 0; i < size(); ++i) data_[i] -= o.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float s) {
+  for (auto& v : data_) v *= s;
+  return *this;
+}
+
+float Tensor::sum() const {
+  double acc = 0.0;
+  for (float v : data_) acc += v;
+  return static_cast<float>(acc);
+}
+
+float Tensor::abs_max() const {
+  float m = 0.0f;
+  for (float v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+std::string Tensor::shape_str() const {
+  return "[" + std::to_string(rows_) + ", " + std::to_string(cols_) + "]";
+}
+
+}  // namespace tgnn

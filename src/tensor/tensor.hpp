@@ -1,0 +1,103 @@
+// Dense row-major float32 tensor. This is the numeric substrate everything
+// else builds on: the NN layers, the reference TGNN datapath, and the
+// functional mode of the FPGA simulator all operate on these buffers.
+//
+// Design notes (deliberate restrictions):
+//  * float32 only — matches the paper's IEEE float32 accelerator datapath.
+//  * rank 1 or 2 — the TGNN model only needs vectors and matrices; batched
+//    3-D tensors are expressed as [batch*rows, cols] slices.
+//  * owning, contiguous storage — views are expressed via spans/offsets in
+//    the ops layer, keeping aliasing rules trivial.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tgnn {
+
+class Rng;
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// 1-D tensor of `n` zeros.
+  explicit Tensor(std::size_t n) : rows_(n), cols_(1), data_(n, 0.0f) {}
+
+  /// 2-D tensor of zeros.
+  Tensor(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+  static Tensor zeros(std::size_t rows, std::size_t cols) {
+    return Tensor(rows, cols);
+  }
+  static Tensor full(std::size_t rows, std::size_t cols, float v);
+  /// I.i.d. normal(0, stddev).
+  static Tensor randn(std::size_t rows, std::size_t cols, Rng& rng,
+                      float stddev = 1.0f);
+  /// Xavier/Glorot uniform for a [fan_out, fan_in] weight matrix.
+  static Tensor xavier(std::size_t fan_out, std::size_t fan_in, Rng& rng);
+  /// Build from explicit values (row-major), for tests.
+  static Tensor from(std::size_t rows, std::size_t cols,
+                     std::initializer_list<float> values);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  float& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  float operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  float& operator[](std::size_t i) {
+    assert(i < data_.size());
+    return data_[i];
+  }
+  float operator[](std::size_t i) const {
+    assert(i < data_.size());
+    return data_[i];
+  }
+
+  [[nodiscard]] float* data() { return data_.data(); }
+  [[nodiscard]] const float* data() const { return data_.data(); }
+
+  /// Mutable / const view of row r.
+  [[nodiscard]] std::span<float> row(std::size_t r) {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const float> row(std::size_t r) const {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  void fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+  void zero() { fill(0.0f); }
+
+  /// Reinterpret as [rows, cols]; total size must match.
+  void reshape(std::size_t rows, std::size_t cols);
+
+  /// Elementwise in-place helpers (shape-checked).
+  Tensor& operator+=(const Tensor& o);
+  Tensor& operator-=(const Tensor& o);
+  Tensor& operator*=(float s);
+
+  [[nodiscard]] float sum() const;
+  [[nodiscard]] float abs_max() const;
+  [[nodiscard]] std::string shape_str() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace tgnn

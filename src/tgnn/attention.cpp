@@ -1,0 +1,136 @@
+#include "tgnn/attention.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace tgnn::core {
+
+VanillaAttention::VanillaAttention(const ModelConfig& cfg, tgnn::Rng& rng)
+    : wq("attn.wq", cfg.q_in_dim(), cfg.emb_dim, rng),
+      wk("attn.wk", cfg.kv_in_dim(), cfg.emb_dim, rng),
+      wv("attn.wv", cfg.kv_in_dim(), cfg.emb_dim, rng),
+      wo("attn.wo", cfg.emb_dim + cfg.mem_dim, cfg.emb_dim, rng) {}
+
+Tensor VanillaAttention::forward(std::span<const float> f_self,
+                                 const AttnNodeInput& in, Cache* cache) const {
+  const std::size_t n = in.kv_in.rows();
+  const std::size_t emb = wq.out_dim();
+
+  Tensor q = wq.forward(in.q_in);  // [1, emb]
+  Tensor k, v, logits, alpha, attn(1, emb);
+  if (n > 0) {
+    k = wk.forward(in.kv_in);  // [n, emb]
+    v = wv.forward(in.kv_in);  // [n, emb]
+    const float scale = 1.0f / std::sqrt(static_cast<float>(n));
+    logits = Tensor(1, n);
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::size_t d = 0; d < emb; ++d) acc += q(0, d) * k(j, d);
+      logits(0, j) = acc * scale;
+    }
+    alpha = logits;
+    ops::softmax_span(alpha.row(0));
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t d = 0; d < emb; ++d) attn(0, d) += alpha(0, j) * v(j, d);
+  }
+
+  // FTM: h = W_o [attn || f'_i] + b_o
+  Tensor fo_in(1, emb + f_self.size());
+  for (std::size_t d = 0; d < emb; ++d) fo_in(0, d) = attn(0, d);
+  for (std::size_t d = 0; d < f_self.size(); ++d)
+    fo_in(0, emb + d) = f_self[d];
+  Tensor h = wo.forward(fo_in);
+
+  if (cache) {
+    cache->in = in;
+    cache->q = std::move(q);
+    cache->k = std::move(k);
+    cache->v = std::move(v);
+    cache->logits = std::move(logits);
+    cache->alpha = std::move(alpha);
+    cache->attn = std::move(attn);
+    cache->fo_in = std::move(fo_in);
+  }
+  return h;
+}
+
+std::vector<float> VanillaAttention::logits(std::span<const float> /*f_self*/,
+                                            const AttnNodeInput& in) const {
+  const std::size_t n = in.kv_in.rows();
+  std::vector<float> out(n, 0.0f);
+  if (n == 0) return out;
+  Tensor q = wq.forward(in.q_in);
+  Tensor k = wk.forward(in.kv_in);
+  const std::size_t emb = wq.out_dim();
+  const float scale = 1.0f / std::sqrt(static_cast<float>(n));
+  for (std::size_t j = 0; j < n; ++j) {
+    float acc = 0.0f;
+    for (std::size_t d = 0; d < emb; ++d) acc += q(0, d) * k(j, d);
+    out[j] = acc * scale;
+  }
+  return out;
+}
+
+VanillaAttention::InputGrads VanillaAttention::backward(const Cache& c,
+                                                        const Tensor& dh) {
+  const std::size_t n = c.in.kv_in.rows();
+  const std::size_t emb = wq.out_dim();
+  const std::size_t mem = c.fo_in.cols() - emb;
+
+  // FTM backward.
+  Tensor dfo_in = wo.backward(c.fo_in, dh);  // [1, emb+mem]
+  Tensor dattn(1, emb);
+  InputGrads g;
+  g.df_self = Tensor(1, mem);
+  for (std::size_t d = 0; d < emb; ++d) dattn(0, d) = dfo_in(0, d);
+  for (std::size_t d = 0; d < mem; ++d) g.df_self(0, d) = dfo_in(0, emb + d);
+
+  Tensor dq(1, emb);
+  if (n > 0) {
+    // attn = sum_j alpha_j v_j
+    Tensor dalpha(1, n), dv(n, emb);
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::size_t d = 0; d < emb; ++d) {
+        acc += dattn(0, d) * c.v(j, d);
+        dv(j, d) = c.alpha(0, j) * dattn(0, d);
+      }
+      dalpha(0, j) = acc;
+    }
+    // Softmax backward: dlogit_j = alpha_j * (dalpha_j - sum_k alpha_k dalpha_k)
+    float dot = 0.0f;
+    for (std::size_t j = 0; j < n; ++j) dot += c.alpha(0, j) * dalpha(0, j);
+    Tensor dlogits(1, n);
+    for (std::size_t j = 0; j < n; ++j)
+      dlogits(0, j) = c.alpha(0, j) * (dalpha(0, j) - dot);
+
+    // logits_j = scale * q . k_j
+    const float scale = 1.0f / std::sqrt(static_cast<float>(n));
+    Tensor dk(n, emb);
+    for (std::size_t j = 0; j < n; ++j) {
+      const float dl = dlogits(0, j) * scale;
+      for (std::size_t d = 0; d < emb; ++d) {
+        dq(0, d) += dl * c.k(j, d);
+        dk(j, d) = dl * c.q(0, d);
+      }
+    }
+    // Linear backwards accumulate param grads and give input grads.
+    g.dkv_in = wk.backward(c.in.kv_in, dk);
+    g.dkv_in += wv.backward(c.in.kv_in, dv);
+  } else {
+    g.dkv_in = Tensor(0, wk.in_dim());
+  }
+  g.dq_in = wq.backward(c.in.q_in, dq);
+  return g;
+}
+
+std::vector<nn::Parameter*> VanillaAttention::parameters() {
+  std::vector<nn::Parameter*> out;
+  for (auto* l : {&wq, &wk, &wv, &wo})
+    for (auto* p : l->parameters()) out.push_back(p);
+  return out;
+}
+
+}  // namespace tgnn::core

@@ -1,0 +1,72 @@
+// Vanilla temporal attention aggregator (Eq. 11-15) — the teacher model's
+// GNN layer and the paper's baseline.
+//
+// Per target node i with n timestamp-sorted temporal neighbors:
+//   q     = W_q [f'_i || Phi(0)] + b_q
+//   K_j   = W_k [f'_j || e_ij || Phi(dt_j)] + b_k
+//   V_j   = W_v [f'_j || e_ij || Phi(dt_j)] + b_v
+//   alpha = softmax(q K^T / sqrt(n))
+//   attn  = alpha V
+//   h_i   = W_o [attn || f'_i] + b_o            (Feature Transformation)
+//
+// The final projection is the paper's FTM ("transform(h_v, s_v, W)").
+// Nodes with zero neighbors produce attn = 0 and still pass through the FTM,
+// so cold-start vertices get an embedding derived from their own state.
+//
+// forward() caches everything backward() needs; backward() returns gradients
+// w.r.t. the q-input row and the kv-input rows so the model can route the
+// slices (self state, edge features, time encodings) to their producers.
+#pragma once
+
+#include "nn/linear.hpp"
+#include "tgnn/config.hpp"
+
+namespace tgnn::core {
+
+/// Per-node attention workspace (inputs assembled by the model).
+struct AttnNodeInput {
+  Tensor q_in;   ///< [1, q_in_dim] = [f'_i || Phi(0)]
+  Tensor kv_in;  ///< [n, kv_in_dim] = rows [f'_j || e_ij || Phi(dt_j)]
+};
+
+class VanillaAttention {
+ public:
+  struct Cache {
+    AttnNodeInput in;
+    Tensor q;       ///< [1, emb]
+    Tensor k;       ///< [n, emb]
+    Tensor v;       ///< [n, emb]
+    Tensor logits;  ///< [1, n] (scaled)
+    Tensor alpha;   ///< [1, n]
+    Tensor attn;    ///< [1, emb]
+    Tensor fo_in;   ///< [1, emb + mem] = [attn || f'_i]
+  };
+
+  struct InputGrads {
+    Tensor dq_in;   ///< [1, q_in_dim]
+    Tensor dkv_in;  ///< [n, kv_in_dim]
+    Tensor df_self; ///< [1, mem] — gradient reaching f'_i via the FTM skip path
+  };
+
+  VanillaAttention() = default;
+  VanillaAttention(const ModelConfig& cfg, tgnn::Rng& rng);
+
+  /// f_self: the target's f'_i (length mem_dim). Returns h_i [1, emb].
+  Tensor forward(std::span<const float> f_self, const AttnNodeInput& in,
+                 Cache* cache = nullptr) const;
+
+  /// Attention logits only (for distillation teachers): [n] scaled scores.
+  [[nodiscard]] std::vector<float> logits(std::span<const float> f_self,
+                                          const AttnNodeInput& in) const;
+
+  InputGrads backward(const Cache& cache, const Tensor& dh);
+
+  [[nodiscard]] std::vector<nn::Parameter*> parameters();
+
+  nn::Linear wq;  ///< q_in_dim  -> emb
+  nn::Linear wk;  ///< kv_in_dim -> emb
+  nn::Linear wv;  ///< kv_in_dim -> emb
+  nn::Linear wo;  ///< emb + mem -> emb   (FTM)
+};
+
+}  // namespace tgnn::core

@@ -1,0 +1,73 @@
+#include "tgnn/complexity.hpp"
+
+namespace tgnn::core {
+
+ComplexityReport analyze(const ModelConfig& cfg) {
+  const auto mem = static_cast<double>(cfg.mem_dim);
+  const auto time = static_cast<double>(cfg.time_dim);
+  const auto emb = static_cast<double>(cfg.emb_dim);
+  const auto edge = static_cast<double>(cfg.edge_dim);
+  const auto node = static_cast<double>(cfg.node_dim);
+  const auto mr = static_cast<double>(cfg.num_neighbors);
+  const auto n_eff = static_cast<double>(cfg.effective_neighbors());
+  const bool lut = cfg.time_encoder == TimeEncoderKind::kLut;
+  const bool sat = cfg.attention == AttentionKind::kSimplified;
+
+  ComplexityReport r;
+
+  // --- sample: read the vertex's neighbor-table row (id, eid, ts per slot).
+  r.sample.mems = mr * 3.0;
+  r.sample.macs = 0.0;
+
+  // --- memory: read cached mail + own memory; encode mail age; run GRU.
+  const double raw_mail = 2.0 * mem + edge;
+  r.memory.mems = raw_mail + mem;
+  // Time encoding of the mail age (cos: one fma per output element; LUT: 0).
+  double gru_in = raw_mail + time;
+  double enc_macs = lut ? 0.0 : time;
+  // With the LUT encoder the Phi-slice x W_i* products are pre-fused into
+  // the table (§III-C), so the GRU's effective input width shrinks by time.
+  if (lut) gru_in -= time;
+  r.memory.macs = enc_macs + 3.0 * (gru_in + mem) * mem;
+
+  // --- gnn: attention over n_eff neighbors + feature transformation.
+  // Per neighbor loads: neighbor memory + edge feature.
+  r.gnn.mems = n_eff * (mem + edge);
+  if (node > 0.0) r.gnn.mems += (n_eff + 1.0) * node;  // node features
+
+  double kv_in = mem + edge + time;
+  double q_in = mem + time;
+  if (lut) {
+    kv_in -= time;  // Phi x W pre-fused
+    q_in -= time;
+  }
+  const double enc_per_nbr = lut ? 0.0 : time;
+  double gnn_macs = 0.0;
+  if (node > 0.0) gnn_macs += (n_eff + 1.0) * node * mem;  // W_s f projections
+  if (sat) {
+    // Logits: a + W_t dt over mr slots; V for kept slots only; weighted sum;
+    // FTM.
+    gnn_macs += mr * mr;                            // W_t dt
+    gnn_macs += n_eff * (enc_per_nbr + kv_in * emb);  // Phi + V
+    gnn_macs += n_eff * emb;                        // alpha-weighted sum
+  } else {
+    gnn_macs += q_in * emb + (lut ? 0.0 : time);     // q (+ Phi(0))
+    gnn_macs += n_eff * (enc_per_nbr + 2.0 * kv_in * emb);  // Phi + K + V
+    gnn_macs += n_eff * emb * 2.0;                   // q.k scores + alpha V
+  }
+  gnn_macs += (emb + mem) * emb;  // FTM
+  r.gnn.macs = gnn_macs;
+
+  // --- update: write back memory, mail, neighbor-table entry.
+  r.update.mems = mem + raw_mail + 3.0;
+  r.update.macs = 0.0;
+
+  return r;
+}
+
+double bytes_per_embedding(const ModelConfig& cfg) {
+  const ComplexityReport r = analyze(cfg);
+  return r.total_mems() * 4.0;
+}
+
+}  // namespace tgnn::core

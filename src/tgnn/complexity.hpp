@@ -1,0 +1,48 @@
+// Analytic complexity meter: MACs and external-memory element accesses per
+// generated dynamic node embedding, broken down into the paper's four parts
+// (sample / memory / GNN / update — Table I) and reacting to every model
+// switch (SAT, LUT, NP — Table II).
+//
+// Counting conventions (matching §II-B):
+//  * learnable parameters are assumed resident on-chip — weight reads are
+//    NOT memory accesses;
+//  * a MEM is one 4-byte element moved from/to external memory;
+//  * a MAC is one multiply-accumulate; the dot-product score q.k counts emb
+//    MACs per neighbor; cos() evaluation counts 1 MAC per output element
+//    (the omega*dt + phi fma).
+#pragma once
+
+#include "tgnn/config.hpp"
+
+namespace tgnn::core {
+
+struct PartCount {
+  double macs = 0.0;
+  double mems = 0.0;
+};
+
+struct ComplexityReport {
+  PartCount sample;  ///< neighbor-table access
+  PartCount memory;  ///< message aggregation + GRU memory update
+  PartCount gnn;     ///< attention aggregation + feature transform
+  PartCount update;  ///< write-back of memory / mail / neighbor table
+
+  [[nodiscard]] double total_macs() const {
+    return sample.macs + memory.macs + gnn.macs + update.macs;
+  }
+  [[nodiscard]] double total_mems() const {
+    return sample.mems + memory.mems + gnn.mems + update.mems;
+  }
+  /// Split used by Table II's #(GRU) / #(GNN) columns.
+  [[nodiscard]] double gru_macs() const { return memory.macs; }
+  [[nodiscard]] double gnn_macs() const { return gnn.macs; }
+};
+
+/// Per-embedding counts for the given configuration.
+ComplexityReport analyze(const ModelConfig& cfg);
+
+/// External-memory *bytes* moved per embedding (Zd = 4): drives the FPGA
+/// DDR traffic model and the GPU roofline baseline.
+double bytes_per_embedding(const ModelConfig& cfg);
+
+}  // namespace tgnn::core

@@ -1,0 +1,47 @@
+#include "tgnn/config.hpp"
+
+#include <stdexcept>
+
+namespace tgnn::core {
+
+ModelConfig baseline_config(std::size_t edge_dim, std::size_t node_dim) {
+  ModelConfig cfg;
+  cfg.edge_dim = edge_dim;
+  cfg.node_dim = node_dim;
+  return cfg;
+}
+
+ModelConfig np_config(char size, std::size_t edge_dim, std::size_t node_dim) {
+  ModelConfig cfg = baseline_config(edge_dim, node_dim);
+  cfg.attention = AttentionKind::kSimplified;
+  cfg.time_encoder = TimeEncoderKind::kLut;
+  switch (size) {
+    case 'L': cfg.prune_budget = 6; break;
+    case 'M': cfg.prune_budget = 4; break;
+    case 'S': cfg.prune_budget = 2; break;
+    default: throw std::invalid_argument("np_config: size must be L/M/S");
+  }
+  return cfg;
+}
+
+std::vector<ModelPreset> presets(std::size_t edge_dim, std::size_t node_dim) {
+  std::vector<ModelPreset> out;
+  ModelConfig cfg = baseline_config(edge_dim, node_dim);
+  out.push_back({"Baseline", cfg});
+
+  cfg.attention = AttentionKind::kSimplified;
+  out.push_back({"+SAT", cfg});
+
+  cfg.time_encoder = TimeEncoderKind::kLut;
+  out.push_back({"+LUT", cfg});
+
+  cfg.prune_budget = 6;
+  out.push_back({"+NP(L)", cfg});
+  cfg.prune_budget = 4;
+  out.push_back({"+NP(M)", cfg});
+  cfg.prune_budget = 2;
+  out.push_back({"+NP(S)", cfg});
+  return out;
+}
+
+}  // namespace tgnn::core

@@ -1,0 +1,84 @@
+// Model configuration for TGN-attn and its co-designed variants.
+//
+// The paper's ablation ladder (Table II) is expressed as four switches:
+//   Baseline  : vanilla attention + cos time encoder + 10 neighbors
+//   +SAT      : simplified attention (Eq. 16)
+//   +LUT      : LUT time encoder (§III-C)
+//   +NP(L/M/S): neighbor pruning budget 6/4/2 (§III-B)
+// `presets()` below returns exactly that ladder.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tgnn::core {
+
+enum class AttentionKind {
+  kVanilla,     ///< Transformer-style temporal attention (Eq. 11-15)
+  kSimplified,  ///< time-difference-only attention (Eq. 16)
+};
+
+enum class TimeEncoderKind {
+  kCos,  ///< Phi(dt) = cos(omega*dt + phi) (Eq. 6)
+  kLut,  ///< 128-entry equal-frequency look-up table (§III-C)
+};
+
+struct ModelConfig {
+  std::size_t mem_dim = 100;   ///< node memory width |s_v|
+  std::size_t time_dim = 100;  ///< time-encoding width |Phi(dt)|
+  std::size_t emb_dim = 100;   ///< output embedding width |h_v|
+  std::size_t edge_dim = 172;  ///< |f_e| (0 for GDELT-like data)
+  std::size_t node_dim = 0;    ///< |f_v| (200 for GDELT-like data)
+
+  std::size_t num_neighbors = 10;  ///< sampler budget mr (Vertex Neighbor Table width)
+  std::size_t prune_budget = 0;    ///< NP budget; 0 = pruning disabled
+
+  AttentionKind attention = AttentionKind::kVanilla;
+  TimeEncoderKind time_encoder = TimeEncoderKind::kCos;
+  std::size_t lut_bins = 128;
+
+  std::size_t decoder_hidden = 64;  ///< downstream link-prediction MLP width
+
+  /// Raw cached-message width: [s_self || s_other || f_e].
+  [[nodiscard]] std::size_t raw_mail_dim() const {
+    return 2 * mem_dim + edge_dim;
+  }
+  /// GRU input width: raw mail plus the time encoding of the mail age.
+  [[nodiscard]] std::size_t gru_in_dim() const {
+    return raw_mail_dim() + time_dim;
+  }
+  /// Attention key/value input width: [f'_j || e_ij || Phi(dt)].
+  [[nodiscard]] std::size_t kv_in_dim() const {
+    return mem_dim + edge_dim + time_dim;
+  }
+  /// Attention query input width: [f'_i || Phi(0)].
+  [[nodiscard]] std::size_t q_in_dim() const { return mem_dim + time_dim; }
+
+  /// Neighbors actually aggregated after pruning.
+  [[nodiscard]] std::size_t effective_neighbors() const {
+    return (prune_budget > 0 && prune_budget < num_neighbors) ? prune_budget
+                                                              : num_neighbors;
+  }
+
+  [[nodiscard]] bool uses_pruning() const {
+    return prune_budget > 0 && prune_budget < num_neighbors;
+  }
+};
+
+/// One rung of the Table II ladder.
+struct ModelPreset {
+  std::string label;  ///< "Baseline", "+SAT", "+LUT", "+NP(L)", ...
+  ModelConfig config;
+};
+
+/// The accumulated-optimization ladder of Table II for a dataset with the
+/// given feature dims.
+std::vector<ModelPreset> presets(std::size_t edge_dim, std::size_t node_dim);
+
+/// Named single presets (for benches that need one row).
+ModelConfig baseline_config(std::size_t edge_dim, std::size_t node_dim);
+ModelConfig np_config(char size /* 'L','M','S' */, std::size_t edge_dim,
+                      std::size_t node_dim);
+
+}  // namespace tgnn::core

@@ -1,0 +1,330 @@
+#include "tgnn/inference.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "tgnn/message.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace tgnn::core {
+
+RuntimeState::RuntimeState(graph::NodeId num_nodes, const ModelConfig& cfg,
+                           bool use_fifo)
+    : memory(num_nodes, cfg.mem_dim),
+      mailbox(num_nodes, cfg.raw_mail_dim()),
+      mail_valid(num_nodes, 0) {
+  if (use_fifo)
+    table = std::make_unique<graph::NeighborTable>(num_nodes,
+                                                   cfg.num_neighbors);
+  else
+    finder = std::make_unique<graph::NeighborFinder>(num_nodes);
+}
+
+std::vector<graph::NeighborHit> RuntimeState::neighbors(graph::NodeId v,
+                                                        double t,
+                                                        std::size_t k) const {
+  if (finder) return finder->most_recent(v, t, k);
+  // FIFO table: all stored entries are strictly in the past (batch edges are
+  // inserted after embedding computation), so the row is directly usable.
+  auto row = table->row(v);
+  if (row.size() > k) row.erase(row.begin(), row.end() - static_cast<long>(k));
+  return row;
+}
+
+void RuntimeState::insert_edge(const graph::TemporalEdge& e) {
+  if (finder)
+    finder->insert(e);
+  else
+    table->insert_edge(e);
+}
+
+void RuntimeState::reset() {
+  memory.reset();
+  mailbox.reset();
+  std::fill(mail_valid.begin(), mail_valid.end(), 0);
+  if (finder) finder->clear();
+  if (table)
+    table = std::make_unique<graph::NeighborTable>(memory.num_nodes(),
+                                                   table->capacity());
+}
+
+InferenceEngine::InferenceEngine(const TgnModel& model, const data::Dataset& ds,
+                                 bool use_fifo_sampler)
+    : model_(model), ds_(ds),
+      state_(ds.graph.num_nodes(), model.config(), use_fifo_sampler) {
+  std::set<graph::NodeId> dsts;
+  for (const auto& e : ds.graph.edges()) dsts.insert(e.dst);
+  dst_pool_.assign(dsts.begin(), dsts.end());
+}
+
+InferenceEngine::BatchResult InferenceEngine::process_batch(
+    const graph::BatchRange& r, std::span<const graph::NodeId> extra_nodes,
+    PartTimes* times) {
+  const ModelConfig& cfg = model_.config();
+  const auto edges = ds_.graph.edges(r);
+  Stopwatch sw;
+
+  // ---- collect unique involved vertices; per-vertex event time = its most
+  // recent timestamp within the batch (in-batch dependencies are ignored).
+  BatchResult res;
+  std::vector<double> t_event;
+  auto touch = [&](graph::NodeId v, double ts) {
+    auto [it, inserted] = res.index.try_emplace(v, res.nodes.size());
+    if (inserted) {
+      res.nodes.push_back(v);
+      t_event.push_back(ts);
+    } else {
+      t_event[it->second] = std::max(t_event[it->second], ts);
+    }
+  };
+  const double t_batch_end = edges.empty() ? 0.0 : edges.back().ts;
+  for (const auto& e : edges) {
+    touch(e.src, e.ts);
+    touch(e.dst, e.ts);
+  }
+  const std::size_t num_real = res.nodes.size();
+  for (graph::NodeId v : extra_nodes) touch(v, t_batch_end);
+  const std::size_t n_nodes = res.nodes.size();
+
+  // ---- sample: neighbor lists BEFORE this batch's edges are inserted.
+  std::vector<std::vector<graph::NeighborHit>> nbrs(n_nodes);
+  for (std::size_t i = 0; i < n_nodes; ++i)
+    nbrs[i] = state_.neighbors(res.nodes[i], t_event[i], cfg.num_neighbors);
+  if (times) times->sample += sw.seconds();
+
+  // ---- memory: consume cached mail through the GRU (Eq. 1).
+  sw.reset();
+  std::vector<std::size_t> mail_rows;  // indices into res.nodes
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    const graph::NodeId v = res.nodes[i];
+    if (state_.mailbox.has_mail(v) && state_.mail_valid[v]) mail_rows.push_back(i);
+  }
+  Tensor s_new;  // [mail_rows, mem]
+  if (!mail_rows.empty()) {
+    Tensor x(mail_rows.size(), cfg.gru_in_dim());
+    Tensor h(mail_rows.size(), cfg.mem_dim);
+    std::vector<double> dts(mail_rows.size());
+    for (std::size_t k = 0; k < mail_rows.size(); ++k) {
+      const std::size_t i = mail_rows[k];
+      const graph::NodeId v = res.nodes[i];
+      const auto mail = state_.mailbox.mail(v);
+      dts[k] = std::max(0.0, t_event[i] - state_.mailbox.mail_ts(v));
+      auto row = x.row(k);
+      std::copy(mail.begin(), mail.end(), row.begin());
+      model_.time_encoder().encode_scalar(dts[k],
+                                          row.subspan(mail.size(), cfg.time_dim));
+      const auto mem = state_.memory.get(v);
+      std::copy(mem.begin(), mem.end(), h.row(k).begin());
+    }
+    s_new = model_.updater().forward(x, h);
+  }
+  // Row lookup: updated memory if in this batch's mail set, else the table.
+  std::vector<const float*> mem_ptr(n_nodes, nullptr);
+  for (std::size_t i = 0; i < n_nodes; ++i)
+    mem_ptr[i] = state_.memory.get(res.nodes[i]).data();
+  for (std::size_t k = 0; k < mail_rows.size(); ++k)
+    mem_ptr[mail_rows[k]] = s_new.row(k).data();
+  auto memory_of = [&](graph::NodeId v) -> std::span<const float> {
+    auto it = res.index.find(v);
+    if (it != res.index.end())
+      return {mem_ptr[it->second], cfg.mem_dim};
+    return state_.memory.get(v);
+  };
+  auto node_feat_of = [&](graph::NodeId v) -> std::span<const float> {
+    if (cfg.node_dim == 0) return {};
+    return ds_.node_features.row(v);
+  };
+  if (times) times->memory += sw.seconds();
+
+  // ---- GNN: dynamic embeddings via attention over sampled neighbors (Eq. 2).
+  sw.reset();
+  res.embeddings = Tensor(n_nodes, cfg.emb_dim);
+#pragma omp parallel for schedule(dynamic, 8) if (parallel_gnn_)
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    Tensor fp_buf(1, cfg.mem_dim);
+    const graph::NodeId u = res.nodes[i];
+    const auto& nb = nbrs[i];
+    model_.f_prime(memory_of(u), node_feat_of(u), fp_buf.row(0));
+
+    Tensor h;
+    if (const auto* att = model_.vanilla()) {
+      AttnNodeInput in;
+      in.q_in = Tensor(1, cfg.q_in_dim());
+      {
+        auto q = in.q_in.row(0);
+        std::copy(fp_buf.row(0).begin(), fp_buf.row(0).end(), q.begin());
+        model_.time_encoder().encode_scalar(0.0,
+                                            q.subspan(cfg.mem_dim, cfg.time_dim));
+      }
+      in.kv_in = Tensor(nb.size(), cfg.kv_in_dim());
+      Tensor fpj(1, cfg.mem_dim);
+      for (std::size_t j = 0; j < nb.size(); ++j) {
+        auto row = in.kv_in.row(j);
+        model_.f_prime(memory_of(nb[j].node), node_feat_of(nb[j].node),
+                       fpj.row(0));
+        std::copy(fpj.row(0).begin(), fpj.row(0).end(), row.begin());
+        if (cfg.edge_dim > 0) {
+          const auto ef = ds_.edge_features.row(nb[j].eid);
+          std::copy(ef.begin(), ef.end(), row.begin() + cfg.mem_dim);
+        }
+        model_.time_encoder().encode_scalar(
+            std::max(0.0, t_event[i] - nb[j].ts),
+            row.subspan(cfg.mem_dim + cfg.edge_dim, cfg.time_dim));
+      }
+      h = att->forward(fp_buf.row(0), in);
+    } else {
+      const auto* sat = model_.simplified();
+      std::vector<double> dts(nb.size());
+      for (std::size_t j = 0; j < nb.size(); ++j)
+        dts[j] = std::max(0.0, t_event[i] - nb[j].ts);
+      const auto scores = sat->score(dts, cfg.prune_budget);
+      Tensor v_in(scores.keep.size(), cfg.kv_in_dim());
+      Tensor fpj(1, cfg.mem_dim);
+      for (std::size_t k = 0; k < scores.keep.size(); ++k) {
+        const auto& hit = nb[scores.keep[k]];
+        auto row = v_in.row(k);
+        model_.f_prime(memory_of(hit.node), node_feat_of(hit.node), fpj.row(0));
+        std::copy(fpj.row(0).begin(), fpj.row(0).end(), row.begin());
+        if (cfg.edge_dim > 0) {
+          const auto ef = ds_.edge_features.row(hit.eid);
+          std::copy(ef.begin(), ef.end(), row.begin() + cfg.mem_dim);
+        }
+        model_.time_encoder().encode_scalar(
+            dts[scores.keep[k]],
+            row.subspan(cfg.mem_dim + cfg.edge_dim, cfg.time_dim));
+      }
+      h = sat->aggregate(fp_buf.row(0), scores, v_in);
+    }
+    std::copy(h.row(0).begin(), h.row(0).end(), res.embeddings.row(i).begin());
+  }
+  if (times) times->gnn += sw.seconds();
+
+  // ---- update: chronological write-back (Alg. 1 lines 4-8, 12-14).
+  // Extra (negative-sample) vertices were embedded with their *transiently*
+  // updated memory, but only vertices with real events commit state — the
+  // TGN convention for evaluation negatives.
+  sw.reset();
+  for (std::size_t k = 0; k < mail_rows.size(); ++k) {
+    const std::size_t i = mail_rows[k];
+    if (i >= num_real) continue;
+    const graph::NodeId v = res.nodes[i];
+    state_.memory.set(v, s_new.row(k), t_event[i]);
+    state_.mail_valid[v] = 0;  // consume-once
+  }
+  // Cache fresh messages from updated memory; last write per vertex wins
+  // ("most recent" aggregator).
+  std::vector<float> raw(cfg.raw_mail_dim());
+  for (const auto& e : edges) {
+    const auto fe = cfg.edge_dim > 0
+                        ? std::span<const float>(ds_.edge_features.row(e.eid))
+                        : std::span<const float>{};
+    build_raw_mail(state_.memory.get(e.src), state_.memory.get(e.dst), fe, raw);
+    state_.mailbox.put(e.src, raw, e.ts);
+    state_.mail_valid[e.src] = 1;
+    build_raw_mail(state_.memory.get(e.dst), state_.memory.get(e.src), fe, raw);
+    state_.mailbox.put(e.dst, raw, e.ts);
+    state_.mail_valid[e.dst] = 1;
+  }
+  for (const auto& e : edges) state_.insert_edge(e);
+  if (times) times->update += sw.seconds();
+
+  return res;
+}
+
+void InferenceEngine::warmup(const graph::BatchRange& range,
+                             std::size_t batch_size) {
+  const ModelConfig& cfg = model_.config();
+  for (const auto& b : ds_.graph.fixed_size_batches(range.begin, range.end,
+                                                    batch_size)) {
+    const auto edges = ds_.graph.edges(b);
+    // Memory + mailbox + neighbor updates only (skip the GNN stage).
+    std::unordered_map<graph::NodeId, double> tev;
+    for (const auto& e : edges) {
+      tev[e.src] = std::max(tev.count(e.src) ? tev[e.src] : e.ts, e.ts);
+      tev[e.dst] = std::max(tev.count(e.dst) ? tev[e.dst] : e.ts, e.ts);
+    }
+    std::vector<graph::NodeId> mail_nodes;
+    for (const auto& [v, t] : tev)
+      if (state_.mailbox.has_mail(v) && state_.mail_valid[v])
+        mail_nodes.push_back(v);
+    if (!mail_nodes.empty()) {
+      Tensor x(mail_nodes.size(), cfg.gru_in_dim());
+      Tensor h(mail_nodes.size(), cfg.mem_dim);
+      for (std::size_t k = 0; k < mail_nodes.size(); ++k) {
+        const graph::NodeId v = mail_nodes[k];
+        const auto mail = state_.mailbox.mail(v);
+        auto row = x.row(k);
+        std::copy(mail.begin(), mail.end(), row.begin());
+        model_.time_encoder().encode_scalar(
+            std::max(0.0, tev[v] - state_.mailbox.mail_ts(v)),
+            row.subspan(mail.size(), cfg.time_dim));
+        const auto mem = state_.memory.get(v);
+        std::copy(mem.begin(), mem.end(), h.row(k).begin());
+      }
+      Tensor s_new = model_.updater().forward(x, h);
+      for (std::size_t k = 0; k < mail_nodes.size(); ++k) {
+        state_.memory.set(mail_nodes[k], s_new.row(k), tev[mail_nodes[k]]);
+        state_.mail_valid[mail_nodes[k]] = 0;
+      }
+    }
+    std::vector<float> raw(cfg.raw_mail_dim());
+    for (const auto& e : edges) {
+      const auto fe = cfg.edge_dim > 0
+                          ? std::span<const float>(ds_.edge_features.row(e.eid))
+                          : std::span<const float>{};
+      build_raw_mail(state_.memory.get(e.src), state_.memory.get(e.dst), fe,
+                     raw);
+      state_.mailbox.put(e.src, raw, e.ts);
+      state_.mail_valid[e.src] = 1;
+      build_raw_mail(state_.memory.get(e.dst), state_.memory.get(e.src), fe,
+                     raw);
+      state_.mailbox.put(e.dst, raw, e.ts);
+      state_.mail_valid[e.dst] = 1;
+    }
+    for (const auto& e : edges) state_.insert_edge(e);
+  }
+}
+
+double InferenceEngine::evaluate_ap(const graph::BatchRange& range,
+                                    const Decoder& dec, std::size_t batch_size,
+                                    tgnn::Rng& rng) {
+  if (dst_pool_.empty())
+    throw std::logic_error("evaluate_ap: empty negative pool");
+  std::vector<ScoredSample> samples;
+  for (const auto& b : ds_.graph.fixed_size_batches(range.begin, range.end,
+                                                    batch_size)) {
+    const auto edges = ds_.graph.edges(b);
+    std::vector<graph::NodeId> negs(edges.size());
+    for (auto& v : negs) v = dst_pool_[rng.uniform_int(dst_pool_.size())];
+    const auto res = process_batch(b, negs);
+    for (std::size_t k = 0; k < edges.size(); ++k) {
+      samples.push_back({dec.score(res.embedding_of(edges[k].src),
+                                   res.embedding_of(edges[k].dst)),
+                         true});
+      samples.push_back(
+          {dec.score(res.embedding_of(edges[k].src), res.embedding_of(negs[k])),
+           false});
+    }
+  }
+  return average_precision(std::move(samples));
+}
+
+std::vector<double> collect_dt_samples(const data::Dataset& ds,
+                                       const graph::BatchRange& range) {
+  std::vector<double> out;
+  std::unordered_map<graph::NodeId, double> last;
+  for (std::size_t i = range.begin; i < range.end; ++i) {
+    const auto& e = ds.graph.edge(i);
+    for (graph::NodeId v : {e.src, e.dst}) {
+      auto it = last.find(v);
+      if (it != last.end()) out.push_back(std::max(0.0, e.ts - it->second));
+      last[v] = e.ts;
+    }
+  }
+  if (out.empty()) out.push_back(1.0);
+  return out;
+}
+
+}  // namespace tgnn::core

@@ -1,0 +1,128 @@
+// Batched TGNN inference per Algorithm 1.
+//
+// RuntimeState bundles the persistent vertex tables (memory, mailbox,
+// neighbor structure); InferenceEngine streams edge batches through the
+// model:
+//
+//   sample : gather each involved vertex's temporal neighbors
+//   memory : consume cached mail -> GRU -> updated node memory (Eq. 1)
+//   GNN    : attention over neighbors -> dynamic embeddings (Eq. 2)
+//   update : write back memory, cache fresh messages, extend neighbor table
+//
+// The four stages are individually timed (PartTimes) to reproduce the
+// Table I breakdown. Negative-sample vertices can be embedded alongside a
+// batch (for AP evaluation) without mutating their state.
+//
+// Within a batch, temporal dependencies between its edges are ignored while
+// state writes stay chronological — the standard TGN setup the paper adopts
+// (§II-A) and the property the hardware Updater enforces on the FPGA side.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "graph/neighbor_table.hpp"
+#include "graph/vertex_state.hpp"
+#include "tgnn/decoder.hpp"
+#include "tgnn/metrics.hpp"
+#include "tgnn/model.hpp"
+
+namespace tgnn {
+class Rng;
+}
+
+namespace tgnn::core {
+
+/// Persistent per-vertex state. `use_fifo` selects the hardware-style
+/// bounded FIFO neighbor table (§IV-A) over the unbounded software sampler.
+struct RuntimeState {
+  RuntimeState(graph::NodeId num_nodes, const ModelConfig& cfg, bool use_fifo);
+
+  graph::VertexMemory memory;
+  graph::VertexMailbox mailbox;
+  std::unique_ptr<graph::NeighborFinder> finder;  ///< null if use_fifo
+  std::unique_ptr<graph::NeighborTable> table;    ///< null if !use_fifo
+  std::vector<std::uint8_t> mail_valid;  ///< consume-once flag per vertex
+
+  [[nodiscard]] std::vector<graph::NeighborHit> neighbors(graph::NodeId v,
+                                                          double t,
+                                                          std::size_t k) const;
+  void insert_edge(const graph::TemporalEdge& e);
+  void reset();
+};
+
+struct PartTimes {
+  double sample = 0.0, memory = 0.0, gnn = 0.0, update = 0.0;  // seconds
+  [[nodiscard]] double total() const { return sample + memory + gnn + update; }
+  PartTimes& operator+=(const PartTimes& o) {
+    sample += o.sample;
+    memory += o.memory;
+    gnn += o.gnn;
+    update += o.update;
+    return *this;
+  }
+};
+
+class InferenceEngine {
+ public:
+  InferenceEngine(const TgnModel& model, const data::Dataset& ds,
+                  bool use_fifo_sampler = true);
+
+  struct BatchResult {
+    std::vector<graph::NodeId> nodes;  ///< unique involved vertices
+    Tensor embeddings;                 ///< [nodes.size(), emb_dim]
+    std::unordered_map<graph::NodeId, std::size_t> index;
+    [[nodiscard]] std::span<const float> embedding_of(graph::NodeId v) const {
+      return embeddings.row(index.at(v));
+    }
+  };
+
+  /// Process one batch of the edge stream (Alg. 1 loop body). extra_nodes
+  /// are embedded too (using, but not mutating, their state).
+  BatchResult process_batch(const graph::BatchRange& r,
+                            std::span<const graph::NodeId> extra_nodes = {},
+                            PartTimes* times = nullptr);
+
+  /// Stream a range through memory/mailbox/neighbor updates WITHOUT
+  /// computing embeddings — fast-forwards the state (used to warm up to the
+  /// test split before evaluation).
+  void warmup(const graph::BatchRange& range, std::size_t batch_size = 500);
+
+  /// Temporal link-prediction AP over a range: for each edge, score the
+  /// observed pair and one random negative destination.
+  double evaluate_ap(const graph::BatchRange& range, const Decoder& dec,
+                     std::size_t batch_size, tgnn::Rng& rng);
+
+  void reset() { state_.reset(); }
+
+  /// Parallelize the per-node GNN stage across OpenMP threads (the
+  /// multi-threaded CPU baseline of Table I; the thread count is whatever
+  /// omp_set_num_threads was given).
+  void set_parallel_gnn(bool on) { parallel_gnn_ = on; }
+
+  [[nodiscard]] RuntimeState& state() { return state_; }
+  [[nodiscard]] const TgnModel& model() const { return model_; }
+  [[nodiscard]] const data::Dataset& dataset() const { return ds_; }
+
+  /// All destination node ids appearing in the dataset (negative pool).
+  [[nodiscard]] const std::vector<graph::NodeId>& dst_pool() const {
+    return dst_pool_;
+  }
+
+ private:
+  const TgnModel& model_;
+  const data::Dataset& ds_;
+  RuntimeState state_;
+  std::vector<graph::NodeId> dst_pool_;
+  bool parallel_gnn_ = false;
+};
+
+/// Inter-event time gaps observed while streaming `range` — the dt samples
+/// the LUT time encoder is fitted on (both mail ages and neighbor ages are
+/// gaps of this same process).
+std::vector<double> collect_dt_samples(const data::Dataset& ds,
+                                       const graph::BatchRange& range);
+
+}  // namespace tgnn::core

@@ -1,0 +1,95 @@
+#include "tgnn/lut_time_encoder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace tgnn::core {
+
+LutTimeEncoder::LutTimeEncoder(std::size_t bins, std::size_t dim)
+    : entries("lut_time_enc.entries", Tensor(bins, dim)) {
+  if (bins < 2) throw std::invalid_argument("LutTimeEncoder: bins must be >= 2");
+}
+
+void LutTimeEncoder::fit(std::vector<double> dt_samples,
+                         const TimeEncoderBase* init) {
+  if (dt_samples.empty())
+    throw std::invalid_argument("LutTimeEncoder::fit: no samples");
+  std::sort(dt_samples.begin(), dt_samples.end());
+  const std::size_t b = bins();
+  edges_.clear();
+  edges_.reserve(b - 1);
+  // Equal-frequency boundaries: quantiles at k/b for k = 1..b-1.
+  for (std::size_t k = 1; k < b; ++k) {
+    const std::size_t idx =
+        std::min(dt_samples.size() - 1, k * dt_samples.size() / b);
+    double e = dt_samples[idx];
+    if (!edges_.empty() && e <= edges_.back())
+      e = std::nextafter(edges_.back(), 1e300);  // keep edges strictly increasing
+    edges_.push_back(e);
+  }
+  if (init) {
+    if (init->dim() != dim())
+      throw std::invalid_argument("LutTimeEncoder::fit: init dim mismatch");
+    // Initialize each entry at the median dt of its bin.
+    for (std::size_t k = 0; k < b; ++k) {
+      const std::size_t lo = k * dt_samples.size() / b;
+      const std::size_t hi =
+          std::max(lo + 1, (k + 1) * dt_samples.size() / b);
+      const double median = dt_samples[(lo + hi - 1) / 2];
+      init->encode_scalar(median, entries.value.row(k));
+    }
+  }
+}
+
+void LutTimeEncoder::restore_edges(std::vector<double> edges) {
+  if (edges.size() != bins() - 1)
+    throw std::invalid_argument("restore_edges: wrong edge count");
+  for (std::size_t i = 1; i < edges.size(); ++i)
+    if (edges[i] <= edges[i - 1])
+      throw std::invalid_argument("restore_edges: edges not increasing");
+  edges_ = std::move(edges);
+}
+
+std::size_t LutTimeEncoder::bin_of(double dt) const {
+  if (!fitted())
+    throw std::logic_error("LutTimeEncoder: fit() not called");
+  // First bin whose upper edge exceeds dt.
+  const auto it = std::upper_bound(edges_.begin(), edges_.end(), dt);
+  return static_cast<std::size_t>(it - edges_.begin());
+}
+
+Tensor LutTimeEncoder::encode(const std::vector<double>& dts) const {
+  Tensor out(dts.size(), dim());
+  for (std::size_t i = 0; i < dts.size(); ++i) encode_scalar(dts[i], out.row(i));
+  return out;
+}
+
+void LutTimeEncoder::encode_scalar(double dt, std::span<float> out) const {
+  const auto src = entries.value.row(bin_of(dt));
+  std::copy(src.begin(), src.end(), out.begin());
+}
+
+void LutTimeEncoder::backward(const std::vector<double>& dts,
+                              const Tensor& dout) {
+  if (dout.rows() != dts.size() || dout.cols() != dim())
+    throw std::invalid_argument("LutTimeEncoder::backward: shape mismatch");
+  for (std::size_t i = 0; i < dts.size(); ++i) {
+    auto dst = entries.grad.row(bin_of(dts[i]));
+    const auto g = dout.row(i);
+    for (std::size_t k = 0; k < dst.size(); ++k) dst[k] += g[k];
+  }
+}
+
+std::vector<nn::Parameter*> LutTimeEncoder::parameters() { return {&entries}; }
+
+Tensor LutTimeEncoder::fuse_with(const Tensor& w) const {
+  if (w.cols() != dim())
+    throw std::invalid_argument("LutTimeEncoder::fuse_with: dim mismatch");
+  // [bins, dim] x [out, dim]^T -> [bins, out]
+  return ops::matmul_nt(entries.value, w);
+}
+
+}  // namespace tgnn::core

@@ -1,0 +1,65 @@
+// LUT-based time encoder (§III-C).
+//
+// The cos encoder is nonlinear in dt, which blocks the "reverse the
+// computation order" trick of pre-multiplying the encoding by the downstream
+// weight matrices. The paper therefore quantizes dt into 128 intervals with
+// equal occurrence counts (the input dt follows a power law — Fig. 1 — so
+// equal-frequency bins are dense near zero) and learns one output vector per
+// interval. At inference each entry's product with the weight matrices can
+// be precomputed and stored on-chip, making the encode a 1-cycle table read.
+//
+// fit() computes the bin edges from training-set dt samples; entries are
+// initialized from a fitted cos encoder so distillation starts close to the
+// teacher.
+#pragma once
+
+#include "tgnn/time_encoder.hpp"
+
+namespace tgnn::core {
+
+class LutTimeEncoder final : public TimeEncoderBase {
+ public:
+  /// `bins` entries of width `dim`. Must call fit() before encode().
+  LutTimeEncoder(std::size_t bins, std::size_t dim);
+
+  /// Compute equal-frequency bin boundaries from observed dt samples and
+  /// initialize each entry to `init` evaluated at the bin's median dt
+  /// (pass nullptr for zero init).
+  void fit(std::vector<double> dt_samples, const TimeEncoderBase* init);
+
+  [[nodiscard]] bool fitted() const { return !edges_.empty(); }
+  [[nodiscard]] std::size_t bins() const { return entries.value.rows(); }
+
+  /// Index of the bin containing dt.
+  [[nodiscard]] std::size_t bin_of(double dt) const;
+  /// Upper boundary of each bin (size bins-1; last bin is open-ended).
+  [[nodiscard]] const std::vector<double>& edges() const { return edges_; }
+  /// Restore previously fitted boundaries (checkpoint loading). Must be
+  /// strictly increasing and of size bins()-1.
+  void restore_edges(std::vector<double> edges);
+
+  [[nodiscard]] std::size_t dim() const override { return entries.value.cols(); }
+  [[nodiscard]] Tensor encode(const std::vector<double>& dts) const override;
+  void encode_scalar(double dt, std::span<float> out) const override;
+  void backward(const std::vector<double>& dts, const Tensor& dout) override;
+  [[nodiscard]] std::vector<nn::Parameter*> parameters() override;
+  /// Table read: no arithmetic.
+  [[nodiscard]] std::size_t macs_per_encode() const override { return 0; }
+
+  /// Precompute W * entry_b for every bin b (the on-chip fused table the
+  /// accelerator stores): returns [bins, W.rows()]. W is [out, dim].
+  [[nodiscard]] Tensor fuse_with(const Tensor& w) const;
+
+  /// On-chip bytes of the fused tables for the given fused output widths
+  /// (for the FPGA resource estimator).
+  [[nodiscard]] std::size_t fused_bytes(std::size_t total_out_dim) const {
+    return bins() * total_out_dim * sizeof(float);
+  }
+
+  nn::Parameter entries;  ///< [bins, dim]
+
+ private:
+  std::vector<double> edges_;  ///< ascending upper bounds, size bins-1
+};
+
+}  // namespace tgnn::core

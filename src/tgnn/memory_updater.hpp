@@ -1,0 +1,35 @@
+// GRU memory updater (Eq. 7-10) — thin wrapper around nn::GruCell that adds
+// the TGNN-specific input layout [raw_mail || Phi(dt)] and exposes the MAC
+// split the complexity meter and the FPGA MUU need.
+#pragma once
+
+#include "nn/gru_cell.hpp"
+#include "tgnn/config.hpp"
+
+namespace tgnn::core {
+
+class MemoryUpdater {
+ public:
+  MemoryUpdater() = default;
+  MemoryUpdater(const ModelConfig& cfg, tgnn::Rng& rng)
+      : gru("memory_updater", cfg.gru_in_dim(), cfg.mem_dim, rng) {}
+
+  /// x: [m, gru_in_dim] rows of [raw_mail || Phi(dt)], h: [m, mem_dim].
+  Tensor forward(const Tensor& x, const Tensor& h,
+                 nn::GruCell::Cache* cache = nullptr) const {
+    return gru.forward(x, h, cache);
+  }
+
+  nn::GruCell::InputGrads backward(const nn::GruCell::Cache& cache,
+                                   const Tensor& ds_new) {
+    return gru.backward(cache, ds_new);
+  }
+
+  [[nodiscard]] std::vector<nn::Parameter*> parameters() {
+    return gru.parameters();
+  }
+
+  nn::GruCell gru;
+};
+
+}  // namespace tgnn::core

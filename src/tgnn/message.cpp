@@ -1,0 +1,26 @@
+#include "tgnn/message.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tgnn::core {
+
+void build_raw_mail(std::span<const float> s_self,
+                    std::span<const float> s_other,
+                    std::span<const float> f_e, std::span<float> out) {
+  if (out.size() != s_self.size() + s_other.size() + f_e.size())
+    throw std::invalid_argument("build_raw_mail: size mismatch");
+  auto it = std::copy(s_self.begin(), s_self.end(), out.begin());
+  it = std::copy(s_other.begin(), s_other.end(), it);
+  std::copy(f_e.begin(), f_e.end(), it);
+}
+
+void build_gru_input(std::span<const float> raw_mail,
+                     std::span<const float> time_enc, std::span<float> out) {
+  if (out.size() != raw_mail.size() + time_enc.size())
+    throw std::invalid_argument("build_gru_input: size mismatch");
+  auto it = std::copy(raw_mail.begin(), raw_mail.end(), out.begin());
+  std::copy(time_enc.begin(), time_enc.end(), it);
+}
+
+}  // namespace tgnn::core

@@ -1,0 +1,24 @@
+// Message construction (Eq. 4-5): when an edge (i, j, f_e, t) arrives, node i
+// caches the raw message [s_i || s_j || f_e] with timestamp t (and j caches
+// the mirrored one). The time encoding Phi(dt) is appended by the *consumer*
+// (the GRU updater) at the node's next event, where dt = t_event - t_mail —
+// this split is what lets the LUT encoder pre-fuse Phi with the GRU weight
+// matrices (§III-C).
+#pragma once
+
+#include <span>
+
+namespace tgnn::core {
+
+/// Writes [s_self || s_other || f_e] into `out`.
+/// f_e may be empty (datasets without edge features).
+/// |out| must equal |s_self| + |s_other| + |f_e|.
+void build_raw_mail(std::span<const float> s_self,
+                    std::span<const float> s_other,
+                    std::span<const float> f_e, std::span<float> out);
+
+/// Writes [raw_mail || time_enc] into `out`: the GRU input row.
+void build_gru_input(std::span<const float> raw_mail,
+                     std::span<const float> time_enc, std::span<float> out);
+
+}  // namespace tgnn::core

@@ -1,0 +1,58 @@
+#include "tgnn/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tgnn::core {
+
+double average_precision(std::vector<ScoredSample> samples) {
+  if (samples.empty()) throw std::invalid_argument("average_precision: empty");
+  std::stable_sort(samples.begin(), samples.end(),
+                   [](const ScoredSample& a, const ScoredSample& b) {
+                     return a.score > b.score;
+                   });
+  std::size_t tp = 0;
+  double ap = 0.0;
+  for (std::size_t k = 0; k < samples.size(); ++k) {
+    if (samples[k].positive) {
+      ++tp;
+      ap += static_cast<double>(tp) / static_cast<double>(k + 1);
+    }
+  }
+  if (tp == 0) return 0.0;
+  return ap / static_cast<double>(tp);
+}
+
+double auc_roc(const std::vector<ScoredSample>& samples) {
+  // Rank-sum formulation with midrank tie handling.
+  std::vector<std::size_t> idx(samples.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return samples[a].score < samples[b].score;
+  });
+  std::size_t pos = 0, neg = 0;
+  double rank_sum = 0.0;
+  std::size_t i = 0;
+  while (i < idx.size()) {
+    std::size_t j = i;
+    while (j + 1 < idx.size() &&
+           samples[idx[j + 1]].score == samples[idx[i]].score)
+      ++j;
+    const double midrank = 0.5 * static_cast<double>(i + j) + 1.0;
+    for (std::size_t k = i; k <= j; ++k) {
+      if (samples[idx[k]].positive) {
+        rank_sum += midrank;
+        ++pos;
+      } else {
+        ++neg;
+      }
+    }
+    i = j + 1;
+  }
+  if (pos == 0 || neg == 0) return 0.5;
+  return (rank_sum - 0.5 * static_cast<double>(pos) *
+                         static_cast<double>(pos + 1)) /
+         (static_cast<double>(pos) * static_cast<double>(neg));
+}
+
+}  // namespace tgnn::core

@@ -1,0 +1,22 @@
+// Evaluation metrics for temporal link prediction.
+#pragma once
+
+#include <vector>
+
+namespace tgnn::core {
+
+struct ScoredSample {
+  double score = 0.0;
+  bool positive = false;
+};
+
+/// Average Precision: mean of precision@k over the ranks k of positive
+/// samples when sorted by descending score (ties broken stably).
+/// This is the AP the paper reports in Table II / Fig. 7.
+double average_precision(std::vector<ScoredSample> samples);
+
+/// Area under the ROC curve (reported by TGN-family papers alongside AP;
+/// used here as a secondary sanity metric in tests).
+double auc_roc(const std::vector<ScoredSample>& samples);
+
+}  // namespace tgnn::core

@@ -1,0 +1,115 @@
+#include "tgnn/serialize.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace tgnn::core {
+
+namespace {
+
+constexpr char kMagic[4] = {'T', 'G', 'N', 'N'};
+constexpr std::uint32_t kVersion = 1;
+
+std::vector<nn::Parameter*> all_params(TgnModel& model, Decoder* decoder) {
+  std::vector<nn::Parameter*> out = model.params().params();
+  if (decoder)
+    for (auto* p : decoder->parameters()) out.push_back(p);
+  return out;
+}
+
+template <typename T>
+void write_pod(std::ofstream& f, const T& v) {
+  f.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool read_pod(std::ifstream& f, T& v) {
+  f.read(reinterpret_cast<char*>(&v), sizeof(T));
+  return static_cast<bool>(f);
+}
+
+}  // namespace
+
+bool save_checkpoint(const std::string& path, TgnModel& model,
+                     Decoder* decoder) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  f.write(kMagic, 4);
+  write_pod(f, kVersion);
+
+  const auto params = all_params(model, decoder);
+  write_pod(f, static_cast<std::uint64_t>(params.size()));
+  for (const auto* p : params) {
+    write_pod(f, static_cast<std::uint32_t>(p->name.size()));
+    f.write(p->name.data(), static_cast<std::streamsize>(p->name.size()));
+    write_pod(f, static_cast<std::uint64_t>(p->value.rows()));
+    write_pod(f, static_cast<std::uint64_t>(p->value.cols()));
+    f.write(reinterpret_cast<const char*>(p->value.data()),
+            static_cast<std::streamsize>(p->value.size() * sizeof(float)));
+  }
+
+  // LUT bin edges (needed to reproduce bin_of at deployment).
+  const auto* lut = model.lut_encoder();
+  const auto& edges =
+      lut && lut->fitted() ? lut->edges() : std::vector<double>{};
+  write_pod(f, static_cast<std::uint64_t>(edges.size()));
+  for (double e : edges) write_pod(f, e);
+  return static_cast<bool>(f);
+}
+
+bool load_checkpoint(const std::string& path, TgnModel& model,
+                     Decoder* decoder) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  char magic[4];
+  f.read(magic, 4);
+  std::uint32_t version = 0;
+  if (!f || std::memcmp(magic, kMagic, 4) != 0 || !read_pod(f, version) ||
+      version != kVersion)
+    throw std::runtime_error("load_checkpoint: bad magic/version");
+
+  const auto params = all_params(model, decoder);
+  std::uint64_t count = 0;
+  if (!read_pod(f, count) || count != params.size())
+    throw std::runtime_error("load_checkpoint: parameter count mismatch");
+
+  for (auto* p : params) {
+    std::uint32_t name_len = 0;
+    if (!read_pod(f, name_len))
+      throw std::runtime_error("load_checkpoint: truncated file");
+    std::string name(name_len, '\0');
+    f.read(name.data(), name_len);
+    std::uint64_t rows = 0, cols = 0;
+    if (!f || !read_pod(f, rows) || !read_pod(f, cols))
+      throw std::runtime_error("load_checkpoint: truncated file");
+    if (name != p->name || rows != p->value.rows() || cols != p->value.cols())
+      throw std::runtime_error("load_checkpoint: parameter mismatch at '" +
+                               p->name + "' (file has '" + name + "' " +
+                               std::to_string(rows) + "x" +
+                               std::to_string(cols) + ")");
+    f.read(reinterpret_cast<char*>(p->value.data()),
+           static_cast<std::streamsize>(p->value.size() * sizeof(float)));
+    if (!f) throw std::runtime_error("load_checkpoint: truncated data");
+  }
+
+  std::uint64_t n_edges = 0;
+  if (!read_pod(f, n_edges))
+    throw std::runtime_error("load_checkpoint: missing LUT section");
+  std::vector<double> edges(n_edges);
+  for (auto& e : edges)
+    if (!read_pod(f, e))
+      throw std::runtime_error("load_checkpoint: truncated LUT edges");
+  auto* lut = model.lut_encoder();
+  if (lut && !edges.empty()) {
+    lut->restore_edges(edges);
+  } else if (lut && edges.empty()) {
+    throw std::runtime_error(
+        "load_checkpoint: model expects LUT edges but file has none");
+  }
+  return true;
+}
+
+}  // namespace tgnn::core

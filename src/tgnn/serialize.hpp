@@ -1,0 +1,33 @@
+// Model checkpointing: save / load every parameter of a TgnModel (+ its
+// decoder, + the LUT encoder's bin edges) to a single binary file, so a
+// trained co-designed model can be exported once and deployed on the
+// accelerator without retraining.
+//
+// Format (little-endian):
+//   magic "TGNN" | u32 version | u64 param-count
+//   per parameter: u32 name-len | name bytes | u64 rows | u64 cols | f32 data
+//   u64 lut-edge-count | f64 edges (0 when the model has no LUT encoder)
+//
+// Loading validates that parameter names and shapes match the target model
+// exactly — a checkpoint can only be restored into an identically-configured
+// model.
+#pragma once
+
+#include <string>
+
+#include "tgnn/decoder.hpp"
+#include "tgnn/model.hpp"
+
+namespace tgnn::core {
+
+/// Save model (+ optional decoder) parameters. Returns false on I/O error.
+bool save_checkpoint(const std::string& path, TgnModel& model,
+                     Decoder* decoder = nullptr);
+
+/// Restore parameters saved by save_checkpoint into an identically
+/// configured model. Throws std::runtime_error on format/shape mismatch;
+/// returns false if the file cannot be opened.
+bool load_checkpoint(const std::string& path, TgnModel& model,
+                     Decoder* decoder = nullptr);
+
+}  // namespace tgnn::core

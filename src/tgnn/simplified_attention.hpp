@@ -1,0 +1,81 @@
+// Simplified temporal attention (Eq. 16) + temporal neighbor pruning
+// (§III-B) — the paper's core model contribution.
+//
+//   alpha'(u) = Softmax(a + W_t * dt_u)
+//
+// where a is a learnable per-slot bias vector and W_t maps the node's
+// time-difference vector dt_u = [t_u - t_v0, ..., t_u - t_v(mr-1)] to
+// per-slot logit offsets. Slots are the mr timestamp-sorted entries of the
+// vertex's FIFO neighbor table; missing entries are masked.
+//
+// Because the logits depend only on dt (not on neighbor features), they are
+// available *before* any neighbor state is fetched. That enables:
+//   * pruning — only the top-`budget` slots by logit get their V computed
+//     (a linear cut in both MACs and DDR traffic), and
+//   * prefetching — the accelerator schedules neighbor-memory loads from
+//     the logits alone (Fig. 4, stage 7-(1) before stage 3).
+//
+// The two-phase API mirrors that: score() gives logits + the kept slots;
+// aggregate() consumes V inputs for kept slots only.
+#pragma once
+
+#include "nn/linear.hpp"
+#include "tgnn/config.hpp"
+
+namespace tgnn::core {
+
+class SimplifiedAttention {
+ public:
+  struct Scores {
+    std::vector<float> logits;     ///< [mr], masked slots = -inf
+    std::vector<std::size_t> keep; ///< indices of kept slots, ascending
+    std::vector<double> dts;       ///< the dt vector used (padded)
+  };
+
+  struct Cache {
+    Scores scores;
+    std::vector<float> alpha;  ///< softmax over kept slots (size keep.size())
+    Tensor v_in;               ///< [kept, kv_in_dim]
+    Tensor v;                  ///< [kept, emb]
+    Tensor attn;               ///< [1, emb]
+    Tensor fo_in;              ///< [1, emb + mem]
+  };
+
+  struct InputGrads {
+    Tensor dv_in;    ///< [kept, kv_in_dim]
+    Tensor df_self;  ///< [1, mem]
+  };
+
+  SimplifiedAttention() = default;
+  SimplifiedAttention(const ModelConfig& cfg, tgnn::Rng& rng);
+
+  /// Number of neighbor slots mr.
+  [[nodiscard]] std::size_t slots() const { return a.value.size(); }
+
+  /// Phase 1: logits from time differences alone. `dts` holds one entry per
+  /// *valid* neighbor (oldest -> newest, size <= mr); it is zero-padded to
+  /// mr internally. `budget` = how many slots to keep (pruning); clipped to
+  /// the number of valid slots.
+  [[nodiscard]] Scores score(const std::vector<double>& dts,
+                             std::size_t budget) const;
+
+  /// Phase 2: v_in rows correspond to scores.keep order. Returns h [1, emb].
+  Tensor aggregate(std::span<const float> f_self, const Scores& scores,
+                   const Tensor& v_in, Cache* cache = nullptr) const;
+
+  InputGrads backward(const Cache& cache, const Tensor& dh);
+
+  /// Distillation hook: adds dlogits (over all mr slots; masked slots
+  /// ignored) into the a / W_t gradients. Used by the trainer to apply the
+  /// soft-cross-entropy loss of Eq. 17 directly on the logits.
+  void backward_logits(const Scores& scores, std::span<const float> dlogits);
+
+  [[nodiscard]] std::vector<nn::Parameter*> parameters();
+
+  nn::Parameter a;   ///< [mr] shared attention bias
+  nn::Parameter wt;  ///< [mr, mr] time-offset matrix
+  nn::Linear wv;     ///< kv_in_dim -> emb
+  nn::Linear wo;     ///< emb + mem -> emb (FTM)
+};
+
+}  // namespace tgnn::core

@@ -1,0 +1,54 @@
+#include "tgnn/time_encoder.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace tgnn::core {
+
+CosTimeEncoder::CosTimeEncoder(std::size_t dim, tgnn::Rng& rng)
+    : omega("time_enc.omega", Tensor(dim)), phi("time_enc.phi", Tensor(dim)) {
+  // TGAT-style init: omega spans decades of frequency so the encoder can
+  // resolve both second-scale and day-scale gaps; phi small random.
+  for (std::size_t k = 0; k < dim; ++k) {
+    const double expo =
+        -static_cast<double>(k) * 9.0 / std::max<std::size_t>(1, dim - 1);
+    omega.value[k] = static_cast<float>(std::pow(10.0, expo));
+    phi.value[k] = rng.uniform(-0.1f, 0.1f);
+  }
+}
+
+Tensor CosTimeEncoder::encode(const std::vector<double>& dts) const {
+  Tensor out(dts.size(), dim());
+  for (std::size_t i = 0; i < dts.size(); ++i) encode_scalar(dts[i], out.row(i));
+  return out;
+}
+
+void CosTimeEncoder::encode_scalar(double dt, std::span<float> out) const {
+  if (out.size() != dim())
+    throw std::invalid_argument("CosTimeEncoder: output span size mismatch");
+  for (std::size_t k = 0; k < out.size(); ++k)
+    out[k] = std::cos(omega.value[k] * static_cast<float>(dt) + phi.value[k]);
+}
+
+void CosTimeEncoder::backward(const std::vector<double>& dts,
+                              const Tensor& dout) {
+  if (dout.rows() != dts.size() || dout.cols() != dim())
+    throw std::invalid_argument("CosTimeEncoder::backward: shape mismatch");
+  for (std::size_t i = 0; i < dts.size(); ++i) {
+    const auto dt = static_cast<float>(dts[i]);
+    const auto g = dout.row(i);
+    for (std::size_t k = 0; k < dim(); ++k) {
+      const float s = -std::sin(omega.value[k] * dt + phi.value[k]);
+      omega.grad[k] += g[k] * s * dt;
+      phi.grad[k] += g[k] * s;
+    }
+  }
+}
+
+std::vector<nn::Parameter*> CosTimeEncoder::parameters() {
+  return {&omega, &phi};
+}
+
+}  // namespace tgnn::core

@@ -1,0 +1,60 @@
+// Time encoders mapping a scalar time difference to a vector.
+//
+// The baseline encoder is Eq. 6: Phi(dt) = cos(omega * dt + phi) with
+// learnable omega, phi — the Transformer-style functional time encoding of
+// TGAT/TGN. The LUT encoder (lut_time_encoder.hpp) replaces it per §III-C.
+//
+// Both implement TimeEncoderBase so the model assembly and the FPGA
+// simulator can swap them freely.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "nn/parameter.hpp"
+
+namespace tgnn {
+class Rng;
+}
+
+namespace tgnn::core {
+
+class TimeEncoderBase {
+ public:
+  virtual ~TimeEncoderBase() = default;
+
+  [[nodiscard]] virtual std::size_t dim() const = 0;
+
+  /// Encode a batch of time differences -> [m, dim].
+  [[nodiscard]] virtual Tensor encode(const std::vector<double>& dts) const = 0;
+
+  /// Encode one dt into `out` (|out| == dim). Hot path for per-neighbor use.
+  virtual void encode_scalar(double dt, std::span<float> out) const = 0;
+
+  /// Accumulate parameter gradients given upstream d(output).
+  virtual void backward(const std::vector<double>& dts, const Tensor& dout) = 0;
+
+  [[nodiscard]] virtual std::vector<nn::Parameter*> parameters() = 0;
+
+  /// MACs consumed per encoded dt at inference (cos: dim mul+add treated as
+  /// dim MACs; LUT: 0 — a table read).
+  [[nodiscard]] virtual std::size_t macs_per_encode() const = 0;
+};
+
+/// Eq. 6: Phi(dt)_k = cos(omega_k * dt + phi_k).
+class CosTimeEncoder final : public TimeEncoderBase {
+ public:
+  CosTimeEncoder(std::size_t dim, tgnn::Rng& rng);
+
+  [[nodiscard]] std::size_t dim() const override { return omega.value.size(); }
+  [[nodiscard]] Tensor encode(const std::vector<double>& dts) const override;
+  void encode_scalar(double dt, std::span<float> out) const override;
+  void backward(const std::vector<double>& dts, const Tensor& dout) override;
+  [[nodiscard]] std::vector<nn::Parameter*> parameters() override;
+  [[nodiscard]] std::size_t macs_per_encode() const override { return dim(); }
+
+  nn::Parameter omega;  ///< [dim]
+  nn::Parameter phi;    ///< [dim]
+};
+
+}  // namespace tgnn::core

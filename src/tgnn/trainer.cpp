@@ -1,0 +1,440 @@
+#include "tgnn/trainer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "nn/loss.hpp"
+#include "nn/optim.hpp"
+#include "tgnn/message.hpp"
+#include "util/rng.hpp"
+
+namespace tgnn::core {
+
+Trainer::Trainer(TgnModel& model, Decoder& decoder, const data::Dataset& ds,
+                 TrainOptions opts)
+    : model_(model), decoder_(decoder), ds_(ds), opts_(opts),
+      state_(ds.graph.num_nodes(), model.config(), /*use_fifo=*/true),
+      rng_(opts.seed) {
+  // Fit the LUT encoder's bins on training-stream time gaps before any
+  // parameter sees a gradient.
+  if (model_.lut_encoder() && !model_.lut_encoder()->fitted())
+    model_.fit_lut(collect_dt_samples(ds_, ds_.train_range()));
+
+  if (opts_.teacher) {
+    if (model_.config().attention != AttentionKind::kSimplified)
+      throw std::invalid_argument(
+          "Trainer: distillation requires a simplified-attention student");
+    if (opts_.teacher->config().attention != AttentionKind::kVanilla)
+      throw std::invalid_argument("Trainer: teacher must use vanilla attention");
+    teacher_engine_.emplace(*opts_.teacher, ds_, /*use_fifo=*/true);
+  }
+
+  all_params_.add_all(model_.params().params());
+  for (auto* p : decoder_.parameters()) all_params_.add(p);
+  nn::Adam::Options aopts;
+  aopts.lr = opts_.lr;
+  adam_ = std::make_unique<nn::Adam>(all_params_, aopts);
+
+  std::set<graph::NodeId> dsts;
+  for (const auto& e : ds_.graph.edges()) dsts.insert(e.dst);
+  dst_pool_.assign(dsts.begin(), dsts.end());
+}
+
+TrainStats Trainer::train() {
+  TrainStats stats;
+  const auto batches = ds_.graph.fixed_size_batches(
+      ds_.train_range().begin, ds_.train_range().end, opts_.batch_size);
+  for (std::size_t epoch = 0; epoch < opts_.epochs; ++epoch) {
+    state_.reset();
+    if (teacher_engine_) teacher_engine_->reset();
+    double ep_bce = 0.0, ep_dist = 0.0;
+    std::vector<ScoredSample> scores;
+    const bool last_epoch = epoch + 1 == opts_.epochs;
+    for (const auto& b : batches) {
+      const BatchLoss l = train_batch(b, last_epoch ? &scores : nullptr);
+      ep_bce += l.bce;
+      ep_dist += l.distill;
+    }
+    ep_bce /= static_cast<double>(batches.size());
+    ep_dist /= static_cast<double>(batches.size());
+    stats.epoch_bce.push_back(ep_bce);
+    stats.epoch_distill.push_back(ep_dist);
+    stats.epoch_loss.push_back(ep_bce + ep_dist);
+    if (last_epoch && !scores.empty())
+      stats.train_ap = average_precision(std::move(scores));
+    if (opts_.verbose)
+      std::printf("  epoch %zu: bce=%.4f distill=%.4f\n", epoch + 1, ep_bce,
+                  ep_dist);
+  }
+  return stats;
+}
+
+Trainer::BatchLoss Trainer::train_batch(const graph::BatchRange& r,
+                                        std::vector<ScoredSample>* score_sink) {
+  const ModelConfig& cfg = model_.config();
+  const auto edges = ds_.graph.edges(r);
+  BatchLoss out;
+  if (edges.empty()) return out;
+
+  // ---- unique involved vertices (+ negatives) with event times.
+  std::vector<graph::NodeId> nodes;
+  std::vector<double> t_event;
+  std::unordered_map<graph::NodeId, std::size_t> index;
+  auto touch = [&](graph::NodeId v, double ts) {
+    auto [it, inserted] = index.try_emplace(v, nodes.size());
+    if (inserted) {
+      nodes.push_back(v);
+      t_event.push_back(ts);
+    } else {
+      t_event[it->second] = std::max(t_event[it->second], ts);
+    }
+  };
+  for (const auto& e : edges) {
+    touch(e.src, e.ts);
+    touch(e.dst, e.ts);
+  }
+  const std::size_t num_real = nodes.size();
+  std::vector<graph::NodeId> negs(edges.size());
+  const double t_end = edges.back().ts;
+  for (auto& v : negs) {
+    v = dst_pool_[rng_.uniform_int(dst_pool_.size())];
+    touch(v, t_end);
+  }
+  const std::size_t n_nodes = nodes.size();
+
+  // ---- sample (before inserting this batch's edges).
+  std::vector<std::vector<graph::NeighborHit>> nbrs(n_nodes);
+  for (std::size_t i = 0; i < n_nodes; ++i)
+    nbrs[i] = state_.neighbors(nodes[i], t_event[i], cfg.num_neighbors);
+
+  // ---- memory stage with cache.
+  std::vector<std::size_t> mail_rows;
+  std::vector<long> mail_row_of(n_nodes, -1);
+  for (std::size_t i = 0; i < n_nodes; ++i)
+    if (state_.mailbox.has_mail(nodes[i]) && state_.mail_valid[nodes[i]]) {
+      mail_row_of[i] = static_cast<long>(mail_rows.size());
+      mail_rows.push_back(i);
+    }
+  nn::GruCell::Cache gru_cache;
+  std::vector<double> mail_dts(mail_rows.size());
+  Tensor s_new;
+  if (!mail_rows.empty()) {
+    Tensor x(mail_rows.size(), cfg.gru_in_dim());
+    Tensor h(mail_rows.size(), cfg.mem_dim);
+    for (std::size_t k = 0; k < mail_rows.size(); ++k) {
+      const std::size_t i = mail_rows[k];
+      const graph::NodeId v = nodes[i];
+      const auto mail = state_.mailbox.mail(v);
+      mail_dts[k] = std::max(0.0, t_event[i] - state_.mailbox.mail_ts(v));
+      auto row = x.row(k);
+      std::copy(mail.begin(), mail.end(), row.begin());
+      model_.time_encoder().encode_scalar(
+          mail_dts[k], row.subspan(mail.size(), cfg.time_dim));
+      const auto mem = state_.memory.get(v);
+      std::copy(mem.begin(), mem.end(), h.row(k).begin());
+    }
+    s_new = model_.updater().forward(x, h, &gru_cache);
+  }
+  auto memory_of = [&](graph::NodeId v) -> std::span<const float> {
+    auto it = index.find(v);
+    if (it != index.end() && mail_row_of[it->second] >= 0)
+      return s_new.row(static_cast<std::size_t>(mail_row_of[it->second]));
+    return state_.memory.get(v);
+  };
+  auto node_feat_of = [&](graph::NodeId v) -> std::span<const float> {
+    if (cfg.node_dim == 0) return {};
+    return ds_.node_features.row(v);
+  };
+
+  // ---- f' for every node (cache for W_s backward).
+  Tensor f_prime(n_nodes, cfg.mem_dim);
+  for (std::size_t i = 0; i < n_nodes; ++i)
+    model_.f_prime(memory_of(nodes[i]), node_feat_of(nodes[i]),
+                   f_prime.row(i));
+
+  // ---- attention forward with caches.
+  std::vector<VanillaAttention::Cache> van_caches;
+  std::vector<SimplifiedAttention::Cache> sat_caches;
+  if (model_.vanilla())
+    van_caches.resize(n_nodes);
+  else
+    sat_caches.resize(n_nodes);
+  Tensor embeddings(n_nodes, cfg.emb_dim);
+  // Per-node dt lists (neighbor ages) reused in backward.
+  std::vector<std::vector<double>> nbr_dts(n_nodes);
+
+  Tensor fpj(1, cfg.mem_dim);
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    const auto& nb = nbrs[i];
+    nbr_dts[i].resize(nb.size());
+    for (std::size_t j = 0; j < nb.size(); ++j)
+      nbr_dts[i][j] = std::max(0.0, t_event[i] - nb[j].ts);
+
+    Tensor h;
+    if (const auto* att = model_.vanilla()) {
+      AttnNodeInput in;
+      in.q_in = Tensor(1, cfg.q_in_dim());
+      {
+        auto q = in.q_in.row(0);
+        std::copy(f_prime.row(i).begin(), f_prime.row(i).end(), q.begin());
+        model_.time_encoder().encode_scalar(0.0,
+                                            q.subspan(cfg.mem_dim, cfg.time_dim));
+      }
+      in.kv_in = Tensor(nb.size(), cfg.kv_in_dim());
+      for (std::size_t j = 0; j < nb.size(); ++j) {
+        auto row = in.kv_in.row(j);
+        model_.f_prime(memory_of(nb[j].node), node_feat_of(nb[j].node),
+                       fpj.row(0));
+        std::copy(fpj.row(0).begin(), fpj.row(0).end(), row.begin());
+        if (cfg.edge_dim > 0) {
+          const auto ef = ds_.edge_features.row(nb[j].eid);
+          std::copy(ef.begin(), ef.end(), row.begin() + cfg.mem_dim);
+        }
+        model_.time_encoder().encode_scalar(
+            nbr_dts[i][j], row.subspan(cfg.mem_dim + cfg.edge_dim, cfg.time_dim));
+      }
+      h = att->forward(f_prime.row(i), in, &van_caches[i]);
+    } else {
+      const auto* sat = model_.simplified();
+      const auto scores = sat->score(nbr_dts[i], cfg.prune_budget);
+      Tensor v_in(scores.keep.size(), cfg.kv_in_dim());
+      for (std::size_t k = 0; k < scores.keep.size(); ++k) {
+        const auto& hit = nb[scores.keep[k]];
+        auto row = v_in.row(k);
+        model_.f_prime(memory_of(hit.node), node_feat_of(hit.node), fpj.row(0));
+        std::copy(fpj.row(0).begin(), fpj.row(0).end(), row.begin());
+        if (cfg.edge_dim > 0) {
+          const auto ef = ds_.edge_features.row(hit.eid);
+          std::copy(ef.begin(), ef.end(), row.begin() + cfg.mem_dim);
+        }
+        model_.time_encoder().encode_scalar(
+            nbr_dts[i][scores.keep[k]],
+            row.subspan(cfg.mem_dim + cfg.edge_dim, cfg.time_dim));
+      }
+      h = sat->aggregate(f_prime.row(i), scores, v_in, &sat_caches[i]);
+    }
+    std::copy(h.row(0).begin(), h.row(0).end(), embeddings.row(i).begin());
+  }
+
+  // ---- decoder + BCE.
+  const std::size_t n_pairs = 2 * edges.size();
+  Tensor pairs(n_pairs, 3 * cfg.emb_dim);
+  Tensor targets(n_pairs, 1);
+  for (std::size_t k = 0; k < edges.size(); ++k) {
+    const auto hu = embeddings.row(index.at(edges[k].src));
+    const auto hv = embeddings.row(index.at(edges[k].dst));
+    const auto hn = embeddings.row(index.at(negs[k]));
+    Decoder::build_pair(hu, hv, pairs.row(k));
+    targets(k, 0) = 1.0f;
+    Decoder::build_pair(hu, hn, pairs.row(edges.size() + k));
+    targets(edges.size() + k, 0) = 0.0f;
+  }
+  Decoder::Cache dec_cache;
+  Tensor logits = decoder_.forward(pairs, &dec_cache);
+  const auto bce = nn::bce_with_logits(logits, targets);
+  out.bce = bce.value;
+  if (score_sink)
+    for (std::size_t k = 0; k < n_pairs; ++k)
+      score_sink->push_back({logits(k, 0), targets(k, 0) > 0.5f});
+
+  // ---- distillation loss on attention logits (Eq. 17).
+  // Computed before the backward pass so its gradient joins the same step.
+  struct DistillItem {
+    std::size_t node_row;
+    std::vector<float> dlogits;  ///< over all mr slots
+  };
+  std::vector<DistillItem> distill_items;
+  if (teacher_engine_ && model_.simplified()) {
+    const auto& teacher = *opts_.teacher;
+    auto& tstate = teacher_engine_->state();
+    auto t_memory_of = [&](graph::NodeId v) -> std::span<const float> {
+      return tstate.memory.get(v);
+    };
+    Tensor tfp(1, cfg.mem_dim);
+    Tensor tfpj(1, cfg.mem_dim);
+    for (std::size_t i = 0; i < n_nodes; ++i) {
+      const auto& nb = nbrs[i];
+      if (nb.size() < 2) continue;  // nothing to align on 0/1 slots
+      // Teacher logits over the same chronological slots, from the
+      // teacher's own state.
+      teacher.f_prime(t_memory_of(nodes[i]), node_feat_of(nodes[i]),
+                      tfp.row(0));
+      AttnNodeInput tin;
+      tin.q_in = Tensor(1, cfg.q_in_dim());
+      {
+        auto q = tin.q_in.row(0);
+        std::copy(tfp.row(0).begin(), tfp.row(0).end(), q.begin());
+        teacher.time_encoder().encode_scalar(
+            0.0, q.subspan(cfg.mem_dim, cfg.time_dim));
+      }
+      tin.kv_in = Tensor(nb.size(), cfg.kv_in_dim());
+      for (std::size_t j = 0; j < nb.size(); ++j) {
+        auto row = tin.kv_in.row(j);
+        teacher.f_prime(t_memory_of(nb[j].node), node_feat_of(nb[j].node),
+                        tfpj.row(0));
+        std::copy(tfpj.row(0).begin(), tfpj.row(0).end(), row.begin());
+        if (cfg.edge_dim > 0) {
+          const auto ef = ds_.edge_features.row(nb[j].eid);
+          std::copy(ef.begin(), ef.end(), row.begin() + cfg.mem_dim);
+        }
+        teacher.time_encoder().encode_scalar(
+            nbr_dts[i][j], row.subspan(cfg.mem_dim + cfg.edge_dim, cfg.time_dim));
+      }
+      const auto t_logits = teacher.vanilla()->logits(tfp.row(0), tin);
+
+      const auto& s_scores = sat_caches[i].scores;
+      Tensor srow(1, nb.size()), trow(1, nb.size());
+      for (std::size_t j = 0; j < nb.size(); ++j) {
+        srow(0, j) = s_scores.logits[j];
+        trow(0, j) = t_logits[j];
+      }
+      const auto dist =
+          nn::soft_cross_entropy(srow, trow, opts_.temperature);
+      out.distill += opts_.distill_weight * dist.value;
+      DistillItem item;
+      item.node_row = i;
+      item.dlogits.assign(model_.simplified()->slots(), 0.0f);
+      for (std::size_t j = 0; j < nb.size(); ++j)
+        item.dlogits[j] =
+            static_cast<float>(opts_.distill_weight) * dist.grad(0, j);
+      distill_items.push_back(std::move(item));
+    }
+    out.distill /= std::max<std::size_t>(1, n_nodes);
+  }
+
+  // ================= backward =================
+  all_params_.zero_grad();
+
+  // Decoder -> per-node embedding grads.
+  Tensor dpairs = decoder_.backward(dec_cache, bce.grad);
+  Tensor dh(n_nodes, cfg.emb_dim);
+  for (std::size_t k = 0; k < edges.size(); ++k) {
+    const std::size_t iu = index.at(edges[k].src);
+    const std::size_t iv = index.at(edges[k].dst);
+    const std::size_t in_ = index.at(negs[k]);
+    Decoder::route_pair_grad(dpairs.row(k), embeddings.row(iu),
+                             embeddings.row(iv), dh.row(iu), dh.row(iv));
+    Decoder::route_pair_grad(dpairs.row(edges.size() + k), embeddings.row(iu),
+                             embeddings.row(in_), dh.row(iu), dh.row(in_));
+  }
+
+  // Attention backward per node -> df' and time-encoder grads.
+  Tensor df_prime(n_nodes, cfg.mem_dim);
+  Tensor dh_row(1, cfg.emb_dim);
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    std::copy(dh.row(i).begin(), dh.row(i).end(), dh_row.row(0).begin());
+    if (auto* att = model_.vanilla()) {
+      auto g = att->backward(van_caches[i], dh_row);
+      for (std::size_t d = 0; d < cfg.mem_dim; ++d)
+        df_prime(i, d) += g.dq_in(0, d) + g.df_self(0, d);
+      // Time-encoder grads: q slice at dt = 0, kv slices at neighbor ages.
+      {
+        Tensor dphi(1, cfg.time_dim);
+        for (std::size_t d = 0; d < cfg.time_dim; ++d)
+          dphi(0, d) = g.dq_in(0, cfg.mem_dim + d);
+        model_.time_encoder().backward({0.0}, dphi);
+      }
+      if (g.dkv_in.rows() > 0) {
+        Tensor dphi(g.dkv_in.rows(), cfg.time_dim);
+        for (std::size_t j = 0; j < g.dkv_in.rows(); ++j)
+          for (std::size_t d = 0; d < cfg.time_dim; ++d)
+            dphi(j, d) = g.dkv_in(j, cfg.mem_dim + cfg.edge_dim + d);
+        model_.time_encoder().backward(nbr_dts[i], dphi);
+      }
+    } else {
+      auto* sat = model_.simplified();
+      auto g = sat->backward(sat_caches[i], dh_row);
+      for (std::size_t d = 0; d < cfg.mem_dim; ++d)
+        df_prime(i, d) += g.df_self(0, d);
+      const auto& keep = sat_caches[i].scores.keep;
+      if (!keep.empty()) {
+        Tensor dphi(keep.size(), cfg.time_dim);
+        std::vector<double> kept_dts(keep.size());
+        for (std::size_t k = 0; k < keep.size(); ++k) {
+          kept_dts[k] = nbr_dts[i][keep[k]];
+          for (std::size_t d = 0; d < cfg.time_dim; ++d)
+            dphi(k, d) = g.dv_in(k, cfg.mem_dim + cfg.edge_dim + d);
+        }
+        model_.time_encoder().backward(kept_dts, dphi);
+      }
+    }
+  }
+
+  // Distillation gradient directly into a / W_t.
+  for (const auto& item : distill_items)
+    model_.simplified()->backward_logits(sat_caches[item.node_row].scores,
+                                         item.dlogits);
+
+  // f' -> node memory (+ W_s).
+  if (auto* ws = model_.node_proj()) {
+    Tensor node_feats(n_nodes, cfg.node_dim);
+    for (std::size_t i = 0; i < n_nodes; ++i) {
+      const auto f = ds_.node_features.row(nodes[i]);
+      std::copy(f.begin(), f.end(), node_feats.row(i).begin());
+    }
+    ws->backward(node_feats, df_prime);  // also yields d(node feats): dropped
+  }
+  if (!mail_rows.empty()) {
+    Tensor ds_new(mail_rows.size(), cfg.mem_dim);
+    for (std::size_t k = 0; k < mail_rows.size(); ++k) {
+      const std::size_t i = mail_rows[k];
+      std::copy(df_prime.row(i).begin(), df_prime.row(i).end(),
+                ds_new.row(k).begin());
+    }
+    auto g = model_.updater().backward(gru_cache, ds_new);
+    // Route the GRU input's time-encoding slice into the encoder.
+    Tensor dphi(mail_rows.size(), cfg.time_dim);
+    for (std::size_t k = 0; k < mail_rows.size(); ++k)
+      for (std::size_t d = 0; d < cfg.time_dim; ++d)
+        dphi(k, d) = g.dx(k, cfg.raw_mail_dim() + d);
+    model_.time_encoder().backward(mail_dts, dphi);
+  }
+
+  all_params_.clip_grad_norm(opts_.grad_clip);
+  adam_->step();
+
+  // ================= commit state =================
+  // Negatives were embedded with transiently updated memory but do not
+  // commit (mirrors InferenceEngine::process_batch).
+  for (std::size_t k = 0; k < mail_rows.size(); ++k) {
+    const std::size_t i = mail_rows[k];
+    if (i >= num_real) continue;
+    state_.memory.set(nodes[i], s_new.row(k), t_event[i]);
+    state_.mail_valid[nodes[i]] = 0;
+  }
+  std::vector<float> raw(cfg.raw_mail_dim());
+  for (const auto& e : edges) {
+    const auto fe = cfg.edge_dim > 0
+                        ? std::span<const float>(ds_.edge_features.row(e.eid))
+                        : std::span<const float>{};
+    build_raw_mail(state_.memory.get(e.src), state_.memory.get(e.dst), fe, raw);
+    state_.mailbox.put(e.src, raw, e.ts);
+    state_.mail_valid[e.src] = 1;
+    build_raw_mail(state_.memory.get(e.dst), state_.memory.get(e.src), fe, raw);
+    state_.mailbox.put(e.dst, raw, e.ts);
+    state_.mail_valid[e.dst] = 1;
+  }
+  for (const auto& e : edges) state_.insert_edge(e);
+
+  // Advance the teacher's state over the same batch (structure-only; the
+  // teacher is frozen).
+  if (teacher_engine_) teacher_engine_->warmup({r.begin, r.end}, r.size());
+
+  return out;
+}
+
+FitResult fit_and_eval(TgnModel& model, Decoder& decoder,
+                       const data::Dataset& ds, TrainOptions opts) {
+  FitResult out;
+  Trainer trainer(model, decoder, ds, opts);
+  out.stats = trainer.train();
+  InferenceEngine engine(model, ds, /*use_fifo=*/true);
+  engine.warmup({0, ds.val_end}, opts.batch_size);
+  tgnn::Rng rng(opts.seed + 1);
+  out.test_ap = engine.evaluate_ap(ds.test_range(), decoder, opts.batch_size,
+                                   rng);
+  return out;
+}
+
+}  // namespace tgnn::core

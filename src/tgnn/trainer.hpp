@@ -1,0 +1,90 @@
+// Self-supervised training of TGN-attn models, with the paper's knowledge
+// distillation (§III-A, Eq. 17).
+//
+// Objective per batch of temporal edges:
+//   * link-prediction BCE: observed (u, v) pairs are positives; (u, v')
+//     with a random destination v' are negatives; both scored by the
+//     decoder on the dynamic embeddings.
+//   * when a teacher model is supplied and the student uses simplified
+//     attention: soft cross-entropy at temperature T between the student's
+//     logits a + W_t dt and the teacher's vanilla attention logits over the
+//     same neighbor slots.
+//
+// Gradient flow: decoder -> embeddings -> attention (incl. time encoder and
+// a/W_t) -> target node memory -> GRU updater (one step; memory is detached
+// across batches as in TGN). Neighbor memories and edge features are treated
+// as constants within the step.
+//
+// The trainer maintains its own RuntimeState (and one for the teacher) and
+// streams the training split chronologically each epoch.
+#pragma once
+
+#include <optional>
+
+#include "nn/optim.hpp"
+#include "tgnn/inference.hpp"
+#include "util/rng.hpp"
+
+namespace tgnn::core {
+
+struct TrainOptions {
+  std::size_t epochs = 3;
+  std::size_t batch_size = 200;
+  double lr = 1e-3;
+  double grad_clip = 5.0;
+
+  /// Distillation (active only when teacher != nullptr and the model uses
+  /// simplified attention).
+  const TgnModel* teacher = nullptr;
+  double distill_weight = 1.0;
+  double temperature = 1.0;  ///< paper sets T = 1
+
+  std::uint64_t seed = 7;
+  bool verbose = false;
+};
+
+struct TrainStats {
+  std::vector<double> epoch_loss;      ///< mean total loss per epoch
+  std::vector<double> epoch_bce;       ///< BCE component
+  std::vector<double> epoch_distill;   ///< distillation component
+  double train_ap = 0.0;               ///< AP of last epoch's online scores
+};
+
+class Trainer {
+ public:
+  Trainer(TgnModel& model, Decoder& decoder, const data::Dataset& ds,
+          TrainOptions opts);
+
+  TrainStats train();
+
+ private:
+  struct BatchLoss {
+    double bce = 0.0;
+    double distill = 0.0;
+  };
+  BatchLoss train_batch(const graph::BatchRange& r,
+                        std::vector<ScoredSample>* score_sink);
+
+  TgnModel& model_;
+  Decoder& decoder_;
+  const data::Dataset& ds_;
+  TrainOptions opts_;
+  RuntimeState state_;
+  std::optional<InferenceEngine> teacher_engine_;
+  nn::ParamStore all_params_;
+  std::unique_ptr<nn::Adam> adam_;
+  tgnn::Rng rng_;
+  std::vector<graph::NodeId> dst_pool_;
+};
+
+/// Convenience pipeline used by Table II / Fig. 7: trains the model
+/// (optionally distilling from `teacher`), then measures test AP with a
+/// fresh engine (reset -> warm up through train+val -> evaluate on test).
+struct FitResult {
+  TrainStats stats;
+  double test_ap = 0.0;
+};
+FitResult fit_and_eval(TgnModel& model, Decoder& decoder,
+                       const data::Dataset& ds, TrainOptions opts);
+
+}  // namespace tgnn::core

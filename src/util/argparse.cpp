@@ -1,0 +1,76 @@
+#include "util/argparse.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace tgnn {
+
+void ArgParser::add_flag(const std::string& name, const std::string& default_value,
+                         const std::string& help) {
+  flags_[name] = Flag{default_value, help};
+}
+
+bool ArgParser::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage(argv[0]);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n", arg.c_str());
+      print_usage(argv[0]);
+      return false;
+    }
+    arg = arg.substr(2);
+    std::string name, value;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";  // bare flag treated as boolean
+      }
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      std::fprintf(stderr, "unknown flag: --%s\n", name.c_str());
+      print_usage(argv[0]);
+      return false;
+    }
+    it->second.value = value;
+  }
+  return true;
+}
+
+std::string ArgParser::get(const std::string& name) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) throw std::invalid_argument("unknown flag: " + name);
+  return it->second.value;
+}
+
+std::int64_t ArgParser::get_int(const std::string& name) const {
+  return std::stoll(get(name));
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  return std::stod(get(name));
+}
+
+bool ArgParser::get_bool(const std::string& name) const {
+  const auto v = get(name);
+  return v == "true" || v == "1" || v == "yes";
+}
+
+void ArgParser::print_usage(const std::string& prog) const {
+  std::fprintf(stderr, "usage: %s [flags]\n", prog.c_str());
+  for (const auto& [name, flag] : flags_)
+    std::fprintf(stderr, "  --%-24s %s (default: %s)\n", name.c_str(),
+                 flag.help.c_str(), flag.value.c_str());
+}
+
+}  // namespace tgnn

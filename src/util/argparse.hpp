@@ -1,0 +1,36 @@
+// Tiny command-line flag parser shared by benches and examples.
+// Flags take the form --name=value or --name value; unknown flags error.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tgnn {
+
+class ArgParser {
+ public:
+  /// Register a flag with a default value and help text before parse().
+  void add_flag(const std::string& name, const std::string& default_value,
+                const std::string& help);
+
+  /// Parse argv; returns false (and prints usage) on error or --help.
+  bool parse(int argc, char** argv);
+
+  [[nodiscard]] std::string get(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  void print_usage(const std::string& prog) const;
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string help;
+  };
+  std::map<std::string, Flag> flags_;
+};
+
+}  // namespace tgnn

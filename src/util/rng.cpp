@@ -1,0 +1,35 @@
+#include "util/rng.hpp"
+
+#include <stdexcept>
+
+namespace tgnn {
+
+std::size_t Rng::categorical(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) throw std::invalid_argument("categorical: zero total weight");
+  double r = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::size_t Rng::zipf(std::size_t n, double s) {
+  if (n == 0) throw std::invalid_argument("zipf: n must be > 0");
+  // Rejection sampling (Devroye). Adequate for dataset generation.
+  const double b = std::pow(2.0, s - 1.0);
+  for (;;) {
+    const double u = uniform();
+    const double v = uniform();
+    const double x = std::floor(std::pow(u, -1.0 / (s - 1.0)));
+    const double t = std::pow(1.0 + 1.0 / x, s - 1.0);
+    if (v * x * (t - 1.0) / (b - 1.0) <= t / b) {
+      const auto k = static_cast<std::size_t>(x) - 1;
+      if (k < n) return k;
+    }
+  }
+}
+
+}  // namespace tgnn

@@ -1,0 +1,101 @@
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// All stochastic components in this repository (synthetic dataset generation,
+// weight initialization, negative sampling) draw from Xoshiro256** seeded via
+// SplitMix64, so a fixed seed reproduces every table and figure bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <vector>
+
+namespace tgnn {
+
+/// Xoshiro256** PRNG (Blackman & Vigna). Fast, high-quality, 2^256 period.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initialize state from a 64-bit seed via SplitMix64.
+  void reseed(std::uint64_t seed) {
+    for (auto& s : state_) {
+      seed += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo, float hi) {
+    return lo + static_cast<float>(uniform()) * (hi - lo);
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform_int(std::uint64_t n) {
+    // Lemire's multiply-shift rejection-free-enough mapping.
+    return static_cast<std::uint64_t>(
+        (static_cast<__uint128_t>(next_u64()) * n) >> 64);
+  }
+
+  /// Standard normal via Box-Muller.
+  double normal() {
+    double u1 = 0.0;
+    while (u1 == 0.0) u1 = uniform();
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Exponential with rate lambda (mean 1/lambda).
+  double exponential(double lambda) {
+    double u = 0.0;
+    while (u == 0.0) u = uniform();
+    return -std::log(u) / lambda;
+  }
+
+  /// Pareto (power-law) with minimum xm and shape alpha; heavy tail for
+  /// inter-event times matching Fig. 1's power-law dt distribution.
+  double pareto(double xm, double alpha) {
+    double u = 0.0;
+    while (u == 0.0) u = uniform();
+    return xm / std::pow(u, 1.0 / alpha);
+  }
+
+  /// True with probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Sample an index from unnormalized non-negative weights.
+  std::size_t categorical(const std::vector<double>& weights);
+
+  /// Zipf-distributed index in [0, n) with exponent s (approximate, via
+  /// rejection-free inverse-CDF over precomputed table is avoided; uses the
+  /// standard rejection method which is adequate for generator use).
+  std::size_t zipf(std::size_t n, double s);
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace tgnn

@@ -1,0 +1,76 @@
+#include "util/table.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tgnn {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size())
+    throw std::invalid_argument("Table::add_row: arity mismatch");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << v;
+  return ss.str();
+}
+
+std::string Table::pct(double fraction, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << fraction * 100.0 << "%";
+  return ss.str();
+}
+
+void Table::print(std::ostream& os, const std::string& title) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::size_t total = 1;
+  for (auto w : width) total += w + 3;
+
+  if (!title.empty()) os << "== " << title << " ==\n";
+  auto rule = [&] { os << std::string(total, '-') << "\n"; };
+  auto emit = [&](const std::vector<std::string>& cells) {
+    os << "|";
+    for (std::size_t c = 0; c < cells.size(); ++c)
+      os << " " << std::left << std::setw(static_cast<int>(width[c]))
+         << cells[c] << " |";
+    os << "\n";
+  };
+  rule();
+  emit(header_);
+  rule();
+  for (const auto& row : rows_) emit(row);
+  rule();
+}
+
+bool Table::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) f << ",";
+      // Quote cells containing commas.
+      if (cells[c].find(',') != std::string::npos)
+        f << '"' << cells[c] << '"';
+      else
+        f << cells[c];
+    }
+    f << "\n";
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return static_cast<bool>(f);
+}
+
+}  // namespace tgnn

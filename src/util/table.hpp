@@ -1,0 +1,38 @@
+// Plain-text table printer used by the benchmark harnesses to emit the
+// paper's tables/figure series in a aligned, diff-friendly format, plus a
+// CSV sink for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tgnn {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format a double with fixed precision.
+  static std::string num(double v, int precision = 2);
+  /// Format as percentage with given precision (value is a fraction).
+  static std::string pct(double fraction, int precision = 1);
+
+  /// Render to an output stream with a title line and column separators.
+  void print(std::ostream& os, const std::string& title = "") const;
+
+  /// Write as CSV (header + rows) to the given path. Returns false on I/O error.
+  bool write_csv(const std::string& path) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tgnn

@@ -1,0 +1,70 @@
+#include "util/threadpool.hpp"
+
+#include <algorithm>
+
+namespace tgnn {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  threads = std::max<std::size_t>(1, threads);
+  workers_.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    workers_.emplace_back([this] {
+      for (;;) {
+        std::function<void()> task;
+        {
+          std::unique_lock lk(mu_);
+          cv_task_.wait(lk, [this] { return stop_ || !tasks_.empty(); });
+          if (stop_ && tasks_.empty()) return;
+          task = std::move(tasks_.front());
+          tasks_.pop();
+        }
+        task();
+        {
+          std::lock_guard lk(mu_);
+          if (--in_flight_ == 0) cv_done_.notify_all();
+        }
+      }
+    });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lk(mu_);
+    ++in_flight_;
+    tasks_.push(std::move(task));
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lk(mu_);
+  cv_done_.wait(lk, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t chunks = std::min(n, workers_.size());
+  const std::size_t per = (n + chunks - 1) / chunks;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = c * per;
+    const std::size_t hi = std::min(n, lo + per);
+    if (lo >= hi) break;
+    submit([lo, hi, &fn] {
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    });
+  }
+  wait_idle();
+}
+
+}  // namespace tgnn

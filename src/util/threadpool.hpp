@@ -1,0 +1,47 @@
+// Minimal blocking thread pool for the multi-threaded CPU baseline.
+//
+// The reference TGNN kernels are parallelized two ways: OpenMP inside GEMM
+// (src/tensor/ops.cpp) and this pool for task-level parallelism across
+// independent vertices in the CPU baseline (mirrors the paper's 32-thread
+// CPU runs). parallel_for partitions [0, n) into contiguous chunks.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace tgnn {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (>=1).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Run fn(i) for i in [0, n), partitioned into size() contiguous chunks.
+  /// Blocks until all chunks complete. Exceptions in workers terminate.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void submit(std::function<void()> task);
+  void wait_idle();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_done_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace tgnn

@@ -1,0 +1,76 @@
+#include "baselines/gpu_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+
+namespace tgnn::baselines {
+namespace {
+
+TEST(GpuSim, TitanXpSpecMatchesTableIII) {
+  const auto s = titan_xp();
+  EXPECT_NEAR(s.mem_bw, 547e9, 1e9);
+  EXPECT_GT(s.peak_flops, 10e12);
+}
+
+TEST(GpuSim, SmallBatchIsLaunchBound) {
+  const auto cfg = core::baseline_config(172, 0);
+  GpuSim sim(titan_xp(), cfg);
+  const double t1 = sim.batch_seconds(1, 2);
+  const double launch_budget = static_cast<double>(kernels_per_batch(cfg)) *
+                               titan_xp().framework_ops_factor *
+                               titan_xp().kernel_launch_s;
+  // At batch 1 nearly all time is kernel launches.
+  EXPECT_GT(launch_budget / t1, 0.8);
+}
+
+TEST(GpuSim, LatencyMonotoneInBatchSize) {
+  GpuSim sim(titan_xp(), core::baseline_config(172, 0));
+  double prev = 0.0;
+  for (std::size_t b : {10, 100, 1000, 10000}) {
+    const double t = sim.batch_seconds(b, 2 * b);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(GpuSim, ThroughputImprovesWithBatchSize) {
+  GpuSim sim(titan_xp(), core::baseline_config(172, 0));
+  const double tp_small = 10.0 / sim.batch_seconds(10, 20);
+  const double tp_large = 5000.0 / sim.batch_seconds(5000, 10000);
+  EXPECT_GT(tp_large, 5.0 * tp_small);  // the paper's GPU batch behaviour
+}
+
+TEST(GpuSim, SimplifiedModelUsesFewerKernels) {
+  auto base = core::baseline_config(172, 0);
+  auto sat = base;
+  sat.attention = core::AttentionKind::kSimplified;
+  EXPECT_LT(kernels_per_batch(sat), kernels_per_batch(base));
+}
+
+TEST(GpuSim, CoDesignedModelIsFasterAtLargeBatch) {
+  const auto base = core::baseline_config(172, 0);
+  const auto np = core::np_config('M', 172, 0);
+  GpuSim sb(titan_xp(), base), sn(titan_xp(), np);
+  EXPECT_LT(sn.batch_seconds(5000, 10000), sb.batch_seconds(5000, 10000));
+}
+
+TEST(GpuSim, PartsSumToTotal) {
+  GpuSim sim(titan_xp(), core::baseline_config(172, 0));
+  const auto parts = sim.batch_parts(100, 200);
+  EXPECT_NEAR(parts.total(), sim.batch_seconds(100, 200), 1e-12);
+  EXPECT_GT(parts.gnn, parts.sample);
+}
+
+TEST(GpuSim, RunSeconds) {
+  const auto ds = data::wikipedia_like(0.02);
+  GpuSim sim(titan_xp(), core::baseline_config(ds.edge_dim(), ds.node_dim()));
+  const double t = sim.run_seconds(ds, {0, 500}, 100);
+  EXPECT_GT(t, 0.0);
+  // 5 batches, each at least 20 logical kernels of launch overhead.
+  EXPECT_GE(t, 5 * 20 * titan_xp().framework_ops_factor *
+                   titan_xp().kernel_launch_s);
+}
+
+}  // namespace
+}  // namespace tgnn::baselines

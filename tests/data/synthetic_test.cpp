@@ -1,0 +1,104 @@
+#include "data/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tgnn/inference.hpp"
+
+namespace tgnn::data {
+namespace {
+
+TEST(Synthetic, DeterministicForSameSeed) {
+  const auto a = wikipedia_like(0.05, 42);
+  const auto b = wikipedia_like(0.05, 42);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (std::size_t i = 0; i < a.num_edges(); ++i) {
+    EXPECT_EQ(a.graph.edge(i).src, b.graph.edge(i).src);
+    EXPECT_DOUBLE_EQ(a.graph.edge(i).ts, b.graph.edge(i).ts);
+  }
+  EXPECT_EQ(a.edge_features(0, 0), b.edge_features(0, 0));
+}
+
+TEST(Synthetic, SeedChangesStream) {
+  const auto a = wikipedia_like(0.05, 1);
+  const auto b = wikipedia_like(0.05, 2);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.num_edges() && !any_diff; ++i)
+    any_diff = a.graph.edge(i).src != b.graph.edge(i).src;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Synthetic, PaperDimensions) {
+  const auto wiki = wikipedia_like(0.02);
+  EXPECT_EQ(wiki.edge_dim(), 172u);
+  EXPECT_EQ(wiki.node_dim(), 0u);
+  const auto gdelt = gdelt_like(0.02);
+  EXPECT_EQ(gdelt.edge_dim(), 0u);
+  EXPECT_EQ(gdelt.node_dim(), 200u);
+  EXPECT_EQ(gdelt.node_features.rows(), gdelt.num_nodes());
+}
+
+TEST(Synthetic, ChronologicalAndBipartite) {
+  const auto ds = reddit_like(0.05);
+  const graph::NodeId n_users = 2000;
+  for (std::size_t i = 0; i < ds.num_edges(); ++i) {
+    const auto& e = ds.graph.edge(i);
+    if (i > 0) EXPECT_GE(e.ts, ds.graph.edge(i - 1).ts);
+    EXPECT_LT(e.src, n_users);   // src is a user
+    EXPECT_GE(e.dst, n_users);   // dst is an item
+  }
+}
+
+TEST(Synthetic, SplitIs70_15_15) {
+  const auto ds = wikipedia_like(0.1);
+  EXPECT_NEAR(static_cast<double>(ds.train_end) / ds.num_edges(), 0.70, 0.01);
+  EXPECT_NEAR(static_cast<double>(ds.val_end) / ds.num_edges(), 0.85, 0.01);
+  EXPECT_EQ(ds.test_range().end, ds.num_edges());
+}
+
+TEST(Synthetic, InterEventTimesArePowerLawShaped) {
+  // Fig. 1 property: the dt distribution has most mass near zero and a heavy
+  // tail — mean >> median.
+  const auto ds = wikipedia_like(0.2);
+  auto dts = core::collect_dt_samples(ds, {0, ds.num_edges()});
+  ASSERT_GT(dts.size(), 100u);
+  std::sort(dts.begin(), dts.end());
+  const double median = dts[dts.size() / 2];
+  double mean = 0.0;
+  for (double d : dts) mean += d / static_cast<double>(dts.size());
+  EXPECT_GT(mean, 2.0 * median);
+}
+
+TEST(Synthetic, RepeatStructureExists) {
+  // JODIE-style revisit behaviour: a large fraction of edges repeat a
+  // previously seen (user, item) pair — the signal link prediction learns.
+  const auto st = compute_stats(wikipedia_like(0.2));
+  EXPECT_GT(st.repeat_fraction, 0.4);
+  EXPECT_LT(st.repeat_fraction, 0.99);
+}
+
+TEST(Synthetic, ByNameLookup) {
+  EXPECT_EQ(by_name("wikipedia", 0.02).name, "wikipedia");
+  EXPECT_EQ(by_name("reddit", 0.02).name, "reddit");
+  EXPECT_EQ(by_name("gdelt", 0.02).name, "gdelt");
+  EXPECT_THROW(by_name("imagenet"), std::invalid_argument);
+}
+
+TEST(Synthetic, RejectsEmptyConfig) {
+  SyntheticConfig cfg;
+  cfg.num_edges = 0;
+  EXPECT_THROW(make_synthetic(cfg), std::invalid_argument);
+}
+
+TEST(Synthetic, StatsAreConsistent) {
+  const auto ds = wikipedia_like(0.05);
+  const auto st = compute_stats(ds);
+  EXPECT_EQ(st.num_edges, ds.num_edges());
+  EXPECT_GT(st.span_seconds, 0.0);
+  EXPECT_NEAR(st.mean_degree,
+              2.0 * static_cast<double>(st.num_edges) / st.num_nodes, 1e-9);
+}
+
+}  // namespace
+}  // namespace tgnn::data

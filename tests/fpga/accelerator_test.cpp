@@ -1,0 +1,150 @@
+#include "fpga/accelerator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "tensor/ops.hpp"
+
+namespace tgnn::fpga {
+namespace {
+
+data::Dataset tiny_ds() {
+  data::SyntheticConfig dcfg;
+  dcfg.num_users = 40;
+  dcfg.num_items = 15;
+  dcfg.num_edges = 500;
+  dcfg.edge_dim = 6;
+  dcfg.seed = 21;
+  return data::make_synthetic(dcfg);
+}
+
+core::ModelConfig sat_cfg(const data::Dataset& ds) {
+  core::ModelConfig cfg;
+  cfg.mem_dim = 8;
+  cfg.time_dim = 4;
+  cfg.emb_dim = 6;
+  cfg.edge_dim = ds.edge_dim();
+  cfg.num_neighbors = 5;
+  cfg.prune_budget = 3;
+  cfg.attention = core::AttentionKind::kSimplified;
+  cfg.time_encoder = core::TimeEncoderKind::kLut;
+  cfg.lut_bins = 16;
+  return cfg;
+}
+
+core::TgnModel make_model(const data::Dataset& ds) {
+  core::TgnModel model(sat_cfg(ds), 1);
+  model.fit_lut(core::collect_dt_samples(ds, {0, ds.train_end}));
+  return model;
+}
+
+TEST(Accelerator, RejectsVanillaModel) {
+  const auto ds = tiny_ds();
+  auto cfg = sat_cfg(ds);
+  cfg.attention = core::AttentionKind::kVanilla;
+  cfg.time_encoder = core::TimeEncoderKind::kCos;
+  core::TgnModel vanilla(cfg, 1);
+  EXPECT_THROW(Accelerator(vanilla, ds, zcu104_design(), zcu104()),
+               std::invalid_argument);
+}
+
+TEST(Accelerator, FunctionalOutputEqualsReferenceEngine) {
+  // The accelerator's embeddings must be bit-identical to the reference
+  // inference engine's — the paper's "same accuracy on FPGA" claim.
+  const auto ds = tiny_ds();
+  const auto model = make_model(ds);
+  Accelerator acc(model, ds, zcu104_design(), zcu104());
+  core::InferenceEngine ref(model, ds, true);
+  for (const auto& b : ds.graph.fixed_size_batches(0, 300, 60)) {
+    const auto out = acc.process_batch(b);
+    const auto expect = ref.process_batch(b);
+    ASSERT_EQ(out.functional.nodes.size(), expect.nodes.size());
+    EXPECT_EQ(ops::max_abs_diff(out.functional.embeddings, expect.embeddings),
+              0.0f);
+  }
+}
+
+TEST(Accelerator, LatencyPositiveAndGrowsWithBatch) {
+  const auto ds = tiny_ds();
+  const auto model = make_model(ds);
+  Accelerator acc(model, ds, zcu104_design(), zcu104());
+  const double t_small = acc.simulate_batch_seconds(ds.graph.edges({0, 20}));
+  const double t_large =
+      acc.simulate_batch_seconds(ds.graph.edges({20, 220}));
+  EXPECT_GT(t_small, 0.0);
+  EXPECT_GT(t_large, t_small);
+}
+
+TEST(Accelerator, U200FasterThanZcu104) {
+  const auto ds = tiny_ds();
+  const auto model = make_model(ds);
+  Accelerator u200_acc(model, ds, u200_design(), alveo_u200());
+  Accelerator zcu_acc(model, ds, zcu104_design(), zcu104());
+  const auto edges = ds.graph.edges({0, 200});
+  EXPECT_LT(u200_acc.simulate_batch_seconds(edges),
+            zcu_acc.simulate_batch_seconds(edges));
+}
+
+TEST(Accelerator, RunAccumulatesSummary) {
+  const auto ds = tiny_ds();
+  const auto model = make_model(ds);
+  Accelerator acc(model, ds, zcu104_design(), zcu104());
+  const auto sum = acc.run({0, 300}, 60);
+  EXPECT_EQ(sum.num_edges, 300u);
+  EXPECT_EQ(sum.batch_latency_s.size(), 5u);
+  EXPECT_GT(sum.throughput_eps(), 0.0);
+}
+
+TEST(Accelerator, UpdaterEliminatesRedundantWrites) {
+  // Repeat-heavy synthetic traffic: the same vertices recur within batches,
+  // so the Updater cache must eliminate some write-backs.
+  const auto ds = tiny_ds();
+  const auto model = make_model(ds);
+  Accelerator acc(model, ds, zcu104_design(), zcu104());
+  acc.run({0, 400}, 100);
+  EXPECT_GT(acc.updater_stats().writes, 0u);
+  EXPECT_GT(acc.updater_stats().invalidations, 0u);
+}
+
+TEST(Accelerator, ResetClearsState) {
+  const auto ds = tiny_ds();
+  const auto model = make_model(ds);
+  Accelerator acc(model, ds, zcu104_design(), zcu104());
+  const auto first = acc.process_batch({0, 50});
+  acc.process_batch({50, 100});
+  acc.reset();
+  const auto again = acc.process_batch({0, 50});
+  EXPECT_EQ(ops::max_abs_diff(first.functional.embeddings,
+                              again.functional.embeddings),
+            0.0f);
+}
+
+TEST(Accelerator, PruningReducesSimulatedLatency) {
+  const auto ds = tiny_ds();
+  auto cfg_l = sat_cfg(ds);
+  cfg_l.prune_budget = 5;
+  auto cfg_s = sat_cfg(ds);
+  cfg_s.prune_budget = 1;
+  core::TgnModel ml(cfg_l, 1), ms(cfg_s, 1);
+  ml.fit_lut(core::collect_dt_samples(ds, {0, ds.train_end}));
+  ms.fit_lut(core::collect_dt_samples(ds, {0, ds.train_end}));
+  Accelerator al(ml, ds, zcu104_design(), zcu104());
+  Accelerator as(ms, ds, zcu104_design(), zcu104());
+  al.warmup({0, 300});
+  as.warmup({0, 300});
+  const auto edges = ds.graph.edges({300, 500});
+  EXPECT_LT(as.simulate_batch_seconds(edges),
+            al.simulate_batch_seconds(edges));
+}
+
+TEST(Accelerator, WindowedRunSkipsEmptyWindows) {
+  const auto ds = tiny_ds();
+  const auto model = make_model(ds);
+  Accelerator acc(model, ds, zcu104_design(), zcu104());
+  const auto sum = acc.run_windows({0, 200}, 3600.0);
+  EXPECT_EQ(sum.num_edges, 200u);
+  for (double l : sum.batch_latency_s) EXPECT_GT(l, 0.0);
+}
+
+}  // namespace
+}  // namespace tgnn::fpga

@@ -1,0 +1,91 @@
+#include "fpga/data_loader.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tgnn/config.hpp"
+
+namespace tgnn::fpga {
+namespace {
+
+core::ModelConfig np_m() { return core::np_config('M', 172, 0); }
+
+BatchShape shape_for(std::size_t nb, const core::ModelConfig& cfg) {
+  BatchShape s;
+  s.edges = nb;
+  s.vertices = 2 * nb;
+  s.neighbors = s.vertices * cfg.effective_neighbors();
+  s.commits = s.vertices;
+  return s;
+}
+
+TEST(DataLoader, TotalIsSumOfStages) {
+  const auto cfg = np_m();
+  DataLoader loader(cfg);
+  const auto s = shape_for(16, cfg);
+  const std::size_t sum =
+      loader.load_edges(s).bytes + loader.load_vertex_state(s).bytes +
+      loader.prefetch_neighbors(s).bytes + loader.writeback_state(s).bytes +
+      loader.store_embeddings(s).bytes;
+  EXPECT_EQ(loader.total_bytes(s), sum);
+}
+
+TEST(DataLoader, TrafficScalesLinearlyWithBatch) {
+  const auto cfg = np_m();
+  DataLoader loader(cfg);
+  EXPECT_EQ(loader.total_bytes(shape_for(32, cfg)),
+            2 * loader.total_bytes(shape_for(16, cfg)));
+}
+
+TEST(DataLoader, PruningCutsPrefetchTraffic) {
+  auto full = np_m();
+  full.prune_budget = 0;  // 10 neighbors
+  auto pruned = np_m();   // 4 neighbors
+  const auto sf = shape_for(16, full);
+  const auto sp = shape_for(16, pruned);
+  EXPECT_EQ(DataLoader(pruned).prefetch_neighbors(sp).bytes * 10,
+            DataLoader(full).prefetch_neighbors(sf).bytes * 4);
+}
+
+TEST(DataLoader, UpdaterDedupCutsWritebackOnly) {
+  const auto cfg = np_m();
+  DataLoader loader(cfg);
+  auto s = shape_for(16, cfg);
+  const auto before = loader.writeback_state(s).bytes;
+  const auto prefetch_before = loader.prefetch_neighbors(s).bytes;
+  s.commits /= 2;  // Updater eliminated half the write-backs
+  EXPECT_EQ(loader.writeback_state(s).bytes, before / 2);
+  EXPECT_EQ(loader.prefetch_neighbors(s).bytes, prefetch_before);
+}
+
+TEST(DataLoader, BurstLengthsAreRowSizes) {
+  const auto cfg = np_m();
+  DataLoader loader(cfg);
+  const auto s = shape_for(8, cfg);
+  // Mail row = raw mail + timestamp; memory row = mem_dim floats.
+  EXPECT_EQ(loader.load_vertex_state(s).burst,
+            cfg.raw_mail_dim() * 4 + 4);
+  EXPECT_EQ(loader.prefetch_neighbors(s).burst, cfg.mem_dim * 4);
+  EXPECT_EQ(loader.store_embeddings(s).burst, cfg.emb_dim * 4);
+}
+
+TEST(DataLoader, NodeFeaturesAddPrefetchBytes) {
+  auto gdelt = core::np_config('M', 0, 200);
+  auto wiki = core::np_config('M', 172, 0);
+  const auto sg = shape_for(16, gdelt);
+  const auto sw = shape_for(16, wiki);
+  // GDELT prefetches 200-d node features per neighbor vs 172-d edge
+  // features: more bytes per neighbor.
+  EXPECT_GT(DataLoader(gdelt).prefetch_neighbors(sg).bytes,
+            DataLoader(wiki).prefetch_neighbors(sw).bytes);
+}
+
+TEST(Transfer, SecondsUsesBurstEfficiency) {
+  DdrModel ddr(77.0);
+  Transfer t{1 << 20, 64};
+  EXPECT_DOUBLE_EQ(t.seconds(ddr), ddr.seconds_for(1 << 20, 64));
+  // Refresh-charged variant is never faster.
+  EXPECT_GE(t.seconds_at(ddr, 0.0), t.seconds(ddr));
+}
+
+}  // namespace
+}  // namespace tgnn::fpga

@@ -1,0 +1,56 @@
+#include "fpga/ddr_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tgnn::fpga {
+namespace {
+
+TEST(DdrModel, AlphaIncreasesWithBurstLength) {
+  DdrModel ddr(77.0);
+  EXPECT_LT(ddr.alpha(16), ddr.alpha(64));
+  EXPECT_LT(ddr.alpha(64), ddr.alpha(4096));
+  EXPECT_GT(ddr.alpha(16), 0.0);
+  EXPECT_LE(ddr.alpha(1 << 20), 1.0);
+}
+
+TEST(DdrModel, SecondsLinearInBytes) {
+  DdrModel ddr(77.0);
+  const double t1 = ddr.seconds_for(1000, 64);
+  const double t2 = ddr.seconds_for(2000, 64);
+  EXPECT_NEAR(t2, 2.0 * t1, 1e-12);
+}
+
+TEST(DdrModel, ShortBurstsPayOverhead) {
+  DdrModel ddr(77.0);
+  // Same bytes, shorter bursts -> more time.
+  EXPECT_GT(ddr.seconds_for(1 << 20, 32), ddr.seconds_for(1 << 20, 4096));
+}
+
+TEST(DdrModel, PeakBandwidthBound) {
+  DdrModel ddr(77.0);
+  // A huge burst approaches peak: 1 GB at 77 GB/s ~ 13 ms.
+  const double t = ddr.seconds_for(1'000'000'000, 1 << 22);
+  EXPECT_NEAR(t, 1.0 / 77.0, 1e-3);
+}
+
+TEST(DdrModel, RefreshAddsTime) {
+  DdrModel ddr(19.2);
+  const std::size_t bytes = 10'000'000;  // ~0.5 ms busy: spans ~66 tREFI
+  const double plain = ddr.seconds_for(bytes, 4096);
+  const double with = ddr.seconds_with_refresh(0.0, bytes, 4096);
+  EXPECT_GT(with, plain);
+  // Refresh overhead ~ tRFC/tREFI ~ 4.5%.
+  EXPECT_LT(with, plain * 1.10);
+}
+
+TEST(DdrModel, RefreshNoopForZeroBytes) {
+  DdrModel ddr(19.2);
+  EXPECT_EQ(ddr.seconds_with_refresh(1.0, 0, 64), 0.0);
+}
+
+TEST(DdrModel, RejectsBadBandwidth) {
+  EXPECT_THROW(DdrModel(0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tgnn::fpga

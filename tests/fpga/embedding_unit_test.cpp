@@ -1,0 +1,103 @@
+#include "fpga/embedding_unit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace tgnn::fpga {
+namespace {
+
+core::ModelConfig sat_cfg() {
+  core::ModelConfig cfg;
+  cfg.mem_dim = 10;
+  cfg.time_dim = 6;
+  cfg.emb_dim = 8;
+  cfg.edge_dim = 5;
+  cfg.num_neighbors = 6;
+  cfg.attention = core::AttentionKind::kSimplified;
+  return cfg;
+}
+
+// The hardware linearity claim (§IV-B): FAM aggregate-then-FTM-transform
+// equals the reference per-neighbor-projection order, because alpha is
+// feature-independent and sums to 1.
+class EuEquivalence : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EuEquivalence, AggregateThenTransformMatchesReference) {
+  const std::size_t n_valid = GetParam();
+  const auto cfg = sat_cfg();
+  Rng rng(n_valid * 13 + 1);
+  core::SimplifiedAttention sat(cfg, rng);
+  EmbeddingUnit eu(u200_design(), cfg);
+
+  std::vector<double> dts(n_valid);
+  for (auto& d : dts) d = rng.uniform() * 100.0;
+  const auto scores = sat.score(dts, /*budget=*/0);
+  const Tensor v_in = Tensor::randn(scores.keep.size(), cfg.kv_in_dim(), rng);
+  const Tensor f = Tensor::randn(1, cfg.mem_dim, rng);
+
+  const Tensor ref = sat.aggregate(f.row(0), scores, v_in);
+  std::uint64_t cycles = 0;
+  const Tensor got = eu.forward_tiled(sat, f.row(0), scores, v_in, &cycles);
+  EXPECT_LT(ops::max_abs_diff(ref, got), 1e-4f);
+  EXPECT_GT(cycles, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(NeighborCounts, EuEquivalence,
+                         ::testing::Values(0, 1, 2, 4, 6));
+
+TEST(EmbeddingUnit, EquivalenceHoldsUnderPruning) {
+  const auto cfg = sat_cfg();
+  Rng rng(71);
+  core::SimplifiedAttention sat(cfg, rng);
+  EmbeddingUnit eu(u200_design(), cfg);
+  const std::vector<double> dts = {5.0, 2.0, 80.0, 0.5, 12.0, 1.0};
+  const auto scores = sat.score(dts, /*budget=*/3);
+  ASSERT_EQ(scores.keep.size(), 3u);
+  const Tensor v_in = Tensor::randn(3, cfg.kv_in_dim(), rng);
+  const Tensor f = Tensor::randn(1, cfg.mem_dim, rng);
+  EXPECT_LT(ops::max_abs_diff(sat.aggregate(f.row(0), scores, v_in),
+                              eu.forward_tiled(sat, f.row(0), scores, v_in)),
+            1e-4f);
+}
+
+TEST(EmbeddingUnit, CycleCountsScaleWithVerticesAndBudget) {
+  auto cfg = sat_cfg();
+  EmbeddingUnit eu(u200_design(), cfg);
+  EXPECT_EQ(eu.aggregation_cycles(10), 2 * eu.aggregation_cycles(5));
+  auto pruned = cfg;
+  pruned.prune_budget = 2;
+  EmbeddingUnit eu_pruned(u200_design(), pruned);
+  EXPECT_LT(eu_pruned.aggregation_cycles(10), eu.aggregation_cycles(10));
+  EXPECT_LT(eu_pruned.encode_cycles(10), eu.encode_cycles(10));
+}
+
+TEST(EmbeddingUnit, LutEncoderReducesCycles) {
+  // Paper-scale widths so the ceil() quantization cannot mask the change.
+  auto cfg = sat_cfg();
+  cfg.time_dim = 100;
+  cfg.mem_dim = 100;
+  cfg.emb_dim = 100;
+  cfg.edge_dim = 172;
+  EmbeddingUnit cos_eu(u200_design(), cfg);
+  cfg.time_encoder = core::TimeEncoderKind::kLut;
+  EmbeddingUnit lut_eu(u200_design(), cfg);
+  EXPECT_LT(lut_eu.encode_cycles(10), cos_eu.encode_cycles(10));
+  EXPECT_LT(lut_eu.aggregation_cycles(10), cos_eu.aggregation_cycles(10));
+  EXPECT_LT(lut_eu.transform_cycles(10), cos_eu.transform_cycles(10));
+}
+
+TEST(EmbeddingUnit, RejectsRowMismatch) {
+  const auto cfg = sat_cfg();
+  Rng rng(5);
+  core::SimplifiedAttention sat(cfg, rng);
+  EmbeddingUnit eu(u200_design(), cfg);
+  const auto scores = sat.score({1.0, 2.0}, 0);
+  EXPECT_THROW(eu.forward_tiled(sat, Tensor(1, cfg.mem_dim).row(0), scores,
+                                Tensor(3, cfg.kv_in_dim())),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tgnn::fpga

@@ -1,0 +1,52 @@
+#include "fpga/fifo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tgnn::fpga {
+namespace {
+
+TEST(Fifo, FifoOrder) {
+  Fifo<int> f(4);
+  EXPECT_TRUE(f.push(1));
+  EXPECT_TRUE(f.push(2));
+  EXPECT_TRUE(f.push(3));
+  EXPECT_EQ(f.pop().value(), 1);
+  EXPECT_EQ(f.pop().value(), 2);
+  EXPECT_EQ(f.pop().value(), 3);
+  EXPECT_FALSE(f.pop().has_value());
+}
+
+TEST(Fifo, CapacityBlocksPush) {
+  Fifo<int> f(2);
+  EXPECT_TRUE(f.push(1));
+  EXPECT_TRUE(f.push(2));
+  EXPECT_TRUE(f.full());
+  EXPECT_FALSE(f.push(3));
+  f.pop();
+  EXPECT_TRUE(f.push(3));
+}
+
+TEST(Fifo, HighWaterTracksPeak) {
+  Fifo<int> f(8);
+  f.push(1);
+  f.push(2);
+  f.push(3);
+  f.pop();
+  f.pop();
+  EXPECT_EQ(f.high_water(), 3u);
+  EXPECT_EQ(f.size(), 1u);
+}
+
+TEST(Fifo, ClearEmpties) {
+  Fifo<int> f(2);
+  f.push(1);
+  f.clear();
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(Fifo, ZeroCapacityRejected) {
+  EXPECT_THROW(Fifo<int>(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tgnn::fpga

@@ -1,0 +1,71 @@
+#include "fpga/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tgnn::fpga {
+namespace {
+
+StageDurations uniform(double t) {
+  StageDurations s;
+  s.t.fill(t);
+  return s;
+}
+
+TEST(Pipeline, SingleBatchIsSumOfStages) {
+  PipelineScheduler sched(kPipelineStages);  // no serialization
+  const auto res = sched.run({uniform(1.0)});
+  EXPECT_DOUBLE_EQ(res.total_s, 9.0);
+  EXPECT_DOUBLE_EQ(res.fill_s, 9.0);
+}
+
+TEST(Pipeline, SteadyStatePeriodIsMaxStage) {
+  PipelineScheduler sched(kPipelineStages);
+  StageDurations s = uniform(1.0);
+  s.t[4] = 3.0;  // dominant stage
+  const std::vector<StageDurations> batches(50, s);
+  const auto res = sched.run(batches);
+  // total ~ fill + (n-1) * Tp where Tp = 3.
+  EXPECT_NEAR(res.total_s, res.fill_s + 49 * 3.0, 1e-9);
+}
+
+TEST(Pipeline, ThroughputNeverExceedsBottleneck) {
+  PipelineScheduler sched(kPipelineStages);
+  StageDurations s = uniform(0.5);
+  s.t[7] = 2.0;
+  const auto res = sched.run(std::vector<StageDurations>(100, s));
+  const double period = (res.total_s - res.fill_s) / 99.0;
+  EXPECT_GE(period, 2.0 - 1e-9);
+}
+
+TEST(Pipeline, SerializationOrdersUpdates) {
+  // With serialization on stage 5, a long stage-5 in batch 0 delays batch 1
+  // even if batch 1 reaches stage 5 early.
+  StageDurations fast = uniform(0.1);
+  StageDurations slow = uniform(0.1);
+  slow.t[5] = 10.0;
+  PipelineScheduler with(5), without(kPipelineStages);
+  const std::vector<StageDurations> batches = {slow, fast};
+  // Both orders serialize the same here because stage reservation already
+  // orders same-stage executions; serialization matters across *lanes*,
+  // exercised in the accelerator test. Here just check totals are sane.
+  EXPECT_GE(with.run(batches).total_s, without.run(batches).total_s - 1e-12);
+}
+
+TEST(Pipeline, EmptyInput) {
+  PipelineScheduler sched;
+  const auto res = sched.run({});
+  EXPECT_EQ(res.total_s, 0.0);
+  EXPECT_TRUE(res.batch_finish_s.empty());
+}
+
+TEST(Pipeline, MonotoneFinishTimes) {
+  PipelineScheduler sched;
+  std::vector<StageDurations> batches;
+  for (int i = 0; i < 10; ++i) batches.push_back(uniform(0.2 + 0.05 * i));
+  const auto res = sched.run(batches);
+  for (std::size_t i = 1; i < res.batch_finish_s.size(); ++i)
+    EXPECT_GT(res.batch_finish_s[i], res.batch_finish_s[i - 1]);
+}
+
+}  // namespace
+}  // namespace tgnn::fpga

@@ -1,0 +1,83 @@
+#include "fpga/updater_cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tgnn::fpga {
+namespace {
+
+TEST(UpdaterCache, DrainReturnsChronologicalOrder) {
+  UpdaterCache cache(8, /*ncu=*/2);
+  // CU 0 writes 10, 11; CU 1 writes 20, 21. Interleaved slots: CU0 at
+  // 0,2,..., CU1 at 1,3,... The ring order is the arrival order.
+  cache.write(0, 10);
+  cache.write(1, 20);
+  cache.write(0, 11);
+  cache.write(1, 21);
+  const auto out = cache.drain();
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0], 10u);
+  EXPECT_EQ(out[1], 20u);
+  EXPECT_EQ(out[2], 11u);
+  EXPECT_EQ(out[3], 21u);
+}
+
+TEST(UpdaterCache, DuplicateVertexInvalidatesOlderLine) {
+  UpdaterCache cache(8, 2);
+  cache.write(0, 42);
+  cache.write(1, 42);  // newer version of vertex 42
+  const auto out = cache.drain();
+  ASSERT_EQ(out.size(), 1u);  // only the newest survives
+  EXPECT_EQ(out[0], 42u);
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+}
+
+TEST(UpdaterCache, RedundantEliminationAcrossManyWrites) {
+  UpdaterCache cache(16, 1);
+  for (int i = 0; i < 8; ++i) cache.write(0, 7);  // same vertex 8 times
+  EXPECT_EQ(cache.pending(), 1u);
+  EXPECT_EQ(cache.stats().invalidations, 7u);
+}
+
+TEST(UpdaterCache, WriteFailsWhenLaneFull) {
+  UpdaterCache cache(4, 2);  // CU 0 owns slots 0, 2.
+  EXPECT_TRUE(cache.write(0, 1));
+  EXPECT_TRUE(cache.write(0, 2));
+  EXPECT_FALSE(cache.write(0, 3));  // lane full
+  cache.drain();
+  EXPECT_TRUE(cache.write(0, 3));
+}
+
+TEST(UpdaterCache, DrainCyclesScansThreePerCycle) {
+  UpdaterCache cache(12, 1, 3);
+  EXPECT_EQ(cache.drain_cycles(12), 4u);
+  EXPECT_EQ(cache.drain_cycles(1), 1u);
+  EXPECT_EQ(cache.drain_cycles(0), 0u);
+}
+
+TEST(UpdaterCache, StatsAccumulate) {
+  UpdaterCache cache(8, 2);
+  cache.write(0, 1);
+  cache.write(1, 2);
+  cache.drain();
+  EXPECT_EQ(cache.stats().writes, 2u);
+  EXPECT_EQ(cache.stats().commits, 2u);
+  EXPECT_GT(cache.stats().commit_cycles, 0u);
+}
+
+TEST(UpdaterCache, ResetClearsEverything) {
+  UpdaterCache cache(8, 2);
+  cache.write(0, 1);
+  cache.reset();
+  EXPECT_EQ(cache.pending(), 0u);
+  EXPECT_EQ(cache.stats().writes, 0u);
+}
+
+TEST(UpdaterCache, RejectsBadGeometry) {
+  EXPECT_THROW(UpdaterCache(0, 1), std::invalid_argument);
+  EXPECT_THROW(UpdaterCache(7, 2), std::invalid_argument);  // not divisible
+  UpdaterCache cache(4, 2);
+  EXPECT_THROW(cache.write(5, 0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace tgnn::fpga

@@ -1,0 +1,62 @@
+#include "graph/neighbor_finder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tgnn::graph {
+namespace {
+
+TEST(NeighborFinder, ReturnsMostRecentStrictlyBefore) {
+  NeighborFinder nf(5);
+  nf.insert({0, 1, 1.0, 10});
+  nf.insert({0, 2, 2.0, 11});
+  nf.insert({0, 3, 3.0, 12});
+
+  const auto hits = nf.most_recent(0, 3.0, 10);  // strictly before t=3
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].node, 1u);
+  EXPECT_EQ(hits[1].node, 2u);
+}
+
+TEST(NeighborFinder, RespectsK) {
+  NeighborFinder nf(5);
+  for (int i = 0; i < 8; ++i)
+    nf.insert({0, static_cast<NodeId>(1 + i % 4), static_cast<double>(i), 0});
+  const auto hits = nf.most_recent(0, 100.0, 3);
+  ASSERT_EQ(hits.size(), 3u);
+  // Oldest -> newest of the 3 most recent (ts 5, 6, 7).
+  EXPECT_DOUBLE_EQ(hits[0].ts, 5.0);
+  EXPECT_DOUBLE_EQ(hits[2].ts, 7.0);
+}
+
+TEST(NeighborFinder, BothEndpointsRecorded) {
+  NeighborFinder nf(5);
+  nf.insert({2, 3, 1.0, 7});
+  EXPECT_EQ(nf.degree(2), 1u);
+  EXPECT_EQ(nf.degree(3), 1u);
+  const auto hits = nf.most_recent(3, 2.0, 5);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].node, 2u);
+  EXPECT_EQ(hits[0].eid, 7u);
+}
+
+TEST(NeighborFinder, EmptyForUnseenNode) {
+  NeighborFinder nf(5);
+  EXPECT_TRUE(nf.most_recent(4, 10.0, 3).empty());
+}
+
+TEST(NeighborFinder, OutOfRangeThrows) {
+  NeighborFinder nf(2);
+  EXPECT_THROW(nf.most_recent(2, 1.0, 1), std::out_of_range);
+  EXPECT_THROW(nf.insert({0, 5, 1.0, 0}), std::out_of_range);
+}
+
+TEST(NeighborFinder, ClearRemovesHistory) {
+  NeighborFinder nf(3);
+  nf.insert({0, 1, 1.0, 0});
+  nf.clear();
+  EXPECT_EQ(nf.degree(0), 0u);
+  EXPECT_TRUE(nf.most_recent(1, 5.0, 3).empty());
+}
+
+}  // namespace
+}  // namespace tgnn::graph

@@ -1,0 +1,97 @@
+#include "graph/neighbor_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace tgnn::graph {
+namespace {
+
+TEST(NeighborTable, FifoEvictionKeepsNewest) {
+  NeighborTable t(4, 3);
+  for (int i = 0; i < 5; ++i)
+    t.insert(0, static_cast<NodeId>(i % 4), static_cast<EdgeId>(i),
+             static_cast<double>(i));
+  const auto row = t.row(0);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_DOUBLE_EQ(row[0].ts, 2.0);  // oldest surviving
+  EXPECT_DOUBLE_EQ(row[2].ts, 4.0);  // newest
+}
+
+TEST(NeighborTable, RowOrderIsChronological) {
+  NeighborTable t(2, 5);
+  for (int i = 0; i < 4; ++i)
+    t.insert(1, 0, static_cast<EdgeId>(i), static_cast<double>(10 + i));
+  const auto row = t.row(1);
+  for (std::size_t i = 1; i < row.size(); ++i)
+    EXPECT_LE(row[i - 1].ts, row[i].ts);
+}
+
+TEST(NeighborTable, InsertEdgeUpdatesBothEndpoints) {
+  NeighborTable t(4, 2);
+  t.insert_edge({1, 3, 7.5, 42});
+  ASSERT_EQ(t.fill(1), 1u);
+  ASSERT_EQ(t.fill(3), 1u);
+  EXPECT_EQ(t.row(1)[0].node, 3u);
+  EXPECT_EQ(t.row(3)[0].node, 1u);
+  EXPECT_EQ(t.row(3)[0].eid, 42u);
+}
+
+TEST(NeighborTable, FillSaturatesAtCapacity) {
+  NeighborTable t(2, 3);
+  for (int i = 0; i < 10; ++i) t.insert(0, 1, 0, static_cast<double>(i));
+  EXPECT_EQ(t.fill(0), 3u);
+}
+
+TEST(NeighborTable, RejectsBadArgs) {
+  EXPECT_THROW(NeighborTable(2, 0), std::invalid_argument);
+  NeighborTable t(2, 2);
+  EXPECT_THROW(t.insert(5, 0, 0, 0.0), std::out_of_range);
+  EXPECT_THROW(t.row(5), std::out_of_range);
+}
+
+TEST(NeighborTable, RowBytesLayout) {
+  NeighborTable t(1, 10);
+  EXPECT_EQ(t.row_bytes(), 10u * 12u);
+}
+
+// Property: for a random chronological stream, the FIFO table's row equals
+// the unbounded finder's mr most recent interactions — the equivalence that
+// justifies replacing the temporal sampler with the hardware FIFO (§I).
+class FifoEquivalence : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FifoEquivalence, MatchesUnboundedFinderMostRecent) {
+  const std::size_t mr = GetParam();
+  const NodeId n = 20;
+  NeighborTable table(n, mr);
+  NeighborFinder finder(n);
+  tgnn::Rng rng(mr * 101);
+
+  double ts = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    ts += rng.uniform() + 0.01;
+    const auto a = static_cast<NodeId>(rng.uniform_int(n));
+    auto b = static_cast<NodeId>(rng.uniform_int(n));
+    if (b == a) b = (b + 1) % n;
+    const TemporalEdge e{a, b, ts, static_cast<EdgeId>(i)};
+    table.insert_edge(e);
+    finder.insert(e);
+  }
+  const double t_query = ts + 1.0;
+  for (NodeId v = 0; v < n; ++v) {
+    const auto expect = finder.most_recent(v, t_query, mr);
+    const auto got = table.row(v);
+    ASSERT_EQ(got.size(), expect.size()) << "node " << v;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].node, expect[i].node);
+      EXPECT_EQ(got[i].eid, expect[i].eid);
+      EXPECT_DOUBLE_EQ(got[i].ts, expect[i].ts);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, FifoEquivalence,
+                         ::testing::Values(1, 2, 4, 10, 16));
+
+}  // namespace
+}  // namespace tgnn::graph

@@ -1,0 +1,83 @@
+#include "graph/temporal_graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tgnn::graph {
+namespace {
+
+std::vector<TemporalEdge> chain(std::size_t n, double dt = 1.0) {
+  std::vector<TemporalEdge> e;
+  for (std::size_t i = 0; i < n; ++i)
+    e.push_back({static_cast<NodeId>(i % 4), static_cast<NodeId>((i + 1) % 4),
+                 static_cast<double>(i) * dt, 0});
+  return e;
+}
+
+TEST(TemporalGraph, AssignsSequentialEids) {
+  TemporalGraph g(4, chain(5));
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(g.edge(i).eid, i);
+}
+
+TEST(TemporalGraph, RejectsOutOfRangeNodes) {
+  std::vector<TemporalEdge> e = {{0, 9, 0.0, 0}};
+  EXPECT_THROW(TemporalGraph(4, e), std::invalid_argument);
+}
+
+TEST(TemporalGraph, RejectsNonChronological) {
+  std::vector<TemporalEdge> e = {{0, 1, 5.0, 0}, {1, 2, 3.0, 0}};
+  EXPECT_THROW(TemporalGraph(4, e), std::invalid_argument);
+}
+
+TEST(TemporalGraph, AllowsEqualTimestamps) {
+  std::vector<TemporalEdge> e = {{0, 1, 5.0, 0}, {1, 2, 5.0, 0}};
+  EXPECT_NO_THROW(TemporalGraph(4, e));
+}
+
+TEST(TemporalGraph, FixedSizeBatchesCoverRange) {
+  TemporalGraph g(4, chain(10));
+  const auto batches = g.fixed_size_batches(2, 9, 3);
+  ASSERT_EQ(batches.size(), 3u);
+  EXPECT_EQ(batches[0].begin, 2u);
+  EXPECT_EQ(batches[0].end, 5u);
+  EXPECT_EQ(batches[2].begin, 8u);
+  EXPECT_EQ(batches[2].end, 9u);  // short tail
+}
+
+TEST(TemporalGraph, FixedSizeBatchesRejectBadArgs) {
+  TemporalGraph g(4, chain(10));
+  EXPECT_THROW(g.fixed_size_batches(0, 5, 0), std::invalid_argument);
+  EXPECT_THROW(g.fixed_size_batches(5, 3, 2), std::invalid_argument);
+  EXPECT_THROW(g.fixed_size_batches(0, 100, 2), std::invalid_argument);
+}
+
+TEST(TemporalGraph, FixedWindowBatchesSplitByTime) {
+  // Timestamps 0..9; windows of 2.5s -> [0,2.5) has ts 0,1,2; etc.
+  TemporalGraph g(4, chain(10));
+  const auto batches = g.fixed_window_batches(0, 10, 2.5);
+  ASSERT_EQ(batches.size(), 4u);
+  EXPECT_EQ(batches[0].size(), 3u);
+  EXPECT_EQ(batches[1].size(), 2u);  // ts 3, 4
+  EXPECT_EQ(batches[3].end, 10u);
+}
+
+TEST(TemporalGraph, FixedWindowProducesEmptyWindows) {
+  std::vector<TemporalEdge> e = {{0, 1, 0.0, 0}, {1, 2, 10.0, 0}};
+  TemporalGraph g(4, e);
+  const auto batches = g.fixed_window_batches(0, 2, 1.0);
+  // First window holds edge 0, then 9 empty windows, then edge 1.
+  std::size_t total = 0;
+  for (const auto& b : batches) total += b.size();
+  EXPECT_EQ(total, 2u);
+  EXPECT_GE(batches.size(), 10u);
+}
+
+TEST(TemporalGraph, SpanAccessors) {
+  TemporalGraph g(4, chain(6));
+  EXPECT_EQ(g.edges().size(), 6u);
+  EXPECT_EQ(g.edges({2, 5}).size(), 3u);
+  EXPECT_DOUBLE_EQ(g.t_min(), 0.0);
+  EXPECT_DOUBLE_EQ(g.t_max(), 5.0);
+}
+
+}  // namespace
+}  // namespace tgnn::graph

@@ -1,0 +1,71 @@
+#include "graph/vertex_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tgnn::graph {
+namespace {
+
+TEST(VertexMemory, SetGetRoundTrip) {
+  VertexMemory m(3, 4);
+  const std::vector<float> v = {1, 2, 3, 4};
+  m.set(1, v, 10.0);
+  const auto got = m.get(1);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(got[i], v[i]);
+  EXPECT_DOUBLE_EQ(m.last_update(1), 10.0);
+  EXPECT_DOUBLE_EQ(m.last_update(0), 0.0);
+}
+
+TEST(VertexMemory, StartsZero) {
+  VertexMemory m(2, 3);
+  for (float x : m.get(0)) EXPECT_EQ(x, 0.0f);
+}
+
+TEST(VertexMemory, ResetClears) {
+  VertexMemory m(2, 2);
+  m.set(0, std::vector<float>{5, 6}, 3.0);
+  m.reset();
+  EXPECT_EQ(m.get(0)[0], 0.0f);
+  EXPECT_DOUBLE_EQ(m.last_update(0), 0.0);
+}
+
+TEST(VertexMemory, RejectsBadAccess) {
+  VertexMemory m(2, 2);
+  EXPECT_THROW(m.get(2), std::out_of_range);
+  EXPECT_THROW(m.set(0, std::vector<float>{1.0f}, 0.0),
+               std::invalid_argument);
+}
+
+TEST(VertexMemory, RowBytes) {
+  VertexMemory m(2, 100);
+  EXPECT_EQ(m.row_bytes(), 400u);
+}
+
+TEST(VertexMailbox, PutOverwritesMostRecent) {
+  VertexMailbox mb(2, 3);
+  EXPECT_FALSE(mb.has_mail(0));
+  mb.put(0, std::vector<float>{1, 2, 3}, 5.0);
+  ASSERT_TRUE(mb.has_mail(0));
+  EXPECT_DOUBLE_EQ(mb.mail_ts(0), 5.0);
+  mb.put(0, std::vector<float>{7, 8, 9}, 6.0);
+  EXPECT_EQ(mb.mail(0)[0], 7.0f);
+  EXPECT_DOUBLE_EQ(mb.mail_ts(0), 6.0);
+}
+
+TEST(VertexMailbox, ResetInvalidates) {
+  VertexMailbox mb(1, 2);
+  mb.put(0, std::vector<float>{1, 2}, 1.0);
+  mb.reset();
+  EXPECT_FALSE(mb.has_mail(0));
+}
+
+TEST(VertexMailbox, RejectsBadAccess) {
+  VertexMailbox mb(1, 2);
+  EXPECT_THROW(mb.mail(3), std::out_of_range);
+  EXPECT_THROW(mb.put(0, std::vector<float>{1.0f}, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tgnn::graph

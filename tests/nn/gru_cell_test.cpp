@@ -1,0 +1,121 @@
+#include "nn/gru_cell.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/gradcheck.hpp"
+#include "util/rng.hpp"
+
+namespace tgnn::nn {
+namespace {
+
+TEST(GruCell, OutputShape) {
+  Rng rng(1);
+  GruCell gru("g", 8, 5, rng);
+  const Tensor x = Tensor::randn(3, 8, rng);
+  const Tensor h = Tensor::randn(3, 5, rng);
+  const Tensor out = gru.forward(x, h);
+  EXPECT_EQ(out.rows(), 3u);
+  EXPECT_EQ(out.cols(), 5u);
+}
+
+TEST(GruCell, UpdateGateSaturatedKeepsHiddenState) {
+  // Force z ~= 1 by a huge update-gate bias: s' = z*h + (1-z)*n -> h.
+  Rng rng(2);
+  GruCell gru("g", 4, 3, rng);
+  gru.b_iz.value.fill(50.0f);
+  const Tensor x = Tensor::randn(2, 4, rng);
+  const Tensor h = Tensor::randn(2, 3, rng);
+  const Tensor out = gru.forward(x, h);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_NEAR(out[i], h[i], 1e-4f);
+}
+
+TEST(GruCell, UpdateGateZeroTakesCandidate) {
+  // z ~= 0: s' = n = tanh(W_in x + b_in + r*(W_hn h + b_hn)).
+  Rng rng(3);
+  GruCell gru("g", 4, 3, rng);
+  gru.b_iz.value.fill(-50.0f);
+  const Tensor x = Tensor::randn(1, 4, rng);
+  const Tensor h = Tensor::randn(1, 3, rng);
+  GruCell::Cache cache;
+  const Tensor out = gru.forward(x, h, &cache);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_NEAR(out[i], cache.n[i], 1e-4f);
+}
+
+TEST(GruCell, OutputBounded) {
+  // s' is a convex combination of h and tanh(.) so |s'| <= max(|h|, 1).
+  Rng rng(4);
+  GruCell gru("g", 6, 4, rng);
+  const Tensor x = Tensor::randn(5, 6, rng, 3.0f);
+  const Tensor h = Tensor::randn(5, 4, rng, 0.5f);
+  const Tensor out = gru.forward(x, h);
+  const float bound = std::max(1.0f, h.abs_max()) + 1e-5f;
+  EXPECT_LE(out.abs_max(), bound);
+}
+
+TEST(GruCell, GradCheckParameters) {
+  Rng rng(5);
+  GruCell gru("g", 5, 4, rng);
+  const Tensor x = Tensor::randn(3, 5, rng);
+  const Tensor h = Tensor::randn(3, 4, rng);
+
+  auto loss = [&]() {
+    const Tensor out = gru.forward(x, h);
+    double s = 0.0;
+    for (std::size_t i = 0; i < out.size(); ++i) s += 0.5 * out[i] * out[i];
+    return s;
+  };
+  ParamStore store;
+  store.add_all(gru.parameters());
+  store.zero_grad();
+  GruCell::Cache cache;
+  const Tensor out = gru.forward(x, h, &cache);
+  gru.backward(cache, out);  // dL/dout = out for 0.5*||out||^2
+  // eps = 1e-2: the forward pass is float32, so central differences need a
+  // step large enough to dominate rounding noise in the loss.
+  const auto res = check_gradients(store, loss, 1e-2);
+  EXPECT_LT(res.max_rel_err, 3e-2) << res.worst_param;
+}
+
+TEST(GruCell, GradCheckInputs) {
+  Rng rng(6);
+  GruCell gru("g", 4, 3, rng);
+  Tensor x = Tensor::randn(2, 4, rng);
+  Tensor h = Tensor::randn(2, 3, rng);
+
+  GruCell::Cache cache;
+  const Tensor out = gru.forward(x, h, &cache);
+  const auto g = gru.backward(cache, out);
+
+  auto loss_at = [&](const Tensor& xx, const Tensor& hh) {
+    const Tensor o = gru.forward(xx, hh);
+    double s = 0.0;
+    for (std::size_t i = 0; i < o.size(); ++i) s += 0.5 * o[i] * o[i];
+    return s;
+  };
+  const double eps = 1e-3;
+  for (std::size_t i = 0; i < x.size(); i += 3) {
+    Tensor xp = x, xm = x;
+    xp[i] += static_cast<float>(eps);
+    xm[i] -= static_cast<float>(eps);
+    const double numeric = (loss_at(xp, h) - loss_at(xm, h)) / (2 * eps);
+    EXPECT_NEAR(numeric, g.dx[i], 3e-2 * std::max(1.0, std::fabs(numeric)));
+  }
+  for (std::size_t i = 0; i < h.size(); i += 2) {
+    Tensor hp = h, hm = h;
+    hp[i] += static_cast<float>(eps);
+    hm[i] -= static_cast<float>(eps);
+    const double numeric = (loss_at(x, hp) - loss_at(x, hm)) / (2 * eps);
+    EXPECT_NEAR(numeric, g.dh[i], 3e-2 * std::max(1.0, std::fabs(numeric)));
+  }
+}
+
+TEST(GruCell, MacsFormula) {
+  Rng rng(7);
+  GruCell gru("g", 10, 6, rng);
+  EXPECT_EQ(gru.macs(4), 4u * 3u * (10u + 6u) * 6u);
+}
+
+}  // namespace
+}  // namespace tgnn::nn

@@ -1,0 +1,81 @@
+#include "nn/linear.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/gradcheck.hpp"
+#include "util/rng.hpp"
+
+namespace tgnn::nn {
+namespace {
+
+TEST(Linear, ForwardShapeAndBias) {
+  Rng rng(1);
+  Linear l("l", 4, 3, rng);
+  l.w.value.zero();
+  l.b.value[1] = 2.5f;
+  const Tensor y = l.forward(Tensor(2, 4));
+  ASSERT_EQ(y.rows(), 2u);
+  ASSERT_EQ(y.cols(), 3u);
+  EXPECT_EQ(y(0, 1), 2.5f);
+  EXPECT_EQ(y(1, 0), 0.0f);
+}
+
+TEST(Linear, MacsCount) {
+  Rng rng(1);
+  Linear l("l", 10, 7, rng);
+  EXPECT_EQ(l.macs(5), 5u * 10u * 7u);
+}
+
+TEST(Linear, GradCheckParametersAndInput) {
+  Rng rng(2);
+  Linear l("l", 6, 4, rng);
+  const Tensor x = Tensor::randn(3, 6, rng);
+
+  // Scalar loss: sum of squares of outputs.
+  auto loss = [&]() {
+    const Tensor y = l.forward(x);
+    double s = 0.0;
+    for (std::size_t i = 0; i < y.size(); ++i) s += 0.5 * y[i] * y[i];
+    return s;
+  };
+  // Analytic: dY = Y.
+  ParamStore store;
+  store.add_all(l.parameters());
+  store.zero_grad();
+  const Tensor y = l.forward(x);
+  const Tensor dx = l.backward(x, y);
+  const auto res = check_gradients(store, loss, 1e-3);
+  EXPECT_LT(res.max_rel_err, 2e-2) << res.worst_param;
+
+  // Input gradient: perturb x directly.
+  for (std::size_t trial = 0; trial < 10; ++trial) {
+    Tensor xp = x;
+    const std::size_t i = trial * 17 % x.size();
+    const float eps = 1e-3f;
+    xp[i] += eps;
+    const Tensor yp = l.forward(xp);
+    double lp = 0.0;
+    for (std::size_t j = 0; j < yp.size(); ++j) lp += 0.5 * yp[j] * yp[j];
+    xp[i] -= 2 * eps;
+    const Tensor ym = l.forward(xp);
+    double lm = 0.0;
+    for (std::size_t j = 0; j < ym.size(); ++j) lm += 0.5 * ym[j] * ym[j];
+    const double numeric = (lp - lm) / (2e-3);
+    EXPECT_NEAR(numeric, dx[i], 5e-2 * std::max(1.0, std::fabs(numeric)));
+  }
+}
+
+TEST(Linear, BackwardAccumulatesAcrossCalls) {
+  Rng rng(3);
+  Linear l("l", 2, 2, rng);
+  const Tensor x = Tensor::randn(1, 2, rng);
+  const Tensor dy = Tensor::randn(1, 2, rng);
+  l.backward(x, dy);
+  const Tensor g1 = l.w.grad;
+  l.backward(x, dy);
+  for (std::size_t i = 0; i < g1.size(); ++i)
+    EXPECT_NEAR(l.w.grad[i], 2.0f * g1[i], 1e-6f);
+}
+
+}  // namespace
+}  // namespace tgnn::nn

@@ -1,0 +1,107 @@
+#include "nn/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace tgnn::nn {
+namespace {
+
+TEST(BceWithLogits, MatchesClosedForm) {
+  auto logits = Tensor::from(2, 1, {0.0f, 2.0f});
+  auto targets = Tensor::from(2, 1, {1.0f, 0.0f});
+  const auto res = bce_with_logits(logits, targets);
+  // -log(sigmoid(0)) = log 2; -log(1 - sigmoid(2)) = log(1 + e^2)... = 2 + log(1+e^-2)
+  const double expected =
+      0.5 * (std::log(2.0) + (2.0 + std::log1p(std::exp(-2.0))));
+  EXPECT_NEAR(res.value, expected, 1e-6);
+}
+
+TEST(BceWithLogits, GradientIsSigmoidMinusTarget) {
+  auto logits = Tensor::from(1, 1, {1.5f});
+  auto targets = Tensor::from(1, 1, {1.0f});
+  const auto res = bce_with_logits(logits, targets);
+  EXPECT_NEAR(res.grad(0, 0), stable_sigmoid(1.5) - 1.0, 1e-6);
+}
+
+TEST(BceWithLogits, StableForExtremeLogits) {
+  auto logits = Tensor::from(2, 1, {500.0f, -500.0f});
+  auto targets = Tensor::from(2, 1, {1.0f, 0.0f});
+  const auto res = bce_with_logits(logits, targets);
+  EXPECT_FALSE(std::isnan(res.value));
+  EXPECT_NEAR(res.value, 0.0, 1e-6);
+}
+
+TEST(BceWithLogits, NumericGradient) {
+  Rng rng(1);
+  Tensor logits = Tensor::randn(5, 1, rng);
+  Tensor targets(5, 1);
+  for (int i = 0; i < 5; ++i) targets[i] = i % 2 ? 1.0f : 0.0f;
+  const auto res = bce_with_logits(logits, targets);
+  const double eps = 1e-4;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    Tensor lp = logits, lm = logits;
+    lp[i] += static_cast<float>(eps);
+    lm[i] -= static_cast<float>(eps);
+    const double numeric =
+        (bce_with_logits(lp, targets).value - bce_with_logits(lm, targets).value) /
+        (2 * eps);
+    EXPECT_NEAR(numeric, res.grad[i], 1e-3);
+  }
+}
+
+TEST(SoftCrossEntropy, ZeroGradientWhenStudentEqualsTeacher) {
+  Rng rng(2);
+  const Tensor logits = Tensor::randn(3, 6, rng);
+  const auto res = soft_cross_entropy(logits, logits, 1.0);
+  for (std::size_t i = 0; i < res.grad.size(); ++i)
+    EXPECT_NEAR(res.grad[i], 0.0f, 1e-6f);
+}
+
+TEST(SoftCrossEntropy, ValueIsTeacherEntropyAtMatch) {
+  // When student == teacher, loss = entropy of softmax(teacher/T) >= 0.
+  Rng rng(3);
+  const Tensor logits = Tensor::randn(2, 4, rng);
+  const auto res = soft_cross_entropy(logits, logits, 1.0);
+  EXPECT_GT(res.value, 0.0);
+  EXPECT_LT(res.value, std::log(4.0) + 1e-6);
+}
+
+TEST(SoftCrossEntropy, NumericGradient) {
+  Rng rng(4);
+  Tensor student = Tensor::randn(4, 5, rng);
+  const Tensor teacher = Tensor::randn(4, 5, rng);
+  const double T = 2.0;
+  const auto res = soft_cross_entropy(student, teacher, T);
+  const double eps = 1e-3;
+  for (std::size_t i = 0; i < student.size(); i += 2) {
+    Tensor sp = student, sm = student;
+    sp[i] += static_cast<float>(eps);
+    sm[i] -= static_cast<float>(eps);
+    const double numeric = (soft_cross_entropy(sp, teacher, T).value -
+                            soft_cross_entropy(sm, teacher, T).value) /
+                           (2 * eps);
+    EXPECT_NEAR(numeric, res.grad[i], 5e-3);
+  }
+}
+
+TEST(SoftCrossEntropy, TemperatureSoftensGradients) {
+  Rng rng(5);
+  const Tensor student = Tensor::randn(2, 4, rng);
+  const Tensor teacher = Tensor::randn(2, 4, rng);
+  const auto sharp = soft_cross_entropy(student, teacher, 0.5);
+  const auto soft = soft_cross_entropy(student, teacher, 4.0);
+  EXPECT_GT(sharp.grad.abs_max(), soft.grad.abs_max());
+}
+
+TEST(SoftCrossEntropy, RejectsBadInput) {
+  Tensor a(2, 3), b(2, 4);
+  EXPECT_THROW(soft_cross_entropy(a, b, 1.0), std::invalid_argument);
+  Tensor c(2, 3);
+  EXPECT_THROW(soft_cross_entropy(a, c, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tgnn::nn

@@ -1,0 +1,100 @@
+#include "nn/optim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tgnn::nn {
+namespace {
+
+TEST(Adam, MinimizesQuadratic) {
+  // f(w) = 0.5 * ||w - target||^2, grad = w - target.
+  Parameter p("w", Tensor(1, 4));
+  const float target[4] = {1.0f, -2.0f, 0.5f, 3.0f};
+  ParamStore store;
+  store.add(&p);
+  Adam::Options opts;
+  opts.lr = 0.05;
+  Adam adam(store, opts);
+  for (int step = 0; step < 2000; ++step) {
+    store.zero_grad();
+    for (int i = 0; i < 4; ++i) p.grad[i] = p.value[i] - target[i];
+    adam.step();
+  }
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(p.value[i], target[i], 1e-2f);
+}
+
+TEST(Adam, StepCountIncrements) {
+  Parameter p("w", Tensor(1, 1));
+  ParamStore store;
+  store.add(&p);
+  Adam adam(store);
+  EXPECT_EQ(adam.steps(), 0u);
+  adam.step();
+  adam.step();
+  EXPECT_EQ(adam.steps(), 2u);
+}
+
+TEST(Adam, FirstStepMovesByRoughlyLr) {
+  // With bias correction, the first Adam step is ~lr * sign(grad).
+  Parameter p("w", Tensor(1, 1));
+  ParamStore store;
+  store.add(&p);
+  Adam::Options opts;
+  opts.lr = 0.1;
+  Adam adam(store, opts);
+  p.grad[0] = 42.0f;
+  adam.step();
+  EXPECT_NEAR(p.value[0], -0.1f, 1e-3f);
+}
+
+TEST(Adam, WeightDecayPullsTowardZero) {
+  Parameter p("w", Tensor(1, 1));
+  p.value[0] = 5.0f;
+  ParamStore store;
+  store.add(&p);
+  Adam::Options opts;
+  opts.lr = 0.05;
+  opts.weight_decay = 1.0;
+  Adam adam(store, opts);
+  for (int i = 0; i < 500; ++i) {
+    store.zero_grad();
+    adam.step();
+  }
+  EXPECT_NEAR(p.value[0], 0.0f, 0.1f);
+}
+
+TEST(ParamStore, CountAndZeroGrad) {
+  Parameter a("a", Tensor(2, 3)), b("b", Tensor(4));
+  ParamStore store;
+  store.add(&a);
+  store.add(&b);
+  EXPECT_EQ(store.count(), 10u);
+  a.grad.fill(1.0f);
+  store.zero_grad();
+  EXPECT_EQ(a.grad.sum(), 0.0f);
+}
+
+TEST(ParamStore, ClipGradNorm) {
+  Parameter p("p", Tensor(1, 4));
+  p.grad.fill(3.0f);  // norm = 6
+  ParamStore store;
+  store.add(&p);
+  const double before = store.clip_grad_norm(3.0);
+  EXPECT_NEAR(before, 6.0, 1e-5);
+  double after = 0.0;
+  for (std::size_t i = 0; i < 4; ++i) after += p.grad[i] * p.grad[i];
+  EXPECT_NEAR(std::sqrt(after), 3.0, 1e-4);
+}
+
+TEST(ParamStore, ClipNoOpBelowThreshold) {
+  Parameter p("p", Tensor(1, 2));
+  p.grad[0] = 0.3f;
+  ParamStore store;
+  store.add(&p);
+  store.clip_grad_norm(10.0);
+  EXPECT_FLOAT_EQ(p.grad[0], 0.3f);
+}
+
+}  // namespace
+}  // namespace tgnn::nn

@@ -1,0 +1,90 @@
+#include "perf/perf_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.hpp"
+#include "fpga/accelerator.hpp"
+#include "tgnn/inference.hpp"
+
+namespace tgnn::perf {
+namespace {
+
+core::ModelConfig np_m() { return core::np_config('M', 172, 0); }
+
+TEST(PerfModel, SteadyStateBasics) {
+  PerfModel pm(fpga::u200_design(), fpga::alveo_u200(), np_m());
+  const auto p = pm.steady_state();
+  EXPECT_GT(p.t_comp_s, 0.0);
+  EXPECT_GT(p.t_ls_s, 0.0);
+  EXPECT_GE(p.tp_s, std::max(p.t_comp_s, p.t_ls_s) - 1e-15);
+  EXPECT_GT(p.throughput_eps, 0.0);
+}
+
+TEST(PerfModel, LatencyLinearInBatchWaves) {
+  PerfModel pm(fpga::u200_design(), fpga::alveo_u200(), np_m());
+  const auto p1 = pm.predict(1000);
+  const auto p2 = pm.predict(2000);
+  // Eq. 22: latency = (beta - 1 + waves) * Tp — doubling N roughly doubles
+  // the wave count but not the pipeline-fill constant.
+  EXPECT_GT(p2.latency_s, p1.latency_s);
+  EXPECT_LT(p2.latency_s, 2.0 * p1.latency_s);
+}
+
+TEST(PerfModel, U200PredictsFasterThanZcu104) {
+  PerfModel u(fpga::u200_design(), fpga::alveo_u200(), np_m());
+  PerfModel z(fpga::zcu104_design(), fpga::zcu104(), np_m());
+  EXPECT_GT(u.steady_state().throughput_eps, z.steady_state().throughput_eps);
+  EXPECT_LT(u.predict(1000).latency_s, z.predict(1000).latency_s);
+}
+
+TEST(PerfModel, PruningImprovesThroughputPrediction) {
+  auto l = core::np_config('L', 172, 0);
+  auto s = core::np_config('S', 172, 0);
+  PerfModel pl(fpga::u200_design(), fpga::alveo_u200(), l);
+  PerfModel ps(fpga::u200_design(), fpga::alveo_u200(), s);
+  EXPECT_GE(ps.steady_state().throughput_eps,
+            pl.steady_state().throughput_eps);
+}
+
+// The Fig. 6 property: the analytic model predicts the cycle simulator
+// within a modest error band (the paper reports 9.9-12.8%; we accept a
+// looser band since our simulator charges refresh + flush + dedup effects).
+class PredictionError : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PredictionError, WithinBandOfSimulator) {
+  const std::size_t batch = GetParam();
+  data::SyntheticConfig dcfg;
+  dcfg.num_users = 300;
+  dcfg.num_items = 100;
+  dcfg.num_edges = 4000;
+  dcfg.edge_dim = 172;
+  dcfg.seed = 5;
+  const auto ds = data::make_synthetic(dcfg);
+  core::TgnModel model(np_m(), 1);
+  model.fit_lut(core::collect_dt_samples(ds, {0, ds.train_end}));
+
+  fpga::Accelerator acc(model, ds, fpga::u200_design(), fpga::alveo_u200());
+  acc.warmup({0, 2000});
+  const auto edges = ds.graph.edges({2000, 2000 + batch});
+  const double actual = acc.simulate_batch_seconds(edges);
+
+  PerfModel pm(fpga::u200_design(), fpga::alveo_u200(), np_m());
+  // Dedup factor measured on the same stream region being predicted — the
+  // workload statistic changes as the graph warms up (early edges touch
+  // mostly fresh vertices).
+  pm.set_vertices_per_edge(PerfModel::measure_vertices_per_edge(
+      ds, {2000, 2000 + batch}, fpga::u200_design().nb));
+  const double predicted = pm.predict(batch).latency_s;
+
+  const double err = std::fabs(predicted - actual) / actual;
+  EXPECT_LT(err, 0.5) << "batch=" << batch << " predicted=" << predicted
+                      << " actual=" << actual;
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, PredictionError,
+                         ::testing::Values(100, 400, 1000, 2000));
+
+}  // namespace
+}  // namespace tgnn::perf

@@ -1,0 +1,180 @@
+#include "tensor/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "util/rng.hpp"
+
+namespace tgnn {
+namespace {
+
+/// Reference O(mnk) GEMM for cross-checking the optimized kernels.
+Tensor naive_matmul(const Tensor& a, const Tensor& b) {
+  Tensor c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) acc += a(i, k) * b(k, j);
+      c(i, j) = static_cast<float>(acc);
+    }
+  return c;
+}
+
+Tensor transpose(const Tensor& a) {
+  Tensor t(a.cols(), a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) t(j, i) = a(i, j);
+  return t;
+}
+
+class GemmShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmShapes, MatmulMatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(m * 1000 + k * 10 + n);
+  const Tensor a = Tensor::randn(m, k, rng);
+  const Tensor b = Tensor::randn(k, n, rng);
+  EXPECT_LT(ops::max_abs_diff(ops::matmul(a, b), naive_matmul(a, b)), 1e-3f);
+}
+
+TEST_P(GemmShapes, MatmulNtMatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(m + k + n);
+  const Tensor a = Tensor::randn(m, k, rng);
+  const Tensor bt = Tensor::randn(n, k, rng);  // stored transposed
+  EXPECT_LT(
+      ops::max_abs_diff(ops::matmul_nt(a, bt), naive_matmul(a, transpose(bt))),
+      1e-3f);
+}
+
+TEST_P(GemmShapes, MatmulTnMatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(m * 7 + k * 3 + n);
+  const Tensor at = Tensor::randn(k, m, rng);  // stored transposed
+  const Tensor b = Tensor::randn(k, n, rng);
+  EXPECT_LT(
+      ops::max_abs_diff(ops::matmul_tn(at, b), naive_matmul(transpose(at), b)),
+      1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmShapes,
+    ::testing::Values(std::tuple{1, 1, 1}, std::tuple{3, 5, 2},
+                      std::tuple{8, 8, 8}, std::tuple{17, 31, 13},
+                      std::tuple{64, 100, 72}, std::tuple{100, 472, 100},
+                      std::tuple{1, 372, 100}, std::tuple{128, 64, 1}));
+
+TEST(Ops, MatmulRejectsBadShapes) {
+  Tensor a(2, 3), b(4, 2);
+  EXPECT_THROW(ops::matmul(a, b), std::invalid_argument);
+}
+
+TEST(Ops, MatmulAccAccumulates) {
+  Rng rng(5);
+  const Tensor a = Tensor::randn(4, 6, rng);
+  const Tensor b = Tensor::randn(6, 5, rng);
+  Tensor c = ops::matmul(a, b);
+  ops::matmul_acc(a, b, c);
+  Tensor twice = ops::matmul(a, b);
+  twice *= 2.0f;
+  EXPECT_LT(ops::max_abs_diff(c, twice), 1e-4f);
+}
+
+TEST(Ops, AffineAddsBias) {
+  Rng rng(5);
+  const Tensor x = Tensor::randn(3, 4, rng);
+  const Tensor w = Tensor::randn(2, 4, rng);
+  Tensor b(2);
+  b[0] = 1.0f;
+  b[1] = -2.0f;
+  const Tensor y = ops::affine(x, w, b);
+  const Tensor ref = ops::matmul_nt(x, w);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(y(i, 0), ref(i, 0) + 1.0f, 1e-5f);
+    EXPECT_NEAR(y(i, 1), ref(i, 1) - 2.0f, 1e-5f);
+  }
+}
+
+TEST(Ops, SigmoidRangeAndValues) {
+  auto x = Tensor::from(1, 3, {0.0f, 100.0f, -100.0f});
+  const Tensor y = ops::sigmoid(x);
+  EXPECT_NEAR(y(0, 0), 0.5f, 1e-6f);
+  EXPECT_NEAR(y(0, 1), 1.0f, 1e-6f);
+  EXPECT_NEAR(y(0, 2), 0.0f, 1e-6f);
+}
+
+TEST(Ops, TanhMatchesStd) {
+  auto x = Tensor::from(1, 2, {0.5f, -1.25f});
+  const Tensor y = ops::tanh(x);
+  EXPECT_NEAR(y(0, 0), std::tanh(0.5f), 1e-6f);
+  EXPECT_NEAR(y(0, 1), std::tanh(-1.25f), 1e-6f);
+}
+
+TEST(Ops, ReluClampsNegatives) {
+  auto x = Tensor::from(1, 3, {-1.0f, 0.0f, 2.0f});
+  const Tensor y = ops::relu(x);
+  EXPECT_EQ(y(0, 0), 0.0f);
+  EXPECT_EQ(y(0, 1), 0.0f);
+  EXPECT_EQ(y(0, 2), 2.0f);
+}
+
+TEST(Ops, SoftmaxRowsSumToOneAndOrder) {
+  Rng rng(3);
+  const Tensor x = Tensor::randn(5, 9, rng);
+  const Tensor y = ops::softmax_rows(x);
+  for (std::size_t i = 0; i < y.rows(); ++i) {
+    float total = 0.0f;
+    for (std::size_t j = 0; j < y.cols(); ++j) {
+      EXPECT_GT(y(i, j), 0.0f);
+      total += y(i, j);
+    }
+    EXPECT_NEAR(total, 1.0f, 1e-5f);
+  }
+  // Monotone: larger logit -> larger probability.
+  for (std::size_t j = 1; j < y.cols(); ++j)
+    EXPECT_EQ(x(0, j) > x(0, 0), y(0, j) > y(0, 0));
+}
+
+TEST(Ops, SoftmaxHandlesLargeLogits) {
+  auto x = Tensor::from(1, 2, {1000.0f, 999.0f});
+  const Tensor y = ops::softmax_rows(x);
+  EXPECT_FALSE(std::isnan(y(0, 0)));
+  EXPECT_GT(y(0, 0), y(0, 1));
+}
+
+TEST(Ops, ConcatAndSliceRoundTrip) {
+  Rng rng(4);
+  const Tensor a = Tensor::randn(3, 2, rng);
+  const Tensor b = Tensor::randn(3, 5, rng);
+  const Tensor cat = ops::concat_cols({&a, &b});
+  ASSERT_EQ(cat.cols(), 7u);
+  EXPECT_LT(ops::max_abs_diff(ops::slice_cols(cat, 0, 2), a), 1e-7f);
+  EXPECT_LT(ops::max_abs_diff(ops::slice_cols(cat, 2, 7), b), 1e-7f);
+}
+
+TEST(Ops, ConcatRejectsRowMismatch) {
+  Tensor a(2, 2), b(3, 2);
+  EXPECT_THROW(ops::concat_cols({&a, &b}), std::invalid_argument);
+}
+
+TEST(Ops, ColsumMatchesManual) {
+  auto x = Tensor::from(2, 3, {1, 2, 3, 4, 5, 6});
+  const Tensor s = ops::colsum(x);
+  EXPECT_EQ(s[0], 5.0f);
+  EXPECT_EQ(s[1], 7.0f);
+  EXPECT_EQ(s[2], 9.0f);
+}
+
+TEST(Ops, HadamardAndAddSub) {
+  auto a = Tensor::from(1, 2, {2, 3});
+  auto b = Tensor::from(1, 2, {4, 5});
+  EXPECT_EQ(ops::hadamard(a, b)(0, 1), 15.0f);
+  EXPECT_EQ(ops::add(a, b)(0, 0), 6.0f);
+  EXPECT_EQ(ops::sub(b, a)(0, 1), 2.0f);
+}
+
+}  // namespace
+}  // namespace tgnn

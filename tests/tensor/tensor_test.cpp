@@ -1,0 +1,116 @@
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace tgnn {
+namespace {
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t(3, 4);
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 4u);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, OneDimensionalIsColumn) {
+  Tensor t(5);
+  EXPECT_EQ(t.rows(), 5u);
+  EXPECT_EQ(t.cols(), 1u);
+}
+
+TEST(Tensor, FromInitializerList) {
+  auto t = Tensor::from(2, 2, {1, 2, 3, 4});
+  EXPECT_EQ(t(0, 0), 1.0f);
+  EXPECT_EQ(t(0, 1), 2.0f);
+  EXPECT_EQ(t(1, 0), 3.0f);
+  EXPECT_EQ(t(1, 1), 4.0f);
+}
+
+TEST(Tensor, FromRejectsSizeMismatch) {
+  EXPECT_THROW(Tensor::from(2, 2, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Tensor, RowSpanViewsUnderlyingData) {
+  Tensor t(2, 3);
+  auto r1 = t.row(1);
+  r1[2] = 7.0f;
+  EXPECT_EQ(t(1, 2), 7.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  auto t = Tensor::from(2, 3, {1, 2, 3, 4, 5, 6});
+  t.reshape(3, 2);
+  EXPECT_EQ(t(2, 1), 6.0f);
+  EXPECT_THROW(t.reshape(2, 2), std::invalid_argument);
+}
+
+TEST(Tensor, ElementwiseInPlace) {
+  auto a = Tensor::from(1, 3, {1, 2, 3});
+  auto b = Tensor::from(1, 3, {4, 5, 6});
+  a += b;
+  EXPECT_EQ(a(0, 2), 9.0f);
+  a -= b;
+  EXPECT_EQ(a(0, 0), 1.0f);
+  a *= 2.0f;
+  EXPECT_EQ(a(0, 1), 4.0f);
+}
+
+TEST(Tensor, ElementwiseRejectsShapeMismatch) {
+  Tensor a(2, 2), b(1, 4);
+  // Same total size is allowed (flat add); different size is not.
+  Tensor c(3, 3);
+  EXPECT_THROW(a += c, std::invalid_argument);
+}
+
+TEST(Tensor, SumAndAbsMax) {
+  auto t = Tensor::from(1, 4, {-5, 1, 2, 3});
+  EXPECT_FLOAT_EQ(t.sum(), 1.0f);
+  EXPECT_FLOAT_EQ(t.abs_max(), 5.0f);
+}
+
+TEST(Tensor, RandnStats) {
+  Rng rng(1);
+  auto t = Tensor::randn(100, 100, rng, 2.0f);
+  double mean = 0.0, var = 0.0;
+  for (std::size_t i = 0; i < t.size(); ++i) mean += t[i];
+  mean /= static_cast<double>(t.size());
+  for (std::size_t i = 0; i < t.size(); ++i)
+    var += (t[i] - mean) * (t[i] - mean);
+  var /= static_cast<double>(t.size());
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.2);
+}
+
+TEST(Tensor, XavierBounds) {
+  Rng rng(1);
+  auto t = Tensor::xavier(50, 70, rng);
+  const float bound = std::sqrt(6.0f / (50 + 70));
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_GE(t[i], -bound);
+    EXPECT_LE(t[i], bound);
+  }
+}
+
+TEST(Tensor, FillAndZero) {
+  Tensor t(2, 2);
+  t.fill(3.0f);
+  EXPECT_EQ(t.sum(), 12.0f);
+  t.zero();
+  EXPECT_EQ(t.sum(), 0.0f);
+}
+
+TEST(Tensor, ShapeStr) {
+  Tensor t(2, 7);
+  EXPECT_EQ(t.shape_str(), "[2, 7]");
+}
+
+}  // namespace
+}  // namespace tgnn

@@ -1,0 +1,107 @@
+#include "tgnn/complexity.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tgnn::core {
+namespace {
+
+// These tests pin the Table I / Table II *trends* as properties of the
+// complexity meter: SAT halves GNN compute, LUT removes the time-encoding
+// share, pruning is near-linear, and the GNN dominates the baseline.
+
+TEST(Complexity, GnnDominatesBaseline) {
+  const auto r = analyze(baseline_config(172, 0));
+  EXPECT_GT(r.gnn.macs / r.total_macs(), 0.8);  // paper: 93.6%
+}
+
+TEST(Complexity, MemoryAccessesDominatedByMemoryAndGnnParts) {
+  const auto r = analyze(baseline_config(172, 0));
+  EXPECT_GT((r.memory.mems + r.gnn.mems) / r.total_mems(), 0.85);
+}
+
+TEST(Complexity, SatRoughlyHalvesTotalMacs) {
+  auto cfg = baseline_config(172, 0);
+  const double base = analyze(cfg).total_macs();
+  cfg.attention = AttentionKind::kSimplified;
+  const double sat = analyze(cfg).total_macs();
+  // Paper: 53.1%. Accept the neighborhood.
+  EXPECT_GT(sat / base, 0.35);
+  EXPECT_LT(sat / base, 0.65);
+}
+
+TEST(Complexity, LutRemovesTimeEncodingShare) {
+  auto cfg = baseline_config(172, 0);
+  cfg.attention = AttentionKind::kSimplified;
+  const double sat = analyze(cfg).total_macs();
+  cfg.time_encoder = TimeEncoderKind::kLut;
+  const auto lut_rep = analyze(cfg);
+  const double lut = lut_rep.total_macs();
+  // Paper: 53.1% -> 37.0% of baseline, i.e. ~30% off the SAT model.
+  EXPECT_LT(lut, sat);
+  EXPECT_GT((sat - lut) / sat, 0.15);
+  // LUT also shrinks the GRU (pre-fused Phi x W products).
+  auto cfg_sat = baseline_config(172, 0);
+  cfg_sat.attention = AttentionKind::kSimplified;
+  EXPECT_LT(lut_rep.gru_macs(), analyze(cfg_sat).gru_macs());
+}
+
+class PruningLinear : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PruningLinear, GnnMacsScaleWithBudget) {
+  const std::size_t budget = GetParam();
+  auto full = np_config('L', 172, 0);
+  full.prune_budget = 0;  // all 10 neighbors
+  auto pruned = full;
+  pruned.prune_budget = budget;
+  const auto rf = analyze(full);
+  const auto rp = analyze(pruned);
+  const double expect_ratio = static_cast<double>(budget) / 10.0;
+  const double got_ratio = rp.gnn.macs / rf.gnn.macs;
+  // Near-linear: per-neighbor work scales exactly; small fixed terms allowed.
+  EXPECT_NEAR(got_ratio, expect_ratio, 0.12);
+}
+
+TEST_P(PruningLinear, MemAccessesDropWithBudget) {
+  const std::size_t budget = GetParam();
+  auto full = np_config('L', 172, 0);
+  full.prune_budget = 0;
+  auto pruned = full;
+  pruned.prune_budget = budget;
+  EXPECT_LT(analyze(pruned).total_mems(), analyze(full).total_mems());
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, PruningLinear, ::testing::Values(2, 4, 6, 8));
+
+TEST(Complexity, TableIIRelativeLadderIsMonotone) {
+  // Accumulated optimizations must monotonically decrease both MACs & MEMs.
+  const auto ladder = presets(172, 0);
+  double prev_macs = 1e18, prev_mems = 1e18;
+  for (const auto& rung : ladder) {
+    const auto r = analyze(rung.config);
+    EXPECT_LE(r.total_macs(), prev_macs) << rung.label;
+    EXPECT_LE(r.total_mems(), prev_mems + 1e-9) << rung.label;
+    prev_macs = r.total_macs();
+    prev_mems = r.total_mems();
+  }
+}
+
+TEST(Complexity, GdeltIncludesNodeFeatureWork) {
+  const auto with_nodes = analyze(baseline_config(0, 200));
+  const auto without = analyze(baseline_config(0, 0));
+  EXPECT_GT(with_nodes.gnn.macs, without.gnn.macs);
+  EXPECT_GT(with_nodes.gnn.mems, without.gnn.mems);
+}
+
+TEST(Complexity, BytesPerEmbeddingIs4xMems) {
+  const auto cfg = baseline_config(172, 0);
+  EXPECT_DOUBLE_EQ(bytes_per_embedding(cfg), analyze(cfg).total_mems() * 4.0);
+}
+
+TEST(Complexity, SampleAndUpdatePartsHaveNoMacs) {
+  const auto r = analyze(baseline_config(172, 0));
+  EXPECT_EQ(r.sample.macs, 0.0);
+  EXPECT_EQ(r.update.macs, 0.0);
+}
+
+}  // namespace
+}  // namespace tgnn::core

@@ -1,0 +1,125 @@
+// Parameterized property sweep of the inference engine across the full
+// model-variant space (attention kind x time encoder x pruning budget):
+// every combination must be deterministic, produce finite embeddings,
+// keep per-vertex memory timestamps non-decreasing, and respect the FIFO
+// capacity — the invariants the hardware Updater is built to preserve.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "data/synthetic.hpp"
+#include "tensor/ops.hpp"
+#include "tgnn/inference.hpp"
+
+namespace tgnn::core {
+namespace {
+
+using Variant = std::tuple<AttentionKind, TimeEncoderKind, std::size_t>;
+
+class EngineSweep : public ::testing::TestWithParam<Variant> {
+ protected:
+  static data::Dataset make_ds() {
+    data::SyntheticConfig dcfg;
+    dcfg.num_users = 50;
+    dcfg.num_items = 20;
+    dcfg.num_edges = 500;
+    dcfg.edge_dim = 7;
+    dcfg.seed = 13;
+    return data::make_synthetic(dcfg);
+  }
+
+  static ModelConfig make_cfg(const data::Dataset& ds) {
+    const auto [attn, enc, budget] = GetParam();
+    ModelConfig cfg;
+    cfg.mem_dim = 9;
+    cfg.time_dim = 5;
+    cfg.emb_dim = 7;
+    cfg.edge_dim = ds.edge_dim();
+    cfg.num_neighbors = 5;
+    cfg.attention = attn;
+    cfg.time_encoder = enc;
+    cfg.lut_bins = 8;
+    cfg.prune_budget = budget;
+    return cfg;
+  }
+};
+
+TEST_P(EngineSweep, DeterministicAndFinite) {
+  const auto ds = make_ds();
+  const auto cfg = make_cfg(ds);
+  TgnModel model(cfg, 1);
+  if (model.lut_encoder())
+    model.fit_lut(collect_dt_samples(ds, ds.train_range()));
+
+  auto run = [&]() {
+    InferenceEngine engine(model, ds, true);
+    Tensor last;
+    for (const auto& b : ds.graph.fixed_size_batches(0, 400, 80))
+      last = engine.process_batch(b).embeddings;
+    return last;
+  };
+  const Tensor a = run();
+  const Tensor b = run();
+  EXPECT_EQ(ops::max_abs_diff(a, b), 0.0f);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_TRUE(std::isfinite(a[i])) << "element " << i;
+  EXPECT_GT(a.abs_max(), 0.0f);  // warm state: nonzero embeddings
+}
+
+TEST_P(EngineSweep, MemoryTimestampsNonDecreasing) {
+  const auto ds = make_ds();
+  const auto cfg = make_cfg(ds);
+  TgnModel model(cfg, 1);
+  if (model.lut_encoder())
+    model.fit_lut(collect_dt_samples(ds, ds.train_range()));
+  InferenceEngine engine(model, ds, true);
+
+  std::vector<double> last_ts(ds.num_nodes(), 0.0);
+  for (const auto& b : ds.graph.fixed_size_batches(0, 500, 60)) {
+    engine.process_batch(b);
+    for (graph::NodeId v = 0; v < ds.num_nodes(); ++v) {
+      const double ts = engine.state().memory.last_update(v);
+      EXPECT_GE(ts, last_ts[v]) << "node " << v;
+      last_ts[v] = ts;
+    }
+  }
+}
+
+TEST_P(EngineSweep, FifoNeverExceedsCapacity) {
+  const auto ds = make_ds();
+  const auto cfg = make_cfg(ds);
+  TgnModel model(cfg, 1);
+  if (model.lut_encoder())
+    model.fit_lut(collect_dt_samples(ds, ds.train_range()));
+  InferenceEngine engine(model, ds, true);
+  for (const auto& b : ds.graph.fixed_size_batches(0, 500, 100))
+    engine.process_batch(b);
+  for (graph::NodeId v = 0; v < ds.num_nodes(); ++v)
+    EXPECT_LE(engine.state().table->fill(v), cfg.num_neighbors);
+}
+
+std::string variant_name(const ::testing::TestParamInfo<Variant>& info) {
+  const AttentionKind attn = std::get<0>(info.param);
+  const TimeEncoderKind enc = std::get<1>(info.param);
+  const std::size_t budget = std::get<2>(info.param);
+  std::string name = attn == AttentionKind::kVanilla ? "vanilla" : "sat";
+  name += enc == TimeEncoderKind::kCos ? "_cos" : "_lut";
+  name += "_np" + std::to_string(budget);
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, EngineSweep,
+    ::testing::Values(
+        Variant{AttentionKind::kVanilla, TimeEncoderKind::kCos, 0},
+        Variant{AttentionKind::kVanilla, TimeEncoderKind::kLut, 0},
+        Variant{AttentionKind::kSimplified, TimeEncoderKind::kCos, 0},
+        Variant{AttentionKind::kSimplified, TimeEncoderKind::kLut, 0},
+        Variant{AttentionKind::kSimplified, TimeEncoderKind::kLut, 3},
+        Variant{AttentionKind::kSimplified, TimeEncoderKind::kLut, 1},
+        Variant{AttentionKind::kSimplified, TimeEncoderKind::kCos, 2}),
+    variant_name);
+
+}  // namespace
+}  // namespace tgnn::core

@@ -1,0 +1,200 @@
+#include "tgnn/inference.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace tgnn::core {
+namespace {
+
+ModelConfig tiny_cfg(const data::Dataset& ds) {
+  ModelConfig cfg;
+  cfg.mem_dim = 8;
+  cfg.time_dim = 4;
+  cfg.emb_dim = 6;
+  cfg.edge_dim = ds.edge_dim();
+  cfg.node_dim = ds.node_dim();
+  cfg.num_neighbors = 5;
+  return cfg;
+}
+
+data::Dataset tiny_ds() {
+  data::SyntheticConfig dcfg;
+  dcfg.num_users = 30;
+  dcfg.num_items = 20;
+  dcfg.num_edges = 400;
+  dcfg.edge_dim = 7;
+  dcfg.seed = 99;
+  return data::make_synthetic(dcfg);
+}
+
+TEST(InferenceEngine, DeterministicAcrossRuns) {
+  const auto ds = tiny_ds();
+  const auto cfg = tiny_cfg(ds);
+  TgnModel model(cfg, 1);
+
+  auto run = [&]() {
+    InferenceEngine engine(model, ds, true);
+    Tensor last;
+    for (const auto& b : ds.graph.fixed_size_batches(0, 200, 50))
+      last = engine.process_batch(b).embeddings;
+    return last;
+  };
+  const Tensor a = run();
+  const Tensor b = run();
+  EXPECT_EQ(ops::max_abs_diff(a, b), 0.0f);
+}
+
+TEST(InferenceEngine, EmbeddingsCoverAllInvolvedNodes) {
+  const auto ds = tiny_ds();
+  TgnModel model(tiny_cfg(ds), 1);
+  InferenceEngine engine(model, ds, true);
+  const graph::BatchRange r{0, 50};
+  const auto res = engine.process_batch(r);
+  for (const auto& e : ds.graph.edges(r)) {
+    EXPECT_TRUE(res.index.count(e.src));
+    EXPECT_TRUE(res.index.count(e.dst));
+  }
+  EXPECT_EQ(res.embeddings.rows(), res.nodes.size());
+  EXPECT_EQ(res.embeddings.cols(), 6u);
+}
+
+TEST(InferenceEngine, ExtraNodesGetEmbeddingsWithoutStateChange) {
+  const auto ds = tiny_ds();
+  TgnModel model(tiny_cfg(ds), 1);
+  InferenceEngine engine(model, ds, true);
+  engine.warmup({0, 100});
+
+  // Pick a node NOT in the next batch.
+  const graph::BatchRange r{100, 120};
+  graph::NodeId outsider = 0;
+  bool found = false;
+  for (graph::NodeId v = 0; v < ds.num_nodes() && !found; ++v) {
+    bool in_batch = false;
+    for (const auto& e : ds.graph.edges(r))
+      if (e.src == v || e.dst == v) in_batch = true;
+    if (!in_batch) {
+      outsider = v;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found);
+  const auto mem_before = engine.state().memory.get(outsider);
+  std::vector<float> before(mem_before.begin(), mem_before.end());
+  const std::vector<graph::NodeId> extras = {outsider};
+  const auto res = engine.process_batch(r, extras);
+  EXPECT_TRUE(res.index.count(outsider));
+  const auto mem_after = engine.state().memory.get(outsider);
+  for (std::size_t i = 0; i < before.size(); ++i)
+    EXPECT_EQ(before[i], mem_after[i]);
+}
+
+TEST(InferenceEngine, MemoryAdvancesForActiveNodes) {
+  const auto ds = tiny_ds();
+  TgnModel model(tiny_cfg(ds), 1);
+  InferenceEngine engine(model, ds, true);
+  // First batch: mailboxes empty, memory stays zero. Process two batches so
+  // nodes seen twice get GRU updates.
+  engine.process_batch({0, 100});
+  engine.process_batch({100, 200});
+  // Some node must have nonzero memory now.
+  bool any_nonzero = false;
+  for (graph::NodeId v = 0; v < ds.num_nodes(); ++v) {
+    for (float x : engine.state().memory.get(v))
+      if (x != 0.0f) any_nonzero = true;
+  }
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(InferenceEngine, MailConsumeOnce) {
+  const auto ds = tiny_ds();
+  TgnModel model(tiny_cfg(ds), 1);
+  InferenceEngine engine(model, ds, true);
+  engine.process_batch({0, 200});
+  // After processing, every node touched in the batch has fresh mail; the
+  // mail_valid flags of batch nodes were re-armed by the mailbox writes.
+  const auto& e0 = ds.graph.edge(199);
+  EXPECT_TRUE(engine.state().mailbox.has_mail(e0.src));
+  EXPECT_TRUE(engine.state().mail_valid[e0.src]);
+}
+
+TEST(InferenceEngine, ResetRestoresInitialBehaviour) {
+  const auto ds = tiny_ds();
+  TgnModel model(tiny_cfg(ds), 1);
+  InferenceEngine engine(model, ds, true);
+  const Tensor first = engine.process_batch({0, 60}).embeddings;
+  engine.process_batch({60, 120});
+  engine.reset();
+  const Tensor again = engine.process_batch({0, 60}).embeddings;
+  EXPECT_EQ(ops::max_abs_diff(first, again), 0.0f);
+}
+
+TEST(InferenceEngine, WarmupMatchesProcessForState) {
+  // warmup() must leave the same memory/mailbox state as process_batch()
+  // (it skips only the GNN stage, which doesn't write state).
+  const auto ds = tiny_ds();
+  TgnModel model(tiny_cfg(ds), 1);
+  InferenceEngine a(model, ds, true), b(model, ds, true);
+  for (const auto& r : ds.graph.fixed_size_batches(0, 200, 50))
+    a.process_batch(r);
+  b.warmup({0, 200}, 50);
+  for (graph::NodeId v = 0; v < ds.num_nodes(); ++v) {
+    const auto ma = a.state().memory.get(v);
+    const auto mb = b.state().memory.get(v);
+    for (std::size_t i = 0; i < ma.size(); ++i)
+      EXPECT_NEAR(ma[i], mb[i], 1e-6f) << "node " << v;
+  }
+}
+
+TEST(InferenceEngine, PartTimesAccumulate) {
+  const auto ds = tiny_ds();
+  TgnModel model(tiny_cfg(ds), 1);
+  InferenceEngine engine(model, ds, true);
+  PartTimes t;
+  engine.process_batch({0, 100}, {}, &t);
+  EXPECT_GT(t.total(), 0.0);
+  EXPECT_GE(t.gnn, 0.0);
+  EXPECT_GE(t.memory, 0.0);
+}
+
+TEST(InferenceEngine, SimplifiedModelRuns) {
+  const auto ds = tiny_ds();
+  auto cfg = tiny_cfg(ds);
+  cfg.attention = AttentionKind::kSimplified;
+  cfg.time_encoder = TimeEncoderKind::kLut;
+  cfg.prune_budget = 2;
+  TgnModel model(cfg, 1);
+  model.fit_lut(collect_dt_samples(ds, {0, ds.train_end}));
+  InferenceEngine engine(model, ds, true);
+  // The very first batch sees zero memory and an empty neighbor table, so
+  // its embeddings are exactly W_o [0 || 0] + b_o = 0; the second batch has
+  // neighbors and mail to aggregate.
+  engine.process_batch({0, 100});
+  const auto res = engine.process_batch({100, 200});
+  EXPECT_GT(res.embeddings.abs_max(), 0.0f);
+}
+
+TEST(InferenceEngine, EvaluateApInUnitRange) {
+  const auto ds = tiny_ds();
+  TgnModel model(tiny_cfg(ds), 1);
+  Rng drng(3);
+  Decoder dec(tiny_cfg(ds), drng);
+  InferenceEngine engine(model, ds, true);
+  engine.warmup({0, ds.val_end});
+  Rng rng(5);
+  const double ap = engine.evaluate_ap(ds.test_range(), dec, 50, rng);
+  EXPECT_GE(ap, 0.0);
+  EXPECT_LE(ap, 1.0);
+}
+
+TEST(CollectDtSamples, PositiveAndNonEmpty) {
+  const auto ds = tiny_ds();
+  const auto dts = collect_dt_samples(ds, {0, ds.num_edges()});
+  ASSERT_FALSE(dts.empty());
+  for (double d : dts) EXPECT_GE(d, 0.0);
+}
+
+}  // namespace
+}  // namespace tgnn::core

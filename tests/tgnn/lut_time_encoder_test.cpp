@@ -1,0 +1,126 @@
+#include "tgnn/lut_time_encoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace tgnn::core {
+namespace {
+
+std::vector<double> power_law_samples(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  for (auto& x : out) x = rng.pareto(1.0, 1.2) - 1.0;
+  return out;
+}
+
+TEST(LutTimeEncoder, RequiresFitBeforeUse) {
+  LutTimeEncoder enc(8, 4);
+  EXPECT_FALSE(enc.fitted());
+  EXPECT_THROW((void)enc.bin_of(1.0), std::logic_error);
+}
+
+TEST(LutTimeEncoder, EdgesAreStrictlyIncreasing) {
+  LutTimeEncoder enc(16, 4);
+  enc.fit(power_law_samples(5000, 1), nullptr);
+  const auto& edges = enc.edges();
+  ASSERT_EQ(edges.size(), 15u);
+  for (std::size_t i = 1; i < edges.size(); ++i)
+    EXPECT_GT(edges[i], edges[i - 1]);
+}
+
+TEST(LutTimeEncoder, EqualFrequencyBinning) {
+  // Each bin should receive roughly samples/bins of the fitted samples —
+  // the §III-C design ("equal number of dt occurrences in each interval").
+  LutTimeEncoder enc(8, 2);
+  const auto samples = power_law_samples(8000, 2);
+  enc.fit(samples, nullptr);
+  std::vector<int> counts(8, 0);
+  for (double s : samples) ++counts[enc.bin_of(s)];
+  for (int c : counts) EXPECT_NEAR(c, 1000, 250);
+}
+
+TEST(LutTimeEncoder, BinOfRespectsEdges) {
+  LutTimeEncoder enc(4, 2);
+  enc.fit({1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0}, nullptr);
+  EXPECT_EQ(enc.bin_of(-5.0), 0u);   // below all edges
+  EXPECT_EQ(enc.bin_of(1e12), 3u);   // above all edges (open-ended last bin)
+  const auto& e = enc.edges();
+  EXPECT_EQ(enc.bin_of(e[0] - 1e-9), 0u);
+  EXPECT_EQ(enc.bin_of(e[0]), 1u);  // upper_bound: edge belongs to next bin
+}
+
+TEST(LutTimeEncoder, InitFromCosEncoderApproximates) {
+  Rng rng(3);
+  CosTimeEncoder cos_enc(6, rng);
+  LutTimeEncoder lut(128, 6);
+  lut.fit(power_law_samples(20000, 4), &cos_enc);
+
+  // The LUT is a piecewise-constant fit of the cos encoder: at a bin's
+  // median the entries agree closely.
+  Tensor lut_out(1, 6), cos_out(1, 6);
+  double dt = 0.5;
+  lut.encode_scalar(dt, lut_out.row(0));
+  cos_enc.encode_scalar(dt, cos_out.row(0));
+  // Not exact (dt is not necessarily the bin median) but bounded.
+  for (std::size_t k = 0; k < 6; ++k)
+    EXPECT_NEAR(lut_out(0, k), cos_out(0, k), 0.7f);
+}
+
+TEST(LutTimeEncoder, EncodeIsTableRead) {
+  LutTimeEncoder enc(4, 3);
+  enc.fit({1, 2, 3, 4}, nullptr);
+  enc.entries.value(2, 1) = 9.0f;
+  Tensor out(1, 3);
+  const auto& e = enc.edges();
+  enc.encode_scalar((e[1] + e[2]) / 2.0, out.row(0));  // falls in bin 2
+  EXPECT_EQ(out(0, 1), 9.0f);
+  EXPECT_EQ(enc.macs_per_encode(), 0u);
+}
+
+TEST(LutTimeEncoder, BackwardAccumulatesIntoBins) {
+  LutTimeEncoder enc(4, 2);
+  enc.fit({1, 2, 3, 4}, nullptr);
+  const std::vector<double> dts = {0.0, 0.0, 1e12};
+  Tensor dout(3, 2);
+  dout.fill(1.0f);
+  enc.backward(dts, dout);
+  EXPECT_EQ(enc.entries.grad(0, 0), 2.0f);  // two samples in bin 0
+  EXPECT_EQ(enc.entries.grad(3, 0), 1.0f);  // one in the last bin
+  EXPECT_EQ(enc.entries.grad(1, 0), 0.0f);
+}
+
+TEST(LutTimeEncoder, FuseWithEqualsMatmul) {
+  // The on-chip trick: fused[b] = W * entry_b. Check against explicit GEMM.
+  Rng rng(5);
+  LutTimeEncoder enc(8, 4);
+  enc.fit(power_law_samples(100, 6), nullptr);
+  for (std::size_t i = 0; i < enc.entries.value.size(); ++i)
+    enc.entries.value[i] = rng.uniform(-1.0f, 1.0f);
+  const Tensor w = Tensor::randn(5, 4, rng);
+  const Tensor fused = enc.fuse_with(w);
+  ASSERT_EQ(fused.rows(), 8u);
+  ASSERT_EQ(fused.cols(), 5u);
+  for (std::size_t b = 0; b < 8; ++b)
+    for (std::size_t o = 0; o < 5; ++o) {
+      float acc = 0.0f;
+      for (std::size_t k = 0; k < 4; ++k)
+        acc += w(o, k) * enc.entries.value(b, k);
+      EXPECT_NEAR(fused(b, o), acc, 1e-5f);
+    }
+}
+
+TEST(LutTimeEncoder, FusedBytes) {
+  LutTimeEncoder enc(128, 100);
+  EXPECT_EQ(enc.fused_bytes(400), 128u * 400u * 4u);
+}
+
+TEST(LutTimeEncoder, RejectsBadConstruction) {
+  EXPECT_THROW(LutTimeEncoder(1, 4), std::invalid_argument);
+  LutTimeEncoder enc(4, 2);
+  EXPECT_THROW(enc.fit({}, nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tgnn::core

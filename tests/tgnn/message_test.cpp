@@ -1,0 +1,49 @@
+#include "tgnn/message.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tgnn::core {
+namespace {
+
+TEST(Message, RawMailLayout) {
+  const std::vector<float> s_self = {1, 2}, s_other = {3, 4}, fe = {5};
+  std::vector<float> out(5);
+  build_raw_mail(s_self, s_other, fe, out);
+  EXPECT_EQ(out, (std::vector<float>{1, 2, 3, 4, 5}));
+}
+
+TEST(Message, RawMailWithoutEdgeFeatures) {
+  const std::vector<float> s_self = {1, 2}, s_other = {3, 4};
+  std::vector<float> out(4);
+  build_raw_mail(s_self, s_other, {}, out);
+  EXPECT_EQ(out, (std::vector<float>{1, 2, 3, 4}));
+}
+
+TEST(Message, RawMailRejectsSizeMismatch) {
+  const std::vector<float> a = {1}, b = {2};
+  std::vector<float> out(3);
+  EXPECT_THROW(build_raw_mail(a, b, {}, out), std::invalid_argument);
+}
+
+TEST(Message, GruInputAppendsTimeEncoding) {
+  const std::vector<float> raw = {1, 2, 3}, phi = {9, 8};
+  std::vector<float> out(5);
+  build_gru_input(raw, phi, out);
+  EXPECT_EQ(out, (std::vector<float>{1, 2, 3, 9, 8}));
+}
+
+TEST(Message, MirroredMessagesSwapEndpoints) {
+  // Eq. 4/5: m_i = s_i||s_j||fe, m_j = s_j||s_i||fe.
+  const std::vector<float> si = {1}, sj = {2}, fe = {7};
+  std::vector<float> mi(3), mj(3);
+  build_raw_mail(si, sj, fe, mi);
+  build_raw_mail(sj, si, fe, mj);
+  EXPECT_EQ(mi[0], mj[1]);
+  EXPECT_EQ(mi[1], mj[0]);
+  EXPECT_EQ(mi[2], mj[2]);
+}
+
+}  // namespace
+}  // namespace tgnn::core

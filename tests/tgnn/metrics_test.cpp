@@ -1,0 +1,67 @@
+#include "tgnn/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tgnn::core {
+namespace {
+
+TEST(AveragePrecision, PerfectRankingIsOne) {
+  std::vector<ScoredSample> s = {
+      {0.9, true}, {0.8, true}, {0.2, false}, {0.1, false}};
+  EXPECT_DOUBLE_EQ(average_precision(s), 1.0);
+}
+
+TEST(AveragePrecision, WorstRankingKnownValue) {
+  // Positives at ranks 3 and 4 of 4: AP = (1/3 + 2/4) / 2 = 5/12.
+  std::vector<ScoredSample> s = {
+      {0.9, false}, {0.8, false}, {0.2, true}, {0.1, true}};
+  EXPECT_NEAR(average_precision(s), 5.0 / 12.0, 1e-12);
+}
+
+TEST(AveragePrecision, MixedKnownValue) {
+  // Ranked: pos, neg, pos -> AP = (1/1 + 2/3)/2 = 5/6.
+  std::vector<ScoredSample> s = {{0.9, true}, {0.5, false}, {0.4, true}};
+  EXPECT_NEAR(average_precision(s), 5.0 / 6.0, 1e-12);
+}
+
+TEST(AveragePrecision, AllNegativesIsZero) {
+  std::vector<ScoredSample> s = {{0.9, false}, {0.1, false}};
+  EXPECT_DOUBLE_EQ(average_precision(s), 0.0);
+}
+
+TEST(AveragePrecision, EmptyThrows) {
+  std::vector<ScoredSample> s;
+  EXPECT_THROW(average_precision(s), std::invalid_argument);
+}
+
+TEST(AveragePrecision, InvariantToScoreMonotoneTransform) {
+  std::vector<ScoredSample> a = {
+      {0.9, true}, {0.5, false}, {0.4, true}, {0.2, false}};
+  std::vector<ScoredSample> b = a;
+  for (auto& s : b) s.score = s.score * 100.0 - 3.0;
+  EXPECT_DOUBLE_EQ(average_precision(a), average_precision(b));
+}
+
+TEST(AucRoc, PerfectSeparationIsOne) {
+  std::vector<ScoredSample> s = {{0.9, true}, {0.8, true}, {0.2, false}};
+  EXPECT_DOUBLE_EQ(auc_roc(s), 1.0);
+}
+
+TEST(AucRoc, RandomTiesGiveHalf) {
+  std::vector<ScoredSample> s = {{0.5, true}, {0.5, false}, {0.5, true},
+                                 {0.5, false}};
+  EXPECT_DOUBLE_EQ(auc_roc(s), 0.5);
+}
+
+TEST(AucRoc, ReversedIsZero) {
+  std::vector<ScoredSample> s = {{0.9, false}, {0.1, true}};
+  EXPECT_DOUBLE_EQ(auc_roc(s), 0.0);
+}
+
+TEST(AucRoc, DegenerateClassesGiveHalf) {
+  std::vector<ScoredSample> s = {{0.9, true}, {0.8, true}};
+  EXPECT_DOUBLE_EQ(auc_roc(s), 0.5);
+}
+
+}  // namespace
+}  // namespace tgnn::core

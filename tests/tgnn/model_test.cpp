@@ -1,0 +1,144 @@
+#include "tgnn/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace tgnn::core {
+namespace {
+
+TEST(ModelConfig, DerivedDims) {
+  ModelConfig cfg;
+  cfg.mem_dim = 100;
+  cfg.time_dim = 100;
+  cfg.edge_dim = 172;
+  EXPECT_EQ(cfg.raw_mail_dim(), 372u);
+  EXPECT_EQ(cfg.gru_in_dim(), 472u);
+  EXPECT_EQ(cfg.kv_in_dim(), 372u);
+  EXPECT_EQ(cfg.q_in_dim(), 200u);
+}
+
+TEST(ModelConfig, EffectiveNeighbors) {
+  ModelConfig cfg;
+  cfg.num_neighbors = 10;
+  EXPECT_EQ(cfg.effective_neighbors(), 10u);
+  EXPECT_FALSE(cfg.uses_pruning());
+  cfg.prune_budget = 4;
+  EXPECT_EQ(cfg.effective_neighbors(), 4u);
+  EXPECT_TRUE(cfg.uses_pruning());
+  cfg.prune_budget = 15;  // larger than mr: no pruning
+  EXPECT_EQ(cfg.effective_neighbors(), 10u);
+}
+
+TEST(ModelConfig, PresetsLadderMatchesTableII) {
+  const auto ladder = presets(172, 0);
+  ASSERT_EQ(ladder.size(), 6u);
+  EXPECT_EQ(ladder[0].label, "Baseline");
+  EXPECT_EQ(ladder[0].config.attention, AttentionKind::kVanilla);
+  EXPECT_EQ(ladder[1].label, "+SAT");
+  EXPECT_EQ(ladder[1].config.attention, AttentionKind::kSimplified);
+  EXPECT_EQ(ladder[1].config.time_encoder, TimeEncoderKind::kCos);
+  EXPECT_EQ(ladder[2].label, "+LUT");
+  EXPECT_EQ(ladder[2].config.time_encoder, TimeEncoderKind::kLut);
+  EXPECT_EQ(ladder[3].config.prune_budget, 6u);
+  EXPECT_EQ(ladder[4].config.prune_budget, 4u);
+  EXPECT_EQ(ladder[5].config.prune_budget, 2u);
+}
+
+TEST(ModelConfig, NpConfigValidation) {
+  EXPECT_EQ(np_config('L', 172, 0).prune_budget, 6u);
+  EXPECT_THROW(np_config('X', 172, 0), std::invalid_argument);
+}
+
+TEST(TgnModel, ConstructsVariants) {
+  ModelConfig cfg;
+  cfg.mem_dim = 8;
+  cfg.time_dim = 4;
+  cfg.emb_dim = 6;
+  cfg.edge_dim = 3;
+  TgnModel vanilla(cfg, 1);
+  EXPECT_NE(vanilla.vanilla(), nullptr);
+  EXPECT_EQ(vanilla.simplified(), nullptr);
+  EXPECT_EQ(vanilla.lut_encoder(), nullptr);
+
+  cfg.attention = AttentionKind::kSimplified;
+  cfg.time_encoder = TimeEncoderKind::kLut;
+  TgnModel student(cfg, 2);
+  EXPECT_EQ(student.vanilla(), nullptr);
+  EXPECT_NE(student.simplified(), nullptr);
+  EXPECT_NE(student.lut_encoder(), nullptr);
+}
+
+TEST(TgnModel, ParameterRegistryNonEmptyAndUnique) {
+  ModelConfig cfg;
+  cfg.mem_dim = 8;
+  cfg.time_dim = 4;
+  cfg.emb_dim = 6;
+  cfg.edge_dim = 3;
+  TgnModel model(cfg, 1);
+  const auto& params = model.params().params();
+  EXPECT_GT(params.size(), 10u);
+  std::set<const nn::Parameter*> uniq(params.begin(), params.end());
+  EXPECT_EQ(uniq.size(), params.size());
+  EXPECT_GT(model.params().count(), 100u);
+}
+
+TEST(TgnModel, FPrimeWithoutNodeFeaturesIsIdentity) {
+  ModelConfig cfg;
+  cfg.mem_dim = 4;
+  cfg.time_dim = 2;
+  cfg.emb_dim = 3;
+  cfg.edge_dim = 2;
+  TgnModel model(cfg, 1);
+  const std::vector<float> s = {1, 2, 3, 4};
+  std::vector<float> out(4);
+  model.f_prime(s, {}, out);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(out[i], s[i]);
+}
+
+TEST(TgnModel, FPrimeAddsNodeProjection) {
+  ModelConfig cfg;
+  cfg.mem_dim = 3;
+  cfg.time_dim = 2;
+  cfg.emb_dim = 3;
+  cfg.edge_dim = 0;
+  cfg.node_dim = 2;
+  TgnModel model(cfg, 1);
+  ASSERT_NE(model.node_proj(), nullptr);
+  const std::vector<float> s = {1, 1, 1};
+  const std::vector<float> f = {0.5f, -0.5f};
+  std::vector<float> out(3);
+  model.f_prime(s, f, out);
+  // out = s + W_s f + b_s.
+  const auto& ws = *model.node_proj();
+  for (int o = 0; o < 3; ++o) {
+    const float expect = 1.0f + ws.b.value[o] + ws.w.value(o, 0) * 0.5f -
+                         ws.w.value(o, 1) * 0.5f;
+    EXPECT_NEAR(out[o], expect, 1e-5f);
+  }
+}
+
+TEST(TgnModel, FitLutIsNoOpForCos) {
+  ModelConfig cfg;
+  cfg.mem_dim = 4;
+  cfg.time_dim = 2;
+  cfg.emb_dim = 3;
+  cfg.edge_dim = 1;
+  TgnModel model(cfg, 1);
+  EXPECT_NO_THROW(model.fit_lut({1.0, 2.0}));
+}
+
+TEST(TgnModel, DeterministicInit) {
+  ModelConfig cfg;
+  cfg.mem_dim = 4;
+  cfg.time_dim = 2;
+  cfg.emb_dim = 3;
+  cfg.edge_dim = 1;
+  TgnModel a(cfg, 7), b(cfg, 7);
+  EXPECT_EQ(a.updater().gru.w_ir.value(0, 0), b.updater().gru.w_ir.value(0, 0));
+  TgnModel c(cfg, 8);
+  EXPECT_NE(a.updater().gru.w_ir.value(0, 0), c.updater().gru.w_ir.value(0, 0));
+}
+
+}  // namespace
+}  // namespace tgnn::core

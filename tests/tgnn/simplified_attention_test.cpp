@@ -1,0 +1,161 @@
+#include "tgnn/simplified_attention.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/gradcheck.hpp"
+#include "util/rng.hpp"
+
+namespace tgnn::core {
+namespace {
+
+ModelConfig small_cfg() {
+  ModelConfig cfg;
+  cfg.mem_dim = 5;
+  cfg.time_dim = 3;
+  cfg.emb_dim = 4;
+  cfg.edge_dim = 2;
+  cfg.num_neighbors = 6;
+  cfg.attention = AttentionKind::kSimplified;
+  return cfg;
+}
+
+TEST(SimplifiedAttention, ScoreMasksEmptySlots) {
+  Rng rng(1);
+  SimplifiedAttention sat(small_cfg(), rng);
+  const auto s = sat.score({1.0, 2.0}, 0);  // 2 valid of 6 slots
+  ASSERT_EQ(s.logits.size(), 6u);
+  EXPECT_TRUE(std::isfinite(s.logits[0]));
+  EXPECT_TRUE(std::isfinite(s.logits[1]));
+  for (std::size_t i = 2; i < 6; ++i)
+    EXPECT_TRUE(std::isinf(s.logits[i]) && s.logits[i] < 0);
+  EXPECT_EQ(s.keep.size(), 2u);
+}
+
+TEST(SimplifiedAttention, BudgetSelectsTopLogits) {
+  Rng rng(2);
+  SimplifiedAttention sat(small_cfg(), rng);
+  // Force known logits via a and zero Wt.
+  sat.wt.value.zero();
+  for (std::size_t i = 0; i < 6; ++i) sat.a.value[i] = static_cast<float>(i);
+  const auto s = sat.score({1, 1, 1, 1, 1, 1}, 3);
+  ASSERT_EQ(s.keep.size(), 3u);
+  // Top-3 logits are slots 3, 4, 5; keep is sorted ascending.
+  EXPECT_EQ(s.keep[0], 3u);
+  EXPECT_EQ(s.keep[1], 4u);
+  EXPECT_EQ(s.keep[2], 5u);
+}
+
+TEST(SimplifiedAttention, BudgetClippedToValidCount) {
+  Rng rng(3);
+  SimplifiedAttention sat(small_cfg(), rng);
+  const auto s = sat.score({1.0, 2.0}, 5);
+  EXPECT_EQ(s.keep.size(), 2u);
+}
+
+TEST(SimplifiedAttention, RejectsTooManyDts) {
+  Rng rng(4);
+  SimplifiedAttention sat(small_cfg(), rng);
+  EXPECT_THROW(sat.score(std::vector<double>(7, 1.0), 0),
+               std::invalid_argument);
+}
+
+TEST(SimplifiedAttention, AggregateAlphaIsSoftmaxOverKept) {
+  Rng rng(5);
+  const auto cfg = small_cfg();
+  SimplifiedAttention sat(cfg, rng);
+  const auto s = sat.score({1.0, 5.0, 10.0, 0.1}, 2);
+  Tensor v_in = Tensor::randn(s.keep.size(), cfg.kv_in_dim(), rng);
+  const Tensor f = Tensor::randn(1, cfg.mem_dim, rng);
+  SimplifiedAttention::Cache cache;
+  sat.aggregate(f.row(0), s, v_in, &cache);
+  float total = 0.0f;
+  for (float a : cache.alpha) {
+    EXPECT_GT(a, 0.0f);
+    total += a;
+  }
+  EXPECT_NEAR(total, 1.0f, 1e-5f);
+}
+
+TEST(SimplifiedAttention, ZeroNeighborsStillTransformsSelf) {
+  Rng rng(6);
+  const auto cfg = small_cfg();
+  SimplifiedAttention sat(cfg, rng);
+  const auto s = sat.score({}, 0);
+  EXPECT_TRUE(s.keep.empty());
+  const Tensor f = Tensor::randn(1, cfg.mem_dim, rng);
+  const Tensor h =
+      sat.aggregate(f.row(0), s, Tensor(0, cfg.kv_in_dim()));
+  // h = W_o [0 || f] + b_o, nonzero in general.
+  EXPECT_EQ(h.cols(), cfg.emb_dim);
+  EXPECT_GT(h.abs_max(), 0.0f);
+}
+
+TEST(SimplifiedAttention, LogitsDependOnlyOnDt) {
+  // Eq. 16's point: scores must be computable before any feature fetch.
+  Rng rng(7);
+  SimplifiedAttention sat(small_cfg(), rng);
+  const auto s1 = sat.score({1.0, 2.0, 3.0}, 0);
+  const auto s2 = sat.score({1.0, 2.0, 3.0}, 0);
+  for (std::size_t i = 0; i < s1.logits.size(); ++i)
+    EXPECT_EQ(s1.logits[i], s2.logits[i]);
+}
+
+TEST(SimplifiedAttention, GradCheckParameters) {
+  Rng rng(8);
+  const auto cfg = small_cfg();
+  SimplifiedAttention sat(cfg, rng);
+  const std::vector<double> dts = {0.5, 4.0, 9.0, 1.5};
+  const std::size_t budget = 3;
+  const Tensor f = Tensor::randn(1, cfg.mem_dim, rng);
+  // Fix v_in for the KEPT slots of the current parameters. Note: pruning
+  // (top-k selection) is a discontinuous operation; the gradient check uses
+  // a budget selection that is stable under the small parameter epsilon.
+  const auto s0 = sat.score(dts, budget);
+  const Tensor v_in = Tensor::randn(s0.keep.size(), cfg.kv_in_dim(), rng);
+
+  auto loss = [&]() {
+    const auto s = sat.score(dts, budget);
+    const Tensor h = sat.aggregate(f.row(0), s, v_in);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < h.size(); ++i) acc += 0.5 * h[i] * h[i];
+    return acc;
+  };
+  nn::ParamStore store;
+  store.add_all(sat.parameters());
+  store.zero_grad();
+  SimplifiedAttention::Cache cache;
+  const Tensor h = sat.aggregate(f.row(0), s0, v_in, &cache);
+  sat.backward(cache, h);
+  const auto res = nn::check_gradients(store, loss, 1e-2);
+  EXPECT_LT(res.max_rel_err, 5e-2) << res.worst_param;
+}
+
+TEST(SimplifiedAttention, BackwardLogitsAccumulatesAandWt) {
+  Rng rng(9);
+  SimplifiedAttention sat(small_cfg(), rng);
+  const auto s = sat.score({2.0, 3.0}, 0);
+  std::vector<float> dlogits(6, 0.0f);
+  dlogits[0] = 1.0f;
+  dlogits[5] = 1.0f;  // masked slot: must be ignored
+  sat.backward_logits(s, dlogits);
+  EXPECT_EQ(sat.a.grad[0], 1.0f);
+  EXPECT_EQ(sat.a.grad[5], 0.0f);
+  EXPECT_NEAR(sat.wt.grad(0, 0), std::log1p(2.0f), 1e-5f);
+  EXPECT_NEAR(sat.wt.grad(0, 1), std::log1p(3.0f), 1e-5f);
+  EXPECT_EQ(sat.wt.grad(5, 0), 0.0f);
+}
+
+TEST(SimplifiedAttention, PrunedAggregateUsesOnlyKeptRows) {
+  Rng rng(10);
+  const auto cfg = small_cfg();
+  SimplifiedAttention sat(cfg, rng);
+  EXPECT_THROW(
+      sat.aggregate(Tensor(1, cfg.mem_dim).row(0), sat.score({1, 2, 3}, 2),
+                    Tensor(3, cfg.kv_in_dim())),
+      std::invalid_argument);  // 3 rows given, 2 kept
+}
+
+}  // namespace
+}  // namespace tgnn::core

@@ -1,0 +1,85 @@
+#include "tgnn/time_encoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/gradcheck.hpp"
+#include "util/rng.hpp"
+
+namespace tgnn::core {
+namespace {
+
+TEST(CosTimeEncoder, MatchesEquation6) {
+  Rng rng(1);
+  CosTimeEncoder enc(8, rng);
+  Tensor out(1, 8);
+  enc.encode_scalar(3.5, out.row(0));
+  for (std::size_t k = 0; k < 8; ++k)
+    EXPECT_NEAR(out(0, k),
+                std::cos(enc.omega.value[k] * 3.5f + enc.phi.value[k]), 1e-6f);
+}
+
+TEST(CosTimeEncoder, OutputBounded) {
+  Rng rng(2);
+  CosTimeEncoder enc(16, rng);
+  const auto out = enc.encode({0.0, 1.0, 1e6, 1e-6});
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_LE(out[i], 1.0f);
+    EXPECT_GE(out[i], -1.0f);
+  }
+}
+
+TEST(CosTimeEncoder, FrequenciesSpanDecades) {
+  Rng rng(3);
+  CosTimeEncoder enc(10, rng);
+  EXPECT_GT(enc.omega.value[0] / enc.omega.value[9], 1e6f);
+}
+
+TEST(CosTimeEncoder, BatchMatchesScalar) {
+  Rng rng(4);
+  CosTimeEncoder enc(6, rng);
+  const std::vector<double> dts = {0.0, 2.0, 50.0};
+  const Tensor batch = enc.encode(dts);
+  Tensor row(1, 6);
+  for (std::size_t i = 0; i < dts.size(); ++i) {
+    enc.encode_scalar(dts[i], row.row(0));
+    for (std::size_t k = 0; k < 6; ++k) EXPECT_EQ(batch(i, k), row(0, k));
+  }
+}
+
+TEST(CosTimeEncoder, GradCheck) {
+  Rng rng(5);
+  CosTimeEncoder enc(5, rng);
+  const std::vector<double> dts = {0.3, 2.0, 0.0};
+
+  auto loss = [&]() {
+    const Tensor out = enc.encode(dts);
+    double s = 0.0;
+    for (std::size_t i = 0; i < out.size(); ++i) s += 0.5 * out[i] * out[i];
+    return s;
+  };
+  nn::ParamStore store;
+  for (auto* p : enc.parameters()) store.add(p);
+  store.zero_grad();
+  const Tensor out = enc.encode(dts);
+  enc.backward(dts, out);
+  const auto res = nn::check_gradients(store, loss, 1e-4);
+  EXPECT_LT(res.max_rel_err, 2e-2) << res.worst_param;
+}
+
+TEST(CosTimeEncoder, MacsPerEncodeIsDim) {
+  Rng rng(6);
+  CosTimeEncoder enc(32, rng);
+  EXPECT_EQ(enc.macs_per_encode(), 32u);
+}
+
+TEST(CosTimeEncoder, RejectsWrongSpanSize) {
+  Rng rng(7);
+  CosTimeEncoder enc(4, rng);
+  std::vector<float> out(3);
+  EXPECT_THROW(enc.encode_scalar(1.0, out), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tgnn::core

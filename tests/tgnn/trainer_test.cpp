@@ -1,0 +1,155 @@
+#include "tgnn/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.hpp"
+#include "util/rng.hpp"
+
+namespace tgnn::core {
+namespace {
+
+data::Dataset tiny_ds() {
+  data::SyntheticConfig dcfg;
+  dcfg.num_users = 40;
+  dcfg.num_items = 15;
+  dcfg.num_edges = 600;
+  dcfg.edge_dim = 6;
+  dcfg.seed = 7;
+  return data::make_synthetic(dcfg);
+}
+
+ModelConfig tiny_cfg(const data::Dataset& ds, bool student) {
+  ModelConfig cfg;
+  cfg.mem_dim = 8;
+  cfg.time_dim = 4;
+  cfg.emb_dim = 6;
+  cfg.edge_dim = ds.edge_dim();
+  cfg.node_dim = ds.node_dim();
+  cfg.num_neighbors = 5;
+  cfg.decoder_hidden = 8;
+  if (student) {
+    cfg.attention = AttentionKind::kSimplified;
+    cfg.time_encoder = TimeEncoderKind::kLut;
+    cfg.lut_bins = 16;
+    cfg.prune_budget = 3;
+  }
+  return cfg;
+}
+
+TEST(Trainer, LossDecreasesOverEpochs) {
+  const auto ds = tiny_ds();
+  const auto cfg = tiny_cfg(ds, false);
+  TgnModel model(cfg, 1);
+  Rng drng(2);
+  Decoder dec(cfg, drng);
+  TrainOptions opts;
+  opts.epochs = 4;
+  opts.batch_size = 60;
+  Trainer trainer(model, dec, ds, opts);
+  const auto stats = trainer.train();
+  ASSERT_EQ(stats.epoch_bce.size(), 4u);
+  for (double l : stats.epoch_bce) EXPECT_TRUE(std::isfinite(l));
+  EXPECT_LT(stats.epoch_bce.back(), stats.epoch_bce.front());
+}
+
+TEST(Trainer, LearnsBetterThanChance) {
+  const auto ds = tiny_ds();
+  const auto cfg = tiny_cfg(ds, false);
+  TgnModel model(cfg, 1);
+  Rng drng(2);
+  Decoder dec(cfg, drng);
+  TrainOptions opts;
+  opts.epochs = 8;
+  opts.batch_size = 60;
+  const auto fit = fit_and_eval(model, dec, ds, opts);
+  EXPECT_GT(fit.test_ap, 0.55);  // chance is ~0.5 with 1:1 negatives
+}
+
+TEST(Trainer, StudentTrainsWithDistillation) {
+  const auto ds = tiny_ds();
+  // Teacher first (short).
+  const auto tcfg = tiny_cfg(ds, false);
+  TgnModel teacher(tcfg, 1);
+  Rng drng(2);
+  Decoder tdec(tcfg, drng);
+  TrainOptions topts;
+  topts.epochs = 2;
+  topts.batch_size = 60;
+  Trainer(teacher, tdec, ds, topts).train();
+
+  const auto scfg = tiny_cfg(ds, true);
+  TgnModel student(scfg, 3);
+  Decoder sdec(scfg, drng);
+  TrainOptions sopts = topts;
+  sopts.teacher = &teacher;
+  Trainer strainer(student, sdec, ds, sopts);
+  const auto stats = strainer.train();
+  // Distillation loss must be non-zero (it is being applied) and finite.
+  EXPECT_GT(stats.epoch_distill.back(), 0.0);
+  EXPECT_TRUE(std::isfinite(stats.epoch_distill.back()));
+}
+
+TEST(Trainer, DistillationRequiresSimplifiedStudent) {
+  const auto ds = tiny_ds();
+  const auto cfg = tiny_cfg(ds, false);
+  TgnModel teacher(cfg, 1), vanilla_student(cfg, 2);
+  Rng drng(2);
+  Decoder dec(cfg, drng);
+  TrainOptions opts;
+  opts.teacher = &teacher;
+  EXPECT_THROW(Trainer(vanilla_student, dec, ds, opts),
+               std::invalid_argument);
+}
+
+TEST(Trainer, DistillationRequiresVanillaTeacher) {
+  const auto ds = tiny_ds();
+  TgnModel sat_teacher(tiny_cfg(ds, true), 1);
+  TgnModel student(tiny_cfg(ds, true), 2);
+  Rng drng(2);
+  Decoder dec(tiny_cfg(ds, true), drng);
+  TrainOptions opts;
+  opts.teacher = &sat_teacher;
+  EXPECT_THROW(Trainer(student, dec, ds, opts), std::invalid_argument);
+}
+
+TEST(Trainer, FitsLutAutomatically) {
+  const auto ds = tiny_ds();
+  const auto cfg = tiny_cfg(ds, true);
+  TgnModel model(cfg, 1);
+  EXPECT_FALSE(model.lut_encoder()->fitted());
+  Rng drng(2);
+  Decoder dec(cfg, drng);
+  TrainOptions opts;
+  opts.epochs = 1;
+  opts.batch_size = 100;
+  Trainer trainer(model, dec, ds, opts);
+  EXPECT_TRUE(model.lut_encoder()->fitted());
+}
+
+TEST(Trainer, GdeltLikeNodeFeaturesTrain) {
+  data::SyntheticConfig dcfg;
+  dcfg.num_users = 30;
+  dcfg.num_items = 10;
+  dcfg.num_edges = 300;
+  dcfg.edge_dim = 0;
+  dcfg.node_dim = 8;
+  dcfg.seed = 11;
+  const auto ds = data::make_synthetic(dcfg);
+  auto cfg = tiny_cfg(ds, false);
+  cfg.edge_dim = 0;
+  cfg.node_dim = 8;
+  TgnModel model(cfg, 1);
+  Rng drng(2);
+  Decoder dec(cfg, drng);
+  TrainOptions opts;
+  opts.epochs = 1;
+  opts.batch_size = 50;
+  Trainer trainer(model, dec, ds, opts);
+  const auto stats = trainer.train();
+  EXPECT_TRUE(std::isfinite(stats.epoch_bce.back()));
+}
+
+}  // namespace
+}  // namespace tgnn::core

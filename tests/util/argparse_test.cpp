@@ -1,0 +1,64 @@
+#include "util/argparse.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tgnn {
+namespace {
+
+std::vector<char*> make_argv(std::vector<std::string>& storage) {
+  std::vector<char*> out;
+  for (auto& s : storage) out.push_back(s.data());
+  return out;
+}
+
+TEST(ArgParser, DefaultsApply) {
+  ArgParser p;
+  p.add_flag("x", "7", "help");
+  std::vector<std::string> args = {"prog"};
+  auto argv = make_argv(args);
+  ASSERT_TRUE(p.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(p.get_int("x"), 7);
+}
+
+TEST(ArgParser, EqualsSyntax) {
+  ArgParser p;
+  p.add_flag("rate", "0", "help");
+  std::vector<std::string> args = {"prog", "--rate=2.5"};
+  auto argv = make_argv(args);
+  ASSERT_TRUE(p.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_DOUBLE_EQ(p.get_double("rate"), 2.5);
+}
+
+TEST(ArgParser, SpaceSyntax) {
+  ArgParser p;
+  p.add_flag("name", "", "help");
+  std::vector<std::string> args = {"prog", "--name", "hello"};
+  auto argv = make_argv(args);
+  ASSERT_TRUE(p.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(p.get("name"), "hello");
+}
+
+TEST(ArgParser, BareFlagIsTrue) {
+  ArgParser p;
+  p.add_flag("verbose", "false", "help");
+  std::vector<std::string> args = {"prog", "--verbose"};
+  auto argv = make_argv(args);
+  ASSERT_TRUE(p.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(p.get_bool("verbose"));
+}
+
+TEST(ArgParser, UnknownFlagFails) {
+  ArgParser p;
+  p.add_flag("x", "1", "help");
+  std::vector<std::string> args = {"prog", "--nope=3"};
+  auto argv = make_argv(args);
+  EXPECT_FALSE(p.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(ArgParser, UnknownGetThrows) {
+  ArgParser p;
+  EXPECT_THROW(p.get("missing"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tgnn

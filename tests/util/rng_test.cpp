@@ -1,0 +1,130 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace tgnn {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ReseedRestoresStream) {
+  Rng a(7);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(a.next_u64());
+  a.reseed(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next_u64(), first[i]);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(42);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng r(42);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = r.uniform(-2.5f, 3.5f);
+    EXPECT_GE(v, -2.5f);
+    EXPECT_LT(v, 3.5f);
+  }
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng r(42);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) ++counts[r.uniform_int(10)];
+  for (int c : counts) EXPECT_GT(c, 700);  // roughly uniform
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng r(42);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng r(42);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.03);
+}
+
+TEST(Rng, ParetoRespectsMinimumAndIsHeavyTailed) {
+  Rng r(42);
+  const int n = 20000;
+  double median_acc = 0.0, mean = 0.0;
+  std::vector<double> xs(n);
+  for (int i = 0; i < n; ++i) {
+    xs[i] = r.pareto(1.0, 1.2);
+    EXPECT_GE(xs[i], 1.0);
+    mean += xs[i] / n;
+  }
+  std::nth_element(xs.begin(), xs.begin() + n / 2, xs.end());
+  median_acc = xs[n / 2];
+  // Heavy tail: mean far above median (Fig. 1 power-law shape).
+  EXPECT_GT(mean, 2.0 * median_acc);
+}
+
+TEST(Rng, CategoricalFollowsWeights) {
+  Rng r(42);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 10000; ++i) ++counts[r.categorical(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_GT(counts[2], counts[0]);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.5);
+}
+
+TEST(Rng, CategoricalRejectsZeroTotal) {
+  Rng r(1);
+  std::vector<double> w = {0.0, 0.0};
+  EXPECT_THROW(r.categorical(w), std::invalid_argument);
+}
+
+TEST(Rng, ZipfInRangeAndSkewed) {
+  Rng r(42);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) {
+    const std::size_t k = r.zipf(100, 1.4);
+    ASSERT_LT(k, 100u);
+    ++counts[k];
+  }
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], 20 * std::max(1, counts[50]));
+}
+
+TEST(Rng, BernoulliProbability) {
+  Rng r(42);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += r.bernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+}  // namespace
+}  // namespace tgnn

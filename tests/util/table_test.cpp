@@ -1,0 +1,58 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace tgnn {
+namespace {
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+  EXPECT_NO_THROW(t.add_row({"1", "2"}));
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, NumFormatsFixedPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::pct(0.5, 1), "50.0%");
+}
+
+TEST(Table, PrintContainsAllCells) {
+  Table t({"col1", "column_two"});
+  t.add_row({"x", "y"});
+  t.add_row({"longer_cell", "z"});
+  std::ostringstream os;
+  t.print(os, "My Title");
+  const std::string s = os.str();
+  EXPECT_NE(s.find("My Title"), std::string::npos);
+  EXPECT_NE(s.find("col1"), std::string::npos);
+  EXPECT_NE(s.find("longer_cell"), std::string::npos);
+  EXPECT_NE(s.find("column_two"), std::string::npos);
+}
+
+TEST(Table, CsvRoundTrip) {
+  Table t({"a", "b"});
+  t.add_row({"1", "with,comma"});
+  const std::string path = "/tmp/tgnn_table_test.csv";
+  ASSERT_TRUE(t.write_csv(path));
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(f, line);
+  EXPECT_EQ(line, "1,\"with,comma\"");
+  std::remove(path.c_str());
+}
+
+TEST(Table, CsvFailsOnBadPath) {
+  Table t({"a"});
+  EXPECT_FALSE(t.write_csv("/nonexistent_dir/x.csv"));
+}
+
+}  // namespace
+}  // namespace tgnn

@@ -1,0 +1,56 @@
+#include "util/threadpool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace tgnn {
+namespace {
+
+TEST(ThreadPool, CoversAllIndicesExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, HandlesEmptyRange) {
+  ThreadPool pool(4);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, WorksWithFewerItemsThanThreads) {
+  ThreadPool pool(8);
+  std::atomic<int> count{0};
+  pool.parallel_for(3, [&](std::size_t) { count++; });
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, SingleThreadFallback) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::size_t sum = 0;
+  pool.parallel_for(100, [&](std::size_t i) { sum += i; });
+  EXPECT_EQ(sum, 4950u);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(50, [&](std::size_t) { count++; });
+    EXPECT_EQ(count.load(), 50);
+  }
+}
+
+TEST(ThreadPool, ClampsZeroThreadsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+}  // namespace
+}  // namespace tgnn
