@@ -1,15 +1,23 @@
 // Shared helpers for the benchmark harnesses: dataset construction at a
-// bench-friendly scale, model construction, and uniform header printing.
+// bench-friendly scale, model construction, uniform header printing, and
+// the runtime-layer glue every bench drives its platforms through.
 //
 // Every bench binary regenerates one table or figure of the paper; see
-// DESIGN.md §3 for the experiment index. Benches print the paper's rows and
+// DESIGN.md for the experiment index. Benches print the paper's rows and
 // also write a CSV next to the binary for plotting.
+//
+// Platform execution goes through runtime::make_backend +
+// runtime::measure_stream / measure_windows — benches declare WHICH
+// backends and models to compare, never how to drive them.
 #pragma once
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "data/synthetic.hpp"
+#include "runtime/backend.hpp"
+#include "runtime/driver.hpp"
 #include "tgnn/config.hpp"
 #include "tgnn/inference.hpp"
 #include "tgnn/model.hpp"
@@ -40,6 +48,46 @@ inline core::TgnModel make_model(const core::ModelConfig& cfg,
   if (model.lut_encoder())
     model.fit_lut(core::collect_dt_samples(ds, ds.train_range()));
   return model;
+}
+
+/// Split a comma-separated CLI list ("wikipedia,reddit,gdelt").
+inline std::vector<std::string> split_csv(const std::string& list) {
+  std::vector<std::string> out;
+  for (std::size_t pos = 0; pos < list.size();) {
+    const auto comma = list.find(',', pos);
+    out.push_back(list.substr(pos, comma - pos));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+/// One platform row of a bench: which backend key to build, over which
+/// model, with which options. Benches declare a list of these and drive
+/// them all through the same runtime loop.
+struct PlatformCase {
+  std::string label;
+  std::string key;  ///< runtime backend registry key
+  const core::TgnModel* model = nullptr;
+  runtime::BackendOptions opts;
+};
+
+/// Build the case's backend, fast-forward to the measurement region, and
+/// stream it in fixed-size batches — the uniform bench measurement.
+inline runtime::StreamResult measure_case(const PlatformCase& c,
+                                          const data::Dataset& ds,
+                                          const graph::BatchRange& region,
+                                          std::size_t batch) {
+  auto backend = runtime::make_backend(c.key, *c.model, ds, c.opts);
+  return runtime::measure_stream(*backend, region, batch);
+}
+
+/// Same, streaming fixed time windows (the 15-minute real-time scenario).
+inline runtime::StreamResult measure_case_windows(
+    const PlatformCase& c, const data::Dataset& ds,
+    const graph::BatchRange& region, double window_s) {
+  auto backend = runtime::make_backend(c.key, *c.model, ds, c.opts);
+  return runtime::measure_windows(*backend, region, window_s);
 }
 
 }  // namespace tgnn::bench

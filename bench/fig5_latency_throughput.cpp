@@ -2,13 +2,12 @@
 // size for the CPU (multi-thread) and GPU baselines running the TGN
 // baseline model, and the U200/ZCU104 accelerators running the co-designed
 // NP(L/M/S) models.
+//
+// Every platform is a runtime::make_backend case driven through the shared
+// measure_stream loop — no per-backend driver code lives here.
 #include <iostream>
-#include <thread>
 
-#include "baselines/cpu_runner.hpp"
-#include "baselines/gpu_sim.hpp"
 #include "bench/common.hpp"
-#include "fpga/accelerator.hpp"
 #include "util/argparse.hpp"
 #include "util/table.hpp"
 
@@ -21,23 +20,11 @@ int main(int argc, char** argv) {
   args.add_flag("threads", "0", "CPU threads (0 = hw concurrency)");
   if (!args.parse(argc, argv)) return 1;
   const double scale = args.get_double("edge_scale");
-  int threads = static_cast<int>(args.get_int("threads"));
-  if (threads <= 0)
-    threads = static_cast<int>(std::thread::hardware_concurrency());
 
   bench::banner("Fig. 5 (batch sweep) — latency & throughput vs batch size",
                 "Zhou et al., IPDPS'22, Fig. 5 left/middle columns");
 
-  std::vector<std::string> names;
-  {
-    std::string list = args.get("datasets");
-    for (std::size_t pos = 0; pos < list.size();) {
-      const auto comma = list.find(',', pos);
-      names.push_back(list.substr(pos, comma - pos));
-      if (comma == std::string::npos) break;
-      pos = comma + 1;
-    }
-  }
+  const auto names = bench::split_csv(args.get("datasets"));
   const std::vector<std::size_t> batch_sizes = {100, 200, 500, 1000, 2000,
                                                 4000};
 
@@ -50,61 +37,46 @@ int main(int argc, char** argv) {
              "U200-M (ms)", "U200-S (ms)", "ZCU104-M (ms)", "CPU thpt (kE/s)",
              "GPU thpt (kE/s)", "U200-M thpt (kE/s)", "ZCU104-M thpt (kE/s)"});
 
-    const auto base_cfg = core::baseline_config(ds.edge_dim(), ds.node_dim());
-    const auto base_model = bench::make_model(base_cfg, ds);
-    baselines::GpuSim gpu(baselines::titan_xp(), base_cfg);
-
+    const auto base_model =
+        bench::make_model(bench::config_for(ds, "baseline"), ds);
     // Co-designed models for the FPGA runs.
-    const char sizes[] = {'L', 'M', 'S'};
     std::vector<core::TgnModel> np_models;
     np_models.reserve(3);
-    for (char s : sizes)
-      np_models.push_back(bench::make_model(
-          core::np_config(s, ds.edge_dim(), ds.node_dim()), ds));
+    for (const char* s : {"npL", "npM", "npS"})
+      np_models.push_back(bench::make_model(bench::config_for(ds, s), ds));
+
+    runtime::BackendOptions mt;
+    mt.threads = static_cast<int>(args.get_int("threads"));
+    runtime::BackendOptions u200, zcu;
+    u200.fpga_device = "u200";
+    zcu.fpga_device = "zcu104";
+    const std::vector<bench::PlatformCase> cases = {
+        {"cpu", "cpu-mt", &base_model, mt},
+        {"gpu", "gpu-sim", &base_model, {}},
+        {"u200-L", "fpga", &np_models[0], u200},
+        {"u200-M", "fpga", &np_models[1], u200},
+        {"u200-S", "fpga", &np_models[2], u200},
+        {"zcu-M", "fpga", &np_models[1], zcu},
+    };
 
     for (std::size_t batch : batch_sizes) {
       if (region.size() < batch) break;
-
-      baselines::CpuRunner cpu(base_model, ds, threads);
-      cpu.warmup({0, region.begin});
-      const auto cpu_run = cpu.run(region, batch);
-
-      const double gpu_lat = gpu.batch_seconds(batch, 2 * batch);
-      const double gpu_total = gpu.run_seconds(ds, region, batch);
-
-      // FPGA runs: one accelerator per (model, device) pair.
-      std::vector<double> u200_lat(3, 0.0);
-      double u200_m_tp = 0.0, zcu_m_lat = 0.0, zcu_m_tp = 0.0;
-      for (int i = 0; i < 3; ++i) {
-        fpga::Accelerator acc(np_models[static_cast<std::size_t>(i)], ds,
-                              fpga::u200_design(), fpga::alveo_u200());
-        acc.warmup({0, region.begin});
-        const auto run = acc.run(region, batch);
-        u200_lat[static_cast<std::size_t>(i)] = run.mean_latency_s();
-        if (i == 1) u200_m_tp = run.throughput_eps();
-      }
-      {
-        fpga::Accelerator acc(np_models[1], ds, fpga::zcu104_design(),
-                              fpga::zcu104());
-        acc.warmup({0, region.begin});
-        const auto run = acc.run(region, batch);
-        zcu_m_lat = run.mean_latency_s();
-        zcu_m_tp = run.throughput_eps();
-      }
+      std::vector<runtime::StreamResult> res;
+      res.reserve(cases.size());
+      for (const auto& c : cases)
+        res.push_back(bench::measure_case(c, ds, region, batch));
 
       t.add_row({std::to_string(batch),
-                 Table::num(cpu_run.mean_latency_s() * 1e3, 2),
-                 Table::num(gpu_lat * 1e3, 2),
-                 Table::num(u200_lat[0] * 1e3, 2),
-                 Table::num(u200_lat[1] * 1e3, 2),
-                 Table::num(u200_lat[2] * 1e3, 2),
-                 Table::num(zcu_m_lat * 1e3, 2),
-                 Table::num(cpu_run.throughput_eps() / 1e3, 1),
-                 Table::num(static_cast<double>(region.size()) / gpu_total /
-                                1e3,
-                            1),
-                 Table::num(u200_m_tp / 1e3, 1),
-                 Table::num(zcu_m_tp / 1e3, 1)});
+                 Table::num(res[0].mean_latency_s() * 1e3, 2),
+                 Table::num(res[1].mean_latency_s() * 1e3, 2),
+                 Table::num(res[2].mean_latency_s() * 1e3, 2),
+                 Table::num(res[3].mean_latency_s() * 1e3, 2),
+                 Table::num(res[4].mean_latency_s() * 1e3, 2),
+                 Table::num(res[5].mean_latency_s() * 1e3, 2),
+                 Table::num(res[0].throughput_eps() / 1e3, 1),
+                 Table::num(res[1].throughput_eps() / 1e3, 1),
+                 Table::num(res[3].throughput_eps() / 1e3, 1),
+                 Table::num(res[5].throughput_eps() / 1e3, 1)});
     }
     t.print(std::cout, "Fig. 5 batch sweep — " + name);
     t.write_csv("fig5_sweep_" + name + ".csv");

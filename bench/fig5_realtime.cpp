@@ -1,36 +1,14 @@
 // Fig. 5 (right column): real-time inference latency when processing the
 // incoming stream in fixed 15-minute windows over the test days, comparing
-// the GPU baseline and the two FPGA accelerators (NP(M) model).
-#include <algorithm>
+// the GPU baseline and the two FPGA accelerators (NP(M) model) — all as
+// runtime backends through the shared windowed streaming loop.
 #include <iostream>
 
-#include "baselines/cpu_runner.hpp"
-#include "baselines/gpu_sim.hpp"
 #include "bench/common.hpp"
-#include "fpga/accelerator.hpp"
 #include "util/argparse.hpp"
 #include "util/table.hpp"
 
 using namespace tgnn;
-
-namespace {
-
-struct LatStats {
-  double mean = 0.0, p95 = 0.0, max = 0.0;
-};
-
-LatStats stats_of(std::vector<double> lat) {
-  LatStats s;
-  if (lat.empty()) return s;
-  for (double l : lat) s.mean += l;
-  s.mean /= static_cast<double>(lat.size());
-  std::sort(lat.begin(), lat.end());
-  s.p95 = lat[static_cast<std::size_t>(0.95 * (lat.size() - 1))];
-  s.max = lat.back();
-  return s;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   ArgParser args;
@@ -46,40 +24,26 @@ int main(int argc, char** argv) {
   for (const std::string name : {"wikipedia", "reddit", "gdelt"}) {
     const auto ds = data::by_name(name, scale);
     const auto region = ds.test_range();
-    const auto cfg = core::np_config('M', ds.edge_dim(), ds.node_dim());
-    const auto model = bench::make_model(cfg, ds);
-    const auto base_cfg = core::baseline_config(ds.edge_dim(), ds.node_dim());
+    const auto base_model =
+        bench::make_model(bench::config_for(ds, "baseline"), ds);
+    const auto np_model = bench::make_model(bench::config_for(ds, "npM"), ds);
 
-    // GPU baseline latency per window (modelled, TGN baseline model).
-    baselines::GpuSim gpu(baselines::titan_xp(), base_cfg);
-    std::vector<double> gpu_lat;
-    for (const auto& w :
-         ds.graph.fixed_window_batches(region.begin, region.end, window)) {
-      if (w.size() == 0) continue;
-      gpu_lat.push_back(gpu.batch_seconds(w.size(), 2 * w.size()));
-    }
+    runtime::BackendOptions u200, zcu;
+    u200.fpga_device = "u200";
+    zcu.fpga_device = "zcu104";
+    const std::vector<bench::PlatformCase> cases = {
+        {"GPU (TGN baseline)", "gpu-sim", &base_model, {}},
+        {"U200 NP(M)", "fpga", &np_model, u200},
+        {"ZCU104 NP(M)", "fpga", &np_model, zcu},
+    };
 
     Table t({"platform", "windows", "mean (ms)", "p95 (ms)", "max (ms)"});
-    const auto g = stats_of(gpu_lat);
-    t.add_row({"GPU (TGN baseline)", std::to_string(gpu_lat.size()),
-               Table::num(g.mean * 1e3, 2), Table::num(g.p95 * 1e3, 2),
-               Table::num(g.max * 1e3, 2)});
-
-    struct Case {
-      const char* label;
-      fpga::DesignConfig dc;
-      fpga::FpgaDevice dev;
-    };
-    for (const auto& c :
-         {Case{"U200 NP(M)", fpga::u200_design(), fpga::alveo_u200()},
-          Case{"ZCU104 NP(M)", fpga::zcu104_design(), fpga::zcu104()}}) {
-      fpga::Accelerator acc(model, ds, c.dc, c.dev);
-      acc.warmup({0, region.begin});
-      const auto run = acc.run_windows(region, window);
-      const auto s = stats_of(run.batch_latency_s);
+    for (const auto& c : cases) {
+      const auto run = bench::measure_case_windows(c, ds, region, window);
       t.add_row({c.label, std::to_string(run.batch_latency_s.size()),
-                 Table::num(s.mean * 1e3, 2), Table::num(s.p95 * 1e3, 2),
-                 Table::num(s.max * 1e3, 2)});
+                 Table::num(run.mean_latency_s() * 1e3, 2),
+                 Table::num(run.percentile(0.95) * 1e3, 2),
+                 Table::num(run.percentile(1.0) * 1e3, 2)});
     }
     t.print(std::cout, "Fig. 5 real-time — " + name);
     t.write_csv("fig5_realtime_" + name + ".csv");

@@ -39,9 +39,12 @@ int main(int argc, char** argv) {
              "actual thpt (kE/s)", "pred thpt (kE/s)", "thpt err"});
     for (std::size_t batch : batches) {
       if (region.size() < batch) break;
-      fpga::Accelerator acc(model, ds, c.dc, c.dev);
-      acc.warmup({0, region.begin});
-      const auto run = acc.run({region.begin, region.begin + batch}, batch);
+      runtime::BackendOptions fo;
+      fo.fpga_device = c.dc.name == "U200" ? "u200" : "zcu104";
+      auto backend = runtime::make_backend("fpga", model, ds, fo);
+      runtime::fast_forward(*backend, region.begin);
+      const auto run = runtime::run_stream(
+          *backend, {region.begin, region.begin + batch}, batch);
       const double actual_lat = run.mean_latency_s();
       const double actual_tp = run.throughput_eps();
 

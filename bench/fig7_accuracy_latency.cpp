@@ -1,15 +1,14 @@
 // Fig. 7: accuracy-latency scatter on the Wikipedia-like dataset at batch
 // size 200 — the TGN baseline on CPU/GPU, APAN on CPU/GPU, and the
-// co-designed NP(L/M/S) models on U200 and ZCU104.
+// co-designed NP(L/M/S) models on U200 and ZCU104. Training and accuracy
+// evaluation stay model-specific; every latency number comes from a runtime
+// backend driven through the shared measure_stream loop.
 #include <iostream>
 #include <memory>
 #include <thread>
 
 #include "baselines/apan.hpp"
-#include "baselines/cpu_runner.hpp"
-#include "baselines/gpu_sim.hpp"
 #include "bench/common.hpp"
-#include "fpga/accelerator.hpp"
 #include "tgnn/trainer.hpp"
 #include "util/argparse.hpp"
 #include "util/table.hpp"
@@ -25,14 +24,12 @@ int main(int argc, char** argv) {
   if (!args.parse(argc, argv)) return 1;
   const double scale = args.get_double("edge_scale");
   const auto batch = static_cast<std::size_t>(args.get_int("batch"));
-  int threads = static_cast<int>(args.get_int("threads"));
-  if (threads <= 0)
-    threads = static_cast<int>(std::thread::hardware_concurrency());
 
   bench::banner("Fig. 7 — accuracy vs latency (wikipedia, batch 200)",
                 "Zhou et al., IPDPS'22, Fig. 7");
 
   const auto ds = data::wikipedia_like(scale);
+  const auto region = ds.test_range();
   core::TrainOptions topts;
   topts.epochs = static_cast<std::size_t>(args.get_int("epochs"));
   topts.batch_size = batch;
@@ -40,21 +37,23 @@ int main(int argc, char** argv) {
   Table t({"method", "platform", "AP", "latency (ms)"});
 
   // ---- TGN baseline (teacher): CPU measured + GPU modelled.
-  const auto base_cfg = core::baseline_config(ds.edge_dim(), ds.node_dim());
+  const auto base_cfg = bench::config_for(ds, "baseline");
   auto teacher = std::make_unique<core::TgnModel>(base_cfg, 1);
   Rng drng(2);
   core::Decoder tdec(base_cfg, drng);
   std::printf("  training TGN baseline ...\n");
   const auto tfit = core::fit_and_eval(*teacher, tdec, ds, topts);
   {
-    baselines::CpuRunner cpu(*teacher, ds, threads);
-    cpu.warmup({0, ds.val_end});
-    const auto run = cpu.run(ds.test_range(), batch);
+    runtime::BackendOptions mt;
+    mt.threads = static_cast<int>(args.get_int("threads"));
+    const auto cpu = bench::measure_case(
+        {"cpu", "cpu-mt", teacher.get(), mt}, ds, region, batch);
     t.add_row({"TGN", "CPU", Table::num(tfit.test_ap, 4),
-               Table::num(run.mean_latency_s() * 1e3, 2)});
-    baselines::GpuSim gpu(baselines::titan_xp(), base_cfg);
+               Table::num(cpu.mean_latency_s() * 1e3, 2)});
+    const auto gpu = bench::measure_case({"gpu", "gpu-sim", teacher.get(), {}},
+                                         ds, region, batch);
     t.add_row({"TGN", "GPU", Table::num(tfit.test_ap, 4),
-               Table::num(gpu.batch_seconds(batch, 2 * batch) * 1e3, 2)});
+               Table::num(gpu.mean_latency_s() * 1e3, 2)});
   }
 
   // ---- APAN: CPU measured + GPU modelled (few, tiny kernels).
@@ -73,11 +72,12 @@ int main(int argc, char** argv) {
     Rng arng(7);
     const double ap = apan.evaluate_ap(ds.test_range(), batch, arng);
     apan.reset_state();
-    apan.fast_forward({0, ds.val_end});
-    const auto lat = apan.measure_latency(ds.test_range(), batch);
-    double mean = 0.0;
-    for (double l : lat) mean += l / static_cast<double>(lat.size());
-    t.add_row({"APAN", "CPU", Table::num(ap, 4), Table::num(mean * 1e3, 2)});
+    runtime::BackendOptions ao;
+    ao.apan = &apan;
+    const auto lat = bench::measure_case({"apan", "apan", teacher.get(), ao},
+                                         ds, region, batch);
+    t.add_row({"APAN", "CPU", Table::num(ap, 4),
+               Table::num(lat.mean_latency_s() * 1e3, 2)});
     // GPU: mailbox attention is ~8 logical kernels with tiny GEMMs; the
     // latency is essentially the launch budget.
     const auto spec = baselines::titan_xp();
@@ -97,18 +97,13 @@ int main(int argc, char** argv) {
     std::printf("  training NP(%c) student ...\n", size);
     const auto sfit = core::fit_and_eval(student, sdec, ds, sopts);
 
-    struct Case {
-      const char* label;
-      fpga::DesignConfig dc;
-      fpga::FpgaDevice dev;
-    };
-    for (const auto& c :
-         {Case{"U200", fpga::u200_design(), fpga::alveo_u200()},
-          Case{"ZCU104", fpga::zcu104_design(), fpga::zcu104()}}) {
-      fpga::Accelerator acc(student, ds, c.dc, c.dev);
-      acc.warmup({0, ds.val_end});
-      const auto run = acc.run(ds.test_range(), batch);
-      t.add_row({std::string("Ours NP(") + size + ")", c.label,
+    for (const auto* dev : {"u200", "zcu104"}) {
+      runtime::BackendOptions fo;
+      fo.fpga_device = dev;
+      const auto run =
+          bench::measure_case({dev, "fpga", &student, fo}, ds, region, batch);
+      t.add_row({std::string("Ours NP(") + size + ")",
+                 dev == std::string("u200") ? "U200" : "ZCU104",
                  Table::num(sfit.test_ap, 4),
                  Table::num(run.mean_latency_s() * 1e3, 2)});
     }

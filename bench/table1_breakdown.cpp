@@ -1,12 +1,11 @@
 // Table I: kMEM / kMAC counts and per-part execution time (sample / memory /
 // GNN / update) per dynamic node embedding for the TGN-attn baseline on the
 // Wikipedia- and Reddit-like datasets, on 1 CPU thread, many CPU threads,
-// and the modelled GPU.
+// and the modelled GPU — three runtime backends through one shared loop,
+// with the per-part split coming from StreamResult.parts.
 #include <iostream>
 #include <thread>
 
-#include "baselines/cpu_runner.hpp"
-#include "baselines/gpu_sim.hpp"
 #include "bench/common.hpp"
 #include "tgnn/complexity.hpp"
 #include "util/argparse.hpp"
@@ -31,48 +30,41 @@ int main(int argc, char** argv) {
 
   for (const std::string name : {"wikipedia", "reddit"}) {
     const auto ds = data::by_name(name, scale);
-    const auto cfg = core::baseline_config(ds.edge_dim(), ds.node_dim());
+    const auto cfg = bench::config_for(ds, "baseline");
     const auto rep = core::analyze(cfg);
     const auto model = bench::make_model(cfg, ds);
 
-    // Measured per-part times on 1 thread and `threads` threads.
-    auto run_cpu = [&](int t) {
-      baselines::CpuRunner runner(model, ds, t);
-      runner.warmup({0, ds.val_end});
-      return runner.run(ds.test_range(), batch);
+    runtime::BackendOptions mt;
+    mt.threads = threads;
+    const bench::PlatformCase cases[] = {
+        {"1-thread", "cpu", &model, {}},
+        {"n-thread", "cpu-mt", &model, mt},
+        {"gpu", "gpu-sim", &model, {}},
     };
-    const auto r1 = run_cpu(1);
-    const auto rn = run_cpu(threads);
-
-    // Modelled GPU per-part times for the same number of embeddings.
-    baselines::GpuSim gpu(baselines::titan_xp(), cfg);
-    const std::size_t bat_emb =
-        r1.num_embeddings / std::max<std::size_t>(1, r1.batch_latency_s.size());
-    core::PartTimes gp = gpu.batch_parts(batch, bat_emb);
+    // Measurement region: the test split after warming through train+val.
+    const auto r1 = bench::measure_case(cases[0], ds, ds.test_range(), batch);
+    const auto rn = bench::measure_case(cases[1], ds, ds.test_range(), batch);
+    const auto rg = bench::measure_case(cases[2], ds, ds.test_range(), batch);
 
     Table t({"part", "kMEM", "kMEM%", "kMAC", "kMAC%", "1-thread (ns)",
              std::to_string(threads) + "-thread (ns)", "GPU (ns)"});
+    auto per_emb = [](const runtime::StreamResult& r, double sec) {
+      return sec * 1e9 / static_cast<double>(r.num_embeddings);
+    };
     struct Row {
       const char* name;
       core::PartCount c;
       double t1, tn, tg;
     };
-    const double n_emb = static_cast<double>(r1.num_embeddings);
-    auto ns1 = [&](double sec) { return sec * 1e9 / n_emb; };
-    auto nsn = [&](double sec) {
-      return sec * 1e9 / static_cast<double>(rn.num_embeddings);
-    };
-    auto nsg = [&](double sec) {
-      return sec * 1e9 / static_cast<double>(bat_emb);
-    };
     const Row rows[] = {
-        {"sample", rep.sample, ns1(r1.parts.sample), nsn(rn.parts.sample),
-         nsg(gp.sample)},
-        {"memory", rep.memory, ns1(r1.parts.memory), nsn(rn.parts.memory),
-         nsg(gp.memory)},
-        {"GNN", rep.gnn, ns1(r1.parts.gnn), nsn(rn.parts.gnn), nsg(gp.gnn)},
-        {"update", rep.update, ns1(r1.parts.update), nsn(rn.parts.update),
-         nsg(gp.update)},
+        {"sample", rep.sample, per_emb(r1, r1.parts.sample),
+         per_emb(rn, rn.parts.sample), per_emb(rg, rg.parts.sample)},
+        {"memory", rep.memory, per_emb(r1, r1.parts.memory),
+         per_emb(rn, rn.parts.memory), per_emb(rg, rg.parts.memory)},
+        {"GNN", rep.gnn, per_emb(r1, r1.parts.gnn), per_emb(rn, rn.parts.gnn),
+         per_emb(rg, rg.parts.gnn)},
+        {"update", rep.update, per_emb(r1, r1.parts.update),
+         per_emb(rn, rn.parts.update), per_emb(rg, rg.parts.update)},
     };
     for (const auto& row : rows) {
       t.add_row({row.name, Table::num(row.c.mems / 1e3, 1),
@@ -84,9 +76,9 @@ int main(int argc, char** argv) {
     }
     t.add_row({"total", Table::num(rep.total_mems() / 1e3, 1), "100%",
                Table::num(rep.total_macs() / 1e3, 1), "100%",
-               Table::num(ns1(r1.parts.total()), 0),
-               Table::num(nsn(rn.parts.total()), 0),
-               Table::num(nsg(gp.total()), 0)});
+               Table::num(per_emb(r1, r1.parts.total()), 0),
+               Table::num(per_emb(rn, rn.parts.total()), 0),
+               Table::num(per_emb(rg, rg.parts.total()), 0)});
     t.print(std::cout, "Table I — " + name + " (per dynamic node embedding)");
     t.write_csv("table1_" + name + ".csv");
     std::printf("\n");

@@ -5,7 +5,6 @@
 #include <iostream>
 #include <memory>
 
-#include "baselines/cpu_runner.hpp"
 #include "bench/common.hpp"
 #include "tgnn/complexity.hpp"
 #include "tgnn/trainer.hpp"
@@ -30,14 +29,7 @@ int main(int argc, char** argv) {
   bench::banner("Table II — accumulated model optimizations",
                 "Zhou et al., IPDPS'22, Table II");
 
-  std::string list = args.get("datasets");
-  std::vector<std::string> names;
-  for (std::size_t pos = 0; pos < list.size();) {
-    const auto comma = list.find(',', pos);
-    names.push_back(list.substr(pos, comma - pos));
-    if (comma == std::string::npos) break;
-    pos = comma + 1;
-  }
+  const auto names = bench::split_csv(args.get("datasets"));
 
   for (const auto& name : names) {
     const auto ds = data::by_name(name, scale);
@@ -61,9 +53,8 @@ int main(int argc, char** argv) {
                   name.c_str());
       const auto fit = core::fit_and_eval(*model, dec, ds, opts);
 
-      baselines::CpuRunner runner(*model, ds, /*threads=*/1);
-      runner.warmup({0, ds.val_end});
-      const auto run = runner.run(ds.test_range(), topts.batch_size);
+      const auto run = bench::measure_case({"cpu", "cpu", model.get(), {}}, ds,
+                                           ds.test_range(), topts.batch_size);
 
       const auto rep = core::analyze(rung.config);
       if (rung.label == "Baseline") {

@@ -8,12 +8,13 @@
 // before the next arrives, and the paper's 10 ms interactive target) holds.
 //
 //   ./edge_deployment [--edges 15000] [--window_min 15]
-#include <algorithm>
 #include <cstdio>
 
 #include "data/synthetic.hpp"
-#include "fpga/accelerator.hpp"
+#include "fpga/device.hpp"
 #include "fpga/resource_estimator.hpp"
+#include "runtime/backend.hpp"
+#include "runtime/driver.hpp"
 #include "tgnn/inference.hpp"
 #include "util/argparse.hpp"
 
@@ -50,26 +51,27 @@ int main(int argc, char** argv) {
 
     core::TgnModel model(cfg, 1);
     model.fit_lut(core::collect_dt_samples(ds, ds.train_range()));
-    fpga::Accelerator acc(model, ds, dc, dev);
-    acc.warmup({0, ds.val_end});
-    const auto run = acc.run_windows(ds.test_range(), window);
+    runtime::BackendOptions fo;
+    fo.fpga_device = "zcu104";
+    auto backend = runtime::make_backend("fpga", model, ds, fo);
+    const auto run =
+        runtime::measure_windows(*backend, ds.test_range(), window);
 
-    std::vector<double> lat = run.batch_latency_s;
-    std::sort(lat.begin(), lat.end());
-    const double p50 = lat[lat.size() / 2];
-    const double p99 = lat[static_cast<std::size_t>(0.99 * (lat.size() - 1))];
-    const double worst = lat.back();
+    const double p50 = run.percentile(0.50);
+    const double p99 = run.percentile(0.99);
+    const double worst = run.percentile(1.0);
     std::size_t deadline_misses = 0;
     for (double l : run.batch_latency_s)
       if (l > 10e-3) ++deadline_misses;  // paper: <10 ms meets real-time needs
 
     std::printf("  %zu windows: latency p50 %.2f ms, p99 %.2f ms, worst %.2f "
                 "ms; throughput %.1f kE/s\n",
-                lat.size(), p50 * 1e3, p99 * 1e3, worst * 1e3,
+                run.batch_latency_s.size(), p50 * 1e3, p99 * 1e3, worst * 1e3,
                 run.throughput_eps() / 1e3);
     std::printf("  10 ms interactive deadline: %zu/%zu windows missed; "
                 "window budget (%.0f s) headroom: %.0fx\n\n",
-                deadline_misses, lat.size(), window, window / worst);
+                deadline_misses, run.batch_latency_s.size(), window,
+                window / worst);
   }
   std::printf("(compare: the U200 datacenter deployment in "
               "bench/fig5_latency_throughput)\n");

@@ -13,6 +13,8 @@
 #include <cstdio>
 
 #include "data/synthetic.hpp"
+#include "runtime/backend.hpp"
+#include "runtime/driver.hpp"
 #include "tgnn/trainer.hpp"
 #include "util/argparse.hpp"
 #include "util/rng.hpp"
@@ -44,13 +46,15 @@ int main(int argc, char** argv) {
 
   // Stream the test period; inject fraud by rewiring a fraction of the
   // incoming edges to random destinations (pattern-breaking transactions).
-  core::InferenceEngine engine(model, ds, /*use_fifo=*/true);
-  engine.warmup({0, ds.val_end});
+  // The scorer runs behind the unified runtime seam — swap the "cpu-mt" key
+  // for "fpga" to score on the simulated accelerator instead.
+  auto backend = runtime::make_backend("cpu-mt", model, ds);
+  runtime::fast_forward(*backend, ds.val_end);
 
   Rng rng(7);
   const double fraud_rate = args.get_double("fraud_rate");
   const auto batch = static_cast<std::size_t>(args.get_int("batch"));
-  const auto& pool = engine.dst_pool();
+  const auto pool = data::destination_pool(ds);
 
   std::vector<double> normal_scores, fraud_scores;
   for (const auto& b : ds.graph.fixed_size_batches(
@@ -64,7 +68,7 @@ int main(int argc, char** argv) {
       alt[k] = pool[rng.uniform_int(pool.size())];
     }
     // Embed the batch's vertices plus the substitute destinations.
-    const auto res = engine.process_batch(b, alt);
+    const auto res = backend->process_batch(b, alt).functional;
     for (std::size_t k = 0; k < edges.size(); ++k) {
       const auto hu = res.embedding_of(edges[k].src);
       if (is_fraud[k])

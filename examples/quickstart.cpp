@@ -1,13 +1,17 @@
 // Quickstart: train a small TGN-attn teacher on a synthetic temporal graph,
 // distill a co-designed student (simplified attention + LUT time encoder +
-// neighbor pruning), and compare their test accuracy and single-thread
-// throughput — the whole co-design story in ~100 lines.
+// neighbor pruning), compare their test accuracy and single-thread
+// throughput through the unified runtime layer, then serve the student
+// online through the micro-batching ServingEngine — the whole co-design
+// story in ~100 lines.
 //
 //   ./quickstart [--edges 8000] [--epochs 2]
 #include <cstdio>
 
-#include "baselines/cpu_runner.hpp"
 #include "data/synthetic.hpp"
+#include "runtime/backend.hpp"
+#include "runtime/driver.hpp"
+#include "runtime/serving.hpp"
 #include "tgnn/complexity.hpp"
 #include "tgnn/trainer.hpp"
 #include "util/argparse.hpp"
@@ -64,15 +68,36 @@ int main(int argc, char** argv) {
               ct.total_mems() / 1e3, cs.total_mems() / 1e3,
               100.0 * cs.total_mems() / ct.total_mems());
 
-  baselines::CpuRunner rt(teacher, ds, /*threads=*/1);
-  rt.warmup({0, ds.val_end});
-  const auto res_t = rt.run(ds.test_range(), 200);
-  baselines::CpuRunner rs(student, ds, /*threads=*/1);
-  rs.warmup({0, ds.val_end});
-  const auto res_s = rs.run(ds.test_range(), 200);
+  auto cpu_t = runtime::make_backend("cpu", teacher, ds);
+  const auto res_t = runtime::measure_stream(*cpu_t, ds.test_range(), 200);
+  auto cpu_s = runtime::make_backend("cpu", student, ds);
+  const auto res_s = runtime::measure_stream(*cpu_s, ds.test_range(), 200);
   std::printf("1-thread throughput: teacher %.2f kE/s -> student %.2f kE/s "
               "(%.2fx)\n",
               res_t.throughput_eps() / 1e3, res_s.throughput_eps() / 1e3,
               res_s.throughput_eps() / res_t.throughput_eps());
+
+  // 5. Serve the student online: individual edge events, coalesced into
+  //    micro-batches by the ServingEngine (batch cap 64, 2 ms flush), on
+  //    the multi-threaded CPU backend.
+  auto serve_backend = runtime::make_backend("cpu-mt", student, ds);
+  serve_backend->reset();
+  runtime::fast_forward(*serve_backend, ds.val_end);
+  runtime::ServingOptions sopt2;
+  sopt2.max_batch = 64;
+  sopt2.max_wait_s = 2e-3;
+  {
+    runtime::ServingEngine server(*serve_backend, sopt2);
+    for (std::size_t i = ds.val_end; i < ds.num_edges(); ++i) server.submit(i);
+    server.drain();
+    const auto st = server.stats();
+    std::printf("\nserving %zu test events through the micro-batch scheduler:\n",
+                st.num_requests);
+    std::printf("  %zu batches (mean size %.1f), latency p50 %.2f ms / p95 "
+                "%.2f ms / p99 %.2f ms, %.1f kreq/s\n",
+                st.num_batches, st.mean_batch_size, st.p50_latency_s * 1e3,
+                st.p95_latency_s * 1e3, st.p99_latency_s * 1e3,
+                st.throughput_rps / 1e3);
+  }
   return 0;
 }

@@ -13,6 +13,8 @@
 #include <map>
 
 #include "data/synthetic.hpp"
+#include "runtime/backend.hpp"
+#include "runtime/driver.hpp"
 #include "tgnn/trainer.hpp"
 #include "util/argparse.hpp"
 #include "util/rng.hpp"
@@ -39,8 +41,10 @@ int main(int argc, char** argv) {
   std::printf("training NP(M) model (%zu epochs) ...\n", topts.epochs);
   core::Trainer(model, dec, ds, topts).train();
 
-  core::InferenceEngine engine(model, ds, /*use_fifo=*/true);
-  engine.warmup({0, ds.val_end});
+  // The ranker runs behind the unified runtime seam — swap the "cpu-mt" key
+  // for "fpga" to rank on the simulated accelerator instead.
+  auto backend = runtime::make_backend("cpu-mt", model, ds);
+  runtime::fast_forward(*backend, ds.val_end);
 
   // Popularity baseline: training-period interaction counts per item.
   std::map<graph::NodeId, std::size_t> popularity;
@@ -50,7 +54,7 @@ int main(int argc, char** argv) {
   Rng rng(11);
   const auto n_cand = static_cast<std::size_t>(args.get_int("candidates"));
   const auto max_queries = static_cast<std::size_t>(args.get_int("queries"));
-  const auto& pool = engine.dst_pool();
+  const auto pool = data::destination_pool(ds);
 
   std::size_t queries = 0;
   std::size_t hit1 = 0, hit5 = 0, hit10 = 0;
@@ -67,7 +71,7 @@ int main(int argc, char** argv) {
       for (std::size_t c = 0; c + 1 < n_cand; ++c)
         cands.push_back(pool[rng.uniform_int(pool.size())]);
     }
-    const auto res = engine.process_batch(b, cands);
+    const auto res = backend->process_batch(b, cands).functional;
 
     std::size_t cursor = 0;
     for (const auto& e : edges) {

@@ -44,9 +44,7 @@ Apan::Apan(const ApanConfig& cfg, const data::Dataset& ds, std::uint64_t seed)
   for (auto* p : w_value_.parameters()) params_.add(p);
   for (auto* p : decoder_.parameters()) params_.add(p);
 
-  std::set<graph::NodeId> dsts;
-  for (const auto& e : ds.graph.edges()) dsts.insert(e.dst);
-  dst_pool_.assign(dsts.begin(), dsts.end());
+  dst_pool_ = data::destination_pool(ds);
 }
 
 void Apan::reset_state() {
@@ -278,27 +276,40 @@ double Apan::evaluate_ap(const graph::BatchRange& range, std::size_t batch_size,
   return core::average_precision(std::move(samples));
 }
 
+Apan::BatchOut Apan::process_batch(const graph::BatchRange& r,
+                                   std::span<const graph::NodeId> extra_nodes) {
+  const auto edges = ds_.graph.edges(r);
+  BatchOut out;
+  auto touch = [&](graph::NodeId v) {
+    if (out.index.try_emplace(v, out.nodes.size()).second)
+      out.nodes.push_back(v);
+  };
+  for (const auto& e : edges) {
+    touch(e.src);
+    touch(e.dst);
+  }
+  for (graph::NodeId v : extra_nodes) touch(v);
+  const double t = edges.empty() ? 0.0 : edges.back().ts;
+
+  out.embeddings = Tensor(out.nodes.size(), cfg_.emb_dim);
+  Stopwatch sw;
+  for (std::size_t i = 0; i < out.nodes.size(); ++i) {
+    const Tensor h = embed(out.nodes[i], t);
+    std::copy(h.row(0).begin(), h.row(0).end(), out.embeddings.row(i).begin());
+  }
+  out.latency_s = sw.seconds();
+  // Mail delivery happens asynchronously in APAN: excluded from latency,
+  // still applied to keep state moving.
+  for (const auto& e : edges) deliver(e);
+  return out;
+}
+
 std::vector<double> Apan::measure_latency(const graph::BatchRange& range,
                                           std::size_t batch_size) {
   std::vector<double> lat;
   for (const auto& b :
-       ds_.graph.fixed_size_batches(range.begin, range.end, batch_size)) {
-    const auto edges = ds_.graph.edges(b);
-    std::set<graph::NodeId> uniq;
-    for (const auto& e : edges) {
-      uniq.insert(e.src);
-      uniq.insert(e.dst);
-    }
-    Stopwatch sw;
-    for (graph::NodeId v : uniq) {
-      volatile float sink = embed(v, edges.back().ts)(0, 0);
-      (void)sink;
-    }
-    lat.push_back(sw.seconds());
-    // Mail delivery happens asynchronously in APAN: excluded from latency,
-    // still applied to keep state moving.
-    for (const auto& e : edges) deliver(e);
-  }
+       ds_.graph.fixed_size_batches(range.begin, range.end, batch_size))
+    lat.push_back(process_batch(b).latency_s);
   return lat;
 }
 

@@ -15,6 +15,9 @@
 // BCE objective and decoder as the TGN models.
 #pragma once
 
+#include <span>
+#include <unordered_map>
+
 #include "data/dataset.hpp"
 #include "nn/linear.hpp"
 #include "nn/optim.hpp"
@@ -60,6 +63,19 @@ class Apan {
   /// AP over a range (state warmed through everything before range.begin).
   double evaluate_ap(const graph::BatchRange& range, std::size_t batch_size,
                      tgnn::Rng& rng);
+
+  /// One serving batch (the runtime-backend entry point): embed every vertex
+  /// involved in [r] plus `extra_nodes` at the batch-end timestamp — the
+  /// synchronous path, timed — then deliver the batch's mails (asynchronous
+  /// in APAN, excluded from the latency).
+  struct BatchOut {
+    std::vector<graph::NodeId> nodes;
+    Tensor embeddings;  ///< [nodes.size(), emb_dim]
+    std::unordered_map<graph::NodeId, std::size_t> index;
+    double latency_s = 0.0;
+  };
+  BatchOut process_batch(const graph::BatchRange& r,
+                         std::span<const graph::NodeId> extra_nodes = {});
 
   /// Measured synchronous-path latency: embed the vertices of each batch
   /// (mail delivery is excluded — it is asynchronous in APAN). Returns

@@ -1,18 +1,10 @@
 #include "baselines/cpu_runner.hpp"
 
-#include <numeric>
-
 #include <omp.h>
 
 #include "util/stopwatch.hpp"
 
 namespace tgnn::baselines {
-
-double RunResult::mean_latency_s() const {
-  if (batch_latency_s.empty()) return 0.0;
-  return std::accumulate(batch_latency_s.begin(), batch_latency_s.end(), 0.0) /
-         static_cast<double>(batch_latency_s.size());
-}
 
 CpuRunner::CpuRunner(const core::TgnModel& model, const data::Dataset& ds,
                      int threads)
@@ -20,41 +12,36 @@ CpuRunner::CpuRunner(const core::TgnModel& model, const data::Dataset& ds,
   engine_.set_parallel_gnn(threads > 1);
 }
 
+void CpuRunner::bind_threads() { omp_set_num_threads(threads_); }
+
 RunResult CpuRunner::run(const graph::BatchRange& range,
                          std::size_t batch_size) {
-  omp_set_num_threads(threads_);
-  RunResult res;
-  const auto batches = engine_.dataset().graph.fixed_size_batches(
-      range.begin, range.end, batch_size);
-  Stopwatch total;
-  for (const auto& b : batches) {
-    Stopwatch sw;
-    const auto out = engine_.process_batch(b, {}, &res.parts);
-    res.batch_latency_s.push_back(sw.seconds());
-    res.num_edges += b.size();
-    res.num_embeddings += out.nodes.size();
-  }
-  res.total_seconds = total.seconds();
-  return res;
+  bind_threads();
+  return runtime::drive_batches(
+      engine_.dataset().graph.fixed_size_batches(range.begin, range.end,
+                                                 batch_size),
+      [this](const graph::BatchRange& b) {
+        runtime::StepOutcome out;
+        Stopwatch sw;
+        out.num_embeddings = engine_.process_batch(b, {}, &out.parts).nodes.size();
+        out.latency_s = sw.seconds();
+        return out;
+      });
 }
 
 RunResult CpuRunner::run_windows(const graph::BatchRange& range,
                                  double window_seconds) {
-  omp_set_num_threads(threads_);
-  RunResult res;
-  const auto batches = engine_.dataset().graph.fixed_window_batches(
-      range.begin, range.end, window_seconds);
-  Stopwatch total;
-  for (const auto& b : batches) {
-    if (b.size() == 0) continue;
-    Stopwatch sw;
-    const auto out = engine_.process_batch(b, {}, &res.parts);
-    res.batch_latency_s.push_back(sw.seconds());
-    res.num_edges += b.size();
-    res.num_embeddings += out.nodes.size();
-  }
-  res.total_seconds = total.seconds();
-  return res;
+  bind_threads();
+  return runtime::drive_batches(
+      engine_.dataset().graph.fixed_window_batches(range.begin, range.end,
+                                                   window_seconds),
+      [this](const graph::BatchRange& b) {
+        runtime::StepOutcome out;
+        Stopwatch sw;
+        out.num_embeddings = engine_.process_batch(b, {}, &out.parts).nodes.size();
+        out.latency_s = sw.seconds();
+        return out;
+      });
 }
 
 }  // namespace tgnn::baselines

@@ -4,31 +4,18 @@
 //
 // This is a *real* measurement of the reference implementation on the build
 // machine — the only baseline in this repo that is not modelled (see
-// DESIGN.md §1).
+// DESIGN.md §1). The runtime layer wraps it as the "cpu" / "cpu-mt"
+// backends; run()/run_windows() delegate to the same shared streaming loop
+// the runtime driver uses.
 #pragma once
 
+#include "runtime/stream_result.hpp"
 #include "tgnn/inference.hpp"
 
 namespace tgnn::baselines {
 
-struct RunResult {
-  double total_seconds = 0.0;
-  std::size_t num_edges = 0;
-  std::size_t num_embeddings = 0;
-  core::PartTimes parts;
-  std::vector<double> batch_latency_s;  ///< per processed batch
-
-  [[nodiscard]] double throughput_eps() const {
-    return total_seconds > 0.0 ? static_cast<double>(num_edges) / total_seconds
-                               : 0.0;
-  }
-  [[nodiscard]] double mean_latency_s() const;
-  [[nodiscard]] double ns_per_embedding() const {
-    return num_embeddings > 0
-               ? total_seconds * 1e9 / static_cast<double>(num_embeddings)
-               : 0.0;
-  }
-};
+/// Measurement accounting now shared with the runtime layer.
+using RunResult = runtime::StreamResult;
 
 class CpuRunner {
  public:
@@ -44,8 +31,13 @@ class CpuRunner {
   /// scenario); returns one latency sample per non-empty window.
   RunResult run_windows(const graph::BatchRange& range, double window_seconds);
 
+  /// Apply this runner's thread count to the OpenMP runtime (called before
+  /// every measured batch; cheap).
+  void bind_threads();
+
   void warmup(const graph::BatchRange& range) { engine_.warmup(range); }
   core::InferenceEngine& engine() { return engine_; }
+  [[nodiscard]] int threads() const { return threads_; }
 
  private:
   core::InferenceEngine engine_;

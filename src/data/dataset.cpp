@@ -35,4 +35,10 @@ DatasetStats compute_stats(const Dataset& ds) {
   return st;
 }
 
+std::vector<graph::NodeId> destination_pool(const Dataset& ds) {
+  std::set<graph::NodeId> dsts;
+  for (const auto& e : ds.graph.edges()) dsts.insert(e.dst);
+  return {dsts.begin(), dsts.end()};
+}
+
 }  // namespace tgnn::data

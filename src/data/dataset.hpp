@@ -44,6 +44,10 @@ struct Dataset {
 void apply_chrono_split(Dataset& ds, double train_frac = 0.70,
                         double val_frac = 0.15);
 
+/// Sorted unique destination node ids of the stream — the negative-sample
+/// pool shared by the inference engine, APAN, and the application examples.
+std::vector<graph::NodeId> destination_pool(const Dataset& ds);
+
 /// Summary statistics used by dataset sanity tests and the Fig. 1 bench.
 struct DatasetStats {
   std::size_t num_nodes = 0;

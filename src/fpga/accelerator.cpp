@@ -151,33 +151,26 @@ Accelerator::Output Accelerator::process_batch(
 
 Accelerator::RunSummary Accelerator::run(const graph::BatchRange& range,
                                          std::size_t batch_size) {
-  RunSummary res;
   const auto& g = engine_.dataset().graph;
-  for (const auto& b :
-       g.fixed_size_batches(range.begin, range.end, batch_size)) {
-    const auto out = process_batch(b);
-    res.batch_latency_s.push_back(out.latency_s);
-    res.total_s += out.latency_s;
-    res.num_edges += b.size();
-    res.num_embeddings += out.functional.nodes.size();
-  }
-  return res;
+  return runtime::drive_batches(
+      g.fixed_size_batches(range.begin, range.end, batch_size),
+      [this](const graph::BatchRange& b) {
+        const auto out = process_batch(b);
+        return runtime::StepOutcome{out.latency_s, out.functional.nodes.size(),
+                                    {}};
+      });
 }
 
 Accelerator::RunSummary Accelerator::run_windows(const graph::BatchRange& range,
                                                  double window_seconds) {
-  RunSummary res;
   const auto& g = engine_.dataset().graph;
-  for (const auto& b :
-       g.fixed_window_batches(range.begin, range.end, window_seconds)) {
-    if (b.size() == 0) continue;
-    const auto out = process_batch(b);
-    res.batch_latency_s.push_back(out.latency_s);
-    res.total_s += out.latency_s;
-    res.num_edges += b.size();
-    res.num_embeddings += out.functional.nodes.size();
-  }
-  return res;
+  return runtime::drive_batches(
+      g.fixed_window_batches(range.begin, range.end, window_seconds),
+      [this](const graph::BatchRange& b) {
+        const auto out = process_batch(b);
+        return runtime::StepOutcome{out.latency_s, out.functional.nodes.size(),
+                                    {}};
+      });
 }
 
 }  // namespace tgnn::fpga

@@ -28,6 +28,7 @@
 #include "fpga/embedding_unit.hpp"
 #include "fpga/memory_update_unit.hpp"
 #include "fpga/updater_cache.hpp"
+#include "runtime/stream_result.hpp"
 #include "tgnn/inference.hpp"
 
 namespace tgnn::fpga {
@@ -46,21 +47,8 @@ class Accelerator {
   Output process_batch(const graph::BatchRange& r,
                        std::span<const graph::NodeId> extra_nodes = {});
 
-  struct RunSummary {
-    double total_s = 0.0;
-    std::size_t num_edges = 0;
-    std::size_t num_embeddings = 0;
-    std::vector<double> batch_latency_s;
-    [[nodiscard]] double throughput_eps() const {
-      return total_s > 0.0 ? static_cast<double>(num_edges) / total_s : 0.0;
-    }
-    [[nodiscard]] double mean_latency_s() const {
-      if (batch_latency_s.empty()) return 0.0;
-      double s = 0.0;
-      for (double l : batch_latency_s) s += l;
-      return s / static_cast<double>(batch_latency_s.size());
-    }
-  };
+  /// Measurement accounting now shared with the runtime layer.
+  using RunSummary = runtime::StreamResult;
 
   /// Stream a range in fixed-size batches.
   RunSummary run(const graph::BatchRange& range, std::size_t batch_size);

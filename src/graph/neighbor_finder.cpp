@@ -14,8 +14,16 @@ void NeighborFinder::insert(const TemporalEdge& e) {
 
 std::vector<NeighborHit> NeighborFinder::most_recent(NodeId v, double t,
                                                      std::size_t k) const {
+  std::vector<NeighborHit> out;
+  most_recent_into(v, t, k, out);
+  return out;  // oldest -> newest
+}
+
+void NeighborFinder::most_recent_into(NodeId v, double t, std::size_t k,
+                                      std::vector<NeighborHit>& out) const {
   if (v >= hist_.size())
     throw std::out_of_range("NeighborFinder::most_recent: node out of range");
+  out.clear();
   const auto& h = hist_[v];
   // Binary search for the first interaction at ts >= t; history is sorted.
   auto it = std::lower_bound(
@@ -23,10 +31,8 @@ std::vector<NeighborHit> NeighborFinder::most_recent(NodeId v, double t,
       [](const NeighborHit& hit, double tt) { return hit.ts < tt; });
   const std::size_t end = static_cast<std::size_t>(it - h.begin());
   const std::size_t take = std::min(k, end);
-  std::vector<NeighborHit> out;
   out.reserve(take);
   for (std::size_t i = end - take; i < end; ++i) out.push_back(h[i]);
-  return out;  // oldest -> newest
 }
 
 void NeighborFinder::clear() {

@@ -34,6 +34,11 @@ class NeighborFinder {
   [[nodiscard]] std::vector<NeighborHit> most_recent(NodeId v, double t,
                                                      std::size_t k) const;
 
+  /// Allocation-free variant: clears `out` and fills it with the same
+  /// entries, reusing its capacity (the engine batch-workspace hot path).
+  void most_recent_into(NodeId v, double t, std::size_t k,
+                        std::vector<NeighborHit>& out) const;
+
   /// Total stored interactions of v (degree over all time).
   [[nodiscard]] std::size_t degree(NodeId v) const { return hist_[v].size(); }
 

@@ -27,10 +27,16 @@ void NeighborTable::insert_edge(const TemporalEdge& e) {
 }
 
 std::vector<NeighborHit> NeighborTable::row(NodeId v) const {
+  std::vector<NeighborHit> out;
+  row_into(v, out);
+  return out;
+}
+
+void NeighborTable::row_into(NodeId v, std::vector<NeighborHit>& out) const {
   if (v >= num_nodes_)
     throw std::out_of_range("NeighborTable::row: node out of range");
+  out.clear();
   const std::size_t n = counts_[v];
-  std::vector<NeighborHit> out;
   out.reserve(n);
   // Oldest entry sits at head - count (mod mr).
   std::size_t idx = (head_[v] + mr_ - n) % mr_;
@@ -39,7 +45,6 @@ std::vector<NeighborHit> NeighborTable::row(NodeId v) const {
     out.push_back({s.node, s.eid, s.ts});
     idx = (idx + 1) % mr_;
   }
-  return out;
 }
 
 }  // namespace tgnn::graph

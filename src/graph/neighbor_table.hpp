@@ -36,6 +36,10 @@ class NeighborTable {
   /// Current entries of v, oldest -> newest (up to mr of them).
   [[nodiscard]] std::vector<NeighborHit> row(NodeId v) const;
 
+  /// Allocation-free variant: clears `out` and fills it with the row,
+  /// reusing its capacity (the engine batch-workspace hot path).
+  void row_into(NodeId v, std::vector<NeighborHit>& out) const;
+
   /// Number of valid entries for v.
   [[nodiscard]] std::size_t fill(NodeId v) const { return counts_[v]; }
 

@@ -1,0 +1,239 @@
+#include "runtime/backend.hpp"
+
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "baselines/apan.hpp"
+#include "baselines/cpu_runner.hpp"
+#include "fpga/accelerator.hpp"
+#include "util/stopwatch.hpp"
+
+namespace tgnn::runtime {
+
+BackendOptions::BackendOptions() : gpu(baselines::titan_xp()) {}
+
+namespace {
+
+/// "cpu" / "cpu-mt": measured execution of the reference engine, wrapping
+/// the OpenMP CpuRunner baseline.
+class CpuBackend final : public Backend {
+ public:
+  CpuBackend(std::string key, const core::TgnModel& model,
+             const data::Dataset& ds, int threads, const BackendOptions& opts)
+      : key_(std::move(key)), ds_(ds), runner_(model, ds, threads),
+        opts_(opts) {}
+
+  BatchOutput process_batch(const graph::BatchRange& r,
+                            std::span<const graph::NodeId> extras) override {
+    runner_.bind_threads();
+    BatchOutput out;
+    Stopwatch sw;
+    out.functional = runner_.engine().process_batch(r, extras, &out.parts);
+    out.latency_s = sw.seconds();
+    return out;
+  }
+
+  void warmup(const graph::BatchRange& range) override {
+    runner_.engine().reserve_workspace(opts_.max_batch_hint);
+    runner_.engine().warmup(range, opts_.warmup_batch);
+  }
+
+  void reset() override { runner_.engine().reset(); }
+
+  [[nodiscard]] std::string name() const override { return key_; }
+  [[nodiscard]] std::string describe() const override {
+    return "host CPU, " + std::to_string(runner_.threads()) +
+           " thread(s) (measured)";
+  }
+  [[nodiscard]] const data::Dataset& dataset() const override { return ds_; }
+
+ private:
+  std::string key_;
+  const data::Dataset& ds_;
+  baselines::CpuRunner runner_;
+  BackendOptions opts_;
+};
+
+/// "gpu-sim": exact functional numerics from the reference engine, batch
+/// latency from the analytic roofline + kernel-launch GPU model — the same
+/// functional/timing split the FPGA simulator makes.
+class GpuSimBackend final : public Backend {
+ public:
+  GpuSimBackend(const core::TgnModel& model, const data::Dataset& ds,
+                const BackendOptions& opts)
+      : engine_(model, ds, /*use_fifo=*/true),
+        sim_(opts.gpu, model.config()),
+        opts_(opts) {}
+
+  BatchOutput process_batch(const graph::BatchRange& r,
+                            std::span<const graph::NodeId> extras) override {
+    BatchOutput out;
+    out.functional = engine_.process_batch(r, extras);
+    const std::size_t n_emb = out.functional.nodes.size();
+    out.latency_s = sim_.batch_seconds(r.size(), n_emb);
+    out.parts = sim_.batch_parts(r.size(), n_emb);
+    out.modelled_timing = true;
+    return out;
+  }
+
+  void warmup(const graph::BatchRange& range) override {
+    engine_.reserve_workspace(opts_.max_batch_hint);
+    engine_.warmup(range, opts_.warmup_batch);
+  }
+
+  void reset() override { engine_.reset(); }
+
+  [[nodiscard]] std::string name() const override { return "gpu-sim"; }
+  [[nodiscard]] std::string describe() const override {
+    return sim_.spec().name + " (modelled roofline + launch overhead)";
+  }
+  [[nodiscard]] const data::Dataset& dataset() const override {
+    return engine_.dataset();
+  }
+
+ private:
+  core::InferenceEngine engine_;
+  baselines::GpuSim sim_;
+  BackendOptions opts_;
+};
+
+/// "apan": the asynchronous-propagation comparator. Functional output is
+/// APAN's own mailbox-attention embedding; latency is the measured
+/// synchronous path (mail delivery is asynchronous and excluded).
+class ApanBackend final : public Backend {
+ public:
+  ApanBackend(const core::TgnModel& model, const data::Dataset& ds,
+              const BackendOptions& opts)
+      : ds_(ds) {
+    if (opts.apan != nullptr) {
+      apan_ = opts.apan;
+    } else {
+      baselines::ApanConfig cfg;
+      cfg.edge_dim = ds.edge_dim();
+      cfg.node_dim = ds.node_dim();
+      cfg.emb_dim = model.config().emb_dim;
+      owned_ = std::make_unique<baselines::Apan>(cfg, ds, opts.seed);
+      apan_ = owned_.get();
+    }
+  }
+
+  BatchOutput process_batch(const graph::BatchRange& r,
+                            std::span<const graph::NodeId> extras) override {
+    auto res = apan_->process_batch(r, extras);
+    BatchOutput out;
+    out.functional.nodes = std::move(res.nodes);
+    out.functional.embeddings = std::move(res.embeddings);
+    out.functional.index = std::move(res.index);
+    out.latency_s = res.latency_s;
+    return out;
+  }
+
+  void warmup(const graph::BatchRange& range) override {
+    apan_->fast_forward(range);
+  }
+
+  void reset() override { apan_->reset_state(); }
+
+  [[nodiscard]] std::string name() const override { return "apan"; }
+  [[nodiscard]] std::string describe() const override {
+    return "APAN mailbox attention, K=" +
+           std::to_string(apan_->config().mailbox_size) + " (measured)";
+  }
+  [[nodiscard]] const data::Dataset& dataset() const override { return ds_; }
+
+ private:
+  const data::Dataset& ds_;
+  baselines::Apan* apan_ = nullptr;
+  std::unique_ptr<baselines::Apan> owned_;
+};
+
+/// "fpga": the co-designed accelerator — exact functional numerics, latency
+/// from the cycle-level reservation-table simulation.
+class FpgaBackend final : public Backend {
+ public:
+  FpgaBackend(const core::TgnModel& model, const data::Dataset& ds,
+              const BackendOptions& opts)
+      : device_key_(opts.fpga_device), ds_(ds),
+        acc_(model, ds, design_for(opts.fpga_device),
+             device_for(opts.fpga_device)),
+        opts_(opts) {}
+
+  static fpga::DesignConfig design_for(const std::string& dev) {
+    if (dev == "u200") return fpga::u200_design();
+    if (dev == "zcu104") return fpga::zcu104_design();
+    throw std::invalid_argument("fpga backend: unknown device '" + dev +
+                                "' (u200 | zcu104)");
+  }
+  static fpga::FpgaDevice device_for(const std::string& dev) {
+    return dev == "u200" ? fpga::alveo_u200() : fpga::zcu104();
+  }
+
+  BatchOutput process_batch(const graph::BatchRange& r,
+                            std::span<const graph::NodeId> extras) override {
+    auto res = acc_.process_batch(r, extras);
+    BatchOutput out;
+    out.functional = std::move(res.functional);
+    out.latency_s = res.latency_s;
+    out.modelled_timing = true;
+    return out;
+  }
+
+  void warmup(const graph::BatchRange& range) override {
+    acc_.engine().reserve_workspace(opts_.max_batch_hint);
+    acc_.warmup(range);
+  }
+
+  void reset() override { acc_.reset(); }
+
+  [[nodiscard]] std::string name() const override { return "fpga"; }
+  [[nodiscard]] std::string describe() const override {
+    return acc_.device().name + ", " + std::to_string(acc_.design().ncu) +
+           " CU @ " + std::to_string(static_cast<int>(acc_.design().freq_mhz)) +
+           " MHz (cycle-simulated)";
+  }
+  [[nodiscard]] const data::Dataset& dataset() const override { return ds_; }
+
+  [[nodiscard]] fpga::Accelerator& accelerator() { return acc_; }
+
+ private:
+  std::string device_key_;
+  const data::Dataset& ds_;
+  fpga::Accelerator acc_;
+  BackendOptions opts_;
+};
+
+int resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  return std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+}
+
+}  // namespace
+
+std::unique_ptr<Backend> make_backend(const std::string& key,
+                                      const core::TgnModel& model,
+                                      const data::Dataset& ds,
+                                      const BackendOptions& opts) {
+  if (key == "cpu")
+    return std::make_unique<CpuBackend>(key, model, ds, /*threads=*/1, opts);
+  if (key == "cpu-mt")
+    return std::make_unique<CpuBackend>(key, model, ds,
+                                        resolve_threads(opts.threads), opts);
+  if (key == "gpu-sim") return std::make_unique<GpuSimBackend>(model, ds, opts);
+  if (key == "apan") return std::make_unique<ApanBackend>(model, ds, opts);
+  if (key == "fpga") return std::make_unique<FpgaBackend>(model, ds, opts);
+
+  std::string registry;
+  for (const auto& k : backend_keys())
+    registry += (registry.empty() ? "" : " | ") + k;
+  throw std::invalid_argument("make_backend: unknown key '" + key +
+                              "' (registry: " + registry + ")");
+}
+
+const std::vector<std::string>& backend_keys() {
+  static const std::vector<std::string> keys = {"cpu", "cpu-mt", "gpu-sim",
+                                                "apan", "fpga"};
+  return keys;
+}
+
+}  // namespace tgnn::runtime

@@ -1,0 +1,96 @@
+// The unified runtime seam: one Backend interface in front of every
+// execution path the paper compares — the reference CPU engine, the OpenMP
+// multi-threaded CPU baseline, the analytic GPU model, APAN, and the
+// cycle-simulated FPGA accelerator.
+//
+// A Backend owns its persistent vertex state (memory / mailbox / neighbor
+// table) and its reusable batch workspace; backends built over the same
+// model+dataset are fully independent streams. All of them speak the same
+// contract:
+//
+//   process_batch(range, extras) -> BatchOutput{functional, latency, parts}
+//
+// where `functional` is always the real numerics (for modelled platforms the
+// timing is a model but the embeddings are exact — the same split the
+// paper's FPGA simulator makes), and `latency_s` is measured wall time or
+// the platform model's estimate, flagged by `modelled_timing`.
+//
+// Backends are constructed through the string-keyed factory `make_backend`
+// ("cpu" | "cpu-mt" | "gpu-sim" | "apan" | "fpga"); see DESIGN.md for the
+// registry and for how to add a new backend.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "baselines/gpu_sim.hpp"
+#include "data/dataset.hpp"
+#include "tgnn/inference.hpp"
+
+namespace tgnn::baselines {
+class Apan;
+}
+
+namespace tgnn::runtime {
+
+/// Functional result shared by every backend (APAN converts its own).
+using Functional = core::InferenceEngine::BatchResult;
+
+struct BatchOutput {
+  Functional functional;
+  double latency_s = 0.0;  ///< measured wall time or platform-model estimate
+  core::PartTimes parts;   ///< sample/memory/GNN/update split where reported
+  bool modelled_timing = false;  ///< true when latency_s comes from a model
+};
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// Process one chronological batch of the edge stream; `extra_nodes` are
+  /// embedded alongside it without mutating their state.
+  virtual BatchOutput process_batch(
+      const graph::BatchRange& r,
+      std::span<const graph::NodeId> extra_nodes = {}) = 0;
+
+  /// Fast-forward persistent state through [range] without producing
+  /// embeddings, and size the batch workspace for steady-state serving.
+  virtual void warmup(const graph::BatchRange& range) = 0;
+
+  /// Drop all persistent state (memory, mailboxes, neighbor tables).
+  virtual void reset() = 0;
+
+  /// Registry key this backend was built under ("cpu", "fpga", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Human-readable platform description for bench banners and tables.
+  [[nodiscard]] virtual std::string describe() const = 0;
+  [[nodiscard]] virtual const data::Dataset& dataset() const = 0;
+};
+
+/// Per-key construction knobs. `model` and `ds` passed to make_backend must
+/// outlive the backend; so must `apan` when set.
+struct BackendOptions {
+  int threads = 0;  ///< "cpu-mt" worker count; 0 = hardware concurrency
+  std::string fpga_device = "u200";       ///< "fpga": "u200" | "zcu104"
+  baselines::GpuSpec gpu;                 ///< "gpu-sim" platform (default Titan Xp)
+  baselines::Apan* apan = nullptr;        ///< "apan": wrap this trained model
+  std::uint64_t seed = 5;                 ///< "apan": seed when self-built
+  std::size_t warmup_batch = 500;         ///< fast-forward batch size
+  std::size_t max_batch_hint = 1024;      ///< workspace pre-sizing at warmup
+
+  BackendOptions();
+};
+
+/// Build a backend by registry key. Throws std::invalid_argument for an
+/// unknown key (the message lists the registry).
+std::unique_ptr<Backend> make_backend(const std::string& key,
+                                      const core::TgnModel& model,
+                                      const data::Dataset& ds,
+                                      const BackendOptions& opts = {});
+
+/// Every key make_backend accepts, in registration order.
+const std::vector<std::string>& backend_keys();
+
+}  // namespace tgnn::runtime

@@ -1,0 +1,45 @@
+#include "runtime/driver.hpp"
+
+namespace tgnn::runtime {
+
+void fast_forward(Backend& b, std::size_t stream_end) {
+  if (stream_end == 0) return;
+  b.warmup({0, stream_end});
+}
+
+namespace {
+
+StreamResult drive(Backend& b, const std::vector<graph::BatchRange>& batches) {
+  return drive_batches(batches, [&b](const graph::BatchRange& r) {
+    const BatchOutput out = b.process_batch(r);
+    return StepOutcome{out.latency_s, out.functional.nodes.size(), out.parts};
+  });
+}
+
+}  // namespace
+
+StreamResult run_stream(Backend& b, const graph::BatchRange& range,
+                        std::size_t batch_size) {
+  return drive(b, b.dataset().graph.fixed_size_batches(range.begin, range.end,
+                                                       batch_size));
+}
+
+StreamResult run_windows(Backend& b, const graph::BatchRange& range,
+                         double window_seconds) {
+  return drive(b, b.dataset().graph.fixed_window_batches(
+                      range.begin, range.end, window_seconds));
+}
+
+StreamResult measure_stream(Backend& b, const graph::BatchRange& region,
+                            std::size_t batch_size) {
+  fast_forward(b, region.begin);
+  return run_stream(b, region, batch_size);
+}
+
+StreamResult measure_windows(Backend& b, const graph::BatchRange& region,
+                             double window_seconds) {
+  fast_forward(b, region.begin);
+  return run_windows(b, region, window_seconds);
+}
+
+}  // namespace tgnn::runtime

@@ -1,0 +1,34 @@
+// Offline streaming driver over the unified Backend interface — the one
+// warmup/stream/measure loop every bench and example goes through (the
+// per-file copies it replaced are gone; see DESIGN.md).
+#pragma once
+
+#include "runtime/backend.hpp"
+#include "runtime/stream_result.hpp"
+
+namespace tgnn::runtime {
+
+/// Fast-forward a backend's persistent state through the stream prefix
+/// [0, stream_end) — the shared warmup helper (every bench used to hand-roll
+/// `x.warmup({0, region.begin})`).
+void fast_forward(Backend& b, std::size_t stream_end);
+
+/// Stream [range] in fixed-size batches through the backend.
+StreamResult run_stream(Backend& b, const graph::BatchRange& range,
+                        std::size_t batch_size);
+
+/// Stream [range] in fixed time windows (the paper's 15-minute real-time
+/// scenario); empty windows are skipped.
+StreamResult run_windows(Backend& b, const graph::BatchRange& range,
+                         double window_seconds);
+
+/// fast_forward to the region start, then run_stream — the standard
+/// "measure the test split" shape.
+StreamResult measure_stream(Backend& b, const graph::BatchRange& region,
+                            std::size_t batch_size);
+
+/// fast_forward to the region start, then run_windows.
+StreamResult measure_windows(Backend& b, const graph::BatchRange& region,
+                             double window_seconds);
+
+}  // namespace tgnn::runtime

@@ -1,0 +1,133 @@
+#include "runtime/serving.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "runtime/stream_result.hpp"
+
+namespace tgnn::runtime {
+
+ServingEngine::ServingEngine(Backend& backend, ServingOptions opts)
+    : backend_(backend), opts_(opts) {
+  if (opts_.max_batch == 0)
+    throw std::invalid_argument("ServingEngine: max_batch must be > 0");
+  if (opts_.queue_capacity == 0)
+    throw std::invalid_argument("ServingEngine: queue_capacity must be > 0");
+  pool_.submit([this] { scheduler_loop(); });
+}
+
+ServingEngine::~ServingEngine() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_submit_.notify_all();
+  pool_.wait_idle();
+}
+
+void ServingEngine::submit(std::size_t edge_index) {
+  std::unique_lock lk(mu_);
+  if (have_origin_ && edge_index != next_index_)
+    throw std::invalid_argument(
+        "ServingEngine::submit: requests must arrive in stream order (got " +
+        std::to_string(edge_index) + ", expected " +
+        std::to_string(next_index_) + ")");
+  cv_state_.wait(lk, [this] { return queue_.size() < opts_.queue_capacity; });
+  have_origin_ = true;
+  next_index_ = edge_index + 1;
+  const double now = clock_.seconds();
+  if (first_submit_s_ < 0.0) first_submit_s_ = now;
+  queue_.push_back({edge_index, now});
+  cv_submit_.notify_all();
+}
+
+void ServingEngine::drain() {
+  std::unique_lock lk(mu_);
+  // Force-flush whatever is pending instead of letting a partial batch sit
+  // out the remainder of its max_wait deadline.
+  if (!queue_.empty()) {
+    flush_ = true;
+    cv_submit_.notify_all();
+  }
+  cv_state_.wait(lk, [this] { return queue_.empty() && !busy_; });
+}
+
+void ServingEngine::scheduler_loop() {
+  std::unique_lock lk(mu_);
+  for (;;) {
+    cv_submit_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    // Coalesce: hold the batch open until it is full, the oldest pending
+    // request hits the flush deadline, or a drain/stop forces a flush.
+    while (!stop_ && !flush_ && queue_.size() < opts_.max_batch) {
+      const double age = clock_.seconds() - queue_.front().arrival_s;
+      const double remaining = opts_.max_wait_s - age;
+      if (remaining <= 0.0) break;
+      cv_submit_.wait_for(lk, std::chrono::duration<double>(remaining));
+    }
+
+    const std::size_t n = std::min(queue_.size(), opts_.max_batch);
+    // Submission order is stream order, so the first n pending requests are
+    // a contiguous chronological range.
+    const graph::BatchRange range{queue_.front().index,
+                                  queue_.front().index + n};
+    std::vector<double> arrivals;
+    arrivals.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      arrivals.push_back(queue_.front().arrival_s);
+      queue_.pop_front();
+    }
+    if (queue_.empty()) flush_ = false;  // forced flush fully served
+    busy_ = true;
+    cv_state_.notify_all();  // queue space freed for blocked submitters
+
+    lk.unlock();
+    const double dispatch_s = clock_.seconds();
+    const BatchOutput out = backend_.process_batch(range);
+    lk.lock();
+
+    const double done = clock_.seconds();
+    for (double a : arrivals)
+      latencies_.push_back((dispatch_s - a) + out.latency_s);
+    batches_.push_back(range);
+    last_done_s_ = done;
+    busy_ = false;
+    cv_state_.notify_all();
+  }
+}
+
+ServingStats ServingEngine::stats() const {
+  std::lock_guard lk(mu_);
+  ServingStats s;
+  s.num_requests = latencies_.size();
+  s.num_batches = batches_.size();
+  if (latencies_.empty()) return s;
+
+  s.p50_latency_s = percentile_of(latencies_, 0.50);
+  s.p95_latency_s = percentile_of(latencies_, 0.95);
+  s.p99_latency_s = percentile_of(latencies_, 0.99);
+  s.max_latency_s = percentile_of(latencies_, 1.0);
+
+  const double span = last_done_s_ - first_submit_s_;
+  s.throughput_rps =
+      span > 0.0 ? static_cast<double>(latencies_.size()) / span : 0.0;
+  s.mean_batch_size = static_cast<double>(latencies_.size()) /
+                      static_cast<double>(batches_.size());
+  return s;
+}
+
+std::vector<double> ServingEngine::request_latency_s() const {
+  std::lock_guard lk(mu_);
+  return latencies_;
+}
+
+std::vector<graph::BatchRange> ServingEngine::batch_log() const {
+  std::lock_guard lk(mu_);
+  return batches_;
+}
+
+}  // namespace tgnn::runtime

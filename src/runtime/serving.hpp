@@ -1,0 +1,115 @@
+// Online serving on top of a runtime Backend — the piece that turns the
+// repo from an offline replayer into a serving-shaped system.
+//
+// Callers submit individual edge events (stream indices, in chronological
+// order — the fraud-detection / recommendation request pattern of §II-A). A
+// dedicated scheduler thread, driven by a 1-worker util::ThreadPool,
+// coalesces pending requests into micro-batches and dispatches them to the
+// backend when either
+//   * `max_batch` requests are pending (batch-size cap), or
+//   * the oldest pending request has waited `max_wait_s` (latency flush).
+//
+// Because the scheduler is a single serial executor and requests are
+// accepted only in stream order, batches are dispatched strictly
+// chronologically — the state-write ordering Algorithm 1 requires — while
+// still amortizing per-batch overhead, exactly the latency/throughput
+// trade the paper sweeps in Fig. 5.
+//
+// The submit queue is bounded: submit() blocks when `queue_capacity`
+// requests are pending (backpressure instead of unbounded growth).
+//
+// Per-request latency = queueing wait (measured) + batch service latency
+// (the backend's measured or modelled latency_s), so percentiles are
+// meaningful for simulated platforms too.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "runtime/backend.hpp"
+#include "util/stopwatch.hpp"
+#include "util/threadpool.hpp"
+
+namespace tgnn::runtime {
+
+struct ServingOptions {
+  std::size_t max_batch = 256;       ///< micro-batch size cap
+  double max_wait_s = 2e-3;          ///< oldest-request age that forces a flush
+  std::size_t queue_capacity = 4096; ///< bounded queue (submit backpressure)
+};
+
+struct ServingStats {
+  std::size_t num_requests = 0;
+  std::size_t num_batches = 0;
+  double p50_latency_s = 0.0;
+  double p95_latency_s = 0.0;
+  double p99_latency_s = 0.0;
+  double max_latency_s = 0.0;
+  double throughput_rps = 0.0;  ///< requests per wall-clock second
+  double mean_batch_size = 0.0;
+};
+
+class ServingEngine {
+ public:
+  /// The backend must outlive the engine. Warm it up (or reset it) before
+  /// construction; the engine owns it exclusively while alive.
+  explicit ServingEngine(Backend& backend, ServingOptions opts = {});
+  /// Drains outstanding requests, then stops the scheduler.
+  ~ServingEngine();
+
+  ServingEngine(const ServingEngine&) = delete;
+  ServingEngine& operator=(const ServingEngine&) = delete;
+
+  /// Enqueue one edge event. Indices must arrive in stream order (each call
+  /// passes the successor of the previous index; the first call sets the
+  /// origin) — out-of-order submission throws std::invalid_argument.
+  /// Blocks while the queue is at capacity.
+  void submit(std::size_t edge_index);
+
+  /// Block until every submitted request has been dispatched and completed.
+  /// Pending partial batches are force-flushed rather than waiting out the
+  /// remainder of their max_wait deadline.
+  void drain();
+
+  /// Aggregate latency/throughput statistics over everything served so far.
+  [[nodiscard]] ServingStats stats() const;
+
+  /// Per-request end-to-end latencies, in completion order.
+  [[nodiscard]] std::vector<double> request_latency_s() const;
+  /// Dispatched micro-batches, in dispatch (= chronological) order.
+  [[nodiscard]] std::vector<graph::BatchRange> batch_log() const;
+
+ private:
+  void scheduler_loop();
+
+  Backend& backend_;
+  ServingOptions opts_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_submit_;  ///< signals: new request or stop
+  std::condition_variable cv_state_;   ///< signals: queue space / completion
+
+  struct Pending {
+    std::size_t index;
+    double arrival_s;
+  };
+  std::deque<Pending> queue_;
+  bool stop_ = false;
+  bool flush_ = false;         ///< drain requested: dispatch without waiting
+  bool busy_ = false;          ///< a batch is currently executing
+  bool have_origin_ = false;
+  std::size_t next_index_ = 0; ///< required index of the next submit
+
+  Stopwatch clock_;
+  std::vector<double> latencies_;
+  std::vector<graph::BatchRange> batches_;
+  double first_submit_s_ = -1.0;
+  double last_done_s_ = 0.0;
+
+  ThreadPool pool_{1};  ///< runs scheduler_loop; 1 worker => serial batches
+};
+
+}  // namespace tgnn::runtime

@@ -1,0 +1,43 @@
+#include "runtime/stream_result.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace tgnn::runtime {
+
+double StreamResult::mean_latency_s() const {
+  if (batch_latency_s.empty()) return 0.0;
+  return std::accumulate(batch_latency_s.begin(), batch_latency_s.end(), 0.0) /
+         static_cast<double>(batch_latency_s.size());
+}
+
+double percentile_of(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const auto idx =
+      static_cast<std::size_t>(q * static_cast<double>(samples.size() - 1));
+  return samples[idx];
+}
+
+double StreamResult::percentile(double q) const {
+  return percentile_of(batch_latency_s, q);
+}
+
+StreamResult drive_batches(
+    const std::vector<graph::BatchRange>& batches,
+    const std::function<StepOutcome(const graph::BatchRange&)>& step) {
+  StreamResult res;
+  for (const auto& b : batches) {
+    if (b.size() == 0) continue;  // empty time windows produce no batch
+    const StepOutcome out = step(b);
+    res.batch_latency_s.push_back(out.latency_s);
+    res.total_seconds += out.latency_s;
+    res.num_edges += b.size();
+    res.num_embeddings += out.num_embeddings;
+    res.parts += out.parts;
+  }
+  return res;
+}
+
+}  // namespace tgnn::runtime

@@ -45,6 +45,12 @@ void Tensor::reshape(std::size_t rows, std::size_t cols) {
   cols_ = cols;
 }
 
+void Tensor::resize(std::size_t rows, std::size_t cols) {
+  data_.resize(rows * cols);
+  rows_ = rows;
+  cols_ = cols;
+}
+
 Tensor& Tensor::operator+=(const Tensor& o) {
   if (o.size() != size()) throw std::invalid_argument("Tensor+=: size mismatch");
   for (std::size_t i = 0; i < size(); ++i) data_[i] += o.data_[i];
@@ -75,7 +81,14 @@ float Tensor::abs_max() const {
 }
 
 std::string Tensor::shape_str() const {
-  return "[" + std::to_string(rows_) + ", " + std::to_string(cols_) + "]";
+  // Built by append (not chained operator+): GCC 12's -Wrestrict misfires
+  // on the temporary chain under -O2, and the library builds with -Werror.
+  std::string s = "[";
+  s += std::to_string(rows_);
+  s += ", ";
+  s += std::to_string(cols_);
+  s += ']';
+  return s;
 }
 
 }  // namespace tgnn

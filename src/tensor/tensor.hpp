@@ -85,6 +85,16 @@ class Tensor {
   /// Reinterpret as [rows, cols]; total size must match.
   void reshape(std::size_t rows, std::size_t cols);
 
+  /// Re-dimension to [rows, cols], reusing the existing allocation when it is
+  /// large enough (capacity is never released). Contents are unspecified
+  /// afterwards — every element must be written before being read. This is
+  /// the reuse primitive behind the inference-engine batch workspace.
+  void resize(std::size_t rows, std::size_t cols);
+  /// Capacity-preserving reserve for later resize() calls.
+  void reserve(std::size_t rows, std::size_t cols) {
+    data_.reserve(rows * cols);
+  }
+
   /// Elementwise in-place helpers (shape-checked).
   Tensor& operator+=(const Tensor& o);
   Tensor& operator-=(const Tensor& o);

@@ -4,6 +4,8 @@
 #include <set>
 #include <stdexcept>
 
+#include <omp.h>
+
 #include "tgnn/message.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
@@ -25,12 +27,32 @@ RuntimeState::RuntimeState(graph::NodeId num_nodes, const ModelConfig& cfg,
 std::vector<graph::NeighborHit> RuntimeState::neighbors(graph::NodeId v,
                                                         double t,
                                                         std::size_t k) const {
-  if (finder) return finder->most_recent(v, t, k);
+  std::vector<graph::NeighborHit> out;
+  neighbors_into(v, t, k, out);
+  return out;
+}
+
+void RuntimeState::neighbors_into(graph::NodeId v, double t, std::size_t k,
+                                  std::vector<graph::NeighborHit>& out) const {
+  if (finder) {
+    finder->most_recent_into(v, t, k, out);
+    return;
+  }
   // FIFO table: all stored entries are strictly in the past (batch edges are
   // inserted after embedding computation), so the row is directly usable.
-  auto row = table->row(v);
-  if (row.size() > k) row.erase(row.begin(), row.end() - static_cast<long>(k));
-  return row;
+  table->row_into(v, out);
+  if (out.size() > k) out.erase(out.begin(), out.end() - static_cast<long>(k));
+}
+
+void BatchWorkspace::reserve(std::size_t max_nodes, const ModelConfig& cfg) {
+  t_event.reserve(max_nodes);
+  if (nbrs.size() < max_nodes) nbrs.resize(max_nodes);
+  for (auto& n : nbrs) n.reserve(cfg.num_neighbors);
+  mail_rows.reserve(max_nodes);
+  mem_ptr.reserve(max_nodes);
+  x.reserve(max_nodes, cfg.gru_in_dim());
+  h.reserve(max_nodes, cfg.mem_dim);
+  raw.reserve(cfg.raw_mail_dim());
 }
 
 void RuntimeState::insert_edge(const graph::TemporalEdge& e) {
@@ -53,11 +75,8 @@ void RuntimeState::reset() {
 InferenceEngine::InferenceEngine(const TgnModel& model, const data::Dataset& ds,
                                  bool use_fifo_sampler)
     : model_(model), ds_(ds),
-      state_(ds.graph.num_nodes(), model.config(), use_fifo_sampler) {
-  std::set<graph::NodeId> dsts;
-  for (const auto& e : ds.graph.edges()) dsts.insert(e.dst);
-  dst_pool_.assign(dsts.begin(), dsts.end());
-}
+      state_(ds.graph.num_nodes(), model.config(), use_fifo_sampler),
+      dst_pool_(data::destination_pool(ds)) {}
 
 InferenceEngine::BatchResult InferenceEngine::process_batch(
     const graph::BatchRange& r, std::span<const graph::NodeId> extra_nodes,
@@ -68,8 +87,11 @@ InferenceEngine::BatchResult InferenceEngine::process_batch(
 
   // ---- collect unique involved vertices; per-vertex event time = its most
   // recent timestamp within the batch (in-batch dependencies are ignored).
+  // All intermediates below live in the engine's BatchWorkspace so that
+  // steady-state batches reuse buffers instead of re-allocating them.
   BatchResult res;
-  std::vector<double> t_event;
+  std::vector<double>& t_event = ws_.t_event;
+  t_event.clear();
   auto touch = [&](graph::NodeId v, double ts) {
     auto [it, inserted] = res.index.try_emplace(v, res.nodes.size());
     if (inserted) {
@@ -89,39 +111,42 @@ InferenceEngine::BatchResult InferenceEngine::process_batch(
   const std::size_t n_nodes = res.nodes.size();
 
   // ---- sample: neighbor lists BEFORE this batch's edges are inserted.
-  std::vector<std::vector<graph::NeighborHit>> nbrs(n_nodes);
+  if (ws_.nbrs.size() < n_nodes) ws_.nbrs.resize(n_nodes);
+  auto& nbrs = ws_.nbrs;
   for (std::size_t i = 0; i < n_nodes; ++i)
-    nbrs[i] = state_.neighbors(res.nodes[i], t_event[i], cfg.num_neighbors);
+    state_.neighbors_into(res.nodes[i], t_event[i], cfg.num_neighbors,
+                          nbrs[i]);
   if (times) times->sample += sw.seconds();
 
   // ---- memory: consume cached mail through the GRU (Eq. 1).
   sw.reset();
-  std::vector<std::size_t> mail_rows;  // indices into res.nodes
+  std::vector<std::size_t>& mail_rows = ws_.mail_rows;  // indices into nodes
+  mail_rows.clear();
   for (std::size_t i = 0; i < n_nodes; ++i) {
     const graph::NodeId v = res.nodes[i];
     if (state_.mailbox.has_mail(v) && state_.mail_valid[v]) mail_rows.push_back(i);
   }
   Tensor s_new;  // [mail_rows, mem]
   if (!mail_rows.empty()) {
-    Tensor x(mail_rows.size(), cfg.gru_in_dim());
-    Tensor h(mail_rows.size(), cfg.mem_dim);
-    std::vector<double> dts(mail_rows.size());
+    ws_.x.resize(mail_rows.size(), cfg.gru_in_dim());
+    ws_.h.resize(mail_rows.size(), cfg.mem_dim);
     for (std::size_t k = 0; k < mail_rows.size(); ++k) {
       const std::size_t i = mail_rows[k];
       const graph::NodeId v = res.nodes[i];
       const auto mail = state_.mailbox.mail(v);
-      dts[k] = std::max(0.0, t_event[i] - state_.mailbox.mail_ts(v));
-      auto row = x.row(k);
+      const double dt = std::max(0.0, t_event[i] - state_.mailbox.mail_ts(v));
+      auto row = ws_.x.row(k);
       std::copy(mail.begin(), mail.end(), row.begin());
-      model_.time_encoder().encode_scalar(dts[k],
+      model_.time_encoder().encode_scalar(dt,
                                           row.subspan(mail.size(), cfg.time_dim));
       const auto mem = state_.memory.get(v);
-      std::copy(mem.begin(), mem.end(), h.row(k).begin());
+      std::copy(mem.begin(), mem.end(), ws_.h.row(k).begin());
     }
-    s_new = model_.updater().forward(x, h);
+    s_new = model_.updater().forward(ws_.x, ws_.h);
   }
   // Row lookup: updated memory if in this batch's mail set, else the table.
-  std::vector<const float*> mem_ptr(n_nodes, nullptr);
+  std::vector<const float*>& mem_ptr = ws_.mem_ptr;
+  mem_ptr.assign(n_nodes, nullptr);
   for (std::size_t i = 0; i < n_nodes; ++i)
     mem_ptr[i] = state_.memory.get(res.nodes[i]).data();
   for (std::size_t k = 0; k < mail_rows.size(); ++k)
@@ -141,30 +166,35 @@ InferenceEngine::BatchResult InferenceEngine::process_batch(
   // ---- GNN: dynamic embeddings via attention over sampled neighbors (Eq. 2).
   sw.reset();
   res.embeddings = Tensor(n_nodes, cfg.emb_dim);
+  const std::size_t n_threads =
+      parallel_gnn_ ? static_cast<std::size_t>(std::max(1, omp_get_max_threads()))
+                    : 1;
+  if (ws_.gnn.size() < n_threads) ws_.gnn.resize(n_threads);
 #pragma omp parallel for schedule(dynamic, 8) if (parallel_gnn_)
   for (std::size_t i = 0; i < n_nodes; ++i) {
-    Tensor fp_buf(1, cfg.mem_dim);
+    auto& sc = ws_.gnn[static_cast<std::size_t>(omp_get_thread_num())];
+    sc.fp.resize(1, cfg.mem_dim);
     const graph::NodeId u = res.nodes[i];
     const auto& nb = nbrs[i];
-    model_.f_prime(memory_of(u), node_feat_of(u), fp_buf.row(0));
+    model_.f_prime(memory_of(u), node_feat_of(u), sc.fp.row(0));
 
     Tensor h;
     if (const auto* att = model_.vanilla()) {
-      AttnNodeInput in;
-      in.q_in = Tensor(1, cfg.q_in_dim());
+      AttnNodeInput& in = sc.attn_in;
+      in.q_in.resize(1, cfg.q_in_dim());
       {
         auto q = in.q_in.row(0);
-        std::copy(fp_buf.row(0).begin(), fp_buf.row(0).end(), q.begin());
+        std::copy(sc.fp.row(0).begin(), sc.fp.row(0).end(), q.begin());
         model_.time_encoder().encode_scalar(0.0,
                                             q.subspan(cfg.mem_dim, cfg.time_dim));
       }
-      in.kv_in = Tensor(nb.size(), cfg.kv_in_dim());
-      Tensor fpj(1, cfg.mem_dim);
+      in.kv_in.resize(nb.size(), cfg.kv_in_dim());
+      sc.fpj.resize(1, cfg.mem_dim);
       for (std::size_t j = 0; j < nb.size(); ++j) {
         auto row = in.kv_in.row(j);
         model_.f_prime(memory_of(nb[j].node), node_feat_of(nb[j].node),
-                       fpj.row(0));
-        std::copy(fpj.row(0).begin(), fpj.row(0).end(), row.begin());
+                       sc.fpj.row(0));
+        std::copy(sc.fpj.row(0).begin(), sc.fpj.row(0).end(), row.begin());
         if (cfg.edge_dim > 0) {
           const auto ef = ds_.edge_features.row(nb[j].eid);
           std::copy(ef.begin(), ef.end(), row.begin() + cfg.mem_dim);
@@ -173,29 +203,30 @@ InferenceEngine::BatchResult InferenceEngine::process_batch(
             std::max(0.0, t_event[i] - nb[j].ts),
             row.subspan(cfg.mem_dim + cfg.edge_dim, cfg.time_dim));
       }
-      h = att->forward(fp_buf.row(0), in);
+      h = att->forward(sc.fp.row(0), in);
     } else {
       const auto* sat = model_.simplified();
-      std::vector<double> dts(nb.size());
+      sc.dts.resize(nb.size());
       for (std::size_t j = 0; j < nb.size(); ++j)
-        dts[j] = std::max(0.0, t_event[i] - nb[j].ts);
-      const auto scores = sat->score(dts, cfg.prune_budget);
-      Tensor v_in(scores.keep.size(), cfg.kv_in_dim());
-      Tensor fpj(1, cfg.mem_dim);
+        sc.dts[j] = std::max(0.0, t_event[i] - nb[j].ts);
+      const auto scores = sat->score(sc.dts, cfg.prune_budget);
+      sc.v_in.resize(scores.keep.size(), cfg.kv_in_dim());
+      sc.fpj.resize(1, cfg.mem_dim);
       for (std::size_t k = 0; k < scores.keep.size(); ++k) {
         const auto& hit = nb[scores.keep[k]];
-        auto row = v_in.row(k);
-        model_.f_prime(memory_of(hit.node), node_feat_of(hit.node), fpj.row(0));
-        std::copy(fpj.row(0).begin(), fpj.row(0).end(), row.begin());
+        auto row = sc.v_in.row(k);
+        model_.f_prime(memory_of(hit.node), node_feat_of(hit.node),
+                       sc.fpj.row(0));
+        std::copy(sc.fpj.row(0).begin(), sc.fpj.row(0).end(), row.begin());
         if (cfg.edge_dim > 0) {
           const auto ef = ds_.edge_features.row(hit.eid);
           std::copy(ef.begin(), ef.end(), row.begin() + cfg.mem_dim);
         }
         model_.time_encoder().encode_scalar(
-            dts[scores.keep[k]],
+            sc.dts[scores.keep[k]],
             row.subspan(cfg.mem_dim + cfg.edge_dim, cfg.time_dim));
       }
-      h = sat->aggregate(fp_buf.row(0), scores, v_in);
+      h = sat->aggregate(sc.fp.row(0), scores, sc.v_in);
     }
     std::copy(h.row(0).begin(), h.row(0).end(), res.embeddings.row(i).begin());
   }
@@ -215,7 +246,8 @@ InferenceEngine::BatchResult InferenceEngine::process_batch(
   }
   // Cache fresh messages from updated memory; last write per vertex wins
   // ("most recent" aggregator).
-  std::vector<float> raw(cfg.raw_mail_dim());
+  std::vector<float>& raw = ws_.raw;
+  raw.resize(cfg.raw_mail_dim());
   for (const auto& e : edges) {
     const auto fe = cfg.edge_dim > 0
                         ? std::span<const float>(ds_.edge_features.row(e.eid))
@@ -231,6 +263,11 @@ InferenceEngine::BatchResult InferenceEngine::process_batch(
   if (times) times->update += sw.seconds();
 
   return res;
+}
+
+void InferenceEngine::reserve_workspace(std::size_t max_batch_edges) {
+  // Each edge touches at most two unique vertices.
+  ws_.reserve(2 * max_batch_edges, model_.config());
 }
 
 void InferenceEngine::warmup(const graph::BatchRange& range,

@@ -49,8 +49,41 @@ struct RuntimeState {
   [[nodiscard]] std::vector<graph::NeighborHit> neighbors(graph::NodeId v,
                                                           double t,
                                                           std::size_t k) const;
+  /// Allocation-free variant: fills `out` (reusing its capacity) with the
+  /// same entries `neighbors` returns.
+  void neighbors_into(graph::NodeId v, double t, std::size_t k,
+                      std::vector<graph::NeighborHit>& out) const;
   void insert_edge(const graph::TemporalEdge& e);
   void reset();
+};
+
+/// Reusable scratch for one engine's process_batch hot path. All per-batch
+/// intermediates live here, sized on first use (or up-front via reserve())
+/// and recycled, so steady-state batches do no heap allocation beyond the
+/// returned BatchResult itself. One workspace per engine — i.e. per runtime
+/// backend — which is what makes backends safely independent.
+struct BatchWorkspace {
+  std::vector<double> t_event;                        ///< per unique vertex
+  std::vector<std::vector<graph::NeighborHit>> nbrs;  ///< per unique vertex
+  std::vector<std::size_t> mail_rows;
+  std::vector<const float*> mem_ptr;
+  Tensor x;               ///< GRU gather [mail_rows, gru_in_dim]
+  Tensor h;               ///< GRU state gather [mail_rows, mem_dim]
+  std::vector<float> raw;  ///< one raw-mail scratch row
+
+  /// Per-thread GNN-stage scratch (index = OpenMP thread id).
+  struct GnnScratch {
+    Tensor fp;             ///< [1, mem_dim] f'_i of the center vertex
+    Tensor fpj;            ///< [1, mem_dim] f'_j of a neighbor
+    AttnNodeInput attn_in; ///< vanilla path: q/kv gather, resized in place
+    Tensor v_in;           ///< simplified path: V gather for kept slots
+    std::vector<double> dts;
+  };
+  std::vector<GnnScratch> gnn;
+
+  /// Pre-size every buffer for batches of up to `max_nodes` unique vertices
+  /// so the first measured batch already runs allocation-free.
+  void reserve(std::size_t max_nodes, const ModelConfig& cfg);
 };
 
 struct PartTimes {
@@ -111,12 +144,17 @@ class InferenceEngine {
     return dst_pool_;
   }
 
+  /// Pre-size the batch workspace for batches of up to `max_batch_edges`
+  /// edges (runtime backends call this once at warmup).
+  void reserve_workspace(std::size_t max_batch_edges);
+
  private:
   const TgnModel& model_;
   const data::Dataset& ds_;
   RuntimeState state_;
   std::vector<graph::NodeId> dst_pool_;
   bool parallel_gnn_ = false;
+  BatchWorkspace ws_;
 };
 
 /// Inter-event time gaps observed while streaming `range` — the dt samples

@@ -31,9 +31,14 @@ class ThreadPool {
   /// Blocks until all chunks complete. Exceptions in workers terminate.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
- private:
+  /// Enqueue a task for asynchronous execution (FIFO per pool; with one
+  /// worker this is a strict serial executor — the property the runtime
+  /// ServingEngine relies on for chronological state writes).
   void submit(std::function<void()> task);
+  /// Block until every submitted task has finished.
   void wait_idle();
+
+ private:
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;

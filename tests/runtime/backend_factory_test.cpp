@@ -1,0 +1,119 @@
+#include "runtime/backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "runtime/driver.hpp"
+
+namespace tgnn::runtime {
+namespace {
+
+data::Dataset tiny_ds() {
+  data::SyntheticConfig dcfg;
+  dcfg.num_users = 30;
+  dcfg.num_items = 20;
+  dcfg.num_edges = 400;
+  dcfg.edge_dim = 7;
+  dcfg.seed = 99;
+  return data::make_synthetic(dcfg);
+}
+
+core::ModelConfig sat_cfg(const data::Dataset& ds) {
+  core::ModelConfig cfg;
+  cfg.mem_dim = 8;
+  cfg.time_dim = 4;
+  cfg.emb_dim = 6;
+  cfg.edge_dim = ds.edge_dim();
+  cfg.num_neighbors = 5;
+  cfg.prune_budget = 3;
+  cfg.attention = core::AttentionKind::kSimplified;
+  cfg.time_encoder = core::TimeEncoderKind::kLut;
+  cfg.lut_bins = 16;
+  return cfg;
+}
+
+core::TgnModel sat_model(const data::Dataset& ds) {
+  core::TgnModel model(sat_cfg(ds), 1);
+  model.fit_lut(core::collect_dt_samples(ds, {0, ds.train_end}));
+  return model;
+}
+
+TEST(BackendFactory, AllRegistryKeysConstructible) {
+  const auto ds = tiny_ds();
+  const auto model = sat_model(ds);
+  EXPECT_EQ(backend_keys().size(), 5u);
+  for (const auto& key : backend_keys()) {
+    auto b = make_backend(key, model, ds);
+    ASSERT_NE(b, nullptr) << key;
+    EXPECT_EQ(b->name(), key);
+    EXPECT_FALSE(b->describe().empty());
+    EXPECT_EQ(&b->dataset(), &ds);
+  }
+}
+
+TEST(BackendFactory, UnknownKeyThrowsWithRegistry) {
+  const auto ds = tiny_ds();
+  const auto model = sat_model(ds);
+  try {
+    make_backend("tpu", model, ds);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("cpu-mt"), std::string::npos);
+  }
+}
+
+TEST(BackendFactory, UnknownFpgaDeviceThrows) {
+  const auto ds = tiny_ds();
+  const auto model = sat_model(ds);
+  BackendOptions opts;
+  opts.fpga_device = "versal";
+  EXPECT_THROW(make_backend("fpga", model, ds, opts), std::invalid_argument);
+}
+
+TEST(BackendFactory, ModelledBackendsFlagTheirTiming) {
+  const auto ds = tiny_ds();
+  const auto model = sat_model(ds);
+  for (const auto& key : backend_keys()) {
+    auto b = make_backend(key, model, ds);
+    const auto out = b->process_batch({0, 50});
+    const bool modelled = key == "gpu-sim" || key == "fpga";
+    EXPECT_EQ(out.modelled_timing, modelled) << key;
+    EXPECT_GE(out.latency_s, 0.0) << key;
+    EXPECT_GT(out.functional.nodes.size(), 0u) << key;
+    EXPECT_EQ(out.functional.embeddings.rows(), out.functional.nodes.size())
+        << key;
+  }
+}
+
+TEST(BackendFactory, ResetRestoresInitialBehaviour) {
+  const auto ds = tiny_ds();
+  const auto model = sat_model(ds);
+  for (const auto& key : backend_keys()) {
+    auto b = make_backend(key, model, ds);
+    const auto first = b->process_batch({0, 60});
+    b->process_batch({60, 120});
+    b->reset();
+    const auto again = b->process_batch({0, 60});
+    ASSERT_EQ(first.functional.nodes.size(), again.functional.nodes.size())
+        << key;
+    for (std::size_t i = 0; i < first.functional.embeddings.size(); ++i)
+      EXPECT_EQ(first.functional.embeddings[i], again.functional.embeddings[i])
+          << key;
+  }
+}
+
+TEST(Driver, StreamAccountingMatchesRange) {
+  const auto ds = tiny_ds();
+  const auto model = sat_model(ds);
+  auto b = make_backend("cpu", model, ds);
+  const auto res = measure_stream(*b, ds.test_range(), 25);
+  EXPECT_EQ(res.num_edges, ds.test_range().size());
+  EXPECT_EQ(res.batch_latency_s.size(),
+            (ds.test_range().size() + 24) / 25);
+  EXPECT_GT(res.num_embeddings, 0u);
+  EXPECT_GT(res.throughput_eps(), 0.0);
+  EXPECT_GE(res.percentile(1.0), res.percentile(0.5));
+}
+
+}  // namespace
+}  // namespace tgnn::runtime
