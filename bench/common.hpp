@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,7 @@
 #include "tgnn/config.hpp"
 #include "tgnn/inference.hpp"
 #include "tgnn/model.hpp"
+#include "util/argparse.hpp"
 
 namespace tgnn::bench {
 
@@ -62,6 +64,64 @@ inline std::vector<std::string> split_csv(const std::string& list) {
   return out;
 }
 
+// ---- shared bench CLI -------------------------------------------------------
+//
+// Every bench takes the same core flags (--edge_scale / --batch / --threads
+// / --backend / --datasets); only the defaults — and whether a backend
+// override or a dataset list makes sense — differ per bench. The pair
+// add_common_flags / read_common_flags replaces the per-bench copies of
+// this block; benches still register their own extra flags (--epochs,
+// --bins, ...) on the same parser.
+
+struct CommonFlagDefaults {
+  std::string edge_scale = "1.0";
+  /// Any nullptr below means: do NOT register that flag — the bench has no
+  /// use for it, and accepting a flag that silently does nothing would let
+  /// users believe they measured a configuration they didn't.
+  const char* batch = "200";
+  const char* threads = "0";
+  /// --backend: only for benches whose platform set is row-per-case (a
+  /// structural fixed-column table cannot be restricted).
+  const char* backend = nullptr;
+  const char* datasets = nullptr;
+};
+
+struct CommonFlags {
+  double edge_scale = 1.0;
+  std::size_t batch = 200;
+  int threads = 0;  ///< 0 = hardware concurrency
+  std::string backend;
+  std::vector<std::string> datasets;
+};
+
+inline void add_common_flags(ArgParser& args,
+                             const CommonFlagDefaults& d = {}) {
+  args.add_flag("edge_scale", d.edge_scale,
+                "dataset scale vs 30k-edge default");
+  if (d.batch != nullptr)
+    args.add_flag("batch", d.batch, "inference batch size");
+  if (d.threads != nullptr)
+    args.add_flag("threads", d.threads,
+                  "CPU threads / lanes (0 = hw concurrency)");
+  if (d.backend != nullptr)
+    args.add_flag("backend", d.backend,
+                  "runtime backend key (empty = bench default set)");
+  if (d.datasets != nullptr)
+    args.add_flag("datasets", d.datasets, "comma-separated dataset list");
+}
+
+inline CommonFlags read_common_flags(const ArgParser& args,
+                                     const CommonFlagDefaults& d = {}) {
+  CommonFlags f;
+  f.edge_scale = args.get_double("edge_scale");
+  if (d.batch != nullptr)
+    f.batch = static_cast<std::size_t>(args.get_int("batch"));
+  if (d.threads != nullptr) f.threads = static_cast<int>(args.get_int("threads"));
+  if (d.backend != nullptr) f.backend = args.get("backend");
+  if (d.datasets != nullptr) f.datasets = split_csv(args.get("datasets"));
+  return f;
+}
+
 /// One platform row of a bench: which backend key to build, over which
 /// model, with which options. Benches declare a list of these and drive
 /// them all through the same runtime loop.
@@ -71,6 +131,28 @@ struct PlatformCase {
   const core::TgnModel* model = nullptr;
   runtime::BackendOptions opts;
 };
+
+/// Apply a --backend override to a bench's platform set: keep only the
+/// cases built on that registry key (all of them when the override is
+/// empty). Only meaningful for benches whose output is one row per case.
+/// An override matching no case aborts with the keys this bench offers —
+/// an empty table would read as a successful no-op measurement.
+inline std::vector<PlatformCase> filter_cases(std::vector<PlatformCase> cases,
+                                              const std::string& backend) {
+  if (backend.empty()) return cases;
+  std::vector<PlatformCase> out;
+  for (auto& c : cases)
+    if (c.key == backend) out.push_back(std::move(c));
+  if (out.empty()) {
+    std::fprintf(stderr, "--backend %s matches none of this bench's cases;"
+                         " available keys:",
+                 backend.c_str());
+    for (const auto& c : cases) std::fprintf(stderr, " %s", c.key.c_str());
+    std::fprintf(stderr, "\n");
+    std::exit(1);
+  }
+  return out;
+}
 
 /// Build the case's backend, fast-forward to the measurement region, and
 /// stream it in fixed-size batches — the uniform bench measurement.

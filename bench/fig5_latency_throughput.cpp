@@ -15,16 +15,18 @@ using namespace tgnn;
 
 int main(int argc, char** argv) {
   ArgParser args;
-  args.add_flag("edge_scale", "1.0", "dataset scale vs 30k-edge default");
-  args.add_flag("datasets", "wikipedia,reddit,gdelt", "comma-separated list");
-  args.add_flag("threads", "0", "CPU threads (0 = hw concurrency)");
+  // Batch sizes are the swept variable here, so no --batch flag.
+  const bench::CommonFlagDefaults defaults{
+      .batch = nullptr, .datasets = "wikipedia,reddit,gdelt"};
+  bench::add_common_flags(args, defaults);
   if (!args.parse(argc, argv)) return 1;
-  const double scale = args.get_double("edge_scale");
+  const auto common = bench::read_common_flags(args, defaults);
+  const double scale = common.edge_scale;
 
   bench::banner("Fig. 5 (batch sweep) — latency & throughput vs batch size",
                 "Zhou et al., IPDPS'22, Fig. 5 left/middle columns");
 
-  const auto names = bench::split_csv(args.get("datasets"));
+  const auto names = common.datasets;
   const std::vector<std::size_t> batch_sizes = {100, 200, 500, 1000, 2000,
                                                 4000};
 
@@ -46,7 +48,7 @@ int main(int argc, char** argv) {
       np_models.push_back(bench::make_model(bench::config_for(ds, s), ds));
 
     runtime::BackendOptions mt;
-    mt.threads = static_cast<int>(args.get_int("threads"));
+    mt.threads = common.threads;
     runtime::BackendOptions u200, zcu;
     u200.fpga_device = "u200";
     zcu.fpga_device = "zcu104";

@@ -12,10 +12,13 @@ using namespace tgnn;
 
 int main(int argc, char** argv) {
   ArgParser args;
-  args.add_flag("edge_scale", "1.0", "dataset scale vs 30k-edge default");
+  const bench::CommonFlagDefaults defaults{
+      .batch = nullptr, .threads = nullptr, .backend = ""};
+  bench::add_common_flags(args, defaults);
   args.add_flag("window_min", "15", "streaming window (minutes)");
   if (!args.parse(argc, argv)) return 1;
-  const double scale = args.get_double("edge_scale");
+  const auto common = bench::read_common_flags(args, defaults);
+  const double scale = common.edge_scale;
   const double window = args.get_double("window_min") * 60.0;
 
   bench::banner("Fig. 5 (right) — real-time latency, 15-minute windows",
@@ -31,11 +34,13 @@ int main(int argc, char** argv) {
     runtime::BackendOptions u200, zcu;
     u200.fpga_device = "u200";
     zcu.fpga_device = "zcu104";
-    const std::vector<bench::PlatformCase> cases = {
-        {"GPU (TGN baseline)", "gpu-sim", &base_model, {}},
-        {"U200 NP(M)", "fpga", &np_model, u200},
-        {"ZCU104 NP(M)", "fpga", &np_model, zcu},
-    };
+    const auto cases = bench::filter_cases(
+        {
+            {"GPU (TGN baseline)", "gpu-sim", &base_model, {}},
+            {"U200 NP(M)", "fpga", &np_model, u200},
+            {"ZCU104 NP(M)", "fpga", &np_model, zcu},
+        },
+        common.backend);
 
     Table t({"platform", "windows", "mean (ms)", "p95 (ms)", "max (ms)"});
     for (const auto& c : cases) {

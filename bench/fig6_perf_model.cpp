@@ -14,9 +14,12 @@ using namespace tgnn;
 
 int main(int argc, char** argv) {
   ArgParser args;
-  args.add_flag("edge_scale", "1.0", "dataset scale vs 30k-edge default");
+  const bench::CommonFlagDefaults defaults{.batch = nullptr,
+                                           .threads = nullptr};
+  bench::add_common_flags(args, defaults);
   if (!args.parse(argc, argv)) return 1;
-  const double scale = args.get_double("edge_scale");
+  const auto common = bench::read_common_flags(args, defaults);
+  const double scale = common.edge_scale;
 
   bench::banner("Fig. 6 — performance model vs cycle simulator",
                 "Zhou et al., IPDPS'22, Fig. 6 (paper error: 9.9-12.8%)");

@@ -17,13 +17,13 @@ using namespace tgnn;
 
 int main(int argc, char** argv) {
   ArgParser args;
-  args.add_flag("edge_scale", "0.27", "dataset scale vs 30k-edge default");
+  const bench::CommonFlagDefaults defaults{.edge_scale = "0.27"};
+  bench::add_common_flags(args, defaults);
   args.add_flag("epochs", "3", "training epochs per model");
-  args.add_flag("batch", "200", "inference batch size (paper: 200)");
-  args.add_flag("threads", "0", "CPU threads (0 = hw concurrency)");
   if (!args.parse(argc, argv)) return 1;
-  const double scale = args.get_double("edge_scale");
-  const auto batch = static_cast<std::size_t>(args.get_int("batch"));
+  const auto common = bench::read_common_flags(args, defaults);
+  const double scale = common.edge_scale;
+  const std::size_t batch = common.batch;
 
   bench::banner("Fig. 7 — accuracy vs latency (wikipedia, batch 200)",
                 "Zhou et al., IPDPS'22, Fig. 7");
@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
   const auto tfit = core::fit_and_eval(*teacher, tdec, ds, topts);
   {
     runtime::BackendOptions mt;
-    mt.threads = static_cast<int>(args.get_int("threads"));
+    mt.threads = common.threads;
     const auto cpu = bench::measure_case(
         {"cpu", "cpu-mt", teacher.get(), mt}, ds, region, batch);
     t.add_row({"TGN", "CPU", Table::num(tfit.test_ap, 4),

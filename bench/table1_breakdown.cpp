@@ -15,13 +15,13 @@ using namespace tgnn;
 
 int main(int argc, char** argv) {
   ArgParser args;
-  args.add_flag("edge_scale", "0.4", "dataset scale vs 30k-edge default");
-  args.add_flag("batch", "200", "inference batch size");
-  args.add_flag("threads", "0", "parallel CPU threads (0 = hw concurrency)");
+  const bench::CommonFlagDefaults defaults{.edge_scale = "0.4"};
+  bench::add_common_flags(args, defaults);
   if (!args.parse(argc, argv)) return 1;
-  const double scale = args.get_double("edge_scale");
-  const auto batch = static_cast<std::size_t>(args.get_int("batch"));
-  int threads = static_cast<int>(args.get_int("threads"));
+  const auto common = bench::read_common_flags(args, defaults);
+  const double scale = common.edge_scale;
+  const std::size_t batch = common.batch;
+  int threads = common.threads;
   if (threads <= 0)
     threads = static_cast<int>(std::thread::hardware_concurrency());
 

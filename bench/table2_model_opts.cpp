@@ -15,21 +15,23 @@ using namespace tgnn;
 
 int main(int argc, char** argv) {
   ArgParser args;
-  args.add_flag("edge_scale", "0.27", "dataset scale vs 30k-edge default");
+  const bench::CommonFlagDefaults defaults{.edge_scale = "0.27",
+                                           .backend = "cpu",
+                                           .datasets = "wikipedia,reddit,gdelt"};
+  bench::add_common_flags(args, defaults);
   args.add_flag("epochs", "3", "training epochs per model");
-  args.add_flag("batch", "200", "training/inference batch size");
-  args.add_flag("datasets", "wikipedia,reddit,gdelt", "comma-separated list");
   if (!args.parse(argc, argv)) return 1;
-  const double scale = args.get_double("edge_scale");
+  const auto common = bench::read_common_flags(args, defaults);
+  const double scale = common.edge_scale;
 
   core::TrainOptions topts;
   topts.epochs = static_cast<std::size_t>(args.get_int("epochs"));
-  topts.batch_size = static_cast<std::size_t>(args.get_int("batch"));
+  topts.batch_size = common.batch;
 
   bench::banner("Table II — accumulated model optimizations",
                 "Zhou et al., IPDPS'22, Table II");
 
-  const auto names = bench::split_csv(args.get("datasets"));
+  const auto names = common.datasets;
 
   for (const auto& name : names) {
     const auto ds = data::by_name(name, scale);
@@ -53,8 +55,12 @@ int main(int argc, char** argv) {
                   name.c_str());
       const auto fit = core::fit_and_eval(*model, dec, ds, opts);
 
-      const auto run = bench::measure_case({"cpu", "cpu", model.get(), {}}, ds,
-                                           ds.test_range(), topts.batch_size);
+      runtime::BackendOptions bopts;
+      bopts.threads = common.threads;
+      const auto run =
+          bench::measure_case({common.backend, common.backend, model.get(),
+                               bopts},
+                              ds, ds.test_range(), topts.batch_size);
 
       const auto rep = core::analyze(rung.config);
       if (rung.label == "Baseline") {

@@ -14,12 +14,13 @@ using namespace tgnn;
 
 int main(int argc, char** argv) {
   ArgParser args;
-  args.add_flag("edge_scale", "0.27", "dataset scale vs 30k-edge default");
-  args.add_flag("batch", "200", "inference batch size");
-  args.add_flag("threads", "0", "CPU threads (0 = hw concurrency)");
+  const bench::CommonFlagDefaults defaults{.edge_scale = "0.27",
+                                           .backend = ""};
+  bench::add_common_flags(args, defaults);
   if (!args.parse(argc, argv)) return 1;
-  const double scale = args.get_double("edge_scale");
-  const auto batch = static_cast<std::size_t>(args.get_int("batch"));
+  const auto common = bench::read_common_flags(args, defaults);
+  const double scale = common.edge_scale;
+  const std::size_t batch = common.batch;
 
   bench::banner("Table III — hardware platform specifications",
                 "Zhou et al., IPDPS'22, Table III");
@@ -53,18 +54,21 @@ int main(int argc, char** argv) {
   const auto np_model = bench::make_model(bench::config_for(ds, "npM"), ds);
 
   runtime::BackendOptions mt;
-  mt.threads = static_cast<int>(args.get_int("threads"));
+  mt.threads = common.threads;
   runtime::BackendOptions u200, zcu;
   u200.fpga_device = "u200";
   zcu.fpga_device = "zcu104";
-  const std::vector<bench::PlatformCase> cases = {
-      {"cpu", "cpu", &base_model, {}},
-      {"cpu-mt", "cpu-mt", &base_model, mt},
-      {"gpu-sim", "gpu-sim", &base_model, {}},
-      {"apan", "apan", &base_model, {}},
-      {"fpga/u200", "fpga", &np_model, u200},
-      {"fpga/zcu104", "fpga", &np_model, zcu},
-  };
+  const auto cases = bench::filter_cases(
+      {
+          {"cpu", "cpu", &base_model, {}},
+          {"cpu-mt", "cpu-mt", &base_model, mt},
+          {"sharded-cpu", "sharded-cpu", &base_model, mt},
+          {"gpu-sim", "gpu-sim", &base_model, {}},
+          {"apan", "apan", &base_model, {}},
+          {"fpga/u200", "fpga", &np_model, u200},
+          {"fpga/zcu104", "fpga", &np_model, zcu},
+      },
+      common.backend);
 
   Table m({"backend", "platform", "model", "mean lat (ms)", "p95 lat (ms)",
            "thpt (kE/s)", "timing"});

@@ -61,8 +61,11 @@ Dataset make_synthetic(const SyntheticConfig& cfg) {
   std::vector<Pending> pend;
   pend.reserve(cfg.num_edges);
   for (std::size_t e = 0; e < cfg.num_edges; ++e) {
-    const auto u =
-        static_cast<graph::NodeId>(rng.zipf(cfg.num_users, 1.4));
+    // Zipf needs s > 1 (Devroye rejection); at or below 1 fall back to
+    // uniform users — the flat workload concurrency benches want.
+    const auto u = static_cast<graph::NodeId>(
+        cfg.user_zipf_s > 1.0 ? rng.zipf(cfg.num_users, cfg.user_zipf_s)
+                              : rng.uniform_int(cfg.num_users));
     user_clock[u] += rng.pareto(cfg.pareto_xm, cfg.pareto_alpha);
     pend.push_back({user_clock[u], u});
   }

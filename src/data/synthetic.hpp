@@ -35,6 +35,8 @@ struct SyntheticConfig {
   std::uint32_t num_communities = 8;
   double pareto_alpha = 1.2;    ///< inter-event-time tail exponent
   double pareto_xm = 30.0;      ///< minimum inter-event gap (seconds)
+  double user_zipf_s = 1.4;     ///< user popularity skew (<= 1.0 = uniform
+                                ///< users — the low-conflict serving shape)
   double repeat_prob = 0.75;    ///< P(revisit one of the last few items)
   double in_community_prob = 0.9;
   double feature_noise = 0.35;  ///< stddev of noise around prototypes

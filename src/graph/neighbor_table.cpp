@@ -21,6 +21,13 @@ void NeighborTable::insert(NodeId v, NodeId neighbor, EdgeId eid, double ts) {
   if (counts_[v] < mr_) ++counts_[v];
 }
 
+void NeighborTable::clear_row(NodeId v) {
+  if (v >= num_nodes_)
+    throw std::out_of_range("NeighborTable::clear_row: node out of range");
+  head_[v] = 0;
+  counts_[v] = 0;
+}
+
 void NeighborTable::insert_edge(const TemporalEdge& e) {
   insert(e.src, e.dst, e.eid, e.ts);
   insert(e.dst, e.src, e.eid, e.ts);

@@ -43,6 +43,9 @@ class NeighborTable {
   /// Number of valid entries for v.
   [[nodiscard]] std::size_t fill(NodeId v) const { return counts_[v]; }
 
+  /// Empty a single vertex's FIFO row (the per-shard reset primitive).
+  void clear_row(NodeId v);
+
   /// Bytes of one table row in the external-memory layout (for the DDR
   /// traffic model): mr * (node id + edge id + timestamp).
   [[nodiscard]] std::size_t row_bytes() const {

@@ -1,0 +1,16 @@
+#include "graph/shard_map.hpp"
+
+#include <stdexcept>
+
+namespace tgnn::graph {
+
+ShardMap::ShardMap(std::size_t num_shards) : num_shards_(num_shards) {
+  if (num_shards == 0)
+    throw std::invalid_argument("ShardMap: num_shards must be >= 1");
+}
+
+ShardLockTable::ShardLockTable(std::size_t num_shards)
+    : map_(num_shards),
+      mu_(std::make_unique<std::shared_mutex[]>(num_shards)) {}
+
+}  // namespace tgnn::graph

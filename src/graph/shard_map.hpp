@@ -1,0 +1,77 @@
+// The shard layer's routing rule: every vertex belongs to exactly one of
+// `num_shards` shards, chosen by a stable integer hash of its id. Stability
+// matters — the assignment must be identical across runs, processes, and
+// backends so that persisted state, conflict schedules, and (later)
+// replicas all agree on where a vertex lives. std::hash gives no such
+// guarantee, so the mix function is pinned here.
+//
+// Shards are the granularity of everything the concurrency layer does to
+// the persistent vertex tables:
+//  * ShardLockTable — one shared_mutex per shard protecting cross-batch
+//    reads of vertex memory while another lane writes it (the bounded-
+//    staleness path of the conflict-aware serving scheduler).
+//  * shard_view.hpp — per-shard mutation windows over VertexMemory /
+//    VertexMailbox / NeighborTable: disjoint shards touch disjoint rows,
+//    so they can be mutated from different threads without a global lock.
+//
+// Picking the shard count: it only bounds lock/view granularity (conflict
+// detection in the serving scheduler is per-vertex, not per-shard), so a
+// few times the worker-lane count is plenty; see DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+
+#include "graph/temporal_graph.hpp"
+
+namespace tgnn::graph {
+
+class ShardMap {
+ public:
+  /// `num_shards` >= 1 (a single shard degenerates to the unsharded layout).
+  explicit ShardMap(std::size_t num_shards);
+
+  [[nodiscard]] std::size_t num_shards() const { return num_shards_; }
+
+  [[nodiscard]] std::size_t shard_of(NodeId v) const {
+    return mix(v) % num_shards_;
+  }
+
+  /// The stable 32-bit mix the routing rule is built on (exposed for tests
+  /// pinning cross-run stability).
+  [[nodiscard]] static std::uint32_t mix(std::uint32_t x) {
+    x += 0x9e3779b9u;
+    x ^= x >> 16;
+    x *= 0x21f0aaadu;
+    x ^= x >> 15;
+    x *= 0x735a2d97u;
+    x ^= x >> 15;
+    return x;
+  }
+
+ private:
+  std::size_t num_shards_;
+};
+
+/// One reader/writer lock per shard. A serving lane holds the shard's
+/// exclusive lock only around individual vertex-memory row writes, and the
+/// shared lock around row reads of vertices outside its own batch — the
+/// minimal protection that makes bounded-staleness cross-shard reads
+/// race-free without serializing disjoint batches.
+class ShardLockTable {
+ public:
+  explicit ShardLockTable(std::size_t num_shards);
+
+  [[nodiscard]] const ShardMap& map() const { return map_; }
+
+  [[nodiscard]] std::shared_mutex& mutex_of(NodeId v) const {
+    return mu_[map_.shard_of(v)];
+  }
+
+ private:
+  ShardMap map_;
+  std::unique_ptr<std::shared_mutex[]> mu_;
+};
+
+}  // namespace tgnn::graph

@@ -1,0 +1,76 @@
+#include "graph/shard_view.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace tgnn::graph {
+
+namespace {
+
+[[noreturn]] void ownership_error(const char* cls, const char* op, NodeId v,
+                                  std::size_t shard) {
+  throw std::invalid_argument(std::string(cls) + "::" + op + ": vertex " +
+                              std::to_string(v) +
+                              " is not routed to shard " +
+                              std::to_string(shard));
+}
+
+}  // namespace
+
+VertexMemoryShard::VertexMemoryShard(VertexMemory& base, const ShardMap& map,
+                                     std::size_t shard)
+    : base_(&base), map_(&map), shard_(shard) {}
+
+void VertexMemoryShard::check(NodeId v, const char* op) const {
+  if (!owns(v)) ownership_error("VertexMemoryShard", op, v, shard_);
+}
+
+void VertexMemoryShard::set(NodeId v, std::span<const float> value,
+                            double ts) {
+  check(v, "set");
+  base_->set(v, value, ts);
+}
+
+void VertexMemoryShard::reset() {
+  for (NodeId v = 0; v < base_->num_nodes(); ++v)
+    if (owns(v)) base_->clear_row(v);
+}
+
+VertexMailboxShard::VertexMailboxShard(VertexMailbox& base,
+                                       const ShardMap& map, std::size_t shard)
+    : base_(&base), map_(&map), shard_(shard) {}
+
+void VertexMailboxShard::check(NodeId v, const char* op) const {
+  if (!owns(v)) ownership_error("VertexMailboxShard", op, v, shard_);
+}
+
+void VertexMailboxShard::put(NodeId v, std::span<const float> raw, double ts) {
+  check(v, "put");
+  base_->put(v, raw, ts);
+}
+
+void VertexMailboxShard::reset() {
+  for (NodeId v = 0; v < base_->num_nodes(); ++v)
+    if (owns(v)) base_->clear_row(v);
+}
+
+NeighborTableShard::NeighborTableShard(NeighborTable& base,
+                                       const ShardMap& map, std::size_t shard)
+    : base_(&base), map_(&map), shard_(shard) {}
+
+void NeighborTableShard::check(NodeId v, const char* op) const {
+  if (!owns(v)) ownership_error("NeighborTableShard", op, v, shard_);
+}
+
+void NeighborTableShard::insert(NodeId v, NodeId neighbor, EdgeId eid,
+                                double ts) {
+  check(v, "insert");
+  base_->insert(v, neighbor, eid, ts);
+}
+
+void NeighborTableShard::reset() {
+  for (NodeId v = 0; v < base_->num_nodes(); ++v)
+    if (owns(v)) base_->clear_row(v);
+}
+
+}  // namespace tgnn::graph

@@ -1,0 +1,114 @@
+// Shard-partitioned mutation views of the persistent vertex tables.
+//
+// Each view wraps one table plus one (ShardMap, shard) pair and only allows
+// *mutations* of vertices routed to that shard; reads stay unrestricted
+// (cross-shard reads are the GNN stage's normal access pattern). Because
+// every vertex row is a disjoint slice of the underlying storage, two views
+// over different shards can be driven from different threads with no lock
+// at all — the property the sharded runtime backend builds its per-shard
+// reset/rebuild paths on, and the seam later PRs (per-shard replication,
+// async checkpointing) extend.
+//
+// Ownership violations throw std::invalid_argument rather than silently
+// corrupting another shard's rows; the checks are cheap (one hash).
+#pragma once
+
+#include "graph/neighbor_table.hpp"
+#include "graph/shard_map.hpp"
+#include "graph/vertex_state.hpp"
+
+namespace tgnn::graph {
+
+class VertexMemoryShard {
+ public:
+  VertexMemoryShard(VertexMemory& base, const ShardMap& map, std::size_t shard);
+
+  [[nodiscard]] std::size_t shard() const { return shard_; }
+  [[nodiscard]] bool owns(NodeId v) const {
+    return map_->shard_of(v) == shard_;
+  }
+
+  [[nodiscard]] std::span<const float> get(NodeId v) const {
+    return base_->get(v);
+  }
+  [[nodiscard]] double last_update(NodeId v) const {
+    return base_->last_update(v);
+  }
+
+  /// Write v's memory row; v must belong to this view's shard.
+  void set(NodeId v, std::span<const float> value, double ts);
+
+  /// Zero every row owned by this shard (other shards untouched).
+  void reset();
+
+ private:
+  void check(NodeId v, const char* op) const;
+
+  VertexMemory* base_;
+  const ShardMap* map_;
+  std::size_t shard_;
+};
+
+class VertexMailboxShard {
+ public:
+  VertexMailboxShard(VertexMailbox& base, const ShardMap& map,
+                     std::size_t shard);
+
+  [[nodiscard]] std::size_t shard() const { return shard_; }
+  [[nodiscard]] bool owns(NodeId v) const {
+    return map_->shard_of(v) == shard_;
+  }
+
+  [[nodiscard]] bool has_mail(NodeId v) const { return base_->has_mail(v); }
+  [[nodiscard]] std::span<const float> mail(NodeId v) const {
+    return base_->mail(v);
+  }
+  [[nodiscard]] double mail_ts(NodeId v) const { return base_->mail_ts(v); }
+
+  /// Cache a message for v; v must belong to this view's shard.
+  void put(NodeId v, std::span<const float> raw, double ts);
+
+  /// Drop every cached message owned by this shard.
+  void reset();
+
+ private:
+  void check(NodeId v, const char* op) const;
+
+  VertexMailbox* base_;
+  const ShardMap* map_;
+  std::size_t shard_;
+};
+
+class NeighborTableShard {
+ public:
+  NeighborTableShard(NeighborTable& base, const ShardMap& map,
+                     std::size_t shard);
+
+  [[nodiscard]] std::size_t shard() const { return shard_; }
+  [[nodiscard]] bool owns(NodeId v) const {
+    return map_->shard_of(v) == shard_;
+  }
+
+  [[nodiscard]] std::vector<NeighborHit> row(NodeId v) const {
+    return base_->row(v);
+  }
+  [[nodiscard]] std::size_t fill(NodeId v) const { return base_->fill(v); }
+
+  /// Append one interaction to v's FIFO row; v must belong to this shard.
+  /// Note insert_edge() has no per-shard equivalent: an edge's endpoints
+  /// may live in different shards, so cross-shard edges are recorded by
+  /// calling insert() once on each endpoint's view.
+  void insert(NodeId v, NodeId neighbor, EdgeId eid, double ts);
+
+  /// Empty every FIFO row owned by this shard.
+  void reset();
+
+ private:
+  void check(NodeId v, const char* op) const;
+
+  NeighborTable* base_;
+  const ShardMap* map_;
+  std::size_t shard_;
+};
+
+}  // namespace tgnn::graph

@@ -27,6 +27,13 @@ void VertexMemory::reset() {
   std::fill(ts_.begin(), ts_.end(), 0.0);
 }
 
+void VertexMemory::clear_row(NodeId v) {
+  if (v >= num_nodes_) throw std::out_of_range("VertexMemory::clear_row");
+  auto row = data_.begin() + std::size_t{v} * dim_;
+  std::fill(row, row + dim_, 0.0f);
+  ts_[v] = 0.0;
+}
+
 VertexMailbox::VertexMailbox(NodeId num_nodes, std::size_t raw_dim)
     : num_nodes_(num_nodes), dim_(raw_dim),
       data_(std::size_t{num_nodes} * raw_dim, 0.0f), ts_(num_nodes, 0.0),
@@ -50,6 +57,14 @@ void VertexMailbox::reset() {
   std::fill(data_.begin(), data_.end(), 0.0f);
   std::fill(ts_.begin(), ts_.end(), 0.0);
   std::fill(valid_.begin(), valid_.end(), 0);
+}
+
+void VertexMailbox::clear_row(NodeId v) {
+  if (v >= num_nodes_) throw std::out_of_range("VertexMailbox::clear_row");
+  auto row = data_.begin() + std::size_t{v} * dim_;
+  std::fill(row, row + dim_, 0.0f);
+  ts_[v] = 0.0;
+  valid_[v] = 0;
 }
 
 }  // namespace tgnn::graph

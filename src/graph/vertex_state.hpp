@@ -36,6 +36,8 @@ class VertexMemory {
   [[nodiscard]] double last_update(NodeId v) const { return ts_[v]; }
 
   void reset();
+  /// Zero a single vertex's row (the per-shard reset primitive).
+  void clear_row(NodeId v);
 
   [[nodiscard]] std::size_t row_bytes() const { return dim_ * sizeof(float); }
 
@@ -51,6 +53,7 @@ class VertexMailbox {
   VertexMailbox(NodeId num_nodes, std::size_t raw_dim);
 
   [[nodiscard]] std::size_t raw_dim() const { return dim_; }
+  [[nodiscard]] NodeId num_nodes() const { return num_nodes_; }
 
   /// True once v has received at least one message.
   [[nodiscard]] bool has_mail(NodeId v) const { return valid_[v]; }
@@ -62,6 +65,8 @@ class VertexMailbox {
   void put(NodeId v, std::span<const float> raw, double ts);
 
   void reset();
+  /// Drop a single vertex's cached message (the per-shard reset primitive).
+  void clear_row(NodeId v);
 
   [[nodiscard]] std::size_t row_bytes() const {
     return dim_ * sizeof(float) + sizeof(float);  // payload + timestamp

@@ -7,6 +7,7 @@
 #include "baselines/apan.hpp"
 #include "baselines/cpu_runner.hpp"
 #include "fpga/accelerator.hpp"
+#include "runtime/sharded_backend.hpp"
 #include "util/stopwatch.hpp"
 
 namespace tgnn::runtime {
@@ -219,6 +220,10 @@ std::unique_ptr<Backend> make_backend(const std::string& key,
   if (key == "cpu-mt")
     return std::make_unique<CpuBackend>(key, model, ds,
                                         resolve_threads(opts.threads), opts);
+  if (key == "sharded-cpu")
+    return std::make_unique<ShardedCpuBackend>(
+        model, ds, static_cast<std::size_t>(resolve_threads(opts.threads)),
+        opts);
   if (key == "gpu-sim") return std::make_unique<GpuSimBackend>(model, ds, opts);
   if (key == "apan") return std::make_unique<ApanBackend>(model, ds, opts);
   if (key == "fpga") return std::make_unique<FpgaBackend>(model, ds, opts);
@@ -231,8 +236,8 @@ std::unique_ptr<Backend> make_backend(const std::string& key,
 }
 
 const std::vector<std::string>& backend_keys() {
-  static const std::vector<std::string> keys = {"cpu", "cpu-mt", "gpu-sim",
-                                                "apan", "fpga"};
+  static const std::vector<std::string> keys = {
+      "cpu", "cpu-mt", "sharded-cpu", "gpu-sim", "apan", "fpga"};
   return keys;
 }
 

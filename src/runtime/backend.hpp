@@ -16,8 +16,8 @@
 // the platform model's estimate, flagged by `modelled_timing`.
 //
 // Backends are constructed through the string-keyed factory `make_backend`
-// ("cpu" | "cpu-mt" | "gpu-sim" | "apan" | "fpga"); see DESIGN.md for the
-// registry and for how to add a new backend.
+// ("cpu" | "cpu-mt" | "sharded-cpu" | "gpu-sim" | "apan" | "fpga"); see
+// DESIGN.md for the registry and for how to add a new backend.
 #pragma once
 
 #include <memory>
@@ -69,10 +69,43 @@ class Backend {
   [[nodiscard]] virtual const data::Dataset& dataset() const = 0;
 };
 
+/// A backend that can execute several batches CONCURRENTLY over one shared
+/// vertex state, provided the batches' vertex footprints are disjoint — the
+/// contract the multi-worker ServingEngine schedules against ("sharded-cpu"
+/// implements it; see DESIGN.md "The shard layer").
+///
+/// The caller (one scheduler thread) guarantees that two batches in flight
+/// on different lanes never overlap in the vertices they WRITE (their edge
+/// endpoints); the backend in turn guarantees that the remaining shared
+/// access — reading a sampled neighbor's memory row — is race-free (shard
+/// locks). Per-vertex state writes therefore stay chronological: batches
+/// touching the same vertex are serialized in dispatch (= stream) order.
+class ConcurrentBackend : public Backend {
+ public:
+  /// Number of independent execution lanes (each with its own workspace).
+  [[nodiscard]] virtual std::size_t lanes() const = 0;
+
+  /// process_batch, on a specific lane. Distinct lanes may run in parallel
+  /// from different threads; the same lane must never run twice at once.
+  virtual BatchOutput process_batch_on(
+      std::size_t lane, const graph::BatchRange& r,
+      std::span<const graph::NodeId> extra_nodes = {}) = 0;
+
+  /// Vertices the batch will READ beyond its own endpoints: the sampled
+  /// temporal neighbors of every endpoint, from current state. Only safe to
+  /// call while no in-flight batch writes r's endpoints (their neighbor
+  /// rows are then quiescent) — the deterministic serving mode's exact-
+  /// footprint query.
+  virtual void read_footprint(const graph::BatchRange& r,
+                              std::vector<graph::NodeId>& out) const = 0;
+};
+
 /// Per-key construction knobs. `model` and `ds` passed to make_backend must
 /// outlive the backend; so must `apan` when set.
 struct BackendOptions {
-  int threads = 0;  ///< "cpu-mt" worker count; 0 = hardware concurrency
+  int threads = 0;  ///< "cpu-mt" worker count / "sharded-cpu" lane count;
+                    ///< 0 = hardware concurrency
+  std::size_t shards = 16;  ///< "sharded-cpu": vertex-state shard count
   std::string fpga_device = "u200";       ///< "fpga": "u200" | "zcu104"
   baselines::GpuSpec gpu;                 ///< "gpu-sim" platform (default Titan Xp)
   baselines::Apan* apan = nullptr;        ///< "apan": wrap this trained model

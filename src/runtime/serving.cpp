@@ -8,12 +8,33 @@
 
 namespace tgnn::runtime {
 
+namespace {
+
+/// Lanes actually usable: opts.workers clamped to the backend's lane count
+/// (1 when the backend has no concurrent contract).
+std::size_t resolve_workers(const ServingOptions& opts,
+                            const ConcurrentBackend* cb) {
+  if (opts.workers <= 1 || cb == nullptr) return 1;
+  return std::min(opts.workers, cb->lanes());
+}
+
+}  // namespace
+
 ServingEngine::ServingEngine(Backend& backend, ServingOptions opts)
-    : backend_(backend), opts_(opts) {
+    : backend_(backend),
+      concurrent_(dynamic_cast<ConcurrentBackend*>(&backend)),
+      opts_(opts),
+      workers_(resolve_workers(opts, concurrent_)),
+      pool_(1 + (workers_ > 1 ? workers_ : 0)) {
   if (opts_.max_batch == 0)
     throw std::invalid_argument("ServingEngine: max_batch must be > 0");
   if (opts_.queue_capacity == 0)
     throw std::invalid_argument("ServingEngine: queue_capacity must be > 0");
+  if (opts_.workers > 1 && concurrent_ == nullptr)
+    throw std::invalid_argument(
+        "ServingEngine: workers > 1 requires a ConcurrentBackend "
+        "(e.g. \"sharded-cpu\"); backend '" +
+        backend_.name() + "' is not one");
   pool_.submit([this] { scheduler_loop(); });
 }
 
@@ -50,53 +71,158 @@ void ServingEngine::drain() {
     flush_ = true;
     cv_submit_.notify_all();
   }
-  cv_state_.wait(lk, [this] { return queue_.empty() && !busy_; });
+  cv_state_.wait(lk, [this] { return queue_.empty() && in_flight_ == 0; });
 }
 
-void ServingEngine::scheduler_loop() {
-  std::unique_lock lk(mu_);
+bool ServingEngine::next_batch(std::unique_lock<std::mutex>& lk,
+                               graph::BatchRange& range,
+                               std::vector<double>& arrivals) {
   for (;;) {
     cv_submit_.wait(lk, [this] { return stop_ || !queue_.empty(); });
     if (queue_.empty()) {
-      if (stop_) return;
+      if (stop_) return false;
       continue;
     }
-    // Coalesce: hold the batch open until it is full, the oldest pending
-    // request hits the flush deadline, or a drain/stop forces a flush.
-    while (!stop_ && !flush_ && queue_.size() < opts_.max_batch) {
-      const double age = clock_.seconds() - queue_.front().arrival_s;
-      const double remaining = opts_.max_wait_s - age;
-      if (remaining <= 0.0) break;
-      cv_submit_.wait_for(lk, std::chrono::duration<double>(remaining));
-    }
+    break;
+  }
+  // Coalesce: hold the batch open until it is full, the oldest pending
+  // request hits the flush deadline, or a drain/stop forces a flush.
+  while (!stop_ && !flush_ && queue_.size() < opts_.max_batch) {
+    const double age = clock_.seconds() - queue_.front().arrival_s;
+    const double remaining = opts_.max_wait_s - age;
+    if (remaining <= 0.0) break;
+    cv_submit_.wait_for(lk, std::chrono::duration<double>(remaining));
+  }
 
-    const std::size_t n = std::min(queue_.size(), opts_.max_batch);
-    // Submission order is stream order, so the first n pending requests are
-    // a contiguous chronological range.
-    const graph::BatchRange range{queue_.front().index,
-                                  queue_.front().index + n};
-    std::vector<double> arrivals;
-    arrivals.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      arrivals.push_back(queue_.front().arrival_s);
-      queue_.pop_front();
-    }
-    if (queue_.empty()) flush_ = false;  // forced flush fully served
-    busy_ = true;
-    cv_state_.notify_all();  // queue space freed for blocked submitters
+  const std::size_t n = std::min(queue_.size(), opts_.max_batch);
+  // Submission order is stream order, so the first n pending requests are
+  // a contiguous chronological range.
+  range = {queue_.front().index, queue_.front().index + n};
+  arrivals.clear();
+  arrivals.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    arrivals.push_back(queue_.front().arrival_s);
+    queue_.pop_front();
+  }
+  if (queue_.empty()) flush_ = false;  // forced flush fully served
+  ++in_flight_;                        // formed => counted until completed
+  cv_state_.notify_all();  // queue space freed for blocked submitters
+  return true;
+}
 
+void ServingEngine::record_batch(const std::vector<double>& arrivals,
+                                 double dispatch_s, double service_s) {
+  const double done = clock_.seconds();
+  for (double a : arrivals) {
+    const double wait = dispatch_s - a;
+    latencies_.push_back(wait + service_s);
+    queue_waits_.push_back(wait);
+    services_.push_back(service_s);
+  }
+  last_done_s_ = std::max(last_done_s_, done);
+  --in_flight_;
+  cv_state_.notify_all();
+}
+
+void ServingEngine::scheduler_loop() {
+  if (workers_ > 1) {
+    scheduler_loop_parallel();
+    return;
+  }
+  graph::BatchRange range;
+  std::vector<double> arrivals;
+  std::unique_lock lk(mu_);
+  while (next_batch(lk, range, arrivals)) {
+    batches_.push_back(range);
+    executing_ = 1;
+    peak_executing_ = std::max(peak_executing_, executing_);
     lk.unlock();
     const double dispatch_s = clock_.seconds();
     const BatchOutput out = backend_.process_batch(range);
     lk.lock();
+    executing_ = 0;
+    record_batch(arrivals, dispatch_s, out.latency_s);
+  }
+}
 
-    const double done = clock_.seconds();
-    for (double a : arrivals)
-      latencies_.push_back((dispatch_s - a) + out.latency_s);
+void ServingEngine::scheduler_loop_parallel() {
+  ConcurrentBackend& cb = *concurrent_;
+  const auto& g = backend_.dataset().graph;
+  write_marks_.assign(g.num_nodes(), 0);
+  full_marks_.assign(g.num_nodes(), 0);
+  free_lanes_.clear();
+  for (std::size_t l = 0; l < workers_; ++l) free_lanes_.push_back(l);
+
+  const auto disjoint = [](const std::vector<graph::NodeId>& ids,
+                           const std::vector<std::uint32_t>& marks) {
+    return std::all_of(ids.begin(), ids.end(),
+                       [&](graph::NodeId v) { return marks[v] == 0; });
+  };
+
+  graph::BatchRange range;
+  std::vector<double> arrivals;
+  std::vector<graph::NodeId> wfp, rfp;
+  std::unique_lock lk(mu_);
+  while (next_batch(lk, range, arrivals)) {
+    // WRITE footprint: the batch's edge endpoints, straight off the
+    // immutable stream (safe to compute any time).
+    wfp.clear();
+    for (const auto& e : g.edges(range)) {
+      wfp.push_back(e.src);
+      wfp.push_back(e.dst);
+    }
+    std::sort(wfp.begin(), wfp.end());
+    wfp.erase(std::unique(wfp.begin(), wfp.end()), wfp.end());
+
+    // Head-of-line admission, stage 1: a free lane, and our writes touch
+    // nothing any in-flight batch reads or writes. In-flight work only
+    // shrinks while we wait (this thread is the only dispatcher), so the
+    // predicate is stable once satisfied.
+    cv_state_.wait(lk, [&] {
+      return !free_lanes_.empty() && disjoint(wfp, full_marks_);
+    });
+
+    // Stage 2 (deterministic mode): the READ footprint — sampled neighbors
+    // of our endpoints. Stage 1 guarantees no in-flight batch writes our
+    // endpoints, so their neighbor rows are quiescent and reading them
+    // off-lock is safe. Dispatch once no in-flight batch writes anything
+    // we will read; the result is bit-identical to serial execution.
+    if (opts_.deterministic) {
+      lk.unlock();
+      cb.read_footprint(range, rfp);
+      lk.lock();
+      cv_state_.wait(lk, [&] { return disjoint(rfp, write_marks_); });
+    } else {
+      rfp.clear();
+    }
+
+    const std::size_t lane = free_lanes_.back();
+    free_lanes_.pop_back();
+    for (graph::NodeId v : wfp) {
+      ++write_marks_[v];
+      ++full_marks_[v];
+    }
+    for (graph::NodeId v : rfp) ++full_marks_[v];
     batches_.push_back(range);
-    last_done_s_ = done;
-    busy_ = false;
-    cv_state_.notify_all();
+    ++executing_;
+    peak_executing_ = std::max(peak_executing_, executing_);
+    const double dispatch_s = clock_.seconds();
+
+    lk.unlock();
+    pool_.submit([this, &cb, lane, range, wfp, rfp, dispatch_s,
+                  batch_arrivals = arrivals] {
+      const BatchOutput out = cb.process_batch_on(lane, range);
+      std::lock_guard done_lk(mu_);
+      for (graph::NodeId v : wfp) {
+        --write_marks_[v];
+        --full_marks_[v];
+      }
+      for (graph::NodeId v : rfp) --full_marks_[v];
+      free_lanes_.push_back(lane);
+      --executing_;
+      record_batch(batch_arrivals, dispatch_s, out.latency_s);
+    });
+    lk.lock();
   }
 }
 
@@ -111,6 +237,11 @@ ServingStats ServingEngine::stats() const {
   s.p95_latency_s = percentile_of(latencies_, 0.95);
   s.p99_latency_s = percentile_of(latencies_, 0.99);
   s.max_latency_s = percentile_of(latencies_, 1.0);
+  s.p50_queue_wait_s = percentile_of(queue_waits_, 0.50);
+  s.p95_queue_wait_s = percentile_of(queue_waits_, 0.95);
+  s.p50_service_s = percentile_of(services_, 0.50);
+  s.p95_service_s = percentile_of(services_, 0.95);
+  s.peak_parallel_batches = peak_executing_;
 
   const double span = last_done_s_ - first_submit_s_;
   s.throughput_rps =

@@ -3,28 +3,49 @@
 //
 // Callers submit individual edge events (stream indices, in chronological
 // order — the fraud-detection / recommendation request pattern of §II-A). A
-// dedicated scheduler thread, driven by a 1-worker util::ThreadPool,
-// coalesces pending requests into micro-batches and dispatches them to the
-// backend when either
+// dedicated scheduler thread coalesces pending requests into micro-batches
+// and dispatches them to the backend when either
 //   * `max_batch` requests are pending (batch-size cap), or
 //   * the oldest pending request has waited `max_wait_s` (latency flush).
 //
-// Because the scheduler is a single serial executor and requests are
-// accepted only in stream order, batches are dispatched strictly
-// chronologically — the state-write ordering Algorithm 1 requires — while
-// still amortizing per-batch overhead, exactly the latency/throughput
-// trade the paper sweeps in Fig. 5.
+// With `workers == 1` (the default) the scheduler is a single serial
+// executor: batches are dispatched strictly chronologically — the
+// state-write ordering Algorithm 1 requires — while still amortizing
+// per-batch overhead, exactly the latency/throughput trade the paper
+// sweeps in Fig. 5.
+//
+// With `workers > 1` the backend must implement ConcurrentBackend
+// ("sharded-cpu"): micro-batches are still FORMED and DISPATCHED in strict
+// stream order, but a batch whose vertex footprint is disjoint from every
+// in-flight batch starts executing on a free lane without waiting for its
+// predecessors — the parallelism the paper's hardware Updater exploits
+// (per-vertex chronological writes, no global serialization). Head-of-line
+// admission means any two batches touching a common vertex serialize in
+// stream order, so per-vertex state writes stay chronological in every
+// mode. Two conflict policies:
+//   * default (relaxed): only WRITE footprints (batch endpoints) are kept
+//     disjoint; a batch may read a neighbor's memory while another
+//     in-flight batch — earlier OR later in stream order — updates it.
+//     The read is race-free via shard locks but may observe either the
+//     pre- or post-update row (it can see a later batch's write early,
+//     not just a stale value).
+//   * deterministic: READ footprints (sampled neighbors) are tracked too,
+//     so no in-flight batch ever observes another's effects — the served
+//     state and embeddings are bit-identical to the serial "cpu" backend.
 //
 // The submit queue is bounded: submit() blocks when `queue_capacity`
 // requests are pending (backpressure instead of unbounded growth).
 //
 // Per-request latency = queueing wait (measured) + batch service latency
 // (the backend's measured or modelled latency_s), so percentiles are
-// meaningful for simulated platforms too.
+// meaningful for simulated platforms too; the two components are also
+// tracked separately (ServingStats queue/service percentiles) so batching
+// delay and compute are separable, as in the paper's Fig. 5 trade.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <vector>
@@ -39,6 +60,10 @@ struct ServingOptions {
   std::size_t max_batch = 256;       ///< micro-batch size cap
   double max_wait_s = 2e-3;          ///< oldest-request age that forces a flush
   std::size_t queue_capacity = 4096; ///< bounded queue (submit backpressure)
+  std::size_t workers = 1;   ///< parallel dispatch lanes; > 1 requires a
+                             ///< ConcurrentBackend (clamped to its lanes())
+  bool deterministic = false;  ///< track read footprints too: bit-identical
+                               ///< to serial execution (workers > 1 only)
 };
 
 struct ServingStats {
@@ -48,14 +73,25 @@ struct ServingStats {
   double p95_latency_s = 0.0;
   double p99_latency_s = 0.0;
   double max_latency_s = 0.0;
+  /// End-to-end latency split: time spent waiting for the micro-batch to
+  /// form/dispatch vs the batch's service (compute) time.
+  double p50_queue_wait_s = 0.0;
+  double p95_queue_wait_s = 0.0;
+  double p50_service_s = 0.0;
+  double p95_service_s = 0.0;
   double throughput_rps = 0.0;  ///< requests per wall-clock second
   double mean_batch_size = 0.0;
+  /// Most batches ever executing at once (1 in serial mode; > 1 proves
+  /// disjoint-footprint batches actually overlapped).
+  std::size_t peak_parallel_batches = 0;
 };
 
 class ServingEngine {
  public:
   /// The backend must outlive the engine. Warm it up (or reset it) before
-  /// construction; the engine owns it exclusively while alive.
+  /// construction; the engine owns it exclusively while alive. Throws
+  /// std::invalid_argument when opts.workers > 1 and the backend is not a
+  /// ConcurrentBackend.
   explicit ServingEngine(Backend& backend, ServingOptions opts = {});
   /// Drains outstanding requests, then stops the scheduler.
   ~ServingEngine();
@@ -82,15 +118,28 @@ class ServingEngine {
   /// Dispatched micro-batches, in dispatch (= chronological) order.
   [[nodiscard]] std::vector<graph::BatchRange> batch_log() const;
 
+  /// Worker lanes actually in use (opts.workers clamped to backend lanes).
+  [[nodiscard]] std::size_t workers() const { return workers_; }
+
  private:
   void scheduler_loop();
+  void scheduler_loop_parallel();
+  /// Pop the next micro-batch (held open per max_batch/max_wait/flush)
+  /// under `lk`; returns false when stopping with an empty queue.
+  bool next_batch(std::unique_lock<std::mutex>& lk, graph::BatchRange& range,
+                  std::vector<double>& arrivals);
+  void record_batch(const std::vector<double>& arrivals, double dispatch_s,
+                    double service_s);
 
   Backend& backend_;
+  ConcurrentBackend* concurrent_ = nullptr;  ///< set when workers_ > 1
   ServingOptions opts_;
+  std::size_t workers_ = 1;
 
   mutable std::mutex mu_;
   std::condition_variable cv_submit_;  ///< signals: new request or stop
-  std::condition_variable cv_state_;   ///< signals: queue space / completion
+  std::condition_variable cv_state_;   ///< signals: queue space / lane free /
+                                       ///< batch completion
 
   struct Pending {
     std::size_t index;
@@ -99,17 +148,30 @@ class ServingEngine {
   std::deque<Pending> queue_;
   bool stop_ = false;
   bool flush_ = false;         ///< drain requested: dispatch without waiting
-  bool busy_ = false;          ///< a batch is currently executing
+  std::size_t in_flight_ = 0;  ///< batches formed or executing
+  std::size_t executing_ = 0;  ///< batches dispatched to a lane right now
+  std::size_t peak_executing_ = 0;
   bool have_origin_ = false;
   std::size_t next_index_ = 0; ///< required index of the next submit
 
+  // Conflict ledger of the parallel mode (guarded by mu_; incremented at
+  // dispatch, decremented at completion). write = batch endpoints;
+  // full = endpoints + tracked neighbor reads.
+  std::vector<std::uint32_t> write_marks_;
+  std::vector<std::uint32_t> full_marks_;
+  std::vector<std::size_t> free_lanes_;
+
   Stopwatch clock_;
   std::vector<double> latencies_;
+  std::vector<double> queue_waits_;
+  std::vector<double> services_;
   std::vector<graph::BatchRange> batches_;
   double first_submit_s_ = -1.0;
   double last_done_s_ = 0.0;
 
-  ThreadPool pool_{1};  ///< runs scheduler_loop; 1 worker => serial batches
+  /// Runs scheduler_loop (+ the worker lanes in parallel mode); with one
+  /// worker the scheduler is a strict serial executor.
+  ThreadPool pool_;
 };
 
 }  // namespace tgnn::runtime

@@ -1,0 +1,84 @@
+#include "runtime/sharded_backend.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#include <omp.h>
+
+#include "util/stopwatch.hpp"
+
+namespace tgnn::runtime {
+
+ShardedCpuBackend::ShardedCpuBackend(const core::TgnModel& model,
+                                     const data::Dataset& ds,
+                                     std::size_t lanes,
+                                     const BackendOptions& opts)
+    : model_(model), ds_(ds), locks_(opts.shards),
+      state_(ds.graph.num_nodes(), model.config(), /*use_fifo=*/true),
+      opts_(opts) {
+  if (lanes == 0)
+    throw std::invalid_argument("sharded-cpu: lane count must be >= 1");
+  lanes_.reserve(lanes);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    auto engine = std::make_unique<core::InferenceEngine>(model, ds, state_);
+    engine->set_shard_locks(&locks_);
+    lanes_.push_back(std::move(engine));
+  }
+}
+
+BatchOutput ShardedCpuBackend::process_batch(
+    const graph::BatchRange& r, std::span<const graph::NodeId> extras) {
+  return process_batch_on(0, r, extras);
+}
+
+BatchOutput ShardedCpuBackend::process_batch_on(
+    std::size_t lane, const graph::BatchRange& r,
+    std::span<const graph::NodeId> extras) {
+  // Serial within the lane: parallelism comes from concurrent lanes, not
+  // from intra-batch OpenMP (which would oversubscribe lanes x threads).
+  omp_set_num_threads(1);
+  BatchOutput out;
+  Stopwatch sw;
+  out.functional = lanes_.at(lane)->process_batch(r, extras, &out.parts);
+  out.latency_s = sw.seconds();
+  return out;
+}
+
+void ShardedCpuBackend::warmup(const graph::BatchRange& range) {
+  for (auto& lane : lanes_) lane->reserve_workspace(opts_.max_batch_hint);
+  lanes_[0]->warmup(range, opts_.warmup_batch);
+}
+
+void ShardedCpuBackend::reset() { state_.reset(); }
+
+std::string ShardedCpuBackend::describe() const {
+  return "host CPU, " + std::to_string(lanes_.size()) + " lane(s) x " +
+         std::to_string(num_shards()) + " shard(s), conflict-aware (measured)";
+}
+
+void ShardedCpuBackend::read_footprint(const graph::BatchRange& r,
+                                       std::vector<graph::NodeId>& out) const {
+  out.clear();
+  const auto edges = ds_.graph.edges(r);
+  // Per unique endpoint, the engine samples neighbors at the vertex's most
+  // recent in-batch event time — mirror that exactly so the footprint is a
+  // superset of the GNN stage's reads.
+  std::unordered_map<graph::NodeId, double> t_event;
+  for (const auto& e : edges) {
+    for (graph::NodeId v : {e.src, e.dst}) {
+      auto [it, inserted] = t_event.try_emplace(v, e.ts);
+      if (!inserted) it->second = std::max(it->second, e.ts);
+    }
+  }
+  const std::size_t k = model_.config().num_neighbors;
+  std::vector<graph::NeighborHit> hits;
+  for (const auto& [v, t] : t_event) {
+    state_.neighbors_into(v, t, k, hits);
+    for (const auto& h : hits) out.push_back(h.node);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+}
+
+}  // namespace tgnn::runtime

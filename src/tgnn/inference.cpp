@@ -1,11 +1,14 @@
 #include "tgnn/inference.hpp"
 
 #include <algorithm>
+#include <mutex>
 #include <set>
+#include <shared_mutex>
 #include <stdexcept>
 
 #include <omp.h>
 
+#include "graph/shard_map.hpp"
 #include "tgnn/message.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
@@ -75,7 +78,14 @@ void RuntimeState::reset() {
 InferenceEngine::InferenceEngine(const TgnModel& model, const data::Dataset& ds,
                                  bool use_fifo_sampler)
     : model_(model), ds_(ds),
-      state_(ds.graph.num_nodes(), model.config(), use_fifo_sampler),
+      owned_state_(std::make_unique<RuntimeState>(ds.graph.num_nodes(),
+                                                  model.config(),
+                                                  use_fifo_sampler)),
+      state_(owned_state_.get()), dst_pool_(data::destination_pool(ds)) {}
+
+InferenceEngine::InferenceEngine(const TgnModel& model, const data::Dataset& ds,
+                                 RuntimeState& state)
+    : model_(model), ds_(ds), state_(&state),
       dst_pool_(data::destination_pool(ds)) {}
 
 InferenceEngine::BatchResult InferenceEngine::process_batch(
@@ -114,7 +124,7 @@ InferenceEngine::BatchResult InferenceEngine::process_batch(
   if (ws_.nbrs.size() < n_nodes) ws_.nbrs.resize(n_nodes);
   auto& nbrs = ws_.nbrs;
   for (std::size_t i = 0; i < n_nodes; ++i)
-    state_.neighbors_into(res.nodes[i], t_event[i], cfg.num_neighbors,
+    state_->neighbors_into(res.nodes[i], t_event[i], cfg.num_neighbors,
                           nbrs[i]);
   if (times) times->sample += sw.seconds();
 
@@ -124,7 +134,7 @@ InferenceEngine::BatchResult InferenceEngine::process_batch(
   mail_rows.clear();
   for (std::size_t i = 0; i < n_nodes; ++i) {
     const graph::NodeId v = res.nodes[i];
-    if (state_.mailbox.has_mail(v) && state_.mail_valid[v]) mail_rows.push_back(i);
+    if (state_->mailbox.has_mail(v) && state_->mail_valid[v]) mail_rows.push_back(i);
   }
   Tensor s_new;  // [mail_rows, mem]
   if (!mail_rows.empty()) {
@@ -133,13 +143,13 @@ InferenceEngine::BatchResult InferenceEngine::process_batch(
     for (std::size_t k = 0; k < mail_rows.size(); ++k) {
       const std::size_t i = mail_rows[k];
       const graph::NodeId v = res.nodes[i];
-      const auto mail = state_.mailbox.mail(v);
-      const double dt = std::max(0.0, t_event[i] - state_.mailbox.mail_ts(v));
+      const auto mail = state_->mailbox.mail(v);
+      const double dt = std::max(0.0, t_event[i] - state_->mailbox.mail_ts(v));
       auto row = ws_.x.row(k);
       std::copy(mail.begin(), mail.end(), row.begin());
       model_.time_encoder().encode_scalar(dt,
                                           row.subspan(mail.size(), cfg.time_dim));
-      const auto mem = state_.memory.get(v);
+      const auto mem = state_->memory.get(v);
       std::copy(mem.begin(), mem.end(), ws_.h.row(k).begin());
     }
     s_new = model_.updater().forward(ws_.x, ws_.h);
@@ -148,14 +158,26 @@ InferenceEngine::BatchResult InferenceEngine::process_batch(
   std::vector<const float*>& mem_ptr = ws_.mem_ptr;
   mem_ptr.assign(n_nodes, nullptr);
   for (std::size_t i = 0; i < n_nodes; ++i)
-    mem_ptr[i] = state_.memory.get(res.nodes[i]).data();
+    mem_ptr[i] = state_->memory.get(res.nodes[i]).data();
   for (std::size_t k = 0; k < mail_rows.size(); ++k)
     mem_ptr[mail_rows[k]] = s_new.row(k).data();
-  auto memory_of = [&](graph::NodeId v) -> std::span<const float> {
+  // Memory of a batch vertex comes from the (possibly GRU-updated) local
+  // row; memory of anyone else comes from the shared table. In concurrent-
+  // lane mode the latter is the one read that can race with another lane's
+  // write-back, so it goes through the vertex's shard lock into `scratch`.
+  auto memory_of = [&](graph::NodeId v,
+                       std::vector<float>& scratch) -> std::span<const float> {
     auto it = res.index.find(v);
     if (it != res.index.end())
       return {mem_ptr[it->second], cfg.mem_dim};
-    return state_.memory.get(v);
+    if (shard_locks_ != nullptr) {
+      scratch.resize(cfg.mem_dim);
+      std::shared_lock lock(shard_locks_->mutex_of(v));
+      const auto mem = state_->memory.get(v);
+      std::copy(mem.begin(), mem.end(), scratch.begin());
+      return {scratch.data(), scratch.size()};
+    }
+    return state_->memory.get(v);
   };
   auto node_feat_of = [&](graph::NodeId v) -> std::span<const float> {
     if (cfg.node_dim == 0) return {};
@@ -176,7 +198,7 @@ InferenceEngine::BatchResult InferenceEngine::process_batch(
     sc.fp.resize(1, cfg.mem_dim);
     const graph::NodeId u = res.nodes[i];
     const auto& nb = nbrs[i];
-    model_.f_prime(memory_of(u), node_feat_of(u), sc.fp.row(0));
+    model_.f_prime(memory_of(u, sc.mem_row), node_feat_of(u), sc.fp.row(0));
 
     Tensor h;
     if (const auto* att = model_.vanilla()) {
@@ -192,8 +214,8 @@ InferenceEngine::BatchResult InferenceEngine::process_batch(
       sc.fpj.resize(1, cfg.mem_dim);
       for (std::size_t j = 0; j < nb.size(); ++j) {
         auto row = in.kv_in.row(j);
-        model_.f_prime(memory_of(nb[j].node), node_feat_of(nb[j].node),
-                       sc.fpj.row(0));
+        model_.f_prime(memory_of(nb[j].node, sc.mem_row),
+                       node_feat_of(nb[j].node), sc.fpj.row(0));
         std::copy(sc.fpj.row(0).begin(), sc.fpj.row(0).end(), row.begin());
         if (cfg.edge_dim > 0) {
           const auto ef = ds_.edge_features.row(nb[j].eid);
@@ -215,7 +237,7 @@ InferenceEngine::BatchResult InferenceEngine::process_batch(
       for (std::size_t k = 0; k < scores.keep.size(); ++k) {
         const auto& hit = nb[scores.keep[k]];
         auto row = sc.v_in.row(k);
-        model_.f_prime(memory_of(hit.node), node_feat_of(hit.node),
+        model_.f_prime(memory_of(hit.node, sc.mem_row), node_feat_of(hit.node),
                        sc.fpj.row(0));
         std::copy(sc.fpj.row(0).begin(), sc.fpj.row(0).end(), row.begin());
         if (cfg.edge_dim > 0) {
@@ -241,8 +263,13 @@ InferenceEngine::BatchResult InferenceEngine::process_batch(
     const std::size_t i = mail_rows[k];
     if (i >= num_real) continue;
     const graph::NodeId v = res.nodes[i];
-    state_.memory.set(v, s_new.row(k), t_event[i]);
-    state_.mail_valid[v] = 0;  // consume-once
+    if (shard_locks_ != nullptr) {
+      std::unique_lock lock(shard_locks_->mutex_of(v));
+      state_->memory.set(v, s_new.row(k), t_event[i]);
+    } else {
+      state_->memory.set(v, s_new.row(k), t_event[i]);
+    }
+    state_->mail_valid[v] = 0;  // consume-once
   }
   // Cache fresh messages from updated memory; last write per vertex wins
   // ("most recent" aggregator).
@@ -252,14 +279,14 @@ InferenceEngine::BatchResult InferenceEngine::process_batch(
     const auto fe = cfg.edge_dim > 0
                         ? std::span<const float>(ds_.edge_features.row(e.eid))
                         : std::span<const float>{};
-    build_raw_mail(state_.memory.get(e.src), state_.memory.get(e.dst), fe, raw);
-    state_.mailbox.put(e.src, raw, e.ts);
-    state_.mail_valid[e.src] = 1;
-    build_raw_mail(state_.memory.get(e.dst), state_.memory.get(e.src), fe, raw);
-    state_.mailbox.put(e.dst, raw, e.ts);
-    state_.mail_valid[e.dst] = 1;
+    build_raw_mail(state_->memory.get(e.src), state_->memory.get(e.dst), fe, raw);
+    state_->mailbox.put(e.src, raw, e.ts);
+    state_->mail_valid[e.src] = 1;
+    build_raw_mail(state_->memory.get(e.dst), state_->memory.get(e.src), fe, raw);
+    state_->mailbox.put(e.dst, raw, e.ts);
+    state_->mail_valid[e.dst] = 1;
   }
-  for (const auto& e : edges) state_.insert_edge(e);
+  for (const auto& e : edges) state_->insert_edge(e);
   if (times) times->update += sw.seconds();
 
   return res;
@@ -284,26 +311,26 @@ void InferenceEngine::warmup(const graph::BatchRange& range,
     }
     std::vector<graph::NodeId> mail_nodes;
     for (const auto& [v, t] : tev)
-      if (state_.mailbox.has_mail(v) && state_.mail_valid[v])
+      if (state_->mailbox.has_mail(v) && state_->mail_valid[v])
         mail_nodes.push_back(v);
     if (!mail_nodes.empty()) {
       Tensor x(mail_nodes.size(), cfg.gru_in_dim());
       Tensor h(mail_nodes.size(), cfg.mem_dim);
       for (std::size_t k = 0; k < mail_nodes.size(); ++k) {
         const graph::NodeId v = mail_nodes[k];
-        const auto mail = state_.mailbox.mail(v);
+        const auto mail = state_->mailbox.mail(v);
         auto row = x.row(k);
         std::copy(mail.begin(), mail.end(), row.begin());
         model_.time_encoder().encode_scalar(
-            std::max(0.0, tev[v] - state_.mailbox.mail_ts(v)),
+            std::max(0.0, tev[v] - state_->mailbox.mail_ts(v)),
             row.subspan(mail.size(), cfg.time_dim));
-        const auto mem = state_.memory.get(v);
+        const auto mem = state_->memory.get(v);
         std::copy(mem.begin(), mem.end(), h.row(k).begin());
       }
       Tensor s_new = model_.updater().forward(x, h);
       for (std::size_t k = 0; k < mail_nodes.size(); ++k) {
-        state_.memory.set(mail_nodes[k], s_new.row(k), tev[mail_nodes[k]]);
-        state_.mail_valid[mail_nodes[k]] = 0;
+        state_->memory.set(mail_nodes[k], s_new.row(k), tev[mail_nodes[k]]);
+        state_->mail_valid[mail_nodes[k]] = 0;
       }
     }
     std::vector<float> raw(cfg.raw_mail_dim());
@@ -311,16 +338,16 @@ void InferenceEngine::warmup(const graph::BatchRange& range,
       const auto fe = cfg.edge_dim > 0
                           ? std::span<const float>(ds_.edge_features.row(e.eid))
                           : std::span<const float>{};
-      build_raw_mail(state_.memory.get(e.src), state_.memory.get(e.dst), fe,
+      build_raw_mail(state_->memory.get(e.src), state_->memory.get(e.dst), fe,
                      raw);
-      state_.mailbox.put(e.src, raw, e.ts);
-      state_.mail_valid[e.src] = 1;
-      build_raw_mail(state_.memory.get(e.dst), state_.memory.get(e.src), fe,
+      state_->mailbox.put(e.src, raw, e.ts);
+      state_->mail_valid[e.src] = 1;
+      build_raw_mail(state_->memory.get(e.dst), state_->memory.get(e.src), fe,
                      raw);
-      state_.mailbox.put(e.dst, raw, e.ts);
-      state_.mail_valid[e.dst] = 1;
+      state_->mailbox.put(e.dst, raw, e.ts);
+      state_->mail_valid[e.dst] = 1;
     }
-    for (const auto& e : edges) state_.insert_edge(e);
+    for (const auto& e : edges) state_->insert_edge(e);
   }
 }
 

@@ -33,6 +33,10 @@ namespace tgnn {
 class Rng;
 }
 
+namespace tgnn::graph {
+class ShardLockTable;
+}
+
 namespace tgnn::core {
 
 /// Persistent per-vertex state. `use_fifo` selects the hardware-style
@@ -78,6 +82,7 @@ struct BatchWorkspace {
     AttnNodeInput attn_in; ///< vanilla path: q/kv gather, resized in place
     Tensor v_in;           ///< simplified path: V gather for kept slots
     std::vector<double> dts;
+    std::vector<float> mem_row;  ///< locked-read copy of a neighbor's memory
   };
   std::vector<GnnScratch> gnn;
 
@@ -102,6 +107,15 @@ class InferenceEngine {
  public:
   InferenceEngine(const TgnModel& model, const data::Dataset& ds,
                   bool use_fifo_sampler = true);
+
+  /// Operate over an externally owned RuntimeState instead of a private
+  /// one. Several engines may share `state` — each keeps its own
+  /// BatchWorkspace, so N engines over one state are N execution lanes over
+  /// one logical vertex store (the sharded runtime backend). The caller is
+  /// responsible for never running two lanes on conflicting vertex sets;
+  /// see set_shard_locks() for the one guarded exception.
+  InferenceEngine(const TgnModel& model, const data::Dataset& ds,
+                  RuntimeState& state);
 
   struct BatchResult {
     std::vector<graph::NodeId> nodes;  ///< unique involved vertices
@@ -128,14 +142,26 @@ class InferenceEngine {
   double evaluate_ap(const graph::BatchRange& range, const Decoder& dec,
                      std::size_t batch_size, tgnn::Rng& rng);
 
-  void reset() { state_.reset(); }
+  void reset() { state_->reset(); }
 
   /// Parallelize the per-node GNN stage across OpenMP threads (the
   /// multi-threaded CPU baseline of Table I; the thread count is whatever
   /// omp_set_num_threads was given).
   void set_parallel_gnn(bool on) { parallel_gnn_ = on; }
 
-  [[nodiscard]] RuntimeState& state() { return state_; }
+  /// Arm concurrent-lane mode: while set, reads of vertex memory OUTSIDE
+  /// the current batch take the vertex's shard lock (shared) and copy the
+  /// row, and memory write-backs take it exclusively. This is the only
+  /// vertex state two lanes processing write-disjoint batches can touch
+  /// concurrently — everything else (mailbox, neighbor rows, memory of the
+  /// batch's own vertices) is accessed only for the batch's endpoints,
+  /// which the conflict-aware scheduler keeps disjoint across lanes.
+  /// Pass nullptr to disarm (the serial default; zero overhead).
+  void set_shard_locks(const graph::ShardLockTable* locks) {
+    shard_locks_ = locks;
+  }
+
+  [[nodiscard]] RuntimeState& state() { return *state_; }
   [[nodiscard]] const TgnModel& model() const { return model_; }
   [[nodiscard]] const data::Dataset& dataset() const { return ds_; }
 
@@ -151,9 +177,11 @@ class InferenceEngine {
  private:
   const TgnModel& model_;
   const data::Dataset& ds_;
-  RuntimeState state_;
+  std::unique_ptr<RuntimeState> owned_state_;  ///< null when state is shared
+  RuntimeState* state_;
   std::vector<graph::NodeId> dst_pool_;
   bool parallel_gnn_ = false;
+  const graph::ShardLockTable* shard_locks_ = nullptr;
   BatchWorkspace ws_;
 };
 

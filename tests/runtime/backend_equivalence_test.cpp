@@ -6,6 +6,7 @@
 #include "data/synthetic.hpp"
 #include "runtime/backend.hpp"
 #include "runtime/driver.hpp"
+#include "runtime/serving.hpp"
 #include "tensor/ops.hpp"
 
 namespace tgnn::runtime {
@@ -37,29 +38,72 @@ core::TgnModel sat_model(const data::Dataset& ds) {
   return model;
 }
 
-TEST(BackendEquivalence, CpuCpuMtFpgaBitIdentical) {
+TEST(BackendEquivalence, CpuCpuMtShardedFpgaBitIdentical) {
   const auto ds = tiny_ds();
   const auto model = sat_model(ds);
 
   BackendOptions mt;
   mt.threads = 2;
+  BackendOptions sh;
+  sh.threads = 2;
+  sh.shards = 4;
   auto cpu = make_backend("cpu", model, ds);
   auto cpu_mt = make_backend("cpu-mt", model, ds, mt);
+  auto sharded = make_backend("sharded-cpu", model, ds, sh);
   auto fpga = make_backend("fpga", model, ds);
 
   for (const auto& r : ds.graph.fixed_size_batches(0, 400, 80)) {
     const auto a = cpu->process_batch(r);
     const auto b = cpu_mt->process_batch(r);
+    const auto s = sharded->process_batch(r);
     const auto c = fpga->process_batch(r);
     ASSERT_EQ(a.functional.nodes, b.functional.nodes);
+    ASSERT_EQ(a.functional.nodes, s.functional.nodes);
     ASSERT_EQ(a.functional.nodes, c.functional.nodes);
     EXPECT_EQ(ops::max_abs_diff(a.functional.embeddings,
                                 b.functional.embeddings),
               0.0f);
     EXPECT_EQ(ops::max_abs_diff(a.functional.embeddings,
+                                s.functional.embeddings),
+              0.0f);
+    EXPECT_EQ(ops::max_abs_diff(a.functional.embeddings,
                                 c.functional.embeddings),
               0.0f);
   }
+}
+
+TEST(BackendEquivalence, ShardedDeterministicServingBitIdenticalToCpu) {
+  // The tentpole acceptance property: the sharded backend driven by the
+  // multi-worker conflict-aware scheduler in deterministic mode leaves
+  // exactly the state the serial cpu backend leaves.
+  const auto ds = tiny_ds();
+  const auto model = sat_model(ds);
+  BackendOptions sh;
+  sh.threads = 3;
+  sh.shards = 8;
+  auto sharded = make_backend("sharded-cpu", model, ds, sh);
+  auto cpu = make_backend("cpu", model, ds);
+
+  {
+    ServingOptions opts;
+    opts.max_batch = 50;
+    opts.max_wait_s = 10.0;  // cap-driven batching: deterministic boundaries
+    opts.workers = 3;
+    opts.deterministic = true;
+    ServingEngine server(*sharded, opts);
+    for (std::size_t i = 0; i < 400; ++i) server.submit(i);
+    server.drain();
+    for (const auto& b : server.batch_log()) ASSERT_EQ(b.size(), 50u);
+  }
+  run_stream(*cpu, {0, 400}, 50);
+
+  const graph::BatchRange next{400, 450};
+  const auto a = sharded->process_batch(next);
+  const auto b = cpu->process_batch(next);
+  ASSERT_EQ(a.functional.nodes, b.functional.nodes);
+  EXPECT_EQ(
+      ops::max_abs_diff(a.functional.embeddings, b.functional.embeddings),
+      0.0f);
 }
 
 TEST(BackendEquivalence, GpuSimFunctionalMatchesCpu) {
@@ -83,7 +127,7 @@ TEST(BackendEquivalence, WarmupMatchesProcessedStream) {
   // warmup helper leaves identical persistent state on every backend.
   const auto ds = tiny_ds();
   const auto model = sat_model(ds);
-  for (const auto* key : {"cpu", "fpga"}) {
+  for (const auto* key : {"cpu", "sharded-cpu", "fpga"}) {
     auto warmed = make_backend(key, model, ds);
     fast_forward(*warmed, 300);
     auto streamed = make_backend(key, model, ds);

@@ -41,7 +41,7 @@ core::TgnModel sat_model(const data::Dataset& ds) {
 TEST(BackendFactory, AllRegistryKeysConstructible) {
   const auto ds = tiny_ds();
   const auto model = sat_model(ds);
-  EXPECT_EQ(backend_keys().size(), 5u);
+  EXPECT_EQ(backend_keys().size(), 6u);
   for (const auto& key : backend_keys()) {
     auto b = make_backend(key, model, ds);
     ASSERT_NE(b, nullptr) << key;

@@ -1,0 +1,86 @@
+// Edge cases of the one shared streaming loop every driver delegates to.
+#include <gtest/gtest.h>
+
+#include "runtime/stream_result.hpp"
+
+namespace tgnn::runtime {
+namespace {
+
+StepOutcome counting_step(const graph::BatchRange& r,
+                          std::vector<graph::BatchRange>& seen) {
+  seen.push_back(r);
+  StepOutcome out;
+  out.latency_s = 1.0;
+  out.num_embeddings = r.size();  // stand-in: one embedding per edge
+  out.parts.gnn = 0.5;
+  return out;
+}
+
+TEST(DriveBatches, EmptyBatchListProducesEmptyResult) {
+  std::vector<graph::BatchRange> seen;
+  const auto res = drive_batches(
+      {}, [&](const graph::BatchRange& r) { return counting_step(r, seen); });
+  EXPECT_TRUE(seen.empty());
+  EXPECT_EQ(res.num_edges, 0u);
+  EXPECT_EQ(res.num_embeddings, 0u);
+  EXPECT_EQ(res.total_seconds, 0.0);
+  EXPECT_TRUE(res.batch_latency_s.empty());
+  // Zero-division guards on the derived metrics.
+  EXPECT_EQ(res.throughput_eps(), 0.0);
+  EXPECT_EQ(res.mean_latency_s(), 0.0);
+  EXPECT_EQ(res.ns_per_embedding(), 0.0);
+  EXPECT_EQ(res.percentile(0.5), 0.0);
+}
+
+TEST(DriveBatches, EmptyRangesAreSkippedNotStepped) {
+  // Fixed-window batching produces empty batches for quiet windows; the
+  // loop must not invoke the step (a backend would process zero edges and
+  // pollute the latency samples).
+  std::vector<graph::BatchRange> seen;
+  const std::vector<graph::BatchRange> batches = {
+      {0, 0}, {0, 3}, {3, 3}, {3, 5}, {5, 5}};
+  const auto res = drive_batches(batches, [&](const graph::BatchRange& r) {
+    return counting_step(r, seen);
+  });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].begin, 0u);
+  EXPECT_EQ(seen[0].end, 3u);
+  EXPECT_EQ(seen[1].begin, 3u);
+  EXPECT_EQ(seen[1].end, 5u);
+  EXPECT_EQ(res.num_edges, 5u);
+  EXPECT_EQ(res.batch_latency_s.size(), 2u);  // one sample per NON-empty batch
+  EXPECT_EQ(res.total_seconds, 2.0);
+  EXPECT_EQ(res.parts.gnn, 1.0);  // per-part times accumulate across batches
+}
+
+TEST(DriveBatches, TrailingPartialBatchIsAccounted) {
+  // 10 edges at batch size 4 -> 4, 4, and a trailing partial 2.
+  std::vector<graph::BatchRange> seen;
+  const std::vector<graph::BatchRange> batches = {{0, 4}, {4, 8}, {8, 10}};
+  const auto res = drive_batches(batches, [&](const graph::BatchRange& r) {
+    return counting_step(r, seen);
+  });
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen.back().size(), 2u);
+  EXPECT_EQ(res.num_edges, 10u);
+  EXPECT_EQ(res.num_embeddings, 10u);
+  EXPECT_EQ(res.batch_latency_s.size(), 3u);
+}
+
+TEST(DriveBatches, MaxBatchLargerThanRangeIsOneShortBatch) {
+  // A batch-size cap beyond the range must not pad, repeat, or overrun:
+  // the whole range goes through as one short batch.
+  std::vector<graph::BatchRange> seen;
+  const std::vector<graph::BatchRange> batches = {{7, 12}};  // "cap 100"
+  const auto res = drive_batches(batches, [&](const graph::BatchRange& r) {
+    return counting_step(r, seen);
+  });
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].begin, 7u);
+  EXPECT_EQ(seen[0].end, 12u);
+  EXPECT_EQ(res.num_edges, 5u);
+  EXPECT_EQ(res.mean_latency_s(), 1.0);
+}
+
+}  // namespace
+}  // namespace tgnn::runtime

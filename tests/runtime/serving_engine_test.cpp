@@ -183,5 +183,30 @@ TEST(ServingEngine, StatsAreCoherent) {
   for (double l : server.request_latency_s()) EXPECT_GE(l, 0.0);
 }
 
+TEST(ServingEngine, LatencySplitsIntoQueueWaitAndService) {
+  const auto ds = tiny_ds();
+  const auto model = tiny_model(ds);
+  auto backend = make_backend("cpu", model, ds);
+  ServingOptions opts;
+  opts.max_batch = 25;
+  opts.max_wait_s = 1e-3;
+  ServingEngine server(*backend, opts);
+  for (std::size_t i = 0; i < 100; ++i) server.submit(i);
+  server.drain();
+
+  const auto s = server.stats();
+  // Each per-request end-to-end sample is its queue wait plus its batch's
+  // service time, so the end-to-end quantiles dominate each component's
+  // (pointwise domination is preserved by order statistics).
+  EXPECT_GE(s.p50_queue_wait_s, 0.0);
+  EXPECT_GT(s.p50_service_s, 0.0);
+  EXPECT_LE(s.p50_queue_wait_s, s.p95_queue_wait_s);
+  EXPECT_LE(s.p50_service_s, s.p95_service_s);
+  EXPECT_GE(s.p50_latency_s, s.p50_queue_wait_s);
+  EXPECT_GE(s.p50_latency_s, s.p50_service_s);
+  EXPECT_GE(s.p95_latency_s, s.p95_queue_wait_s);
+  EXPECT_GE(s.p95_latency_s, s.p95_service_s);
+}
+
 }  // namespace
 }  // namespace tgnn::runtime
