@@ -1,0 +1,251 @@
+// Kernel sweep: fused (src/kernels) vs reference (tensor/ops) hot-path
+// kernels at serving-realistic micro-batch sizes, reported as ns/event and
+// GFLOP/s and written to BENCH_kernels.json — the repo's kernel-level perf
+// trajectory (each PR's CI run uploads the JSON as an artifact).
+//
+// Unlike bench/micro_kernels (google-benchmark, optional dependency), this
+// binary is dependency-free so the perf-smoke CI job can always build and
+// run it. --require_gru_speedup N makes it exit non-zero when the fused
+// GRU forward is not at least N× the reference at every batch <= 32 — the
+// regression gate on the fused layer's reason to exist.
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "kernels/gemm.hpp"
+#include "nn/gru_cell.hpp"
+#include "tgnn/attention.hpp"
+#include "tgnn/config.hpp"
+#include "tgnn/decoder.hpp"
+#include "tgnn/simplified_attention.hpp"
+#include "util/argparse.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+using namespace tgnn;
+
+namespace {
+
+struct Row {
+  std::string kernel;
+  std::string variant;     ///< "reference" | "fused"
+  std::size_t batch;       ///< events (rows / nodes) per call
+  double ns_per_event = 0.0;
+  double gflops = 0.0;
+  double speedup = 0.0;    ///< fused rows: reference ns/event over fused
+};
+
+/// Time `fn` (one call = `events` events, `flops` flops): warm up, then run
+/// until `min_s` elapsed, and report per-event latency + throughput.
+template <typename Fn>
+Row time_kernel(const std::string& kernel, const std::string& variant,
+                std::size_t events, double flops, double min_s, Fn&& fn) {
+  for (int i = 0; i < 3; ++i) fn();
+  Stopwatch sw;
+  std::size_t iters = 0;
+  double elapsed = 0.0;
+  do {
+    fn();
+    ++iters;
+    elapsed = sw.seconds();
+  } while (elapsed < min_s);
+  Row r;
+  r.kernel = kernel;
+  r.variant = variant;
+  r.batch = events;
+  const double per_call = elapsed / static_cast<double>(iters);
+  r.ns_per_event = per_call * 1e9 / static_cast<double>(events);
+  r.gflops = flops / per_call * 1e-9;
+  return r;
+}
+
+double gru_flops(const nn::GruCell& gru, std::size_t m) {
+  return 2.0 * static_cast<double>(gru.macs(m));
+}
+
+void write_json(const std::string& path, const core::ModelConfig& cfg,
+                const std::vector<Row>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"kernel_sweep\",\n");
+  std::fprintf(f,
+               "  \"config\": {\"mem_dim\": %zu, \"time_dim\": %zu, "
+               "\"emb_dim\": %zu, \"edge_dim\": %zu, \"num_neighbors\": %zu},\n",
+               cfg.mem_dim, cfg.time_dim, cfg.emb_dim, cfg.edge_dim,
+               cfg.num_neighbors);
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"kernel\": \"%s\", \"variant\": \"%s\", \"batch\": "
+                 "%zu, \"ns_per_event\": %.1f, \"gflops\": %.3f",
+                 r.kernel.c_str(), r.variant.c_str(), r.batch, r.ns_per_event,
+                 r.gflops);
+    if (r.speedup > 0.0) std::fprintf(f, ", \"speedup_vs_reference\": %.2f", r.speedup);
+    std::fprintf(f, "}%s\n", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args;
+  args.add_flag("out", "BENCH_kernels.json", "output JSON path");
+  args.add_flag("min_ms", "120", "min measured wall time per kernel (ms)");
+  args.add_flag("require_gru_speedup", "0",
+                "exit non-zero unless fused GRU >= this x reference at "
+                "batch <= 32 (0 = report only)");
+  if (!args.parse(argc, argv)) return 1;
+  const std::string out_path = args.get("out");
+  const double min_s = static_cast<double>(args.get_int("min_ms")) * 1e-3;
+  const double require = args.get_double("require_gru_speedup");
+
+  core::ModelConfig cfg;  // paper dims: mem 100, time 100, emb 100, edge 172
+  Rng rng(1);
+  std::vector<Row> rows;
+
+  // Pair up reference/fused runs of one kernel and derive the speedup.
+  auto pair = [&rows](Row ref, Row fused) {
+    fused.speedup = ref.ns_per_event / fused.ns_per_event;
+    rows.push_back(ref);
+    rows.push_back(fused);
+  };
+
+  // ---- GRU memory updater: the per-event serving bottleneck.
+  nn::GruCell gru("g", cfg.gru_in_dim(), cfg.mem_dim, rng);
+  for (const std::size_t m : {1u, 8u, 32u, 128u}) {
+    const Tensor x = Tensor::randn(m, cfg.gru_in_dim(), rng, 0.5f);
+    const Tensor h = Tensor::randn(m, cfg.mem_dim, rng, 0.5f);
+    kernels::GruScratch ws;
+    Tensor out;
+    pair(time_kernel("gru_forward", "reference", m, gru_flops(gru, m), min_s,
+                     [&] {
+                       Tensor s = gru.forward(x, h);
+                       (void)s;
+                     }),
+         time_kernel("gru_forward", "fused", m, gru_flops(gru, m), min_s,
+                     [&] { gru.forward_into(x, h, ws, out); }));
+  }
+
+  // ---- Vanilla attention, one node with a full neighbor table.
+  {
+    const std::size_t n = cfg.num_neighbors;
+    core::VanillaAttention att(cfg, rng);
+    core::AttnNodeInput in;
+    in.q_in = Tensor::randn(1, cfg.q_in_dim(), rng, 0.5f);
+    in.kv_in = Tensor::randn(n, cfg.kv_in_dim(), rng, 0.5f);
+    const Tensor f = Tensor::randn(1, cfg.mem_dim, rng, 0.5f);
+    const double flops =
+        2.0 * static_cast<double>(att.wq.macs(1) + att.wk.macs(n) +
+                                  att.wv.macs(n) + att.wo.macs(1) +
+                                  2 * n * cfg.emb_dim);
+    core::VanillaAttention::InferScratch ws;
+    std::vector<float> out(cfg.emb_dim);
+    pair(time_kernel("vanilla_attention", "reference", 1, flops, min_s,
+                     [&] {
+                       Tensor hh = att.forward(f.row(0), in);
+                       (void)hh;
+                     }),
+         time_kernel("vanilla_attention", "fused", 1, flops, min_s,
+                     [&] { att.forward_into(f.row(0), in, ws, out); }));
+  }
+
+  // ---- Simplified attention (score + aggregate), full budget.
+  {
+    core::SimplifiedAttention sat(cfg, rng);
+    std::vector<double> dts(cfg.num_neighbors);
+    for (std::size_t j = 0; j < dts.size(); ++j)
+      dts[j] = 10.0 * static_cast<double>(j + 1);
+    const auto scores0 = sat.score(dts, 0);
+    const std::size_t kept = scores0.keep.size();
+    const Tensor v_in = Tensor::randn(kept, cfg.kv_in_dim(), rng, 0.5f);
+    const Tensor f = Tensor::randn(1, cfg.mem_dim, rng, 0.5f);
+    const double flops = 2.0 * static_cast<double>(
+                                   sat.wv.macs(kept) + sat.wo.macs(1) +
+                                   cfg.num_neighbors * cfg.num_neighbors +
+                                   kept * cfg.emb_dim);
+    core::SimplifiedAttention::InferScratch ws;
+    core::SimplifiedAttention::ScoreScratch sws;
+    core::SimplifiedAttention::Scores scores;
+    std::vector<float> out(cfg.emb_dim);
+    pair(time_kernel("simplified_attention", "reference", 1, flops, min_s,
+                     [&] {
+                       const auto s = sat.score(dts, 0);
+                       Tensor hh = sat.aggregate(f.row(0), s, v_in);
+                       (void)hh;
+                     }),
+         time_kernel("simplified_attention", "fused", 1, flops, min_s, [&] {
+           sat.score_into(dts, 0, sws, scores);
+           sat.aggregate_into(f.row(0), scores, v_in, ws, out);
+         }));
+  }
+
+  // ---- Link-prediction decoder.
+  {
+    core::Decoder dec(cfg, rng);
+    for (const std::size_t m : {1u, 32u}) {
+      const Tensor x = Tensor::randn(m, 3 * cfg.emb_dim, rng, 0.5f);
+      const double flops =
+          2.0 * static_cast<double>(dec.l1.macs(m) + dec.l2.macs(m));
+      core::Decoder::InferScratch ws;
+      pair(time_kernel("decoder", "reference", m, flops, min_s,
+                       [&] {
+                         Tensor y = dec.forward(x);
+                         (void)y;
+                       }),
+           time_kernel("decoder", "fused", m, flops, min_s,
+                       [&] { dec.forward_into(x, ws); }));
+    }
+  }
+
+  // ---- Raw GEMM (the GRU input-gate shape) for the GFLOP/s headline.
+  {
+    const std::size_t m = 32, k = cfg.gru_in_dim(), n = cfg.mem_dim;
+    const Tensor a = Tensor::randn(m, k, rng, 0.5f);
+    const Tensor b = Tensor::randn(n, k, rng, 0.5f);
+    Tensor c(m, n);
+    const double flops = 2.0 * static_cast<double>(m * k * n);
+    pair(time_kernel("gemm_nt_32x472x100", "reference", m, flops, min_s,
+                     [&] {
+                       Tensor y = ops::matmul_nt(a, b);
+                       (void)y;
+                     }),
+         time_kernel("gemm_nt_32x472x100", "fused", m, flops, min_s, [&] {
+           kernels::gemm_nt(a.data(), b.data(), c.data(), m, k, n);
+         }));
+  }
+
+  std::printf("%-26s %-10s %7s %14s %10s %9s\n", "kernel", "variant", "batch",
+              "ns/event", "GFLOP/s", "speedup");
+  for (const Row& r : rows)
+    std::printf("%-26s %-10s %7zu %14.1f %10.3f %9s\n", r.kernel.c_str(),
+                r.variant.c_str(), r.batch, r.ns_per_event, r.gflops,
+                r.speedup > 0.0 ? (std::to_string(r.speedup).substr(0, 4) + "x").c_str()
+                                : "-");
+
+  write_json(out_path, cfg, rows);
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  if (require > 0.0) {
+    bool ok = true;
+    for (const Row& r : rows)
+      if (r.kernel == "gru_forward" && r.variant == "fused" &&
+          r.batch <= 32 && r.speedup < require) {
+        std::fprintf(stderr,
+                     "FAIL: fused gru_forward batch=%zu speedup %.2fx < "
+                     "required %.2fx\n",
+                     r.batch, r.speedup, require);
+        ok = false;
+      }
+    if (!ok) return 1;
+    std::printf("fused GRU speedup >= %.2fx at every batch <= 32: OK\n",
+                require);
+  }
+  return 0;
+}

@@ -7,8 +7,11 @@
 
 #include "fpga/fifo.hpp"
 #include "fpga/updater_cache.hpp"
+#include "kernels/fused.hpp"
+#include "kernels/gemm.hpp"
 #include "nn/gru_cell.hpp"
 #include "tgnn/attention.hpp"
+#include "tgnn/decoder.hpp"
 #include "tgnn/lut_time_encoder.hpp"
 #include "tgnn/simplified_attention.hpp"
 #include "tgnn/time_encoder.hpp"
@@ -43,6 +46,27 @@ BENCHMARK(BM_Gemm)
     ->Args({1, 372, 100})     // per-node V
     ->Args({400, 100, 100});  // hidden-to-hidden
 
+void BM_GemmFused(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  const auto n = static_cast<std::size_t>(state.range(2));
+  Rng rng(1);
+  const Tensor a = Tensor::randn(m, k, rng);
+  const Tensor b = Tensor::randn(n, k, rng);
+  Tensor c(m, n);
+  for (auto _ : state) {
+    kernels::gemm_nt(a.data(), b.data(), c.data(), m, k, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(m * k * n));
+}
+BENCHMARK(BM_GemmFused)
+    ->Args({200, 472, 100})
+    ->Args({200, 372, 100})
+    ->Args({1, 372, 100})
+    ->Args({400, 100, 100});
+
 void BM_GruCellForward(benchmark::State& state) {
   const auto rows = static_cast<std::size_t>(state.range(0));
   const auto cfg = paper_cfg();
@@ -59,6 +83,24 @@ void BM_GruCellForward(benchmark::State& state) {
 }
 BENCHMARK(BM_GruCellForward)->Arg(10)->Arg(100)->Arg(400);
 
+void BM_GruCellForwardFused(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  const auto cfg = paper_cfg();
+  Rng rng(2);
+  nn::GruCell gru("g", cfg.gru_in_dim(), cfg.mem_dim, rng);
+  const Tensor x = Tensor::randn(rows, cfg.gru_in_dim(), rng);
+  const Tensor h = Tensor::randn(rows, cfg.mem_dim, rng);
+  kernels::GruScratch ws;
+  Tensor out;
+  for (auto _ : state) {
+    gru.forward_into(x, h, ws, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rows));
+}
+BENCHMARK(BM_GruCellForwardFused)->Arg(10)->Arg(100)->Arg(400);
+
 void BM_VanillaAttentionNode(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto cfg = paper_cfg();
@@ -74,6 +116,24 @@ void BM_VanillaAttentionNode(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_VanillaAttentionNode)->Arg(2)->Arg(6)->Arg(10);
+
+void BM_VanillaAttentionNodeFused(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto cfg = paper_cfg();
+  Rng rng(3);
+  core::VanillaAttention att(cfg, rng);
+  core::AttnNodeInput in;
+  in.q_in = Tensor::randn(1, cfg.q_in_dim(), rng);
+  in.kv_in = Tensor::randn(n, cfg.kv_in_dim(), rng);
+  const Tensor f = Tensor::randn(1, cfg.mem_dim, rng);
+  core::VanillaAttention::InferScratch ws;
+  std::vector<float> out(cfg.emb_dim);
+  for (auto _ : state) {
+    att.forward_into(f.row(0), in, ws, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_VanillaAttentionNodeFused)->Arg(2)->Arg(6)->Arg(10);
 
 void BM_SimplifiedAttentionNode(benchmark::State& state) {
   const auto budget = static_cast<std::size_t>(state.range(0));
@@ -95,6 +155,62 @@ void BM_SimplifiedAttentionNode(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SimplifiedAttentionNode)->Arg(2)->Arg(6)->Arg(10);
+
+void BM_SimplifiedAttentionNodeFused(benchmark::State& state) {
+  const auto budget = static_cast<std::size_t>(state.range(0));
+  const auto cfg = paper_cfg();
+  Rng rng(4);
+  core::SimplifiedAttention sat(cfg, rng);
+  std::vector<double> dts(cfg.num_neighbors);
+  for (std::size_t j = 0; j < dts.size(); ++j)
+    dts[j] = 10.0 * static_cast<double>(j + 1);
+  const auto scores0 = sat.score(dts, budget);
+  Rng rng2(5);
+  const Tensor v_in =
+      Tensor::randn(scores0.keep.size(), cfg.kv_in_dim(), rng2);
+  const Tensor f = Tensor::randn(1, cfg.mem_dim, rng2);
+  core::SimplifiedAttention::InferScratch ws;
+  core::SimplifiedAttention::ScoreScratch sws;
+  core::SimplifiedAttention::Scores scores;
+  std::vector<float> out(cfg.emb_dim);
+  for (auto _ : state) {
+    sat.score_into(dts, budget, sws, scores);
+    sat.aggregate_into(f.row(0), scores, v_in, ws, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_SimplifiedAttentionNodeFused)->Arg(2)->Arg(6)->Arg(10);
+
+void BM_DecoderForward(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  const auto cfg = paper_cfg();
+  Rng rng(9);
+  core::Decoder dec(cfg, rng);
+  const Tensor x = Tensor::randn(rows, 3 * cfg.emb_dim, rng);
+  for (auto _ : state) {
+    Tensor y = dec.forward(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rows));
+}
+BENCHMARK(BM_DecoderForward)->Arg(1)->Arg(32);
+
+void BM_DecoderForwardFused(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  const auto cfg = paper_cfg();
+  Rng rng(9);
+  core::Decoder dec(cfg, rng);
+  const Tensor x = Tensor::randn(rows, 3 * cfg.emb_dim, rng);
+  core::Decoder::InferScratch ws;
+  for (auto _ : state) {
+    const Tensor& y = dec.forward_into(x, ws);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rows));
+}
+BENCHMARK(BM_DecoderForwardFused)->Arg(1)->Arg(32);
 
 void BM_CosTimeEncoder(benchmark::State& state) {
   Rng rng(6);

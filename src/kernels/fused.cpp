@@ -1,0 +1,106 @@
+#include "kernels/fused.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "kernels/gemm_core.hpp"
+
+namespace tgnn::kernels {
+
+namespace {
+
+using detail::Act;
+
+void check(bool cond, const char* msg) {
+  if (!cond) throw std::invalid_argument(msg);
+}
+
+void check_affine(const Tensor& x, const Tensor& w, const Tensor& b,
+                  const char* who) {
+  if (w.cols() != x.cols() || b.size() != w.rows())
+    throw std::invalid_argument(std::string(who) + ": shape mismatch");
+}
+
+template <Act A>
+void affine_act_into(const Tensor& x, const Tensor& w, const Tensor& b,
+                     Tensor& y, const char* who) {
+  check_affine(x, w, b, who);
+  y.resize(x.rows(), w.rows());
+  detail::gemm_nt_act<A, false>(x.data(), w.data(), b.data(), y.data(),
+                                x.rows(), x.cols(), w.rows());
+}
+
+}  // namespace
+
+void affine_into(const Tensor& x, const Tensor& w, const Tensor& b,
+                 Tensor& y) {
+  affine_act_into<Act::kNone>(x, w, b, y, "affine_into");
+}
+
+void affine_sigmoid_into(const Tensor& x, const Tensor& w, const Tensor& b,
+                         Tensor& y) {
+  affine_act_into<Act::kSigmoid>(x, w, b, y, "affine_sigmoid_into");
+}
+
+void affine_tanh_into(const Tensor& x, const Tensor& w, const Tensor& b,
+                      Tensor& y) {
+  affine_act_into<Act::kTanh>(x, w, b, y, "affine_tanh_into");
+}
+
+void affine_relu_into(const Tensor& x, const Tensor& w, const Tensor& b,
+                      Tensor& y) {
+  affine_act_into<Act::kRelu>(x, w, b, y, "affine_relu_into");
+}
+
+void affine2_sigmoid_into(const Tensor& x, const Tensor& wi, const Tensor& bi,
+                          const Tensor& h, const Tensor& wh, const Tensor& bh,
+                          Tensor& y) {
+  check_affine(x, wi, bi, "affine2_sigmoid_into(x)");
+  check_affine(h, wh, bh, "affine2_sigmoid_into(h)");
+  check(x.rows() == h.rows() && wi.rows() == wh.rows(),
+        "affine2_sigmoid_into: row mismatch");
+  y.resize(x.rows(), wi.rows());
+  detail::gemm_nt_act<Act::kNone, false>(x.data(), wi.data(), bi.data(),
+                                         y.data(), x.rows(), x.cols(),
+                                         wi.rows());
+  detail::gemm_nt_act<Act::kSigmoid, true>(h.data(), wh.data(), bh.data(),
+                                           y.data(), h.rows(), h.cols(),
+                                           wh.rows());
+}
+
+void affine_row_into(std::span<const float> x, const Tensor& w,
+                     const Tensor& b, std::span<float> out) {
+  check(x.size() == w.cols() && out.size() == w.rows() &&
+            b.size() == w.rows(),
+        "affine_row_into: shape mismatch");
+  detail::gemm_nt_act<Act::kNone, false>(x.data(), w.data(), b.data(),
+                                         out.data(), 1, x.size(), w.rows());
+}
+
+void gru_forward_into(const Tensor& x, const Tensor& h, const GruWeights& w,
+                      GruScratch& ws, Tensor& out) {
+  const std::size_t m = x.rows(), hid = h.cols();
+  check(h.rows() == m, "gru_forward_into: batch mismatch");
+
+  // r = sigmoid(W_ir x + b_ir + W_hr h + b_hr); z likewise.
+  affine2_sigmoid_into(x, *w.w_ir, *w.b_ir, h, *w.w_hr, *w.b_hr, ws.r);
+  affine2_sigmoid_into(x, *w.w_iz, *w.b_iz, h, *w.w_hz, *w.b_hz, ws.z);
+  // q = W_hn h + b_hn (pre reset-gating).
+  affine_into(h, *w.w_hn, *w.b_hn, ws.q);
+  // out <- W_in x + b_in, then one elementwise pass finishes
+  // n = tanh(out + r∘q) and s' = (1-z)∘n + z∘h.
+  affine_into(x, *w.w_in, *w.b_in, out);
+  float* po = out.data();
+  const float* pr = ws.r.data();
+  const float* pz = ws.z.data();
+  const float* pq = ws.q.data();
+  const float* ph = h.data();
+  const std::size_t total = m * hid;
+  for (std::size_t i = 0; i < total; ++i) {
+    const float n = std::tanh(po[i] + pr[i] * pq[i]);
+    po[i] = (1.0f - pz[i]) * n + pz[i] * ph[i];
+  }
+}
+
+}  // namespace tgnn::kernels

@@ -1,0 +1,67 @@
+// Fused affine + activation kernels over Tensor, and the fused GRU forward.
+//
+// Every function writes into a caller-owned output (resized in place, so a
+// reused buffer never re-allocates in steady state) instead of returning a
+// fresh Tensor — the allocation-free contract of the inference hot path.
+// The reference ops in tensor/ops.cpp stay as the training/gradcheck path;
+// tests/kernels pins the two within 1e-6 of each other.
+//
+// Layering: kernels depends only on tensor/. The nn and tgnn layers call
+// down into it (GruCell::forward_into, VanillaAttention::forward_into,
+// SimplifiedAttention::aggregate_into, Decoder::score_with), each routing
+// its scratch through the engine's BatchWorkspace.
+#pragma once
+
+#include <span>
+
+#include "tensor/tensor.hpp"
+
+namespace tgnn::kernels {
+
+/// y = x·wᵀ + b. x: [m,k], w: [n,k], b: [n]; y resized to [m,n].
+void affine_into(const Tensor& x, const Tensor& w, const Tensor& b, Tensor& y);
+/// y = sigmoid(x·wᵀ + b).
+void affine_sigmoid_into(const Tensor& x, const Tensor& w, const Tensor& b,
+                         Tensor& y);
+/// y = tanh(x·wᵀ + b).
+void affine_tanh_into(const Tensor& x, const Tensor& w, const Tensor& b,
+                      Tensor& y);
+/// y = relu(x·wᵀ + b).
+void affine_relu_into(const Tensor& x, const Tensor& w, const Tensor& b,
+                      Tensor& y);
+
+/// y = sigmoid(x·wiᵀ + bi + h·whᵀ + bh) — the GRU gate shape with both
+/// GEMMs, both biases, and the activation in one kernel.
+void affine2_sigmoid_into(const Tensor& x, const Tensor& wi, const Tensor& bi,
+                          const Tensor& h, const Tensor& wh, const Tensor& bh,
+                          Tensor& y);
+
+/// Single-row affine straight into a caller-owned span (e.g. one row of the
+/// batch's embeddings matrix): out = x·wᵀ + b, out.size() == w.rows().
+void affine_row_into(std::span<const float> x, const Tensor& w,
+                     const Tensor& b, std::span<float> out);
+
+/// Non-owning view of a GruCell's 12 parameter tensors.
+struct GruWeights {
+  const Tensor *w_ir, *w_iz, *w_in, *b_ir, *b_iz, *b_in;
+  const Tensor *w_hr, *w_hz, *w_hn, *b_hr, *b_hz, *b_hn;
+};
+
+/// Gate scratch for gru_forward_into; embed one per BatchWorkspace.
+struct GruScratch {
+  Tensor r, z, q;
+  void reserve(std::size_t rows, std::size_t hid) {
+    r.reserve(rows, hid);
+    z.reserve(rows, hid);
+    q.reserve(rows, hid);
+  }
+};
+
+/// Fused GRU forward (Eq. 7-10): out = (1-z)∘tanh(x·w_inᵀ + b_in + r∘q) +
+/// z∘h, with r/z gates from affine2_sigmoid_into and q = h·w_hnᵀ + b_hn.
+/// x: [m, in], h: [m, hid]; out resized to [m, hid]. Zero allocations once
+/// `ws` and `out` have capacity.
+void gru_forward_into(const Tensor& x, const Tensor& h, const GruWeights& w,
+                      GruScratch& ws, Tensor& out);
+
+}  // namespace tgnn::kernels

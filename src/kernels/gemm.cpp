@@ -1,0 +1,31 @@
+#include "kernels/gemm.hpp"
+
+#include "kernels/gemm_core.hpp"
+
+namespace tgnn::kernels {
+
+float dot(const float* a, const float* b, std::size_t k) {
+  return detail::dot_simd(a, b, k);
+}
+
+void gemm_nt(const float* a, const float* b, float* c, std::size_t m,
+             std::size_t k, std::size_t n, bool accumulate) {
+  if (accumulate)
+    detail::gemm_nt_act<detail::Act::kNone, true>(a, b, nullptr, c, m, k, n);
+  else
+    detail::gemm_nt_act<detail::Act::kNone, false>(a, b, nullptr, c, m, k, n);
+}
+
+void weighted_rowsum(const float* w, const float* rows, float* out,
+                     std::size_t r, std::size_t n, bool accumulate) {
+  if (!accumulate)
+    for (std::size_t d = 0; d < n; ++d) out[d] = 0.0f;
+  for (std::size_t j = 0; j < r; ++j) {
+    const float wj = w[j];
+    const float* row = rows + j * n;
+#pragma omp simd
+    for (std::size_t d = 0; d < n; ++d) out[d] += wj * row[d];
+  }
+}
+
+}  // namespace tgnn::kernels

@@ -1,0 +1,36 @@
+// Raw-pointer GEMM kernels for the inference hot path.
+//
+// These are the vectorized counterparts of the reference loops in
+// tensor/ops.cpp: row-major, float32, register-blocked over 4 output
+// columns (one A-row load feeds 4 simultaneous dot products) with
+// `omp simd` reductions over the shared inner dimension. They write into
+// caller-owned buffers and never allocate — the fused layer (fused.hpp)
+// builds every model kernel (GRU gates, attention projections, decoder)
+// on top of them.
+//
+// Determinism: per output element the accumulation sequence depends only
+// on the shapes, never on the OpenMP thread count, so results are
+// bit-identical across "cpu", "cpu-mt", and "sharded-cpu". They may differ
+// from the scalar reference ops by float-reassociation rounding (~1e-7
+// relative), which is why the training/gradcheck path keeps the reference
+// ops and tests pin fused-vs-reference parity to 1e-6.
+#pragma once
+
+#include <cstddef>
+
+namespace tgnn::kernels {
+
+/// c[m,n] = a[m,k] · b[n,k]ᵀ  (b row-major as [n,k] — the weight-matrix
+/// layout of nn::Linear). Adds into c when `accumulate`.
+void gemm_nt(const float* a, const float* b, float* c, std::size_t m,
+             std::size_t k, std::size_t n, bool accumulate = false);
+
+/// out[n] (+)= Σ_j w[j] · rows[j,n] — the attention read-out
+/// (alpha-weighted sum of V rows). Adds into out when `accumulate`.
+void weighted_rowsum(const float* w, const float* rows, float* out,
+                     std::size_t r, std::size_t n, bool accumulate = false);
+
+/// Single dot product with an `omp simd` reduction (exposed for logits).
+float dot(const float* a, const float* b, std::size_t k);
+
+}  // namespace tgnn::kernels

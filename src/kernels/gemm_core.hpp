@@ -1,0 +1,81 @@
+// INTERNAL: the one register-blocked, omp-simd GEMM core both kernel TUs
+// instantiate. Not part of the kernels/ public API — include gemm.hpp or
+// fused.hpp instead.
+//
+// Keeping the blocked loop (and its tuning constants) in exactly one place
+// is what makes the determinism contract auditable: every caller — plain
+// gemm_nt, every fused affine+activation epilogue — accumulates each
+// output element in the same shape-dependent order, never a thread-count-
+// dependent one.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+namespace tgnn::kernels::detail {
+
+// Parallelize only when the output is large enough to amortize the
+// fork/join (matches the reference ops' policy); per-node attention shapes
+// stay serial.
+constexpr std::size_t kParallelThreshold = 64 * 64;
+// Register block: one pass over the A row feeds this many B rows at once.
+constexpr std::size_t kColBlock = 4;
+
+enum class Act { kNone, kSigmoid, kTanh, kRelu };
+
+template <Act A>
+inline float activate(float v) {
+  if constexpr (A == Act::kSigmoid) return 1.0f / (1.0f + std::exp(-v));
+  if constexpr (A == Act::kTanh) return std::tanh(v);
+  if constexpr (A == Act::kRelu) return v > 0.0f ? v : 0.0f;
+  return v;
+}
+
+inline float dot_simd(const float* a, const float* b, std::size_t k) {
+  float acc = 0.0f;
+#pragma omp simd reduction(+ : acc)
+  for (std::size_t i = 0; i < k; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+/// c = act((Accumulate ? c : 0) + a[m,k]·b[n,k]ᵀ + bias), bias nullable.
+template <Act A, bool Accumulate>
+void gemm_nt_act(const float* a, const float* b, const float* bias, float* c,
+                 std::size_t m, std::size_t k, std::size_t n) {
+#pragma omp parallel for schedule(static) if (m * n >= kParallelThreshold)
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    std::size_t j = 0;
+    for (; j + kColBlock <= n; j += kColBlock) {
+      const float* b0 = b + (j + 0) * k;
+      const float* b1 = b + (j + 1) * k;
+      const float* b2 = b + (j + 2) * k;
+      const float* b3 = b + (j + 3) * k;
+      float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+#pragma omp simd reduction(+ : acc0, acc1, acc2, acc3)
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float av = arow[kk];
+        acc0 += av * b0[kk];
+        acc1 += av * b1[kk];
+        acc2 += av * b2[kk];
+        acc3 += av * b3[kk];
+      }
+      crow[j + 0] = activate<A>((Accumulate ? crow[j + 0] : 0.0f) + acc0 +
+                                (bias != nullptr ? bias[j + 0] : 0.0f));
+      crow[j + 1] = activate<A>((Accumulate ? crow[j + 1] : 0.0f) + acc1 +
+                                (bias != nullptr ? bias[j + 1] : 0.0f));
+      crow[j + 2] = activate<A>((Accumulate ? crow[j + 2] : 0.0f) + acc2 +
+                                (bias != nullptr ? bias[j + 2] : 0.0f));
+      crow[j + 3] = activate<A>((Accumulate ? crow[j + 3] : 0.0f) + acc3 +
+                                (bias != nullptr ? bias[j + 3] : 0.0f));
+    }
+    for (; j < n; ++j) {
+      const float acc = dot_simd(arow, b + j * k, k);
+      crow[j] = activate<A>((Accumulate ? crow[j] : 0.0f) + acc +
+                            (bias != nullptr ? bias[j] : 0.0f));
+    }
+  }
+}
+
+}  // namespace tgnn::kernels::detail

@@ -54,6 +54,16 @@ Tensor GruCell::forward(const Tensor& x, const Tensor& h, Cache* cache) const {
   return out;
 }
 
+void GruCell::forward_into(const Tensor& x, const Tensor& h,
+                           kernels::GruScratch& ws, Tensor& out) const {
+  kernels::gru_forward_into(
+      x, h,
+      {&w_ir.value, &w_iz.value, &w_in.value, &b_ir.value, &b_iz.value,
+       &b_in.value, &w_hr.value, &w_hz.value, &w_hn.value, &b_hr.value,
+       &b_hz.value, &b_hn.value},
+      ws, out);
+}
+
 GruCell::InputGrads GruCell::backward(const Cache& c, const Tensor& dh_new) {
   const std::size_t m = dh_new.rows(), hid = dh_new.cols();
 

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "kernels/fused.hpp"
 #include "nn/parameter.hpp"
 #include "tensor/ops.hpp"
 
@@ -48,6 +49,13 @@ class GruCell {
 
   /// Returns the new hidden state s'; fills cache for backward.
   Tensor forward(const Tensor& x, const Tensor& h, Cache* cache = nullptr) const;
+
+  /// Inference-only fused forward (kernels::gru_forward_into): writes s'
+  /// into `out`, reusing `ws` gate buffers — zero steady-state allocations
+  /// and vectorized GEMMs. No cache, so not usable for backward; parity
+  /// with forward() is pinned to 1e-6 by tests/kernels.
+  void forward_into(const Tensor& x, const Tensor& h, kernels::GruScratch& ws,
+                    Tensor& out) const;
 
   /// Accumulates parameter grads; returns gradients w.r.t. x and h.
   InputGrads backward(const Cache& cache, const Tensor& dh_new);

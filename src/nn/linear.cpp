@@ -1,5 +1,6 @@
 #include "nn/linear.hpp"
 
+#include "kernels/fused.hpp"
 #include "util/rng.hpp"
 
 namespace tgnn::nn {
@@ -11,6 +12,10 @@ Linear::Linear(std::string name, std::size_t in_dim, std::size_t out_dim,
 
 Tensor Linear::forward(const Tensor& x) const {
   return ops::affine(x, w.value, b.value);
+}
+
+void Linear::forward_into(const Tensor& x, Tensor& y) const {
+  kernels::affine_into(x, w.value, b.value, y);
 }
 
 Tensor Linear::backward(const Tensor& x, const Tensor& dy) {

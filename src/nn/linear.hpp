@@ -24,6 +24,10 @@ class Linear {
 
   [[nodiscard]] Tensor forward(const Tensor& x) const;
 
+  /// Fused inference forward: y = X Wᵀ + b written into a caller-owned
+  /// buffer (kernels::affine_into) — no allocation once y has capacity.
+  void forward_into(const Tensor& x, Tensor& y) const;
+
   /// Backward: given dY and the forward input X, accumulates weight/bias
   /// grads and returns dX.
   Tensor backward(const Tensor& x, const Tensor& dy);

@@ -231,7 +231,12 @@ ServingStats ServingEngine::stats() const {
   ServingStats s;
   s.num_requests = latencies_.size();
   s.num_batches = batches_.size();
-  if (latencies_.empty()) return s;
+  s.peak_parallel_batches = peak_executing_;
+  // Idle engine (or every batch still in flight): all-zero stats rather
+  // than 0/0 = NaN percentiles and means. percentile_of itself returns 0
+  // on an empty sample set, but the explicit gate keeps the contract
+  // obvious and guards mean_batch_size's division too.
+  if (latencies_.empty() || batches_.empty()) return s;
 
   s.p50_latency_s = percentile_of(latencies_, 0.50);
   s.p95_latency_s = percentile_of(latencies_, 0.95);
@@ -241,7 +246,6 @@ ServingStats ServingEngine::stats() const {
   s.p95_queue_wait_s = percentile_of(queue_waits_, 0.95);
   s.p50_service_s = percentile_of(services_, 0.50);
   s.p95_service_s = percentile_of(services_, 0.95);
-  s.peak_parallel_batches = peak_executing_;
 
   const double span = last_done_s_ - first_submit_s_;
   s.throughput_rps =

@@ -137,9 +137,13 @@ void tanh_inplace(Tensor& x) {
 
 Tensor relu(const Tensor& x) {
   Tensor y = x;
-  float* p = y.data();
-  for (std::size_t i = 0; i < y.size(); ++i) p[i] = std::max(0.0f, p[i]);
+  relu_inplace(y);
   return y;
+}
+
+void relu_inplace(Tensor& x) {
+  float* p = x.data();
+  for (std::size_t i = 0; i < x.size(); ++i) p[i] = std::max(0.0f, p[i]);
 }
 
 Tensor hadamard(const Tensor& a, const Tensor& b) {
@@ -171,12 +175,25 @@ Tensor softmax_rows(const Tensor& x) {
 
 void softmax_span(std::span<float> v) {
   if (v.empty()) return;
+  const float uniform = 1.0f / static_cast<float>(v.size());
   float mx = v[0];
   for (float f : v) mx = std::max(mx, f);
+  // A fully masked (all -inf) or NaN/inf-poisoned row has no well-defined
+  // softmax; exp(-inf - -inf) would mint NaN weights that silently poison
+  // everything downstream (vertex memory, embeddings). Fall back to a
+  // uniform distribution instead.
+  if (!std::isfinite(mx)) {
+    for (auto& f : v) f = uniform;
+    return;
+  }
   float total = 0.0f;
   for (auto& f : v) {
     f = std::exp(f - mx);
     total += f;
+  }
+  if (!(total > 0.0f) || !std::isfinite(total)) {
+    for (auto& f : v) f = uniform;
+    return;
   }
   const float inv = 1.0f / total;
   for (auto& f : v) f *= inv;

@@ -36,6 +36,7 @@ void sigmoid_inplace(Tensor& x);
 void tanh_inplace(Tensor& x);
 /// ReLU (used by the decoder MLP).
 Tensor relu(const Tensor& x);
+void relu_inplace(Tensor& x);
 
 /// Elementwise product / sum (allocating).
 Tensor hadamard(const Tensor& a, const Tensor& b);

@@ -1,8 +1,11 @@
 #include "tgnn/attention.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
+#include "kernels/fused.hpp"
+#include "kernels/gemm.hpp"
 #include "util/rng.hpp"
 
 namespace tgnn::core {
@@ -54,6 +57,34 @@ Tensor VanillaAttention::forward(std::span<const float> f_self,
     cache->fo_in = std::move(fo_in);
   }
   return h;
+}
+
+void VanillaAttention::forward_into(std::span<const float> f_self,
+                                    const AttnNodeInput& in, InferScratch& ws,
+                                    std::span<float> out) const {
+  const std::size_t n = in.kv_in.rows();
+  const std::size_t emb = wq.out_dim();
+
+  ws.fo_in.resize(1, emb + f_self.size());
+  float* fo = ws.fo_in.data();
+  if (n > 0) {
+    // q feeds only the logits, so a neighborless node skips the projection.
+    wq.forward_into(in.q_in, ws.q);
+    wk.forward_into(in.kv_in, ws.k);
+    wv.forward_into(in.kv_in, ws.v);
+    // logits = q Kᵀ / sqrt(n), softmaxed in place, then attn = alpha V
+    // accumulated straight into the FTM input's first emb columns.
+    ws.alpha.resize(1, n);
+    kernels::gemm_nt(ws.q.data(), ws.k.data(), ws.alpha.data(), 1, emb, n);
+    const float scale = 1.0f / std::sqrt(static_cast<float>(n));
+    for (std::size_t j = 0; j < n; ++j) ws.alpha[j] *= scale;
+    ops::softmax_span(ws.alpha.row(0));
+    kernels::weighted_rowsum(ws.alpha.data(), ws.v.data(), fo, n, emb);
+  } else {
+    std::fill(fo, fo + emb, 0.0f);
+  }
+  std::copy(f_self.begin(), f_self.end(), fo + emb);
+  kernels::affine_row_into(ws.fo_in.row(0), wo.w.value, wo.b.value, out);
 }
 
 std::vector<float> VanillaAttention::logits(std::span<const float> /*f_self*/,

@@ -55,6 +55,22 @@ class VanillaAttention {
   Tensor forward(std::span<const float> f_self, const AttnNodeInput& in,
                  Cache* cache = nullptr) const;
 
+  /// Reusable buffers for forward_into; one per GNN worker thread (lives in
+  /// the engine's BatchWorkspace::GnnScratch).
+  struct InferScratch {
+    Tensor q;      ///< [1, emb]
+    Tensor k;      ///< [n, emb]
+    Tensor v;      ///< [n, emb]
+    Tensor alpha;  ///< [1, n] logits, softmaxed in place
+    Tensor fo_in;  ///< [1, emb + mem]
+  };
+
+  /// Fused inference forward: h_i written straight into `out` (one row of
+  /// the batch embeddings), all intermediates in `ws`. No cache/backward;
+  /// parity with forward() pinned to 1e-6 by tests/kernels.
+  void forward_into(std::span<const float> f_self, const AttnNodeInput& in,
+                    InferScratch& ws, std::span<float> out) const;
+
   /// Attention logits only (for distillation teachers): [n] scaled scores.
   [[nodiscard]] std::vector<float> logits(std::span<const float> f_self,
                                           const AttnNodeInput& in) const;

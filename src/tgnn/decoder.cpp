@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "kernels/fused.hpp"
 #include "util/rng.hpp"
 
 namespace tgnn::core {
@@ -34,13 +35,27 @@ void Decoder::route_pair_grad(std::span<const float> dx,
 }
 
 Tensor Decoder::forward(const Tensor& x, Cache* cache) const {
-  Tensor hidden = ops::relu(l1.forward(x));
+  Tensor hidden = l1.forward(x);
+  ops::relu_inplace(hidden);
   Tensor logits = l2.forward(hidden);
   if (cache) {
     cache->x = x;
     cache->hidden = std::move(hidden);
   }
   return logits;
+}
+
+const Tensor& Decoder::forward_into(const Tensor& x, InferScratch& ws) const {
+  kernels::affine_relu_into(x, l1.w.value, l1.b.value, ws.hidden);
+  kernels::affine_into(ws.hidden, l2.w.value, l2.b.value, ws.logits);
+  return ws.logits;
+}
+
+double Decoder::score_with(InferScratch& ws, std::span<const float> hu,
+                           std::span<const float> hv) const {
+  ws.x.resize(1, 3 * hu.size());
+  build_pair(hu, hv, ws.x.row(0));
+  return forward_into(ws.x, ws)(0, 0);
 }
 
 Tensor Decoder::backward(const Cache& c, const Tensor& dlogits) {

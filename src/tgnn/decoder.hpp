@@ -44,6 +44,21 @@ class Decoder {
   [[nodiscard]] double score(std::span<const float> hu,
                              std::span<const float> hv) const;
 
+  /// Reusable buffers for the fused scoring/forward path.
+  struct InferScratch {
+    Tensor x;       ///< [m, 3*emb]
+    Tensor hidden;  ///< [m, hid]
+    Tensor logits;  ///< [m, 1]
+  };
+
+  /// Fused inference forward (affine+ReLU kernel, no cache): logits written
+  /// into ws.logits, which is also returned.
+  const Tensor& forward_into(const Tensor& x, InferScratch& ws) const;
+
+  /// score(), allocation-free: reuses `ws` across calls.
+  [[nodiscard]] double score_with(InferScratch& ws, std::span<const float> hu,
+                                  std::span<const float> hv) const;
+
   [[nodiscard]] std::vector<nn::Parameter*> parameters();
 
   nn::Linear l1;  ///< 3*emb -> hidden

@@ -55,6 +55,8 @@ void BatchWorkspace::reserve(std::size_t max_nodes, const ModelConfig& cfg) {
   mem_ptr.reserve(max_nodes);
   x.reserve(max_nodes, cfg.gru_in_dim());
   h.reserve(max_nodes, cfg.mem_dim);
+  s_new.reserve(max_nodes, cfg.mem_dim);
+  gru.reserve(max_nodes, cfg.mem_dim);
   raw.reserve(cfg.raw_mail_dim());
 }
 
@@ -136,7 +138,7 @@ InferenceEngine::BatchResult InferenceEngine::process_batch(
     const graph::NodeId v = res.nodes[i];
     if (state_->mailbox.has_mail(v) && state_->mail_valid[v]) mail_rows.push_back(i);
   }
-  Tensor s_new;  // [mail_rows, mem]
+  Tensor& s_new = ws_.s_new;  // [mail_rows, mem]
   if (!mail_rows.empty()) {
     ws_.x.resize(mail_rows.size(), cfg.gru_in_dim());
     ws_.h.resize(mail_rows.size(), cfg.mem_dim);
@@ -152,7 +154,7 @@ InferenceEngine::BatchResult InferenceEngine::process_batch(
       const auto mem = state_->memory.get(v);
       std::copy(mem.begin(), mem.end(), ws_.h.row(k).begin());
     }
-    s_new = model_.updater().forward(ws_.x, ws_.h);
+    model_.updater().forward_into(ws_.x, ws_.h, ws_.gru, s_new);
   }
   // Row lookup: updated memory if in this batch's mail set, else the table.
   std::vector<const float*>& mem_ptr = ws_.mem_ptr;
@@ -200,7 +202,8 @@ InferenceEngine::BatchResult InferenceEngine::process_batch(
     const auto& nb = nbrs[i];
     model_.f_prime(memory_of(u, sc.mem_row), node_feat_of(u), sc.fp.row(0));
 
-    Tensor h;
+    // Both attention variants run their fused inference path, writing the
+    // embedding straight into the batch result's row.
     if (const auto* att = model_.vanilla()) {
       AttnNodeInput& in = sc.attn_in;
       in.q_in.resize(1, cfg.q_in_dim());
@@ -225,13 +228,14 @@ InferenceEngine::BatchResult InferenceEngine::process_batch(
             std::max(0.0, t_event[i] - nb[j].ts),
             row.subspan(cfg.mem_dim + cfg.edge_dim, cfg.time_dim));
       }
-      h = att->forward(sc.fp.row(0), in);
+      att->forward_into(sc.fp.row(0), in, sc.attn, res.embeddings.row(i));
     } else {
       const auto* sat = model_.simplified();
       sc.dts.resize(nb.size());
       for (std::size_t j = 0; j < nb.size(); ++j)
         sc.dts[j] = std::max(0.0, t_event[i] - nb[j].ts);
-      const auto scores = sat->score(sc.dts, cfg.prune_budget);
+      sat->score_into(sc.dts, cfg.prune_budget, sc.score, sc.scores);
+      const auto& scores = sc.scores;
       sc.v_in.resize(scores.keep.size(), cfg.kv_in_dim());
       sc.fpj.resize(1, cfg.mem_dim);
       for (std::size_t k = 0; k < scores.keep.size(); ++k) {
@@ -248,9 +252,9 @@ InferenceEngine::BatchResult InferenceEngine::process_batch(
             sc.dts[scores.keep[k]],
             row.subspan(cfg.mem_dim + cfg.edge_dim, cfg.time_dim));
       }
-      h = sat->aggregate(sc.fp.row(0), scores, sc.v_in);
+      sat->aggregate_into(sc.fp.row(0), scores, sc.v_in, sc.sat,
+                          res.embeddings.row(i));
     }
-    std::copy(h.row(0).begin(), h.row(0).end(), res.embeddings.row(i).begin());
   }
   if (times) times->gnn += sw.seconds();
 
@@ -314,22 +318,24 @@ void InferenceEngine::warmup(const graph::BatchRange& range,
       if (state_->mailbox.has_mail(v) && state_->mail_valid[v])
         mail_nodes.push_back(v);
     if (!mail_nodes.empty()) {
-      Tensor x(mail_nodes.size(), cfg.gru_in_dim());
-      Tensor h(mail_nodes.size(), cfg.mem_dim);
+      // Same fused GRU path as process_batch, reusing the engine workspace,
+      // so a warmed-up state is bit-identical to a streamed one.
+      ws_.x.resize(mail_nodes.size(), cfg.gru_in_dim());
+      ws_.h.resize(mail_nodes.size(), cfg.mem_dim);
       for (std::size_t k = 0; k < mail_nodes.size(); ++k) {
         const graph::NodeId v = mail_nodes[k];
         const auto mail = state_->mailbox.mail(v);
-        auto row = x.row(k);
+        auto row = ws_.x.row(k);
         std::copy(mail.begin(), mail.end(), row.begin());
         model_.time_encoder().encode_scalar(
             std::max(0.0, tev[v] - state_->mailbox.mail_ts(v)),
             row.subspan(mail.size(), cfg.time_dim));
         const auto mem = state_->memory.get(v);
-        std::copy(mem.begin(), mem.end(), h.row(k).begin());
+        std::copy(mem.begin(), mem.end(), ws_.h.row(k).begin());
       }
-      Tensor s_new = model_.updater().forward(x, h);
+      model_.updater().forward_into(ws_.x, ws_.h, ws_.gru, ws_.s_new);
       for (std::size_t k = 0; k < mail_nodes.size(); ++k) {
-        state_->memory.set(mail_nodes[k], s_new.row(k), tev[mail_nodes[k]]);
+        state_->memory.set(mail_nodes[k], ws_.s_new.row(k), tev[mail_nodes[k]]);
         state_->mail_valid[mail_nodes[k]] = 0;
       }
     }
@@ -357,6 +363,7 @@ double InferenceEngine::evaluate_ap(const graph::BatchRange& range,
   if (dst_pool_.empty())
     throw std::logic_error("evaluate_ap: empty negative pool");
   std::vector<ScoredSample> samples;
+  Decoder::InferScratch dec_ws;
   for (const auto& b : ds_.graph.fixed_size_batches(range.begin, range.end,
                                                     batch_size)) {
     const auto edges = ds_.graph.edges(b);
@@ -364,12 +371,12 @@ double InferenceEngine::evaluate_ap(const graph::BatchRange& range,
     for (auto& v : negs) v = dst_pool_[rng.uniform_int(dst_pool_.size())];
     const auto res = process_batch(b, negs);
     for (std::size_t k = 0; k < edges.size(); ++k) {
-      samples.push_back({dec.score(res.embedding_of(edges[k].src),
-                                   res.embedding_of(edges[k].dst)),
+      samples.push_back({dec.score_with(dec_ws, res.embedding_of(edges[k].src),
+                                        res.embedding_of(edges[k].dst)),
                          true});
-      samples.push_back(
-          {dec.score(res.embedding_of(edges[k].src), res.embedding_of(negs[k])),
-           false});
+      samples.push_back({dec.score_with(dec_ws, res.embedding_of(edges[k].src),
+                                        res.embedding_of(negs[k])),
+                         false});
     }
   }
   return average_precision(std::move(samples));

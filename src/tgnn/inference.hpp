@@ -25,6 +25,7 @@
 #include "data/dataset.hpp"
 #include "graph/neighbor_table.hpp"
 #include "graph/vertex_state.hpp"
+#include "kernels/fused.hpp"
 #include "tgnn/decoder.hpp"
 #include "tgnn/metrics.hpp"
 #include "tgnn/model.hpp"
@@ -73,6 +74,8 @@ struct BatchWorkspace {
   std::vector<const float*> mem_ptr;
   Tensor x;               ///< GRU gather [mail_rows, gru_in_dim]
   Tensor h;               ///< GRU state gather [mail_rows, mem_dim]
+  Tensor s_new;           ///< fused-GRU output [mail_rows, mem_dim]
+  kernels::GruScratch gru;  ///< fused-GRU gate buffers
   std::vector<float> raw;  ///< one raw-mail scratch row
 
   /// Per-thread GNN-stage scratch (index = OpenMP thread id).
@@ -83,6 +86,13 @@ struct BatchWorkspace {
     Tensor v_in;           ///< simplified path: V gather for kept slots
     std::vector<double> dts;
     std::vector<float> mem_row;  ///< locked-read copy of a neighbor's memory
+    // Fused-kernel scratch: projections, logits, and FTM input of the
+    // attention variants (tgnn layer writes embeddings straight into the
+    // batch result through these).
+    VanillaAttention::InferScratch attn;
+    SimplifiedAttention::InferScratch sat;
+    SimplifiedAttention::ScoreScratch score;
+    SimplifiedAttention::Scores scores;
   };
   std::vector<GnnScratch> gnn;
 

@@ -20,6 +20,12 @@ class MemoryUpdater {
     return gru.forward(x, h, cache);
   }
 
+  /// Fused inference forward into a caller-owned buffer (no cache).
+  void forward_into(const Tensor& x, const Tensor& h,
+                    kernels::GruScratch& ws, Tensor& out) const {
+    gru.forward_into(x, h, ws, out);
+  }
+
   nn::GruCell::InputGrads backward(const nn::GruCell::Cache& cache,
                                    const Tensor& ds_new) {
     return gru.backward(cache, ds_new);

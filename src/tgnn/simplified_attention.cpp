@@ -6,6 +6,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "kernels/fused.hpp"
+#include "kernels/gemm.hpp"
 #include "util/rng.hpp"
 
 namespace tgnn::core {
@@ -36,37 +38,44 @@ SimplifiedAttention::SimplifiedAttention(const ModelConfig& cfg, tgnn::Rng& rng)
 
 SimplifiedAttention::Scores SimplifiedAttention::score(
     const std::vector<double>& dts, std::size_t budget) const {
+  Scores s;
+  ScoreScratch ws;
+  score_into(dts, budget, ws, s);
+  return s;
+}
+
+void SimplifiedAttention::score_into(const std::vector<double>& dts,
+                                     std::size_t budget, ScoreScratch& ws,
+                                     Scores& s) const {
   const std::size_t mr = slots();
   if (dts.size() > mr)
     throw std::invalid_argument("SimplifiedAttention::score: too many dts");
   const std::size_t valid = dts.size();
 
-  Scores s;
   s.dts.assign(mr, 0.0);
   std::copy(dts.begin(), dts.end(), s.dts.begin());
 
   // logits = a + W_t * feat(dt); masked (empty) slots get -inf.
   s.logits.assign(mr, kNegInf);
-  std::vector<float> feat(mr, 0.0f);
-  for (std::size_t j = 0; j < valid; ++j) feat[j] = dt_feature(s.dts[j]);
+  ws.feat.assign(mr, 0.0f);
+  for (std::size_t j = 0; j < valid; ++j) ws.feat[j] = dt_feature(s.dts[j]);
   for (std::size_t i = 0; i < valid; ++i) {
     float acc = a.value[i];
-    for (std::size_t j = 0; j < mr; ++j) acc += wt.value(i, j) * feat[j];
+    for (std::size_t j = 0; j < mr; ++j) acc += wt.value(i, j) * ws.feat[j];
     s.logits[i] = acc;
   }
 
   // Top-`budget` valid slots by logit (§III-B). Kept indices ascending so
   // downstream consumers keep the chronological slot order.
   const std::size_t k = std::min(budget == 0 ? valid : budget, valid);
-  std::vector<std::size_t> order(valid);
-  std::iota(order.begin(), order.end(), 0);
-  std::partial_sort(order.begin(), order.begin() + k, order.end(),
+  ws.order.resize(valid);
+  std::iota(ws.order.begin(), ws.order.end(), 0);
+  std::partial_sort(ws.order.begin(), ws.order.begin() + k, ws.order.end(),
                     [&](std::size_t x, std::size_t y) {
                       return s.logits[x] > s.logits[y];
                     });
-  s.keep.assign(order.begin(), order.begin() + k);
+  s.keep.assign(ws.order.begin(), ws.order.begin() + k);
   std::sort(s.keep.begin(), s.keep.end());
-  return s;
 }
 
 Tensor SimplifiedAttention::aggregate(std::span<const float> f_self,
@@ -83,15 +92,10 @@ Tensor SimplifiedAttention::aggregate(std::span<const float> f_self,
     v = wv.forward(v_in);
     // Softmax over the kept slots' logits only (paper: "apply softmax
     // function only on the temporal neighbors with top logit values").
-    float mx = kNegInf;
+    // softmax_span also guards the all-masked / non-finite row case.
     for (std::size_t idx = 0; idx < kept; ++idx)
-      mx = std::max(mx, scores.logits[scores.keep[idx]]);
-    float z = 0.0f;
-    for (std::size_t idx = 0; idx < kept; ++idx) {
-      alpha[idx] = std::exp(scores.logits[scores.keep[idx]] - mx);
-      z += alpha[idx];
-    }
-    for (auto& x : alpha) x /= z;
+      alpha[idx] = scores.logits[scores.keep[idx]];
+    ops::softmax_span(alpha);
     for (std::size_t idx = 0; idx < kept; ++idx)
       for (std::size_t d = 0; d < emb; ++d) attn(0, d) += alpha[idx] * v(idx, d);
   }
@@ -110,6 +114,31 @@ Tensor SimplifiedAttention::aggregate(std::span<const float> f_self,
     cache->fo_in = std::move(fo_in);
   }
   return h;
+}
+
+void SimplifiedAttention::aggregate_into(std::span<const float> f_self,
+                                         const Scores& scores,
+                                         const Tensor& v_in, InferScratch& ws,
+                                         std::span<float> out) const {
+  const std::size_t kept = scores.keep.size();
+  if (v_in.rows() != kept)
+    throw std::invalid_argument("SimplifiedAttention::aggregate: rows != kept");
+  const std::size_t emb = wv.out_dim();
+
+  ws.fo_in.resize(1, emb + f_self.size());
+  float* fo = ws.fo_in.data();
+  if (kept > 0) {
+    wv.forward_into(v_in, ws.v);
+    ws.alpha.resize(1, kept);
+    for (std::size_t idx = 0; idx < kept; ++idx)
+      ws.alpha[idx] = scores.logits[scores.keep[idx]];
+    ops::softmax_span(ws.alpha.row(0));
+    kernels::weighted_rowsum(ws.alpha.data(), ws.v.data(), fo, kept, emb);
+  } else {
+    std::fill(fo, fo + emb, 0.0f);
+  }
+  std::copy(f_self.begin(), f_self.end(), fo + emb);
+  kernels::affine_row_into(ws.fo_in.row(0), wo.w.value, wo.b.value, out);
 }
 
 SimplifiedAttention::InputGrads SimplifiedAttention::backward(const Cache& c,

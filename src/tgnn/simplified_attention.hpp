@@ -59,9 +59,34 @@ class SimplifiedAttention {
   [[nodiscard]] Scores score(const std::vector<double>& dts,
                              std::size_t budget) const;
 
+  /// Reusable intermediates for score_into.
+  struct ScoreScratch {
+    std::vector<float> feat;
+    std::vector<std::size_t> order;
+  };
+
+  /// Allocation-free score(): fills `out` in place, reusing its vectors'
+  /// capacity (and `ws` for the intermediates).
+  void score_into(const std::vector<double>& dts, std::size_t budget,
+                  ScoreScratch& ws, Scores& out) const;
+
   /// Phase 2: v_in rows correspond to scores.keep order. Returns h [1, emb].
   Tensor aggregate(std::span<const float> f_self, const Scores& scores,
                    const Tensor& v_in, Cache* cache = nullptr) const;
+
+  /// Reusable buffers for aggregate_into; one per GNN worker thread.
+  struct InferScratch {
+    Tensor v;      ///< [kept, emb]
+    Tensor alpha;  ///< [1, kept] kept-slot logits, softmaxed in place
+    Tensor fo_in;  ///< [1, emb + mem]
+  };
+
+  /// Fused inference aggregate: h written straight into `out` (one row of
+  /// the batch embeddings). No cache/backward; parity with aggregate()
+  /// pinned to 1e-6 by tests/kernels.
+  void aggregate_into(std::span<const float> f_self, const Scores& scores,
+                      const Tensor& v_in, InferScratch& ws,
+                      std::span<float> out) const;
 
   InputGrads backward(const Cache& cache, const Tensor& dh);
 

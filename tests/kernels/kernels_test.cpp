@@ -1,0 +1,250 @@
+// Fused-vs-reference parity: the kernel layer may re-associate float sums
+// (simd reductions), so every fused op is pinned to its reference op within
+// 1e-6 across odd shapes — 1-row inputs, dims that are not a multiple of
+// the 4-column register block or an 8-lane simd width, empty inputs — and
+// the fused paths are checked to be allocation-free in steady state
+// (buffer data pointers stable across calls).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kernels/fused.hpp"
+#include "kernels/gemm.hpp"
+#include "nn/gru_cell.hpp"
+#include "tensor/ops.hpp"
+#include "tgnn/attention.hpp"
+#include "tgnn/decoder.hpp"
+#include "tgnn/simplified_attention.hpp"
+#include "util/rng.hpp"
+
+namespace tgnn {
+namespace {
+
+constexpr float kTol = 1e-6f;
+
+/// Raw GEMM outputs grow with the inner dimension, and so does the float
+/// reassociation error of the simd reduction — bound it at 1e-6 RELATIVE
+/// to the output magnitude (absolute 1e-6 for outputs of order <= 1, which
+/// covers every post-activation kernel).
+float tol_for(const Tensor& ref) { return kTol * std::max(1.0f, ref.abs_max()); }
+
+struct Shape {
+  std::size_t m, k, n;
+};
+
+// 1-row, sub-block, non-multiple-of-8, and model-realistic shapes.
+const Shape kShapes[] = {{1, 1, 1},    {1, 7, 3},     {1, 100, 100},
+                         {3, 13, 5},   {2, 129, 31},  {5, 8, 4},
+                         {32, 372, 100}, {17, 101, 33}};
+
+TEST(Kernels, GemmNtMatchesReference) {
+  for (const auto& s : kShapes) {
+    Rng rng(7);
+    const Tensor a = Tensor::randn(s.m, s.k, rng, 0.5f);
+    const Tensor b = Tensor::randn(s.n, s.k, rng, 0.5f);
+    const Tensor ref = ops::matmul_nt(a, b);
+    Tensor c(s.m, s.n);
+    kernels::gemm_nt(a.data(), b.data(), c.data(), s.m, s.k, s.n);
+    EXPECT_LT(ops::max_abs_diff(ref, c), tol_for(ref))
+        << s.m << "x" << s.k << "x" << s.n;
+
+    // Accumulating variant adds on top.
+    kernels::gemm_nt(a.data(), b.data(), c.data(), s.m, s.k, s.n,
+                     /*accumulate=*/true);
+    Tensor ref2 = ref;
+    ref2 += ref;
+    EXPECT_LT(ops::max_abs_diff(ref2, c), 2 * tol_for(ref));
+  }
+}
+
+TEST(Kernels, AffineActivationsMatchReference) {
+  for (const auto& s : kShapes) {
+    Rng rng(11);
+    const Tensor x = Tensor::randn(s.m, s.k, rng, 0.5f);
+    const Tensor w = Tensor::randn(s.n, s.k, rng, 0.5f);
+    const Tensor b = Tensor::randn(s.n, 1, rng, 0.5f);
+
+    const Tensor ref = ops::affine(x, w, b);
+    const float tol = tol_for(ref);
+    Tensor y;
+    kernels::affine_into(x, w, b, y);
+    EXPECT_LT(ops::max_abs_diff(ref, y), tol);
+
+    // The pre-activation reassociation error passes through the (1-Lipschitz
+    // or gentler) activations, so the same bound applies.
+    kernels::affine_sigmoid_into(x, w, b, y);
+    EXPECT_LT(ops::max_abs_diff(ops::sigmoid(ref), y), tol);
+
+    kernels::affine_tanh_into(x, w, b, y);
+    EXPECT_LT(ops::max_abs_diff(ops::tanh(ref), y), tol);
+
+    kernels::affine_relu_into(x, w, b, y);
+    EXPECT_LT(ops::max_abs_diff(ops::relu(ref), y), tol);
+  }
+}
+
+TEST(Kernels, Affine2SigmoidMatchesTwoAffines) {
+  for (const std::size_t hid : {1u, 5u, 31u, 100u}) {
+    Rng rng(13);
+    const std::size_t m = 3, in = 17;
+    const Tensor x = Tensor::randn(m, in, rng, 0.5f);
+    const Tensor h = Tensor::randn(m, hid, rng, 0.5f);
+    const Tensor wi = Tensor::randn(hid, in, rng, 0.5f);
+    const Tensor wh = Tensor::randn(hid, hid, rng, 0.5f);
+    const Tensor bi = Tensor::randn(hid, 1, rng, 0.5f);
+    const Tensor bh = Tensor::randn(hid, 1, rng, 0.5f);
+
+    Tensor pre = ops::affine(x, wi, bi);
+    pre += ops::affine(h, wh, bh);
+    const Tensor ref = ops::sigmoid(pre);
+
+    Tensor y;
+    kernels::affine2_sigmoid_into(x, wi, bi, h, wh, bh, y);
+    EXPECT_LT(ops::max_abs_diff(ref, y), kTol) << "hid=" << hid;
+  }
+}
+
+TEST(Kernels, AffineRowIntoMatchesReference) {
+  Rng rng(17);
+  const Tensor x = Tensor::randn(1, 37, rng, 0.5f);
+  const Tensor w = Tensor::randn(21, 37, rng, 0.5f);
+  const Tensor b = Tensor::randn(21, 1, rng, 0.5f);
+  const Tensor ref = ops::affine(x, w, b);
+  std::vector<float> out(21);
+  kernels::affine_row_into(x.row(0), w, b, out);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_NEAR(ref[i], out[i], kTol);
+}
+
+TEST(Kernels, WeightedRowsumMatchesLoop) {
+  Rng rng(19);
+  const std::size_t r = 7, n = 13;
+  const Tensor w = Tensor::randn(1, r, rng);
+  const Tensor rows = Tensor::randn(r, n, rng);
+  std::vector<float> ref(n, 0.0f);
+  for (std::size_t j = 0; j < r; ++j)
+    for (std::size_t d = 0; d < n; ++d) ref[d] += w[j] * rows(j, d);
+  std::vector<float> out(n, -1.0f);
+  kernels::weighted_rowsum(w.data(), rows.data(), out.data(), r, n);
+  for (std::size_t d = 0; d < n; ++d) EXPECT_NEAR(ref[d], out[d], kTol);
+}
+
+TEST(Kernels, GruForwardIntoMatchesReferenceAcrossShapes) {
+  // 1-row and odd-dim GRUs: the serving-critical micro-batch shapes.
+  struct G {
+    std::size_t rows, in, hid;
+  };
+  for (const auto& g :
+       {G{1, 9, 7}, G{1, 472, 100}, G{3, 31, 17}, G{32, 472, 100}}) {
+    Rng rng(23);
+    nn::GruCell gru("g", g.in, g.hid, rng);
+    const Tensor x = Tensor::randn(g.rows, g.in, rng, 0.5f);
+    const Tensor h = Tensor::randn(g.rows, g.hid, rng, 0.5f);
+    const Tensor ref = gru.forward(x, h);
+    kernels::GruScratch ws;
+    Tensor out;
+    gru.forward_into(x, h, ws, out);
+    ASSERT_EQ(out.rows(), ref.rows());
+    ASSERT_EQ(out.cols(), ref.cols());
+    EXPECT_LT(ops::max_abs_diff(ref, out), kTol)
+        << g.rows << "x" << g.in << "x" << g.hid;
+  }
+}
+
+TEST(Kernels, GruForwardIntoIsAllocationFreeInSteadyState) {
+  Rng rng(29);
+  nn::GruCell gru("g", 24, 16, rng);
+  const Tensor x = Tensor::randn(8, 24, rng);
+  const Tensor h = Tensor::randn(8, 16, rng);
+  kernels::GruScratch ws;
+  Tensor out;
+  gru.forward_into(x, h, ws, out);
+  const float* pout = out.data();
+  const float* pr = ws.r.data();
+  for (int iter = 0; iter < 3; ++iter) gru.forward_into(x, h, ws, out);
+  EXPECT_EQ(out.data(), pout);
+  EXPECT_EQ(ws.r.data(), pr);
+}
+
+core::ModelConfig small_cfg() {
+  core::ModelConfig cfg;
+  cfg.mem_dim = 9;       // odd on purpose
+  cfg.time_dim = 5;
+  cfg.emb_dim = 7;
+  cfg.edge_dim = 3;
+  cfg.num_neighbors = 5;
+  return cfg;
+}
+
+TEST(Kernels, VanillaAttentionForwardIntoMatchesForward) {
+  const auto cfg = small_cfg();
+  Rng rng(31);
+  core::VanillaAttention att(cfg, rng);
+  core::VanillaAttention::InferScratch ws;
+  for (const std::size_t n : {0u, 1u, 3u, 5u}) {
+    core::AttnNodeInput in;
+    in.q_in = Tensor::randn(1, cfg.q_in_dim(), rng, 0.5f);
+    in.kv_in = Tensor::randn(n, cfg.kv_in_dim(), rng, 0.5f);
+    const Tensor f = Tensor::randn(1, cfg.mem_dim, rng, 0.5f);
+    const Tensor ref = att.forward(f.row(0), in);
+    std::vector<float> out(cfg.emb_dim);
+    att.forward_into(f.row(0), in, ws, out);
+    for (std::size_t d = 0; d < out.size(); ++d)
+      EXPECT_NEAR(ref(0, d), out[d], kTol) << "n=" << n;
+  }
+}
+
+TEST(Kernels, SimplifiedAttentionAggregateIntoMatchesAggregate) {
+  const auto cfg = small_cfg();
+  Rng rng(37);
+  core::SimplifiedAttention sat(cfg, rng);
+  core::SimplifiedAttention::InferScratch ws;
+  core::SimplifiedAttention::ScoreScratch sws;
+  core::SimplifiedAttention::Scores scores;
+  for (const std::size_t valid : {0u, 1u, 3u, 5u}) {
+    std::vector<double> dts(valid);
+    for (std::size_t j = 0; j < valid; ++j)
+      dts[j] = 3.0 * static_cast<double>(j + 1);
+    sat.score_into(dts, /*budget=*/3, sws, scores);
+    const auto ref_scores = sat.score(dts, 3);
+    ASSERT_EQ(scores.keep, ref_scores.keep);
+    ASSERT_EQ(scores.logits, ref_scores.logits);
+
+    const Tensor v_in =
+        Tensor::randn(scores.keep.size(), cfg.kv_in_dim(), rng, 0.5f);
+    const Tensor f = Tensor::randn(1, cfg.mem_dim, rng, 0.5f);
+    const Tensor ref = sat.aggregate(f.row(0), ref_scores, v_in);
+    std::vector<float> out(cfg.emb_dim);
+    sat.aggregate_into(f.row(0), scores, v_in, ws, out);
+    for (std::size_t d = 0; d < out.size(); ++d)
+      EXPECT_NEAR(ref(0, d), out[d], kTol) << "valid=" << valid;
+  }
+}
+
+TEST(Kernels, DecoderScoreWithMatchesScore) {
+  const auto cfg = small_cfg();
+  Rng rng(41);
+  core::Decoder dec(cfg, rng);
+  core::Decoder::InferScratch ws;
+  for (int it = 0; it < 4; ++it) {
+    const Tensor hu = Tensor::randn(1, cfg.emb_dim, rng, 0.5f);
+    const Tensor hv = Tensor::randn(1, cfg.emb_dim, rng, 0.5f);
+    const double ref = dec.score(hu.row(0), hv.row(0));
+    const double got = dec.score_with(ws, hu.row(0), hv.row(0));
+    EXPECT_NEAR(ref, got, kTol);
+  }
+}
+
+TEST(Kernels, DecoderForwardIntoMatchesForward) {
+  const auto cfg = small_cfg();
+  Rng rng(43);
+  core::Decoder dec(cfg, rng);
+  core::Decoder::InferScratch ws;
+  const Tensor x = Tensor::randn(6, 3 * cfg.emb_dim, rng, 0.5f);
+  const Tensor ref = dec.forward(x);
+  const Tensor& got = dec.forward_into(x, ws);
+  EXPECT_LT(ops::max_abs_diff(ref, got), kTol);
+}
+
+}  // namespace
+}  // namespace tgnn

@@ -72,6 +72,44 @@ TEST(BackendEquivalence, CpuCpuMtShardedFpgaBitIdentical) {
   }
 }
 
+TEST(BackendEquivalence, VanillaAttentionBitIdenticalAcrossCpuBackends) {
+  // The fused kernel layer must stay thread-count invariant on the vanilla
+  // attention path too (the simplified path is covered above): per-row simd
+  // accumulation order never depends on the OpenMP team size.
+  const auto ds = tiny_ds();
+  core::ModelConfig cfg;
+  cfg.mem_dim = 8;
+  cfg.time_dim = 4;
+  cfg.emb_dim = 6;
+  cfg.edge_dim = ds.edge_dim();
+  cfg.num_neighbors = 5;
+  cfg.attention = core::AttentionKind::kVanilla;
+  const core::TgnModel model(cfg, 3);
+
+  BackendOptions mt;
+  mt.threads = 3;
+  BackendOptions sh;
+  sh.threads = 2;
+  sh.shards = 4;
+  auto cpu = make_backend("cpu", model, ds);
+  auto cpu_mt = make_backend("cpu-mt", model, ds, mt);
+  auto sharded = make_backend("sharded-cpu", model, ds, sh);
+
+  for (const auto& r : ds.graph.fixed_size_batches(0, 400, 80)) {
+    const auto a = cpu->process_batch(r);
+    const auto b = cpu_mt->process_batch(r);
+    const auto s = sharded->process_batch(r);
+    ASSERT_EQ(a.functional.nodes, b.functional.nodes);
+    ASSERT_EQ(a.functional.nodes, s.functional.nodes);
+    EXPECT_EQ(ops::max_abs_diff(a.functional.embeddings,
+                                b.functional.embeddings),
+              0.0f);
+    EXPECT_EQ(ops::max_abs_diff(a.functional.embeddings,
+                                s.functional.embeddings),
+              0.0f);
+  }
+}
+
 TEST(BackendEquivalence, ShardedDeterministicServingBitIdenticalToCpu) {
   // The tentpole acceptance property: the sharded backend driven by the
   // multi-worker conflict-aware scheduler in deterministic mode leaves

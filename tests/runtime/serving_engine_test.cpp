@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cmath>
 #include <thread>
 
 #include "data/synthetic.hpp"
@@ -206,6 +207,31 @@ TEST(ServingEngine, LatencySplitsIntoQueueWaitAndService) {
   EXPECT_GE(s.p50_latency_s, s.p50_service_s);
   EXPECT_GE(s.p95_latency_s, s.p95_queue_wait_s);
   EXPECT_GE(s.p95_latency_s, s.p95_service_s);
+}
+
+TEST(ServingEngine, IdleEngineStatsAreAllZero) {
+  // Regression: stats() before any batch completes used to risk 0/0 NaNs
+  // (mean_batch_size, throughput). An idle engine reports plain zeros.
+  const auto ds = tiny_ds();
+  const auto model = tiny_model(ds);
+  auto backend = make_backend("cpu", model, ds);
+  ServingEngine server(*backend);
+  const auto s = server.stats();
+  EXPECT_EQ(s.num_requests, 0u);
+  EXPECT_EQ(s.num_batches, 0u);
+  for (const double v :
+       {s.p50_latency_s, s.p95_latency_s, s.p99_latency_s, s.max_latency_s,
+        s.p50_queue_wait_s, s.p95_queue_wait_s, s.p50_service_s,
+        s.p95_service_s, s.throughput_rps, s.mean_batch_size}) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_EQ(v, 0.0);
+  }
+  EXPECT_EQ(s.peak_parallel_batches, 0u);
+}
+
+TEST(ServingEngine, PercentileOfEmptySamplesIsZero) {
+  EXPECT_EQ(percentile_of({}, 0.5), 0.0);
+  EXPECT_EQ(percentile_of({}, 1.0), 0.0);
 }
 
 }  // namespace

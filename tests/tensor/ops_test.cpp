@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <tuple>
 
 #include "util/rng.hpp"
@@ -174,6 +175,47 @@ TEST(Ops, HadamardAndAddSub) {
   EXPECT_EQ(ops::hadamard(a, b)(0, 1), 15.0f);
   EXPECT_EQ(ops::add(a, b)(0, 0), 6.0f);
   EXPECT_EQ(ops::sub(b, a)(0, 1), 2.0f);
+}
+
+TEST(Ops, ReluInplaceMatchesRelu) {
+  auto x = Tensor::from(1, 4, {-2.0f, 0.0f, 0.5f, -0.25f});
+  Tensor y = x;
+  ops::relu_inplace(y);
+  EXPECT_LT(ops::max_abs_diff(ops::relu(x), y), 1e-9f);
+}
+
+TEST(Ops, SoftmaxAllMaskedRowFallsBackToUniform) {
+  // Regression: an all-(-inf) row (every slot masked) used to produce
+  // exp(-inf - -inf) = NaN weights that silently poisoned vertex memory.
+  const float inf = std::numeric_limits<float>::infinity();
+  std::vector<float> v(4, -inf);
+  ops::softmax_span(v);
+  for (float f : v) EXPECT_FLOAT_EQ(f, 0.25f);
+}
+
+TEST(Ops, SoftmaxNonFiniteRowFallsBackToUniform) {
+  const float inf = std::numeric_limits<float>::infinity();
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  for (const float poison : {inf, nan}) {
+    std::vector<float> v = {0.5f, poison, -1.0f};
+    ops::softmax_span(v);
+    float total = 0.0f;
+    for (float f : v) {
+      EXPECT_TRUE(std::isfinite(f));
+      total += f;
+    }
+    EXPECT_NEAR(total, 1.0f, 1e-6f);
+  }
+}
+
+TEST(Ops, SoftmaxPartiallyMaskedRowStaysExact) {
+  // A single -inf among finite logits must still get exactly zero weight.
+  const float inf = std::numeric_limits<float>::infinity();
+  std::vector<float> v = {1.0f, -inf, 1.0f};
+  ops::softmax_span(v);
+  EXPECT_FLOAT_EQ(v[0], 0.5f);
+  EXPECT_FLOAT_EQ(v[1], 0.0f);
+  EXPECT_FLOAT_EQ(v[2], 0.5f);
 }
 
 }  // namespace
