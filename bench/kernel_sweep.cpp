@@ -1,19 +1,33 @@
-// Kernel sweep: fused (src/kernels) vs reference (tensor/ops) hot-path
-// kernels at serving-realistic micro-batch sizes, reported as ns/event and
-// GFLOP/s and written to BENCH_kernels.json — the repo's kernel-level perf
+// Kernel sweep: reference vs fused vs batch-level hot-path kernels at
+// serving-realistic micro-batch sizes, reported as ns/event and GFLOP/s
+// and written to BENCH_kernels.json — the repo's kernel-level perf
 // trajectory (each PR's CI run uploads the JSON as an artifact).
+//
+// Three variants per kernel and batch size m:
+//   reference  — the scalar training-path ops
+//   single-row — the fused kernel driven one event at a time (m calls),
+//                i.e. what a per-row inference pipeline pays per event
+//   fused      — ONE m-row batched call (the batch-level pipeline)
+// "fused" rows carry speedup_vs_reference and, for m > 1,
+// speedup_vs_single_row — the gain that batching alone buys (register-
+// blocked micro-kernels + row-panel threading; single-row calls can use
+// neither).
 //
 // Unlike bench/micro_kernels (google-benchmark, optional dependency), this
 // binary is dependency-free so the perf-smoke CI job can always build and
-// run it. --require_gru_speedup N makes it exit non-zero when the fused
-// GRU forward is not at least N× the reference at every batch <= 32 — the
-// regression gate on the fused layer's reason to exist.
+// run it. --require_gru_speedup N gates fused-vs-reference at batch <= 32;
+// --require_batched_gru_speedup N gates fused-vs-single-row at batch >= 16
+// — the regression gates on the fused layer's and the batched pipeline's
+// reasons to exist.
 #include <cinttypes>
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include <omp.h>
+
 #include "kernels/gemm.hpp"
+#include "kernels/gemm_dispatch.hpp"
 #include "nn/gru_cell.hpp"
 #include "tgnn/attention.hpp"
 #include "tgnn/config.hpp"
@@ -29,11 +43,12 @@ namespace {
 
 struct Row {
   std::string kernel;
-  std::string variant;     ///< "reference" | "fused"
-  std::size_t batch;       ///< events (rows / nodes) per call
+  std::string variant;  ///< "reference" | "single-row" | "fused"
+  std::size_t batch;    ///< events (rows / nodes) per measured unit
   double ns_per_event = 0.0;
   double gflops = 0.0;
-  double speedup = 0.0;    ///< fused rows: reference ns/event over fused
+  double speedup = 0.0;         ///< fused rows: reference over fused
+  double speedup_single = 0.0;  ///< fused rows: single-row over fused
 };
 
 /// Time `fn` (one call = `events` events, `flops` flops): warm up, then run
@@ -72,6 +87,7 @@ void write_json(const std::string& path, const core::ModelConfig& cfg,
     std::exit(1);
   }
   std::fprintf(f, "{\n  \"bench\": \"kernel_sweep\",\n");
+  std::fprintf(f, "  \"simd_arch\": \"%s\",\n", kernels::simd_arch_name());
   std::fprintf(f,
                "  \"config\": {\"mem_dim\": %zu, \"time_dim\": %zu, "
                "\"emb_dim\": %zu, \"edge_dim\": %zu, \"num_neighbors\": %zu},\n",
@@ -85,7 +101,10 @@ void write_json(const std::string& path, const core::ModelConfig& cfg,
                  "%zu, \"ns_per_event\": %.1f, \"gflops\": %.3f",
                  r.kernel.c_str(), r.variant.c_str(), r.batch, r.ns_per_event,
                  r.gflops);
-    if (r.speedup > 0.0) std::fprintf(f, ", \"speedup_vs_reference\": %.2f", r.speedup);
+    if (r.speedup > 0.0)
+      std::fprintf(f, ", \"speedup_vs_reference\": %.2f", r.speedup);
+    if (r.speedup_single > 0.0)
+      std::fprintf(f, ", \"speedup_vs_single_row\": %.2f", r.speedup_single);
     std::fprintf(f, "}%s\n", i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -101,59 +120,120 @@ int main(int argc, char** argv) {
   args.add_flag("require_gru_speedup", "0",
                 "exit non-zero unless fused GRU >= this x reference at "
                 "batch <= 32 (0 = report only)");
+  args.add_flag("require_batched_gru_speedup", "0",
+                "exit non-zero unless one batched fused GRU call >= this x "
+                "the same rows driven single-row, at batch >= 16 (0 = "
+                "report only)");
   if (!args.parse(argc, argv)) return 1;
   const std::string out_path = args.get("out");
   const double min_s = static_cast<double>(args.get_int("min_ms")) * 1e-3;
   const double require = args.get_double("require_gru_speedup");
+  const double require_batched =
+      args.get_double("require_batched_gru_speedup");
 
   core::ModelConfig cfg;  // paper dims: mem 100, time 100, emb 100, edge 172
   Rng rng(1);
   std::vector<Row> rows;
+  std::printf("kernel dispatch: %s\n\n", kernels::simd_arch_name());
 
-  // Pair up reference/fused runs of one kernel and derive the speedup.
-  auto pair = [&rows](Row ref, Row fused) {
+  // Append reference / (optional) single-row / fused rows of one kernel at
+  // one batch size and derive both speedups.
+  auto push = [&rows](Row ref, Row single, Row fused, bool has_single) {
     fused.speedup = ref.ns_per_event / fused.ns_per_event;
     rows.push_back(ref);
+    if (has_single) {
+      fused.speedup_single = single.ns_per_event / fused.ns_per_event;
+      rows.push_back(single);
+    }
     rows.push_back(fused);
   };
 
   // ---- GRU memory updater: the per-event serving bottleneck.
   nn::GruCell gru("g", cfg.gru_in_dim(), cfg.mem_dim, rng);
-  for (const std::size_t m : {1u, 8u, 32u, 128u}) {
+  for (const std::size_t m : {1u, 8u, 16u, 32u, 128u}) {
     const Tensor x = Tensor::randn(m, cfg.gru_in_dim(), rng, 0.5f);
     const Tensor h = Tensor::randn(m, cfg.mem_dim, rng, 0.5f);
-    kernels::GruScratch ws;
-    Tensor out;
-    pair(time_kernel("gru_forward", "reference", m, gru_flops(gru, m), min_s,
-                     [&] {
-                       Tensor s = gru.forward(x, h);
-                       (void)s;
-                     }),
-         time_kernel("gru_forward", "fused", m, gru_flops(gru, m), min_s,
-                     [&] { gru.forward_into(x, h, ws, out); }));
+    kernels::GruScratch ws, ws1;
+    Tensor out, out1;
+    Tensor xi(1, cfg.gru_in_dim()), hi(1, cfg.mem_dim);
+    const double flops = gru_flops(gru, m);
+    Row ref = time_kernel("gru_forward", "reference", m, flops, min_s, [&] {
+      Tensor s = gru.forward(x, h);
+      (void)s;
+    });
+    Row single;
+    if (m > 1)
+      single = time_kernel("gru_forward", "single-row", m, flops, min_s, [&] {
+        for (std::size_t r = 0; r < m; ++r) {
+          std::copy(x.row(r).begin(), x.row(r).end(), xi.row(0).begin());
+          std::copy(h.row(r).begin(), h.row(r).end(), hi.row(0).begin());
+          gru.forward_into(xi, hi, ws1, out1);
+        }
+      });
+    Row fused = time_kernel("gru_forward", "fused", m, flops, min_s,
+                            [&] { gru.forward_into(x, h, ws, out); });
+    push(ref, single, fused, m > 1);
   }
 
-  // ---- Vanilla attention, one node with a full neighbor table.
+  // ---- Vanilla attention: nodes with full neighbor tables, per node
+  // (single-row = the per-row GNN stage) and whole-micro-batch batched.
   {
     const std::size_t n = cfg.num_neighbors;
     core::VanillaAttention att(cfg, rng);
-    core::AttnNodeInput in;
-    in.q_in = Tensor::randn(1, cfg.q_in_dim(), rng, 0.5f);
-    in.kv_in = Tensor::randn(n, cfg.kv_in_dim(), rng, 0.5f);
-    const Tensor f = Tensor::randn(1, cfg.mem_dim, rng, 0.5f);
-    const double flops =
-        2.0 * static_cast<double>(att.wq.macs(1) + att.wk.macs(n) +
-                                  att.wv.macs(n) + att.wo.macs(1) +
-                                  2 * n * cfg.emb_dim);
-    core::VanillaAttention::InferScratch ws;
-    std::vector<float> out(cfg.emb_dim);
-    pair(time_kernel("vanilla_attention", "reference", 1, flops, min_s,
-                     [&] {
-                       Tensor hh = att.forward(f.row(0), in);
-                       (void)hh;
-                     }),
-         time_kernel("vanilla_attention", "fused", 1, flops, min_s,
-                     [&] { att.forward_into(f.row(0), in, ws, out); }));
+    for (const std::size_t m : {1u, 16u, 32u}) {
+      std::vector<std::size_t> seg(m + 1);
+      for (std::size_t i = 0; i <= m; ++i) seg[i] = i * n;
+      const Tensor f = Tensor::randn(m, cfg.mem_dim, rng, 0.5f);
+      const Tensor q_in = Tensor::randn(m, cfg.q_in_dim(), rng, 0.5f);
+      const Tensor kv_in = Tensor::randn(m * n, cfg.kv_in_dim(), rng, 0.5f);
+      const double flops =
+          2.0 * static_cast<double>(att.wq.macs(m) + att.wk.macs(m * n) +
+                                    att.wv.macs(m * n) + att.wo.macs(m) +
+                                    2 * m * n * cfg.emb_dim);
+      core::VanillaAttention::InferScratch ws;
+      core::VanillaAttention::BatchScratch bs;
+      core::AttnNodeInput in;
+      in.q_in.reserve(1, cfg.q_in_dim());
+      in.kv_in.reserve(n, cfg.kv_in_dim());
+      std::vector<float> out_row(cfg.emb_dim);
+      Tensor out(m, cfg.emb_dim);
+      Row ref =
+          time_kernel("vanilla_attention", "reference", m, flops, min_s, [&] {
+            for (std::size_t i = 0; i < m; ++i) {
+              in.q_in.resize(1, cfg.q_in_dim());
+              std::copy(q_in.row(i).begin(), q_in.row(i).end(),
+                        in.q_in.row(0).begin());
+              in.kv_in.resize(n, cfg.kv_in_dim());
+              for (std::size_t j = 0; j < n; ++j)
+                std::copy(kv_in.row(i * n + j).begin(),
+                          kv_in.row(i * n + j).end(), in.kv_in.row(j).begin());
+              Tensor hh = att.forward(f.row(i), in);
+              (void)hh;
+            }
+          });
+      Row single;
+      if (m > 1)
+        single = time_kernel(
+            "vanilla_attention", "single-row", m, flops, min_s, [&] {
+              for (std::size_t i = 0; i < m; ++i) {
+                in.q_in.resize(1, cfg.q_in_dim());
+                std::copy(q_in.row(i).begin(), q_in.row(i).end(),
+                          in.q_in.row(0).begin());
+                in.kv_in.resize(n, cfg.kv_in_dim());
+                for (std::size_t j = 0; j < n; ++j)
+                  std::copy(kv_in.row(i * n + j).begin(),
+                            kv_in.row(i * n + j).end(),
+                            in.kv_in.row(j).begin());
+                att.forward_into(f.row(i), in, ws, out_row);
+              }
+            });
+      Row fused = time_kernel("vanilla_attention", "fused", m, flops, min_s,
+                              [&] {
+                                att.forward_batch_into(f, q_in, kv_in, seg, bs,
+                                                       out);
+                              });
+      push(ref, single, fused, m > 1);
+    }
   }
 
   // ---- Simplified attention (score + aggregate), full budget.
@@ -164,26 +244,59 @@ int main(int argc, char** argv) {
       dts[j] = 10.0 * static_cast<double>(j + 1);
     const auto scores0 = sat.score(dts, 0);
     const std::size_t kept = scores0.keep.size();
-    const Tensor v_in = Tensor::randn(kept, cfg.kv_in_dim(), rng, 0.5f);
-    const Tensor f = Tensor::randn(1, cfg.mem_dim, rng, 0.5f);
-    const double flops = 2.0 * static_cast<double>(
-                                   sat.wv.macs(kept) + sat.wo.macs(1) +
-                                   cfg.num_neighbors * cfg.num_neighbors +
-                                   kept * cfg.emb_dim);
-    core::SimplifiedAttention::InferScratch ws;
-    core::SimplifiedAttention::ScoreScratch sws;
-    core::SimplifiedAttention::Scores scores;
-    std::vector<float> out(cfg.emb_dim);
-    pair(time_kernel("simplified_attention", "reference", 1, flops, min_s,
-                     [&] {
-                       const auto s = sat.score(dts, 0);
-                       Tensor hh = sat.aggregate(f.row(0), s, v_in);
-                       (void)hh;
-                     }),
-         time_kernel("simplified_attention", "fused", 1, flops, min_s, [&] {
-           sat.score_into(dts, 0, sws, scores);
-           sat.aggregate_into(f.row(0), scores, v_in, ws, out);
-         }));
+    for (const std::size_t m : {1u, 16u, 32u}) {
+      std::vector<std::size_t> seg(m + 1);
+      for (std::size_t i = 0; i <= m; ++i) seg[i] = i * kept;
+      const Tensor v_in = Tensor::randn(m * kept, cfg.kv_in_dim(), rng, 0.5f);
+      const Tensor f = Tensor::randn(m, cfg.mem_dim, rng, 0.5f);
+      const double flops =
+          2.0 * static_cast<double>(
+                    sat.wv.macs(m * kept) + sat.wo.macs(m) +
+                    m * cfg.num_neighbors * cfg.num_neighbors +
+                    m * kept * cfg.emb_dim);
+      core::SimplifiedAttention::InferScratch ws;
+      core::SimplifiedAttention::ScoreScratch sws;
+      core::SimplifiedAttention::Scores scores;
+      core::SimplifiedAttention::BatchScratch bs;
+      std::vector<float> logits(m * kept);
+      Tensor v_node(kept, cfg.kv_in_dim());
+      std::vector<float> out_row(cfg.emb_dim);
+      Tensor out(m, cfg.emb_dim);
+      Row ref = time_kernel(
+          "simplified_attention", "reference", m, flops, min_s, [&] {
+            for (std::size_t i = 0; i < m; ++i) {
+              const auto s = sat.score(dts, 0);
+              for (std::size_t r = 0; r < kept; ++r)
+                std::copy(v_in.row(i * kept + r).begin(),
+                          v_in.row(i * kept + r).end(), v_node.row(r).begin());
+              Tensor hh = sat.aggregate(f.row(i), s, v_node);
+              (void)hh;
+            }
+          });
+      Row single;
+      if (m > 1)
+        single = time_kernel(
+            "simplified_attention", "single-row", m, flops, min_s, [&] {
+              for (std::size_t i = 0; i < m; ++i) {
+                sat.score_into(dts, 0, sws, scores);
+                for (std::size_t r = 0; r < kept; ++r)
+                  std::copy(v_in.row(i * kept + r).begin(),
+                            v_in.row(i * kept + r).end(),
+                            v_node.row(r).begin());
+                sat.aggregate_into(f.row(i), scores, v_node, ws, out_row);
+              }
+            });
+      Row fused = time_kernel(
+          "simplified_attention", "fused", m, flops, min_s, [&] {
+            for (std::size_t i = 0; i < m; ++i) {
+              sat.score_into(dts, 0, sws, scores);
+              for (std::size_t idx = 0; idx < kept; ++idx)
+                logits[i * kept + idx] = scores.logits[scores.keep[idx]];
+            }
+            sat.aggregate_batch_into(f, logits, v_in, seg, bs, out);
+          });
+      push(ref, single, fused, m > 1);
+    }
   }
 
   // ---- Link-prediction decoder.
@@ -193,14 +306,23 @@ int main(int argc, char** argv) {
       const Tensor x = Tensor::randn(m, 3 * cfg.emb_dim, rng, 0.5f);
       const double flops =
           2.0 * static_cast<double>(dec.l1.macs(m) + dec.l2.macs(m));
-      core::Decoder::InferScratch ws;
-      pair(time_kernel("decoder", "reference", m, flops, min_s,
-                       [&] {
-                         Tensor y = dec.forward(x);
-                         (void)y;
-                       }),
-           time_kernel("decoder", "fused", m, flops, min_s,
-                       [&] { dec.forward_into(x, ws); }));
+      core::Decoder::InferScratch ws, ws1;
+      Tensor xi(1, 3 * cfg.emb_dim);
+      Row ref = time_kernel("decoder", "reference", m, flops, min_s, [&] {
+        Tensor y = dec.forward(x);
+        (void)y;
+      });
+      Row single;
+      if (m > 1)
+        single = time_kernel("decoder", "single-row", m, flops, min_s, [&] {
+          for (std::size_t r = 0; r < m; ++r) {
+            std::copy(x.row(r).begin(), x.row(r).end(), xi.row(0).begin());
+            dec.forward_into(xi, ws1);
+          }
+        });
+      Row fused = time_kernel("decoder", "fused", m, flops, min_s,
+                              [&] { dec.forward_into(x, ws); });
+      push(ref, single, fused, m > 1);
     }
   }
 
@@ -211,41 +333,78 @@ int main(int argc, char** argv) {
     const Tensor b = Tensor::randn(n, k, rng, 0.5f);
     Tensor c(m, n);
     const double flops = 2.0 * static_cast<double>(m * k * n);
-    pair(time_kernel("gemm_nt_32x472x100", "reference", m, flops, min_s,
-                     [&] {
-                       Tensor y = ops::matmul_nt(a, b);
-                       (void)y;
-                     }),
-         time_kernel("gemm_nt_32x472x100", "fused", m, flops, min_s, [&] {
-           kernels::gemm_nt(a.data(), b.data(), c.data(), m, k, n);
-         }));
+    Row ref = time_kernel("gemm_nt_32x472x100", "reference", m, flops, min_s,
+                          [&] {
+                            Tensor y = ops::matmul_nt(a, b);
+                            (void)y;
+                          });
+    Row single =
+        time_kernel("gemm_nt_32x472x100", "single-row", m, flops, min_s, [&] {
+          for (std::size_t r = 0; r < m; ++r)
+            kernels::gemm_nt(a.row(r).data(), b.data(), c.row(r).data(), 1, k,
+                             n);
+        });
+    Row fused = time_kernel("gemm_nt_32x472x100", "fused", m, flops, min_s,
+                            [&] {
+                              kernels::gemm_nt(a.data(), b.data(), c.data(), m,
+                                               k, n);
+                            });
+    push(ref, single, fused, true);
   }
 
-  std::printf("%-26s %-10s %7s %14s %10s %9s\n", "kernel", "variant", "batch",
-              "ns/event", "GFLOP/s", "speedup");
+  std::printf("%-26s %-11s %7s %14s %10s %9s %9s\n", "kernel", "variant",
+              "batch", "ns/event", "GFLOP/s", "vs-ref", "vs-1row");
   for (const Row& r : rows)
-    std::printf("%-26s %-10s %7zu %14.1f %10.3f %9s\n", r.kernel.c_str(),
-                r.variant.c_str(), r.batch, r.ns_per_event, r.gflops,
-                r.speedup > 0.0 ? (std::to_string(r.speedup).substr(0, 4) + "x").c_str()
-                                : "-");
+    std::printf(
+        "%-26s %-11s %7zu %14.1f %10.3f %9s %9s\n", r.kernel.c_str(),
+        r.variant.c_str(), r.batch, r.ns_per_event, r.gflops,
+        r.speedup > 0.0
+            ? (std::to_string(r.speedup).substr(0, 4) + "x").c_str()
+            : "-",
+        r.speedup_single > 0.0
+            ? (std::to_string(r.speedup_single).substr(0, 4) + "x").c_str()
+            : "-");
 
   write_json(out_path, cfg, rows);
   std::printf("\nwrote %s\n", out_path.c_str());
 
+  bool ok = true;
   if (require > 0.0) {
-    bool ok = true;
     for (const Row& r : rows)
-      if (r.kernel == "gru_forward" && r.variant == "fused" &&
-          r.batch <= 32 && r.speedup < require) {
+      if (r.kernel == "gru_forward" && r.variant == "fused" && r.batch <= 32 &&
+          r.speedup < require) {
         std::fprintf(stderr,
                      "FAIL: fused gru_forward batch=%zu speedup %.2fx < "
-                     "required %.2fx\n",
+                     "required %.2fx vs reference\n",
                      r.batch, r.speedup, require);
         ok = false;
       }
-    if (!ok) return 1;
-    std::printf("fused GRU speedup >= %.2fx at every batch <= 32: OK\n",
-                require);
+    if (ok)
+      std::printf("fused GRU speedup >= %.2fx at every batch <= 32: OK\n",
+                  require);
   }
-  return 0;
+  if (require_batched > 0.0 && omp_get_max_threads() < 2) {
+    // The batched-vs-single-row target combines register blocking with the
+    // row-panel OpenMP split; on one core the second lever doesn't exist
+    // (micro-kernels alone measure ~1.4-1.9x), so the gate would fail by
+    // construction. Report-only there; CI runners are multi-core.
+    std::printf(
+        "batched GRU gate skipped: single hardware thread (report-only)\n");
+  } else if (require_batched > 0.0) {
+    for (const Row& r : rows)
+      if (r.kernel == "gru_forward" && r.variant == "fused" && r.batch >= 16 &&
+          r.speedup_single < require_batched) {
+        std::fprintf(stderr,
+                     "FAIL: batched gru_forward batch=%zu speedup %.2fx < "
+                     "required %.2fx vs single-row\n",
+                     r.batch, r.speedup_single, require_batched);
+        ok = false;
+      }
+    if (ok)
+      std::printf(
+          "batched GRU speedup >= %.2fx vs single-row at every batch >= 16: "
+          "OK\n",
+          require_batched);
+  }
+  return ok ? 0 : 1;
 }

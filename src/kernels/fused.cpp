@@ -4,7 +4,7 @@
 #include <stdexcept>
 #include <string>
 
-#include "kernels/gemm_core.hpp"
+#include "kernels/gemm_dispatch.hpp"
 
 namespace tgnn::kernels {
 
@@ -27,8 +27,9 @@ void affine_act_into(const Tensor& x, const Tensor& w, const Tensor& b,
                      Tensor& y, const char* who) {
   check_affine(x, w, b, who);
   y.resize(x.rows(), w.rows());
-  detail::gemm_nt_act<A, false>(x.data(), w.data(), b.data(), y.data(),
-                                x.rows(), x.cols(), w.rows());
+  detail::active_kernels().gemm(A, /*accumulate=*/false, x.data(), w.data(),
+                                b.data(), y.data(), x.rows(), x.cols(),
+                                w.rows());
 }
 
 }  // namespace
@@ -61,12 +62,11 @@ void affine2_sigmoid_into(const Tensor& x, const Tensor& wi, const Tensor& bi,
   check(x.rows() == h.rows() && wi.rows() == wh.rows(),
         "affine2_sigmoid_into: row mismatch");
   y.resize(x.rows(), wi.rows());
-  detail::gemm_nt_act<Act::kNone, false>(x.data(), wi.data(), bi.data(),
-                                         y.data(), x.rows(), x.cols(),
-                                         wi.rows());
-  detail::gemm_nt_act<Act::kSigmoid, true>(h.data(), wh.data(), bh.data(),
-                                           y.data(), h.rows(), h.cols(),
-                                           wh.rows());
+  const detail::KernelTable& kt = detail::active_kernels();
+  kt.gemm(Act::kNone, /*accumulate=*/false, x.data(), wi.data(), bi.data(),
+          y.data(), x.rows(), x.cols(), wi.rows());
+  kt.gemm(Act::kSigmoid, /*accumulate=*/true, h.data(), wh.data(), bh.data(),
+          y.data(), h.rows(), h.cols(), wh.rows());
 }
 
 void affine_row_into(std::span<const float> x, const Tensor& w,
@@ -74,8 +74,9 @@ void affine_row_into(std::span<const float> x, const Tensor& w,
   check(x.size() == w.cols() && out.size() == w.rows() &&
             b.size() == w.rows(),
         "affine_row_into: shape mismatch");
-  detail::gemm_nt_act<Act::kNone, false>(x.data(), w.data(), b.data(),
-                                         out.data(), 1, x.size(), w.rows());
+  detail::active_kernels().gemm(Act::kNone, /*accumulate=*/false, x.data(),
+                                w.data(), b.data(), out.data(), 1, x.size(),
+                                w.rows());
 }
 
 void gru_forward_into(const Tensor& x, const Tensor& h, const GruWeights& w,
@@ -97,6 +98,9 @@ void gru_forward_into(const Tensor& x, const Tensor& h, const GruWeights& w,
   const float* pq = ws.q.data();
   const float* ph = h.data();
   const std::size_t total = m * hid;
+  // tanhf dominates this pass at serving batch sizes; split rows across
+  // the team like the GEMMs do (elementwise, so bit-invariant to threads).
+#pragma omp parallel for schedule(static) if (m >= 16)
   for (std::size_t i = 0; i < total; ++i) {
     const float n = std::tanh(po[i] + pr[i] * pq[i]);
     po[i] = (1.0f - pz[i]) * n + pz[i] * ph[i];

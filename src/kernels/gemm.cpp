@@ -1,19 +1,17 @@
 #include "kernels/gemm.hpp"
 
-#include "kernels/gemm_core.hpp"
+#include "kernels/gemm_dispatch.hpp"
 
 namespace tgnn::kernels {
 
 float dot(const float* a, const float* b, std::size_t k) {
-  return detail::dot_simd(a, b, k);
+  return detail::active_kernels().dot(a, b, k);
 }
 
 void gemm_nt(const float* a, const float* b, float* c, std::size_t m,
              std::size_t k, std::size_t n, bool accumulate) {
-  if (accumulate)
-    detail::gemm_nt_act<detail::Act::kNone, true>(a, b, nullptr, c, m, k, n);
-  else
-    detail::gemm_nt_act<detail::Act::kNone, false>(a, b, nullptr, c, m, k, n);
+  detail::active_kernels().gemm(detail::Act::kNone, accumulate, a, b, nullptr,
+                                c, m, k, n);
 }
 
 void weighted_rowsum(const float* w, const float* rows, float* out,

@@ -1,0 +1,31 @@
+// AVX2+FMA build of the explicit-lane GEMM micro-kernels. CMake compiles
+// this TU with -mavx2 -mfma when the compiler supports them; otherwise the
+// guards below degrade it to a stub table the dispatcher skips.
+#include "kernels/gemm_dispatch.hpp"
+
+#if defined(__GNUC__) && defined(__AVX2__) && defined(__FMA__)
+
+#include <cstddef>
+#include <cstring>
+
+#define TGNN_LANES_NS lanes_avx2
+#include "kernels/gemm_lanes.inc"
+#undef TGNN_LANES_NS
+
+namespace tgnn::kernels::detail {
+
+KernelTable avx2_kernel_table() {
+  return {&lanes_avx2::gemm_entry, &lanes_avx2::dot_entry, "avx2+fma"};
+}
+
+}  // namespace tgnn::kernels::detail
+
+#else
+
+namespace tgnn::kernels::detail {
+
+KernelTable avx2_kernel_table() { return {}; }
+
+}  // namespace tgnn::kernels::detail
+
+#endif

@@ -1,0 +1,35 @@
+// AVX-512 build of the explicit-lane GEMM micro-kernels. The lane width
+// stays 8 (256-bit vectors under AVX512VL) so the arithmetic is identical
+// to the AVX2 variant element-for-element; the win is the 32-register file
+// keeping the full 4x4 accumulator block resident.
+#include "kernels/gemm_dispatch.hpp"
+
+#if defined(__GNUC__) && defined(__AVX512F__) && defined(__AVX512VL__) && \
+    defined(__FMA__)
+
+#include <cstddef>
+#include <cstring>
+
+#define TGNN_LANES_NS lanes_avx512
+#define TGNN_LANES_WIDTH 8
+#include "kernels/gemm_lanes.inc"
+#undef TGNN_LANES_NS
+#undef TGNN_LANES_WIDTH
+
+namespace tgnn::kernels::detail {
+
+KernelTable avx512_kernel_table() {
+  return {&lanes_avx512::gemm_entry, &lanes_avx512::dot_entry, "avx512"};
+}
+
+}  // namespace tgnn::kernels::detail
+
+#else
+
+namespace tgnn::kernels::detail {
+
+KernelTable avx512_kernel_table() { return {}; }
+
+}  // namespace tgnn::kernels::detail
+
+#endif

@@ -1,12 +1,21 @@
-// INTERNAL: the one register-blocked, omp-simd GEMM core both kernel TUs
-// instantiate. Not part of the kernels/ public API — include gemm.hpp or
-// fused.hpp instead.
+// INTERNAL: the portable (baseline-ISA) register-blocked GEMM core, plus
+// the activation/threshold vocabulary shared with the arch-dispatched lane
+// kernels (gemm_dispatch.hpp). Not part of the kernels/ public API —
+// include gemm.hpp or fused.hpp instead.
 //
-// Keeping the blocked loop (and its tuning constants) in exactly one place
-// is what makes the determinism contract auditable: every caller — plain
-// gemm_nt, every fused affine+activation epilogue — accumulates each
-// output element in the same shape-dependent order, never a thread-count-
-// dependent one.
+// This TU-neutral core is the *generic* entry of the kernel dispatch
+// table: it is what runs when the host CPU (or compiler) offers nothing
+// better. The AVX2/AVX-512 variants in gemm_lanes.inc replace it wholesale
+// at startup; within one process exactly one variant ever runs, so every
+// caller — per-row inference, batched inference, every backend — sees one
+// consistent set of per-element accumulation orders.
+//
+// Determinism contract (what makes batched == per-row provable): per
+// output element the accumulation sequence depends only on the inner
+// dimension k and the element's column-block position — never on how many
+// rows m the call carries and never on the OpenMP thread count. The m loop
+// only selects which elements are computed, so splitting one m-row call
+// into m single-row calls is bit-identical.
 #pragma once
 
 #include <cmath>
@@ -14,12 +23,19 @@
 
 namespace tgnn::kernels::detail {
 
-// Parallelize only when the output is large enough to amortize the
-// fork/join (matches the reference ops' policy); per-node attention shapes
-// stay serial.
-constexpr std::size_t kParallelThreshold = 64 * 64;
+// Parallelize when the fork/join is amortized: either the output is large
+// (the original reference-ops policy) or the call carries enough MACs —
+// the batched-inference shapes, where splitting the row panels across the
+// OpenMP team is the "cpu-mt" scaling mechanism. Per-node attention shapes
+// (m ~ 10 neighbors) stay under both bounds and run serial.
+constexpr std::size_t kParallelThreshold = 64 * 64;   // m * n
+constexpr std::size_t kParallelMacs = 1u << 17;       // m * k * n
 // Register block: one pass over the A row feeds this many B rows at once.
 constexpr std::size_t kColBlock = 4;
+
+inline bool parallel_worthwhile(std::size_t m, std::size_t k, std::size_t n) {
+  return m * n >= kParallelThreshold || m * k * n >= kParallelMacs;
+}
 
 enum class Act { kNone, kSigmoid, kTanh, kRelu };
 
@@ -42,7 +58,7 @@ inline float dot_simd(const float* a, const float* b, std::size_t k) {
 template <Act A, bool Accumulate>
 void gemm_nt_act(const float* a, const float* b, const float* bias, float* c,
                  std::size_t m, std::size_t k, std::size_t n) {
-#pragma omp parallel for schedule(static) if (m * n >= kParallelThreshold)
+#pragma omp parallel for schedule(static) if (parallel_worthwhile(m, k, n))
   for (std::size_t i = 0; i < m; ++i) {
     const float* arow = a + i * k;
     float* crow = c + i * n;

@@ -1,0 +1,75 @@
+#include "kernels/gemm_dispatch.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace tgnn::kernels::detail {
+
+namespace {
+
+void generic_gemm(Act act, bool accumulate, const float* a, const float* b,
+                  const float* bias, float* c, std::size_t m, std::size_t k,
+                  std::size_t n) {
+  switch (act) {
+    case Act::kNone:
+      accumulate ? gemm_nt_act<Act::kNone, true>(a, b, bias, c, m, k, n)
+                 : gemm_nt_act<Act::kNone, false>(a, b, bias, c, m, k, n);
+      break;
+    case Act::kSigmoid:
+      accumulate ? gemm_nt_act<Act::kSigmoid, true>(a, b, bias, c, m, k, n)
+                 : gemm_nt_act<Act::kSigmoid, false>(a, b, bias, c, m, k, n);
+      break;
+    case Act::kTanh:
+      accumulate ? gemm_nt_act<Act::kTanh, true>(a, b, bias, c, m, k, n)
+                 : gemm_nt_act<Act::kTanh, false>(a, b, bias, c, m, k, n);
+      break;
+    case Act::kRelu:
+      accumulate ? gemm_nt_act<Act::kRelu, true>(a, b, bias, c, m, k, n)
+                 : gemm_nt_act<Act::kRelu, false>(a, b, bias, c, m, k, n);
+      break;
+  }
+}
+
+float generic_dot(const float* a, const float* b, std::size_t k) {
+  return dot_simd(a, b, k);
+}
+
+KernelTable generic_table() { return {&generic_gemm, &generic_dot, "generic"}; }
+
+KernelTable resolve() {
+  // TGNN_KERNEL_ARCH=generic|avx2|avx512 caps the variant (testing/debug);
+  // a capped variant the CPU or build can't run falls back to the next one.
+  const char* force = std::getenv("TGNN_KERNEL_ARCH");
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  const bool want_512 = force == nullptr || std::strcmp(force, "avx512") == 0;
+  const bool want_avx2 = force == nullptr || std::strcmp(force, "avx2") == 0;
+  if (want_512 && __builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512vl") && __builtin_cpu_supports("fma")) {
+    const KernelTable t = avx512_kernel_table();
+    if (t.gemm != nullptr) return t;
+  }
+  if ((want_512 || want_avx2) && __builtin_cpu_supports("avx2") &&
+      __builtin_cpu_supports("fma")) {
+    const KernelTable t = avx2_kernel_table();
+    if (t.gemm != nullptr) return t;
+  }
+#else
+  (void)force;
+#endif
+  return generic_table();
+}
+
+}  // namespace
+
+const KernelTable& active_kernels() {
+  static const KernelTable table = resolve();
+  return table;
+}
+
+}  // namespace tgnn::kernels::detail
+
+namespace tgnn::kernels {
+
+const char* simd_arch_name() { return detail::active_kernels().name; }
+
+}  // namespace tgnn::kernels

@@ -1,0 +1,61 @@
+// INTERNAL: runtime ISA dispatch for the GEMM micro-kernels.
+//
+// The repo compiles for baseline x86-64 (portability), but the serving hot
+// path should run as fast as the *host* allows (ROADMAP north star). The
+// kernels library is therefore built three times:
+//
+//   generic  — the omp-simd core in gemm_core.hpp, baseline ISA
+//   avx2     — gemm_lanes.inc compiled with -mavx2 -mfma
+//   avx512   — gemm_lanes.inc compiled with -mavx512f/-mavx512vl -mfma
+//
+// and `active_kernels()` picks the best table the CPU supports, exactly
+// once per process. Because the choice is process-global, every caller —
+// per-row and batched inference, every backend, every thread — runs the
+// same variant, so the bit-identity contracts between execution modes are
+// unaffected by dispatch. Bits may differ *across machines* of different
+// ISA level (FMA contracts mul+add into one rounding), which the repo has
+// never promised — the same was already true of compiler/-march choice.
+//
+// The lane kernels themselves keep a stronger, source-level guarantee:
+// every micro-kernel (1x4 row, 4x4 block, column tail) accumulates each
+// output element in the same explicitly-written 8-lane + pairwise-tree
+// order, so per element the result is invariant to the row-blocking shape
+// and row count m — the property the batched pipeline's equivalence tests
+// pin (see gemm_lanes.inc).
+#pragma once
+
+#include <cstddef>
+
+#include "kernels/gemm_core.hpp"
+
+namespace tgnn::kernels::detail {
+
+using GemmFn = void (*)(Act act, bool accumulate, const float* a,
+                        const float* b, const float* bias, float* c,
+                        std::size_t m, std::size_t k, std::size_t n);
+using DotFn = float (*)(const float* a, const float* b, std::size_t k);
+
+struct KernelTable {
+  GemmFn gemm = nullptr;
+  DotFn dot = nullptr;
+  const char* name = "none";
+};
+
+/// Arch tables; `gemm == nullptr` when the TU was built without the ISA
+/// (unsupported compiler flag) — the resolver skips such entries.
+KernelTable avx2_kernel_table();
+KernelTable avx512_kernel_table();
+
+/// The table every public kernel entry routes through; resolved on first
+/// use (thread-safe magic static) from CPU feature detection.
+const KernelTable& active_kernels();
+
+}  // namespace tgnn::kernels::detail
+
+namespace tgnn::kernels {
+
+/// Name of the micro-kernel variant in use ("generic" | "avx2+fma" |
+/// "avx512"), for bench banners and diagnostics.
+const char* simd_arch_name();
+
+}  // namespace tgnn::kernels

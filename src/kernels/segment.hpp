@@ -1,0 +1,41 @@
+// Segment kernels for the ragged (variable-degree) attention stage of the
+// batched inference pipeline.
+//
+// A micro-batch packs every vertex's neighbor rows into one contiguous
+// [total, dim] matrix; `seg` is the CSR-style offset array (n_segs + 1
+// entries, seg[0] == 0, seg[s] <= seg[s+1] == row range of segment s).
+// Each function below is, by construction, the per-segment loop of the
+// per-row path run over all segments — same underlying kernels in the same
+// per-segment order — so batched and per-row attention stay bit-identical.
+//
+// Empty segments (zero-degree vertices) are well-defined everywhere:
+// logits produce no rows, softmax skips them, and weighted_rowsum zero-
+// fills the output row — matching the per-row path's neighborless case.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace tgnn::kernels {
+
+/// Scaled attention logits per segment: for segment s and row r in
+/// [seg[s], seg[s+1]), out[r] = dot(q_row_s, k_rows[r]) / sqrt(len_s).
+/// q: [n_segs, emb] row-major, k_rows: [total, emb].
+void segment_attention_logits(const float* q, const float* k_rows,
+                              std::span<const std::size_t> seg,
+                              std::size_t emb, float* out);
+
+/// In-place numerically-stable softmax over each segment of `v`
+/// (ops::softmax_span per segment, including its uniform fallback for
+/// all-(-inf)/non-finite rows).
+void segment_softmax(float* v, std::span<const std::size_t> seg);
+
+/// Per-segment weighted row sum: out_row_s = sum_r w[r] * rows[r,:] over
+/// the segment's rows; empty segments zero-fill their output row. Output
+/// rows live at out + s * out_stride (out_stride >= n lets the result land
+/// directly in the first n columns of a wider staging matrix).
+void segment_weighted_rowsum(const float* w, const float* rows,
+                             std::span<const std::size_t> seg, std::size_t n,
+                             float* out, std::size_t out_stride);
+
+}  // namespace tgnn::kernels

@@ -6,6 +6,7 @@
 
 #include "kernels/fused.hpp"
 #include "kernels/gemm.hpp"
+#include "kernels/segment.hpp"
 #include "util/rng.hpp"
 
 namespace tgnn::core {
@@ -85,6 +86,47 @@ void VanillaAttention::forward_into(std::span<const float> f_self,
   }
   std::copy(f_self.begin(), f_self.end(), fo + emb);
   kernels::affine_row_into(ws.fo_in.row(0), wo.w.value, wo.b.value, out);
+}
+
+void VanillaAttention::forward_batch_into(const Tensor& f_self,
+                                          const Tensor& q_in,
+                                          const Tensor& kv_in,
+                                          std::span<const std::size_t> seg,
+                                          BatchScratch& ws, Tensor& out) const {
+  const std::size_t n_nodes = q_in.rows();
+  const std::size_t total = kv_in.rows();
+  const std::size_t emb = wq.out_dim();
+  const std::size_t mem = f_self.cols();
+  if (seg.size() != n_nodes + 1 || f_self.rows() != n_nodes ||
+      (n_nodes > 0 && seg[n_nodes] != total))
+    throw std::invalid_argument("forward_batch_into: segment mismatch");
+
+  // Whole-batch projections. q rows of neighborless nodes are computed but
+  // never read (their segment is empty) — the GEMM is cheaper batched than
+  // branched.
+  wq.forward_into(q_in, ws.q);
+  if (total > 0) {
+    wk.forward_into(kv_in, ws.k);
+    wv.forward_into(kv_in, ws.v);
+  }
+
+  // Ragged attention: per-segment scaled logits -> softmax -> weighted
+  // rowsum straight into the FTM staging matrix's first emb columns (empty
+  // segments zero-fill, the neighborless-node case).
+  ws.alpha.resize(total);
+  kernels::segment_attention_logits(ws.q.data(), ws.k.data(), seg, emb,
+                                    ws.alpha.data());
+  kernels::segment_softmax(ws.alpha.data(), seg);
+  ws.fo_in.resize(n_nodes, emb + mem);
+  kernels::segment_weighted_rowsum(ws.alpha.data(), ws.v.data(), seg, emb,
+                                   ws.fo_in.data(), emb + mem);
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    const auto fs = f_self.row(i);
+    std::copy(fs.begin(), fs.end(), ws.fo_in.row(i).begin() + emb);
+  }
+
+  // FTM over the whole batch, written straight into the embeddings matrix.
+  kernels::affine_into(ws.fo_in, wo.w.value, wo.b.value, out);
 }
 
 std::vector<float> VanillaAttention::logits(std::span<const float> /*f_self*/,

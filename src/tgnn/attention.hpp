@@ -71,6 +71,27 @@ class VanillaAttention {
   void forward_into(std::span<const float> f_self, const AttnNodeInput& in,
                     InferScratch& ws, std::span<float> out) const;
 
+  /// Reusable buffers for forward_batch_into (one per engine workspace).
+  struct BatchScratch {
+    Tensor q;      ///< [n_nodes, emb]
+    Tensor k;      ///< [total, emb]
+    Tensor v;      ///< [total, emb]
+    Tensor fo_in;  ///< [n_nodes, emb + mem]
+    std::vector<float> alpha;  ///< [total] packed logits -> alpha
+  };
+
+  /// Batched inference forward over a whole micro-batch: one projection
+  /// GEMM per weight matrix instead of one per node. f_self: [n_nodes,
+  /// mem_dim] rows of f'_i; q_in: [n_nodes, q_in_dim]; kv_in: every node's
+  /// neighbor rows packed into [total, kv_in_dim] with CSR offsets `seg`
+  /// (n_nodes + 1 entries). Row i of `out` (resized to [n_nodes, emb])
+  /// receives h_i. Bit-identical to n_nodes forward_into calls — pinned by
+  /// tests/kernels and the engine-level batched-vs-per-row tests.
+  void forward_batch_into(const Tensor& f_self, const Tensor& q_in,
+                          const Tensor& kv_in,
+                          std::span<const std::size_t> seg, BatchScratch& ws,
+                          Tensor& out) const;
+
   /// Attention logits only (for distillation teachers): [n] scaled scores.
   [[nodiscard]] std::vector<float> logits(std::span<const float> f_self,
                                           const AttnNodeInput& in) const;

@@ -27,14 +27,6 @@ RuntimeState::RuntimeState(graph::NodeId num_nodes, const ModelConfig& cfg,
     finder = std::make_unique<graph::NeighborFinder>(num_nodes);
 }
 
-std::vector<graph::NeighborHit> RuntimeState::neighbors(graph::NodeId v,
-                                                        double t,
-                                                        std::size_t k) const {
-  std::vector<graph::NeighborHit> out;
-  neighbors_into(v, t, k, out);
-  return out;
-}
-
 void RuntimeState::neighbors_into(graph::NodeId v, double t, std::size_t k,
                                   std::vector<graph::NeighborHit>& out) const {
   if (finder) {
@@ -58,6 +50,24 @@ void BatchWorkspace::reserve(std::size_t max_nodes, const ModelConfig& cfg) {
   s_new.reserve(max_nodes, cfg.mem_dim);
   gru.reserve(max_nodes, cfg.mem_dim);
   raw.reserve(cfg.raw_mail_dim());
+
+  // Batched-GNN staging: the packed neighbor matrices are bounded by
+  // max_nodes * num_neighbors rows (the FIFO table width caps per-vertex
+  // degree); pruning only shrinks the simplified path below that.
+  const std::size_t max_rows = max_nodes * cfg.num_neighbors;
+  gb.seg.reserve(max_nodes + 1);
+  gb.fp.reserve(max_nodes, cfg.mem_dim);
+  gb.q_in.reserve(max_nodes, cfg.q_in_dim());
+  gb.kv_in.reserve(max_rows, cfg.kv_in_dim());
+  gb.logits.reserve(max_rows);
+  if (gb.scores.size() < max_nodes) gb.scores.resize(max_nodes);
+  gb.attn.q.reserve(max_nodes, cfg.emb_dim);
+  gb.attn.k.reserve(max_rows, cfg.emb_dim);
+  gb.attn.v.reserve(max_rows, cfg.emb_dim);
+  gb.attn.fo_in.reserve(max_nodes, cfg.emb_dim + cfg.mem_dim);
+  gb.attn.alpha.reserve(max_rows);
+  gb.sat.v.reserve(max_rows, cfg.emb_dim);
+  gb.sat.fo_in.reserve(max_nodes, cfg.emb_dim + cfg.mem_dim);
 }
 
 void RuntimeState::insert_edge(const graph::TemporalEdge& e) {
@@ -142,6 +152,10 @@ InferenceEngine::BatchResult InferenceEngine::process_batch(
   if (!mail_rows.empty()) {
     ws_.x.resize(mail_rows.size(), cfg.gru_in_dim());
     ws_.h.resize(mail_rows.size(), cfg.mem_dim);
+    // Gather [raw_mail || Phi(dt)] and the current memory rows into the
+    // contiguous GRU operands; all reads are of the batch's own vertices,
+    // so rows are independent and the gather parallelizes freely.
+#pragma omp parallel for schedule(static) if (parallel_gnn_)
     for (std::size_t k = 0; k < mail_rows.size(); ++k) {
       const std::size_t i = mail_rows[k];
       const graph::NodeId v = res.nodes[i];
@@ -163,99 +177,17 @@ InferenceEngine::BatchResult InferenceEngine::process_batch(
     mem_ptr[i] = state_->memory.get(res.nodes[i]).data();
   for (std::size_t k = 0; k < mail_rows.size(); ++k)
     mem_ptr[mail_rows[k]] = s_new.row(k).data();
-  // Memory of a batch vertex comes from the (possibly GRU-updated) local
-  // row; memory of anyone else comes from the shared table. In concurrent-
-  // lane mode the latter is the one read that can race with another lane's
-  // write-back, so it goes through the vertex's shard lock into `scratch`.
-  auto memory_of = [&](graph::NodeId v,
-                       std::vector<float>& scratch) -> std::span<const float> {
-    auto it = res.index.find(v);
-    if (it != res.index.end())
-      return {mem_ptr[it->second], cfg.mem_dim};
-    if (shard_locks_ != nullptr) {
-      scratch.resize(cfg.mem_dim);
-      std::shared_lock lock(shard_locks_->mutex_of(v));
-      const auto mem = state_->memory.get(v);
-      std::copy(mem.begin(), mem.end(), scratch.begin());
-      return {scratch.data(), scratch.size()};
-    }
-    return state_->memory.get(v);
-  };
-  auto node_feat_of = [&](graph::NodeId v) -> std::span<const float> {
-    if (cfg.node_dim == 0) return {};
-    return ds_.node_features.row(v);
-  };
   if (times) times->memory += sw.seconds();
 
-  // ---- GNN: dynamic embeddings via attention over sampled neighbors (Eq. 2).
+  // ---- GNN: dynamic embeddings via attention over sampled neighbors
+  // (Eq. 2), through the batched gather -> batched-GEMM -> scatter pipeline
+  // (default) or the legacy per-row path — bit-identical by construction.
   sw.reset();
   res.embeddings = Tensor(n_nodes, cfg.emb_dim);
-  const std::size_t n_threads =
-      parallel_gnn_ ? static_cast<std::size_t>(std::max(1, omp_get_max_threads()))
-                    : 1;
-  if (ws_.gnn.size() < n_threads) ws_.gnn.resize(n_threads);
-#pragma omp parallel for schedule(dynamic, 8) if (parallel_gnn_)
-  for (std::size_t i = 0; i < n_nodes; ++i) {
-    auto& sc = ws_.gnn[static_cast<std::size_t>(omp_get_thread_num())];
-    sc.fp.resize(1, cfg.mem_dim);
-    const graph::NodeId u = res.nodes[i];
-    const auto& nb = nbrs[i];
-    model_.f_prime(memory_of(u, sc.mem_row), node_feat_of(u), sc.fp.row(0));
-
-    // Both attention variants run their fused inference path, writing the
-    // embedding straight into the batch result's row.
-    if (const auto* att = model_.vanilla()) {
-      AttnNodeInput& in = sc.attn_in;
-      in.q_in.resize(1, cfg.q_in_dim());
-      {
-        auto q = in.q_in.row(0);
-        std::copy(sc.fp.row(0).begin(), sc.fp.row(0).end(), q.begin());
-        model_.time_encoder().encode_scalar(0.0,
-                                            q.subspan(cfg.mem_dim, cfg.time_dim));
-      }
-      in.kv_in.resize(nb.size(), cfg.kv_in_dim());
-      sc.fpj.resize(1, cfg.mem_dim);
-      for (std::size_t j = 0; j < nb.size(); ++j) {
-        auto row = in.kv_in.row(j);
-        model_.f_prime(memory_of(nb[j].node, sc.mem_row),
-                       node_feat_of(nb[j].node), sc.fpj.row(0));
-        std::copy(sc.fpj.row(0).begin(), sc.fpj.row(0).end(), row.begin());
-        if (cfg.edge_dim > 0) {
-          const auto ef = ds_.edge_features.row(nb[j].eid);
-          std::copy(ef.begin(), ef.end(), row.begin() + cfg.mem_dim);
-        }
-        model_.time_encoder().encode_scalar(
-            std::max(0.0, t_event[i] - nb[j].ts),
-            row.subspan(cfg.mem_dim + cfg.edge_dim, cfg.time_dim));
-      }
-      att->forward_into(sc.fp.row(0), in, sc.attn, res.embeddings.row(i));
-    } else {
-      const auto* sat = model_.simplified();
-      sc.dts.resize(nb.size());
-      for (std::size_t j = 0; j < nb.size(); ++j)
-        sc.dts[j] = std::max(0.0, t_event[i] - nb[j].ts);
-      sat->score_into(sc.dts, cfg.prune_budget, sc.score, sc.scores);
-      const auto& scores = sc.scores;
-      sc.v_in.resize(scores.keep.size(), cfg.kv_in_dim());
-      sc.fpj.resize(1, cfg.mem_dim);
-      for (std::size_t k = 0; k < scores.keep.size(); ++k) {
-        const auto& hit = nb[scores.keep[k]];
-        auto row = sc.v_in.row(k);
-        model_.f_prime(memory_of(hit.node, sc.mem_row), node_feat_of(hit.node),
-                       sc.fpj.row(0));
-        std::copy(sc.fpj.row(0).begin(), sc.fpj.row(0).end(), row.begin());
-        if (cfg.edge_dim > 0) {
-          const auto ef = ds_.edge_features.row(hit.eid);
-          std::copy(ef.begin(), ef.end(), row.begin() + cfg.mem_dim);
-        }
-        model_.time_encoder().encode_scalar(
-            sc.dts[scores.keep[k]],
-            row.subspan(cfg.mem_dim + cfg.edge_dim, cfg.time_dim));
-      }
-      sat->aggregate_into(sc.fp.row(0), scores, sc.v_in, sc.sat,
-                          res.embeddings.row(i));
-    }
-  }
+  if (batched_gnn_)
+    gnn_stage_batched(res, t_event, res.embeddings);
+  else
+    gnn_stage_per_row(res, t_event, res.embeddings);
   if (times) times->gnn += sw.seconds();
 
   // ---- update: chronological write-back (Alg. 1 lines 4-8, 12-14).
@@ -294,6 +226,182 @@ InferenceEngine::BatchResult InferenceEngine::process_batch(
   if (times) times->update += sw.seconds();
 
   return res;
+}
+
+std::span<const float> InferenceEngine::memory_of(
+    graph::NodeId v, const BatchResult& res,
+    std::vector<float>& scratch) const {
+  // Memory of a batch vertex comes from the (possibly GRU-updated) local
+  // row; memory of anyone else comes from the shared table. In concurrent-
+  // lane mode the latter is the one read that can race with another lane's
+  // write-back, so it goes through the vertex's shard lock into `scratch`.
+  const ModelConfig& cfg = model_.config();
+  auto it = res.index.find(v);
+  if (it != res.index.end()) return {ws_.mem_ptr[it->second], cfg.mem_dim};
+  if (shard_locks_ != nullptr) {
+    scratch.resize(cfg.mem_dim);
+    std::shared_lock lock(shard_locks_->mutex_of(v));
+    const auto mem = state_->memory.get(v);
+    std::copy(mem.begin(), mem.end(), scratch.begin());
+    return {scratch.data(), scratch.size()};
+  }
+  return state_->memory.get(v);
+}
+
+void InferenceEngine::f_prime_of(graph::NodeId v, const BatchResult& res,
+                                 std::vector<float>& scratch,
+                                 std::span<float> out) const {
+  const ModelConfig& cfg = model_.config();
+  const auto feat = cfg.node_dim > 0
+                        ? std::span<const float>(ds_.node_features.row(v))
+                        : std::span<const float>{};
+  model_.f_prime(memory_of(v, res, scratch), feat, out);
+}
+
+void InferenceEngine::gather_kv_row(const graph::NeighborHit& hit, double dt,
+                                    const BatchResult& res,
+                                    std::vector<float>& scratch,
+                                    std::span<float> row) const {
+  const ModelConfig& cfg = model_.config();
+  f_prime_of(hit.node, res, scratch, row.first(cfg.mem_dim));
+  if (cfg.edge_dim > 0) {
+    const auto ef = ds_.edge_features.row(hit.eid);
+    std::copy(ef.begin(), ef.end(), row.begin() + cfg.mem_dim);
+  }
+  model_.time_encoder().encode_scalar(
+      dt, row.subspan(cfg.mem_dim + cfg.edge_dim, cfg.time_dim));
+}
+
+void InferenceEngine::gnn_stage_batched(const BatchResult& res,
+                                        std::span<const double> t_event,
+                                        Tensor& embeddings) {
+  const ModelConfig& cfg = model_.config();
+  const auto& nbrs = ws_.nbrs;
+  BatchWorkspace::GnnBatch& gb = ws_.gb;
+  const std::size_t n_nodes = res.nodes.size();
+  const std::size_t n_threads =
+      parallel_gnn_ ? static_cast<std::size_t>(std::max(1, omp_get_max_threads()))
+                    : 1;
+  if (ws_.gnn.size() < n_threads) ws_.gnn.resize(n_threads);
+
+  // ---- gather f'_i of every center vertex into one contiguous matrix
+  // (shared by both attention variants).
+  gb.fp.resize(n_nodes, cfg.mem_dim);
+#pragma omp parallel for schedule(static) if (parallel_gnn_)
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    auto& sc = ws_.gnn[static_cast<std::size_t>(omp_get_thread_num())];
+    f_prime_of(res.nodes[i], res, sc.mem_row, gb.fp.row(i));
+  }
+
+  gb.seg.resize(n_nodes + 1);
+  gb.seg[0] = 0;
+  if (const auto* att = model_.vanilla()) {
+    // ---- gather: q rows + packed [f'_j || e_ij || Phi(dt)] neighbor rows.
+    for (std::size_t i = 0; i < n_nodes; ++i)
+      gb.seg[i + 1] = gb.seg[i] + nbrs[i].size();
+    gb.q_in.resize(n_nodes, cfg.q_in_dim());
+    gb.kv_in.resize(gb.seg[n_nodes], cfg.kv_in_dim());
+#pragma omp parallel for schedule(dynamic, 8) if (parallel_gnn_)
+    for (std::size_t i = 0; i < n_nodes; ++i) {
+      auto& sc = ws_.gnn[static_cast<std::size_t>(omp_get_thread_num())];
+      auto q = gb.q_in.row(i);
+      const auto fp = gb.fp.row(i);
+      std::copy(fp.begin(), fp.end(), q.begin());
+      model_.time_encoder().encode_scalar(0.0,
+                                          q.subspan(cfg.mem_dim, cfg.time_dim));
+      const auto& nb = nbrs[i];
+      for (std::size_t j = 0; j < nb.size(); ++j)
+        gather_kv_row(nb[j], std::max(0.0, t_event[i] - nb[j].ts), res,
+                      sc.mem_row, gb.kv_in.row(gb.seg[i] + j));
+    }
+    // ---- batched compute + scatter into the embeddings matrix.
+    att->forward_batch_into(gb.fp, gb.q_in, gb.kv_in, gb.seg, gb.attn,
+                            embeddings);
+  } else {
+    const auto* sat = model_.simplified();
+    if (gb.scores.size() < n_nodes) gb.scores.resize(n_nodes);
+    // ---- phase 1: dt-only logits + pruning per node (tiny mr x mr work;
+    // what makes the kept-slot gather below possible before any V fetch).
+#pragma omp parallel for schedule(dynamic, 8) if (parallel_gnn_)
+    for (std::size_t i = 0; i < n_nodes; ++i) {
+      auto& sc = ws_.gnn[static_cast<std::size_t>(omp_get_thread_num())];
+      const auto& nb = nbrs[i];
+      sc.dts.resize(nb.size());
+      for (std::size_t j = 0; j < nb.size(); ++j)
+        sc.dts[j] = std::max(0.0, t_event[i] - nb[j].ts);
+      sat->score_into(sc.dts, cfg.prune_budget, sc.score, gb.scores[i]);
+    }
+    // ---- gather: packed kept-slot V rows + their logits.
+    for (std::size_t i = 0; i < n_nodes; ++i)
+      gb.seg[i + 1] = gb.seg[i] + gb.scores[i].keep.size();
+    gb.kv_in.resize(gb.seg[n_nodes], cfg.kv_in_dim());
+    gb.logits.resize(gb.seg[n_nodes]);
+#pragma omp parallel for schedule(dynamic, 8) if (parallel_gnn_)
+    for (std::size_t i = 0; i < n_nodes; ++i) {
+      auto& sc = ws_.gnn[static_cast<std::size_t>(omp_get_thread_num())];
+      const SimplifiedAttention::Scores& s = gb.scores[i];
+      for (std::size_t idx = 0; idx < s.keep.size(); ++idx) {
+        const std::size_t slot = s.keep[idx];
+        gather_kv_row(nbrs[i][slot], s.dts[slot], res, sc.mem_row,
+                      gb.kv_in.row(gb.seg[i] + idx));
+        gb.logits[gb.seg[i] + idx] = s.logits[slot];
+      }
+    }
+    // ---- batched compute + scatter into the embeddings matrix.
+    sat->aggregate_batch_into(gb.fp, gb.logits, gb.kv_in, gb.seg, gb.sat,
+                              embeddings);
+  }
+}
+
+void InferenceEngine::gnn_stage_per_row(const BatchResult& res,
+                                        std::span<const double> t_event,
+                                        Tensor& embeddings) {
+  const ModelConfig& cfg = model_.config();
+  const auto& nbrs = ws_.nbrs;
+  const std::size_t n_nodes = res.nodes.size();
+  const std::size_t n_threads =
+      parallel_gnn_ ? static_cast<std::size_t>(std::max(1, omp_get_max_threads()))
+                    : 1;
+  if (ws_.gnn.size() < n_threads) ws_.gnn.resize(n_threads);
+#pragma omp parallel for schedule(dynamic, 8) if (parallel_gnn_)
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    auto& sc = ws_.gnn[static_cast<std::size_t>(omp_get_thread_num())];
+    sc.fp.resize(1, cfg.mem_dim);
+    const graph::NodeId u = res.nodes[i];
+    const auto& nb = nbrs[i];
+    f_prime_of(u, res, sc.mem_row, sc.fp.row(0));
+
+    // Both attention variants run their fused inference path, writing the
+    // embedding straight into the batch result's row.
+    if (const auto* att = model_.vanilla()) {
+      AttnNodeInput& in = sc.attn_in;
+      in.q_in.resize(1, cfg.q_in_dim());
+      {
+        auto q = in.q_in.row(0);
+        std::copy(sc.fp.row(0).begin(), sc.fp.row(0).end(), q.begin());
+        model_.time_encoder().encode_scalar(0.0,
+                                            q.subspan(cfg.mem_dim, cfg.time_dim));
+      }
+      in.kv_in.resize(nb.size(), cfg.kv_in_dim());
+      for (std::size_t j = 0; j < nb.size(); ++j)
+        gather_kv_row(nb[j], std::max(0.0, t_event[i] - nb[j].ts), res,
+                      sc.mem_row, in.kv_in.row(j));
+      att->forward_into(sc.fp.row(0), in, sc.attn, embeddings.row(i));
+    } else {
+      const auto* sat = model_.simplified();
+      sc.dts.resize(nb.size());
+      for (std::size_t j = 0; j < nb.size(); ++j)
+        sc.dts[j] = std::max(0.0, t_event[i] - nb[j].ts);
+      sat->score_into(sc.dts, cfg.prune_budget, sc.score, sc.scores);
+      const auto& scores = sc.scores;
+      sc.v_in.resize(scores.keep.size(), cfg.kv_in_dim());
+      for (std::size_t k = 0; k < scores.keep.size(); ++k)
+        gather_kv_row(nb[scores.keep[k]], sc.dts[scores.keep[k]], res,
+                      sc.mem_row, sc.v_in.row(k));
+      sat->aggregate_into(sc.fp.row(0), scores, sc.v_in, sc.sat,
+                          embeddings.row(i));
+    }
+  }
 }
 
 void InferenceEngine::reserve_workspace(std::size_t max_batch_edges) {
@@ -363,20 +471,31 @@ double InferenceEngine::evaluate_ap(const graph::BatchRange& range,
   if (dst_pool_.empty())
     throw std::logic_error("evaluate_ap: empty negative pool");
   std::vector<ScoredSample> samples;
+  if (range.end > range.begin)
+    samples.reserve(2 * (range.end - range.begin));  // one pos + one neg per edge
   Decoder::InferScratch dec_ws;
+  std::vector<graph::NodeId> negs;
   for (const auto& b : ds_.graph.fixed_size_batches(range.begin, range.end,
                                                     batch_size)) {
     const auto edges = ds_.graph.edges(b);
-    std::vector<graph::NodeId> negs(edges.size());
+    negs.resize(edges.size());
     for (auto& v : negs) v = dst_pool_[rng.uniform_int(dst_pool_.size())];
     const auto res = process_batch(b, negs);
+    // Batched decoder: all 2E pair rows of the micro-batch through one
+    // fused forward instead of 2E single-row calls.
+    const std::size_t emb = res.embeddings.cols();
+    dec_ws.x.resize(2 * edges.size(), 3 * emb);
     for (std::size_t k = 0; k < edges.size(); ++k) {
-      samples.push_back({dec.score_with(dec_ws, res.embedding_of(edges[k].src),
-                                        res.embedding_of(edges[k].dst)),
-                         true});
-      samples.push_back({dec.score_with(dec_ws, res.embedding_of(edges[k].src),
-                                        res.embedding_of(negs[k])),
-                         false});
+      Decoder::build_pair(res.embedding_of(edges[k].src),
+                          res.embedding_of(edges[k].dst),
+                          dec_ws.x.row(2 * k));
+      Decoder::build_pair(res.embedding_of(edges[k].src),
+                          res.embedding_of(negs[k]), dec_ws.x.row(2 * k + 1));
+    }
+    const Tensor& logits = dec.forward_into(dec_ws.x, dec_ws);
+    for (std::size_t k = 0; k < edges.size(); ++k) {
+      samples.push_back({logits(2 * k, 0), true});
+      samples.push_back({logits(2 * k + 1, 0), false});
     }
   }
   return average_precision(std::move(samples));

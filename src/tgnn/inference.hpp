@@ -51,11 +51,10 @@ struct RuntimeState {
   std::unique_ptr<graph::NeighborTable> table;    ///< null if !use_fifo
   std::vector<std::uint8_t> mail_valid;  ///< consume-once flag per vertex
 
-  [[nodiscard]] std::vector<graph::NeighborHit> neighbors(graph::NodeId v,
-                                                          double t,
-                                                          std::size_t k) const;
-  /// Allocation-free variant: fills `out` (reusing its capacity) with the
-  /// same entries `neighbors` returns.
+  /// Temporal neighbors of v strictly before t, at most k, oldest -> newest,
+  /// filled into `out` (reusing its capacity — the hot path never
+  /// allocates in steady state; there is deliberately no allocating
+  /// overload).
   void neighbors_into(graph::NodeId v, double t, std::size_t k,
                       std::vector<graph::NeighborHit>& out) const;
   void insert_edge(const graph::TemporalEdge& e);
@@ -78,10 +77,11 @@ struct BatchWorkspace {
   kernels::GruScratch gru;  ///< fused-GRU gate buffers
   std::vector<float> raw;  ///< one raw-mail scratch row
 
-  /// Per-thread GNN-stage scratch (index = OpenMP thread id).
+  /// Per-thread GNN-stage scratch (index = OpenMP thread id). The batched
+  /// pipeline uses it only for the gather loops (mem_row locked reads,
+  /// per-node score scratch); the per-row pipeline for everything.
   struct GnnScratch {
     Tensor fp;             ///< [1, mem_dim] f'_i of the center vertex
-    Tensor fpj;            ///< [1, mem_dim] f'_j of a neighbor
     AttnNodeInput attn_in; ///< vanilla path: q/kv gather, resized in place
     Tensor v_in;           ///< simplified path: V gather for kept slots
     std::vector<double> dts;
@@ -96,8 +96,29 @@ struct BatchWorkspace {
   };
   std::vector<GnnScratch> gnn;
 
+  /// Batch-level staging for the batched GNN stage: every per-event input
+  /// is gathered once into these contiguous row-major matrices (neighbor
+  /// rows packed CSR-style behind `seg`), each model stage then runs as a
+  /// single batched GEMM, and the final FTM GEMM scatters embeddings
+  /// straight into the batch result.
+  struct GnnBatch {
+    std::vector<std::size_t> seg;  ///< [n_nodes + 1] CSR offsets into kv_in
+    Tensor fp;                     ///< [n_nodes, mem_dim] f'_i rows
+    Tensor q_in;                   ///< vanilla: [n_nodes, q_in_dim]
+    Tensor kv_in;                  ///< [total, kv_in_dim] packed neighbor rows
+    std::vector<float> logits;     ///< simplified: packed kept-slot logits
+    std::vector<SimplifiedAttention::Scores> scores;  ///< per node
+    VanillaAttention::BatchScratch attn;
+    SimplifiedAttention::BatchScratch sat;
+  };
+  GnnBatch gb;
+
   /// Pre-size every buffer for batches of up to `max_nodes` unique vertices
-  /// so the first measured batch already runs allocation-free.
+  /// so the first measured batch already runs allocation-free. Growth
+  /// policy: buffers sized here are high-water marks — a ragged batch that
+  /// overflows them grows the underlying vector (geometrically, via
+  /// std::vector) and the capacity is kept for every later batch; nothing
+  /// ever shrinks until the engine is destroyed.
   void reserve(std::size_t max_nodes, const ModelConfig& cfg);
 };
 
@@ -154,10 +175,23 @@ class InferenceEngine {
 
   void reset() { state_->reset(); }
 
-  /// Parallelize the per-node GNN stage across OpenMP threads (the
-  /// multi-threaded CPU baseline of Table I; the thread count is whatever
-  /// omp_set_num_threads was given).
+  /// Parallelize the GNN stage across OpenMP threads (the multi-threaded
+  /// CPU baseline of Table I; the thread count is whatever
+  /// omp_set_num_threads was given). In batched mode this parallelizes the
+  /// gather loops over vertices AND lets the batched GEMMs split their row
+  /// panels across the team — threading over the batch matrix, not over
+  /// events, so per-element accumulation order (and hence every bit of the
+  /// output) is thread-count invariant.
   void set_parallel_gnn(bool on) { parallel_gnn_ = on; }
+
+  /// Select the GNN-stage execution pipeline. Batched (default) gathers
+  /// the whole micro-batch into contiguous matrices and runs each model
+  /// stage as one batched kernel call; per-row is the legacy
+  /// node-at-a-time path. Both produce bit-identical embeddings (pinned by
+  /// tests/tgnn/batched_inference_test.cpp) — the switch exists for those
+  /// equivalence tests and for A/B latency measurements.
+  void set_batched_gnn(bool on) { batched_gnn_ = on; }
+  [[nodiscard]] bool batched_gnn() const { return batched_gnn_; }
 
   /// Arm concurrent-lane mode: while set, reads of vertex memory OUTSIDE
   /// the current batch take the vertex's shard lock (shared) and copy the
@@ -185,12 +219,36 @@ class InferenceEngine {
   void reserve_workspace(std::size_t max_batch_edges);
 
  private:
+  /// Memory row of v as this batch sees it: the (possibly GRU-updated)
+  /// local row when v is in the batch, else the shared table — through v's
+  /// shard lock into `scratch` in concurrent-lane mode.
+  std::span<const float> memory_of(graph::NodeId v, const BatchResult& res,
+                                   std::vector<float>& scratch) const;
+  /// f'_v written into `out` (memory_of + optional node-feature projection).
+  void f_prime_of(graph::NodeId v, const BatchResult& res,
+                  std::vector<float>& scratch, std::span<float> out) const;
+  /// One attention K/V input row [f'_j || e_ij || Phi(dt)] for neighbor
+  /// `hit`, written into `row` (kv_in_dim wide). The ONE definition of the
+  /// kv row layout — both GNN pipelines build every row through it, which
+  /// is what keeps their gathers byte-identical.
+  void gather_kv_row(const graph::NeighborHit& hit, double dt,
+                     const BatchResult& res, std::vector<float>& scratch,
+                     std::span<float> row) const;
+
+  /// The two GNN-stage pipelines (embeddings for every node in `res`);
+  /// bit-identical to each other by construction — see DESIGN.md.
+  void gnn_stage_batched(const BatchResult& res,
+                         std::span<const double> t_event, Tensor& embeddings);
+  void gnn_stage_per_row(const BatchResult& res,
+                         std::span<const double> t_event, Tensor& embeddings);
+
   const TgnModel& model_;
   const data::Dataset& ds_;
   std::unique_ptr<RuntimeState> owned_state_;  ///< null when state is shared
   RuntimeState* state_;
   std::vector<graph::NodeId> dst_pool_;
   bool parallel_gnn_ = false;
+  bool batched_gnn_ = true;
   const graph::ShardLockTable* shard_locks_ = nullptr;
   BatchWorkspace ws_;
 };

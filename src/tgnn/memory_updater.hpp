@@ -20,7 +20,11 @@ class MemoryUpdater {
     return gru.forward(x, h, cache);
   }
 
-  /// Fused inference forward into a caller-owned buffer (no cache).
+  /// Fused inference forward into a caller-owned buffer (no cache). This
+  /// is the memory stage's batch entry point: one call carries ALL of a
+  /// micro-batch's mail rows ([m, gru_in_dim] / [m, mem_dim]), and the
+  /// underlying GEMMs are bit-invariant to m, so any row partition of a
+  /// batch produces identical memory updates.
   void forward_into(const Tensor& x, const Tensor& h,
                     kernels::GruScratch& ws, Tensor& out) const {
     gru.forward_into(x, h, ws, out);

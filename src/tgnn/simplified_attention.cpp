@@ -8,6 +8,7 @@
 
 #include "kernels/fused.hpp"
 #include "kernels/gemm.hpp"
+#include "kernels/segment.hpp"
 #include "util/rng.hpp"
 
 namespace tgnn::core {
@@ -139,6 +140,35 @@ void SimplifiedAttention::aggregate_into(std::span<const float> f_self,
   }
   std::copy(f_self.begin(), f_self.end(), fo + emb);
   kernels::affine_row_into(ws.fo_in.row(0), wo.w.value, wo.b.value, out);
+}
+
+void SimplifiedAttention::aggregate_batch_into(
+    const Tensor& f_self, std::span<float> logits, const Tensor& v_in,
+    std::span<const std::size_t> seg, BatchScratch& ws, Tensor& out) const {
+  const std::size_t n_nodes = f_self.rows();
+  const std::size_t total = v_in.rows();
+  const std::size_t emb = wv.out_dim();
+  const std::size_t mem = f_self.cols();
+  if (seg.size() != n_nodes + 1 || logits.size() != total ||
+      (n_nodes > 0 && seg[n_nodes] != total))
+    throw std::invalid_argument("aggregate_batch_into: segment mismatch");
+
+  if (total > 0) wv.forward_into(v_in, ws.v);
+
+  // Kept-slot softmax per segment (softmax_span semantics, including the
+  // uniform fallback on all-masked rows), then the alpha-weighted V sum
+  // straight into the FTM staging matrix (empty segments zero-fill — the
+  // zero-degree-vertex case).
+  kernels::segment_softmax(logits.data(), seg);
+  ws.fo_in.resize(n_nodes, emb + mem);
+  kernels::segment_weighted_rowsum(logits.data(), ws.v.data(), seg, emb,
+                                   ws.fo_in.data(), emb + mem);
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    const auto fs = f_self.row(i);
+    std::copy(fs.begin(), fs.end(), ws.fo_in.row(i).begin() + emb);
+  }
+
+  kernels::affine_into(ws.fo_in, wo.w.value, wo.b.value, out);
 }
 
 SimplifiedAttention::InputGrads SimplifiedAttention::backward(const Cache& c,

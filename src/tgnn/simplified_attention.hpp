@@ -88,6 +88,25 @@ class SimplifiedAttention {
                       const Tensor& v_in, InferScratch& ws,
                       std::span<float> out) const;
 
+  /// Reusable buffers for aggregate_batch_into (one per engine workspace).
+  struct BatchScratch {
+    Tensor v;      ///< [total_kept, emb]
+    Tensor fo_in;  ///< [n_nodes, emb + mem]
+  };
+
+  /// Batched inference aggregate over a whole micro-batch: one wv / wo
+  /// GEMM instead of one per node. f_self: [n_nodes, mem_dim] rows of
+  /// f'_i; v_in: every node's kept-slot rows packed into [total_kept,
+  /// kv_in_dim] with CSR offsets `seg`; `logits`: the kept slots' logits
+  /// packed the same way, softmaxed in place (it holds alpha afterwards —
+  /// same in-place convention as aggregate_into's scratch). Row i of `out`
+  /// (resized to [n_nodes, emb]) receives h_i. Bit-identical to n_nodes
+  /// aggregate_into calls.
+  void aggregate_batch_into(const Tensor& f_self, std::span<float> logits,
+                            const Tensor& v_in,
+                            std::span<const std::size_t> seg, BatchScratch& ws,
+                            Tensor& out) const;
+
   InputGrads backward(const Cache& cache, const Tensor& dh);
 
   /// Distillation hook: adds dlogits (over all mr slots; masked slots

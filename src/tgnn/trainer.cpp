@@ -106,7 +106,7 @@ Trainer::BatchLoss Trainer::train_batch(const graph::BatchRange& r,
   // ---- sample (before inserting this batch's edges).
   std::vector<std::vector<graph::NeighborHit>> nbrs(n_nodes);
   for (std::size_t i = 0; i < n_nodes; ++i)
-    nbrs[i] = state_.neighbors(nodes[i], t_event[i], cfg.num_neighbors);
+    state_.neighbors_into(nodes[i], t_event[i], cfg.num_neighbors, nbrs[i]);
 
   // ---- memory stage with cache.
   std::vector<std::size_t> mail_rows;

@@ -193,10 +193,13 @@ TEST(ShardedServing, ReadFootprintCoversSampledNeighbors) {
     }
   }
   const std::size_t k = model.config().num_neighbors;
-  for (const auto& [v, t] : t_event)
-    for (const auto& hit : shadow.state().neighbors(v, t, k))
+  std::vector<graph::NeighborHit> hits;
+  for (const auto& [v, t] : t_event) {
+    shadow.state().neighbors_into(v, t, k, hits);
+    for (const auto& hit : hits)
       EXPECT_TRUE(std::binary_search(fp.begin(), fp.end(), hit.node))
           << "missing neighbor " << hit.node << " of endpoint " << v;
+  }
 }
 
 TEST(ShardedServing, StressManySmallBatchesBothModes) {
