@@ -10,7 +10,15 @@
 // footprint conflicts only. Rows cover both conflict policies:
 //   * relaxed       — write footprints disjoint (bounded-staleness reads)
 //   * deterministic — read footprints tracked too; bit-identical to "cpu"
+// plus, with --pipelined (default on), the staged dataflow pipeline: one
+// row per policy where the four engine stages of adjacent micro-batches
+// overlap on stage workers instead of whole batches on lanes.
+// --require_pipelined_speedup gates the relaxed pipelined row's speedup
+// over the serial single-worker baseline (report-only on one core — stage
+// overlap needs real parallel hardware, same convention as the kernel
+// sweep's batched-GRU gate).
 #include <algorithm>
+#include <cstdio>
 #include <iostream>
 #include <thread>
 
@@ -30,6 +38,12 @@ int main(int argc, char** argv) {
   args.add_flag("items", "20000", "synthetic items");
   args.add_flag("events", "8000", "serving requests per configuration");
   args.add_flag("shards", "4,64", "comma-separated shard counts to sweep");
+  args.add_flag("pipelined", "1", "also sweep the staged pipeline mode");
+  args.add_flag("pipeline_depth", "4", "in-flight batches (StageContext "
+                                       "slots) in pipelined mode");
+  args.add_flag("require_pipelined_speedup", "0",
+                "fail unless pipelined relaxed >= this x serial 1-worker "
+                "throughput (0 = report only; always report-only on 1 core)");
   if (!args.parse(argc, argv)) return 1;
   const auto common = bench::read_common_flags(args, defaults);
 
@@ -77,14 +91,28 @@ int main(int argc, char** argv) {
               common.batch, hw);
 
   Table t({"shards", "workers", "mode", "thpt (kreq/s)", "speedup",
-           "peak overlap", "p50 (ms)", "p95 (ms)", "p50 queue (ms)",
-           "p50 service (ms)"});
+           "peak overlap", "in-flight", "p50 (ms)", "p95 (ms)",
+           "p50 queue (ms)", "p50 service (ms)"});
+
+  const bool sweep_pipelined = args.get_int("pipelined") != 0;
+  const auto depth =
+      static_cast<std::size_t>(args.get_int("pipeline_depth"));
+  const double require_speedup =
+      std::stod(args.get("require_pipelined_speedup"));
+  double best_pipelined_speedup = 0.0;
 
   for (const auto& shard_str : bench::split_csv(args.get("shards"))) {
     const auto shards = static_cast<std::size_t>(std::stoull(shard_str));
     for (const bool deterministic : {false, true}) {
       double base_rps = 0.0;
-      for (std::size_t workers : worker_counts) {
+      // Worker-lane sweep, then (optionally) one staged-pipeline run per
+      // policy: same backend, same stream — workers column shows the
+      // pipeline depth there, and "speedup" stays relative to the serial
+      // single-worker row of this (shards, policy) block.
+      std::vector<std::pair<std::size_t, bool>> runs;
+      for (std::size_t workers : worker_counts) runs.push_back({workers, false});
+      if (sweep_pipelined) runs.push_back({depth, true});
+      for (const auto& [lanes, pipelined] : runs) {
         runtime::BackendOptions bopts;
         bopts.threads = static_cast<int>(max_workers);
         bopts.shards = shards;
@@ -94,7 +122,9 @@ int main(int argc, char** argv) {
         runtime::ServingOptions sopts;
         sopts.max_batch = common.batch;
         sopts.max_wait_s = 1e-3;
-        sopts.workers = workers;
+        sopts.workers = pipelined ? 1 : lanes;
+        sopts.pipelined = pipelined;
+        sopts.pipeline_depth = depth;
         sopts.deterministic = deterministic;
         runtime::ServingEngine server(*backend, sopts);
         for (std::size_t i = region.begin; i < region.begin + events; ++i)
@@ -102,15 +132,19 @@ int main(int argc, char** argv) {
         server.drain();
 
         const auto s = server.stats();
-        if (workers == 1) base_rps = s.throughput_rps;
-        t.add_row({shard_str, std::to_string(workers),
-                   deterministic ? "deterministic" : "relaxed",
+        if (!pipelined && lanes == 1) base_rps = s.throughput_rps;
+        const double speedup =
+            base_rps > 0.0 ? s.throughput_rps / base_rps : 1.0;
+        if (pipelined && !deterministic)
+          best_pipelined_speedup = std::max(best_pipelined_speedup, speedup);
+        const std::string mode =
+            pipelined ? (deterministic ? "pipelined-det" : "pipelined")
+                      : (deterministic ? "deterministic" : "relaxed");
+        t.add_row({shard_str, std::to_string(lanes), mode,
                    Table::num(s.throughput_rps / 1e3, 2),
-                   Table::num(base_rps > 0.0 ? s.throughput_rps / base_rps
-                                             : 1.0,
-                              2) +
-                       "x",
+                   Table::num(speedup, 2) + "x",
                    std::to_string(s.peak_parallel_batches),
+                   std::to_string(s.peak_in_flight_batches),
                    Table::num(s.p50_latency_s * 1e3, 2),
                    Table::num(s.p95_latency_s * 1e3, 2),
                    Table::num(s.p50_queue_wait_s * 1e3, 2),
@@ -120,5 +154,23 @@ int main(int argc, char** argv) {
   }
   t.print(std::cout, "sharded-cpu serving sweep");
   t.write_csv("fig5_sharded.csv");
+
+  if (sweep_pipelined) {
+    std::printf("\nbest pipelined (relaxed) speedup vs serial 1-worker: "
+                "%.2fx\n", best_pipelined_speedup);
+    if (require_speedup > 0.0) {
+      if (hw <= 1) {
+        std::printf("single hardware thread: stage overlap cannot buy wall "
+                    "time; %.2fx gate is report-only here\n", require_speedup);
+      } else if (best_pipelined_speedup < require_speedup) {
+        std::printf("FAIL: pipelined speedup %.2fx < required %.2fx\n",
+                    best_pipelined_speedup, require_speedup);
+        return 1;
+      } else {
+        std::printf("gate passed: %.2fx >= %.2fx\n", best_pipelined_speedup,
+                    require_speedup);
+      }
+    }
+  }
   return 0;
 }

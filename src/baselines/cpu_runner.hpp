@@ -37,6 +37,7 @@ class CpuRunner {
 
   void warmup(const graph::BatchRange& range) { engine_.warmup(range); }
   core::InferenceEngine& engine() { return engine_; }
+  [[nodiscard]] const core::InferenceEngine& engine() const { return engine_; }
   [[nodiscard]] int threads() const { return threads_; }
 
  private:

@@ -18,14 +18,38 @@ std::size_t resolve_workers(const ServingOptions& opts,
   return std::min(opts.workers, cb->lanes());
 }
 
+/// True when no id is marked in the conflict ledger.
+bool disjoint(const std::vector<graph::NodeId>& ids,
+              const std::vector<std::uint32_t>& marks) {
+  return std::all_of(ids.begin(), ids.end(),
+                     [&](graph::NodeId v) { return marks[v] == 0; });
+}
+
+/// The batch's WRITE footprint: its edge endpoints, deduplicated, straight
+/// off the immutable stream (safe to compute any time).
+void write_footprint(const graph::TemporalGraph& g,
+                     const graph::BatchRange& range,
+                     std::vector<graph::NodeId>& wfp) {
+  wfp.clear();
+  for (const auto& e : g.edges(range)) {
+    wfp.push_back(e.src);
+    wfp.push_back(e.dst);
+  }
+  std::sort(wfp.begin(), wfp.end());
+  wfp.erase(std::unique(wfp.begin(), wfp.end()), wfp.end());
+}
+
 }  // namespace
 
 ServingEngine::ServingEngine(Backend& backend, ServingOptions opts)
     : backend_(backend),
       concurrent_(dynamic_cast<ConcurrentBackend*>(&backend)),
+      staged_(opts.pipelined ? dynamic_cast<StagedBackend*>(&backend)
+                             : nullptr),
       opts_(opts),
       workers_(resolve_workers(opts, concurrent_)),
-      pool_(1 + (workers_ > 1 ? workers_ : 0)) {
+      pool_(1 + (workers_ > 1 ? workers_ : 0) +
+            (opts.pipelined ? core::kNumStages : 0)) {
   if (opts_.max_batch == 0)
     throw std::invalid_argument("ServingEngine: max_batch must be > 0");
   if (opts_.queue_capacity == 0)
@@ -35,15 +59,55 @@ ServingEngine::ServingEngine(Backend& backend, ServingOptions opts)
         "ServingEngine: workers > 1 requires a ConcurrentBackend "
         "(e.g. \"sharded-cpu\"); backend '" +
         backend_.name() + "' is not one");
+  if (opts_.pipelined) {
+    if (staged_ == nullptr)
+      throw std::invalid_argument(
+          "ServingEngine: pipelined requires a StagedBackend "
+          "(cpu | cpu-mt | sharded-cpu); backend '" +
+          backend_.name() + "' is not one");
+    if (opts_.workers > 1)
+      throw std::invalid_argument(
+          "ServingEngine: pipelined and workers > 1 are mutually exclusive "
+          "(a staged sharded backend composes its lanes as pipeline slots)");
+    if (opts_.pipeline_depth == 0)
+      throw std::invalid_argument(
+          "ServingEngine: pipeline_depth must be > 0");
+    // A backend without internally synchronized cross-batch reads cannot
+    // run relaxed admission safely — track read footprints regardless of
+    // the requested policy (which also makes execution deterministic).
+    track_reads_ = opts_.deterministic || !staged_->race_free_reads();
+    staged_->prepare_pipeline(opts_.pipeline_depth, opts_.max_batch);
+
+    // Conflict ledger + slot pool + inter-stage FIFOs (capacity 1: classic
+    // pipeline registers — a stage stalls until its successor drains).
+    const auto& g = backend_.dataset().graph;
+    write_marks_.assign(g.num_nodes(), 0);
+    full_marks_.assign(g.num_nodes(), 0);
+    for (std::size_t s = opts_.pipeline_depth; s-- > 0;)
+      free_lanes_.push_back(s);
+    slot_meta_.assign(opts_.pipeline_depth, SlotMeta{});
+    stage_q_.reserve(core::kNumStages);
+    for (std::size_t k = 0; k < core::kNumStages; ++k)
+      stage_q_.push_back(std::make_unique<StageChannel<std::size_t>>(1));
+    for (std::size_t k = 0; k < core::kNumStages; ++k)
+      pool_.submit([this, k] { stage_worker(k); });
+  }
   pool_.submit([this] { scheduler_loop(); });
 }
 
-ServingEngine::~ServingEngine() {
+ServingEngine::~ServingEngine() { stop(); }
+
+void ServingEngine::stop() {
   {
     std::lock_guard lk(mu_);
     stop_ = true;
   }
   cv_submit_.notify_all();
+  cv_state_.notify_all();  // release submitters blocked on queue capacity
+  // The scheduler flushes and completes everything still queued or
+  // mid-pipeline (next_batch keeps handing out batches until the queue is
+  // empty), closes the stage FIFOs, and the workers drain them — so this
+  // returns only after every submitted request has been served.
   pool_.wait_idle();
 }
 
@@ -54,12 +118,17 @@ void ServingEngine::submit(std::size_t edge_index) {
         "ServingEngine::submit: requests must arrive in stream order (got " +
         std::to_string(edge_index) + ", expected " +
         std::to_string(next_index_) + ")");
-  cv_state_.wait(lk, [this] { return queue_.size() < opts_.queue_capacity; });
+  cv_state_.wait(lk, [this] {
+    return stop_ || queue_.size() < opts_.queue_capacity;
+  });
+  if (stop_)
+    throw std::logic_error("ServingEngine::submit: engine is stopped");
   have_origin_ = true;
   next_index_ = edge_index + 1;
   const double now = clock_.seconds();
   if (first_submit_s_ < 0.0) first_submit_s_ = now;
   queue_.push_back({edge_index, now});
+  peak_queue_depth_ = std::max(peak_queue_depth_, queue_.size());
   cv_submit_.notify_all();
 }
 
@@ -106,6 +175,7 @@ bool ServingEngine::next_batch(std::unique_lock<std::mutex>& lk,
   }
   if (queue_.empty()) flush_ = false;  // forced flush fully served
   ++in_flight_;                        // formed => counted until completed
+  peak_in_flight_ = std::max(peak_in_flight_, in_flight_);
   cv_state_.notify_all();  // queue space freed for blocked submitters
   return true;
 }
@@ -125,6 +195,10 @@ void ServingEngine::record_batch(const std::vector<double>& arrivals,
 }
 
 void ServingEngine::scheduler_loop() {
+  if (staged_ != nullptr) {
+    scheduler_loop_pipelined();
+    return;
+  }
   if (workers_ > 1) {
     scheduler_loop_parallel();
     return;
@@ -153,26 +227,12 @@ void ServingEngine::scheduler_loop_parallel() {
   free_lanes_.clear();
   for (std::size_t l = 0; l < workers_; ++l) free_lanes_.push_back(l);
 
-  const auto disjoint = [](const std::vector<graph::NodeId>& ids,
-                           const std::vector<std::uint32_t>& marks) {
-    return std::all_of(ids.begin(), ids.end(),
-                       [&](graph::NodeId v) { return marks[v] == 0; });
-  };
-
   graph::BatchRange range;
   std::vector<double> arrivals;
   std::vector<graph::NodeId> wfp, rfp;
   std::unique_lock lk(mu_);
   while (next_batch(lk, range, arrivals)) {
-    // WRITE footprint: the batch's edge endpoints, straight off the
-    // immutable stream (safe to compute any time).
-    wfp.clear();
-    for (const auto& e : g.edges(range)) {
-      wfp.push_back(e.src);
-      wfp.push_back(e.dst);
-    }
-    std::sort(wfp.begin(), wfp.end());
-    wfp.erase(std::unique(wfp.begin(), wfp.end()), wfp.end());
+    write_footprint(g, range, wfp);
 
     // Head-of-line admission, stage 1: a free lane, and our writes touch
     // nothing any in-flight batch reads or writes. In-flight work only
@@ -226,12 +286,114 @@ void ServingEngine::scheduler_loop_parallel() {
   }
 }
 
+void ServingEngine::scheduler_loop_pipelined() {
+  // The admitter of the staged dataflow pipeline. Micro-batches are formed
+  // in stream order exactly as in serial mode; each then enters the
+  // four-stage pipeline once the hazard check clears, and the stage
+  // workers carry it MemoryUpdate -> NeighborGather -> GnnCompute ->
+  // Decode over the bounded StageChannels. Because admission is
+  // head-of-line and every stage worker is serial, batches traverse every
+  // stage in stream order — combined with write-footprint disjointness
+  // this keeps per-vertex state writes chronological, and with read
+  // tracking (track_reads_) no in-flight batch ever observes another's
+  // effects: bit-identical to the serial path.
+  StagedBackend& sb = *staged_;
+  const auto& g = backend_.dataset().graph;
+
+  graph::BatchRange range;
+  std::vector<double> arrivals;
+  std::vector<graph::NodeId> wfp, rfp;
+  std::unique_lock lk(mu_);
+  while (next_batch(lk, range, arrivals)) {
+    write_footprint(g, range, wfp);
+
+    // Admission, stage 1: a free pipeline slot, and our writes touch
+    // nothing any in-flight batch reads or writes. In-flight work only
+    // shrinks while we wait (this thread is the only admitter), so the
+    // predicate is stable once satisfied.
+    cv_state_.wait(lk, [&] {
+      return !free_lanes_.empty() && disjoint(wfp, full_marks_);
+    });
+
+    // Admission, stage 2 (read tracking): the READ footprint — sampled
+    // neighbors of our endpoints. Stage 1 guarantees no in-flight batch
+    // writes our endpoints, so their neighbor rows are quiescent and
+    // reading them off-lock is safe. Enter once no in-flight batch writes
+    // anything we will read.
+    if (track_reads_) {
+      lk.unlock();
+      sb.read_footprint(range, rfp);
+      lk.lock();
+      cv_state_.wait(lk, [&] { return disjoint(rfp, write_marks_); });
+    } else {
+      rfp.clear();
+    }
+
+    const std::size_t slot = free_lanes_.back();
+    free_lanes_.pop_back();
+    for (graph::NodeId v : wfp) {
+      ++write_marks_[v];
+      ++full_marks_[v];
+    }
+    for (graph::NodeId v : rfp) ++full_marks_[v];
+    batches_.push_back(range);
+    ++executing_;
+    peak_executing_ = std::max(peak_executing_, executing_);
+    // Swap, don't copy: the admission loop rebuilds wfp/rfp/arrivals from
+    // scratch each iteration, and this runs under the engine-wide mutex.
+    SlotMeta& meta = slot_meta_[slot];
+    meta.wfp.swap(wfp);
+    meta.rfp.swap(rfp);
+    meta.arrivals.swap(arrivals);
+    meta.dispatch_s = clock_.seconds();
+
+    lk.unlock();
+    sb.begin_batch(slot, range);   // reads only the immutable stream
+    stage_q_[0]->push(slot);       // stalls while the first stage is busy
+    lk.lock();
+  }
+  // Stream over (stop with an empty queue): close the pipe; the close
+  // cascades stage by stage once each worker has drained its input, so
+  // everything mid-pipeline still completes in order.
+  stage_q_[0]->close();
+}
+
+void ServingEngine::stage_worker(std::size_t k) {
+  StagedBackend& sb = *staged_;
+  while (auto slot = stage_q_[k]->pop()) {
+    sb.run_stage(static_cast<core::Stage>(k), *slot);
+    if (k + 1 < core::kNumStages) {
+      stage_q_[k + 1]->push(*slot);
+      continue;
+    }
+    // Decode done: the batch's writes are committed — release its
+    // footprint marks and slot, and account the request latencies.
+    // Service time spans admission to completion (inter-stage queueing
+    // included), so percentiles describe what a request actually saw.
+    sb.finish_batch(*slot);
+    std::lock_guard done_lk(mu_);
+    SlotMeta& meta = slot_meta_[*slot];
+    for (graph::NodeId v : meta.wfp) {
+      --write_marks_[v];
+      --full_marks_[v];
+    }
+    for (graph::NodeId v : meta.rfp) --full_marks_[v];
+    free_lanes_.push_back(*slot);
+    --executing_;
+    record_batch(meta.arrivals, meta.dispatch_s,
+                 clock_.seconds() - meta.dispatch_s);
+  }
+  if (k + 1 < core::kNumStages) stage_q_[k + 1]->close();
+}
+
 ServingStats ServingEngine::stats() const {
   std::lock_guard lk(mu_);
   ServingStats s;
   s.num_requests = latencies_.size();
   s.num_batches = batches_.size();
   s.peak_parallel_batches = peak_executing_;
+  s.peak_in_flight_batches = peak_in_flight_;
+  s.peak_queue_depth = peak_queue_depth_;
   // Idle engine (or every batch still in flight): all-zero stats rather
   // than 0/0 = NaN percentiles and means. percentile_of itself returns 0
   // on an empty sample set, but the explicit gate keeps the contract

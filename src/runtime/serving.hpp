@@ -14,6 +14,20 @@
 // per-batch overhead, exactly the latency/throughput trade the paper
 // sweeps in Fig. 5.
 //
+// With `pipelined` set the backend must implement StagedBackend ("cpu",
+// "cpu-mt", "sharded-cpu"): micro-batches are still FORMED and ADMITTED in
+// strict stream order, but each admitted batch then flows through the four
+// engine stages (core::Stage — MemoryUpdate, NeighborGather, GnnCompute,
+// Decode) on dedicated stage-worker threads wired by bounded StageChannels
+// (the software port of the paper's inter-module FIFOs, reusing
+// fpga::Fifo's stall semantics), so stage k of batch i overlaps stage k-1
+// of batch i+1. Admission runs the same conflict ledger as the worker
+// mode: a batch enters the pipeline only once its write footprint is
+// disjoint from every in-flight batch (and, in deterministic mode or on a
+// backend without race-free reads, once nothing in flight writes what it
+// will read) — per-vertex state writes stay chronological, and
+// deterministic pipelining is bit-identical to the serial path.
+//
 // With `workers > 1` the backend must implement ConcurrentBackend
 // ("sharded-cpu"): micro-batches are still FORMED and DISPATCHED in strict
 // stream order, but a batch whose vertex footprint is disjoint from every
@@ -47,10 +61,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <vector>
 
 #include "runtime/backend.hpp"
+#include "runtime/stage_channel.hpp"
 #include "util/stopwatch.hpp"
 #include "util/threadpool.hpp"
 
@@ -63,7 +79,13 @@ struct ServingOptions {
   std::size_t workers = 1;   ///< parallel dispatch lanes; > 1 requires a
                              ///< ConcurrentBackend (clamped to its lanes())
   bool deterministic = false;  ///< track read footprints too: bit-identical
-                               ///< to serial execution (workers > 1 only)
+                               ///< to serial execution (workers > 1 or
+                               ///< pipelined only)
+  bool pipelined = false;  ///< stage-level cross-batch overlap; requires a
+                           ///< StagedBackend, mutually exclusive with
+                           ///< workers > 1
+  std::size_t pipeline_depth = core::kNumStages;  ///< max in-flight batches
+                                                  ///< (StageContext slots)
 };
 
 struct ServingStats {
@@ -82,8 +104,15 @@ struct ServingStats {
   double throughput_rps = 0.0;  ///< requests per wall-clock second
   double mean_batch_size = 0.0;
   /// Most batches ever executing at once (1 in serial mode; > 1 proves
-  /// disjoint-footprint batches actually overlapped).
+  /// disjoint-footprint batches actually overlapped — across lanes in
+  /// worker mode, across stages in pipelined mode).
   std::size_t peak_parallel_batches = 0;
+  /// Occupancy gauges: most batches ever formed-but-incomplete (pipeline /
+  /// lane occupancy incl. batches waiting on the hazard check) and most
+  /// requests ever pending in the submit queue — what makes pipelined vs
+  /// serial occupancy observable next to peak_parallel_batches.
+  std::size_t peak_in_flight_batches = 0;
+  std::size_t peak_queue_depth = 0;
 };
 
 class ServingEngine {
@@ -93,7 +122,7 @@ class ServingEngine {
   /// std::invalid_argument when opts.workers > 1 and the backend is not a
   /// ConcurrentBackend.
   explicit ServingEngine(Backend& backend, ServingOptions opts = {});
-  /// Drains outstanding requests, then stops the scheduler.
+  /// stop()s, draining outstanding requests first.
   ~ServingEngine();
 
   ServingEngine(const ServingEngine&) = delete;
@@ -102,13 +131,21 @@ class ServingEngine {
   /// Enqueue one edge event. Indices must arrive in stream order (each call
   /// passes the successor of the previous index; the first call sets the
   /// origin) — out-of-order submission throws std::invalid_argument.
-  /// Blocks while the queue is at capacity.
+  /// Blocks while the queue is at capacity. Throws std::logic_error after
+  /// stop().
   void submit(std::size_t edge_index);
 
   /// Block until every submitted request has been dispatched and completed.
   /// Pending partial batches are force-flushed rather than waiting out the
   /// remainder of their max_wait deadline.
   void drain();
+
+  /// Graceful shutdown: everything submitted so far — including batches
+  /// mid-pipeline — is flushed, executed in stream order, and recorded;
+  /// then the scheduler (and any stage workers) exit. Nothing is dropped
+  /// and no batch runs twice. Idempotent; further submits throw. The
+  /// destructor calls this.
+  void stop();
 
   /// Aggregate latency/throughput statistics over everything served so far.
   [[nodiscard]] ServingStats stats() const;
@@ -124,6 +161,10 @@ class ServingEngine {
  private:
   void scheduler_loop();
   void scheduler_loop_parallel();
+  void scheduler_loop_pipelined();
+  /// Stage worker k: pops slots from stage_q_[k], runs Stage k, hands the
+  /// slot to stage k+1 (Decode completes the batch instead).
+  void stage_worker(std::size_t k);
   /// Pop the next micro-batch (held open per max_batch/max_wait/flush)
   /// under `lk`; returns false when stopping with an empty queue.
   bool next_batch(std::unique_lock<std::mutex>& lk, graph::BatchRange& range,
@@ -133,8 +174,11 @@ class ServingEngine {
 
   Backend& backend_;
   ConcurrentBackend* concurrent_ = nullptr;  ///< set when workers_ > 1
+  StagedBackend* staged_ = nullptr;          ///< set when opts.pipelined
   ServingOptions opts_;
   std::size_t workers_ = 1;
+  bool track_reads_ = false;  ///< pipelined: read-footprint admission on
+                              ///< (deterministic, or no race-free reads)
 
   mutable std::mutex mu_;
   std::condition_variable cv_submit_;  ///< signals: new request or stop
@@ -151,15 +195,29 @@ class ServingEngine {
   std::size_t in_flight_ = 0;  ///< batches formed or executing
   std::size_t executing_ = 0;  ///< batches dispatched to a lane right now
   std::size_t peak_executing_ = 0;
+  std::size_t peak_in_flight_ = 0;   ///< gauge: in_flight_ high-water
+  std::size_t peak_queue_depth_ = 0; ///< gauge: submit queue high-water
   bool have_origin_ = false;
   std::size_t next_index_ = 0; ///< required index of the next submit
 
-  // Conflict ledger of the parallel mode (guarded by mu_; incremented at
-  // dispatch, decremented at completion). write = batch endpoints;
-  // full = endpoints + tracked neighbor reads.
+  // Conflict ledger of the parallel and pipelined modes (guarded by mu_;
+  // incremented at dispatch, decremented at completion). write = batch
+  // endpoints; full = endpoints + tracked neighbor reads. free_lanes_
+  // doubles as the free pipeline-slot list in pipelined mode.
   std::vector<std::uint32_t> write_marks_;
   std::vector<std::uint32_t> full_marks_;
   std::vector<std::size_t> free_lanes_;
+
+  /// Per-slot metadata of a batch in the staged pipeline, written at
+  /// admission (slot owned exclusively) and read back at Decode completion.
+  struct SlotMeta {
+    std::vector<graph::NodeId> wfp, rfp;  ///< marked footprints to release
+    std::vector<double> arrivals;
+    double dispatch_s = 0.0;
+  };
+  std::vector<SlotMeta> slot_meta_;
+  /// Inter-stage channels: stage_q_[k] feeds stage worker k (slot indices).
+  std::vector<std::unique_ptr<StageChannel<std::size_t>>> stage_q_;
 
   Stopwatch clock_;
   std::vector<double> latencies_;

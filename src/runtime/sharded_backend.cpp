@@ -1,8 +1,6 @@
 #include "runtime/sharded_backend.hpp"
 
-#include <algorithm>
 #include <stdexcept>
-#include <unordered_map>
 
 #include <omp.h>
 
@@ -59,26 +57,32 @@ std::string ShardedCpuBackend::describe() const {
 
 void ShardedCpuBackend::read_footprint(const graph::BatchRange& r,
                                        std::vector<graph::NodeId>& out) const {
-  out.clear();
-  const auto edges = ds_.graph.edges(r);
-  // Per unique endpoint, the engine samples neighbors at the vertex's most
-  // recent in-batch event time — mirror that exactly so the footprint is a
-  // superset of the GNN stage's reads.
-  std::unordered_map<graph::NodeId, double> t_event;
-  for (const auto& e : edges) {
-    for (graph::NodeId v : {e.src, e.dst}) {
-      auto [it, inserted] = t_event.try_emplace(v, e.ts);
-      if (!inserted) it->second = std::max(it->second, e.ts);
-    }
-  }
-  const std::size_t k = model_.config().num_neighbors;
-  std::vector<graph::NeighborHit> hits;
-  for (const auto& [v, t] : t_event) {
-    state_.neighbors_into(v, t, k, hits);
-    for (const auto& h : hits) out.push_back(h.node);
-  }
-  std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
+  // The engine's footprint query over the shared state (every lane sees
+  // the same state, so lane 0 answers for all of them).
+  lanes_[0]->read_footprint(r, out);
+}
+
+void ShardedCpuBackend::prepare_pipeline(std::size_t slots,
+                                         std::size_t max_batch_edges) {
+  slots_.clear();
+  slots_.resize(slots);
+  for (auto& ctx : slots_) lanes_[0]->reserve_context(ctx, max_batch_edges);
+}
+
+void ShardedCpuBackend::begin_batch(std::size_t slot,
+                                    const graph::BatchRange& r) {
+  lane_of(slot).stage_begin(slots_.at(slot), r);
+}
+
+void ShardedCpuBackend::run_stage(core::Stage s, std::size_t slot) {
+  // Serial within the stage call, as in process_batch_on: pipeline-level
+  // concurrency replaces intra-batch OpenMP.
+  omp_set_num_threads(1);
+  lane_of(slot).stage_run(s, slots_.at(slot));
+}
+
+void ShardedCpuBackend::finish_batch(std::size_t slot) {
+  (void)lane_of(slot).stage_finish(slots_.at(slot));
 }
 
 }  // namespace tgnn::runtime

@@ -1,0 +1,64 @@
+// Blocking bounded channel wiring the serving pipeline's stage workers —
+// the software analogue of the on-chip FIFOs the paper uses between the
+// memory-update unit, the embedding unit, and the decoder. The queueing
+// semantics (bounded capacity, producer stalls when full) are
+// fpga::Fifo's, reused directly as the contract; this
+// wrapper only adds the host-side synchronization the hardware gets for
+// free (condition variables instead of ready/valid wires) plus a close()
+// for drain-then-shutdown.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+
+#include "fpga/fifo.hpp"
+
+namespace tgnn::runtime {
+
+template <typename T>
+class StageChannel {
+ public:
+  explicit StageChannel(std::size_t capacity) : q_(capacity) {}
+
+  /// Blocks while the channel is full (the upstream stage stalls, exactly
+  /// like a hardware producer seeing a full FIFO). Returns false — and
+  /// drops `v` — only if the channel was closed.
+  bool push(T v) {
+    std::unique_lock lk(mu_);
+    cv_space_.wait(lk, [this] { return closed_ || !q_.full(); });
+    if (closed_) return false;
+    q_.push(std::move(v));
+    cv_data_.notify_one();
+    return true;
+  }
+
+  /// Blocks while the channel is empty; returns nullopt once it is closed
+  /// AND fully drained (in-flight items are always delivered).
+  std::optional<T> pop() {
+    std::unique_lock lk(mu_);
+    cv_data_.wait(lk, [this] { return closed_ || !q_.empty(); });
+    auto v = q_.pop();
+    if (v) cv_space_.notify_one();
+    return v;
+  }
+
+  /// No further pushes; pending items remain poppable.
+  void close() {
+    {
+      std::lock_guard lk(mu_);
+      closed_ = true;
+    }
+    cv_data_.notify_all();
+    cv_space_.notify_all();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_data_;   ///< signals: item available or closed
+  std::condition_variable cv_space_;  ///< signals: capacity freed or closed
+  fpga::Fifo<T> q_;
+  bool closed_ = false;
+};
+
+}  // namespace tgnn::runtime

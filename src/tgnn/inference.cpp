@@ -5,6 +5,7 @@
 #include <set>
 #include <shared_mutex>
 #include <stdexcept>
+#include <unordered_map>
 
 #include <omp.h>
 
@@ -41,7 +42,7 @@ void RuntimeState::neighbors_into(graph::NodeId v, double t, std::size_t k,
 
 void BatchWorkspace::reserve(std::size_t max_nodes, const ModelConfig& cfg) {
   t_event.reserve(max_nodes);
-  if (nbrs.size() < max_nodes) nbrs.resize(max_nodes);
+  grow_to(nbrs, max_nodes);
   for (auto& n : nbrs) n.reserve(cfg.num_neighbors);
   mail_rows.reserve(max_nodes);
   mem_ptr.reserve(max_nodes);
@@ -60,7 +61,7 @@ void BatchWorkspace::reserve(std::size_t max_nodes, const ModelConfig& cfg) {
   gb.q_in.reserve(max_nodes, cfg.q_in_dim());
   gb.kv_in.reserve(max_rows, cfg.kv_in_dim());
   gb.logits.reserve(max_rows);
-  if (gb.scores.size() < max_nodes) gb.scores.resize(max_nodes);
+  grow_to(gb.scores, max_nodes);
   gb.attn.q.reserve(max_nodes, cfg.emb_dim);
   gb.attn.k.reserve(max_rows, cfg.emb_dim);
   gb.attn.v.reserve(max_rows, cfg.emb_dim);
@@ -103,141 +104,211 @@ InferenceEngine::InferenceEngine(const TgnModel& model, const data::Dataset& ds,
 InferenceEngine::BatchResult InferenceEngine::process_batch(
     const graph::BatchRange& r, std::span<const graph::NodeId> extra_nodes,
     PartTimes* times) {
-  const ModelConfig& cfg = model_.config();
-  const auto edges = ds_.graph.edges(r);
-  Stopwatch sw;
+  // The serial driver: the four stages back to back on the engine's own
+  // context — bit-identical to the pre-staged monolithic loop (the stages
+  // are the same statements; only MemoryUpdate and the neighbor sampling
+  // swapped places, and neither reads what the other writes).
+  stage_begin(ctx_, r, extra_nodes);
+  stage_run(Stage::kMemoryUpdate, ctx_);
+  stage_run(Stage::kNeighborGather, ctx_);
+  stage_run(Stage::kGnnCompute, ctx_);
+  stage_run(Stage::kDecode, ctx_);
+  if (times) *times += ctx_.parts;
+  return stage_finish(ctx_);
+}
 
-  // ---- collect unique involved vertices; per-vertex event time = its most
+void InferenceEngine::stage_begin(StageContext& ctx, const graph::BatchRange& r,
+                                  std::span<const graph::NodeId> extra_nodes) {
+  Stopwatch sw;
+  ctx.range = r;
+  ctx.extras.assign(extra_nodes.begin(), extra_nodes.end());
+  ctx.parts = PartTimes{};
+  ctx.res = BatchResult{};
+
+  // Collect unique involved vertices; per-vertex event time = its most
   // recent timestamp within the batch (in-batch dependencies are ignored).
-  // All intermediates below live in the engine's BatchWorkspace so that
-  // steady-state batches reuse buffers instead of re-allocating them.
-  BatchResult res;
-  std::vector<double>& t_event = ws_.t_event;
+  // Reads only the immutable edge stream, so a pipelined scheduler may run
+  // this before the batch is admitted past the hazard check.
+  const auto edges = ds_.graph.edges(r);
+  std::vector<double>& t_event = ctx.ws.t_event;
   t_event.clear();
   auto touch = [&](graph::NodeId v, double ts) {
-    auto [it, inserted] = res.index.try_emplace(v, res.nodes.size());
+    auto [it, inserted] = ctx.res.index.try_emplace(v, ctx.res.nodes.size());
     if (inserted) {
-      res.nodes.push_back(v);
+      ctx.res.nodes.push_back(v);
       t_event.push_back(ts);
     } else {
       t_event[it->second] = std::max(t_event[it->second], ts);
     }
   };
-  const double t_batch_end = edges.empty() ? 0.0 : edges.back().ts;
+  ctx.t_batch_end = edges.empty() ? 0.0 : edges.back().ts;
   for (const auto& e : edges) {
     touch(e.src, e.ts);
     touch(e.dst, e.ts);
   }
-  const std::size_t num_real = res.nodes.size();
-  for (graph::NodeId v : extra_nodes) touch(v, t_batch_end);
-  const std::size_t n_nodes = res.nodes.size();
+  ctx.num_real = ctx.res.nodes.size();
+  for (graph::NodeId v : ctx.extras) touch(v, ctx.t_batch_end);
+  ctx.parts.sample += sw.seconds();
+}
 
-  // ---- sample: neighbor lists BEFORE this batch's edges are inserted.
-  if (ws_.nbrs.size() < n_nodes) ws_.nbrs.resize(n_nodes);
-  auto& nbrs = ws_.nbrs;
-  for (std::size_t i = 0; i < n_nodes; ++i)
-    state_->neighbors_into(res.nodes[i], t_event[i], cfg.num_neighbors,
-                          nbrs[i]);
-  if (times) times->sample += sw.seconds();
+void InferenceEngine::stage_run(Stage s, StageContext& ctx) {
+  switch (s) {
+    case Stage::kMemoryUpdate:
+      stage_memory_update(ctx);
+      return;
+    case Stage::kNeighborGather:
+      stage_neighbor_gather(ctx);
+      return;
+    case Stage::kGnnCompute:
+      stage_gnn_compute(ctx);
+      return;
+    case Stage::kDecode:
+      stage_decode(ctx);
+      return;
+  }
+  throw std::invalid_argument("InferenceEngine::stage_run: unknown stage");
+}
 
-  // ---- memory: consume cached mail through the GRU (Eq. 1).
-  sw.reset();
-  std::vector<std::size_t>& mail_rows = ws_.mail_rows;  // indices into nodes
+void InferenceEngine::stage_memory_update(StageContext& ctx) {
+  // Consume cached mail through the GRU (Eq. 1). Touches only the batch's
+  // own vertices' mailbox/memory/mail_valid rows.
+  Stopwatch sw;
+  const ModelConfig& cfg = model_.config();
+  BatchWorkspace& ws = ctx.ws;
+  const std::size_t n_nodes = ctx.res.nodes.size();
+  std::vector<std::size_t>& mail_rows = ws.mail_rows;  // indices into nodes
   mail_rows.clear();
   for (std::size_t i = 0; i < n_nodes; ++i) {
-    const graph::NodeId v = res.nodes[i];
-    if (state_->mailbox.has_mail(v) && state_->mail_valid[v]) mail_rows.push_back(i);
+    const graph::NodeId v = ctx.res.nodes[i];
+    if (state_->mailbox.has_mail(v) && state_->mail_valid[v])
+      mail_rows.push_back(i);
   }
-  Tensor& s_new = ws_.s_new;  // [mail_rows, mem]
+  Tensor& s_new = ws.s_new;  // [mail_rows, mem]
   if (!mail_rows.empty()) {
-    ws_.x.resize(mail_rows.size(), cfg.gru_in_dim());
-    ws_.h.resize(mail_rows.size(), cfg.mem_dim);
+    ws.x.resize(mail_rows.size(), cfg.gru_in_dim());
+    ws.h.resize(mail_rows.size(), cfg.mem_dim);
     // Gather [raw_mail || Phi(dt)] and the current memory rows into the
     // contiguous GRU operands; all reads are of the batch's own vertices,
     // so rows are independent and the gather parallelizes freely.
 #pragma omp parallel for schedule(static) if (parallel_gnn_)
     for (std::size_t k = 0; k < mail_rows.size(); ++k) {
       const std::size_t i = mail_rows[k];
-      const graph::NodeId v = res.nodes[i];
+      const graph::NodeId v = ctx.res.nodes[i];
       const auto mail = state_->mailbox.mail(v);
-      const double dt = std::max(0.0, t_event[i] - state_->mailbox.mail_ts(v));
-      auto row = ws_.x.row(k);
+      const double dt =
+          std::max(0.0, ws.t_event[i] - state_->mailbox.mail_ts(v));
+      auto row = ws.x.row(k);
       std::copy(mail.begin(), mail.end(), row.begin());
-      model_.time_encoder().encode_scalar(dt,
-                                          row.subspan(mail.size(), cfg.time_dim));
+      model_.time_encoder().encode_scalar(
+          dt, row.subspan(mail.size(), cfg.time_dim));
       const auto mem = state_->memory.get(v);
-      std::copy(mem.begin(), mem.end(), ws_.h.row(k).begin());
+      std::copy(mem.begin(), mem.end(), ws.h.row(k).begin());
     }
-    model_.updater().forward_into(ws_.x, ws_.h, ws_.gru, s_new);
+    model_.updater().forward_into(ws.x, ws.h, ws.gru, s_new);
   }
   // Row lookup: updated memory if in this batch's mail set, else the table.
-  std::vector<const float*>& mem_ptr = ws_.mem_ptr;
+  std::vector<const float*>& mem_ptr = ws.mem_ptr;
   mem_ptr.assign(n_nodes, nullptr);
   for (std::size_t i = 0; i < n_nodes; ++i)
-    mem_ptr[i] = state_->memory.get(res.nodes[i]).data();
+    mem_ptr[i] = state_->memory.get(ctx.res.nodes[i]).data();
   for (std::size_t k = 0; k < mail_rows.size(); ++k)
     mem_ptr[mail_rows[k]] = s_new.row(k).data();
-  if (times) times->memory += sw.seconds();
+  ctx.parts.memory += sw.seconds();
+}
 
-  // ---- GNN: dynamic embeddings via attention over sampled neighbors
-  // (Eq. 2), through the batched gather -> batched-GEMM -> scatter pipeline
-  // (default) or the legacy per-row path — bit-identical by construction.
-  sw.reset();
-  res.embeddings = Tensor(n_nodes, cfg.emb_dim);
+void InferenceEngine::stage_neighbor_gather(StageContext& ctx) {
+  // Sample: neighbor lists BEFORE this batch's edges are inserted (Decode
+  // inserts them; the hazard check keeps concurrent batches' endpoint rows
+  // disjoint, so the rows read here are quiescent).
+  Stopwatch sw;
+  const ModelConfig& cfg = model_.config();
+  BatchWorkspace& ws = ctx.ws;
+  const std::size_t n_nodes = ctx.res.nodes.size();
+  BatchWorkspace::grow_to(ws.nbrs, n_nodes);
+  for (std::size_t i = 0; i < n_nodes; ++i)
+    state_->neighbors_into(ctx.res.nodes[i], ws.t_event[i], cfg.num_neighbors,
+                           ws.nbrs[i]);
+  ctx.parts.sample += sw.seconds();
+
+  // CSR pack + kv-row staging (batched pipeline only; the per-row path
+  // gathers inside GnnCompute). Counted as GNN time, as the gather was
+  // when it lived inside the monolithic GNN stage.
+  if (batched_gnn_) {
+    sw.reset();
+    gnn_gather_batched(ctx);
+    ctx.parts.gnn += sw.seconds();
+  }
+}
+
+void InferenceEngine::stage_gnn_compute(StageContext& ctx) {
+  // Dynamic embeddings via attention over sampled neighbors (Eq. 2): the
+  // batched GEMMs over the staged operands (default) or the legacy per-row
+  // path — bit-identical by construction.
+  Stopwatch sw;
+  const ModelConfig& cfg = model_.config();
+  ctx.res.embeddings = Tensor(ctx.res.nodes.size(), cfg.emb_dim);
   if (batched_gnn_)
-    gnn_stage_batched(res, t_event, res.embeddings);
+    gnn_compute_batched(ctx);
   else
-    gnn_stage_per_row(res, t_event, res.embeddings);
-  if (times) times->gnn += sw.seconds();
+    gnn_stage_per_row(ctx);
+  ctx.parts.gnn += sw.seconds();
+}
 
-  // ---- update: chronological write-back (Alg. 1 lines 4-8, 12-14).
-  // Extra (negative-sample) vertices were embedded with their *transiently*
+void InferenceEngine::stage_decode(StageContext& ctx) {
+  // Chronological write-back (Alg. 1 lines 4-8, 12-14). Extra
+  // (negative-sample) vertices were embedded with their *transiently*
   // updated memory, but only vertices with real events commit state — the
-  // TGN convention for evaluation negatives.
-  sw.reset();
-  for (std::size_t k = 0; k < mail_rows.size(); ++k) {
-    const std::size_t i = mail_rows[k];
-    if (i >= num_real) continue;
-    const graph::NodeId v = res.nodes[i];
+  // TGN convention for evaluation negatives. Pair scoring consumes
+  // ctx.res.embeddings (evaluate_ap / the serving decoder) and rides on
+  // this stage's slot in the pipeline.
+  Stopwatch sw;
+  const ModelConfig& cfg = model_.config();
+  BatchWorkspace& ws = ctx.ws;
+  for (std::size_t k = 0; k < ws.mail_rows.size(); ++k) {
+    const std::size_t i = ws.mail_rows[k];
+    if (i >= ctx.num_real) continue;
+    const graph::NodeId v = ctx.res.nodes[i];
     if (shard_locks_ != nullptr) {
       std::unique_lock lock(shard_locks_->mutex_of(v));
-      state_->memory.set(v, s_new.row(k), t_event[i]);
+      state_->memory.set(v, ws.s_new.row(k), ws.t_event[i]);
     } else {
-      state_->memory.set(v, s_new.row(k), t_event[i]);
+      state_->memory.set(v, ws.s_new.row(k), ws.t_event[i]);
     }
     state_->mail_valid[v] = 0;  // consume-once
   }
   // Cache fresh messages from updated memory; last write per vertex wins
   // ("most recent" aggregator).
-  std::vector<float>& raw = ws_.raw;
+  const auto edges = ds_.graph.edges(ctx.range);
+  std::vector<float>& raw = ws.raw;
   raw.resize(cfg.raw_mail_dim());
   for (const auto& e : edges) {
     const auto fe = cfg.edge_dim > 0
                         ? std::span<const float>(ds_.edge_features.row(e.eid))
                         : std::span<const float>{};
-    build_raw_mail(state_->memory.get(e.src), state_->memory.get(e.dst), fe, raw);
+    build_raw_mail(state_->memory.get(e.src), state_->memory.get(e.dst), fe,
+                   raw);
     state_->mailbox.put(e.src, raw, e.ts);
     state_->mail_valid[e.src] = 1;
-    build_raw_mail(state_->memory.get(e.dst), state_->memory.get(e.src), fe, raw);
+    build_raw_mail(state_->memory.get(e.dst), state_->memory.get(e.src), fe,
+                   raw);
     state_->mailbox.put(e.dst, raw, e.ts);
     state_->mail_valid[e.dst] = 1;
   }
   for (const auto& e : edges) state_->insert_edge(e);
-  if (times) times->update += sw.seconds();
-
-  return res;
+  ctx.parts.update += sw.seconds();
 }
 
 std::span<const float> InferenceEngine::memory_of(
-    graph::NodeId v, const BatchResult& res,
+    graph::NodeId v, const StageContext& ctx,
     std::vector<float>& scratch) const {
   // Memory of a batch vertex comes from the (possibly GRU-updated) local
   // row; memory of anyone else comes from the shared table. In concurrent-
   // lane mode the latter is the one read that can race with another lane's
   // write-back, so it goes through the vertex's shard lock into `scratch`.
   const ModelConfig& cfg = model_.config();
-  auto it = res.index.find(v);
-  if (it != res.index.end()) return {ws_.mem_ptr[it->second], cfg.mem_dim};
+  auto it = ctx.res.index.find(v);
+  if (it != ctx.res.index.end())
+    return {ctx.ws.mem_ptr[it->second], cfg.mem_dim};
   if (shard_locks_ != nullptr) {
     scratch.resize(cfg.mem_dim);
     std::shared_lock lock(shard_locks_->mutex_of(v));
@@ -248,22 +319,22 @@ std::span<const float> InferenceEngine::memory_of(
   return state_->memory.get(v);
 }
 
-void InferenceEngine::f_prime_of(graph::NodeId v, const BatchResult& res,
+void InferenceEngine::f_prime_of(graph::NodeId v, const StageContext& ctx,
                                  std::vector<float>& scratch,
                                  std::span<float> out) const {
   const ModelConfig& cfg = model_.config();
   const auto feat = cfg.node_dim > 0
                         ? std::span<const float>(ds_.node_features.row(v))
                         : std::span<const float>{};
-  model_.f_prime(memory_of(v, res, scratch), feat, out);
+  model_.f_prime(memory_of(v, ctx, scratch), feat, out);
 }
 
 void InferenceEngine::gather_kv_row(const graph::NeighborHit& hit, double dt,
-                                    const BatchResult& res,
+                                    const StageContext& ctx,
                                     std::vector<float>& scratch,
                                     std::span<float> row) const {
   const ModelConfig& cfg = model_.config();
-  f_prime_of(hit.node, res, scratch, row.first(cfg.mem_dim));
+  f_prime_of(hit.node, ctx, scratch, row.first(cfg.mem_dim));
   if (cfg.edge_dim > 0) {
     const auto ef = ds_.edge_features.row(hit.eid);
     std::copy(ef.begin(), ef.end(), row.begin() + cfg.mem_dim);
@@ -272,30 +343,31 @@ void InferenceEngine::gather_kv_row(const graph::NeighborHit& hit, double dt,
       dt, row.subspan(cfg.mem_dim + cfg.edge_dim, cfg.time_dim));
 }
 
-void InferenceEngine::gnn_stage_batched(const BatchResult& res,
-                                        std::span<const double> t_event,
-                                        Tensor& embeddings) {
+void InferenceEngine::gnn_gather_batched(StageContext& ctx) {
   const ModelConfig& cfg = model_.config();
-  const auto& nbrs = ws_.nbrs;
-  BatchWorkspace::GnnBatch& gb = ws_.gb;
-  const std::size_t n_nodes = res.nodes.size();
+  BatchWorkspace& ws = ctx.ws;
+  const auto& nbrs = ws.nbrs;
+  const auto& t_event = ws.t_event;
+  BatchWorkspace::GnnBatch& gb = ws.gb;
+  const std::size_t n_nodes = ctx.res.nodes.size();
   const std::size_t n_threads =
-      parallel_gnn_ ? static_cast<std::size_t>(std::max(1, omp_get_max_threads()))
-                    : 1;
-  if (ws_.gnn.size() < n_threads) ws_.gnn.resize(n_threads);
+      parallel_gnn_
+          ? static_cast<std::size_t>(std::max(1, omp_get_max_threads()))
+          : 1;
+  BatchWorkspace::grow_to(ws.gnn, n_threads);
 
   // ---- gather f'_i of every center vertex into one contiguous matrix
   // (shared by both attention variants).
   gb.fp.resize(n_nodes, cfg.mem_dim);
 #pragma omp parallel for schedule(static) if (parallel_gnn_)
   for (std::size_t i = 0; i < n_nodes; ++i) {
-    auto& sc = ws_.gnn[static_cast<std::size_t>(omp_get_thread_num())];
-    f_prime_of(res.nodes[i], res, sc.mem_row, gb.fp.row(i));
+    auto& sc = ws.gnn[static_cast<std::size_t>(omp_get_thread_num())];
+    f_prime_of(ctx.res.nodes[i], ctx, sc.mem_row, gb.fp.row(i));
   }
 
   gb.seg.resize(n_nodes + 1);
   gb.seg[0] = 0;
-  if (const auto* att = model_.vanilla()) {
+  if (model_.vanilla() != nullptr) {
     // ---- gather: q rows + packed [f'_j || e_ij || Phi(dt)] neighbor rows.
     for (std::size_t i = 0; i < n_nodes; ++i)
       gb.seg[i + 1] = gb.seg[i] + nbrs[i].size();
@@ -303,28 +375,25 @@ void InferenceEngine::gnn_stage_batched(const BatchResult& res,
     gb.kv_in.resize(gb.seg[n_nodes], cfg.kv_in_dim());
 #pragma omp parallel for schedule(dynamic, 8) if (parallel_gnn_)
     for (std::size_t i = 0; i < n_nodes; ++i) {
-      auto& sc = ws_.gnn[static_cast<std::size_t>(omp_get_thread_num())];
+      auto& sc = ws.gnn[static_cast<std::size_t>(omp_get_thread_num())];
       auto q = gb.q_in.row(i);
       const auto fp = gb.fp.row(i);
       std::copy(fp.begin(), fp.end(), q.begin());
-      model_.time_encoder().encode_scalar(0.0,
-                                          q.subspan(cfg.mem_dim, cfg.time_dim));
+      model_.time_encoder().encode_scalar(
+          0.0, q.subspan(cfg.mem_dim, cfg.time_dim));
       const auto& nb = nbrs[i];
       for (std::size_t j = 0; j < nb.size(); ++j)
-        gather_kv_row(nb[j], std::max(0.0, t_event[i] - nb[j].ts), res,
+        gather_kv_row(nb[j], std::max(0.0, t_event[i] - nb[j].ts), ctx,
                       sc.mem_row, gb.kv_in.row(gb.seg[i] + j));
     }
-    // ---- batched compute + scatter into the embeddings matrix.
-    att->forward_batch_into(gb.fp, gb.q_in, gb.kv_in, gb.seg, gb.attn,
-                            embeddings);
   } else {
     const auto* sat = model_.simplified();
-    if (gb.scores.size() < n_nodes) gb.scores.resize(n_nodes);
+    BatchWorkspace::grow_to(gb.scores, n_nodes);
     // ---- phase 1: dt-only logits + pruning per node (tiny mr x mr work;
     // what makes the kept-slot gather below possible before any V fetch).
 #pragma omp parallel for schedule(dynamic, 8) if (parallel_gnn_)
     for (std::size_t i = 0; i < n_nodes; ++i) {
-      auto& sc = ws_.gnn[static_cast<std::size_t>(omp_get_thread_num())];
+      auto& sc = ws.gnn[static_cast<std::size_t>(omp_get_thread_num())];
       const auto& nb = nbrs[i];
       sc.dts.resize(nb.size());
       for (std::size_t j = 0; j < nb.size(); ++j)
@@ -338,38 +407,51 @@ void InferenceEngine::gnn_stage_batched(const BatchResult& res,
     gb.logits.resize(gb.seg[n_nodes]);
 #pragma omp parallel for schedule(dynamic, 8) if (parallel_gnn_)
     for (std::size_t i = 0; i < n_nodes; ++i) {
-      auto& sc = ws_.gnn[static_cast<std::size_t>(omp_get_thread_num())];
+      auto& sc = ws.gnn[static_cast<std::size_t>(omp_get_thread_num())];
       const SimplifiedAttention::Scores& s = gb.scores[i];
       for (std::size_t idx = 0; idx < s.keep.size(); ++idx) {
         const std::size_t slot = s.keep[idx];
-        gather_kv_row(nbrs[i][slot], s.dts[slot], res, sc.mem_row,
+        gather_kv_row(nbrs[i][slot], s.dts[slot], ctx, sc.mem_row,
                       gb.kv_in.row(gb.seg[i] + idx));
         gb.logits[gb.seg[i] + idx] = s.logits[slot];
       }
     }
-    // ---- batched compute + scatter into the embeddings matrix.
-    sat->aggregate_batch_into(gb.fp, gb.logits, gb.kv_in, gb.seg, gb.sat,
-                              embeddings);
   }
 }
 
-void InferenceEngine::gnn_stage_per_row(const BatchResult& res,
-                                        std::span<const double> t_event,
-                                        Tensor& embeddings) {
+void InferenceEngine::gnn_compute_batched(StageContext& ctx) {
+  // ---- batched compute + scatter into the embeddings matrix: each model
+  // stage is ONE kernel call over the operands NeighborGather staged.
+  BatchWorkspace::GnnBatch& gb = ctx.ws.gb;
+  if (const auto* att = model_.vanilla()) {
+    att->forward_batch_into(gb.fp, gb.q_in, gb.kv_in, gb.seg, gb.attn,
+                            ctx.res.embeddings);
+  } else {
+    model_.simplified()->aggregate_batch_into(gb.fp, gb.logits, gb.kv_in,
+                                              gb.seg, gb.sat,
+                                              ctx.res.embeddings);
+  }
+}
+
+void InferenceEngine::gnn_stage_per_row(StageContext& ctx) {
   const ModelConfig& cfg = model_.config();
-  const auto& nbrs = ws_.nbrs;
-  const std::size_t n_nodes = res.nodes.size();
+  BatchWorkspace& ws = ctx.ws;
+  const auto& nbrs = ws.nbrs;
+  const auto& t_event = ws.t_event;
+  Tensor& embeddings = ctx.res.embeddings;
+  const std::size_t n_nodes = ctx.res.nodes.size();
   const std::size_t n_threads =
-      parallel_gnn_ ? static_cast<std::size_t>(std::max(1, omp_get_max_threads()))
-                    : 1;
-  if (ws_.gnn.size() < n_threads) ws_.gnn.resize(n_threads);
+      parallel_gnn_
+          ? static_cast<std::size_t>(std::max(1, omp_get_max_threads()))
+          : 1;
+  BatchWorkspace::grow_to(ws.gnn, n_threads);
 #pragma omp parallel for schedule(dynamic, 8) if (parallel_gnn_)
   for (std::size_t i = 0; i < n_nodes; ++i) {
-    auto& sc = ws_.gnn[static_cast<std::size_t>(omp_get_thread_num())];
+    auto& sc = ws.gnn[static_cast<std::size_t>(omp_get_thread_num())];
     sc.fp.resize(1, cfg.mem_dim);
-    const graph::NodeId u = res.nodes[i];
+    const graph::NodeId u = ctx.res.nodes[i];
     const auto& nb = nbrs[i];
-    f_prime_of(u, res, sc.mem_row, sc.fp.row(0));
+    f_prime_of(u, ctx, sc.mem_row, sc.fp.row(0));
 
     // Both attention variants run their fused inference path, writing the
     // embedding straight into the batch result's row.
@@ -379,12 +461,12 @@ void InferenceEngine::gnn_stage_per_row(const BatchResult& res,
       {
         auto q = in.q_in.row(0);
         std::copy(sc.fp.row(0).begin(), sc.fp.row(0).end(), q.begin());
-        model_.time_encoder().encode_scalar(0.0,
-                                            q.subspan(cfg.mem_dim, cfg.time_dim));
+        model_.time_encoder().encode_scalar(
+            0.0, q.subspan(cfg.mem_dim, cfg.time_dim));
       }
       in.kv_in.resize(nb.size(), cfg.kv_in_dim());
       for (std::size_t j = 0; j < nb.size(); ++j)
-        gather_kv_row(nb[j], std::max(0.0, t_event[i] - nb[j].ts), res,
+        gather_kv_row(nb[j], std::max(0.0, t_event[i] - nb[j].ts), ctx,
                       sc.mem_row, in.kv_in.row(j));
       att->forward_into(sc.fp.row(0), in, sc.attn, embeddings.row(i));
     } else {
@@ -396,7 +478,7 @@ void InferenceEngine::gnn_stage_per_row(const BatchResult& res,
       const auto& scores = sc.scores;
       sc.v_in.resize(scores.keep.size(), cfg.kv_in_dim());
       for (std::size_t k = 0; k < scores.keep.size(); ++k)
-        gather_kv_row(nb[scores.keep[k]], sc.dts[scores.keep[k]], res,
+        gather_kv_row(nb[scores.keep[k]], sc.dts[scores.keep[k]], ctx,
                       sc.mem_row, sc.v_in.row(k));
       sat->aggregate_into(sc.fp.row(0), scores, sc.v_in, sc.sat,
                           embeddings.row(i));
@@ -404,14 +486,44 @@ void InferenceEngine::gnn_stage_per_row(const BatchResult& res,
   }
 }
 
+void InferenceEngine::read_footprint(const graph::BatchRange& r,
+                                     std::vector<graph::NodeId>& out) const {
+  out.clear();
+  const auto edges = ds_.graph.edges(r);
+  // Per unique endpoint, the stages sample neighbors at the vertex's most
+  // recent in-batch event time — mirror that exactly so the footprint is a
+  // superset of the gather/compute stages' reads.
+  std::unordered_map<graph::NodeId, double> t_event;
+  for (const auto& e : edges) {
+    for (graph::NodeId v : {e.src, e.dst}) {
+      auto [it, inserted] = t_event.try_emplace(v, e.ts);
+      if (!inserted) it->second = std::max(it->second, e.ts);
+    }
+  }
+  const std::size_t k = model_.config().num_neighbors;
+  std::vector<graph::NeighborHit> hits;
+  for (const auto& [v, t] : t_event) {
+    state_->neighbors_into(v, t, k, hits);
+    for (const auto& h : hits) out.push_back(h.node);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+}
+
 void InferenceEngine::reserve_workspace(std::size_t max_batch_edges) {
+  reserve_context(ctx_, max_batch_edges);
+}
+
+void InferenceEngine::reserve_context(StageContext& ctx,
+                                      std::size_t max_batch_edges) const {
   // Each edge touches at most two unique vertices.
-  ws_.reserve(2 * max_batch_edges, model_.config());
+  ctx.ws.reserve(2 * max_batch_edges, model_.config());
 }
 
 void InferenceEngine::warmup(const graph::BatchRange& range,
                              std::size_t batch_size) {
   const ModelConfig& cfg = model_.config();
+  BatchWorkspace& ws = ctx_.ws;
   for (const auto& b : ds_.graph.fixed_size_batches(range.begin, range.end,
                                                     batch_size)) {
     const auto edges = ds_.graph.edges(b);
@@ -428,22 +540,22 @@ void InferenceEngine::warmup(const graph::BatchRange& range,
     if (!mail_nodes.empty()) {
       // Same fused GRU path as process_batch, reusing the engine workspace,
       // so a warmed-up state is bit-identical to a streamed one.
-      ws_.x.resize(mail_nodes.size(), cfg.gru_in_dim());
-      ws_.h.resize(mail_nodes.size(), cfg.mem_dim);
+      ws.x.resize(mail_nodes.size(), cfg.gru_in_dim());
+      ws.h.resize(mail_nodes.size(), cfg.mem_dim);
       for (std::size_t k = 0; k < mail_nodes.size(); ++k) {
         const graph::NodeId v = mail_nodes[k];
         const auto mail = state_->mailbox.mail(v);
-        auto row = ws_.x.row(k);
+        auto row = ws.x.row(k);
         std::copy(mail.begin(), mail.end(), row.begin());
         model_.time_encoder().encode_scalar(
             std::max(0.0, tev[v] - state_->mailbox.mail_ts(v)),
             row.subspan(mail.size(), cfg.time_dim));
         const auto mem = state_->memory.get(v);
-        std::copy(mem.begin(), mem.end(), ws_.h.row(k).begin());
+        std::copy(mem.begin(), mem.end(), ws.h.row(k).begin());
       }
-      model_.updater().forward_into(ws_.x, ws_.h, ws_.gru, ws_.s_new);
+      model_.updater().forward_into(ws.x, ws.h, ws.gru, ws.s_new);
       for (std::size_t k = 0; k < mail_nodes.size(); ++k) {
-        state_->memory.set(mail_nodes[k], ws_.s_new.row(k), tev[mail_nodes[k]]);
+        state_->memory.set(mail_nodes[k], ws.s_new.row(k), tev[mail_nodes[k]]);
         state_->mail_valid[mail_nodes[k]] = 0;
       }
     }

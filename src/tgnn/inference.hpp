@@ -1,17 +1,29 @@
-// Batched TGNN inference per Algorithm 1.
+// Staged TGNN inference per Algorithm 1.
 //
 // RuntimeState bundles the persistent vertex tables (memory, mailbox,
 // neighbor structure); InferenceEngine streams edge batches through the
-// model:
+// model as an explicit four-stage pipeline — the software port of the
+// paper's hardware dataflow (memory-update unit -> embedding unit ->
+// decoder, wired by bounded FIFOs):
 //
-//   sample : gather each involved vertex's temporal neighbors
-//   memory : consume cached mail -> GRU -> updated node memory (Eq. 1)
-//   GNN    : attention over neighbors -> dynamic embeddings (Eq. 2)
-//   update : write back memory, cache fresh messages, extend neighbor table
+//   MemoryUpdate   : mailbox drain -> GRU -> updated node memory (Eq. 1)
+//   NeighborGather : temporal neighbor sampling + CSR pack / kv-row staging
+//   GnnCompute     : batched attention GEMMs -> dynamic embeddings (Eq. 2)
+//   Decode         : state write-back (memory commit, fresh mail, neighbor
+//                    table extension); pair scoring rides on the produced
+//                    embeddings (evaluate_ap / the serving decoder)
 //
-// The four stages are individually timed (PartTimes) to reproduce the
-// Table I breakdown. Negative-sample vertices can be embedded alongside a
-// batch (for AP evaluation) without mutating their state.
+// Each stage operates on a per-batch StageContext, so a caller holding two
+// contexts can run stage k of batch i concurrently with stage k-1 of batch
+// i+1 — the cross-batch overlap the runtime's pipelined ServingEngine
+// schedules (with a vertex-footprint hazard check; see DESIGN.md "The
+// staged serving pipeline"). process_batch is the serial driver: the four
+// stages back to back on the engine's own context, bit-identical to the
+// pre-staged monolithic loop.
+//
+// The stages are individually timed (PartTimes) to reproduce the Table I
+// breakdown. Negative-sample vertices can be embedded alongside a batch
+// (for AP evaluation) without mutating their state.
 //
 // Within a batch, temporal dependencies between its edges are ignored while
 // state writes stay chronological — the standard TGN setup the paper adopts
@@ -61,12 +73,56 @@ struct RuntimeState {
   void reset();
 };
 
-/// Reusable scratch for one engine's process_batch hot path. All per-batch
+/// Per-batch functional output: the unique involved vertices and their
+/// dynamic embeddings. (Hoisted to namespace scope so StageContext can hold
+/// one; InferenceEngine::BatchResult remains an alias.)
+struct BatchResult {
+  std::vector<graph::NodeId> nodes;  ///< unique involved vertices
+  Tensor embeddings;                 ///< [nodes.size(), emb_dim]
+  std::unordered_map<graph::NodeId, std::size_t> index;
+  [[nodiscard]] std::span<const float> embedding_of(graph::NodeId v) const {
+    return embeddings.row(index.at(v));
+  }
+};
+
+/// The explicit pipeline stages of one batch, in dataflow order. Values are
+/// contiguous from 0 so schedulers can index FIFOs / workers by stage.
+enum class Stage : std::size_t {
+  kMemoryUpdate = 0,    ///< mailbox drain + GRU (Eq. 1)
+  kNeighborGather = 1,  ///< neighbor sampling + CSR pack + kv-row staging
+  kGnnCompute = 2,      ///< batched attention GEMMs (Eq. 2)
+  kDecode = 3,          ///< pair scoring + chronological state write-back
+};
+inline constexpr std::size_t kNumStages = 4;
+
+struct PartTimes {
+  double sample = 0.0, memory = 0.0, gnn = 0.0, update = 0.0;  // seconds
+  [[nodiscard]] double total() const { return sample + memory + gnn + update; }
+  PartTimes& operator+=(const PartTimes& o) {
+    sample += o.sample;
+    memory += o.memory;
+    gnn += o.gnn;
+    update += o.update;
+    return *this;
+  }
+};
+
+/// Reusable scratch for one batch's trip through the stages. All per-batch
 /// intermediates live here, sized on first use (or up-front via reserve())
 /// and recycled, so steady-state batches do no heap allocation beyond the
-/// returned BatchResult itself. One workspace per engine — i.e. per runtime
-/// backend — which is what makes backends safely independent.
+/// returned BatchResult itself. One workspace per in-flight batch — the
+/// serial engine owns one; the pipelined serving path owns one per
+/// StageContext slot, which is what makes cross-batch stage overlap safe.
 struct BatchWorkspace {
+  /// Grow-don't-shrink sizing shared by every per-element buffer here: the
+  /// one high-water-mark growth rule (geometric growth via std::vector,
+  /// capacity kept until destruction) that reserve() and the ragged-batch
+  /// overflow paths both use.
+  template <typename T>
+  static void grow_to(std::vector<T>& v, std::size_t n) {
+    if (v.size() < n) v.resize(n);
+  }
+
   std::vector<double> t_event;                        ///< per unique vertex
   std::vector<std::vector<graph::NeighborHit>> nbrs;  ///< per unique vertex
   std::vector<std::size_t> mail_rows;
@@ -98,9 +154,9 @@ struct BatchWorkspace {
 
   /// Batch-level staging for the batched GNN stage: every per-event input
   /// is gathered once into these contiguous row-major matrices (neighbor
-  /// rows packed CSR-style behind `seg`), each model stage then runs as a
-  /// single batched GEMM, and the final FTM GEMM scatters embeddings
-  /// straight into the batch result.
+  /// rows packed CSR-style behind `seg`) by NeighborGather, each model
+  /// stage then runs as a single batched GEMM in GnnCompute, and the final
+  /// FTM GEMM scatters embeddings straight into the batch result.
   struct GnnBatch {
     std::vector<std::size_t> seg;  ///< [n_nodes + 1] CSR offsets into kv_in
     Tensor fp;                     ///< [n_nodes, mem_dim] f'_i rows
@@ -116,52 +172,80 @@ struct BatchWorkspace {
   /// Pre-size every buffer for batches of up to `max_nodes` unique vertices
   /// so the first measured batch already runs allocation-free. Growth
   /// policy: buffers sized here are high-water marks — a ragged batch that
-  /// overflows them grows the underlying vector (geometrically, via
-  /// std::vector) and the capacity is kept for every later batch; nothing
-  /// ever shrinks until the engine is destroyed.
+  /// overflows them grows the underlying vector through grow_to() /
+  /// Tensor::resize and the capacity is kept for every later batch; nothing
+  /// ever shrinks until the workspace is destroyed.
   void reserve(std::size_t max_nodes, const ModelConfig& cfg);
 };
 
-struct PartTimes {
-  double sample = 0.0, memory = 0.0, gnn = 0.0, update = 0.0;  // seconds
-  [[nodiscard]] double total() const { return sample + memory + gnn + update; }
-  PartTimes& operator+=(const PartTimes& o) {
-    sample += o.sample;
-    memory += o.memory;
-    gnn += o.gnn;
-    update += o.update;
-    return *this;
-  }
+/// Everything one batch carries between pipeline stages: its identity in
+/// the stream, the per-batch workspace, the accumulated functional result,
+/// and the per-stage timing. Carved out of the engine so several batches
+/// can be in flight at once — the engine itself holds no per-batch state
+/// during stage_run, only the shared RuntimeState (whose cross-batch
+/// access the caller keeps hazard-free; see runtime/serving.hpp).
+struct StageContext {
+  graph::BatchRange range{0, 0};
+  std::vector<graph::NodeId> extras;  ///< embedded without mutating state
+  std::size_t num_real = 0;   ///< nodes with real events (commit state)
+  double t_batch_end = 0.0;   ///< extras are embedded at this timestamp
+  BatchResult res;            ///< filled across the stages
+  PartTimes parts;            ///< per-stage timing (Table I breakdown)
+  BatchWorkspace ws;          ///< all per-batch intermediates
 };
 
 class InferenceEngine {
  public:
+  using BatchResult = tgnn::core::BatchResult;
+
   InferenceEngine(const TgnModel& model, const data::Dataset& ds,
                   bool use_fifo_sampler = true);
 
   /// Operate over an externally owned RuntimeState instead of a private
   /// one. Several engines may share `state` — each keeps its own
-  /// BatchWorkspace, so N engines over one state are N execution lanes over
-  /// one logical vertex store (the sharded runtime backend). The caller is
-  /// responsible for never running two lanes on conflicting vertex sets;
-  /// see set_shard_locks() for the one guarded exception.
+  /// StageContext workspace, so N engines over one state are N execution
+  /// lanes over one logical vertex store (the sharded runtime backend). The
+  /// caller is responsible for never running two lanes on conflicting
+  /// vertex sets; see set_shard_locks() for the one guarded exception.
   InferenceEngine(const TgnModel& model, const data::Dataset& ds,
                   RuntimeState& state);
 
-  struct BatchResult {
-    std::vector<graph::NodeId> nodes;  ///< unique involved vertices
-    Tensor embeddings;                 ///< [nodes.size(), emb_dim]
-    std::unordered_map<graph::NodeId, std::size_t> index;
-    [[nodiscard]] std::span<const float> embedding_of(graph::NodeId v) const {
-      return embeddings.row(index.at(v));
-    }
-  };
-
-  /// Process one batch of the edge stream (Alg. 1 loop body). extra_nodes
-  /// are embedded too (using, but not mutating, their state).
+  /// Process one batch of the edge stream (Alg. 1 loop body): stage_begin +
+  /// the four stages in order on the engine's own context. extra_nodes are
+  /// embedded too (using, but not mutating, their state).
   BatchResult process_batch(const graph::BatchRange& r,
                             std::span<const graph::NodeId> extra_nodes = {},
                             PartTimes* times = nullptr);
+
+  // ---- staged execution -----------------------------------------------
+  // The same batch loop, exposed stage by stage over caller-owned contexts
+  // so a scheduler can overlap stages of adjacent batches. Contract:
+  //   * stage_begin binds a batch to a context; stage_run must then be
+  //     called once per Stage in enum order; stage_finish releases the
+  //     result and the context may be reused.
+  //   * stage_run calls on DISTINCT contexts are safe from different
+  //     threads provided the in-flight batches' vertex footprints are
+  //     disjoint (writes always; reads too unless shard locks are armed) —
+  //     the engine touches no per-batch state outside the context.
+  //   * interleaving with process_batch on the same engine is allowed
+  //     between batches, not within one.
+
+  /// Bind [r, extras] to `ctx`: collect the unique involved vertices and
+  /// per-vertex event times. Reads only the immutable edge stream.
+  void stage_begin(StageContext& ctx, const graph::BatchRange& r,
+                   std::span<const graph::NodeId> extra_nodes = {});
+  /// Execute one pipeline stage of the batch bound to `ctx`.
+  void stage_run(Stage s, StageContext& ctx);
+  /// Release the batch's functional result; `ctx` is reusable afterwards.
+  BatchResult stage_finish(StageContext& ctx) { return std::move(ctx.res); }
+
+  /// Vertices a batch will READ beyond its own endpoints: the sampled
+  /// temporal neighbors of every endpoint, from current state (sorted,
+  /// deduplicated). Only meaningful while no concurrent batch writes r's
+  /// endpoints (their neighbor rows are then quiescent) — the deterministic
+  /// serving modes' exact-footprint query.
+  void read_footprint(const graph::BatchRange& r,
+                      std::vector<graph::NodeId>& out) const;
 
   /// Stream a range through memory/mailbox/neighbor updates WITHOUT
   /// computing embeddings — fast-forwards the state (used to warm up to the
@@ -187,7 +271,8 @@ class InferenceEngine {
   /// Select the GNN-stage execution pipeline. Batched (default) gathers
   /// the whole micro-batch into contiguous matrices and runs each model
   /// stage as one batched kernel call; per-row is the legacy
-  /// node-at-a-time path. Both produce bit-identical embeddings (pinned by
+  /// node-at-a-time path (its gather+compute both run inside GnnCompute).
+  /// Both produce bit-identical embeddings (pinned by
   /// tests/tgnn/batched_inference_test.cpp) — the switch exists for those
   /// equivalence tests and for A/B latency measurements.
   void set_batched_gnn(bool on) { batched_gnn_ = on; }
@@ -214,33 +299,42 @@ class InferenceEngine {
     return dst_pool_;
   }
 
-  /// Pre-size the batch workspace for batches of up to `max_batch_edges`
-  /// edges (runtime backends call this once at warmup).
+  /// Pre-size the serial context's workspace for batches of up to
+  /// `max_batch_edges` edges (runtime backends call this once at warmup).
   void reserve_workspace(std::size_t max_batch_edges);
+  /// Same sizing rule, applied to a caller-owned pipeline context.
+  void reserve_context(StageContext& ctx, std::size_t max_batch_edges) const;
 
  private:
+  void stage_memory_update(StageContext& ctx);
+  void stage_neighbor_gather(StageContext& ctx);
+  void stage_gnn_compute(StageContext& ctx);
+  void stage_decode(StageContext& ctx);
+
   /// Memory row of v as this batch sees it: the (possibly GRU-updated)
   /// local row when v is in the batch, else the shared table — through v's
   /// shard lock into `scratch` in concurrent-lane mode.
-  std::span<const float> memory_of(graph::NodeId v, const BatchResult& res,
+  std::span<const float> memory_of(graph::NodeId v, const StageContext& ctx,
                                    std::vector<float>& scratch) const;
   /// f'_v written into `out` (memory_of + optional node-feature projection).
-  void f_prime_of(graph::NodeId v, const BatchResult& res,
+  void f_prime_of(graph::NodeId v, const StageContext& ctx,
                   std::vector<float>& scratch, std::span<float> out) const;
   /// One attention K/V input row [f'_j || e_ij || Phi(dt)] for neighbor
   /// `hit`, written into `row` (kv_in_dim wide). The ONE definition of the
   /// kv row layout — both GNN pipelines build every row through it, which
   /// is what keeps their gathers byte-identical.
   void gather_kv_row(const graph::NeighborHit& hit, double dt,
-                     const BatchResult& res, std::vector<float>& scratch,
+                     const StageContext& ctx, std::vector<float>& scratch,
                      std::span<float> row) const;
 
-  /// The two GNN-stage pipelines (embeddings for every node in `res`);
-  /// bit-identical to each other by construction — see DESIGN.md.
-  void gnn_stage_batched(const BatchResult& res,
-                         std::span<const double> t_event, Tensor& embeddings);
-  void gnn_stage_per_row(const BatchResult& res,
-                         std::span<const double> t_event, Tensor& embeddings);
+  /// The batched GNN pipeline, split at the stage boundary: gather stages
+  /// every per-event input into GnnBatch (NeighborGather), compute runs
+  /// the batched kernels and scatters embeddings (GnnCompute).
+  void gnn_gather_batched(StageContext& ctx);
+  void gnn_compute_batched(StageContext& ctx);
+  /// The legacy per-row GNN path (gather + compute fused, inside
+  /// GnnCompute); bit-identical to the batched path — see DESIGN.md.
+  void gnn_stage_per_row(StageContext& ctx);
 
   const TgnModel& model_;
   const data::Dataset& ds_;
@@ -250,7 +344,7 @@ class InferenceEngine {
   bool parallel_gnn_ = false;
   bool batched_gnn_ = true;
   const graph::ShardLockTable* shard_locks_ = nullptr;
-  BatchWorkspace ws_;
+  StageContext ctx_;  ///< the serial path's own context (process_batch)
 };
 
 /// Inter-event time gaps observed while streaming `range` — the dt samples

@@ -227,6 +227,50 @@ TEST(ServingEngine, IdleEngineStatsAreAllZero) {
     EXPECT_EQ(v, 0.0);
   }
   EXPECT_EQ(s.peak_parallel_batches, 0u);
+  EXPECT_EQ(s.peak_in_flight_batches, 0u);
+  EXPECT_EQ(s.peak_queue_depth, 0u);
+}
+
+TEST(ServingEngine, StopFlushesPendingAndRejectsLateSubmits) {
+  // stop() is the graceful shutdown: everything submitted is flushed and
+  // served (even with a deadline that would otherwise park the partial
+  // batch for half a minute), repeat calls are no-ops, and submits after
+  // stop fail loudly instead of queueing into a dead scheduler.
+  const auto ds = tiny_ds();
+  const auto model = tiny_model(ds);
+  auto backend = make_backend("cpu", model, ds);
+  ServingOptions opts;
+  opts.max_batch = 100;
+  opts.max_wait_s = 30.0;
+  ServingEngine server(*backend, opts);
+  for (std::size_t i = 0; i < 7; ++i) server.submit(i);
+  Stopwatch sw;
+  server.stop();
+  EXPECT_LT(sw.seconds(), 5.0);
+  EXPECT_EQ(server.stats().num_requests, 7u);
+  server.stop();  // idempotent
+  EXPECT_THROW(server.submit(7), std::logic_error);
+  EXPECT_EQ(server.stats().num_requests, 7u);
+}
+
+TEST(ServingEngine, OccupancyGaugesTrackSerialMode) {
+  // Serial scheduler: at most one batch is ever in flight, and the queue
+  // gauge records that requests actually piled up behind the batch cap.
+  const auto ds = tiny_ds();
+  const auto model = tiny_model(ds);
+  auto backend = make_backend("cpu", model, ds);
+  ServingOptions opts;
+  opts.max_batch = 10;
+  opts.max_wait_s = 1e-3;
+  ServingEngine server(*backend, opts);
+  for (std::size_t i = 0; i < 80; ++i) server.submit(i);
+  server.drain();
+
+  const auto s = server.stats();
+  EXPECT_EQ(s.num_requests, 80u);
+  EXPECT_GE(s.peak_in_flight_batches, 1u);
+  EXPECT_EQ(s.peak_parallel_batches, 1u);
+  EXPECT_GE(s.peak_queue_depth, 1u);
 }
 
 TEST(ServingEngine, PercentileOfEmptySamplesIsZero) {
