@@ -133,22 +133,25 @@ struct PlatformCase {
 };
 
 /// Apply a --backend override to a bench's platform set: keep only the
-/// cases built on that registry key (all of them when the override is
-/// empty). Only meaningful for benches whose output is one row per case.
-/// An override matching no case aborts with the keys this bench offers —
-/// an empty table would read as a successful no-op measurement.
+/// cases built on that registry key — or, since keys are no longer unique
+/// per case (precision suffixes, device options), whose label matches
+/// exactly. Empty override keeps all cases. Only meaningful for benches
+/// whose output is one row per case. An override matching ZERO cases warns
+/// to stderr with everything this bench offers and aborts — an empty table
+/// would read as a successful no-op measurement.
 inline std::vector<PlatformCase> filter_cases(std::vector<PlatformCase> cases,
                                               const std::string& backend) {
   if (backend.empty()) return cases;
   std::vector<PlatformCase> out;
   for (auto& c : cases)
-    if (c.key == backend) out.push_back(std::move(c));
+    if (c.key == backend || c.label == backend) out.push_back(std::move(c));
   if (out.empty()) {
-    std::fprintf(stderr, "--backend %s matches none of this bench's cases;"
-                         " available keys:",
+    std::fprintf(stderr,
+                 "warning: --backend '%s' matches none of this bench's cases"
+                 " (neither as key nor as label); available:\n",
                  backend.c_str());
-    for (const auto& c : cases) std::fprintf(stderr, " %s", c.key.c_str());
-    std::fprintf(stderr, "\n");
+    for (const auto& c : cases)
+      std::fprintf(stderr, "  %-14s (%s)\n", c.key.c_str(), c.label.c_str());
     std::exit(1);
   }
   return out;

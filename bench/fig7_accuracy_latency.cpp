@@ -54,6 +54,23 @@ int main(int argc, char** argv) {
                                          ds, region, batch);
     t.add_row({"TGN", "GPU", Table::num(tfit.test_ap, 4),
                Table::num(gpu.mean_latency_s() * 1e3, 2)});
+
+    // Quantized frontier point: same trained weights, int8 inference. The
+    // AP is re-measured through an int8 engine under the exact protocol
+    // fit_and_eval uses (warmup to val_end, same batch size and negative-
+    // sampling seed), so the delta vs the fp32 row is quantization alone
+    // (tests pin it to <= 0.01); latency reuses the fp32 row's cpu-mt
+    // backend with the :int8 suffix.
+    core::InferenceEngine q(*teacher, ds, /*use_fifo=*/true);
+    q.set_precision(kernels::Precision::kInt8);
+    q.warmup({0, ds.val_end}, topts.batch_size);
+    Rng qrng(topts.seed + 1);
+    const double qap =
+        q.evaluate_ap(ds.test_range(), tdec, topts.batch_size, qrng);
+    const auto qlat = bench::measure_case(
+        {"cpu:int8", "cpu-mt:int8", teacher.get(), mt}, ds, region, batch);
+    t.add_row({"TGN int8", "CPU", Table::num(qap, 4),
+               Table::num(qlat.mean_latency_s() * 1e3, 2)});
   }
 
   // ---- APAN: CPU measured + GPU modelled (few, tiny kernels).

@@ -26,8 +26,10 @@
 
 #include <omp.h>
 
+#include "kernels/fused.hpp"
 #include "kernels/gemm.hpp"
 #include "kernels/gemm_dispatch.hpp"
+#include "kernels/quant.hpp"
 #include "nn/gru_cell.hpp"
 #include "tgnn/attention.hpp"
 #include "tgnn/config.hpp"
@@ -44,11 +46,13 @@ namespace {
 struct Row {
   std::string kernel;
   std::string variant;  ///< "reference" | "single-row" | "fused"
+  std::string dtype = "fp32";  ///< "fp32" | "int8" | "bf16"
   std::size_t batch;    ///< events (rows / nodes) per measured unit
   double ns_per_event = 0.0;
   double gflops = 0.0;
   double speedup = 0.0;         ///< fused rows: reference over fused
   double speedup_single = 0.0;  ///< fused rows: single-row over fused
+  double speedup_fp32 = 0.0;    ///< non-fp32 rows: fp32 fused over this
 };
 
 /// Time `fn` (one call = `events` events, `flops` flops): warm up, then run
@@ -88,6 +92,7 @@ void write_json(const std::string& path, const core::ModelConfig& cfg,
   }
   std::fprintf(f, "{\n  \"bench\": \"kernel_sweep\",\n");
   std::fprintf(f, "  \"simd_arch\": \"%s\",\n", kernels::simd_arch_name());
+  std::fprintf(f, "  \"quant_arch\": \"%s\",\n", kernels::quant_arch_name());
   std::fprintf(f,
                "  \"config\": {\"mem_dim\": %zu, \"time_dim\": %zu, "
                "\"emb_dim\": %zu, \"edge_dim\": %zu, \"num_neighbors\": %zu},\n",
@@ -97,14 +102,17 @@ void write_json(const std::string& path, const core::ModelConfig& cfg,
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     std::fprintf(f,
-                 "    {\"kernel\": \"%s\", \"variant\": \"%s\", \"batch\": "
-                 "%zu, \"ns_per_event\": %.1f, \"gflops\": %.3f",
-                 r.kernel.c_str(), r.variant.c_str(), r.batch, r.ns_per_event,
-                 r.gflops);
+                 "    {\"kernel\": \"%s\", \"variant\": \"%s\", \"dtype\": "
+                 "\"%s\", \"batch\": %zu, \"ns_per_event\": %.1f, "
+                 "\"gflops\": %.3f",
+                 r.kernel.c_str(), r.variant.c_str(), r.dtype.c_str(), r.batch,
+                 r.ns_per_event, r.gflops);
     if (r.speedup > 0.0)
       std::fprintf(f, ", \"speedup_vs_reference\": %.2f", r.speedup);
     if (r.speedup_single > 0.0)
       std::fprintf(f, ", \"speedup_vs_single_row\": %.2f", r.speedup_single);
+    if (r.speedup_fp32 > 0.0)
+      std::fprintf(f, ", \"speedup_vs_fp32\": %.2f", r.speedup_fp32);
     std::fprintf(f, "}%s\n", i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -124,17 +132,24 @@ int main(int argc, char** argv) {
                 "exit non-zero unless one batched fused GRU call >= this x "
                 "the same rows driven single-row, at batch >= 16 (0 = "
                 "report only)");
+  args.add_flag("require_int8_speedup", "0",
+                "exit non-zero unless the int8 batched affine GEMM >= this x "
+                "the fp32 fused call at batch >= 16 (0 = report only; "
+                "auto-downgrades to report-only on the generic int8 tier or "
+                "a single hardware thread)");
   if (!args.parse(argc, argv)) return 1;
   const std::string out_path = args.get("out");
   const double min_s = static_cast<double>(args.get_int("min_ms")) * 1e-3;
   const double require = args.get_double("require_gru_speedup");
   const double require_batched =
       args.get_double("require_batched_gru_speedup");
+  const double require_int8 = args.get_double("require_int8_speedup");
 
   core::ModelConfig cfg;  // paper dims: mem 100, time 100, emb 100, edge 172
   Rng rng(1);
   std::vector<Row> rows;
-  std::printf("kernel dispatch: %s\n\n", kernels::simd_arch_name());
+  std::printf("kernel dispatch: %s (fp32), %s (int8)\n\n",
+              kernels::simd_arch_name(), kernels::quant_arch_name());
 
   // Append reference / (optional) single-row / fused rows of one kernel at
   // one batch size and derive both speedups.
@@ -150,6 +165,7 @@ int main(int argc, char** argv) {
 
   // ---- GRU memory updater: the per-event serving bottleneck.
   nn::GruCell gru("g", cfg.gru_in_dim(), cfg.mem_dim, rng);
+  gru.prepare(kernels::Precision::kInt8);  // one-time weight snapshot
   for (const std::size_t m : {1u, 8u, 16u, 32u, 128u}) {
     const Tensor x = Tensor::randn(m, cfg.gru_in_dim(), rng, 0.5f);
     const Tensor h = Tensor::randn(m, cfg.mem_dim, rng, 0.5f);
@@ -173,6 +189,19 @@ int main(int argc, char** argv) {
     Row fused = time_kernel("gru_forward", "fused", m, flops, min_s,
                             [&] { gru.forward_into(x, h, ws, out); });
     push(ref, single, fused, m > 1);
+    if (m >= 16) {
+      // The quantized fused GRU: per-batch activation quantization is paid
+      // inside the timer, the weight snapshot outside (one-time at model
+      // load) — exactly the serving cost split.
+      kernels::GruScratch wsq;
+      Tensor outq;
+      Row qrow = time_kernel("gru_forward", "fused", m, flops, min_s, [&] {
+        gru.forward_into(x, h, wsq, outq, kernels::Precision::kInt8);
+      });
+      qrow.dtype = "int8";
+      qrow.speedup_fp32 = fused.ns_per_event / qrow.ns_per_event;
+      rows.push_back(qrow);
+    }
   }
 
   // ---- Vanilla attention: nodes with full neighbor tables, per node
@@ -352,18 +381,55 @@ int main(int argc, char** argv) {
     push(ref, single, fused, true);
   }
 
-  std::printf("%-26s %-11s %7s %14s %10s %9s %9s\n", "kernel", "variant",
-              "batch", "ns/event", "GFLOP/s", "vs-ref", "vs-1row");
+  // ---- Precision ladder on the batched affine GEMM (the GRU gate shape):
+  // fp32 fused vs int8 (dynamic per-row activation quantization + integer
+  // GEMM, quantization inside the timer) vs bf16 (weight storage halved,
+  // expanded in-register — a memory-format option, not a speed one). The
+  // int8 rows' speedup_vs_fp32 is what --require_int8_speedup gates.
+  {
+    const std::size_t k = cfg.gru_in_dim(), n = cfg.mem_dim;
+    const Tensor w = Tensor::randn(n, k, rng, 0.5f);
+    const Tensor bias(1, n);  // zero bias: pure GEMM + epilogue
+    kernels::QuantWeight qw;
+    kernels::quantize_weight(w, qw);
+    kernels::Bf16Weight bw;
+    kernels::bf16_from_tensor(w, bw);
+    for (const std::size_t m : {16u, 32u, 128u}) {
+      const Tensor x = Tensor::randn(m, k, rng, 0.5f);
+      Tensor y;
+      const double flops = 2.0 * static_cast<double>(m * k * n);
+      const std::string name = "affine_nt_472x100";
+      Row fp = time_kernel(name, "fused", m, flops, min_s,
+                           [&] { kernels::affine_into(x, w, bias, y); });
+      kernels::QuantActs qx;
+      Row qi = time_kernel(name, "fused", m, flops, min_s, [&] {
+        kernels::quantize_rows_into(x, qx);
+        kernels::qaffine_into(qx, qw, bias, y);
+      });
+      qi.dtype = "int8";
+      qi.speedup_fp32 = fp.ns_per_event / qi.ns_per_event;
+      Row bf = time_kernel(name, "fused", m, flops, min_s,
+                           [&] { kernels::bf16_affine_into(x, bw, bias, y); });
+      bf.dtype = "bf16";
+      bf.speedup_fp32 = fp.ns_per_event / bf.ns_per_event;
+      rows.push_back(fp);
+      rows.push_back(qi);
+      rows.push_back(bf);
+    }
+  }
+
+  std::printf("%-26s %-11s %-5s %7s %14s %10s %8s %8s %8s\n", "kernel",
+              "variant", "dtype", "batch", "ns/event", "GFLOP/s", "vs-ref",
+              "vs-1row", "vs-fp32");
+  auto ratio = [](double v) {
+    return v > 0.0 ? std::to_string(v).substr(0, 4) + "x" : std::string("-");
+  };
   for (const Row& r : rows)
-    std::printf(
-        "%-26s %-11s %7zu %14.1f %10.3f %9s %9s\n", r.kernel.c_str(),
-        r.variant.c_str(), r.batch, r.ns_per_event, r.gflops,
-        r.speedup > 0.0
-            ? (std::to_string(r.speedup).substr(0, 4) + "x").c_str()
-            : "-",
-        r.speedup_single > 0.0
-            ? (std::to_string(r.speedup_single).substr(0, 4) + "x").c_str()
-            : "-");
+    std::printf("%-26s %-11s %-5s %7zu %14.1f %10.3f %8s %8s %8s\n",
+                r.kernel.c_str(), r.variant.c_str(), r.dtype.c_str(), r.batch,
+                r.ns_per_event, r.gflops, ratio(r.speedup).c_str(),
+                ratio(r.speedup_single).c_str(),
+                ratio(r.speedup_fp32).c_str());
 
   write_json(out_path, cfg, rows);
   std::printf("\nwrote %s\n", out_path.c_str());
@@ -405,6 +471,34 @@ int main(int argc, char** argv) {
           "batched GRU speedup >= %.2fx vs single-row at every batch >= 16: "
           "OK\n",
           require_batched);
+  }
+  if (require_int8 > 0.0 &&
+      std::string(kernels::quant_arch_name()) == "generic") {
+    // Without an int8 SIMD tier (avx2 maddubs / avx512 VNNI) the integer
+    // path has no dot-product instruction advantage over fp32 FMA and the
+    // gate would fail by construction. Report-only there.
+    std::printf(
+        "int8 GEMM gate skipped: generic int8 tier (report-only)\n");
+  } else if (require_int8 > 0.0 && omp_get_max_threads() < 2) {
+    // Parity with the batched-GRU gate: single-hardware-thread runners
+    // measure under scheduler noise big enough to flake a 2x bar.
+    std::printf(
+        "int8 GEMM gate skipped: single hardware thread (report-only)\n");
+  } else if (require_int8 > 0.0) {
+    for (const Row& r : rows)
+      if (r.kernel == "affine_nt_472x100" && r.dtype == "int8" &&
+          r.batch >= 16 && r.speedup_fp32 < require_int8) {
+        std::fprintf(stderr,
+                     "FAIL: int8 affine batch=%zu speedup %.2fx < required "
+                     "%.2fx vs fp32 fused\n",
+                     r.batch, r.speedup_fp32, require_int8);
+        ok = false;
+      }
+    if (ok)
+      std::printf(
+          "int8 affine speedup >= %.2fx vs fp32 fused at every batch >= 16: "
+          "OK\n",
+          require_int8);
   }
   return ok ? 0 : 1;
 }

@@ -79,19 +79,13 @@ void affine_row_into(std::span<const float> x, const Tensor& w,
                                 w.rows());
 }
 
-void gru_forward_into(const Tensor& x, const Tensor& h, const GruWeights& w,
-                      GruScratch& ws, Tensor& out) {
-  const std::size_t m = x.rows(), hid = h.cols();
-  check(h.rows() == m, "gru_forward_into: batch mismatch");
+namespace {
 
-  // r = sigmoid(W_ir x + b_ir + W_hr h + b_hr); z likewise.
-  affine2_sigmoid_into(x, *w.w_ir, *w.b_ir, h, *w.w_hr, *w.b_hr, ws.r);
-  affine2_sigmoid_into(x, *w.w_iz, *w.b_iz, h, *w.w_hz, *w.b_hz, ws.z);
-  // q = W_hn h + b_hn (pre reset-gating).
-  affine_into(h, *w.w_hn, *w.b_hn, ws.q);
-  // out <- W_in x + b_in, then one elementwise pass finishes
-  // n = tanh(out + r∘q) and s' = (1-z)∘n + z∘h.
-  affine_into(x, *w.w_in, *w.b_in, out);
+/// The shared GRU elementwise epilogue: n = tanh(out + r∘q), s' =
+/// (1-z)∘n + z∘h, in place over `out`. One definition so the fp32 / int8 /
+/// bf16 paths finish identically.
+void gru_elementwise_finish(const Tensor& h, GruScratch& ws, Tensor& out,
+                            std::size_t m, std::size_t hid) {
   float* po = out.data();
   const float* pr = ws.r.data();
   const float* pz = ws.z.data();
@@ -105,6 +99,56 @@ void gru_forward_into(const Tensor& x, const Tensor& h, const GruWeights& w,
     const float n = std::tanh(po[i] + pr[i] * pq[i]);
     po[i] = (1.0f - pz[i]) * n + pz[i] * ph[i];
   }
+}
+
+}  // namespace
+
+void gru_forward_into(const Tensor& x, const Tensor& h, const GruWeights& w,
+                      GruScratch& ws, Tensor& out) {
+  const std::size_t m = x.rows(), hid = h.cols();
+  check(h.rows() == m, "gru_forward_into: batch mismatch");
+
+  // r = sigmoid(W_ir x + b_ir + W_hr h + b_hr); z likewise.
+  affine2_sigmoid_into(x, *w.w_ir, *w.b_ir, h, *w.w_hr, *w.b_hr, ws.r);
+  affine2_sigmoid_into(x, *w.w_iz, *w.b_iz, h, *w.w_hz, *w.b_hz, ws.z);
+  // q = W_hn h + b_hn (pre reset-gating).
+  affine_into(h, *w.w_hn, *w.b_hn, ws.q);
+  // out <- W_in x + b_in, then one elementwise pass finishes
+  // n = tanh(out + r∘q) and s' = (1-z)∘n + z∘h.
+  affine_into(x, *w.w_in, *w.b_in, out);
+  gru_elementwise_finish(h, ws, out, m, hid);
+}
+
+void qgru_forward_into(const Tensor& x, const Tensor& h, const GruWeights& w,
+                       const QuantGruWeights& qw, GruScratch& ws,
+                       Tensor& out) {
+  const std::size_t m = x.rows(), hid = h.cols();
+  check(h.rows() == m, "qgru_forward_into: batch mismatch");
+
+  // Quantize each input panel once; all six GEMMs reuse the panels, so the
+  // per-row scale pass costs O(m·k) against the GEMMs' O(3·m·k·hid).
+  quantize_rows_into(x, ws.qx);
+  quantize_rows_into(h, ws.qh);
+  qaffine2_sigmoid_into(ws.qx, qw.w_ir, *w.b_ir, ws.qh, qw.w_hr, *w.b_hr,
+                        ws.r);
+  qaffine2_sigmoid_into(ws.qx, qw.w_iz, *w.b_iz, ws.qh, qw.w_hz, *w.b_hz,
+                        ws.z);
+  qaffine_into(ws.qh, qw.w_hn, *w.b_hn, ws.q);
+  qaffine_into(ws.qx, qw.w_in, *w.b_in, out);
+  gru_elementwise_finish(h, ws, out, m, hid);
+}
+
+void bf16_gru_forward_into(const Tensor& x, const Tensor& h,
+                           const GruWeights& w, const Bf16GruWeights& bw,
+                           GruScratch& ws, Tensor& out) {
+  const std::size_t m = x.rows(), hid = h.cols();
+  check(h.rows() == m, "bf16_gru_forward_into: batch mismatch");
+
+  bf16_affine2_sigmoid_into(x, bw.w_ir, *w.b_ir, h, bw.w_hr, *w.b_hr, ws.r);
+  bf16_affine2_sigmoid_into(x, bw.w_iz, *w.b_iz, h, bw.w_hz, *w.b_hz, ws.z);
+  bf16_affine_into(h, bw.w_hn, *w.b_hn, ws.q);
+  bf16_affine_into(x, bw.w_in, *w.b_in, out);
+  gru_elementwise_finish(h, ws, out, m, hid);
 }
 
 }  // namespace tgnn::kernels

@@ -14,6 +14,7 @@
 
 #include <span>
 
+#include "kernels/quant.hpp"
 #include "tensor/tensor.hpp"
 
 namespace tgnn::kernels {
@@ -47,9 +48,12 @@ struct GruWeights {
   const Tensor *w_hr, *w_hz, *w_hn, *b_hr, *b_hz, *b_hn;
 };
 
-/// Gate scratch for gru_forward_into; embed one per BatchWorkspace.
+/// Gate scratch for gru_forward_into; embed one per BatchWorkspace. The
+/// quantized-activation panels (qx, qh) are touched only by the int8 path
+/// and stay empty under fp32/bf16.
 struct GruScratch {
   Tensor r, z, q;
+  QuantActs qx, qh;
   void reserve(std::size_t rows, std::size_t hid) {
     r.reserve(rows, hid);
     z.reserve(rows, hid);
@@ -63,5 +67,30 @@ struct GruScratch {
 /// `ws` and `out` have capacity.
 void gru_forward_into(const Tensor& x, const Tensor& h, const GruWeights& w,
                       GruScratch& ws, Tensor& out);
+
+/// One-time int8 snapshot of a GruCell's six weight matrices (biases stay
+/// fp32, read from GruWeights).
+struct QuantGruWeights {
+  QuantWeight w_ir, w_iz, w_in, w_hr, w_hz, w_hn;
+  [[nodiscard]] bool ready() const { return w_ir.ready(); }
+};
+
+/// bf16 snapshot of the six weight matrices.
+struct Bf16GruWeights {
+  Bf16Weight w_ir, w_iz, w_in, w_hr, w_hz, w_hn;
+  [[nodiscard]] bool ready() const { return w_ir.ready(); }
+};
+
+/// Int8 fused GRU forward: x and h are per-row-quantized ONCE into ws.qx /
+/// ws.qh and reused across all six gate GEMMs; gates, the elementwise
+/// epilogue, and the new state are fp32 — the state the caller commits to
+/// VertexMemory is never quantized.
+void qgru_forward_into(const Tensor& x, const Tensor& h, const GruWeights& w,
+                       const QuantGruWeights& qw, GruScratch& ws, Tensor& out);
+
+/// bf16-weight fused GRU forward (fp32 activations and epilogue).
+void bf16_gru_forward_into(const Tensor& x, const Tensor& h,
+                           const GruWeights& w, const Bf16GruWeights& bw,
+                           GruScratch& ws, Tensor& out);
 
 }  // namespace tgnn::kernels

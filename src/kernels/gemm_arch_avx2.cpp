@@ -5,8 +5,12 @@
 
 #if defined(__GNUC__) && defined(__AVX2__) && defined(__FMA__)
 
+#include <immintrin.h>
+
 #include <cstddef>
 #include <cstring>
+
+#include "kernels/quant_core.hpp"
 
 #define TGNN_LANES_NS lanes_avx2
 #include "kernels/gemm_lanes.inc"
@@ -14,8 +18,192 @@
 
 namespace tgnn::kernels::detail {
 
+namespace quant_avx2 {
+
+// int8·int8 via the maddubs sign trick: maddubs wants u8·s8, so feed it
+// |a| (u8) and b·sign(a) — the pairwise i16 sums cannot saturate because
+// |a|,|b| <= 127 (2·127² < 32767). madd with ones widens to exact i32.
+inline __m256i dot_step(__m256i acc, __m256i va, __m256i vb) {
+  const __m256i abs_a = _mm256_sign_epi8(va, va);
+  const __m256i sgn_b = _mm256_sign_epi8(vb, va);
+  const __m256i p16 = _mm256_maddubs_epi16(abs_a, sgn_b);
+  return _mm256_add_epi32(acc, _mm256_madd_epi16(p16, _mm256_set1_epi16(1)));
+}
+
+inline std::int32_t hsum(__m256i v) {
+  __m128i s = _mm_add_epi32(_mm256_castsi256_si128(v),
+                            _mm256_extracti128_si256(v, 1));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(1, 0, 3, 2)));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(2, 3, 0, 1)));
+  return _mm_cvtsi128_si32(s);
+}
+
+inline __m256i loadv(const std::int8_t* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+template <Act A, bool Accumulate>
+void qgemm(const std::int8_t* a, const float* a_scale, const std::int8_t* b,
+           float b_scale, const float* bias, float* c, std::size_t m,
+           std::size_t k, std::size_t n) {
+#pragma omp parallel for schedule(static) if (parallel_worthwhile(m, k, n))
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::int8_t* arow = a + i * k;
+    float* crow = c + i * n;
+    const float s = a_scale[i] * b_scale;
+    std::size_t j = 0;
+    for (; j + kColBlock <= n; j += kColBlock) {
+      const std::int8_t* b0 = b + (j + 0) * k;
+      const std::int8_t* b1 = b + (j + 1) * k;
+      const std::int8_t* b2 = b + (j + 2) * k;
+      const std::int8_t* b3 = b + (j + 3) * k;
+      __m256i v0 = _mm256_setzero_si256(), v1 = _mm256_setzero_si256();
+      __m256i v2 = _mm256_setzero_si256(), v3 = _mm256_setzero_si256();
+      std::size_t kk = 0;
+      for (; kk + 32 <= k; kk += 32) {
+        const __m256i va = loadv(arow + kk);
+        v0 = dot_step(v0, va, loadv(b0 + kk));
+        v1 = dot_step(v1, va, loadv(b1 + kk));
+        v2 = dot_step(v2, va, loadv(b2 + kk));
+        v3 = dot_step(v3, va, loadv(b3 + kk));
+      }
+      std::int32_t acc0 = hsum(v0), acc1 = hsum(v1);
+      std::int32_t acc2 = hsum(v2), acc3 = hsum(v3);
+      for (; kk < k; ++kk) {
+        const std::int32_t av = arow[kk];
+        acc0 += av * b0[kk];
+        acc1 += av * b1[kk];
+        acc2 += av * b2[kk];
+        acc3 += av * b3[kk];
+      }
+      crow[j + 0] = quant_finish<A>(Accumulate ? crow[j + 0] : 0.0f, acc0, s,
+                                    bias != nullptr ? bias[j + 0] : 0.0f);
+      crow[j + 1] = quant_finish<A>(Accumulate ? crow[j + 1] : 0.0f, acc1, s,
+                                    bias != nullptr ? bias[j + 1] : 0.0f);
+      crow[j + 2] = quant_finish<A>(Accumulate ? crow[j + 2] : 0.0f, acc2, s,
+                                    bias != nullptr ? bias[j + 2] : 0.0f);
+      crow[j + 3] = quant_finish<A>(Accumulate ? crow[j + 3] : 0.0f, acc3, s,
+                                    bias != nullptr ? bias[j + 3] : 0.0f);
+    }
+    for (; j < n; ++j) {
+      const std::int8_t* brow = b + j * k;
+      __m256i v = _mm256_setzero_si256();
+      std::size_t kk = 0;
+      for (; kk + 32 <= k; kk += 32)
+        v = dot_step(v, loadv(arow + kk), loadv(brow + kk));
+      std::int32_t acc = hsum(v);
+      for (; kk < k; ++kk)
+        acc += static_cast<std::int32_t>(arow[kk]) * brow[kk];
+      crow[j] = quant_finish<A>(Accumulate ? crow[j] : 0.0f, acc, s,
+                                bias != nullptr ? bias[j] : 0.0f);
+    }
+  }
+}
+
+void qgemm_entry(Act act, bool accumulate, const std::int8_t* a,
+                 const float* a_scale, const std::int8_t* b, float b_scale,
+                 const std::int32_t* /*b_row_sum*/, const float* bias,
+                 float* c, std::size_t m, std::size_t k, std::size_t n) {
+  switch (act) {
+    case Act::kNone:
+      accumulate
+          ? qgemm<Act::kNone, true>(a, a_scale, b, b_scale, bias, c, m, k, n)
+          : qgemm<Act::kNone, false>(a, a_scale, b, b_scale, bias, c, m, k, n);
+      break;
+    case Act::kSigmoid:
+      accumulate ? qgemm<Act::kSigmoid, true>(a, a_scale, b, b_scale, bias, c,
+                                              m, k, n)
+                 : qgemm<Act::kSigmoid, false>(a, a_scale, b, b_scale, bias, c,
+                                               m, k, n);
+      break;
+    case Act::kTanh:
+      accumulate
+          ? qgemm<Act::kTanh, true>(a, a_scale, b, b_scale, bias, c, m, k, n)
+          : qgemm<Act::kTanh, false>(a, a_scale, b, b_scale, bias, c, m, k, n);
+      break;
+    case Act::kRelu:
+      accumulate
+          ? qgemm<Act::kRelu, true>(a, a_scale, b, b_scale, bias, c, m, k, n)
+          : qgemm<Act::kRelu, false>(a, a_scale, b, b_scale, bias, c, m, k, n);
+      break;
+  }
+}
+
+// ---- per-row quantization -------------------------------------------------
+// GCC autovectorizes neither the absmax-normalized multiply+round nor the
+// float->int8 narrowing store, so the pass is hand-vectorized: cvtps2dq
+// rounds half-to-even under the default MXCSR — identical to the rint the
+// scalar tiers/tails use — and two saturating packs plus a lane-fixing
+// permute narrow 32 int32 to 32 int8 (values are pre-clamped to ±127, so
+// the packs never actually saturate).
+
+inline float absmax(const float* x, std::size_t k) {
+  const __m256 mask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+  __m256 vm = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 8 <= k; i += 8)
+    vm = _mm256_max_ps(vm, _mm256_and_ps(mask, _mm256_loadu_ps(x + i)));
+  __m128 m4 = _mm_max_ps(_mm256_castps256_ps128(vm),
+                         _mm256_extractf128_ps(vm, 1));
+  m4 = _mm_max_ps(m4, _mm_movehl_ps(m4, m4));
+  m4 = _mm_max_ss(m4, _mm_shuffle_ps(m4, m4, 1));
+  float m = _mm_cvtss_f32(m4);
+  for (; i < k; ++i) m = std::fmax(m, std::fabs(x[i]));
+  return m;
+}
+
+/// 8 floats -> 8 clamped, half-even-rounded int32. The min-first order
+/// sends a NaN element to +127, matching quantize_span_scalar's fmin.
+inline __m256i cvt_clamp8(const float* p, __m256 inv, __m256 lo, __m256 hi) {
+  __m256 v = _mm256_mul_ps(_mm256_loadu_ps(p), inv);
+  v = _mm256_max_ps(_mm256_min_ps(v, hi), lo);
+  return _mm256_cvtps_epi32(v);
+}
+
+void quantize_rows(const float* x, std::size_t m, std::size_t k,
+                   std::size_t stride, std::int8_t* q, float* scale) {
+  const __m256 hi = _mm256_set1_ps(127.0f);
+  const __m256 lo = _mm256_set1_ps(-127.0f);
+  // packs_epi32/16 interleave 128-bit lanes; this permute restores source
+  // order (dwords [a0 b0 c0 d0 | a1 b1 c1 d1] -> [a0 a1 b0 b1 ...]).
+  const __m256i perm = _mm256_setr_epi32(0, 4, 1, 5, 2, 6, 3, 7);
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* row = x + i * k;
+    std::int8_t* qrow = q + i * stride;
+    std::memset(qrow + k, 0, stride - k);
+    const float s = quant_scale_from_absmax(absmax(row, k));
+    scale[i] = s;
+    if (!(s > 0.0f)) {
+      std::memset(qrow, 0, k);
+      continue;
+    }
+    const float invf = 1.0f / s;
+    const __m256 inv = _mm256_set1_ps(invf);
+    std::size_t j = 0;
+    for (; j + 32 <= k; j += 32) {
+      const __m256i i0 = cvt_clamp8(row + j + 0, inv, lo, hi);
+      const __m256i i1 = cvt_clamp8(row + j + 8, inv, lo, hi);
+      const __m256i i2 = cvt_clamp8(row + j + 16, inv, lo, hi);
+      const __m256i i3 = cvt_clamp8(row + j + 24, inv, lo, hi);
+      const __m256i p16a = _mm256_packs_epi32(i0, i1);
+      const __m256i p16b = _mm256_packs_epi32(i2, i3);
+      const __m256i p8 = _mm256_permutevar8x32_epi32(
+          _mm256_packs_epi16(p16a, p16b), perm);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(qrow + j), p8);
+    }
+    quantize_span_scalar(row + j, invf, qrow + j, k - j);
+  }
+}
+
+}  // namespace quant_avx2
+
 KernelTable avx2_kernel_table() {
   return {&lanes_avx2::gemm_entry, &lanes_avx2::dot_entry, "avx2+fma"};
+}
+
+QuantKernelTable avx2_quant_table() {
+  return {&quant_avx2::qgemm_entry, &quant_avx2::quantize_rows,
+          "avx2-maddubs"};
 }
 
 }  // namespace tgnn::kernels::detail
@@ -25,6 +213,8 @@ KernelTable avx2_kernel_table() {
 namespace tgnn::kernels::detail {
 
 KernelTable avx2_kernel_table() { return {}; }
+
+QuantKernelTable avx2_quant_table() { return {}; }
 
 }  // namespace tgnn::kernels::detail
 

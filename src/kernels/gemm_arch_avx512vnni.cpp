@@ -1,0 +1,215 @@
+// AVX-512 VNNI build of the int8 GEMM micro-kernel. CMake compiles this TU
+// with -mavx512f/-mavx512vl/-mavx512bw/-mavx512vnni when the compiler
+// supports them; otherwise the guards degrade it to a stub tier the
+// dispatcher skips. This is a separate TU from gemm_arch_avx512.cpp so the
+// fp32 lane kernels are never compiled under VNNI/BW flags their runtime
+// check does not verify.
+//
+// vpdpbusd computes u8·s8 dots, and AVX-512 has no vpsignb to replay the
+// avx2 sign trick, so the kernel runs in the offset domain instead: the s8
+// activations are biased to u8 by XOR 0x80 (a+128), and the surplus
+// 128·Σb_j is subtracted afterwards using the per-output-row weight sums
+// the quantizer precomputes (QuantWeight::row_sum). The scalar k-tail uses
+// the same offset arithmetic so one correction covers the whole row.
+// Products and row lengths here keep the i32 accumulators far from
+// overflow: 4·255·127 per step, k <= a few thousand.
+#include "kernels/gemm_dispatch.hpp"
+
+#if defined(__GNUC__) && defined(__AVX512F__) && defined(__AVX512VL__) && \
+    defined(__AVX512BW__) && defined(__AVX512VNNI__)
+
+#include <immintrin.h>
+
+#include <cstddef>
+#include <cstdint>
+
+#include "kernels/quant_core.hpp"
+
+// GCC's 512->256/128 extract intrinsics route _mm256_undefined_si256()
+// through a masked builtin, which GCC 12 falsely flags (PR105593). Every
+// accumulator below is explicitly zero-initialized.
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+namespace tgnn::kernels::detail {
+
+namespace quant_avx512vnni {
+
+inline __m512i loadv(const std::int8_t* p) {
+  return _mm512_loadu_si512(reinterpret_cast<const void*>(p));
+}
+
+/// Offset a to u8: a + 128 == a XOR 0x80 for two's-complement int8.
+inline __m512i offset_u8(__m512i va) {
+  return _mm512_xor_si512(va, _mm512_set1_epi8(static_cast<char>(0x80)));
+}
+
+// Explicit tree reduction instead of _mm512_reduce_add_epi32, whose
+// _mm256_undefined_si256 plumbing trips -Wmaybe-uninitialized under GCC.
+inline std::int32_t hsum(__m512i v) {
+  const __m256i half = _mm256_add_epi32(_mm512_castsi512_si256(v),
+                                        _mm512_extracti64x4_epi64(v, 1));
+  __m128i s = _mm_add_epi32(_mm256_castsi256_si128(half),
+                            _mm256_extracti128_si256(half, 1));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(1, 0, 3, 2)));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(2, 3, 0, 1)));
+  return _mm_cvtsi128_si32(s);
+}
+
+template <Act A, bool Accumulate>
+void qgemm(const std::int8_t* a, const float* a_scale, const std::int8_t* b,
+           float b_scale, const std::int32_t* b_row_sum, const float* bias,
+           float* c, std::size_t m, std::size_t k, std::size_t n) {
+#pragma omp parallel for schedule(static) if (parallel_worthwhile(m, k, n))
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::int8_t* arow = a + i * k;
+    float* crow = c + i * n;
+    const float s = a_scale[i] * b_scale;
+    std::size_t j = 0;
+    for (; j + kColBlock <= n; j += kColBlock) {
+      const std::int8_t* b0 = b + (j + 0) * k;
+      const std::int8_t* b1 = b + (j + 1) * k;
+      const std::int8_t* b2 = b + (j + 2) * k;
+      const std::int8_t* b3 = b + (j + 3) * k;
+      __m512i v0 = _mm512_setzero_si512(), v1 = _mm512_setzero_si512();
+      __m512i v2 = _mm512_setzero_si512(), v3 = _mm512_setzero_si512();
+      std::size_t kk = 0;
+      for (; kk + 64 <= k; kk += 64) {
+        const __m512i ua = offset_u8(loadv(arow + kk));
+        v0 = _mm512_dpbusd_epi32(v0, ua, loadv(b0 + kk));
+        v1 = _mm512_dpbusd_epi32(v1, ua, loadv(b1 + kk));
+        v2 = _mm512_dpbusd_epi32(v2, ua, loadv(b2 + kk));
+        v3 = _mm512_dpbusd_epi32(v3, ua, loadv(b3 + kk));
+      }
+      // Offset-domain accumulators; the scalar tail stays in the same
+      // domain so the single 128·row_sum correction below is exact.
+      std::int32_t acc0 = hsum(v0), acc1 = hsum(v1);
+      std::int32_t acc2 = hsum(v2), acc3 = hsum(v3);
+      for (; kk < k; ++kk) {
+        const std::int32_t ua = static_cast<std::int32_t>(arow[kk]) + 128;
+        acc0 += ua * b0[kk];
+        acc1 += ua * b1[kk];
+        acc2 += ua * b2[kk];
+        acc3 += ua * b3[kk];
+      }
+      acc0 -= 128 * b_row_sum[j + 0];
+      acc1 -= 128 * b_row_sum[j + 1];
+      acc2 -= 128 * b_row_sum[j + 2];
+      acc3 -= 128 * b_row_sum[j + 3];
+      crow[j + 0] = quant_finish<A>(Accumulate ? crow[j + 0] : 0.0f, acc0, s,
+                                    bias != nullptr ? bias[j + 0] : 0.0f);
+      crow[j + 1] = quant_finish<A>(Accumulate ? crow[j + 1] : 0.0f, acc1, s,
+                                    bias != nullptr ? bias[j + 1] : 0.0f);
+      crow[j + 2] = quant_finish<A>(Accumulate ? crow[j + 2] : 0.0f, acc2, s,
+                                    bias != nullptr ? bias[j + 2] : 0.0f);
+      crow[j + 3] = quant_finish<A>(Accumulate ? crow[j + 3] : 0.0f, acc3, s,
+                                    bias != nullptr ? bias[j + 3] : 0.0f);
+    }
+    for (; j < n; ++j) {
+      const std::int8_t* brow = b + j * k;
+      __m512i v = _mm512_setzero_si512();
+      std::size_t kk = 0;
+      for (; kk + 64 <= k; kk += 64)
+        v = _mm512_dpbusd_epi32(v, offset_u8(loadv(arow + kk)),
+                                loadv(brow + kk));
+      std::int32_t acc = hsum(v);
+      for (; kk < k; ++kk)
+        acc += (static_cast<std::int32_t>(arow[kk]) + 128) * brow[kk];
+      acc -= 128 * b_row_sum[j];
+      crow[j] = quant_finish<A>(Accumulate ? crow[j] : 0.0f, acc, s,
+                                bias != nullptr ? bias[j] : 0.0f);
+    }
+  }
+}
+
+void qgemm_entry(Act act, bool accumulate, const std::int8_t* a,
+                 const float* a_scale, const std::int8_t* b, float b_scale,
+                 const std::int32_t* b_row_sum, const float* bias, float* c,
+                 std::size_t m, std::size_t k, std::size_t n) {
+  switch (act) {
+    case Act::kNone:
+      accumulate ? qgemm<Act::kNone, true>(a, a_scale, b, b_scale, b_row_sum,
+                                           bias, c, m, k, n)
+                 : qgemm<Act::kNone, false>(a, a_scale, b, b_scale, b_row_sum,
+                                            bias, c, m, k, n);
+      break;
+    case Act::kSigmoid:
+      accumulate ? qgemm<Act::kSigmoid, true>(a, a_scale, b, b_scale,
+                                              b_row_sum, bias, c, m, k, n)
+                 : qgemm<Act::kSigmoid, false>(a, a_scale, b, b_scale,
+                                               b_row_sum, bias, c, m, k, n);
+      break;
+    case Act::kTanh:
+      accumulate ? qgemm<Act::kTanh, true>(a, a_scale, b, b_scale, b_row_sum,
+                                           bias, c, m, k, n)
+                 : qgemm<Act::kTanh, false>(a, a_scale, b, b_scale, b_row_sum,
+                                            bias, c, m, k, n);
+      break;
+    case Act::kRelu:
+      accumulate ? qgemm<Act::kRelu, true>(a, a_scale, b, b_scale, b_row_sum,
+                                           bias, c, m, k, n)
+                 : qgemm<Act::kRelu, false>(a, a_scale, b, b_scale, b_row_sum,
+                                            bias, c, m, k, n);
+      break;
+  }
+}
+
+// ---- per-row quantization -------------------------------------------------
+// Same contract as the avx2 tier (see gemm_arch_avx2.cpp): cvtps2dq rounds
+// half-to-even like the scalar rint tails, values are clamped to ±127
+// before converting, and vpmovsdb narrows 16 int32 straight to 16 int8.
+
+inline float absmax(const float* x, std::size_t k) {
+  __m512 vm = _mm512_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 16 <= k; i += 16)
+    vm = _mm512_max_ps(vm, _mm512_abs_ps(_mm512_loadu_ps(x + i)));
+  float m = _mm512_reduce_max_ps(vm);
+  for (; i < k; ++i) m = std::fmax(m, std::fabs(x[i]));
+  return m;
+}
+
+void quantize_rows(const float* x, std::size_t m, std::size_t k,
+                   std::size_t stride, std::int8_t* q, float* scale) {
+  const __m512 hi = _mm512_set1_ps(127.0f);
+  const __m512 lo = _mm512_set1_ps(-127.0f);
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* row = x + i * k;
+    std::int8_t* qrow = q + i * stride;
+    std::memset(qrow + k, 0, stride - k);
+    const float s = quant_scale_from_absmax(absmax(row, k));
+    scale[i] = s;
+    if (!(s > 0.0f)) {
+      std::memset(qrow, 0, k);
+      continue;
+    }
+    const float invf = 1.0f / s;
+    const __m512 inv = _mm512_set1_ps(invf);
+    std::size_t j = 0;
+    for (; j + 16 <= k; j += 16) {
+      __m512 v = _mm512_mul_ps(_mm512_loadu_ps(row + j), inv);
+      v = _mm512_max_ps(_mm512_min_ps(v, hi), lo);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(qrow + j),
+                       _mm512_cvtsepi32_epi8(_mm512_cvtps_epi32(v)));
+    }
+    quantize_span_scalar(row + j, invf, qrow + j, k - j);
+  }
+}
+
+}  // namespace quant_avx512vnni
+
+QuantKernelTable avx512_quant_table() {
+  return {&quant_avx512vnni::qgemm_entry, &quant_avx512vnni::quantize_rows,
+          "avx512-vnni"};
+}
+
+}  // namespace tgnn::kernels::detail
+
+#else
+
+namespace tgnn::kernels::detail {
+
+QuantKernelTable avx512_quant_table() { return {}; }
+
+}  // namespace tgnn::kernels::detail
+
+#endif

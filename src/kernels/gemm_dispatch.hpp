@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "kernels/gemm_core.hpp"
 
@@ -49,6 +50,54 @@ KernelTable avx512_kernel_table();
 /// The table every public kernel entry routes through; resolved on first
 /// use (thread-safe magic static) from CPU feature detection.
 const KernelTable& active_kernels();
+
+// ---- int8 tier ------------------------------------------------------------
+// The quantized GEMM has its own dispatch axis because its ISA ladder
+// differs from fp32's (maddubs needs avx2 only; the top tier needs
+// AVX512BW+VNNI, which not every avx512f/vl machine has). Unlike the fp32
+// lanes, every int8 tier is bit-identical by construction — the int32
+// accumulation is exact and the fp32 epilogue is one shared expression
+// (quant_core.hpp) — so mixing tiers across processes can never split
+// numerics.
+
+/// c = act((accumulate ? c : 0) + (a_scale[i]·b_scale)·(a[m,k]·b[n,k]ᵀ)
+///         + bias). a: per-row-quantized activations (a_scale[m]); b:
+/// per-tensor-quantized weights, b_row_sum[n] = per-output-row sums of b's
+/// quantized values (the unsigned-offset correction the VNNI tier needs;
+/// other tiers ignore it). bias nullable.
+using QGemmFn = void (*)(Act act, bool accumulate, const std::int8_t* a,
+                         const float* a_scale, const std::int8_t* b,
+                         float b_scale, const std::int32_t* b_row_sum,
+                         const float* bias, float* c, std::size_t m,
+                         std::size_t k, std::size_t n);
+
+/// Per-row dynamic quantization of an [m, k] fp32 panel: row i gets
+/// scale[i] = absmax(row)/127 (0 for an all-zero row — the scale-0 guard)
+/// and q = clamp(round_half_even(x/scale), ±127), written at q + i·stride
+/// with the [k, stride) pad bytes zeroed (stride >= k; see kQuantKPad). On
+/// the hot path this runs once per staged activation matrix, so it is
+/// dispatched like the GEMMs: the float->int8 narrowing store only
+/// vectorizes through pack intrinsics. All tiers round half-to-even
+/// (cvtps2dq under default MXCSR == rint), so the quantized panel — and
+/// hence the whole int8 path — is bit-identical across tiers for finite
+/// inputs.
+using QuantizeRowsFn = void (*)(const float* x, std::size_t m, std::size_t k,
+                                std::size_t stride, std::int8_t* q,
+                                float* scale);
+
+struct QuantKernelTable {
+  QGemmFn qgemm = nullptr;
+  QuantizeRowsFn quantize = nullptr;
+  const char* name = "none";
+};
+
+/// Arch tiers; `qgemm == nullptr` when the TU was built without the ISA.
+QuantKernelTable avx2_quant_table();     ///< maddubs sign-trick (gemm_arch_avx2.cpp)
+QuantKernelTable avx512_quant_table();   ///< VNNI dpbusd (gemm_arch_avx512vnni.cpp)
+
+/// Resolved once per process, honoring the same TGNN_KERNEL_ARCH cap as the
+/// fp32 table ("avx512" selects the VNNI tier where the CPU has it).
+const QuantKernelTable& active_quant_kernels();
 
 }  // namespace tgnn::kernels::detail
 

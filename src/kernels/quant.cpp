@@ -1,0 +1,236 @@
+#include "kernels/quant.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "kernels/gemm_dispatch.hpp"
+#include "kernels/quant_core.hpp"
+
+namespace tgnn::kernels {
+
+namespace {
+
+using detail::Act;
+
+void check(bool cond, const char* msg) {
+  if (!cond) throw std::invalid_argument(msg);
+}
+
+}  // namespace
+
+const char* precision_name(Precision p) {
+  switch (p) {
+    case Precision::kInt8:
+      return "int8";
+    case Precision::kBf16:
+      return "bf16";
+    case Precision::kFp32:
+      break;
+  }
+  return "fp32";
+}
+
+bool parse_precision(const std::string& s, Precision& out) {
+  if (s == "fp32") {
+    out = Precision::kFp32;
+  } else if (s == "int8") {
+    out = Precision::kInt8;
+  } else if (s == "bf16") {
+    out = Precision::kBf16;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void quantize_row_with_scale(std::span<const float> x, float scale,
+                             std::span<std::int8_t> q) {
+  check(x.size() == q.size(), "quantize_row_with_scale: size mismatch");
+  if (!(scale > 0.0f)) {  // scale-0 guard (also catches NaN/negative scales)
+    std::fill(q.begin(), q.end(), std::int8_t{0});
+    return;
+  }
+  // Scalar half-even rounding — bit-identical to the cvtps2dq the vector
+  // tiers use, so weights (quantized here once at load) and activations
+  // (quantized by the dispatched pass below) share one rounding rule.
+  detail::quantize_span_scalar(x.data(), 1.0f / scale, q.data(), x.size());
+}
+
+float quantize_row(std::span<const float> x, std::span<std::int8_t> q) {
+  check(x.size() == q.size(), "quantize_row: size mismatch");
+  float scale = 0.0f;
+  detail::active_quant_kernels().quantize(x.data(), 1, x.size(), x.size(),
+                                          q.data(), &scale);
+  return scale;
+}
+
+void quantize_rows_into(const Tensor& x, QuantActs& out) {
+  const std::size_t m = x.rows(), k = x.cols();
+  out.rows = m;
+  out.cols = k;
+  out.stride = quant_padded(k);
+  if (out.data.size() < m * out.stride) out.data.resize(m * out.stride);
+  if (out.scale.size() < m) out.scale.resize(m);
+  // Hot path: one dispatched pass over the whole panel (see QuantizeRowsFn
+  // in gemm_dispatch.hpp for why this is hand-vectorized per tier).
+  detail::active_quant_kernels().quantize(x.data(), m, k, out.stride,
+                                          out.data.data(), out.scale.data());
+}
+
+void dequantize_into(const QuantActs& a, Tensor& out) {
+  out.resize(a.rows, a.cols);
+  for (std::size_t i = 0; i < a.rows; ++i) {
+    const float s = a.scale[i];
+    float* row = out.data() + i * a.cols;
+    const std::int8_t* q = a.data.data() + i * a.stride;
+    for (std::size_t j = 0; j < a.cols; ++j)
+      row[j] = static_cast<float>(q[j]) * s;
+  }
+}
+
+void quantize_weight(const Tensor& w, QuantWeight& out) {
+  const std::size_t rows = w.rows(), cols = w.cols();
+  out.rows = rows;
+  out.cols = cols;
+  out.stride = quant_padded(cols);
+  out.data.assign(rows * out.stride, 0);
+  out.row_sum.assign(rows, 0);
+  out.scale = detail::quant_scale_from_absmax(
+      detail::row_absmax_simd(w.data(), w.size()));
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::int8_t* qrow = &out.data[r * out.stride];
+    quantize_row_with_scale(w.row(r), out.scale,
+                            std::span<std::int8_t>(qrow, cols));
+    std::int32_t s = 0;
+    for (std::size_t cidx = 0; cidx < cols; ++cidx) s += qrow[cidx];
+    out.row_sum[r] = s;
+  }
+}
+
+void dequantize_weight(const QuantWeight& w, Tensor& out) {
+  out.resize(w.rows, w.cols);
+  for (std::size_t i = 0; i < w.rows; ++i)
+    for (std::size_t j = 0; j < w.cols; ++j)
+      out.data()[i * w.cols + j] =
+          static_cast<float>(w.data[i * w.stride + j]) * w.scale;
+}
+
+std::uint16_t bf16_from_float(float v) {
+  const std::uint32_t bits = std::bit_cast<std::uint32_t>(v);
+  // Round to nearest even on the truncated 16 bits; NaN stays NaN (the
+  // rounding add cannot carry a NaN mantissa down to zero).
+  const std::uint32_t rounding = 0x7fffu + ((bits >> 16) & 1u);
+  return static_cast<std::uint16_t>((bits + rounding) >> 16);
+}
+
+float bf16_to_float(std::uint16_t v) { return detail::bf16_expand(v); }
+
+void bf16_from_tensor(const Tensor& w, Bf16Weight& out) {
+  out.rows = w.rows();
+  out.cols = w.cols();
+  out.data.resize(w.size());
+  for (std::size_t i = 0; i < w.size(); ++i)
+    out.data[i] = bf16_from_float(w.data()[i]);
+}
+
+namespace {
+
+void check_qaffine(const QuantActs& x, const QuantWeight& w, const Tensor& b,
+                   const char* who) {
+  if (!w.ready())
+    throw std::logic_error(std::string(who) +
+                           ": weight not quantized (call prepare first)");
+  if (w.cols != x.cols || b.size() != w.rows)
+    throw std::invalid_argument(std::string(who) + ": shape mismatch");
+}
+
+void qaffine_act_into(Act act, bool accumulate, const QuantActs& x,
+                      const QuantWeight& w, const Tensor& b, Tensor& y,
+                      const char* who) {
+  check_qaffine(x, w, b, who);
+  if (!accumulate) y.resize(x.rows, w.rows);
+  // The GEMM runs over the PADDED row length: the pad codes are zero, which
+  // every tier's integer dot treats as an exact no-op, and k becoming a
+  // vector-width multiple means no kernel ever takes its scalar k-tail.
+  detail::active_quant_kernels().qgemm(act, accumulate, x.data.data(),
+                                       x.scale.data(), w.data.data(), w.scale,
+                                       w.row_sum.data(), b.data(), y.data(),
+                                       x.rows, x.stride, w.rows);
+}
+
+void check_bf16_affine(const Tensor& x, const Bf16Weight& w, const Tensor& b,
+                       const char* who) {
+  if (!w.ready())
+    throw std::logic_error(std::string(who) +
+                           ": weight not converted (call prepare first)");
+  if (w.cols != x.cols() || b.size() != w.rows)
+    throw std::invalid_argument(std::string(who) + ": shape mismatch");
+}
+
+template <Act A, bool Accumulate>
+void bf16_dispatch(const Tensor& x, const Bf16Weight& w, const Tensor& b,
+                   Tensor& y) {
+  detail::bf16_gemm_nt_act<A, Accumulate>(x.data(), w.data.data(), b.data(),
+                                          y.data(), x.rows(), x.cols(),
+                                          w.rows);
+}
+
+}  // namespace
+
+void qaffine_into(const QuantActs& x, const QuantWeight& w, const Tensor& b,
+                  Tensor& y) {
+  qaffine_act_into(Act::kNone, false, x, w, b, y, "qaffine_into");
+}
+
+void qaffine_relu_into(const QuantActs& x, const QuantWeight& w,
+                       const Tensor& b, Tensor& y) {
+  qaffine_act_into(Act::kRelu, false, x, w, b, y, "qaffine_relu_into");
+}
+
+void qaffine2_sigmoid_into(const QuantActs& x, const QuantWeight& wi,
+                           const Tensor& bi, const QuantActs& h,
+                           const QuantWeight& wh, const Tensor& bh,
+                           Tensor& y) {
+  check(x.rows == h.rows && wi.rows == wh.rows,
+        "qaffine2_sigmoid_into: row mismatch");
+  qaffine_act_into(Act::kNone, false, x, wi, bi, y, "qaffine2_sigmoid_into(x)");
+  qaffine_act_into(Act::kSigmoid, true, h, wh, bh, y,
+                   "qaffine2_sigmoid_into(h)");
+}
+
+void bf16_affine_into(const Tensor& x, const Bf16Weight& w, const Tensor& b,
+                      Tensor& y) {
+  check_bf16_affine(x, w, b, "bf16_affine_into");
+  y.resize(x.rows(), w.rows);
+  bf16_dispatch<Act::kNone, false>(x, w, b, y);
+}
+
+void bf16_affine_relu_into(const Tensor& x, const Bf16Weight& w,
+                           const Tensor& b, Tensor& y) {
+  check_bf16_affine(x, w, b, "bf16_affine_relu_into");
+  y.resize(x.rows(), w.rows);
+  bf16_dispatch<Act::kRelu, false>(x, w, b, y);
+}
+
+void bf16_affine2_sigmoid_into(const Tensor& x, const Bf16Weight& wi,
+                               const Tensor& bi, const Tensor& h,
+                               const Bf16Weight& wh, const Tensor& bh,
+                               Tensor& y) {
+  check_bf16_affine(x, wi, bi, "bf16_affine2_sigmoid_into(x)");
+  check_bf16_affine(h, wh, bh, "bf16_affine2_sigmoid_into(h)");
+  check(x.rows() == h.rows() && wi.rows == wh.rows,
+        "bf16_affine2_sigmoid_into: row mismatch");
+  y.resize(x.rows(), wi.rows);
+  bf16_dispatch<Act::kNone, false>(x, wi, bi, y);
+  bf16_dispatch<Act::kSigmoid, true>(h, wh, bh, y);
+}
+
+const char* quant_arch_name() {
+  return detail::active_quant_kernels().name;
+}
+
+}  // namespace tgnn::kernels

@@ -1,0 +1,146 @@
+// Quantized (int8 / bf16) inference kernels — the software counterpart of
+// the paper's fixed-point accelerator datapath, behind the same runtime-ISA
+// dispatch seam as the fp32 GEMMs (gemm_dispatch.hpp).
+//
+// Scheme (symmetric, zero-point-free):
+//   * weights  — per-tensor scale, quantized ONCE at model load:
+//                s_w = absmax(W)/127, Q = round(W/s_w), clamped to ±127.
+//   * activations — per-ROW dynamic scale, quantized per batch: row i of a
+//                staged matrix (vertex memory gathers, packed neighbor kv
+//                rows, GRU mail rows) gets s_i = absmax(row)/127. An
+//                all-zero row gets s_i = 0 and q = 0 (the scale-0 guard:
+//                dequantization multiplies by s_i, so no division ever
+//                happens on the zero row).
+//   * accumulation — int32 exact (int8·int8 widening dot), dequantized in
+//                fp32 in the epilogue: y = act(s_i·s_w·idot + bias). Biases
+//                and activation functions stay fp32, so every stage
+//                boundary (vertex memory, embeddings, logits) is fp32 and
+//                the persistent state layout is untouched.
+//
+// Because the int32 dot is EXACT, the result is independent of lane width,
+// blocking shape, and summation order — every ISA tier (generic, avx2
+// maddubs, avx512 VNNI) produces bit-identical output, a stronger guarantee
+// than the fp32 kernels give (pinned by tests/kernels/quant_test.cpp).
+//
+// bf16 is a weights-only storage format: weights are truncated to bfloat16
+// (round-to-nearest-even), expanded to fp32 in-register inside the GEMM,
+// and everything else runs the fp32 path. It halves weight memory traffic
+// on any ISA (the expansion is one 16-bit shift), which is why there is no
+// per-arch bf16 kernel.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace tgnn::kernels {
+
+/// Numeric mode of the inference hot path. Training is always fp32.
+enum class Precision { kFp32, kInt8, kBf16 };
+
+[[nodiscard]] const char* precision_name(Precision p);
+/// "fp32" | "int8" | "bf16" -> enum; false on anything else.
+bool parse_precision(const std::string& s, Precision& out);
+
+/// Quantized rows are stored padded to the widest int8 vector width (the
+/// avx512 tier eats 64 codes per step). Padding codes are ZERO, and a zero
+/// code contributes exactly 0 to every tier's integer dot (in the VNNI
+/// offset domain the surplus 128·0 also cancels), so kernels run over the
+/// padded length and never need a scalar k-tail — which otherwise dominates
+/// at the model's k≈100–500 (e.g. k=472 leaves a 24-element scalar tail per
+/// output element).
+inline constexpr std::size_t kQuantKPad = 64;
+[[nodiscard]] constexpr std::size_t quant_padded(std::size_t k) {
+  return (k + kQuantKPad - 1) / kQuantKPad * kQuantKPad;
+}
+
+/// Per-tensor-scale int8 snapshot of a [rows, cols] weight matrix (row-major
+/// like the fp32 Tensor it shadows, rows padded to `stride` zeros — see
+/// kQuantKPad). `row_sum[j]` = sum of row j's quantized values — the VNNI
+/// kernel's unsigned-offset correction term.
+struct QuantWeight {
+  std::vector<std::int8_t> data;     ///< [rows * stride]
+  std::vector<std::int32_t> row_sum; ///< [rows]
+  float scale = 0.0f;
+  std::size_t rows = 0, cols = 0, stride = 0;
+  [[nodiscard]] bool ready() const { return !data.empty(); }
+};
+
+/// bf16 (truncated fp32, RNE) snapshot of a weight matrix.
+struct Bf16Weight {
+  std::vector<std::uint16_t> data;  ///< [rows * cols]
+  std::size_t rows = 0, cols = 0;
+  [[nodiscard]] bool ready() const { return !data.empty(); }
+};
+
+/// Per-row dynamically quantized activation panel; reused across batches
+/// (grow-don't-shrink, like every other workspace buffer). Rows are stored
+/// at `stride` = quant_padded(cols), zero-padded like QuantWeight.
+struct QuantActs {
+  std::vector<std::int8_t> data;  ///< [rows * stride]
+  std::vector<float> scale;       ///< [rows]
+  std::size_t rows = 0, cols = 0, stride = 0;
+};
+
+// ---- quantize / dequantize primitives -------------------------------------
+
+/// Quantize one row with an explicit scale: q = round(x/scale) clamped to
+/// ±127 (the saturation guard — values beyond ±127·scale clip). scale <= 0
+/// writes all zeros.
+void quantize_row_with_scale(std::span<const float> x, float scale,
+                             std::span<std::int8_t> q);
+/// Per-row dynamic scale: absmax(x)/127 (0 for an all-zero row); quantizes
+/// the row with it and returns it.
+float quantize_row(std::span<const float> x, std::span<std::int8_t> q);
+/// Per-row dynamic quantization of a whole [m, k] panel into `out`.
+void quantize_rows_into(const Tensor& x, QuantActs& out);
+/// x̂ = q·scale, the round-trip inverse (tests / diagnostics).
+void dequantize_into(const QuantActs& a, Tensor& out);
+
+/// Per-tensor weight quantization (scale = absmax/127; all-zero weight gets
+/// scale 0 and all-zero q).
+void quantize_weight(const Tensor& w, QuantWeight& out);
+/// Dequantized copy ŵ = q·scale (tests / diagnostics).
+void dequantize_weight(const QuantWeight& w, Tensor& out);
+
+[[nodiscard]] std::uint16_t bf16_from_float(float v);  ///< RNE truncation
+[[nodiscard]] float bf16_to_float(std::uint16_t v);
+void bf16_from_tensor(const Tensor& w, Bf16Weight& out);
+
+// ---- int8 fused affine entries --------------------------------------------
+// Quantized counterparts of the fused.hpp affine family: x is a per-row-
+// quantized panel (quantize_rows_into), w a per-tensor-quantized weight,
+// bias/outputs fp32. y resized to [x.rows, w.rows].
+
+/// y = s_x[i]·s_w·(q_x·q_wᵀ) + b
+void qaffine_into(const QuantActs& x, const QuantWeight& w, const Tensor& b,
+                  Tensor& y);
+/// y = relu(...)
+void qaffine_relu_into(const QuantActs& x, const QuantWeight& w,
+                       const Tensor& b, Tensor& y);
+/// y = sigmoid(x-part + h-part) — the GRU gate shape (two quantized GEMMs,
+/// both biases, sigmoid on the fp32 sum).
+void qaffine2_sigmoid_into(const QuantActs& x, const QuantWeight& wi,
+                           const Tensor& bi, const QuantActs& h,
+                           const QuantWeight& wh, const Tensor& bh, Tensor& y);
+
+// ---- bf16 fused affine entries --------------------------------------------
+// fp32 activations against bf16-stored weights; same shapes as fused.hpp.
+
+void bf16_affine_into(const Tensor& x, const Bf16Weight& w, const Tensor& b,
+                      Tensor& y);
+void bf16_affine_relu_into(const Tensor& x, const Bf16Weight& w,
+                           const Tensor& b, Tensor& y);
+void bf16_affine2_sigmoid_into(const Tensor& x, const Bf16Weight& wi,
+                               const Tensor& bi, const Tensor& h,
+                               const Bf16Weight& wh, const Tensor& bh,
+                               Tensor& y);
+
+/// Name of the int8 micro-kernel tier in use ("generic" | "avx2-maddubs" |
+/// "avx512-vnni"), resolved once per process like simd_arch_name().
+const char* quant_arch_name();
+
+}  // namespace tgnn::kernels

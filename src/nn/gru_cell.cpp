@@ -55,13 +55,46 @@ Tensor GruCell::forward(const Tensor& x, const Tensor& h, Cache* cache) const {
 }
 
 void GruCell::forward_into(const Tensor& x, const Tensor& h,
-                           kernels::GruScratch& ws, Tensor& out) const {
-  kernels::gru_forward_into(
-      x, h,
-      {&w_ir.value, &w_iz.value, &w_in.value, &b_ir.value, &b_iz.value,
-       &b_in.value, &w_hr.value, &w_hz.value, &w_hn.value, &b_hr.value,
-       &b_hz.value, &b_hn.value},
-      ws, out);
+                           kernels::GruScratch& ws, Tensor& out,
+                           kernels::Precision p) const {
+  const kernels::GruWeights w{
+      &w_ir.value, &w_iz.value, &w_in.value, &b_ir.value,
+      &b_iz.value, &b_in.value, &w_hr.value, &w_hz.value,
+      &w_hn.value, &b_hr.value, &b_hz.value, &b_hn.value};
+  switch (p) {
+    case kernels::Precision::kInt8:
+      kernels::qgru_forward_into(x, h, w, qw, ws, out);
+      break;
+    case kernels::Precision::kBf16:
+      kernels::bf16_gru_forward_into(x, h, w, bw16, ws, out);
+      break;
+    case kernels::Precision::kFp32:
+      kernels::gru_forward_into(x, h, w, ws, out);
+      break;
+  }
+}
+
+void GruCell::prepare(kernels::Precision p) const {
+  switch (p) {
+    case kernels::Precision::kInt8:
+      kernels::quantize_weight(w_ir.value, qw.w_ir);
+      kernels::quantize_weight(w_iz.value, qw.w_iz);
+      kernels::quantize_weight(w_in.value, qw.w_in);
+      kernels::quantize_weight(w_hr.value, qw.w_hr);
+      kernels::quantize_weight(w_hz.value, qw.w_hz);
+      kernels::quantize_weight(w_hn.value, qw.w_hn);
+      break;
+    case kernels::Precision::kBf16:
+      kernels::bf16_from_tensor(w_ir.value, bw16.w_ir);
+      kernels::bf16_from_tensor(w_iz.value, bw16.w_iz);
+      kernels::bf16_from_tensor(w_in.value, bw16.w_in);
+      kernels::bf16_from_tensor(w_hr.value, bw16.w_hr);
+      kernels::bf16_from_tensor(w_hz.value, bw16.w_hz);
+      kernels::bf16_from_tensor(w_hn.value, bw16.w_hn);
+      break;
+    case kernels::Precision::kFp32:
+      break;
+  }
 }
 
 GruCell::InputGrads GruCell::backward(const Cache& c, const Tensor& dh_new) {

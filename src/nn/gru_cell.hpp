@@ -53,9 +53,17 @@ class GruCell {
   /// Inference-only fused forward (kernels::gru_forward_into): writes s'
   /// into `out`, reusing `ws` gate buffers — zero steady-state allocations
   /// and vectorized GEMMs. No cache, so not usable for backward; parity
-  /// with forward() is pinned to 1e-6 by tests/kernels.
+  /// with forward() is pinned to 1e-6 by tests/kernels. Non-fp32 precisions
+  /// route to the quantized fused kernels and require prepare(p) first; the
+  /// produced state s' is always fp32 (VertexMemory never holds quantized
+  /// state).
   void forward_into(const Tensor& x, const Tensor& h, kernels::GruScratch& ws,
-                    Tensor& out) const;
+                    Tensor& out,
+                    kernels::Precision p = kernels::Precision::kFp32) const;
+
+  /// One-time snapshot of the six weight matrices for a reduced-precision
+  /// path (biases stay fp32). kFp32 is a no-op; re-run after weight updates.
+  void prepare(kernels::Precision p) const;
 
   /// Accumulates parameter grads; returns gradients w.r.t. x and h.
   InputGrads backward(const Cache& cache, const Tensor& dh_new);
@@ -74,6 +82,11 @@ class GruCell {
   Parameter w_ir, w_iz, w_in, b_ir, b_iz, b_in;
   // Hidden-to-hidden weights [hid, hid] and biases [hid].
   Parameter w_hr, w_hz, w_hn, b_hr, b_hz, b_hn;
+
+  // Reduced-precision weight snapshots (prepare()); derived caches, never
+  // checkpointed.
+  mutable kernels::QuantGruWeights qw;
+  mutable kernels::Bf16GruWeights bw16;
 };
 
 }  // namespace tgnn::nn

@@ -18,6 +18,36 @@ void Linear::forward_into(const Tensor& x, Tensor& y) const {
   kernels::affine_into(x, w.value, b.value, y);
 }
 
+void Linear::prepare(kernels::Precision p) const {
+  switch (p) {
+    case kernels::Precision::kInt8:
+      kernels::quantize_weight(w.value, qw);
+      break;
+    case kernels::Precision::kBf16:
+      kernels::bf16_from_tensor(w.value, bw16);
+      break;
+    case kernels::Precision::kFp32:
+      break;
+  }
+}
+
+void Linear::forward_q_into(const kernels::QuantActs& x, Tensor& y) const {
+  kernels::qaffine_into(x, qw, b.value, y);
+}
+
+void Linear::forward_q_relu_into(const kernels::QuantActs& x,
+                                 Tensor& y) const {
+  kernels::qaffine_relu_into(x, qw, b.value, y);
+}
+
+void Linear::forward_bf16_into(const Tensor& x, Tensor& y) const {
+  kernels::bf16_affine_into(x, bw16, b.value, y);
+}
+
+void Linear::forward_bf16_relu_into(const Tensor& x, Tensor& y) const {
+  kernels::bf16_affine_relu_into(x, bw16, b.value, y);
+}
+
 Tensor Linear::backward(const Tensor& x, const Tensor& dy) {
   // dW += dY^T X : [out, m] x [m, in]
   ops::matmul_tn_acc(dy, x, w.grad);

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "kernels/quant.hpp"
 #include "nn/parameter.hpp"
 #include "tensor/ops.hpp"
 
@@ -28,6 +29,23 @@ class Linear {
   /// buffer (kernels::affine_into) — no allocation once y has capacity.
   void forward_into(const Tensor& x, Tensor& y) const;
 
+  /// One-time weight snapshot for a reduced-precision inference path
+  /// (re-runs unconditionally, so call again if weights changed — e.g.
+  /// after a training step). kFp32 is a no-op; the fp32 weights always stay
+  /// the source of truth, so precisions can be switched freely.
+  void prepare(kernels::Precision p) const;
+
+  /// Int8 forward against a caller-quantized activation panel (the caller
+  /// owns quantization so one panel can feed several layers — e.g. the
+  /// attention kv panel feeds both wk and wv). Requires prepare(kInt8).
+  void forward_q_into(const kernels::QuantActs& x, Tensor& y) const;
+  /// Same with a fused ReLU epilogue.
+  void forward_q_relu_into(const kernels::QuantActs& x, Tensor& y) const;
+
+  /// bf16-weight forward (fp32 activations). Requires prepare(kBf16).
+  void forward_bf16_into(const Tensor& x, Tensor& y) const;
+  void forward_bf16_relu_into(const Tensor& x, Tensor& y) const;
+
   /// Backward: given dY and the forward input X, accumulates weight/bias
   /// grads and returns dX.
   Tensor backward(const Tensor& x, const Tensor& dy);
@@ -44,6 +62,12 @@ class Linear {
 
   Parameter w;  ///< [out, in]
   Parameter b;  ///< [out]
+
+  // Reduced-precision weight snapshots (prepare()); mutable because they
+  // are derived caches of `w`, not model state — checkpoints never carry
+  // them and training never reads them.
+  mutable kernels::QuantWeight qw;
+  mutable kernels::Bf16Weight bw16;
 };
 
 }  // namespace tgnn::nn

@@ -30,7 +30,11 @@ class CpuBackend final : public Backend, public StagedBackend {
   CpuBackend(std::string key, const core::TgnModel& model,
              const data::Dataset& ds, int threads, const BackendOptions& opts)
       : key_(std::move(key)), ds_(ds), runner_(model, ds, threads),
-        opts_(opts) {}
+        opts_(opts) {
+    // opts.precision arrives fully resolved from make_backend (key suffix >
+    // options > ModelConfig); kFp32 is a cheap no-op on a fresh engine.
+    runner_.engine().set_precision(opts.precision);
+  }
 
   BatchOutput process_batch(const graph::BatchRange& r,
                             std::span<const graph::NodeId> extras) override {
@@ -51,8 +55,11 @@ class CpuBackend final : public Backend, public StagedBackend {
 
   [[nodiscard]] std::string name() const override { return key_; }
   [[nodiscard]] std::string describe() const override {
-    return "host CPU, " + std::to_string(runner_.threads()) +
-           " thread(s) (measured)";
+    std::string d =
+        "host CPU, " + std::to_string(runner_.threads()) + " thread(s)";
+    if (opts_.precision != kernels::Precision::kFp32)
+      d += std::string(", ") + kernels::precision_name(opts_.precision);
+    return d + " (measured)";
   }
   [[nodiscard]] const data::Dataset& dataset() const override { return ds_; }
 
@@ -258,18 +265,53 @@ std::unique_ptr<Backend> make_backend(const std::string& key,
                                       const core::TgnModel& model,
                                       const data::Dataset& ds,
                                       const BackendOptions& opts) {
-  if (key == "cpu")
-    return std::make_unique<CpuBackend>(key, model, ds, /*threads=*/1, opts);
-  if (key == "cpu-mt")
-    return std::make_unique<CpuBackend>(key, model, ds,
-                                        resolve_threads(opts.threads), opts);
-  if (key == "sharded-cpu")
+  // Split an optional ":fp32" / ":int8" / ":bf16" precision suffix off the
+  // registry key and resolve the effective numeric mode: key suffix >
+  // BackendOptions::precision > ModelConfig::inference_precision.
+  std::string base = key;
+  BackendOptions eff = opts;
+  bool requested = eff.precision != kernels::Precision::kFp32;
+  if (const auto pos = key.find(':'); pos != std::string::npos) {
+    base = key.substr(0, pos);
+    const std::string suffix = key.substr(pos + 1);
+    if (!kernels::parse_precision(suffix, eff.precision))
+      throw std::invalid_argument("make_backend: unknown precision suffix '" +
+                                  suffix + "' in key '" + key +
+                                  "' (fp32 | int8 | bf16)");
+    requested = true;
+  }
+  if (!requested) eff.precision = model.config().inference_precision;
+
+  // name() reflects the EFFECTIVE mode, normalized: "cpu:fp32" -> "cpu",
+  // and a ModelConfig-driven int8 shows up as "cpu:int8" too.
+  const std::string display =
+      eff.precision == kernels::Precision::kFp32
+          ? base
+          : base + ":" + kernels::precision_name(eff.precision);
+  if (base == "cpu")
+    return std::make_unique<CpuBackend>(display, model, ds, /*threads=*/1,
+                                        eff);
+  if (base == "cpu-mt")
+    return std::make_unique<CpuBackend>(display, model, ds,
+                                        resolve_threads(eff.threads), eff);
+  if (base == "sharded-cpu")
     return std::make_unique<ShardedCpuBackend>(
-        model, ds, static_cast<std::size_t>(resolve_threads(opts.threads)),
-        opts);
-  if (key == "gpu-sim") return std::make_unique<GpuSimBackend>(model, ds, opts);
-  if (key == "apan") return std::make_unique<ApanBackend>(model, ds, opts);
-  if (key == "fpga") return std::make_unique<FpgaBackend>(model, ds, opts);
+        model, ds, static_cast<std::size_t>(resolve_threads(eff.threads)),
+        eff);
+
+  // The modelled / comparator platforms have no reduced-precision datapath;
+  // an explicitly requested mode there would silently measure the wrong
+  // thing. (ModelConfig::inference_precision is not a request — the
+  // modelled platforms' reference engines pick it up on their own.)
+  if (requested && eff.precision != kernels::Precision::kFp32)
+    throw std::invalid_argument(
+        "make_backend: backend '" + base + "' does not support precision '" +
+        kernels::precision_name(eff.precision) +
+        "' (only cpu | cpu-mt | sharded-cpu run the quantized path)");
+
+  if (base == "gpu-sim") return std::make_unique<GpuSimBackend>(model, ds, eff);
+  if (base == "apan") return std::make_unique<ApanBackend>(model, ds, eff);
+  if (base == "fpga") return std::make_unique<FpgaBackend>(model, ds, eff);
 
   std::string registry;
   for (const auto& k : backend_keys())

@@ -16,8 +16,11 @@
 // the platform model's estimate, flagged by `modelled_timing`.
 //
 // Backends are constructed through the string-keyed factory `make_backend`
-// ("cpu" | "cpu-mt" | "sharded-cpu" | "gpu-sim" | "apan" | "fpga"); see
-// DESIGN.md for the registry and for how to add a new backend.
+// ("cpu" | "cpu-mt" | "sharded-cpu" | "gpu-sim" | "apan" | "fpga"); the
+// engine-backed CPU keys additionally take a precision suffix
+// ("cpu:int8" | "cpu-mt:bf16" | "sharded-cpu:int8" | ...":fp32") selecting
+// the quantized inference path. See DESIGN.md for the registry and for how
+// to add a new backend.
 #pragma once
 
 #include <memory>
@@ -165,6 +168,13 @@ struct BackendOptions {
   std::uint64_t seed = 5;                 ///< "apan": seed when self-built
   std::size_t warmup_batch = 500;         ///< fast-forward batch size
   std::size_t max_batch_hint = 1024;      ///< workspace pre-sizing at warmup
+
+  /// Numeric mode of the CPU execution backends' hot path. kFp32 defers to
+  /// ModelConfig::inference_precision; a ":int8" / ":bf16" / ":fp32" key
+  /// suffix ("cpu:int8") overrides both. Only the engine-backed keys
+  /// (cpu | cpu-mt | sharded-cpu) accept a non-fp32 mode — the modelled
+  /// platforms (gpu-sim, fpga, apan) reject the suffix.
+  kernels::Precision precision = kernels::Precision::kFp32;
 
   BackendOptions();
 };

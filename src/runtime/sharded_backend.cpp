@@ -21,6 +21,10 @@ ShardedCpuBackend::ShardedCpuBackend(const core::TgnModel& model,
   for (std::size_t l = 0; l < lanes; ++l) {
     auto engine = std::make_unique<core::InferenceEngine>(model, ds, state_);
     engine->set_shard_locks(&locks_);
+    // Every lane runs the same resolved numeric mode (make_backend already
+    // folded key suffix / options / model config). The lanes share the
+    // model, so later calls just rewrite the same deterministic snapshot.
+    engine->set_precision(opts.precision);
     lanes_.push_back(std::move(engine));
   }
 }
@@ -51,8 +55,11 @@ void ShardedCpuBackend::warmup(const graph::BatchRange& range) {
 void ShardedCpuBackend::reset() { state_.reset(); }
 
 std::string ShardedCpuBackend::describe() const {
-  return "host CPU, " + std::to_string(lanes_.size()) + " lane(s) x " +
-         std::to_string(num_shards()) + " shard(s), conflict-aware (measured)";
+  std::string d = "host CPU, " + std::to_string(lanes_.size()) + " lane(s) x " +
+                  std::to_string(num_shards()) + " shard(s), conflict-aware";
+  if (opts_.precision != kernels::Precision::kFp32)
+    d += std::string(", ") + kernels::precision_name(opts_.precision);
+  return d + " (measured)";
 }
 
 void ShardedCpuBackend::read_footprint(const graph::BatchRange& r,

@@ -45,7 +45,11 @@ class ShardedCpuBackend final : public ConcurrentBackend,
       std::span<const graph::NodeId> extras = {}) override;
   void warmup(const graph::BatchRange& range) override;
   void reset() override;
-  [[nodiscard]] std::string name() const override { return "sharded-cpu"; }
+  [[nodiscard]] std::string name() const override {
+    if (opts_.precision == kernels::Precision::kFp32) return "sharded-cpu";
+    return std::string("sharded-cpu:") +
+           kernels::precision_name(opts_.precision);
+  }
   [[nodiscard]] std::string describe() const override;
   [[nodiscard]] const data::Dataset& dataset() const override { return ds_; }
 

@@ -88,11 +88,10 @@ void VanillaAttention::forward_into(std::span<const float> f_self,
   kernels::affine_row_into(ws.fo_in.row(0), wo.w.value, wo.b.value, out);
 }
 
-void VanillaAttention::forward_batch_into(const Tensor& f_self,
-                                          const Tensor& q_in,
-                                          const Tensor& kv_in,
-                                          std::span<const std::size_t> seg,
-                                          BatchScratch& ws, Tensor& out) const {
+void VanillaAttention::forward_batch_into(
+    const Tensor& f_self, const Tensor& q_in, const Tensor& kv_in,
+    std::span<const std::size_t> seg, BatchScratch& ws, Tensor& out,
+    kernels::Precision p) const {
   const std::size_t n_nodes = q_in.rows();
   const std::size_t total = kv_in.rows();
   const std::size_t emb = wq.out_dim();
@@ -103,11 +102,32 @@ void VanillaAttention::forward_batch_into(const Tensor& f_self,
 
   // Whole-batch projections. q rows of neighborless nodes are computed but
   // never read (their segment is empty) — the GEMM is cheaper batched than
-  // branched.
-  wq.forward_into(q_in, ws.q);
-  if (total > 0) {
-    wk.forward_into(kv_in, ws.k);
-    wv.forward_into(kv_in, ws.v);
+  // branched. Under int8 each staged panel is quantized ONCE; the kv panel
+  // feeds both the wk and wv GEMMs.
+  switch (p) {
+    case kernels::Precision::kInt8:
+      kernels::quantize_rows_into(q_in, ws.qq);
+      wq.forward_q_into(ws.qq, ws.q);
+      if (total > 0) {
+        kernels::quantize_rows_into(kv_in, ws.qkv);
+        wk.forward_q_into(ws.qkv, ws.k);
+        wv.forward_q_into(ws.qkv, ws.v);
+      }
+      break;
+    case kernels::Precision::kBf16:
+      wq.forward_bf16_into(q_in, ws.q);
+      if (total > 0) {
+        wk.forward_bf16_into(kv_in, ws.k);
+        wv.forward_bf16_into(kv_in, ws.v);
+      }
+      break;
+    case kernels::Precision::kFp32:
+      wq.forward_into(q_in, ws.q);
+      if (total > 0) {
+        wk.forward_into(kv_in, ws.k);
+        wv.forward_into(kv_in, ws.v);
+      }
+      break;
   }
 
   // Ragged attention: per-segment scaled logits -> softmax -> weighted
@@ -126,7 +146,22 @@ void VanillaAttention::forward_batch_into(const Tensor& f_self,
   }
 
   // FTM over the whole batch, written straight into the embeddings matrix.
-  kernels::affine_into(ws.fo_in, wo.w.value, wo.b.value, out);
+  switch (p) {
+    case kernels::Precision::kInt8:
+      kernels::quantize_rows_into(ws.fo_in, ws.qfo);
+      wo.forward_q_into(ws.qfo, out);
+      break;
+    case kernels::Precision::kBf16:
+      wo.forward_bf16_into(ws.fo_in, out);
+      break;
+    case kernels::Precision::kFp32:
+      kernels::affine_into(ws.fo_in, wo.w.value, wo.b.value, out);
+      break;
+  }
+}
+
+void VanillaAttention::prepare(kernels::Precision p) const {
+  for (const auto* l : {&wq, &wk, &wv, &wo}) l->prepare(p);
 }
 
 std::vector<float> VanillaAttention::logits(std::span<const float> /*f_self*/,

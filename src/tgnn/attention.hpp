@@ -72,12 +72,16 @@ class VanillaAttention {
                     InferScratch& ws, std::span<float> out) const;
 
   /// Reusable buffers for forward_batch_into (one per engine workspace).
+  /// The QuantActs panels are touched only by the int8 path.
   struct BatchScratch {
     Tensor q;      ///< [n_nodes, emb]
     Tensor k;      ///< [total, emb]
     Tensor v;      ///< [total, emb]
     Tensor fo_in;  ///< [n_nodes, emb + mem]
     std::vector<float> alpha;  ///< [total] packed logits -> alpha
+    kernels::QuantActs qq;   ///< quantized q_in panel
+    kernels::QuantActs qkv;  ///< quantized kv_in panel (shared by wk and wv)
+    kernels::QuantActs qfo;  ///< quantized FTM input panel
   };
 
   /// Batched inference forward over a whole micro-batch: one projection
@@ -87,10 +91,21 @@ class VanillaAttention {
   /// (n_nodes + 1 entries). Row i of `out` (resized to [n_nodes, emb])
   /// receives h_i. Bit-identical to n_nodes forward_into calls — pinned by
   /// tests/kernels and the engine-level batched-vs-per-row tests.
+  ///
+  /// Non-fp32 precisions (require prepare(p)) swap the four projection
+  /// GEMMs for their quantized variants; the ragged attention core
+  /// (logits/softmax/weighted rowsum) always runs fp32 on the projected
+  /// values, so alpha never accumulates quantization error on top of the
+  /// projections'.
   void forward_batch_into(const Tensor& f_self, const Tensor& q_in,
                           const Tensor& kv_in,
                           std::span<const std::size_t> seg, BatchScratch& ws,
-                          Tensor& out) const;
+                          Tensor& out,
+                          kernels::Precision p = kernels::Precision::kFp32)
+      const;
+
+  /// Snapshot wq/wk/wv/wo for a reduced-precision path (see nn::Linear).
+  void prepare(kernels::Precision p) const;
 
   /// Attention logits only (for distillation teachers): [n] scaled scores.
   [[nodiscard]] std::vector<float> logits(std::span<const float> f_self,

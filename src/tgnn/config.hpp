@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "kernels/quant.hpp"
+
 namespace tgnn::core {
 
 enum class AttentionKind {
@@ -39,6 +41,12 @@ struct ModelConfig {
   std::size_t lut_bins = 128;
 
   std::size_t decoder_hidden = 64;  ///< downstream link-prediction MLP width
+
+  /// Numeric mode of the inference hot path — the software analogue of the
+  /// paper's fixed-point accelerator datapath. Training is always fp32;
+  /// engines pick this up at construction, and runtime backend keys like
+  /// "cpu:int8" override it (runtime/backend.hpp).
+  kernels::Precision inference_precision = kernels::Precision::kFp32;
 
   /// Raw cached-message width: [s_self || s_other || f_e].
   [[nodiscard]] std::size_t raw_mail_dim() const {

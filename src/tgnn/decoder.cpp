@@ -45,10 +45,30 @@ Tensor Decoder::forward(const Tensor& x, Cache* cache) const {
   return logits;
 }
 
-const Tensor& Decoder::forward_into(const Tensor& x, InferScratch& ws) const {
-  kernels::affine_relu_into(x, l1.w.value, l1.b.value, ws.hidden);
-  kernels::affine_into(ws.hidden, l2.w.value, l2.b.value, ws.logits);
+const Tensor& Decoder::forward_into(const Tensor& x, InferScratch& ws,
+                                    kernels::Precision p) const {
+  switch (p) {
+    case kernels::Precision::kInt8:
+      kernels::quantize_rows_into(x, ws.qx);
+      l1.forward_q_relu_into(ws.qx, ws.hidden);
+      kernels::quantize_rows_into(ws.hidden, ws.qh);
+      l2.forward_q_into(ws.qh, ws.logits);
+      break;
+    case kernels::Precision::kBf16:
+      l1.forward_bf16_relu_into(x, ws.hidden);
+      l2.forward_bf16_into(ws.hidden, ws.logits);
+      break;
+    case kernels::Precision::kFp32:
+      kernels::affine_relu_into(x, l1.w.value, l1.b.value, ws.hidden);
+      kernels::affine_into(ws.hidden, l2.w.value, l2.b.value, ws.logits);
+      break;
+  }
   return ws.logits;
+}
+
+void Decoder::prepare(kernels::Precision p) const {
+  l1.prepare(p);
+  l2.prepare(p);
 }
 
 double Decoder::score_with(InferScratch& ws, std::span<const float> hu,

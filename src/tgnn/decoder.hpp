@@ -44,16 +44,26 @@ class Decoder {
   [[nodiscard]] double score(std::span<const float> hu,
                              std::span<const float> hv) const;
 
-  /// Reusable buffers for the fused scoring/forward path.
+  /// Reusable buffers for the fused scoring/forward path. The QuantActs
+  /// panels are touched only by the int8 path.
   struct InferScratch {
     Tensor x;       ///< [m, 3*emb]
     Tensor hidden;  ///< [m, hid]
     Tensor logits;  ///< [m, 1]
+    kernels::QuantActs qx;  ///< quantized pair-input panel
+    kernels::QuantActs qh;  ///< quantized post-ReLU hidden panel
   };
 
   /// Fused inference forward (affine+ReLU kernel, no cache): logits written
-  /// into ws.logits, which is also returned.
-  const Tensor& forward_into(const Tensor& x, InferScratch& ws) const;
+  /// into ws.logits, which is also returned. Non-fp32 precisions (require
+  /// prepare(p)) run both MLP GEMMs quantized; the ReLU between them and
+  /// the logits are fp32.
+  const Tensor& forward_into(const Tensor& x, InferScratch& ws,
+                             kernels::Precision p =
+                                 kernels::Precision::kFp32) const;
+
+  /// Snapshot l1/l2 for a reduced-precision path (see nn::Linear).
+  void prepare(kernels::Precision p) const;
 
   /// score(), allocation-free: reuses `ws` across calls.
   [[nodiscard]] double score_with(InferScratch& ws, std::span<const float> hu,

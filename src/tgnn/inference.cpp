@@ -94,12 +94,23 @@ InferenceEngine::InferenceEngine(const TgnModel& model, const data::Dataset& ds,
       owned_state_(std::make_unique<RuntimeState>(ds.graph.num_nodes(),
                                                   model.config(),
                                                   use_fifo_sampler)),
-      state_(owned_state_.get()), dst_pool_(data::destination_pool(ds)) {}
+      state_(owned_state_.get()), dst_pool_(data::destination_pool(ds)) {
+  set_precision(model.config().inference_precision);
+}
 
 InferenceEngine::InferenceEngine(const TgnModel& model, const data::Dataset& ds,
                                  RuntimeState& state)
     : model_(model), ds_(ds), state_(&state),
-      dst_pool_(data::destination_pool(ds)) {}
+      dst_pool_(data::destination_pool(ds)) {
+  set_precision(model.config().inference_precision);
+}
+
+void InferenceEngine::set_precision(kernels::Precision p) {
+  // Snapshot before flipping the member: if quantization throws, the
+  // engine stays in its previous, consistent mode.
+  model_.prepare_precision(p);
+  precision_ = p;
+}
 
 InferenceEngine::BatchResult InferenceEngine::process_batch(
     const graph::BatchRange& r, std::span<const graph::NodeId> extra_nodes,
@@ -204,7 +215,7 @@ void InferenceEngine::stage_memory_update(StageContext& ctx) {
       const auto mem = state_->memory.get(v);
       std::copy(mem.begin(), mem.end(), ws.h.row(k).begin());
     }
-    model_.updater().forward_into(ws.x, ws.h, ws.gru, s_new);
+    model_.updater().forward_into(ws.x, ws.h, ws.gru, s_new, precision_);
   }
   // Row lookup: updated memory if in this batch's mail set, else the table.
   std::vector<const float*>& mem_ptr = ws.mem_ptr;
@@ -233,7 +244,7 @@ void InferenceEngine::stage_neighbor_gather(StageContext& ctx) {
   // CSR pack + kv-row staging (batched pipeline only; the per-row path
   // gathers inside GnnCompute). Counted as GNN time, as the gather was
   // when it lived inside the monolithic GNN stage.
-  if (batched_gnn_) {
+  if (use_batched_gnn()) {
     sw.reset();
     gnn_gather_batched(ctx);
     ctx.parts.gnn += sw.seconds();
@@ -247,7 +258,7 @@ void InferenceEngine::stage_gnn_compute(StageContext& ctx) {
   Stopwatch sw;
   const ModelConfig& cfg = model_.config();
   ctx.res.embeddings = Tensor(ctx.res.nodes.size(), cfg.emb_dim);
-  if (batched_gnn_)
+  if (use_batched_gnn())
     gnn_compute_batched(ctx);
   else
     gnn_stage_per_row(ctx);
@@ -425,11 +436,11 @@ void InferenceEngine::gnn_compute_batched(StageContext& ctx) {
   BatchWorkspace::GnnBatch& gb = ctx.ws.gb;
   if (const auto* att = model_.vanilla()) {
     att->forward_batch_into(gb.fp, gb.q_in, gb.kv_in, gb.seg, gb.attn,
-                            ctx.res.embeddings);
+                            ctx.res.embeddings, precision_);
   } else {
     model_.simplified()->aggregate_batch_into(gb.fp, gb.logits, gb.kv_in,
                                               gb.seg, gb.sat,
-                                              ctx.res.embeddings);
+                                              ctx.res.embeddings, precision_);
   }
 }
 
@@ -553,7 +564,8 @@ void InferenceEngine::warmup(const graph::BatchRange& range,
         const auto mem = state_->memory.get(v);
         std::copy(mem.begin(), mem.end(), ws.h.row(k).begin());
       }
-      model_.updater().forward_into(ws.x, ws.h, ws.gru, ws.s_new);
+      model_.updater().forward_into(ws.x, ws.h, ws.gru, ws.s_new,
+                                    precision_);
       for (std::size_t k = 0; k < mail_nodes.size(); ++k) {
         state_->memory.set(mail_nodes[k], ws.s_new.row(k), tev[mail_nodes[k]]);
         state_->mail_valid[mail_nodes[k]] = 0;
@@ -586,6 +598,9 @@ double InferenceEngine::evaluate_ap(const graph::BatchRange& range,
   if (range.end > range.begin)
     samples.reserve(2 * (range.end - range.begin));  // one pos + one neg per edge
   Decoder::InferScratch dec_ws;
+  // Score at the engine's precision: the decoder consumes this engine's
+  // embeddings, so AP deltas measure the whole quantized path end to end.
+  dec.prepare(precision_);
   std::vector<graph::NodeId> negs;
   for (const auto& b : ds_.graph.fixed_size_batches(range.begin, range.end,
                                                     batch_size)) {
@@ -604,7 +619,7 @@ double InferenceEngine::evaluate_ap(const graph::BatchRange& range,
       Decoder::build_pair(res.embedding_of(edges[k].src),
                           res.embedding_of(negs[k]), dec_ws.x.row(2 * k + 1));
     }
-    const Tensor& logits = dec.forward_into(dec_ws.x, dec_ws);
+    const Tensor& logits = dec.forward_into(dec_ws.x, dec_ws, precision_);
     for (std::size_t k = 0; k < edges.size(); ++k) {
       samples.push_back({logits(2 * k, 0), true});
       samples.push_back({logits(2 * k + 1, 0), false});

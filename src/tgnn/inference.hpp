@@ -278,6 +278,17 @@ class InferenceEngine {
   void set_batched_gnn(bool on) { batched_gnn_ = on; }
   [[nodiscard]] bool batched_gnn() const { return batched_gnn_; }
 
+  /// Numeric mode of the hot path (GRU, attention projections, decoder
+  /// scoring). Switching away from fp32 snapshots the model's weights at
+  /// reduced precision (TgnModel::prepare_precision) and forces the batched
+  /// GNN pipeline — dynamic activation quantization amortizes only over
+  /// batched GEMM panels, so the per-row path stays fp32-only. Persistent
+  /// vertex state and every stage boundary remain fp32 regardless; see
+  /// DESIGN.md "The quantized inference path". Engines pick up
+  /// ModelConfig::inference_precision at construction; this overrides it.
+  void set_precision(kernels::Precision p);
+  [[nodiscard]] kernels::Precision precision() const { return precision_; }
+
   /// Arm concurrent-lane mode: while set, reads of vertex memory OUTSIDE
   /// the current batch take the vertex's shard lock (shared) and copy the
   /// row, and memory write-backs take it exclusively. This is the only
@@ -336,6 +347,13 @@ class InferenceEngine {
   /// GnnCompute); bit-identical to the batched path — see DESIGN.md.
   void gnn_stage_per_row(StageContext& ctx);
 
+  /// Batched pipeline selection as actually executed: a reduced-precision
+  /// engine always runs batched (quantization has nothing to amortize
+  /// against on the per-row path).
+  [[nodiscard]] bool use_batched_gnn() const {
+    return batched_gnn_ || precision_ != kernels::Precision::kFp32;
+  }
+
   const TgnModel& model_;
   const data::Dataset& ds_;
   std::unique_ptr<RuntimeState> owned_state_;  ///< null when state is shared
@@ -343,6 +361,7 @@ class InferenceEngine {
   std::vector<graph::NodeId> dst_pool_;
   bool parallel_gnn_ = false;
   bool batched_gnn_ = true;
+  kernels::Precision precision_ = kernels::Precision::kFp32;
   const graph::ShardLockTable* shard_locks_ = nullptr;
   StageContext ctx_;  ///< the serial path's own context (process_batch)
 };

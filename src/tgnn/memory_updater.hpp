@@ -24,11 +24,16 @@ class MemoryUpdater {
   /// is the memory stage's batch entry point: one call carries ALL of a
   /// micro-batch's mail rows ([m, gru_in_dim] / [m, mem_dim]), and the
   /// underlying GEMMs are bit-invariant to m, so any row partition of a
-  /// batch produces identical memory updates.
-  void forward_into(const Tensor& x, const Tensor& h,
-                    kernels::GruScratch& ws, Tensor& out) const {
-    gru.forward_into(x, h, ws, out);
+  /// batch produces identical memory updates. Non-fp32 precisions require
+  /// prepare(p); the produced state is always fp32.
+  void forward_into(const Tensor& x, const Tensor& h, kernels::GruScratch& ws,
+                    Tensor& out,
+                    kernels::Precision p = kernels::Precision::kFp32) const {
+    gru.forward_into(x, h, ws, out, p);
   }
+
+  /// Snapshot the GRU weights for a reduced-precision path.
+  void prepare(kernels::Precision p) const { gru.prepare(p); }
 
   nn::GruCell::InputGrads backward(const nn::GruCell::Cache& cache,
                                    const Tensor& ds_new) {

@@ -61,4 +61,11 @@ void TgnModel::f_prime(std::span<const float> s, std::span<const float> f_node,
   }
 }
 
+void TgnModel::prepare_precision(kernels::Precision p) const {
+  if (p == kernels::Precision::kFp32) return;
+  updater_.prepare(p);
+  if (vanilla_) vanilla_->prepare(p);
+  if (sat_) sat_->prepare(p);
+}
+
 }  // namespace tgnn::core

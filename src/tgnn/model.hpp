@@ -60,6 +60,13 @@ class TgnModel {
   void f_prime(std::span<const float> s, std::span<const float> f_node,
                std::span<float> out) const;
 
+  /// One-time reduced-precision snapshot of the inference hot path's
+  /// weights (GRU + attention projections). kFp32 is a no-op. node_proj /
+  /// f_prime stay fp32: they run per row in the gather stage, where dynamic
+  /// quantization has nothing to amortize against. Derived-cache mutation
+  /// only, so const — callable on shared model references.
+  void prepare_precision(kernels::Precision p) const;
+
   [[nodiscard]] nn::ParamStore& params() { return params_; }
 
  private:

@@ -144,7 +144,8 @@ void SimplifiedAttention::aggregate_into(std::span<const float> f_self,
 
 void SimplifiedAttention::aggregate_batch_into(
     const Tensor& f_self, std::span<float> logits, const Tensor& v_in,
-    std::span<const std::size_t> seg, BatchScratch& ws, Tensor& out) const {
+    std::span<const std::size_t> seg, BatchScratch& ws, Tensor& out,
+    kernels::Precision p) const {
   const std::size_t n_nodes = f_self.rows();
   const std::size_t total = v_in.rows();
   const std::size_t emb = wv.out_dim();
@@ -153,7 +154,20 @@ void SimplifiedAttention::aggregate_batch_into(
       (n_nodes > 0 && seg[n_nodes] != total))
     throw std::invalid_argument("aggregate_batch_into: segment mismatch");
 
-  if (total > 0) wv.forward_into(v_in, ws.v);
+  if (total > 0) {
+    switch (p) {
+      case kernels::Precision::kInt8:
+        kernels::quantize_rows_into(v_in, ws.qv);
+        wv.forward_q_into(ws.qv, ws.v);
+        break;
+      case kernels::Precision::kBf16:
+        wv.forward_bf16_into(v_in, ws.v);
+        break;
+      case kernels::Precision::kFp32:
+        wv.forward_into(v_in, ws.v);
+        break;
+    }
+  }
 
   // Kept-slot softmax per segment (softmax_span semantics, including the
   // uniform fallback on all-masked rows), then the alpha-weighted V sum
@@ -168,7 +182,23 @@ void SimplifiedAttention::aggregate_batch_into(
     std::copy(fs.begin(), fs.end(), ws.fo_in.row(i).begin() + emb);
   }
 
-  kernels::affine_into(ws.fo_in, wo.w.value, wo.b.value, out);
+  switch (p) {
+    case kernels::Precision::kInt8:
+      kernels::quantize_rows_into(ws.fo_in, ws.qfo);
+      wo.forward_q_into(ws.qfo, out);
+      break;
+    case kernels::Precision::kBf16:
+      wo.forward_bf16_into(ws.fo_in, out);
+      break;
+    case kernels::Precision::kFp32:
+      kernels::affine_into(ws.fo_in, wo.w.value, wo.b.value, out);
+      break;
+  }
+}
+
+void SimplifiedAttention::prepare(kernels::Precision p) const {
+  wv.prepare(p);
+  wo.prepare(p);
 }
 
 SimplifiedAttention::InputGrads SimplifiedAttention::backward(const Cache& c,

@@ -89,9 +89,12 @@ class SimplifiedAttention {
                       std::span<float> out) const;
 
   /// Reusable buffers for aggregate_batch_into (one per engine workspace).
+  /// The QuantActs panels are touched only by the int8 path.
   struct BatchScratch {
     Tensor v;      ///< [total_kept, emb]
     Tensor fo_in;  ///< [n_nodes, emb + mem]
+    kernels::QuantActs qv;   ///< quantized v_in panel
+    kernels::QuantActs qfo;  ///< quantized FTM input panel
   };
 
   /// Batched inference aggregate over a whole micro-batch: one wv / wo
@@ -102,10 +105,19 @@ class SimplifiedAttention {
   /// same in-place convention as aggregate_into's scratch). Row i of `out`
   /// (resized to [n_nodes, emb]) receives h_i. Bit-identical to n_nodes
   /// aggregate_into calls.
+  /// Non-fp32 precisions (require prepare(p)) swap the wv / wo GEMMs for
+  /// quantized variants; logits depend only on dt (never on quantized
+  /// values), and the softmax / weighted rowsum stay fp32.
   void aggregate_batch_into(const Tensor& f_self, std::span<float> logits,
                             const Tensor& v_in,
                             std::span<const std::size_t> seg, BatchScratch& ws,
-                            Tensor& out) const;
+                            Tensor& out,
+                            kernels::Precision p = kernels::Precision::kFp32)
+      const;
+
+  /// Snapshot wv/wo for a reduced-precision path (a and wt feed only the
+  /// dt-based logits, which stay fp32).
+  void prepare(kernels::Precision p) const;
 
   InputGrads backward(const Cache& cache, const Tensor& dh);
 

@@ -102,6 +102,63 @@ TEST(BackendFactory, ResetRestoresInitialBehaviour) {
   }
 }
 
+TEST(BackendFactory, PrecisionSuffixKeysConstructAndReportTheirMode) {
+  const auto ds = tiny_ds();
+  const auto model = sat_model(ds);
+  for (const std::string key :
+       {"cpu:int8", "cpu:bf16", "cpu-mt:int8", "sharded-cpu:int8",
+        "cpu:fp32"}) {
+    auto b = make_backend(key, model, ds);
+    ASSERT_NE(b, nullptr) << key;
+    EXPECT_EQ(b->name(), key == "cpu:fp32" ? "cpu" : key) << key;
+    const auto out = b->process_batch({0, 50});
+    EXPECT_GT(out.functional.nodes.size(), 0u) << key;
+  }
+  // ":fp32" names the default path — name() stays the bare key for the
+  // sharded backend too, and describe() carries the mode where reduced.
+  EXPECT_NE(make_backend("cpu:int8", model, ds)->describe().find("int8"),
+            std::string::npos);
+}
+
+TEST(BackendFactory, CpuAndCpuMtInt8AreBitIdentical) {
+  // The int8 GEMMs accumulate exactly in int32 with a per-element fp32
+  // epilogue, so thread count never moves a bit — the same cross-mode
+  // contract the fp32 path pins, now for the quantized one.
+  const auto ds = tiny_ds();
+  const auto model = sat_model(ds);
+  auto serial = make_backend("cpu:int8", model, ds);
+  BackendOptions opts;
+  opts.threads = 4;
+  auto mt = make_backend("cpu-mt:int8", model, ds, opts);
+  for (const auto& r : ds.graph.fixed_size_batches(0, 300, 60)) {
+    const auto a = serial->process_batch(r);
+    const auto b = mt->process_batch(r);
+    ASSERT_EQ(a.functional.nodes, b.functional.nodes);
+    for (std::size_t i = 0; i < a.functional.embeddings.size(); ++i)
+      ASSERT_EQ(a.functional.embeddings[i], b.functional.embeddings[i])
+          << "element " << i;
+  }
+}
+
+TEST(BackendFactory, BadPrecisionSuffixThrows) {
+  const auto ds = tiny_ds();
+  const auto model = sat_model(ds);
+  EXPECT_THROW(make_backend("cpu:int4", model, ds), std::invalid_argument);
+  EXPECT_THROW(make_backend("cpu:", model, ds), std::invalid_argument);
+}
+
+TEST(BackendFactory, ModelledBackendsRejectExplicitPrecision) {
+  const auto ds = tiny_ds();
+  const auto model = sat_model(ds);
+  for (const std::string key : {"fpga:int8", "gpu-sim:int8", "apan:bf16"})
+    EXPECT_THROW(make_backend(key, model, ds), std::invalid_argument) << key;
+  BackendOptions opts;
+  opts.precision = kernels::Precision::kInt8;
+  EXPECT_THROW(make_backend("fpga", model, ds, opts), std::invalid_argument);
+  // An explicit fp32 suffix on a modelled platform is harmless.
+  EXPECT_NE(make_backend("fpga:fp32", model, ds), nullptr);
+}
+
 TEST(Driver, StreamAccountingMatchesRange) {
   const auto ds = tiny_ds();
   const auto model = sat_model(ds);
