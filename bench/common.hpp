@@ -84,6 +84,10 @@ struct CommonFlagDefaults {
   /// structural fixed-column table cannot be restricted).
   const char* backend = nullptr;
   const char* datasets = nullptr;
+  /// --memory_budget: resident vertex-state budget for the engine-backed
+  /// platforms ("0" = all-resident; "25m", "512k", or "50%" of the state).
+  /// Registered only by benches that route it into BackendOptions.
+  const char* memory_budget = nullptr;
 };
 
 struct CommonFlags {
@@ -92,6 +96,7 @@ struct CommonFlags {
   int threads = 0;  ///< 0 = hardware concurrency
   std::string backend;
   std::vector<std::string> datasets;
+  std::string memory_budget = "0";  ///< raw spec; resolve per model+dataset
 };
 
 inline void add_common_flags(ArgParser& args,
@@ -108,6 +113,9 @@ inline void add_common_flags(ArgParser& args,
                   "runtime backend key (empty = bench default set)");
   if (d.datasets != nullptr)
     args.add_flag("datasets", d.datasets, "comma-separated dataset list");
+  if (d.memory_budget != nullptr)
+    args.add_flag("memory_budget", d.memory_budget,
+                  "vertex-state budget: bytes, k/m/g, or % (0 = resident)");
 }
 
 inline CommonFlags read_common_flags(const ArgParser& args,
@@ -119,7 +127,20 @@ inline CommonFlags read_common_flags(const ArgParser& args,
   if (d.threads != nullptr) f.threads = static_cast<int>(args.get_int("threads"));
   if (d.backend != nullptr) f.backend = args.get("backend");
   if (d.datasets != nullptr) f.datasets = split_csv(args.get("datasets"));
+  if (d.memory_budget != nullptr) f.memory_budget = args.get("memory_budget");
   return f;
+}
+
+/// Resolve a --memory_budget spec against the vertex-state footprint of
+/// one (model, dataset) pair — "%" is relative to that footprint. Returns
+/// 0 (all-resident) for "0" or an empty spec.
+inline std::size_t resolve_memory_budget(const std::string& spec,
+                                         const core::TgnModel& model,
+                                         const data::Dataset& ds) {
+  if (spec.empty() || spec == "0") return 0;
+  return runtime::parse_memory_budget(
+      spec, core::RuntimeState::state_bytes(ds.graph.num_nodes(),
+                                            model.config()));
 }
 
 /// One platform row of a bench: which backend key to build, over which

@@ -16,8 +16,9 @@ using namespace tgnn;
 int main(int argc, char** argv) {
   ArgParser args;
   // Batch sizes are the swept variable here, so no --batch flag.
-  const bench::CommonFlagDefaults defaults{
-      .batch = nullptr, .datasets = "wikipedia,reddit,gdelt"};
+  const bench::CommonFlagDefaults defaults{.batch = nullptr,
+                                           .datasets = "wikipedia,reddit,gdelt",
+                                           .memory_budget = "0"};
   bench::add_common_flags(args, defaults);
   if (!args.parse(argc, argv)) return 1;
   const auto common = bench::read_common_flags(args, defaults);
@@ -49,6 +50,10 @@ int main(int argc, char** argv) {
 
     runtime::BackendOptions mt;
     mt.threads = common.threads;
+    // Budget applies to the engine-backed CPU row only; the modelled
+    // platforms (gpu-sim, fpga) have their own memory model.
+    mt.memory_budget =
+        bench::resolve_memory_budget(common.memory_budget, base_model, ds);
     runtime::BackendOptions u200, zcu;
     u200.fpga_device = "u200";
     zcu.fpga_device = "zcu104";

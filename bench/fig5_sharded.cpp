@@ -30,8 +30,8 @@ using namespace tgnn;
 
 int main(int argc, char** argv) {
   ArgParser args;
-  const bench::CommonFlagDefaults defaults{.edge_scale = "2.0",
-                                           .batch = "32"};
+  const bench::CommonFlagDefaults defaults{
+      .edge_scale = "2.0", .batch = "32", .memory_budget = "0"};
   bench::add_common_flags(args, defaults);
   args.add_flag("users", "20000", "synthetic users (graph size drives "
                                   "footprint conflict rate)");
@@ -116,6 +116,8 @@ int main(int argc, char** argv) {
         runtime::BackendOptions bopts;
         bopts.threads = static_cast<int>(max_workers);
         bopts.shards = shards;
+        bopts.memory_budget =
+            bench::resolve_memory_budget(common.memory_budget, model, ds);
         auto backend = runtime::make_backend("sharded-cpu", model, ds, bopts);
         runtime::fast_forward(*backend, region.begin);
 

@@ -17,7 +17,8 @@ using namespace tgnn;
 
 int main(int argc, char** argv) {
   ArgParser args;
-  const bench::CommonFlagDefaults defaults{.edge_scale = "0.27"};
+  const bench::CommonFlagDefaults defaults{.edge_scale = "0.27",
+                                           .memory_budget = "0"};
   bench::add_common_flags(args, defaults);
   args.add_flag("epochs", "3", "training epochs per model");
   if (!args.parse(argc, argv)) return 1;
@@ -46,6 +47,10 @@ int main(int argc, char** argv) {
   {
     runtime::BackendOptions mt;
     mt.threads = common.threads;
+    // Budget-constrained CPU rows: accuracy is budget-invariant (paging is
+    // bit-exact), only the latency column moves.
+    mt.memory_budget =
+        bench::resolve_memory_budget(common.memory_budget, *teacher, ds);
     const auto cpu = bench::measure_case(
         {"cpu", "cpu-mt", teacher.get(), mt}, ds, region, batch);
     t.add_row({"TGN", "CPU", Table::num(tfit.test_ap, 4),

@@ -7,8 +7,9 @@
 namespace tgnn::baselines {
 
 CpuRunner::CpuRunner(const core::TgnModel& model, const data::Dataset& ds,
-                     int threads)
-    : engine_(model, ds, /*use_fifo=*/true), threads_(threads) {
+                     int threads, std::size_t memory_budget)
+    : engine_(model, ds, /*use_fifo=*/true, memory_budget),
+      threads_(threads) {
   engine_.set_parallel_gnn(threads > 1);
 }
 

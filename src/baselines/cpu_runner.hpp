@@ -21,7 +21,10 @@ class CpuRunner {
  public:
   /// threads == 1 runs fully serial; otherwise the GNN stage is OpenMP-
   /// parallel across vertices and the GEMMs use OpenMP internally.
-  CpuRunner(const core::TgnModel& model, const data::Dataset& ds, int threads);
+  /// `memory_budget` bytes caps the resident vertex state (0 = all in RAM;
+  /// see RuntimeState).
+  CpuRunner(const core::TgnModel& model, const data::Dataset& ds, int threads,
+            std::size_t memory_budget = 0);
 
   /// Stream [range] in fixed-size batches; state starts from whatever the
   /// engine currently holds (call warmup() first to fast-forward).

@@ -1,5 +1,6 @@
 #include "fpga/updater_cache.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace tgnn::fpga {
@@ -25,23 +26,30 @@ bool UpdaterCache::write(int cu, std::uint32_t vid) {
       ++stats_.invalidations;
     }
   }
-  lines_[pos] = {vid, true};
+  lines_[pos] = {vid, next_seq_++, true};
   ++stats_.writes;
   write_pos_[cu] = (pos + static_cast<std::size_t>(ncu_)) % lines_.size();
   return true;
 }
 
 std::vector<std::uint32_t> UpdaterCache::drain() {
+  // Commit pending lines oldest-first. Ring position alone is NOT arrival
+  // order once a CU's write pointer has wrapped past slots another CU
+  // still holds pending, so chronology is pinned by the per-line sequence
+  // stamp (the hardware's commit pointer achieves the same order because
+  // it advances as it retires; this model drains all-at-once instead).
+  std::vector<Line*> pend;
+  pend.reserve(lines_.size());
+  for (auto& line : lines_)
+    if (line.valid) pend.push_back(&line);
+  std::sort(pend.begin(), pend.end(),
+            [](const Line* a, const Line* b) { return a->seq < b->seq; });
   std::vector<std::uint32_t> out;
-  // Walk the ring once from the commit pointer: every slot that could hold
-  // a pending line is visited in write (chronological) order.
-  for (std::size_t step = 0; step < lines_.size(); ++step) {
-    auto& line = lines_[(commit_pos_ + step) % lines_.size()];
-    if (line.valid) {
-      out.push_back(line.vid);
-      line.valid = false;
-      ++stats_.commits;
-    }
+  out.reserve(pend.size());
+  for (Line* line : pend) {
+    out.push_back(line->vid);
+    line->valid = false;
+    ++stats_.commits;
   }
   stats_.commit_cycles += drain_cycles(lines_.size());
   return out;
@@ -62,7 +70,7 @@ std::size_t UpdaterCache::pending() const {
 void UpdaterCache::reset() {
   for (auto& l : lines_) l.valid = false;
   for (int c = 0; c < ncu_; ++c) write_pos_[c] = static_cast<std::size_t>(c);
-  commit_pos_ = 0;
+  next_seq_ = 0;
   stats_ = {};
 }
 

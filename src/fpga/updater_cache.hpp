@@ -48,11 +48,12 @@ class UpdaterCache {
  private:
   struct Line {
     std::uint32_t vid = 0;
+    std::uint64_t seq = 0;  ///< arrival order (what "chronological" means)
     bool valid = false;
   };
   std::vector<Line> lines_;
   std::vector<std::size_t> write_pos_;  ///< next ring slot per CU
-  std::size_t commit_pos_ = 0;
+  std::uint64_t next_seq_ = 0;
   int ncu_;
   int scan_;
   Stats stats_;

@@ -1,0 +1,78 @@
+#include "graph/paged_file.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+
+namespace tgnn::graph {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+}  // namespace
+
+PagedFile::PagedFile(std::size_t page_bytes, std::size_t num_pages,
+                     std::string dir)
+    : page_bytes_(page_bytes), num_pages_(num_pages), dir_(std::move(dir)) {
+  if (page_bytes_ == 0) throw std::invalid_argument("PagedFile: page_bytes 0");
+}
+
+PagedFile::~PagedFile() {
+  if (base_ != nullptr) ::munmap(base_, page_bytes_ * num_pages_);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void PagedFile::ensure_open() {
+  if (base_ != nullptr) return;
+  std::string dir = dir_;
+  if (dir.empty()) {
+    const char* env = std::getenv("TMPDIR");
+    dir = (env != nullptr && env[0] != '\0') ? env : "/tmp";
+  }
+  std::string templ = dir + "/tgnn_spill_XXXXXX";
+  fd_ = ::mkstemp(templ.data());
+  if (fd_ < 0) throw_errno("PagedFile: mkstemp");
+  // Unlink immediately: the fd keeps the inode alive, and the spill data
+  // can never outlive (or leak past) the process.
+  ::unlink(templ.c_str());
+  const std::size_t total = page_bytes_ * num_pages_;
+  if (::ftruncate(fd_, static_cast<off_t>(total)) != 0)
+    throw_errno("PagedFile: ftruncate");
+  void* p = ::mmap(nullptr, total, PROT_READ | PROT_WRITE, MAP_SHARED, fd_, 0);
+  if (p == MAP_FAILED) throw_errno("PagedFile: mmap");
+  base_ = static_cast<std::byte*>(p);
+}
+
+void PagedFile::write_page(std::size_t page, const std::byte* src) {
+  if (page >= num_pages_) throw std::out_of_range("PagedFile::write_page");
+  ensure_open();
+  std::memcpy(base_ + page * page_bytes_, src, page_bytes_);
+}
+
+void PagedFile::read_page(std::size_t page, std::byte* dst) const {
+  if (page >= num_pages_) throw std::out_of_range("PagedFile::read_page");
+  if (base_ == nullptr)
+    throw std::logic_error("PagedFile::read_page: no page ever written");
+  std::memcpy(dst, base_ + page * page_bytes_, page_bytes_);
+}
+
+void PagedFile::reset() {
+  if (fd_ < 0) return;
+  const std::size_t total = page_bytes_ * num_pages_;
+  // Truncate to zero and back: the kernel frees the blocks and the regrown
+  // file reads as zeros — same state as a fresh, never-written file.
+  if (::ftruncate(fd_, 0) != 0) throw_errno("PagedFile::reset: ftruncate");
+  if (::ftruncate(fd_, static_cast<off_t>(total)) != 0)
+    throw_errno("PagedFile::reset: ftruncate");
+}
+
+}  // namespace tgnn::graph

@@ -1,0 +1,60 @@
+// Spill file backing the out-of-core vertex store: a flat array of
+// fixed-size pages in an unlinked temp file, mapped MAP_SHARED so a page
+// written back and later faulted in again round-trips bit-exactly through
+// the kernel page cache (no serialization step, no flush requirement —
+// the mapping IS the file for the lifetime of the process).
+//
+// The file is created lazily on the first write_page(): a store whose hot
+// set never overflows its budget (or that only ever reads zero pages)
+// costs no disk at all. Until a page has been written the caller is
+// expected to treat it as all-zero — VertexStore tracks that with its own
+// on-disk bitmap and never issues a read_page for a page it has not
+// spilled, so the sparse file stays sparse.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace tgnn::graph {
+
+class PagedFile {
+ public:
+  /// Geometry is fixed up front; the file itself is created on first use.
+  /// `dir` empty means $TMPDIR (or /tmp). The temp file is unlinked
+  /// immediately after creation, so it disappears with the process no
+  /// matter how it exits.
+  PagedFile(std::size_t page_bytes, std::size_t num_pages,
+            std::string dir = {});
+  ~PagedFile();
+
+  PagedFile(const PagedFile&) = delete;
+  PagedFile& operator=(const PagedFile&) = delete;
+
+  [[nodiscard]] std::size_t page_bytes() const { return page_bytes_; }
+  [[nodiscard]] std::size_t num_pages() const { return num_pages_; }
+  /// True once the backing file exists (i.e. at least one page spilled).
+  [[nodiscard]] bool open() const { return base_ != nullptr; }
+
+  /// Copy one page out to the file; creates + maps the file on first call.
+  void write_page(std::size_t page, const std::byte* src);
+  /// Copy one page back in. Only valid for pages previously written
+  /// (the caller tracks which — reading an unwritten page returns the
+  /// file's zeros, but that is a contract violation, not a feature).
+  void read_page(std::size_t page, std::byte* dst) const;
+
+  /// Drop all spilled content (punch the whole file back to zero length
+  /// and regrow it sparse). Geometry is unchanged. No-op if never opened.
+  void reset();
+
+ private:
+  void ensure_open();
+
+  std::size_t page_bytes_;
+  std::size_t num_pages_;
+  std::string dir_;
+  int fd_ = -1;
+  std::byte* base_ = nullptr;
+};
+
+}  // namespace tgnn::graph

@@ -1,70 +1,97 @@
 #include "graph/vertex_state.hpp"
 
-#include <algorithm>
+#include <cstring>
 #include <stdexcept>
 
 namespace tgnn::graph {
 
-VertexMemory::VertexMemory(NodeId num_nodes, std::size_t dim)
+// Record layouts (offsets within a store row):
+//   VertexMemory:  [0: f64 ts][8: f32 x dim]
+//   VertexMailbox: [0: f64 ts][8: f32 x raw_dim][8 + 4*raw_dim: u8 valid]
+// Rows are 8-aligned (VertexStore rounds the stride), so the in-place
+// float/double views below are aligned loads.
+
+namespace {
+constexpr std::size_t kPayloadOff = sizeof(double);
+
+double load_ts(const std::byte* row) {
+  double ts;
+  std::memcpy(&ts, row, sizeof(double));
+  return ts;
+}
+
+void store_ts(std::byte* row, double ts) {
+  std::memcpy(row, &ts, sizeof(double));
+}
+}  // namespace
+
+VertexMemory::VertexMemory(NodeId num_nodes, std::size_t dim,
+                           const VertexStoreOptions& store_opts)
     : num_nodes_(num_nodes), dim_(dim),
-      data_(std::size_t{num_nodes} * dim, 0.0f), ts_(num_nodes, 0.0) {}
+      store_(num_nodes, store_row_bytes(dim), store_opts) {}
 
 std::span<const float> VertexMemory::get(NodeId v) const {
   if (v >= num_nodes_) throw std::out_of_range("VertexMemory::get");
-  return {data_.data() + std::size_t{v} * dim_, dim_};
+  return {reinterpret_cast<const float*>(store_.row(v) + kPayloadOff), dim_};
 }
 
 void VertexMemory::set(NodeId v, std::span<const float> value, double ts) {
   if (v >= num_nodes_) throw std::out_of_range("VertexMemory::set");
   if (value.size() != dim_)
     throw std::invalid_argument("VertexMemory::set: dim mismatch");
-  std::copy(value.begin(), value.end(), data_.begin() + std::size_t{v} * dim_);
-  ts_[v] = ts;
+  std::byte* row = store_.row_mut(v);
+  std::memcpy(row + kPayloadOff, value.data(), dim_ * sizeof(float));
+  store_ts(row, ts);
 }
 
-void VertexMemory::reset() {
-  std::fill(data_.begin(), data_.end(), 0.0f);
-  std::fill(ts_.begin(), ts_.end(), 0.0);
+double VertexMemory::last_update(NodeId v) const {
+  if (v >= num_nodes_) throw std::out_of_range("VertexMemory::last_update");
+  return load_ts(store_.row(v));
 }
+
+void VertexMemory::reset() { store_.reset(); }
 
 void VertexMemory::clear_row(NodeId v) {
   if (v >= num_nodes_) throw std::out_of_range("VertexMemory::clear_row");
-  auto row = data_.begin() + std::size_t{v} * dim_;
-  std::fill(row, row + dim_, 0.0f);
-  ts_[v] = 0.0;
+  std::memset(store_.row_mut(v), 0, store_.row_bytes());
 }
 
-VertexMailbox::VertexMailbox(NodeId num_nodes, std::size_t raw_dim)
+VertexMailbox::VertexMailbox(NodeId num_nodes, std::size_t raw_dim,
+                             const VertexStoreOptions& store_opts)
     : num_nodes_(num_nodes), dim_(raw_dim),
-      data_(std::size_t{num_nodes} * raw_dim, 0.0f), ts_(num_nodes, 0.0),
-      valid_(num_nodes, 0) {}
+      store_(num_nodes, store_row_bytes(raw_dim), store_opts) {}
+
+bool VertexMailbox::has_mail(NodeId v) const {
+  if (v >= num_nodes_) throw std::out_of_range("VertexMailbox::has_mail");
+  const std::byte* row = store_.row(v);
+  return row[kPayloadOff + dim_ * sizeof(float)] != std::byte{0};
+}
 
 std::span<const float> VertexMailbox::mail(NodeId v) const {
   if (v >= num_nodes_) throw std::out_of_range("VertexMailbox::mail");
-  return {data_.data() + std::size_t{v} * dim_, dim_};
+  return {reinterpret_cast<const float*>(store_.row(v) + kPayloadOff), dim_};
+}
+
+double VertexMailbox::mail_ts(NodeId v) const {
+  if (v >= num_nodes_) throw std::out_of_range("VertexMailbox::mail_ts");
+  return load_ts(store_.row(v));
 }
 
 void VertexMailbox::put(NodeId v, std::span<const float> raw, double ts) {
   if (v >= num_nodes_) throw std::out_of_range("VertexMailbox::put");
   if (raw.size() != dim_)
     throw std::invalid_argument("VertexMailbox::put: dim mismatch");
-  std::copy(raw.begin(), raw.end(), data_.begin() + std::size_t{v} * dim_);
-  ts_[v] = ts;
-  valid_[v] = 1;
+  std::byte* row = store_.row_mut(v);
+  std::memcpy(row + kPayloadOff, raw.data(), dim_ * sizeof(float));
+  store_ts(row, ts);
+  row[kPayloadOff + dim_ * sizeof(float)] = std::byte{1};
 }
 
-void VertexMailbox::reset() {
-  std::fill(data_.begin(), data_.end(), 0.0f);
-  std::fill(ts_.begin(), ts_.end(), 0.0);
-  std::fill(valid_.begin(), valid_.end(), 0);
-}
+void VertexMailbox::reset() { store_.reset(); }
 
 void VertexMailbox::clear_row(NodeId v) {
   if (v >= num_nodes_) throw std::out_of_range("VertexMailbox::clear_row");
-  auto row = data_.begin() + std::size_t{v} * dim_;
-  std::fill(row, row + dim_, 0.0f);
-  ts_[v] = 0.0;
-  valid_[v] = 0;
+  std::memset(store_.row_mut(v), 0, store_.row_bytes());
 }
 
 }  // namespace tgnn::graph

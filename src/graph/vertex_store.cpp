@@ -1,0 +1,306 @@
+#include "graph/vertex_store.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace tgnn::graph {
+
+namespace {
+constexpr std::size_t kMinFrames = 4;
+
+std::size_t round_up8(std::size_t n) { return (n + 7) & ~std::size_t{7}; }
+}  // namespace
+
+VertexStore::VertexStore(std::size_t num_rows, std::size_t row_bytes,
+                         VertexStoreOptions opts)
+    : num_rows_(num_rows), row_bytes_(round_up8(row_bytes)) {
+  if (row_bytes == 0) throw std::invalid_argument("VertexStore: row_bytes 0");
+  const std::size_t total = num_rows_ * row_bytes_;
+  resident_ = opts.budget_bytes == 0 || opts.budget_bytes >= total ||
+              num_rows_ == 0;
+  if (resident_) {
+    flat_.assign(total, std::byte{0});
+    return;
+  }
+  rows_per_page_ = opts.rows_per_page == 0 ? 64 : opts.rows_per_page;
+  if (rows_per_page_ > num_rows_) rows_per_page_ = num_rows_;
+  num_pages_ = (num_rows_ + rows_per_page_ - 1) / rows_per_page_;
+  page_bytes_ = rows_per_page_ * row_bytes_;
+  budget_frames_ = opts.budget_bytes / page_bytes_;
+  if (budget_frames_ < kMinFrames) budget_frames_ = kMinFrames;
+  if (budget_frames_ >= num_pages_) {
+    // The floor pushed the cache to full coverage: degenerate to resident.
+    resident_ = true;
+    flat_.assign(total, std::byte{0});
+    return;
+  }
+  writeback_batch_ = opts.writeback_batch == 0 ? 1 : opts.writeback_batch;
+  for (std::size_t i = 0; i < budget_frames_; ++i) {
+    frames_.emplace_back();
+    frames_.back().data =
+        std::make_unique<std::byte[]>(page_bytes_);
+  }
+  allocated_frames_ = budget_frames_;
+  frame_of_.assign(num_pages_, -1);
+  page_frame_ = std::vector<std::atomic<Frame*>>(num_pages_);
+  for (auto& p : page_frame_) p.store(nullptr, std::memory_order_relaxed);
+  on_disk_.assign(num_pages_, 0);
+  file_ = std::make_unique<PagedFile>(page_bytes_, num_pages_,
+                                      std::move(opts.spill_dir));
+}
+
+const std::byte* VertexStore::row(std::size_t r) const {
+  assert(r < num_rows_);
+  if (resident_) return flat_.data() + r * row_bytes_;
+  const std::size_t page = r / rows_per_page_;
+  const Frame* fr = page_frame_[page].load(std::memory_order_acquire);
+  if (fr != nullptr)
+    return fr->data.get() + (r - page * rows_per_page_) * row_bytes_;
+  // Unpinned access: fault the page in (single-threaded contract).
+  auto* self = const_cast<VertexStore*>(this);
+  std::lock_guard<std::mutex> lk(self->mu_);
+  const std::size_t nf = self->frame_for(page, /*prefetch=*/false);
+  return frames_[nf].data.get() + (r - page * rows_per_page_) * row_bytes_;
+}
+
+std::byte* VertexStore::row_mut(std::size_t r) {
+  assert(r < num_rows_);
+  if (resident_) return flat_.data() + r * row_bytes_;
+  const std::size_t page = r / rows_per_page_;
+  Frame* frp = page_frame_[page].load(std::memory_order_acquire);
+  if (frp == nullptr) {
+    std::lock_guard<std::mutex> lk(mu_);
+    frp = &frames_[frame_for(page, /*prefetch=*/false)];
+  }
+  Frame& fr = *frp;
+  fr.dirty.store(true, std::memory_order_relaxed);
+  // Re-dirtying a page whose write-back is still queued supersedes the
+  // queued version: invalidate the stale entry (§IV-B — only the newest
+  // version spills). The last unpin re-queues it at the tail, which is
+  // also what restores chronological commit order for the new version.
+  if (fr.queued_seq.exchange(0, std::memory_order_relaxed) != 0)
+    invalidations_.fetch_add(1, std::memory_order_relaxed);
+  return fr.data.get() + (r - page * rows_per_page_) * row_bytes_;
+}
+
+std::size_t VertexStore::frame_for(std::size_t page, bool prefetch) {
+  const std::int32_t existing = frame_of_[page];
+  if (existing >= 0) {
+    frames_[static_cast<std::size_t>(existing)].ref = true;
+    return static_cast<std::size_t>(existing);
+  }
+  const std::size_t f = find_victim_frame(/*allow_overcommit=*/!prefetch);
+  Frame& fr = frames_[f];
+  if (fr.page >= 0) evict_frame(f);
+  fr.page = static_cast<std::int64_t>(page);
+  fr.ref = true;
+  fr.dirty.store(false, std::memory_order_relaxed);
+  fr.queued_seq.store(0, std::memory_order_relaxed);
+  if (on_disk_[page] != 0) {
+    file_->read_page(page, fr.data.get());
+    ++stats_.spill_page_reads;
+  } else {
+    std::memset(fr.data.get(), 0, page_bytes_);
+  }
+  frame_of_[page] = static_cast<std::int32_t>(f);
+  // Publish AFTER the content is in place: a pinned-page reader that
+  // loads this pointer sees a fully-faulted frame.
+  page_frame_[page].store(&fr, std::memory_order_release);
+  return f;
+}
+
+std::size_t VertexStore::find_victim_frame(bool allow_overcommit) {
+  // Retired slots first: re-arming one is cheaper than evicting and keeps
+  // the pool at the budget.
+  if (!free_frames_.empty()) {
+    const std::size_t f = free_frames_.back();
+    free_frames_.pop_back();
+    frames_[f].data = std::make_unique<std::byte[]>(page_bytes_);
+    ++allocated_frames_;
+    return f;
+  }
+  // Two full CLOCK sweeps: the first pass clears reference bits, the
+  // second finds any unpinned frame. Pinned frames are exempt.
+  const std::size_t n = frames_.size();
+  for (std::size_t sweep = 0; sweep < 2 * n; ++sweep) {
+    const std::size_t f = hand_;
+    hand_ = (hand_ + 1) % n;
+    Frame& fr = frames_[f];
+    if (!fr.data) continue;    // retired slot (free list is empty ≠ none)
+    if (fr.page < 0) return f;  // free frame
+    if (fr.pins > 0) continue;
+    if (fr.ref) {
+      fr.ref = false;
+      continue;
+    }
+    return f;
+  }
+  if (!allow_overcommit)
+    throw std::logic_error("VertexStore: no evictable frame for prefetch");
+  // Every frame pinned: the budget is smaller than one batch's footprint.
+  // Grow past the budget rather than deadlock (trim_overcommit reclaims
+  // the excess once pins drop); the counter makes the misconfiguration
+  // visible in ServingStats.
+  frames_.emplace_back();
+  frames_.back().data = std::make_unique<std::byte[]>(page_bytes_);
+  ++allocated_frames_;
+  ++stats_.overcommit_frames;
+  return frames_.size() - 1;
+}
+
+void VertexStore::evict_frame(std::size_t f) {
+  Frame& fr = frames_[f];
+  assert(fr.pins == 0);
+  if (fr.dirty.load(std::memory_order_relaxed)) write_back(f);
+  frame_of_[static_cast<std::size_t>(fr.page)] = -1;
+  page_frame_[static_cast<std::size_t>(fr.page)].store(
+      nullptr, std::memory_order_release);
+  fr.page = -1;
+  ++stats_.evictions;
+}
+
+void VertexStore::write_back(std::size_t f) {
+  Frame& fr = frames_[f];
+  file_->write_page(static_cast<std::size_t>(fr.page), fr.data.get());
+  on_disk_[static_cast<std::size_t>(fr.page)] = 1;
+  ++stats_.spill_page_writes;
+  fr.dirty.store(false, std::memory_order_relaxed);
+  fr.queued_seq.store(0, std::memory_order_relaxed);
+}
+
+void VertexStore::flush_queue(std::size_t max_entries) {
+  std::size_t done = 0;
+  while (!wb_queue_.empty() && done < max_entries) {
+    const WbEntry e = wb_queue_.front();
+    wb_queue_.pop_front();
+    ++done;
+    const std::int32_t f = frame_of_[e.page];
+    // Stale entry: the page was evicted (flushed on the way out) or
+    // re-dirtied (row_mut zeroed queued_seq; a fresher entry follows).
+    if (f < 0) continue;
+    Frame& fr = frames_[static_cast<std::size_t>(f)];
+    if (fr.queued_seq.load(std::memory_order_relaxed) != e.seq) continue;
+    if (fr.pins > 0) continue;  // re-pinned: its unpin re-queues
+    write_back(static_cast<std::size_t>(f));
+  }
+}
+
+void VertexStore::pin_rows(std::span<const NodeId> rows) {
+  if (resident_) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const NodeId r : rows) {
+    const std::size_t page = static_cast<std::size_t>(r) / rows_per_page_;
+    if (frame_of_[page] >= 0)
+      ++stats_.hits;
+    else
+      ++stats_.misses;
+    Frame& fr = frames_[frame_for(page, /*prefetch=*/false)];
+    ++fr.pins;
+  }
+}
+
+void VertexStore::unpin_rows(std::span<const NodeId> rows) {
+  if (resident_) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const NodeId r : rows) {
+    const std::size_t page = static_cast<std::size_t>(r) / rows_per_page_;
+    const std::int32_t f = frame_of_[page];
+    assert(f >= 0);
+    Frame& fr = frames_[static_cast<std::size_t>(f)];
+    assert(fr.pins > 0);
+    --fr.pins;
+    // Last pin gone on a dirty page with no pending entry: queue its
+    // write-back. Batch completion order == chronological commit order.
+    if (fr.pins == 0 && fr.dirty.load(std::memory_order_relaxed) &&
+        fr.queued_seq.load(std::memory_order_relaxed) == 0) {
+      fr.queued_seq.store(next_seq_, std::memory_order_relaxed);
+      wb_queue_.push_back({page, next_seq_});
+      ++next_seq_;
+    }
+  }
+  // Drain one batch worth, oldest first, once the ring fills — a bounded
+  // drip rather than a full drain, so no single unpin call absorbs a
+  // flush storm and younger entries get their chance to be invalidated.
+  if (wb_queue_.size() >= writeback_batch_) flush_queue(writeback_batch_);
+  trim_overcommit();
+}
+
+void VertexStore::trim_overcommit() {
+  // Shrink the pool back to the budget once pins allow: overcommit keeps a
+  // too-small budget live through one batch, it must not silently become a
+  // bigger budget. Victims are chosen by the same CLOCK policy as faults
+  // (dirty pages write back on the way out); the emptied slot's buffer is
+  // released and the slot parked on the free list.
+  if (allocated_frames_ <= budget_frames_) return;
+  const std::size_t n = frames_.size();
+  for (std::size_t sweep = 0;
+       sweep < 2 * n && allocated_frames_ > budget_frames_; ++sweep) {
+    const std::size_t f = hand_;
+    hand_ = (hand_ + 1) % n;
+    Frame& fr = frames_[f];
+    if (!fr.data || fr.pins > 0) continue;
+    if (fr.page >= 0) {
+      if (fr.ref) {
+        fr.ref = false;
+        continue;
+      }
+      evict_frame(f);
+    }
+    fr.data.reset();
+    free_frames_.push_back(f);
+    --allocated_frames_;
+  }
+}
+
+void VertexStore::prefetch_rows(std::span<const NodeId> rows) {
+  if (resident_) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const NodeId r : rows) {
+    const std::size_t page = static_cast<std::size_t>(r) / rows_per_page_;
+    if (frame_of_[page] >= 0) {
+      ++stats_.prefetch_hits;
+      frames_[static_cast<std::size_t>(frame_of_[page])].ref = true;
+      continue;
+    }
+    try {
+      frame_for(page, /*prefetch=*/true);
+      ++stats_.prefetch_loads;
+    } catch (const std::logic_error&) {
+      return;  // everything pinned right now; prefetch is best-effort
+    }
+  }
+}
+
+void VertexStore::reset() {
+  if (resident_) {
+    std::memset(flat_.data(), 0, flat_.size());
+    return;
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& fr : frames_) {
+    if (fr.pins != 0)
+      throw std::logic_error("VertexStore::reset with pins held");
+    fr.page = -1;
+    fr.ref = false;
+    fr.dirty.store(false, std::memory_order_relaxed);
+    fr.queued_seq.store(0, std::memory_order_relaxed);
+  }
+  std::fill(frame_of_.begin(), frame_of_.end(), -1);
+  for (auto& p : page_frame_) p.store(nullptr, std::memory_order_relaxed);
+  std::fill(on_disk_.begin(), on_disk_.end(), 0);
+  wb_queue_.clear();
+  hand_ = 0;
+  file_->reset();
+}
+
+VertexStoreStats VertexStore::stats() const {
+  if (resident_) return {};
+  std::lock_guard<std::mutex> lk(mu_);
+  VertexStoreStats s = stats_;
+  s.writeback_invalidations =
+      invalidations_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace tgnn::graph

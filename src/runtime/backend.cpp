@@ -29,8 +29,8 @@ class CpuBackend final : public Backend, public StagedBackend {
  public:
   CpuBackend(std::string key, const core::TgnModel& model,
              const data::Dataset& ds, int threads, const BackendOptions& opts)
-      : key_(std::move(key)), ds_(ds), runner_(model, ds, threads),
-        opts_(opts) {
+      : key_(std::move(key)), ds_(ds),
+        runner_(model, ds, threads, opts.memory_budget), opts_(opts) {
     // opts.precision arrives fully resolved from make_backend (key suffix >
     // options > ModelConfig); kFp32 is a cheap no-op on a fresh engine.
     runner_.engine().set_precision(opts.precision);
@@ -59,9 +59,16 @@ class CpuBackend final : public Backend, public StagedBackend {
         "host CPU, " + std::to_string(runner_.threads()) + " thread(s)";
     if (opts_.precision != kernels::Precision::kFp32)
       d += std::string(", ") + kernels::precision_name(opts_.precision);
+    if (opts_.memory_budget != 0)
+      d += ", resident budget " +
+           std::to_string(opts_.memory_budget / (1024 * 1024)) + " MiB";
     return d + " (measured)";
   }
   [[nodiscard]] const data::Dataset& dataset() const override { return ds_; }
+
+  [[nodiscard]] graph::VertexStoreStats store_stats() const override {
+    return runner_.engine().state().store_stats();
+  }
 
   // ---- StagedBackend --------------------------------------------------
   void prepare_pipeline(std::size_t slots,
@@ -96,6 +103,9 @@ class CpuBackend final : public Backend, public StagedBackend {
   void read_footprint(const graph::BatchRange& r,
                       std::vector<graph::NodeId>& out) const override {
     runner_.engine().read_footprint(r, out);
+  }
+  void prefetch_rows(std::span<const graph::NodeId> nodes) override {
+    runner_.engine().state().prefetch_rows(nodes);
   }
 
  private:
@@ -261,24 +271,70 @@ int resolve_threads(int requested) {
 
 }  // namespace
 
+std::size_t parse_memory_budget(const std::string& spec,
+                                std::size_t total_state_bytes) {
+  if (spec.empty())
+    throw std::invalid_argument("parse_memory_budget: empty spec");
+  std::size_t idx = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(spec, &idx);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("parse_memory_budget: malformed '" + spec +
+                                "'");
+  }
+  if (value < 0.0)
+    throw std::invalid_argument("parse_memory_budget: negative '" + spec +
+                                "'");
+  const std::string unit = spec.substr(idx);
+  double scale = 1.0;
+  if (unit == "%")
+    scale = static_cast<double>(total_state_bytes) / 100.0;
+  else if (unit == "k" || unit == "K")
+    scale = 1024.0;
+  else if (unit == "m" || unit == "M")
+    scale = 1024.0 * 1024.0;
+  else if (unit == "g" || unit == "G")
+    scale = 1024.0 * 1024.0 * 1024.0;
+  else if (!unit.empty())
+    throw std::invalid_argument("parse_memory_budget: unknown unit '" + unit +
+                                "' in '" + spec + "' (k | m | g | %)");
+  return static_cast<std::size_t>(value * scale);
+}
+
 std::unique_ptr<Backend> make_backend(const std::string& key,
                                       const core::TgnModel& model,
                                       const data::Dataset& ds,
                                       const BackendOptions& opts) {
-  // Split an optional ":fp32" / ":int8" / ":bf16" precision suffix off the
-  // registry key and resolve the effective numeric mode: key suffix >
-  // BackendOptions::precision > ModelConfig::inference_precision.
+  // Split optional ":"-separated suffixes off the registry key: a numeric
+  // mode ("fp32" | "int8" | "bf16") and/or a resident-state budget
+  // ("mem=<size>"), e.g. "sharded-cpu:int8:mem=10%". Resolution order for
+  // each: key suffix > BackendOptions > ModelConfig (precision only).
   std::string base = key;
   BackendOptions eff = opts;
   bool requested = eff.precision != kernels::Precision::kFp32;
-  if (const auto pos = key.find(':'); pos != std::string::npos) {
+  bool mem_requested = false;
+  {
+    auto pos = key.find(':');
     base = key.substr(0, pos);
-    const std::string suffix = key.substr(pos + 1);
-    if (!kernels::parse_precision(suffix, eff.precision))
-      throw std::invalid_argument("make_backend: unknown precision suffix '" +
-                                  suffix + "' in key '" + key +
-                                  "' (fp32 | int8 | bf16)");
-    requested = true;
+    while (pos != std::string::npos) {
+      const auto next = key.find(':', pos + 1);
+      const std::string part = key.substr(
+          pos + 1, (next == std::string::npos ? key.size() : next) - pos - 1);
+      if (part.rfind("mem=", 0) == 0) {
+        eff.memory_budget = parse_memory_budget(
+            part.substr(4), core::RuntimeState::state_bytes(
+                                ds.graph.num_nodes(), model.config()));
+        mem_requested = true;
+      } else if (kernels::parse_precision(part, eff.precision)) {
+        requested = true;
+      } else {
+        throw std::invalid_argument(
+            "make_backend: unknown suffix '" + part + "' in key '" + key +
+            "' (fp32 | int8 | bf16 | mem=<size>)");
+      }
+      pos = next;
+    }
   }
   if (!requested) eff.precision = model.config().inference_precision;
 
@@ -302,12 +358,20 @@ std::unique_ptr<Backend> make_backend(const std::string& key,
   // The modelled / comparator platforms have no reduced-precision datapath;
   // an explicitly requested mode there would silently measure the wrong
   // thing. (ModelConfig::inference_precision is not a request — the
-  // modelled platforms' reference engines pick it up on their own.)
+  // modelled platforms' reference engines pick it up on their own.) The
+  // same goes for a key-requested memory budget: their timing models know
+  // nothing about spill latency. An options-level budget is merely ignored
+  // — benches set one BackendOptions for mixed platform rows.
   if (requested && eff.precision != kernels::Precision::kFp32)
     throw std::invalid_argument(
         "make_backend: backend '" + base + "' does not support precision '" +
         kernels::precision_name(eff.precision) +
         "' (only cpu | cpu-mt | sharded-cpu run the quantized path)");
+  if (mem_requested)
+    throw std::invalid_argument(
+        "make_backend: backend '" + base +
+        "' does not support a memory budget (only cpu | cpu-mt | sharded-cpu "
+        "run the out-of-core vertex store)");
 
   if (base == "gpu-sim") return std::make_unique<GpuSimBackend>(model, ds, eff);
   if (base == "apan") return std::make_unique<ApanBackend>(model, ds, eff);

@@ -70,6 +70,13 @@ class Backend {
   /// Human-readable platform description for bench banners and tables.
   [[nodiscard]] virtual std::string describe() const = 0;
   [[nodiscard]] virtual const data::Dataset& dataset() const = 0;
+
+  /// Out-of-core vertex-store counters (hits/misses/evictions/spill
+  /// traffic). All-zero on a backend running all-resident — the default
+  /// implementation, overridden by the engine-backed CPU keys.
+  [[nodiscard]] virtual graph::VertexStoreStats store_stats() const {
+    return {};
+  }
 };
 
 /// A backend that can execute several batches CONCURRENTLY over one shared
@@ -154,6 +161,15 @@ class StagedBackend {
   /// the scheduler must track read footprints regardless of the requested
   /// conflict policy — which incidentally makes execution deterministic.
   [[nodiscard]] virtual bool race_free_reads() const { return false; }
+
+  /// Hint that `nodes`' vertex-state pages will be touched by a batch that
+  /// just passed admission: an out-of-core store faults them in ahead of
+  /// the stage that reads them (the pipelined scheduler calls this with
+  /// the write + read footprints it already computed). Purely advisory —
+  /// default no-op, and a no-op on all-resident state.
+  virtual void prefetch_rows(std::span<const graph::NodeId> nodes) {
+    (void)nodes;
+  }
 };
 
 /// Per-key construction knobs. `model` and `ds` passed to make_backend must
@@ -176,8 +192,24 @@ struct BackendOptions {
   /// platforms (gpu-sim, fpga, apan) reject the suffix.
   kernels::Precision precision = kernels::Precision::kFp32;
 
+  /// Resident vertex-state budget in bytes for the engine-backed CPU keys
+  /// (cpu | cpu-mt | sharded-cpu): 0 = all-resident (the default, exactly
+  /// the pre-out-of-core behavior); nonzero spills cold memory/mailbox
+  /// pages through graph::VertexStore. Also settable per key via a
+  /// ":mem=<size>" suffix — "cpu:mem=64m", "sharded-cpu:int8:mem=10%"
+  /// (bytes with optional k/m/g binary multiplier, or a percentage of
+  /// RuntimeState::state_bytes). The modelled platforms reject an
+  /// explicitly requested budget just like a precision suffix.
+  std::size_t memory_budget = 0;
+
   BackendOptions();
 };
+
+/// Parse a "--memory_budget" / ":mem=" value: "0" = all-resident, plain
+/// bytes, "64k" / "512m" / "2g" binary multiples, or "50%" of
+/// `total_state_bytes`. Throws std::invalid_argument on malformed input.
+std::size_t parse_memory_budget(const std::string& spec,
+                                std::size_t total_state_bytes);
 
 /// Build a backend by registry key. Throws std::invalid_argument for an
 /// unknown key (the message lists the registry).

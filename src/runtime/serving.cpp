@@ -348,6 +348,13 @@ void ServingEngine::scheduler_loop_pipelined() {
     meta.dispatch_s = clock_.seconds();
 
     lk.unlock();
+    // Out-of-core prefetch, one stage early: the admitted batch's write
+    // footprint (its endpoints) and — when read tracking already computed
+    // it — the rows it will read are faulted in now, while predecessor
+    // batches still occupy the pipeline ahead of it. No-op on an
+    // all-resident store.
+    sb.prefetch_rows(meta.wfp);
+    if (!meta.rfp.empty()) sb.prefetch_rows(meta.rfp);
     sb.begin_batch(slot, range);   // reads only the immutable stream
     stage_q_[0]->push(slot);       // stalls while the first stage is busy
     lk.lock();
@@ -387,8 +394,12 @@ void ServingEngine::stage_worker(std::size_t k) {
 }
 
 ServingStats ServingEngine::stats() const {
+  // Store counters first: the backend's store has its own lock, and the
+  // query touches no engine state guarded by mu_.
+  graph::VertexStoreStats store = backend_.store_stats();
   std::lock_guard lk(mu_);
   ServingStats s;
+  s.store = store;
   s.num_requests = latencies_.size();
   s.num_batches = batches_.size();
   s.peak_parallel_batches = peak_executing_;

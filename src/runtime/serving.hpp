@@ -113,6 +113,10 @@ struct ServingStats {
   /// serial occupancy observable next to peak_parallel_batches.
   std::size_t peak_in_flight_batches = 0;
   std::size_t peak_queue_depth = 0;
+  /// Out-of-core vertex-store counters (hit/miss/eviction/spill traffic,
+  /// write-back invalidations, prefetch effectiveness), queried from the
+  /// backend at stats() time. All-zero when serving all-resident.
+  graph::VertexStoreStats store;
 };
 
 class ServingEngine {

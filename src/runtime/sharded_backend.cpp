@@ -13,7 +13,8 @@ ShardedCpuBackend::ShardedCpuBackend(const core::TgnModel& model,
                                      std::size_t lanes,
                                      const BackendOptions& opts)
     : model_(model), ds_(ds), locks_(opts.shards),
-      state_(ds.graph.num_nodes(), model.config(), /*use_fifo=*/true),
+      state_(ds.graph.num_nodes(), model.config(), /*use_fifo=*/true,
+             opts.memory_budget),
       opts_(opts) {
   if (lanes == 0)
     throw std::invalid_argument("sharded-cpu: lane count must be >= 1");
@@ -59,6 +60,9 @@ std::string ShardedCpuBackend::describe() const {
                   std::to_string(num_shards()) + " shard(s), conflict-aware";
   if (opts_.precision != kernels::Precision::kFp32)
     d += std::string(", ") + kernels::precision_name(opts_.precision);
+  if (opts_.memory_budget != 0)
+    d += ", resident budget " +
+         std::to_string(opts_.memory_budget / (1024 * 1024)) + " MiB";
   return d + " (measured)";
 }
 

@@ -52,6 +52,9 @@ class ShardedCpuBackend final : public ConcurrentBackend,
   }
   [[nodiscard]] std::string describe() const override;
   [[nodiscard]] const data::Dataset& dataset() const override { return ds_; }
+  [[nodiscard]] graph::VertexStoreStats store_stats() const override {
+    return state_.store_stats();
+  }
 
   [[nodiscard]] std::size_t lanes() const override { return lanes_.size(); }
   BatchOutput process_batch_on(
@@ -70,6 +73,9 @@ class ShardedCpuBackend final : public ConcurrentBackend,
   void run_stage(core::Stage s, std::size_t slot) override;
   void finish_batch(std::size_t slot) override;
   [[nodiscard]] bool race_free_reads() const override { return true; }
+  void prefetch_rows(std::span<const graph::NodeId> nodes) override {
+    state_.prefetch_rows(nodes);
+  }
 
   [[nodiscard]] std::size_t num_shards() const {
     return locks_.map().num_shards();

@@ -16,16 +16,78 @@
 
 namespace tgnn::core {
 
+namespace {
+
+// Split a byte budget between the memory and mailbox stores proportionally
+// to their flat footprints, so both tables keep the same resident fraction.
+graph::VertexStoreOptions split_budget(std::size_t budget,
+                                       std::size_t own_bytes,
+                                       std::size_t total_bytes) {
+  graph::VertexStoreOptions o;
+  if (budget != 0 && total_bytes != 0)
+    o.budget_bytes = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               static_cast<double>(budget) * static_cast<double>(own_bytes) /
+               static_cast<double>(total_bytes)));
+  return o;
+}
+
+std::size_t memory_table_bytes(graph::NodeId n, const ModelConfig& cfg) {
+  return std::size_t{n} * graph::VertexMemory::store_row_bytes(cfg.mem_dim);
+}
+
+std::size_t mailbox_table_bytes(graph::NodeId n, const ModelConfig& cfg) {
+  return std::size_t{n} *
+         graph::VertexMailbox::store_row_bytes(cfg.raw_mail_dim());
+}
+
+}  // namespace
+
 RuntimeState::RuntimeState(graph::NodeId num_nodes, const ModelConfig& cfg,
-                           bool use_fifo)
-    : memory(num_nodes, cfg.mem_dim),
-      mailbox(num_nodes, cfg.raw_mail_dim()),
+                           bool use_fifo, std::size_t memory_budget_bytes)
+    : memory(num_nodes, cfg.mem_dim,
+             split_budget(memory_budget_bytes,
+                          memory_table_bytes(num_nodes, cfg),
+                          state_bytes(num_nodes, cfg))),
+      mailbox(num_nodes, cfg.raw_mail_dim(),
+              split_budget(memory_budget_bytes,
+                           mailbox_table_bytes(num_nodes, cfg),
+                           state_bytes(num_nodes, cfg))),
       mail_valid(num_nodes, 0) {
   if (use_fifo)
     table = std::make_unique<graph::NeighborTable>(num_nodes,
                                                    cfg.num_neighbors);
   else
     finder = std::make_unique<graph::NeighborFinder>(num_nodes);
+}
+
+std::size_t RuntimeState::state_bytes(graph::NodeId num_nodes,
+                                      const ModelConfig& cfg) {
+  return memory_table_bytes(num_nodes, cfg) +
+         mailbox_table_bytes(num_nodes, cfg);
+}
+
+void RuntimeState::pin_rows(std::span<const graph::NodeId> nodes,
+                            bool with_mail) {
+  memory.pin_rows(nodes);
+  if (with_mail) mailbox.pin_rows(nodes);
+}
+
+void RuntimeState::unpin_rows(std::span<const graph::NodeId> nodes,
+                              bool with_mail) {
+  memory.unpin_rows(nodes);
+  if (with_mail) mailbox.unpin_rows(nodes);
+}
+
+void RuntimeState::prefetch_rows(std::span<const graph::NodeId> nodes) {
+  memory.prefetch_rows(nodes);
+  mailbox.prefetch_rows(nodes);
+}
+
+graph::VertexStoreStats RuntimeState::store_stats() const {
+  graph::VertexStoreStats s = memory.store_stats();
+  s += mailbox.store_stats();
+  return s;
 }
 
 void RuntimeState::neighbors_into(graph::NodeId v, double t, std::size_t k,
@@ -89,11 +151,13 @@ void RuntimeState::reset() {
 }
 
 InferenceEngine::InferenceEngine(const TgnModel& model, const data::Dataset& ds,
-                                 bool use_fifo_sampler)
+                                 bool use_fifo_sampler,
+                                 std::size_t memory_budget)
     : model_(model), ds_(ds),
       owned_state_(std::make_unique<RuntimeState>(ds.graph.num_nodes(),
                                                   model.config(),
-                                                  use_fifo_sampler)),
+                                                  use_fifo_sampler,
+                                                  memory_budget)),
       state_(owned_state_.get()), dst_pool_(data::destination_pool(ds)) {
   set_precision(model.config().inference_precision);
 }
@@ -159,6 +223,24 @@ void InferenceEngine::stage_begin(StageContext& ctx, const graph::BatchRange& r,
   }
   ctx.num_real = ctx.res.nodes.size();
   for (graph::NodeId v : ctx.extras) touch(v, ctx.t_batch_end);
+
+  // Out-of-core: open the batch's pin window. Every stage from here to the
+  // end of Decode holds raw pointers into the endpoint rows (mem_ptr, the
+  // build_raw_mail spans), so their pages must not move until then.
+  // Defensive: release leftovers first if a previous batch on this context
+  // was abandoned mid-flight.
+  if (!ctx.pinned_nbrs.empty()) {
+    state_->unpin_rows(ctx.pinned_nbrs, /*with_mail=*/false);
+    ctx.pinned_nbrs.clear();
+  }
+  if (!ctx.pinned_nodes.empty()) {
+    state_->unpin_rows(ctx.pinned_nodes, /*with_mail=*/true);
+    ctx.pinned_nodes.clear();
+  }
+  if (state_->out_of_core()) {
+    ctx.pinned_nodes = ctx.res.nodes;
+    state_->pin_rows(ctx.pinned_nodes, /*with_mail=*/true);
+  }
   ctx.parts.sample += sw.seconds();
 }
 
@@ -239,6 +321,19 @@ void InferenceEngine::stage_neighbor_gather(StageContext& ctx) {
   for (std::size_t i = 0; i < n_nodes; ++i)
     state_->neighbors_into(ctx.res.nodes[i], ws.t_event[i], cfg.num_neighbors,
                            ws.nbrs[i]);
+  // Out-of-core: pin the sampled neighbors' memory rows now that they are
+  // known — this both protects the (possibly parallel) kv gathers below
+  // and IS the synchronous fault-in, one stage before GnnCompute reads
+  // the rows. Unique ids so the pin count stays bounded by the footprint.
+  if (state_->out_of_core()) {
+    auto& pn = ctx.pinned_nbrs;
+    pn.clear();
+    for (std::size_t i = 0; i < n_nodes; ++i)
+      for (const auto& hit : ws.nbrs[i]) pn.push_back(hit.node);
+    std::sort(pn.begin(), pn.end());
+    pn.erase(std::unique(pn.begin(), pn.end()), pn.end());
+    state_->pin_rows(pn, /*with_mail=*/false);
+  }
   ctx.parts.sample += sw.seconds();
 
   // CSR pack + kv-row staging (batched pipeline only; the per-row path
@@ -306,6 +401,17 @@ void InferenceEngine::stage_decode(StageContext& ctx) {
     state_->mail_valid[e.dst] = 1;
   }
   for (const auto& e : edges) state_->insert_edge(e);
+  // Close the batch's pin window: state is committed, no raw row pointer
+  // outlives this stage. Unpinning the dirtied endpoint pages is what
+  // queues their chronological write-back.
+  if (!ctx.pinned_nbrs.empty()) {
+    state_->unpin_rows(ctx.pinned_nbrs, /*with_mail=*/false);
+    ctx.pinned_nbrs.clear();
+  }
+  if (!ctx.pinned_nodes.empty()) {
+    state_->unpin_rows(ctx.pinned_nodes, /*with_mail=*/true);
+    ctx.pinned_nodes.clear();
+  }
   ctx.parts.update += sw.seconds();
 }
 
@@ -544,6 +650,15 @@ void InferenceEngine::warmup(const graph::BatchRange& range,
       tev[e.src] = std::max(tev.count(e.src) ? tev[e.src] : e.ts, e.ts);
       tev[e.dst] = std::max(tev.count(e.dst) ? tev[e.dst] : e.ts, e.ts);
     }
+    // Out-of-core: warmup touches only this mini-batch's endpoints — pin
+    // them for the duration of the mini-batch (the build_raw_mail calls
+    // below hold two row spans at once).
+    std::vector<graph::NodeId> pinned;
+    if (state_->out_of_core()) {
+      pinned.reserve(tev.size());
+      for (const auto& [v, t] : tev) pinned.push_back(v);
+      state_->pin_rows(pinned, /*with_mail=*/true);
+    }
     std::vector<graph::NodeId> mail_nodes;
     for (const auto& [v, t] : tev)
       if (state_->mailbox.has_mail(v) && state_->mail_valid[v])
@@ -586,6 +701,7 @@ void InferenceEngine::warmup(const graph::BatchRange& range,
       state_->mail_valid[e.dst] = 1;
     }
     for (const auto& e : edges) state_->insert_edge(e);
+    if (!pinned.empty()) state_->unpin_rows(pinned, /*with_mail=*/true);
   }
 }
 

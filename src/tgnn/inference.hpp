@@ -54,8 +54,18 @@ namespace tgnn::core {
 
 /// Persistent per-vertex state. `use_fifo` selects the hardware-style
 /// bounded FIFO neighbor table (§IV-A) over the unbounded software sampler.
+///
+/// `memory_budget_bytes` caps the RESIDENT size of the two big tables
+/// (memory + mailbox): 0 (the default) keeps everything in flat RAM
+/// exactly as before; a nonzero budget is split between the tables
+/// proportionally to their total row footprint and each then spills its
+/// cold pages through a graph::VertexStore. The neighbor table and the
+/// mail_valid flags stay resident — they are an order of magnitude
+/// smaller and are touched by footprint/admission logic outside the pin
+/// windows.
 struct RuntimeState {
-  RuntimeState(graph::NodeId num_nodes, const ModelConfig& cfg, bool use_fifo);
+  RuntimeState(graph::NodeId num_nodes, const ModelConfig& cfg, bool use_fifo,
+               std::size_t memory_budget_bytes = 0);
 
   graph::VertexMemory memory;
   graph::VertexMailbox mailbox;
@@ -71,6 +81,26 @@ struct RuntimeState {
                       std::vector<graph::NeighborHit>& out) const;
   void insert_edge(const graph::TemporalEdge& e);
   void reset();
+
+  // ---- out-of-core seam (every call a no-op when all-resident) ---------
+  /// True iff either table runs with a budget (spill-backed).
+  [[nodiscard]] bool out_of_core() const {
+    return memory.out_of_core() || mailbox.out_of_core();
+  }
+  /// Pin `nodes`' memory rows (and mailbox rows too when `with_mail`)
+  /// resident; the matching unpin releases them. Pin windows are what
+  /// keep the engine's raw row pointers valid across stages.
+  void pin_rows(std::span<const graph::NodeId> nodes, bool with_mail);
+  void unpin_rows(std::span<const graph::NodeId> nodes, bool with_mail);
+  /// Fault `nodes`' memory pages in without pinning (the pipelined
+  /// scheduler's one-stage-early prefetch hook).
+  void prefetch_rows(std::span<const graph::NodeId> nodes);
+  /// Combined memory + mailbox store counters.
+  [[nodiscard]] graph::VertexStoreStats store_stats() const;
+  /// Flat-RAM footprint of the two tables at these dims — what a byte
+  /// budget (or a "mem=50%" factory suffix) is measured against.
+  [[nodiscard]] static std::size_t state_bytes(graph::NodeId num_nodes,
+                                               const ModelConfig& cfg);
 };
 
 /// Per-batch functional output: the unique involved vertices and their
@@ -192,14 +222,23 @@ struct StageContext {
   BatchResult res;            ///< filled across the stages
   PartTimes parts;            ///< per-stage timing (Table I breakdown)
   BatchWorkspace ws;          ///< all per-batch intermediates
+  /// Out-of-core pin windows (empty on all-resident state): the batch's
+  /// endpoint rows (memory + mailbox, pinned by stage_begin) and its
+  /// sampled neighbors (memory only, pinned by NeighborGather). Both are
+  /// released at the end of Decode — the raw row pointers the stages
+  /// carry (mem_ptr, build_raw_mail spans) stay valid exactly that long.
+  std::vector<graph::NodeId> pinned_nodes;
+  std::vector<graph::NodeId> pinned_nbrs;
 };
 
 class InferenceEngine {
  public:
   using BatchResult = tgnn::core::BatchResult;
 
+  /// `memory_budget` bytes caps the resident vertex state of the engine's
+  /// own RuntimeState (0 = all-resident); see RuntimeState.
   InferenceEngine(const TgnModel& model, const data::Dataset& ds,
-                  bool use_fifo_sampler = true);
+                  bool use_fifo_sampler = true, std::size_t memory_budget = 0);
 
   /// Operate over an externally owned RuntimeState instead of a private
   /// one. Several engines may share `state` — each keeps its own
@@ -302,6 +341,7 @@ class InferenceEngine {
   }
 
   [[nodiscard]] RuntimeState& state() { return *state_; }
+  [[nodiscard]] const RuntimeState& state() const { return *state_; }
   [[nodiscard]] const TgnModel& model() const { return model_; }
   [[nodiscard]] const data::Dataset& dataset() const { return ds_; }
 

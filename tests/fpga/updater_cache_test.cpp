@@ -72,6 +72,39 @@ TEST(UpdaterCache, ResetClearsEverything) {
   EXPECT_EQ(cache.stats().writes, 0u);
 }
 
+TEST(UpdaterCache, DrainStaysChronologicalAfterWriteWrap) {
+  // Regression: ring position alone is not arrival order once a write
+  // pointer wraps. With 4 lines / 1 CU: A,B,C fill slots 0-2, drain, then
+  // D,E land in slots 3 and 0 — a plain ring walk from slot 0 would
+  // return E before D.
+  UpdaterCache cache(4, 1);
+  cache.write(0, 1);
+  cache.write(0, 2);
+  cache.write(0, 3);
+  (void)cache.drain();
+  cache.write(0, 4);  // slot 3
+  cache.write(0, 5);  // slot 0 (wrapped)
+  const auto out = cache.drain();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 4u);
+  EXPECT_EQ(out[1], 5u);
+}
+
+TEST(UpdaterCache, InvalidatedSlotStaysUsableAndOrdered) {
+  // An invalidated line frees its slot for the owning CU's next write;
+  // the re-written slot commits at its NEW position in arrival order.
+  UpdaterCache cache(4, 2);
+  cache.write(0, 10);  // slot 0
+  cache.write(1, 10);  // slot 1 — invalidates slot 0
+  cache.write(0, 11);  // slot 0 is CU0's lane but pointer moved: slot 2
+  EXPECT_EQ(cache.pending(), 2u);
+  const auto out = cache.drain();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 10u);
+  EXPECT_EQ(out[1], 11u);
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+}
+
 TEST(UpdaterCache, RejectsBadGeometry) {
   EXPECT_THROW(UpdaterCache(0, 1), std::invalid_argument);
   EXPECT_THROW(UpdaterCache(7, 2), std::invalid_argument);  // not divisible
