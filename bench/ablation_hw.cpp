@@ -47,7 +47,8 @@ int main(int argc, char** argv) {
                               : static_cast<double>(st.invalidations) /
                                     static_cast<double>(st.writes);
       const double row_bytes =
-          (cfg.mem_dim + cfg.raw_mail_dim() + 1) * 4.0 + 12.0;
+          static_cast<double>(cfg.mem_dim + cfg.raw_mail_dim() + 1) * 4.0 +
+          12.0;
       t.add_row({std::to_string(batch), std::to_string(st.writes),
                  std::to_string(st.invalidations), Table::pct(frac),
                  Table::num(static_cast<double>(st.invalidations) * row_bytes /

@@ -153,20 +153,28 @@ struct PlatformCase {
   runtime::BackendOptions opts;
 };
 
-/// Apply a --backend override to a bench's platform set: keep only the
-/// cases built on that registry key — or, since keys are no longer unique
-/// per case (precision suffixes, device options), whose label matches
-/// exactly. Empty override keeps all cases. Only meaningful for benches
-/// whose output is one row per case. An override matching ZERO cases warns
-/// to stderr with everything this bench offers and aborts — an empty table
-/// would read as a successful no-op measurement.
-inline std::vector<PlatformCase> filter_cases(std::vector<PlatformCase> cases,
-                                              const std::string& backend) {
+/// Pure matching core of the --backend override: keep only the cases
+/// built on that registry key — or, since keys are no longer unique per
+/// case (precision suffixes, device options), whose label matches exactly.
+/// Empty override keeps all cases. No I/O and no exit — independently
+/// testable (and fuzzable); filter_cases adds the CLI behavior.
+inline std::vector<PlatformCase> match_cases(std::vector<PlatformCase> cases,
+                                             const std::string& backend) {
   if (backend.empty()) return cases;
   std::vector<PlatformCase> out;
   for (auto& c : cases)
     if (c.key == backend || c.label == backend) out.push_back(std::move(c));
-  if (out.empty()) {
+  return out;
+}
+
+/// match_cases plus the CLI contract: only meaningful for benches whose
+/// output is one row per case. An override matching ZERO cases warns to
+/// stderr with everything this bench offers and aborts — an empty table
+/// would read as a successful no-op measurement.
+inline std::vector<PlatformCase> filter_cases(std::vector<PlatformCase> cases,
+                                              const std::string& backend) {
+  std::vector<PlatformCase> out = match_cases(cases, backend);
+  if (out.empty() && !backend.empty()) {
     std::fprintf(stderr,
                  "warning: --backend '%s' matches none of this bench's cases"
                  " (neither as key nor as label); available:\n",

@@ -36,7 +36,8 @@ int main(int argc, char** argv) {
         ++clipped;
         continue;
       }
-      ++hist[static_cast<std::size_t>(d / max_dt * n_bins)];
+      ++hist[static_cast<std::size_t>(d / max_dt *
+                                      static_cast<double>(n_bins))];
     }
     const std::size_t peak = *std::max_element(hist.begin(), hist.end());
 
@@ -44,7 +45,8 @@ int main(int argc, char** argv) {
                 name.c_str(), dts.size(), clipped, max_dt);
     Table t({"dt (days)", "count", "histogram"});
     for (std::size_t b = 0; b < n_bins; ++b) {
-      const double lo = max_dt * b / n_bins;
+      const double lo =
+          max_dt * static_cast<double>(b) / static_cast<double>(n_bins);
       const int width =
           peak == 0 ? 0
                     : static_cast<int>(50.0 * static_cast<double>(hist[b]) /

@@ -10,6 +10,8 @@
 #include <optional>
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace tgnn::fpga {
 
 template <typename T>
@@ -30,6 +32,7 @@ class Fifo {
     if (full()) return false;
     q_.push_back(std::move(v));
     high_water_ = std::max(high_water_, q_.size());
+    check_occupancy();
     return true;
   }
 
@@ -37,12 +40,22 @@ class Fifo {
     if (q_.empty()) return std::nullopt;
     T v = std::move(q_.front());
     q_.pop_front();
+    check_occupancy();
     return v;
   }
 
   void clear() { q_.clear(); }
 
  private:
+  /// Occupancy contract of every queue transition: the bound holds, and
+  /// the high-water mark both respects it and was actually witnessed.
+  void check_occupancy() const {
+    TGNN_DCHECK(q_.size() <= cap_, "bounded FIFO exceeded its capacity");
+    TGNN_DCHECK(high_water_ <= cap_, "high-water mark exceeds capacity");
+    TGNN_DCHECK(high_water_ >= q_.size(),
+                "high-water mark below current occupancy");
+  }
+
   std::size_t cap_;
   std::deque<T> q_;
   std::size_t high_water_ = 0;

@@ -35,6 +35,8 @@ void PagedFile::ensure_open() {
   if (base_ != nullptr) return;
   std::string dir = dir_;
   if (dir.empty()) {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env lookup; nothing
+    // in the process calls setenv.
     const char* env = std::getenv("TMPDIR");
     dir = (env != nullptr && env[0] != '\0') ? env : "/tmp";
   }

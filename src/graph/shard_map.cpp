@@ -11,6 +11,6 @@ ShardMap::ShardMap(std::size_t num_shards) : num_shards_(num_shards) {
 
 ShardLockTable::ShardLockTable(std::size_t num_shards)
     : map_(num_shards),
-      mu_(std::make_unique<std::shared_mutex[]>(num_shards)) {}
+      mu_(std::make_unique<util::SharedMutex[]>(num_shards)) {}
 
 }  // namespace tgnn::graph

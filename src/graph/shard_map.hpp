@@ -21,9 +21,9 @@
 
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
 
 #include "graph/temporal_graph.hpp"
+#include "util/mutex.hpp"
 
 namespace tgnn::graph {
 
@@ -55,23 +55,28 @@ class ShardMap {
 };
 
 /// One reader/writer lock per shard. A serving lane holds the shard's
-/// exclusive lock only around individual vertex-memory row writes, and the
-/// shared lock around row reads of vertices outside its own batch — the
-/// minimal protection that makes bounded-staleness cross-shard reads
-/// race-free without serializing disjoint batches.
+/// exclusive lock only around individual vertex-memory row writes
+/// (util::ExclusiveLock), and the shared lock around row reads of vertices
+/// outside its own batch (util::SharedLock) — the minimal protection that
+/// makes bounded-staleness cross-shard reads race-free without serializing
+/// disjoint batches. The locks are annotated capabilities
+/// (util::SharedMutex), but note what the compile-time analysis can and
+/// cannot prove here: acquisition/release pairing is checked, while WHICH
+/// shard's lock guards which row is a dynamic property (mutex_of(v)) the
+/// per-vertex conflict ledger and the TSan job cover.
 class ShardLockTable {
  public:
   explicit ShardLockTable(std::size_t num_shards);
 
   [[nodiscard]] const ShardMap& map() const { return map_; }
 
-  [[nodiscard]] std::shared_mutex& mutex_of(NodeId v) const {
+  [[nodiscard]] util::SharedMutex& mutex_of(NodeId v) const {
     return mu_[map_.shard_of(v)];
   }
 
  private:
   ShardMap map_;
-  std::unique_ptr<std::shared_mutex[]> mu_;
+  std::unique_ptr<util::SharedMutex[]> mu_;
 };
 
 }  // namespace tgnn::graph

@@ -1,8 +1,9 @@
 #include "graph/vertex_store.hpp"
 
-#include <cassert>
 #include <cstring>
 #include <stdexcept>
+
+#include "util/check.hpp"
 
 namespace tgnn::graph {
 
@@ -36,6 +37,9 @@ VertexStore::VertexStore(std::size_t num_rows, std::size_t row_bytes,
     return;
   }
   writeback_batch_ = opts.writeback_batch == 0 ? 1 : opts.writeback_batch;
+  // Nothing else can hold the store yet, but taking the lock keeps every
+  // guarded-member write inside the capability the analysis checks.
+  util::MutexLock lk(mu_);
   for (std::size_t i = 0; i < budget_frames_; ++i) {
     frames_.emplace_back();
     frames_.back().data =
@@ -51,28 +55,22 @@ VertexStore::VertexStore(std::size_t num_rows, std::size_t row_bytes,
 }
 
 const std::byte* VertexStore::row(std::size_t r) const {
-  assert(r < num_rows_);
+  TGNN_DCHECK(r < num_rows_, "row index out of range");
   if (resident_) return flat_.data() + r * row_bytes_;
   const std::size_t page = r / rows_per_page_;
+  const std::size_t offset = (r - page * rows_per_page_) * row_bytes_;
   const Frame* fr = page_frame_[page].load(std::memory_order_acquire);
-  if (fr != nullptr)
-    return fr->data.get() + (r - page * rows_per_page_) * row_bytes_;
+  if (fr != nullptr) return fr->data.get() + offset;
   // Unpinned access: fault the page in (single-threaded contract).
-  auto* self = const_cast<VertexStore*>(this);
-  std::lock_guard<std::mutex> lk(self->mu_);
-  const std::size_t nf = self->frame_for(page, /*prefetch=*/false);
-  return frames_[nf].data.get() + (r - page * rows_per_page_) * row_bytes_;
+  return const_cast<VertexStore*>(this)->fault_page(page)->data.get() + offset;
 }
 
 std::byte* VertexStore::row_mut(std::size_t r) {
-  assert(r < num_rows_);
+  TGNN_DCHECK(r < num_rows_, "row index out of range");
   if (resident_) return flat_.data() + r * row_bytes_;
   const std::size_t page = r / rows_per_page_;
   Frame* frp = page_frame_[page].load(std::memory_order_acquire);
-  if (frp == nullptr) {
-    std::lock_guard<std::mutex> lk(mu_);
-    frp = &frames_[frame_for(page, /*prefetch=*/false)];
-  }
+  if (frp == nullptr) frp = fault_page(page);
   Frame& fr = *frp;
   fr.dirty.store(true, std::memory_order_relaxed);
   // Re-dirtying a page whose write-back is still queued supersedes the
@@ -82,6 +80,11 @@ std::byte* VertexStore::row_mut(std::size_t r) {
   if (fr.queued_seq.exchange(0, std::memory_order_relaxed) != 0)
     invalidations_.fetch_add(1, std::memory_order_relaxed);
   return fr.data.get() + (r - page * rows_per_page_) * row_bytes_;
+}
+
+VertexStore::Frame* VertexStore::fault_page(std::size_t page) {
+  util::MutexLock lk(mu_);
+  return &frames_[frame_for(page, /*prefetch=*/false)];
 }
 
 std::size_t VertexStore::frame_for(std::size_t page, bool prefetch) {
@@ -151,7 +154,7 @@ std::size_t VertexStore::find_victim_frame(bool allow_overcommit) {
 
 void VertexStore::evict_frame(std::size_t f) {
   Frame& fr = frames_[f];
-  assert(fr.pins == 0);
+  TGNN_CHECK(fr.pins == 0, "evicting a pinned frame");
   if (fr.dirty.load(std::memory_order_relaxed)) write_back(f);
   frame_of_[static_cast<std::size_t>(fr.page)] = -1;
   page_frame_[static_cast<std::size_t>(fr.page)].store(
@@ -188,7 +191,7 @@ void VertexStore::flush_queue(std::size_t max_entries) {
 
 void VertexStore::pin_rows(std::span<const NodeId> rows) {
   if (resident_) return;
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   for (const NodeId r : rows) {
     const std::size_t page = static_cast<std::size_t>(r) / rows_per_page_;
     if (frame_of_[page] >= 0)
@@ -197,19 +200,22 @@ void VertexStore::pin_rows(std::span<const NodeId> rows) {
       ++stats_.misses;
     Frame& fr = frames_[frame_for(page, /*prefetch=*/false)];
     ++fr.pins;
+    ++total_pins_;
   }
 }
 
 void VertexStore::unpin_rows(std::span<const NodeId> rows) {
   if (resident_) return;
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   for (const NodeId r : rows) {
     const std::size_t page = static_cast<std::size_t>(r) / rows_per_page_;
     const std::int32_t f = frame_of_[page];
-    assert(f >= 0);
+    TGNN_CHECK(f >= 0, "unpin of a page with no resident frame");
     Frame& fr = frames_[static_cast<std::size_t>(f)];
-    assert(fr.pins > 0);
+    TGNN_CHECK(fr.pins > 0, "unpin of an unpinned page");
     --fr.pins;
+    TGNN_DCHECK(total_pins_ > 0, "outstanding-pin total underflow");
+    --total_pins_;
     // Last pin gone on a dirty page with no pending entry: queue its
     // write-back. Batch completion order == chronological commit order.
     if (fr.pins == 0 && fr.dirty.load(std::memory_order_relaxed) &&
@@ -224,6 +230,9 @@ void VertexStore::unpin_rows(std::span<const NodeId> rows) {
   // flush storm and younger entries get their chance to be invalidated.
   if (wb_queue_.size() >= writeback_batch_) flush_queue(writeback_batch_);
   trim_overcommit();
+#ifdef TGNN_CHECKED
+  check_invariants_locked();
+#endif
 }
 
 void VertexStore::trim_overcommit() {
@@ -255,7 +264,7 @@ void VertexStore::trim_overcommit() {
 
 void VertexStore::prefetch_rows(std::span<const NodeId> rows) {
   if (resident_) return;
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   for (const NodeId r : rows) {
     const std::size_t page = static_cast<std::size_t>(r) / rows_per_page_;
     if (frame_of_[page] >= 0) {
@@ -277,7 +286,7 @@ void VertexStore::reset() {
     std::memset(flat_.data(), 0, flat_.size());
     return;
   }
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   for (auto& fr : frames_) {
     if (fr.pins != 0)
       throw std::logic_error("VertexStore::reset with pins held");
@@ -286,21 +295,120 @@ void VertexStore::reset() {
     fr.dirty.store(false, std::memory_order_relaxed);
     fr.queued_seq.store(0, std::memory_order_relaxed);
   }
+  TGNN_DCHECK(total_pins_ == 0, "reset with outstanding pins");
   std::fill(frame_of_.begin(), frame_of_.end(), -1);
   for (auto& p : page_frame_) p.store(nullptr, std::memory_order_relaxed);
   std::fill(on_disk_.begin(), on_disk_.end(), 0);
   wb_queue_.clear();
   hand_ = 0;
   file_->reset();
+#ifdef TGNN_CHECKED
+  check_invariants_locked();
+#endif
 }
 
 VertexStoreStats VertexStore::stats() const {
   if (resident_) return {};
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   VertexStoreStats s = stats_;
   s.writeback_invalidations =
       invalidations_.load(std::memory_order_relaxed);
   return s;
+}
+
+void VertexStore::check_invariants() const {
+  if (resident_) return;
+  util::MutexLock lk(mu_);
+  check_invariants_locked();
+}
+
+void VertexStore::check_invariants_locked() const {
+  // The §IV-B cache-state contract, executable. Everything here is
+  // redundant with how the store updates its tables — which is the point:
+  // a single forgotten transition (or a forged value) breaks one of the
+  // redundancies.
+  const std::size_t nf = frames_.size();
+  TGNN_CHECK(nf == 0 || hand_ < nf, "CLOCK hand out of range");
+  TGNN_CHECK(frame_of_.size() == num_pages_, "page->frame table size");
+  TGNN_CHECK(on_disk_.size() == num_pages_, "spill bitmap size");
+  TGNN_CHECK(page_frame_.size() == num_pages_, "published-frame table size");
+
+  // Frame side: every resident frame agrees with the page tables; pins and
+  // buffers add up to their redundant totals.
+  std::uint64_t pins = 0;
+  std::size_t with_buffer = 0;
+  for (std::size_t f = 0; f < nf; ++f) {
+    const Frame& fr = frames_[f];
+    pins += fr.pins;
+    if (fr.data) ++with_buffer;
+    if (fr.page >= 0) {
+      TGNN_CHECK(fr.data != nullptr, "resident page in a retired frame");
+      const auto page = static_cast<std::size_t>(fr.page);
+      TGNN_CHECK(page < num_pages_, "frame holds an out-of-range page");
+      TGNN_CHECK(frame_of_[page] == static_cast<std::int32_t>(f),
+                 "frame and page tables disagree");
+      TGNN_CHECK(page_frame_[page].load(std::memory_order_acquire) == &fr,
+                 "published frame pointer disagrees with the page table");
+    } else {
+      TGNN_CHECK(fr.pins == 0, "pinned frame without a page");
+    }
+  }
+  TGNN_CHECK(pins == total_pins_,
+             "per-frame pin counts disagree with the outstanding-pin total");
+  TGNN_CHECK(with_buffer == allocated_frames_,
+             "buffer count disagrees with allocated_frames_");
+  TGNN_CHECK(nf - with_buffer == free_frames_.size(),
+             "retired frames not accounted on the free list");
+  for (const std::size_t f : free_frames_) {
+    TGNN_CHECK(f < nf, "free-list index out of range");
+    TGNN_CHECK(!frames_[f].data, "free-listed frame still holds a buffer");
+    TGNN_CHECK(frames_[f].page < 0, "free-listed frame still maps a page");
+  }
+
+  // Page side: unmapped pages must not be published.
+  for (std::size_t p = 0; p < num_pages_; ++p) {
+    const std::int32_t f = frame_of_[p];
+    TGNN_CHECK(f >= -1 && f < static_cast<std::int32_t>(nf),
+               "page maps to an out-of-range frame");
+    if (f < 0)
+      TGNN_CHECK(page_frame_[p].load(std::memory_order_acquire) == nullptr,
+                 "evicted page still published");
+  }
+
+  // Write-back queue chronology: sequence numbers strictly increase toward
+  // next_seq_, and a live entry's frame is still dirty. A frame whose
+  // queued_seq moved past an entry was legitimately re-dirtied (0) or
+  // re-queued (> seq) — it can never sit behind one.
+  std::uint64_t prev = 0;
+  for (const WbEntry& e : wb_queue_) {
+    TGNN_CHECK(e.seq > prev, "write-back queue out of chronological order");
+    prev = e.seq;
+    TGNN_CHECK(e.seq < next_seq_, "queued write-back from the future");
+    TGNN_CHECK(e.page < num_pages_, "queued write-back of an invalid page");
+    const std::int32_t f = frame_of_[e.page];
+    if (f >= 0) {
+      const Frame& fr = frames_[static_cast<std::size_t>(f)];
+      const std::uint64_t q = fr.queued_seq.load(std::memory_order_relaxed);
+      if (q == e.seq)
+        TGNN_CHECK(fr.dirty.load(std::memory_order_relaxed),
+                   "queued write-back of a clean page");
+      else
+        TGNN_CHECK(q == 0 || q > e.seq,
+                   "frame's queued_seq behind a live queue entry");
+    }
+  }
+
+  // Spill-offset consistency: the file's geometry is the store's, so every
+  // on-disk page maps to a valid fixed offset; a file that was never
+  // opened cannot have spilled pages.
+  TGNN_CHECK(file_ != nullptr, "out-of-core store without a spill file");
+  TGNN_CHECK(file_->page_bytes() == page_bytes_, "spill-file page size");
+  TGNN_CHECK(file_->num_pages() == num_pages_, "spill-file page count");
+  bool any_on_disk = false;
+  for (std::size_t p = 0; p < num_pages_; ++p)
+    any_on_disk = any_on_disk || on_disk_[p] != 0;
+  TGNN_CHECK(!any_on_disk || file_->open(),
+             "pages marked spilled but the spill file was never created");
 }
 
 }  // namespace tgnn::graph

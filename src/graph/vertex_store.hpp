@@ -46,13 +46,14 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "graph/paged_file.hpp"
 #include "graph/temporal_graph.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace tgnn::graph {
 
@@ -140,17 +141,28 @@ class VertexStore {
   /// Fault in + reference-count the pages covering `rows`. Duplicate ids
   /// pin (and later must unpin) once each — pin/unpin calls are symmetric
   /// per id, not per unique page.
-  void pin_rows(std::span<const NodeId> rows);
-  void unpin_rows(std::span<const NodeId> rows);
+  void pin_rows(std::span<const NodeId> rows) TGNN_EXCLUDES(mu_);
+  void unpin_rows(std::span<const NodeId> rows) TGNN_EXCLUDES(mu_);
   /// Best-effort fault-in without pinning (the NeighborGather-driven
   /// prefetch hook): pages already resident count as prefetch_hits, the
   /// rest are loaded unless doing so would require evicting a pinned page.
-  void prefetch_rows(std::span<const NodeId> rows);
+  void prefetch_rows(std::span<const NodeId> rows) TGNN_EXCLUDES(mu_);
 
   /// Zero every row and drop all spilled content. Requires no pins held.
-  void reset();
+  void reset() TGNN_EXCLUDES(mu_);
 
-  [[nodiscard]] VertexStoreStats stats() const;
+  [[nodiscard]] VertexStoreStats stats() const TGNN_EXCLUDES(mu_);
+
+  /// Structural validator (the §IV-B cache states as executable
+  /// contracts): page-table/frame-table agreement, pin accounting against
+  /// the redundant total_pins_ counter, write-back-queue chronology
+  /// (strictly increasing sequence numbers, live entries matching their
+  /// frame's queued_seq and dirty bit), spill-file consistency, and
+  /// free-list/buffer agreement. TGNN_CHECK-aborts on the first violation;
+  /// a checked build (-DTGNN_CHECKED=ON) runs it automatically after every
+  /// unpin_rows and reset. Cheap relative to a batch (O(pages + frames +
+  /// queue)), a no-op on an all-resident store.
+  void check_invariants() const TGNN_EXCLUDES(mu_);
 
  private:
   struct Frame {
@@ -166,13 +178,18 @@ class VertexStore {
     std::unique_ptr<std::byte[]> data;
   };
 
-  // All private helpers below require mu_ held.
-  std::size_t frame_for(std::size_t page, bool prefetch);
-  std::size_t find_victim_frame(bool allow_overcommit);
-  void evict_frame(std::size_t f);
-  void flush_queue(std::size_t max_entries);
-  void write_back(std::size_t f);
-  void trim_overcommit();
+  std::size_t frame_for(std::size_t page, bool prefetch) TGNN_REQUIRES(mu_);
+  std::size_t find_victim_frame(bool allow_overcommit) TGNN_REQUIRES(mu_);
+  void evict_frame(std::size_t f) TGNN_REQUIRES(mu_);
+  void flush_queue(std::size_t max_entries) TGNN_REQUIRES(mu_);
+  void write_back(std::size_t f) TGNN_REQUIRES(mu_);
+  void trim_overcommit() TGNN_REQUIRES(mu_);
+  /// Slow path of row()/row_mut(): fault `page` in under the lock and
+  /// return its frame (single-threaded unpinned-access contract). The
+  /// returned pointer is growth-stable (frames_ is a deque) and valid
+  /// until the next store call.
+  Frame* fault_page(std::size_t page) TGNN_EXCLUDES(mu_);
+  void check_invariants_locked() const TGNN_REQUIRES(mu_);
 
   std::size_t num_rows_;
   std::size_t row_bytes_;
@@ -189,30 +206,44 @@ class VertexStore {
   // Out-of-core state. row()/row_mut() resolve pages lock-free through
   // page_frame_ — a fixed-size array of atomic Frame pointers (all
   // remaps happen under mu_ and the pin protocol excludes remapping a
-  // pinned page). The deque itself is touched only under mu_: element
-  // addresses are growth-stable, but its internal index map is not, so
-  // even frames_[i] is off-limits without the lock.
-  mutable std::mutex mu_;
-  std::deque<Frame> frames_;  // deque: growth never moves a Frame
+  // pinned page; the acquire load pairs with frame_for's release store,
+  // which is why page_frame_ itself carries no TGNN_GUARDED_BY). The deque
+  // is touched only under mu_: element addresses are growth-stable, but
+  // its internal index map is not, so even frames_[i] is off-limits
+  // without the lock. Frame's own fields split the same way — page / pins
+  // / ref are mu_-only, data is stable while the page is pinned, and
+  // dirty / queued_seq are lock-free atomics written by row_mut.
+  mutable util::Mutex mu_;
+  std::deque<Frame> frames_ TGNN_GUARDED_BY(mu_);  // growth never moves a Frame
   std::vector<std::atomic<Frame*>> page_frame_;
   /// Retired frame slots (data released after overcommit growth); popped
   /// and re-armed before the pool grows again. Invariant: a frame's data
   /// is null iff its index is in this list.
-  std::vector<std::size_t> free_frames_;
-  std::size_t allocated_frames_ = 0;  ///< frames currently holding a buffer
-  std::vector<std::int32_t> frame_of_;
-  std::vector<std::uint8_t> on_disk_;  ///< page has ever been spilled
-  std::size_t hand_ = 0;               ///< CLOCK sweep position
-  std::uint64_t next_seq_ = 1;
+  std::vector<std::size_t> free_frames_ TGNN_GUARDED_BY(mu_);
+  /// Frames currently holding a buffer.
+  std::size_t allocated_frames_ TGNN_GUARDED_BY(mu_) = 0;
+  std::vector<std::int32_t> frame_of_ TGNN_GUARDED_BY(mu_);
+  /// Page has ever been spilled.
+  std::vector<std::uint8_t> on_disk_ TGNN_GUARDED_BY(mu_);
+  std::size_t hand_ TGNN_GUARDED_BY(mu_) = 0;  ///< CLOCK sweep position
+  std::uint64_t next_seq_ TGNN_GUARDED_BY(mu_) = 1;
+  /// Outstanding pins across all frames — redundant with the per-frame
+  /// counts by construction, which is exactly what lets check_invariants
+  /// catch a forged or leaked pin.
+  std::uint64_t total_pins_ TGNN_GUARDED_BY(mu_) = 0;
   struct WbEntry {
     std::size_t page;
     std::uint64_t seq;
   };
-  std::deque<WbEntry> wb_queue_;
+  std::deque<WbEntry> wb_queue_ TGNN_GUARDED_BY(mu_);
   std::unique_ptr<PagedFile> file_;
 
-  VertexStoreStats stats_;  // guarded by mu_, except:
+  VertexStoreStats stats_ TGNN_GUARDED_BY(mu_);  // except:
   mutable std::atomic<std::uint64_t> invalidations_{0};
+
+  /// Test seam: deliberately corrupts internals to prove the validators
+  /// fire (defined in tests/graph/vertex_store_test.cpp only).
+  friend struct VertexStoreTestPeer;
 };
 
 }  // namespace tgnn::graph

@@ -86,6 +86,8 @@ QuantKernelTable generic_quant_table() {
 QuantKernelTable resolve_quant() {
   // Same TGNN_KERNEL_ARCH cap as the fp32 resolver; the int8 tier ladder
   // just has different runtime requirements per rung.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env lookup; nothing
+  // in the process calls setenv.
   const char* force = std::getenv("TGNN_KERNEL_ARCH");
 #if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
   const bool want_512 = force == nullptr || std::strcmp(force, "avx512") == 0;
@@ -110,6 +112,8 @@ QuantKernelTable resolve_quant() {
 KernelTable resolve() {
   // TGNN_KERNEL_ARCH=generic|avx2|avx512 caps the variant (testing/debug);
   // a capped variant the CPU or build can't run falls back to the next one.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env lookup; nothing
+  // in the process calls setenv.
   const char* force = std::getenv("TGNN_KERNEL_ARCH");
 #if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
   const bool want_512 = force == nullptr || std::strcmp(force, "avx512") == 0;

@@ -25,7 +25,8 @@ LossResult bce_with_logits(const Tensor& logits, const Tensor& targets) {
     const double y = targets[i];
     // max(x,0) - x*y + log(1 + exp(-|x|)) : stable BCE-with-logits.
     total += std::max(x, 0.0) - x * y + std::log1p(std::exp(-std::fabs(x)));
-    res.grad[i] = static_cast<float>((stable_sigmoid(x) - y) / m);
+    res.grad[i] =
+        static_cast<float>((stable_sigmoid(x) - y) / static_cast<double>(m));
   }
   res.value = total / static_cast<double>(m);
   return res;
@@ -67,7 +68,8 @@ LossResult soft_cross_entropy(const Tensor& student_logits,
       total -= p[j] * logq;
       // dL/d student_logit = (q - p) / (T * m)
       res.grad(i, j) =
-          static_cast<float>((q[j] - p[j]) / (temperature * m));
+          static_cast<float>((q[j] - p[j]) /
+                             (temperature * static_cast<double>(m)));
     }
   }
   res.value = total / static_cast<double>(m);

@@ -1,6 +1,8 @@
 #include "runtime/backend.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -299,47 +301,72 @@ std::size_t parse_memory_budget(const std::string& spec,
   else if (!unit.empty())
     throw std::invalid_argument("parse_memory_budget: unknown unit '" + unit +
                                 "' in '" + spec + "' (k | m | g | %)");
-  return static_cast<std::size_t>(value * scale);
+  // Guard the float->size_t cast: stod accepts "nan" (which sails past the
+  // negative check) and values like "1e300" that a multiplier pushes to
+  // infinity — both are UB to cast. Compare against 2^64 exactly (max
+  // size_t rounds UP to it as a double, so >= is the correct exclusion).
+  const double bytes = value * scale;
+  constexpr double kSizeLimit = 18446744073709551616.0;  // 2^64
+  if (!std::isfinite(bytes) || bytes >= kSizeLimit)
+    throw std::invalid_argument("parse_memory_budget: '" + spec +
+                                "' is not a representable byte count");
+  return static_cast<std::size_t>(bytes);
+}
+
+ResolvedBackendKey resolve_backend_key(const std::string& key,
+                                       kernels::Precision default_precision,
+                                       std::size_t total_state_bytes) {
+  // Split optional ":"-separated suffixes off the registry key: a numeric
+  // mode ("fp32" | "int8" | "bf16") and/or a resident-state budget
+  // ("mem=<size>"), e.g. "sharded-cpu:int8:mem=10%".
+  ResolvedBackendKey r;
+  r.precision = default_precision;
+  r.precision_requested = default_precision != kernels::Precision::kFp32;
+  auto pos = key.find(':');
+  r.base = key.substr(0, pos);
+  while (pos != std::string::npos) {
+    const auto next = key.find(':', pos + 1);
+    const std::string part = key.substr(
+        pos + 1, (next == std::string::npos ? key.size() : next) - pos - 1);
+    if (part.rfind("mem=", 0) == 0) {
+      r.memory_budget = parse_memory_budget(part.substr(4), total_state_bytes);
+      r.mem_requested = true;
+    } else if (kernels::parse_precision(part, r.precision)) {
+      r.precision_requested = true;
+    } else {
+      throw std::invalid_argument(
+          "make_backend: unknown suffix '" + part + "' in key '" + key +
+          "' (fp32 | int8 | bf16 | mem=<size>)");
+    }
+    pos = next;
+  }
+  // display reflects the EFFECTIVE mode, normalized: "cpu:fp32" -> "cpu",
+  // and a default-driven int8 shows up as "cpu:int8" too.
+  r.display = r.precision == kernels::Precision::kFp32
+                  ? r.base
+                  : r.base + ":" + kernels::precision_name(r.precision);
+  return r;
 }
 
 std::unique_ptr<Backend> make_backend(const std::string& key,
                                       const core::TgnModel& model,
                                       const data::Dataset& ds,
                                       const BackendOptions& opts) {
-  // Split optional ":"-separated suffixes off the registry key: a numeric
-  // mode ("fp32" | "int8" | "bf16") and/or a resident-state budget
-  // ("mem=<size>"), e.g. "sharded-cpu:int8:mem=10%". Resolution order for
-  // each: key suffix > BackendOptions > ModelConfig (precision only).
-  std::string base = key;
+  // Resolution order for each suffix: key suffix > BackendOptions >
+  // ModelConfig (precision only).
+  ResolvedBackendKey r = resolve_backend_key(
+      key, opts.precision,
+      core::RuntimeState::state_bytes(ds.graph.num_nodes(), model.config()));
   BackendOptions eff = opts;
-  bool requested = eff.precision != kernels::Precision::kFp32;
-  bool mem_requested = false;
-  {
-    auto pos = key.find(':');
-    base = key.substr(0, pos);
-    while (pos != std::string::npos) {
-      const auto next = key.find(':', pos + 1);
-      const std::string part = key.substr(
-          pos + 1, (next == std::string::npos ? key.size() : next) - pos - 1);
-      if (part.rfind("mem=", 0) == 0) {
-        eff.memory_budget = parse_memory_budget(
-            part.substr(4), core::RuntimeState::state_bytes(
-                                ds.graph.num_nodes(), model.config()));
-        mem_requested = true;
-      } else if (kernels::parse_precision(part, eff.precision)) {
-        requested = true;
-      } else {
-        throw std::invalid_argument(
-            "make_backend: unknown suffix '" + part + "' in key '" + key +
-            "' (fp32 | int8 | bf16 | mem=<size>)");
-      }
-      pos = next;
-    }
-  }
-  if (!requested) eff.precision = model.config().inference_precision;
+  if (r.mem_requested) eff.memory_budget = r.memory_budget;
+  eff.precision = r.precision_requested ? r.precision
+                                        : model.config().inference_precision;
+  const std::string& base = r.base;
+  const bool requested = r.precision_requested;
+  const bool mem_requested = r.mem_requested;
 
-  // name() reflects the EFFECTIVE mode, normalized: "cpu:fp32" -> "cpu",
-  // and a ModelConfig-driven int8 shows up as "cpu:int8" too.
+  // The display name must track the EFFECTIVE precision, which may have
+  // just come from ModelConfig rather than the key.
   const std::string display =
       eff.precision == kernels::Precision::kFp32
           ? base

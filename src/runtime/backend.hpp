@@ -207,9 +207,35 @@ struct BackendOptions {
 
 /// Parse a "--memory_budget" / ":mem=" value: "0" = all-resident, plain
 /// bytes, "64k" / "512m" / "2g" binary multiples, or "50%" of
-/// `total_state_bytes`. Throws std::invalid_argument on malformed input.
+/// `total_state_bytes`. Throws std::invalid_argument on malformed input
+/// (including non-finite or size_t-overflowing values — "1e300g" and "nan"
+/// are rejected, never silently truncated).
 std::size_t parse_memory_budget(const std::string& spec,
                                 std::size_t total_state_bytes);
+
+/// A registry key split into its parts: "sharded-cpu:int8:mem=10%" ->
+/// base "sharded-cpu", precision int8 (requested), memory budget resolved
+/// against `total_state_bytes`, and the normalized display name ("cpu:fp32"
+/// -> "cpu"). Pure string/number work — no model or dataset involved —
+/// which is what makes it independently testable (and fuzzable).
+struct ResolvedBackendKey {
+  std::string base;
+  std::string display;
+  kernels::Precision precision = kernels::Precision::kFp32;
+  bool precision_requested = false;  ///< suffix or options asked for it
+  std::size_t memory_budget = 0;
+  bool mem_requested = false;  ///< a mem= suffix was present
+};
+
+/// Split the ":"-suffixed registry key. `default_precision` is the
+/// starting point (BackendOptions::precision, itself possibly overridden
+/// by ModelConfig downstream); `total_state_bytes` anchors percentage
+/// budgets. Throws std::invalid_argument on unknown suffixes or malformed
+/// budgets. Does NOT validate the base against the registry — make_backend
+/// does that with the full registry list in the message.
+ResolvedBackendKey resolve_backend_key(const std::string& key,
+                                       kernels::Precision default_precision,
+                                       std::size_t total_state_bytes);
 
 /// Build a backend by registry key. Throws std::invalid_argument for an
 /// unknown key (the message lists the registry).

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <stdexcept>
+#include <unordered_set>
 
 #include "runtime/stream_result.hpp"
+#include "util/check.hpp"
 
 namespace tgnn::runtime {
 
@@ -40,6 +42,31 @@ void write_footprint(const graph::TemporalGraph& g,
 }
 
 }  // namespace
+
+void audit_disjoint_footprints(
+    std::span<const std::span<const graph::NodeId>> footprints) {
+  std::unordered_set<graph::NodeId> seen;
+  std::size_t total = 0;
+  for (const auto& fp : footprints) total += fp.size();
+  seen.reserve(total);
+  for (const auto& fp : footprints)
+    for (const graph::NodeId v : fp)
+      TGNN_CHECK(seen.insert(v).second,
+                 "hazard audit: vertex " + std::to_string(v) +
+                     " appears in two in-flight footprints");
+}
+
+void ServingEngine::audit_in_flight_footprints() const {
+  std::vector<std::span<const graph::NodeId>> occupied;
+  occupied.reserve(slot_meta_.size());
+  for (const SlotMeta& meta : slot_meta_)
+    if (!meta.wfp.empty()) occupied.push_back(meta.wfp);
+  // Cross-check the occupancy notion against the free-slot list before the
+  // disjointness pass: every slot is either free or holds a footprint.
+  TGNN_CHECK(occupied.size() + free_lanes_.size() == slot_meta_.size(),
+             "hazard audit: occupied slots + free slots != pipeline depth");
+  audit_disjoint_footprints(occupied);
+}
 
 ServingEngine::ServingEngine(Backend& backend, ServingOptions opts)
     : backend_(backend),
@@ -79,13 +106,18 @@ ServingEngine::ServingEngine(Backend& backend, ServingOptions opts)
     staged_->prepare_pipeline(opts_.pipeline_depth, opts_.max_batch);
 
     // Conflict ledger + slot pool + inter-stage FIFOs (capacity 1: classic
-    // pipeline registers — a stage stalls until its successor drains).
+    // pipeline registers — a stage stalls until its successor drains). The
+    // workers don't exist yet, but initializing the guarded ledger under
+    // the lock keeps every write inside the capability.
     const auto& g = backend_.dataset().graph;
-    write_marks_.assign(g.num_nodes(), 0);
-    full_marks_.assign(g.num_nodes(), 0);
-    for (std::size_t s = opts_.pipeline_depth; s-- > 0;)
-      free_lanes_.push_back(s);
-    slot_meta_.assign(opts_.pipeline_depth, SlotMeta{});
+    {
+      util::MutexLock lk(mu_);
+      write_marks_.assign(g.num_nodes(), 0);
+      full_marks_.assign(g.num_nodes(), 0);
+      for (std::size_t s = opts_.pipeline_depth; s-- > 0;)
+        free_lanes_.push_back(s);
+      slot_meta_.assign(opts_.pipeline_depth, SlotMeta{});
+    }
     stage_q_.reserve(core::kNumStages);
     for (std::size_t k = 0; k < core::kNumStages; ++k)
       stage_q_.push_back(std::make_unique<StageChannel<std::size_t>>(1));
@@ -99,7 +131,7 @@ ServingEngine::~ServingEngine() { stop(); }
 
 void ServingEngine::stop() {
   {
-    std::lock_guard lk(mu_);
+    util::MutexLock lk(mu_);
     stop_ = true;
   }
   cv_submit_.notify_all();
@@ -112,15 +144,13 @@ void ServingEngine::stop() {
 }
 
 void ServingEngine::submit(std::size_t edge_index) {
-  std::unique_lock lk(mu_);
+  util::MutexLock lk(mu_);
   if (have_origin_ && edge_index != next_index_)
     throw std::invalid_argument(
         "ServingEngine::submit: requests must arrive in stream order (got " +
         std::to_string(edge_index) + ", expected " +
         std::to_string(next_index_) + ")");
-  cv_state_.wait(lk, [this] {
-    return stop_ || queue_.size() < opts_.queue_capacity;
-  });
+  while (!stop_ && queue_.size() >= opts_.queue_capacity) cv_state_.wait(lk);
   if (stop_)
     throw std::logic_error("ServingEngine::submit: engine is stopped");
   have_origin_ = true;
@@ -133,27 +163,20 @@ void ServingEngine::submit(std::size_t edge_index) {
 }
 
 void ServingEngine::drain() {
-  std::unique_lock lk(mu_);
+  util::MutexLock lk(mu_);
   // Force-flush whatever is pending instead of letting a partial batch sit
   // out the remainder of its max_wait deadline.
   if (!queue_.empty()) {
     flush_ = true;
     cv_submit_.notify_all();
   }
-  cv_state_.wait(lk, [this] { return queue_.empty() && in_flight_ == 0; });
+  while (!queue_.empty() || in_flight_ != 0) cv_state_.wait(lk);
 }
 
-bool ServingEngine::next_batch(std::unique_lock<std::mutex>& lk,
-                               graph::BatchRange& range,
+bool ServingEngine::next_batch(util::MutexLock& lk, graph::BatchRange& range,
                                std::vector<double>& arrivals) {
-  for (;;) {
-    cv_submit_.wait(lk, [this] { return stop_ || !queue_.empty(); });
-    if (queue_.empty()) {
-      if (stop_) return false;
-      continue;
-    }
-    break;
-  }
+  while (!stop_ && queue_.empty()) cv_submit_.wait(lk);
+  if (queue_.empty()) return false;  // only reachable when stopping
   // Coalesce: hold the batch open until it is full, the oldest pending
   // request hits the flush deadline, or a drain/stop forces a flush.
   while (!stop_ && !flush_ && queue_.size() < opts_.max_batch) {
@@ -190,6 +213,7 @@ void ServingEngine::record_batch(const std::vector<double>& arrivals,
     services_.push_back(service_s);
   }
   last_done_s_ = std::max(last_done_s_, done);
+  TGNN_DCHECK(in_flight_ > 0, "batch completion with none in flight");
   --in_flight_;
   cv_state_.notify_all();
 }
@@ -205,7 +229,7 @@ void ServingEngine::scheduler_loop() {
   }
   graph::BatchRange range;
   std::vector<double> arrivals;
-  std::unique_lock lk(mu_);
+  util::MutexLock lk(mu_);
   while (next_batch(lk, range, arrivals)) {
     batches_.push_back(range);
     executing_ = 1;
@@ -222,15 +246,15 @@ void ServingEngine::scheduler_loop() {
 void ServingEngine::scheduler_loop_parallel() {
   ConcurrentBackend& cb = *concurrent_;
   const auto& g = backend_.dataset().graph;
-  write_marks_.assign(g.num_nodes(), 0);
-  full_marks_.assign(g.num_nodes(), 0);
-  free_lanes_.clear();
-  for (std::size_t l = 0; l < workers_; ++l) free_lanes_.push_back(l);
 
   graph::BatchRange range;
   std::vector<double> arrivals;
   std::vector<graph::NodeId> wfp, rfp;
-  std::unique_lock lk(mu_);
+  util::MutexLock lk(mu_);
+  write_marks_.assign(g.num_nodes(), 0);
+  full_marks_.assign(g.num_nodes(), 0);
+  free_lanes_.clear();
+  for (std::size_t l = 0; l < workers_; ++l) free_lanes_.push_back(l);
   while (next_batch(lk, range, arrivals)) {
     write_footprint(g, range, wfp);
 
@@ -238,9 +262,8 @@ void ServingEngine::scheduler_loop_parallel() {
     // nothing any in-flight batch reads or writes. In-flight work only
     // shrinks while we wait (this thread is the only dispatcher), so the
     // predicate is stable once satisfied.
-    cv_state_.wait(lk, [&] {
-      return !free_lanes_.empty() && disjoint(wfp, full_marks_);
-    });
+    while (free_lanes_.empty() || !disjoint(wfp, full_marks_))
+      cv_state_.wait(lk);
 
     // Stage 2 (deterministic mode): the READ footprint — sampled neighbors
     // of our endpoints. Stage 1 guarantees no in-flight batch writes our
@@ -251,7 +274,7 @@ void ServingEngine::scheduler_loop_parallel() {
       lk.unlock();
       cb.read_footprint(range, rfp);
       lk.lock();
-      cv_state_.wait(lk, [&] { return disjoint(rfp, write_marks_); });
+      while (!disjoint(rfp, write_marks_)) cv_state_.wait(lk);
     } else {
       rfp.clear();
     }
@@ -272,8 +295,9 @@ void ServingEngine::scheduler_loop_parallel() {
     pool_.submit([this, &cb, lane, range, wfp, rfp, dispatch_s,
                   batch_arrivals = arrivals] {
       const BatchOutput out = cb.process_batch_on(lane, range);
-      std::lock_guard done_lk(mu_);
+      util::MutexLock done_lk(mu_);
       for (graph::NodeId v : wfp) {
+        TGNN_DCHECK(write_marks_[v] > 0, "write-mark release underflow");
         --write_marks_[v];
         --full_marks_[v];
       }
@@ -303,7 +327,7 @@ void ServingEngine::scheduler_loop_pipelined() {
   graph::BatchRange range;
   std::vector<double> arrivals;
   std::vector<graph::NodeId> wfp, rfp;
-  std::unique_lock lk(mu_);
+  util::MutexLock lk(mu_);
   while (next_batch(lk, range, arrivals)) {
     write_footprint(g, range, wfp);
 
@@ -311,9 +335,8 @@ void ServingEngine::scheduler_loop_pipelined() {
     // nothing any in-flight batch reads or writes. In-flight work only
     // shrinks while we wait (this thread is the only admitter), so the
     // predicate is stable once satisfied.
-    cv_state_.wait(lk, [&] {
-      return !free_lanes_.empty() && disjoint(wfp, full_marks_);
-    });
+    while (free_lanes_.empty() || !disjoint(wfp, full_marks_))
+      cv_state_.wait(lk);
 
     // Admission, stage 2 (read tracking): the READ footprint — sampled
     // neighbors of our endpoints. Stage 1 guarantees no in-flight batch
@@ -324,7 +347,7 @@ void ServingEngine::scheduler_loop_pipelined() {
       lk.unlock();
       sb.read_footprint(range, rfp);
       lk.lock();
-      cv_state_.wait(lk, [&] { return disjoint(rfp, write_marks_); });
+      while (!disjoint(rfp, write_marks_)) cv_state_.wait(lk);
     } else {
       rfp.clear();
     }
@@ -346,6 +369,7 @@ void ServingEngine::scheduler_loop_pipelined() {
     meta.rfp.swap(rfp);
     meta.arrivals.swap(arrivals);
     meta.dispatch_s = clock_.seconds();
+    if constexpr (util::kCheckedBuild) audit_in_flight_footprints();
 
     lk.unlock();
     // Out-of-core prefetch, one stage early: the admitted batch's write
@@ -378,17 +402,23 @@ void ServingEngine::stage_worker(std::size_t k) {
     // Service time spans admission to completion (inter-stage queueing
     // included), so percentiles describe what a request actually saw.
     sb.finish_batch(*slot);
-    std::lock_guard done_lk(mu_);
+    util::MutexLock done_lk(mu_);
     SlotMeta& meta = slot_meta_[*slot];
     for (graph::NodeId v : meta.wfp) {
+      TGNN_DCHECK(write_marks_[v] > 0, "write-mark release underflow");
       --write_marks_[v];
       --full_marks_[v];
     }
     for (graph::NodeId v : meta.rfp) --full_marks_[v];
-    free_lanes_.push_back(*slot);
-    --executing_;
     record_batch(meta.arrivals, meta.dispatch_s,
                  clock_.seconds() - meta.dispatch_s);
+    // Emptying the meta is what marks the slot free for the hazard audit's
+    // occupancy notion — do it before parking the slot.
+    meta.wfp.clear();
+    meta.rfp.clear();
+    meta.arrivals.clear();
+    free_lanes_.push_back(*slot);
+    --executing_;
   }
   if (k + 1 < core::kNumStages) stage_q_[k + 1]->close();
 }
@@ -397,7 +427,7 @@ ServingStats ServingEngine::stats() const {
   // Store counters first: the backend's store has its own lock, and the
   // query touches no engine state guarded by mu_.
   graph::VertexStoreStats store = backend_.store_stats();
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   ServingStats s;
   s.store = store;
   s.num_requests = latencies_.size();
@@ -429,12 +459,12 @@ ServingStats ServingEngine::stats() const {
 }
 
 std::vector<double> ServingEngine::request_latency_s() const {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   return latencies_;
 }
 
 std::vector<graph::BatchRange> ServingEngine::batch_log() const {
-  std::lock_guard lk(mu_);
+  util::MutexLock lk(mu_);
   return batches_;
 }
 

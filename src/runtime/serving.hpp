@@ -57,17 +57,18 @@
 // delay and compute are separable, as in the paper's Fig. 5 trade.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
+#include <span>
 #include <vector>
 
 #include "runtime/backend.hpp"
 #include "runtime/stage_channel.hpp"
+#include "util/mutex.hpp"
 #include "util/stopwatch.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/threadpool.hpp"
 
 namespace tgnn::runtime {
@@ -119,6 +120,16 @@ struct ServingStats {
   graph::VertexStoreStats store;
 };
 
+/// Hazard-ledger audit primitive: TGNN_CHECK-aborts unless every vertex id
+/// appears in at most one of the given footprints — the disjointness that
+/// head-of-line admission is supposed to maintain across in-flight batches,
+/// restated as an executable contract over the raw footprints instead of
+/// the mark counters it normally trusts. A checked build
+/// (-DTGNN_CHECKED=ON) runs it over the pipeline's occupied slots after
+/// every admission.
+void audit_disjoint_footprints(
+    std::span<const std::span<const graph::NodeId>> footprints);
+
 class ServingEngine {
  public:
   /// The backend must outlive the engine. Warm it up (or reset it) before
@@ -137,44 +148,53 @@ class ServingEngine {
   /// origin) — out-of-order submission throws std::invalid_argument.
   /// Blocks while the queue is at capacity. Throws std::logic_error after
   /// stop().
-  void submit(std::size_t edge_index);
+  void submit(std::size_t edge_index) TGNN_EXCLUDES(mu_);
 
   /// Block until every submitted request has been dispatched and completed.
   /// Pending partial batches are force-flushed rather than waiting out the
   /// remainder of their max_wait deadline.
-  void drain();
+  void drain() TGNN_EXCLUDES(mu_);
 
   /// Graceful shutdown: everything submitted so far — including batches
   /// mid-pipeline — is flushed, executed in stream order, and recorded;
   /// then the scheduler (and any stage workers) exit. Nothing is dropped
   /// and no batch runs twice. Idempotent; further submits throw. The
   /// destructor calls this.
-  void stop();
+  void stop() TGNN_EXCLUDES(mu_);
 
   /// Aggregate latency/throughput statistics over everything served so far.
-  [[nodiscard]] ServingStats stats() const;
+  [[nodiscard]] ServingStats stats() const TGNN_EXCLUDES(mu_);
 
   /// Per-request end-to-end latencies, in completion order.
-  [[nodiscard]] std::vector<double> request_latency_s() const;
+  [[nodiscard]] std::vector<double> request_latency_s() const
+      TGNN_EXCLUDES(mu_);
   /// Dispatched micro-batches, in dispatch (= chronological) order.
-  [[nodiscard]] std::vector<graph::BatchRange> batch_log() const;
+  [[nodiscard]] std::vector<graph::BatchRange> batch_log() const
+      TGNN_EXCLUDES(mu_);
 
   /// Worker lanes actually in use (opts.workers clamped to backend lanes).
   [[nodiscard]] std::size_t workers() const { return workers_; }
 
  private:
-  void scheduler_loop();
-  void scheduler_loop_parallel();
-  void scheduler_loop_pipelined();
+  void scheduler_loop() TGNN_EXCLUDES(mu_);
+  void scheduler_loop_parallel() TGNN_EXCLUDES(mu_);
+  void scheduler_loop_pipelined() TGNN_EXCLUDES(mu_);
   /// Stage worker k: pops slots from stage_q_[k], runs Stage k, hands the
   /// slot to stage k+1 (Decode completes the batch instead).
-  void stage_worker(std::size_t k);
+  void stage_worker(std::size_t k) TGNN_EXCLUDES(mu_);
   /// Pop the next micro-batch (held open per max_batch/max_wait/flush)
-  /// under `lk`; returns false when stopping with an empty queue.
-  bool next_batch(std::unique_lock<std::mutex>& lk, graph::BatchRange& range,
-                  std::vector<double>& arrivals);
+  /// under `lk` (which must hold mu_); returns false when stopping with an
+  /// empty queue.
+  bool next_batch(util::MutexLock& lk, graph::BatchRange& range,
+                  std::vector<double>& arrivals) TGNN_REQUIRES(mu_);
   void record_batch(const std::vector<double>& arrivals, double dispatch_s,
-                    double service_s);
+                    double service_s) TGNN_REQUIRES(mu_);
+  /// Checked-build hazard audit: rebuilds the in-flight picture from the
+  /// occupied pipeline slots' stored write footprints (a slot is occupied
+  /// iff its SlotMeta still holds one) and TGNN_CHECKs they are pairwise
+  /// disjoint — catching a ledger desync (mark leak, footprint drift, slot
+  /// reuse before release) the counters alone would hide.
+  void audit_in_flight_footprints() const TGNN_REQUIRES(mu_);
 
   Backend& backend_;
   ConcurrentBackend* concurrent_ = nullptr;  ///< set when workers_ > 1
@@ -184,52 +204,62 @@ class ServingEngine {
   bool track_reads_ = false;  ///< pipelined: read-footprint admission on
                               ///< (deterministic, or no race-free reads)
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_submit_;  ///< signals: new request or stop
-  std::condition_variable cv_state_;   ///< signals: queue space / lane free /
-                                       ///< batch completion
+  mutable util::Mutex mu_;
+  util::CondVar cv_submit_;  ///< signals: new request or stop
+  util::CondVar cv_state_;   ///< signals: queue space / lane free /
+                             ///< batch completion
 
   struct Pending {
     std::size_t index;
     double arrival_s;
   };
-  std::deque<Pending> queue_;
-  bool stop_ = false;
-  bool flush_ = false;         ///< drain requested: dispatch without waiting
-  std::size_t in_flight_ = 0;  ///< batches formed or executing
-  std::size_t executing_ = 0;  ///< batches dispatched to a lane right now
-  std::size_t peak_executing_ = 0;
-  std::size_t peak_in_flight_ = 0;   ///< gauge: in_flight_ high-water
-  std::size_t peak_queue_depth_ = 0; ///< gauge: submit queue high-water
-  bool have_origin_ = false;
-  std::size_t next_index_ = 0; ///< required index of the next submit
+  std::deque<Pending> queue_ TGNN_GUARDED_BY(mu_);
+  bool stop_ TGNN_GUARDED_BY(mu_) = false;
+  /// Drain requested: dispatch without waiting.
+  bool flush_ TGNN_GUARDED_BY(mu_) = false;
+  /// Batches formed or executing.
+  std::size_t in_flight_ TGNN_GUARDED_BY(mu_) = 0;
+  /// Batches dispatched to a lane right now.
+  std::size_t executing_ TGNN_GUARDED_BY(mu_) = 0;
+  std::size_t peak_executing_ TGNN_GUARDED_BY(mu_) = 0;
+  /// Gauge: in_flight_ high-water.
+  std::size_t peak_in_flight_ TGNN_GUARDED_BY(mu_) = 0;
+  /// Gauge: submit queue high-water.
+  std::size_t peak_queue_depth_ TGNN_GUARDED_BY(mu_) = 0;
+  bool have_origin_ TGNN_GUARDED_BY(mu_) = false;
+  /// Required index of the next submit.
+  std::size_t next_index_ TGNN_GUARDED_BY(mu_) = 0;
 
-  // Conflict ledger of the parallel and pipelined modes (guarded by mu_;
-  // incremented at dispatch, decremented at completion). write = batch
-  // endpoints; full = endpoints + tracked neighbor reads. free_lanes_
-  // doubles as the free pipeline-slot list in pipelined mode.
-  std::vector<std::uint32_t> write_marks_;
-  std::vector<std::uint32_t> full_marks_;
-  std::vector<std::size_t> free_lanes_;
+  // Conflict ledger of the parallel and pipelined modes (incremented at
+  // dispatch, decremented at completion). write = batch endpoints; full =
+  // endpoints + tracked neighbor reads. free_lanes_ doubles as the free
+  // pipeline-slot list in pipelined mode.
+  std::vector<std::uint32_t> write_marks_ TGNN_GUARDED_BY(mu_);
+  std::vector<std::uint32_t> full_marks_ TGNN_GUARDED_BY(mu_);
+  std::vector<std::size_t> free_lanes_ TGNN_GUARDED_BY(mu_);
 
   /// Per-slot metadata of a batch in the staged pipeline, written at
-  /// admission (slot owned exclusively) and read back at Decode completion.
+  /// admission and cleared at Decode completion — so an occupied slot is
+  /// exactly one whose footprint is still stored, which is what the
+  /// checked-build hazard audit keys on.
   struct SlotMeta {
     std::vector<graph::NodeId> wfp, rfp;  ///< marked footprints to release
     std::vector<double> arrivals;
     double dispatch_s = 0.0;
   };
-  std::vector<SlotMeta> slot_meta_;
+  std::vector<SlotMeta> slot_meta_ TGNN_GUARDED_BY(mu_);
   /// Inter-stage channels: stage_q_[k] feeds stage worker k (slot indices).
+  /// The vector itself is immutable after construction (each channel has
+  /// its own internal lock), so it carries no guard.
   std::vector<std::unique_ptr<StageChannel<std::size_t>>> stage_q_;
 
   Stopwatch clock_;
-  std::vector<double> latencies_;
-  std::vector<double> queue_waits_;
-  std::vector<double> services_;
-  std::vector<graph::BatchRange> batches_;
-  double first_submit_s_ = -1.0;
-  double last_done_s_ = 0.0;
+  std::vector<double> latencies_ TGNN_GUARDED_BY(mu_);
+  std::vector<double> queue_waits_ TGNN_GUARDED_BY(mu_);
+  std::vector<double> services_ TGNN_GUARDED_BY(mu_);
+  std::vector<graph::BatchRange> batches_ TGNN_GUARDED_BY(mu_);
+  double first_submit_s_ TGNN_GUARDED_BY(mu_) = -1.0;
+  double last_done_s_ TGNN_GUARDED_BY(mu_) = 0.0;
 
   /// Runs scheduler_loop (+ the worker lanes in parallel mode); with one
   /// worker the scheduler is a strict serial executor.

@@ -8,11 +8,11 @@
 // for drain-then-shutdown.
 #pragma once
 
-#include <condition_variable>
-#include <mutex>
 #include <optional>
 
 #include "fpga/fifo.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace tgnn::runtime {
 
@@ -24,9 +24,9 @@ class StageChannel {
   /// Blocks while the channel is full (the upstream stage stalls, exactly
   /// like a hardware producer seeing a full FIFO). Returns false — and
   /// drops `v` — only if the channel was closed.
-  bool push(T v) {
-    std::unique_lock lk(mu_);
-    cv_space_.wait(lk, [this] { return closed_ || !q_.full(); });
+  bool push(T v) TGNN_EXCLUDES(mu_) {
+    util::MutexLock lk(mu_);
+    while (!closed_ && q_.full()) cv_space_.wait(lk);
     if (closed_) return false;
     q_.push(std::move(v));
     cv_data_.notify_one();
@@ -35,18 +35,18 @@ class StageChannel {
 
   /// Blocks while the channel is empty; returns nullopt once it is closed
   /// AND fully drained (in-flight items are always delivered).
-  std::optional<T> pop() {
-    std::unique_lock lk(mu_);
-    cv_data_.wait(lk, [this] { return closed_ || !q_.empty(); });
+  std::optional<T> pop() TGNN_EXCLUDES(mu_) {
+    util::MutexLock lk(mu_);
+    while (!closed_ && q_.empty()) cv_data_.wait(lk);
     auto v = q_.pop();
     if (v) cv_space_.notify_one();
     return v;
   }
 
   /// No further pushes; pending items remain poppable.
-  void close() {
+  void close() TGNN_EXCLUDES(mu_) {
     {
-      std::lock_guard lk(mu_);
+      util::MutexLock lk(mu_);
       closed_ = true;
     }
     cv_data_.notify_all();
@@ -54,11 +54,11 @@ class StageChannel {
   }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_data_;   ///< signals: item available or closed
-  std::condition_variable cv_space_;  ///< signals: capacity freed or closed
-  fpga::Fifo<T> q_;
-  bool closed_ = false;
+  mutable util::Mutex mu_;
+  util::CondVar cv_data_;   ///< signals: item available or closed
+  util::CondVar cv_space_;  ///< signals: capacity freed or closed
+  fpga::Fifo<T> q_ TGNN_GUARDED_BY(mu_);
+  bool closed_ TGNN_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace tgnn::runtime

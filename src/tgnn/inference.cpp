@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <mutex>
 #include <set>
-#include <shared_mutex>
 #include <stdexcept>
 #include <unordered_map>
 
@@ -375,7 +374,7 @@ void InferenceEngine::stage_decode(StageContext& ctx) {
     if (i >= ctx.num_real) continue;
     const graph::NodeId v = ctx.res.nodes[i];
     if (shard_locks_ != nullptr) {
-      std::unique_lock lock(shard_locks_->mutex_of(v));
+      util::ExclusiveLock lock(shard_locks_->mutex_of(v));
       state_->memory.set(v, ws.s_new.row(k), ws.t_event[i]);
     } else {
       state_->memory.set(v, ws.s_new.row(k), ws.t_event[i]);
@@ -428,7 +427,7 @@ std::span<const float> InferenceEngine::memory_of(
     return {ctx.ws.mem_ptr[it->second], cfg.mem_dim};
   if (shard_locks_ != nullptr) {
     scratch.resize(cfg.mem_dim);
-    std::shared_lock lock(shard_locks_->mutex_of(v));
+    util::SharedLock lock(shard_locks_->mutex_of(v));
     const auto mem = state_->memory.get(v);
     std::copy(mem.begin(), mem.end(), scratch.begin());
     return {scratch.data(), scratch.size()};

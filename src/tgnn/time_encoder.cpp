@@ -13,7 +13,8 @@ CosTimeEncoder::CosTimeEncoder(std::size_t dim, tgnn::Rng& rng)
   // resolve both second-scale and day-scale gaps; phi small random.
   for (std::size_t k = 0; k < dim; ++k) {
     const double expo =
-        -static_cast<double>(k) * 9.0 / std::max<std::size_t>(1, dim - 1);
+        -static_cast<double>(k) * 9.0 /
+        static_cast<double>(std::max<std::size_t>(1, dim - 1));
     omega.value[k] = static_cast<float>(std::pow(10.0, expo));
     phi.value[k] = rng.uniform(-0.1f, 0.1f);
   }

@@ -300,7 +300,7 @@ Trainer::BatchLoss Trainer::train_batch(const graph::BatchRange& r,
             static_cast<float>(opts_.distill_weight) * dist.grad(0, j);
       distill_items.push_back(std::move(item));
     }
-    out.distill /= std::max<std::size_t>(1, n_nodes);
+    out.distill /= static_cast<double>(std::max<std::size_t>(1, n_nodes));
   }
 
   // ================= backward =================

@@ -1,0 +1,29 @@
+#include "util/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tgnn::util::detail {
+
+namespace {
+[[noreturn]] void fail(const char* file, int line, const char* expr,
+                       const char* msg) {
+  // One unbuffered write: the abort message must survive even when the
+  // process is wedged mid-lock (these fire inside concurrent machinery).
+  std::fprintf(stderr, "TGNN_CHECK failed: %s:%d: %s%s%s\n", file, line, expr,
+               msg[0] != '\0' ? " — " : "", msg);
+  std::fflush(stderr);
+  std::abort();
+}
+}  // namespace
+
+void check_fail(const char* file, int line, const char* expr) {
+  fail(file, line, expr, "");
+}
+
+void check_fail(const char* file, int line, const char* expr,
+                const std::string& msg) {
+  fail(file, line, expr, msg.c_str());
+}
+
+}  // namespace tgnn::util::detail

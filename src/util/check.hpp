@@ -1,0 +1,55 @@
+// Executable contracts: TGNN_CHECK / TGNN_DCHECK (DESIGN.md "Correctness
+// tooling").
+//
+// TGNN_CHECK is always compiled in: it states an invariant whose violation
+// means the process state is corrupt and continuing would serve wrong
+// answers — it aborts with file:line, the failed expression, and an
+// optional message. Use it where the cost is negligible against the code
+// around it (per-batch, per-page — never per-element).
+//
+// TGNN_DCHECK compiles to nothing unless the tree is configured with
+// -DTGNN_CHECKED=ON (the checked-invariant build, run as its own CI job).
+// Use it for per-element assertions and for the heavyweight structural
+// validators (VertexStore::check_invariants, the serving hazard-ledger
+// audit) that would tax the hot path. The expression still parses in
+// unchecked builds, so a checked-only variable never rots.
+#pragma once
+
+#include <string>
+
+namespace tgnn::util {
+
+/// True when the tree was configured with -DTGNN_CHECKED=ON. Lets tests
+/// and validators branch on whether auto-invoked invariant checks are
+/// active without reaching for the preprocessor.
+#ifdef TGNN_CHECKED
+inline constexpr bool kCheckedBuild = true;
+#else
+inline constexpr bool kCheckedBuild = false;
+#endif
+
+namespace detail {
+[[noreturn]] void check_fail(const char* file, int line, const char* expr);
+[[noreturn]] void check_fail(const char* file, int line, const char* expr,
+                             const std::string& msg);
+}  // namespace detail
+
+}  // namespace tgnn::util
+
+/// Abort (in every build) unless `cond` holds. An optional second argument
+/// — any expression convertible to std::string — is evaluated only on
+/// failure and appended to the abort message.
+#define TGNN_CHECK(cond, ...)                                       \
+  (static_cast<bool>(cond)                                          \
+       ? static_cast<void>(0)                                       \
+       : ::tgnn::util::detail::check_fail(__FILE__, __LINE__,       \
+                                          #cond __VA_OPT__(, ) __VA_ARGS__))
+
+/// TGNN_CHECK in checked builds (-DTGNN_CHECKED=ON); in regular builds the
+/// condition is parsed and type-checked but never evaluated.
+#ifdef TGNN_CHECKED
+#define TGNN_DCHECK(cond, ...) TGNN_CHECK(cond __VA_OPT__(, ) __VA_ARGS__)
+#else
+#define TGNN_DCHECK(cond, ...) \
+  static_cast<void>(sizeof((cond) ? 1 : 0))
+#endif

@@ -1,0 +1,133 @@
+// Annotated locking primitives: thin wrappers over the std synchronization
+// types that carry the clang thread-safety capability attributes libstdc++
+// lacks. Concurrent code in this repo locks through these (never through
+// raw std::mutex) so the -Wthread-safety CI build can prove lock
+// discipline; at runtime they compile down to exactly the std types.
+//
+// Condition-variable waits deliberately take no predicate lambda: the
+// analysis treats a lambda body as a separate unannotated function, so a
+// predicate reading guarded state would defeat the whole point. Callers
+// write the standard explicit form instead —
+//
+//   MutexLock lk(mu_);
+//   while (!ready_) cv_.wait(lk);     // guarded reads stay in this scope
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace tgnn::util {
+
+class CondVar;
+class MutexLock;
+
+/// std::mutex as a clang capability.
+class TGNN_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() TGNN_ACQUIRE() { mu_.lock(); }
+  void unlock() TGNN_RELEASE() { mu_.unlock(); }
+  bool try_lock() TGNN_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// RAII lock over Mutex (std::unique_lock underneath). Supports the manual
+/// unlock()/lock() window the serving scheduler uses around backend calls;
+/// the destructor releases only if currently held.
+class TGNN_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) TGNN_ACQUIRE(mu) : lk_(mu.mu_) {}
+  ~MutexLock() TGNN_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Reacquire after a manual unlock() (e.g. around a blocking backend
+  /// call that must not run under the engine mutex).
+  void lock() TGNN_ACQUIRE() { lk_.lock(); }
+  void unlock() TGNN_RELEASE() { lk_.unlock(); }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lk_;
+};
+
+/// std::condition_variable bound to MutexLock. Waits keep the capability
+/// state unchanged (held on entry, held on return), which is exactly what
+/// the analysis assumes of an unannotated callee — no escape hatch needed.
+class CondVar {
+ public:
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  void wait(MutexLock& lk) { cv_.wait(lk.lk_); }
+
+  template <class Rep, class Period>
+  std::cv_status wait_for(MutexLock& lk,
+                          const std::chrono::duration<Rep, Period>& d) {
+    return cv_.wait_for(lk.lk_, d);
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// std::shared_mutex as a clang capability (the shard lock table's
+/// reader/writer locks).
+class TGNN_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() TGNN_ACQUIRE() { mu_.lock(); }
+  void unlock() TGNN_RELEASE() { mu_.unlock(); }
+  void lock_shared() TGNN_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() TGNN_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive hold on a SharedMutex (a shard-row write).
+class TGNN_SCOPED_CAPABILITY ExclusiveLock {
+ public:
+  explicit ExclusiveLock(SharedMutex& mu) TGNN_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~ExclusiveLock() TGNN_RELEASE() { mu_.unlock(); }
+
+  ExclusiveLock(const ExclusiveLock&) = delete;
+  ExclusiveLock& operator=(const ExclusiveLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII shared hold on a SharedMutex (a cross-batch shard-row read).
+class TGNN_SCOPED_CAPABILITY SharedLock {
+ public:
+  explicit SharedLock(SharedMutex& mu) TGNN_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~SharedLock() TGNN_RELEASE_GENERIC() { mu_.unlock_shared(); }
+
+  SharedLock(const SharedLock&) = delete;
+  SharedLock& operator=(const SharedLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+}  // namespace tgnn::util

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/check.hpp"
+
 namespace tgnn {
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -12,15 +14,16 @@ ThreadPool::ThreadPool(std::size_t threads) {
       for (;;) {
         std::function<void()> task;
         {
-          std::unique_lock lk(mu_);
-          cv_task_.wait(lk, [this] { return stop_ || !tasks_.empty(); });
+          util::MutexLock lk(mu_);
+          while (!stop_ && tasks_.empty()) cv_task_.wait(lk);
           if (stop_ && tasks_.empty()) return;
           task = std::move(tasks_.front());
           tasks_.pop();
         }
         task();
         {
-          std::lock_guard lk(mu_);
+          util::MutexLock lk(mu_);
+          TGNN_DCHECK(in_flight_ > 0, "task completion with zero in flight");
           if (--in_flight_ == 0) cv_done_.notify_all();
         }
       }
@@ -30,7 +33,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lk(mu_);
+    util::MutexLock lk(mu_);
     stop_ = true;
   }
   cv_task_.notify_all();
@@ -39,16 +42,18 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard lk(mu_);
+    util::MutexLock lk(mu_);
     ++in_flight_;
     tasks_.push(std::move(task));
+    TGNN_DCHECK(in_flight_ >= tasks_.size(),
+                "queued tasks exceed the in-flight count");
   }
   cv_task_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lk(mu_);
-  cv_done_.wait(lk, [this] { return in_flight_ == 0; });
+  util::MutexLock lk(mu_);
+  while (in_flight_ != 0) cv_done_.wait(lk);
 }
 
 void ThreadPool::parallel_for(std::size_t n,

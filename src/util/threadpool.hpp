@@ -6,13 +6,14 @@
 // CPU runs). parallel_for partitions [0, n) into contiguous chunks.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace tgnn {
 
@@ -29,24 +30,26 @@ class ThreadPool {
 
   /// Run fn(i) for i in [0, n), partitioned into size() contiguous chunks.
   /// Blocks until all chunks complete. Exceptions in workers terminate.
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn)
+      TGNN_EXCLUDES(mu_);
 
   /// Enqueue a task for asynchronous execution (FIFO per pool; with one
   /// worker this is a strict serial executor — the property the runtime
   /// ServingEngine relies on for chronological state writes).
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) TGNN_EXCLUDES(mu_);
   /// Block until every submitted task has finished.
-  void wait_idle();
+  void wait_idle() TGNN_EXCLUDES(mu_);
 
  private:
-
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mu_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_done_;
-  std::size_t in_flight_ = 0;
-  bool stop_ = false;
+  util::Mutex mu_;
+  util::CondVar cv_task_;  ///< signals: task queued or stop
+  util::CondVar cv_done_;  ///< signals: in_flight_ reached zero
+  std::queue<std::function<void()>> tasks_ TGNN_GUARDED_BY(mu_);
+  /// Tasks submitted but not yet finished (queued + running). Invariant:
+  /// in_flight_ >= tasks_.size(), restored by every queue transition.
+  std::size_t in_flight_ TGNN_GUARDED_BY(mu_) = 0;
+  bool stop_ TGNN_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace tgnn

@@ -1,0 +1,43 @@
+// libFuzzer harness for the backend registry-key parser and the memory
+// budget grammar — the strings users type straight into --backend /
+// --memory_budget. The contract under fuzz: arbitrary input either
+// resolves to a structurally sane ResolvedBackendKey or throws
+// std::invalid_argument; nothing else (no UB casts, no other exception
+// type, no crash).
+//
+// Build: cmake -DTGNN_FUZZ=ON (clang only); run: ./backend_key_fuzz
+// [-max_total_time=30]. CI runs a 30-second smoke per harness.
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "src/runtime/backend.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  // First byte picks the anchoring state size (exercising the "%" unit's
+  // division paths, including total == 0); the rest is the key.
+  if (size == 0) return 0;
+  const std::size_t totals[] = {0, 1, 4096, 1u << 30,
+                                static_cast<std::size_t>(-1)};
+  const std::size_t total = totals[data[0] % 5];
+  const std::string key(reinterpret_cast<const char*>(data + 1), size - 1);
+
+  try {
+    const auto r = tgnn::runtime::resolve_backend_key(
+        key, tgnn::kernels::Precision::kFp32, total);
+    // Structural sanity of anything accepted.
+    if (r.base.find(':') != std::string::npos) __builtin_trap();
+    if (r.display.substr(0, r.base.size()) != r.base) __builtin_trap();
+    if (r.mem_requested == false && r.memory_budget != 0) __builtin_trap();
+  } catch (const std::invalid_argument&) {
+    // The documented rejection path.
+  }
+
+  try {
+    (void)tgnn::runtime::parse_memory_budget(key, total);
+  } catch (const std::invalid_argument&) {
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// libFuzzer harness for the bench CLI case matcher (bench/common.hpp
+// match_cases) — the pure core behind every bench's --backend override.
+// The input is split on newlines into alternating key/label pairs plus a
+// final query string; the properties checked are the matcher's contract:
+// an empty query is the identity, and every surviving case matched the
+// query by key or label (and conversely nothing that matched was dropped).
+//
+// Build: cmake -DTGNN_FUZZ=ON (clang only); run: ./match_cases_fuzz
+// [-max_total_time=30]. CI runs a 30-second smoke per harness.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  std::vector<std::string> lines{""};
+  for (std::size_t i = 0; i < size; ++i) {
+    if (data[i] == '\n')
+      lines.emplace_back();
+    else
+      lines.back().push_back(static_cast<char>(data[i]));
+  }
+  const std::string query = lines.back();
+  lines.pop_back();
+
+  std::vector<tgnn::bench::PlatformCase> cases;
+  for (std::size_t i = 0; i + 1 < lines.size(); i += 2) {
+    tgnn::bench::PlatformCase c;
+    c.key = lines[i];
+    c.label = lines[i + 1];
+    cases.push_back(std::move(c));
+  }
+  const std::size_t n = cases.size();
+  std::size_t expected = 0;
+  for (const auto& c : cases)
+    if (query.empty() || c.key == query || c.label == query) ++expected;
+
+  const auto out = tgnn::bench::match_cases(std::move(cases), query);
+  if (out.size() != expected) __builtin_trap();
+  if (query.empty() && out.size() != n) __builtin_trap();
+  for (const auto& c : out)
+    if (!query.empty() && c.key != query && c.label != query)
+      __builtin_trap();
+  return 0;
+}

@@ -1,0 +1,126 @@
+// The §IV-B cache contract as a falsifiable property: a healthy store
+// passes check_invariants() at every point of its lifecycle, and a
+// deliberately corrupted one — pin forged behind the redundant total,
+// write-back queue shuffled out of chronology, page table desynced — is
+// caught on the next validation. VertexStoreTestPeer is the only code in
+// the tree allowed to reach into the store's guts, and exists purely to
+// prove the validators can actually fire.
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "graph/vertex_store.hpp"
+
+namespace tgnn::graph {
+
+// Friend of VertexStore (declared in vertex_store.hpp): each hook forges
+// exactly one internal inconsistency, taking the store lock like any
+// legitimate mutation path would.
+struct VertexStoreTestPeer {
+  static void forge_pin(VertexStore& s) {
+    util::MutexLock lk(s.mu_);
+    for (auto& fr : s.frames_)
+      if (fr.page >= 0) {
+        ++fr.pins;  // per-frame count moves, total_pins_ does not
+        return;
+      }
+    FAIL() << "no resident frame to corrupt";
+  }
+
+  static void shuffle_writeback_queue(VertexStore& s) {
+    util::MutexLock lk(s.mu_);
+    s.next_seq_ = 10;
+    s.wb_queue_.clear();
+    s.wb_queue_.push_back({0, 5});
+    s.wb_queue_.push_back({1, 3});  // older seq behind a newer one
+  }
+
+  static void desync_page_table(VertexStore& s) {
+    util::MutexLock lk(s.mu_);
+    for (std::size_t p = 0; p < s.num_pages_; ++p)
+      if (s.frame_of_[p] >= 0) {
+        s.frame_of_[p] = -1;  // drop the mapping, leave the frame claiming it
+        return;
+      }
+    FAIL() << "no mapped page to corrupt";
+  }
+
+  static void leak_spill_flag(VertexStore& s) {
+    util::MutexLock lk(s.mu_);
+    s.on_disk_[s.num_pages_ - 1] = 1;  // spilled, but no file was created
+  }
+};
+
+namespace {
+
+constexpr std::size_t kRowBytes = 64;
+
+VertexStore oocore_store() {
+  VertexStoreOptions o;
+  o.rows_per_page = 8;
+  o.budget_bytes = 6 * 8 * kRowBytes;  // 6 frames over 16 pages
+  return {128, kRowBytes, std::move(o)};
+}
+
+std::vector<NodeId> some_rows() { return {0, 1, 9, 17, 33}; }
+
+TEST(VertexStoreInvariants, HealthyStorePassesThroughItsLifecycle) {
+  auto s = oocore_store();
+  ASSERT_TRUE(s.out_of_core());
+  s.check_invariants();
+  const auto rows = some_rows();
+  s.pin_rows(rows);
+  s.check_invariants();
+  for (const NodeId r : rows) *s.row_mut(r) = std::byte{0x5A};
+  s.check_invariants();
+  s.unpin_rows(rows);  // queues write-backs
+  s.check_invariants();
+  s.reset();
+  s.check_invariants();
+}
+
+TEST(VertexStoreInvariants, ResidentStoreIsExemptByDesign) {
+  VertexStore s(16, kRowBytes);  // no budget: flat allocation, no tables
+  EXPECT_FALSE(s.out_of_core());
+  s.check_invariants();
+}
+
+TEST(VertexStoreInvariantsDeathTest, ForgedPinCountIsCaught) {
+  auto s = oocore_store();
+  s.pin_rows(some_rows());
+  VertexStoreTestPeer::forge_pin(s);
+  EXPECT_DEATH(s.check_invariants(),
+               "pin counts disagree with the outstanding-pin total");
+}
+
+TEST(VertexStoreInvariantsDeathTest, OutOfOrderWritebackQueueIsCaught) {
+  auto s = oocore_store();
+  VertexStoreTestPeer::shuffle_writeback_queue(s);
+  EXPECT_DEATH(s.check_invariants(), "out of chronological order");
+}
+
+TEST(VertexStoreInvariantsDeathTest, PageTableDesyncIsCaught) {
+  auto s = oocore_store();
+  s.pin_rows(some_rows());
+  VertexStoreTestPeer::desync_page_table(s);
+  EXPECT_DEATH(s.check_invariants(), "tables disagree");
+}
+
+TEST(VertexStoreInvariantsDeathTest, SpillFlagWithoutFileIsCaught) {
+  auto s = oocore_store();
+  VertexStoreTestPeer::leak_spill_flag(s);
+  EXPECT_DEATH(s.check_invariants(), "never created");
+}
+
+TEST(VertexStoreInvariantsDeathTest, UnbalancedUnpinAbortsUnconditionally) {
+  // Not a validator — the always-on TGNN_CHECK on the unpin path itself.
+  auto s = oocore_store();
+  const std::vector<NodeId> rows{3};
+  s.pin_rows(rows);
+  s.unpin_rows(rows);
+  EXPECT_DEATH(s.unpin_rows(rows), "unpin");
+}
+
+}  // namespace
+}  // namespace tgnn::graph

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Negative compile tests for the clang thread-safety annotations (see
+# thread_safety_neg.cpp). Case 0 (correct locking) must compile; cases 1-3
+# (one deleted/leaked acquisition each) must NOT. Both directions are
+# asserted, so this fails CI either when the analysis misses a violation
+# (annotation rot) or when it rejects correct code.
+#
+# Usage: CXX=clang++ tests/static/run_thread_safety_neg.sh
+set -u
+
+CXX=${CXX:-clang++}
+HERE=$(cd "$(dirname "$0")" && pwd)
+REPO=$(cd "${HERE}/../.." && pwd)
+FLAGS="-std=c++20 -fsyntax-only -I${REPO}/src -Wthread-safety -Werror=thread-safety"
+
+if ! ${CXX} --version 2>/dev/null | grep -qi clang; then
+  echo "error: ${CXX} is not clang (thread-safety analysis unavailable)" >&2
+  exit 2
+fi
+
+compile_case() {
+  # shellcheck disable=SC2086
+  ${CXX} ${FLAGS} -DTGNN_TS_NEG_CASE="$1" "${HERE}/thread_safety_neg.cpp"
+}
+
+fail=0
+if ! compile_case 0; then
+  echo "FAIL: case 0 (correct locking) did not compile" >&2
+  fail=1
+else
+  echo "ok: case 0 (correct locking) compiles"
+fi
+
+for c in 1 2 3; do
+  if compile_case "$c" 2>/dev/null; then
+    echo "FAIL: case $c (deleted/leaked acquisition) compiled cleanly" >&2
+    fail=1
+  else
+    echo "ok: case $c rejected by -Werror=thread-safety"
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "thread-safety negative compile tests FAILED" >&2
+  exit 1
+fi
+echo "thread-safety negative compile tests passed"

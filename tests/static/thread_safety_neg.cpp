@@ -1,0 +1,79 @@
+// Negative compile tests for the thread-safety annotations: this TU is
+// compiled repeatedly by run_thread_safety_neg.sh with clang's
+// -Werror=thread-safety and different -DTGNN_TS_NEG_CASE values. Case 0 is
+// the correct locking discipline and MUST compile; every other case
+// deletes exactly one acquisition (or leaks one) and MUST fail — proving
+// the analysis would catch the corresponding real regression instead of
+// silently accepting it. The driver asserts both directions, so a rotted
+// annotation (one that stops flagging anything) fails CI the same way a
+// locking bug would.
+//
+// Never add this file to a CMake target: gcc compiles the annotations as
+// no-ops and the violation cases would "pass".
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+#ifndef TGNN_TS_NEG_CASE
+#define TGNN_TS_NEG_CASE 0
+#endif
+
+namespace {
+
+// A miniature of the engine's shape: a guarded counter, a REQUIRES
+// helper, and an EXCLUDES public method.
+class Ledger {
+ public:
+  void add_locked(int d) TGNN_EXCLUDES(mu_) {
+    tgnn::util::MutexLock lk(mu_);
+    add_unlocked(d);
+  }
+
+  void add_requires(int d) TGNN_REQUIRES(mu_) { add_unlocked(d); }
+
+  int total() TGNN_EXCLUDES(mu_) {
+    tgnn::util::MutexLock lk(mu_);
+    return n_;
+  }
+
+  tgnn::util::Mutex mu_;
+
+ private:
+  void add_unlocked(int d) TGNN_REQUIRES(mu_) { n_ += d; }
+
+  int n_ TGNN_GUARDED_BY(mu_) = 0;
+};
+
+int drive() {
+  Ledger ledger;
+
+#if TGNN_TS_NEG_CASE == 0
+  // Correct discipline: acquire before every guarded touch.
+  ledger.add_locked(1);
+  {
+    tgnn::util::MutexLock lk(ledger.mu_);
+    ledger.add_requires(2);
+  }
+#elif TGNN_TS_NEG_CASE == 1
+  // VIOLATION: the TGNN_REQUIRES-guarded call with the lock acquisition
+  // removed — the regression the annotations exist to catch.
+  ledger.add_requires(2);
+#elif TGNN_TS_NEG_CASE == 2
+  // VIOLATION: a leaked acquisition — lock() with no matching unlock on
+  // any path out of the function.
+  ledger.mu_.lock();
+  ledger.add_requires(1);
+  return 0;
+#elif TGNN_TS_NEG_CASE == 3
+  // VIOLATION: re-acquiring a capability already held (self-deadlock with
+  // a non-recursive mutex).
+  tgnn::util::MutexLock lk(ledger.mu_);
+  ledger.add_locked(1);
+#else
+#error "unknown TGNN_TS_NEG_CASE"
+#endif
+  return ledger.total();
+}
+
+}  // namespace
+
+int main() { return drive(); }

@@ -1,0 +1,64 @@
+// Contract tests for the TGNN_CHECK / TGNN_DCHECK layer itself: a failed
+// check must abort with a message naming the file and the violated
+// expression (the property every validator in the tree relies on), a
+// passing check must be a true no-op, and an unchecked-build TGNN_DCHECK
+// must not even evaluate its condition.
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tgnn::util {
+namespace {
+
+TEST(Check, PassingCheckIsANoOp) {
+  TGNN_CHECK(1 + 1 == 2);
+  TGNN_CHECK(true, "never shown");
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, FailedCheckAbortsNamingTheExpression) {
+  EXPECT_DEATH(TGNN_CHECK(2 + 2 == 5), "TGNN_CHECK failed");
+  EXPECT_DEATH(TGNN_CHECK(2 + 2 == 5), "2 \\+ 2 == 5");
+  EXPECT_DEATH(TGNN_CHECK(2 + 2 == 5), "check_test");
+}
+
+TEST(CheckDeathTest, FailedCheckCarriesTheMessage) {
+  EXPECT_DEATH(TGNN_CHECK(false, "queue went back in time"),
+               "queue went back in time");
+  const int got = 7;
+  EXPECT_DEATH(TGNN_CHECK(got == 3, "got " + std::to_string(got)), "got 7");
+}
+
+TEST(Check, MessageIsLazilyEvaluated) {
+  // The message expression of a PASSING check must never run — validators
+  // build strings there and sit on hot paths.
+  bool evaluated = false;
+  auto expensive = [&] {
+    evaluated = true;
+    return std::string("msg");
+  };
+  TGNN_CHECK(true, expensive());
+  EXPECT_FALSE(evaluated);
+}
+
+TEST(CheckDeathTest, DcheckFiresExactlyInCheckedBuilds) {
+  if constexpr (kCheckedBuild) {
+    EXPECT_DEATH(TGNN_DCHECK(false, "debug contract"), "debug contract");
+  } else {
+    TGNN_DCHECK(false, "debug contract");  // compiled, not evaluated
+    SUCCEED();
+  }
+}
+
+TEST(Check, UncheckedDcheckDoesNotEvaluateItsCondition) {
+  int calls = 0;
+  auto touch = [&] {
+    ++calls;
+    return true;
+  };
+  TGNN_DCHECK(touch());
+  EXPECT_EQ(calls, kCheckedBuild ? 1 : 0);
+}
+
+}  // namespace
+}  // namespace tgnn::util
