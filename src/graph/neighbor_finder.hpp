@@ -42,6 +42,17 @@ class NeighborFinder {
   /// Total stored interactions of v (degree over all time).
   [[nodiscard]] std::size_t degree(NodeId v) const { return hist_[v].size(); }
 
+  /// Full stored history of v, oldest -> newest (the checkpoint export
+  /// seam — most_recent is a filtered view, this is the raw table row).
+  [[nodiscard]] const std::vector<NeighborHit>& history(NodeId v) const {
+    return hist_[v];
+  }
+  /// Replace v's history wholesale (checkpoint import). Entries must be
+  /// in the chronological order insert() would have left them.
+  void restore_history(NodeId v, std::vector<NeighborHit> hits) {
+    hist_[v] = std::move(hits);
+  }
+
   void clear();
 
  private:

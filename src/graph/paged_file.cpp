@@ -8,17 +8,19 @@
 #include <cstdlib>
 #include <cstring>
 #include <stdexcept>
-#include <system_error>
+
+#include "util/fault_injector.hpp"
 
 namespace tgnn::graph {
 
-namespace {
-
-[[noreturn]] void throw_errno(const char* what) {
-  throw std::system_error(errno, std::generic_category(), what);
-}
-
-}  // namespace
+SpillIoError::SpillIoError(std::string op, std::size_t page, int err)
+    : std::runtime_error(
+          op + (page == kNoPage ? std::string()
+                                : " (page " + std::to_string(page) + ")") +
+          (err != 0 ? std::string(": ") + std::strerror(err) : std::string())),
+      op_(std::move(op)),
+      page_(page),
+      err_(err) {}
 
 PagedFile::PagedFile(std::size_t page_bytes, std::size_t num_pages,
                      std::string dir)
@@ -33,6 +35,7 @@ PagedFile::~PagedFile() {
 
 void PagedFile::ensure_open() {
   if (base_ != nullptr) return;
+  util::fault_point(util::FaultSite::kSpillOpen);
   std::string dir = dir_;
   if (dir.empty()) {
     // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env lookup; nothing
@@ -42,28 +45,42 @@ void PagedFile::ensure_open() {
   }
   std::string templ = dir + "/tgnn_spill_XXXXXX";
   fd_ = ::mkstemp(templ.data());
-  if (fd_ < 0) throw_errno("PagedFile: mkstemp");
+  if (fd_ < 0) throw SpillIoError("PagedFile: mkstemp", SpillIoError::kNoPage,
+                                  errno);
   // Unlink immediately: the fd keeps the inode alive, and the spill data
   // can never outlive (or leak past) the process.
   ::unlink(templ.c_str());
   const std::size_t total = page_bytes_ * num_pages_;
-  if (::ftruncate(fd_, static_cast<off_t>(total)) != 0)
-    throw_errno("PagedFile: ftruncate");
+  if (::ftruncate(fd_, static_cast<off_t>(total)) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;  // leave the file closed so a retry starts clean
+    throw SpillIoError("PagedFile: ftruncate", SpillIoError::kNoPage, err);
+  }
   void* p = ::mmap(nullptr, total, PROT_READ | PROT_WRITE, MAP_SHARED, fd_, 0);
-  if (p == MAP_FAILED) throw_errno("PagedFile: mmap");
+  if (p == MAP_FAILED) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw SpillIoError("PagedFile: mmap", SpillIoError::kNoPage, err);
+  }
   base_ = static_cast<std::byte*>(p);
 }
 
 void PagedFile::write_page(std::size_t page, const std::byte* src) {
-  if (page >= num_pages_) throw std::out_of_range("PagedFile::write_page");
+  if (page >= num_pages_)
+    throw SpillIoError("PagedFile::write_page: page out of range", page, 0);
+  util::fault_point(util::FaultSite::kSpillWrite);
   ensure_open();
   std::memcpy(base_ + page * page_bytes_, src, page_bytes_);
 }
 
 void PagedFile::read_page(std::size_t page, std::byte* dst) const {
-  if (page >= num_pages_) throw std::out_of_range("PagedFile::read_page");
+  if (page >= num_pages_)
+    throw SpillIoError("PagedFile::read_page: page out of range", page, 0);
   if (base_ == nullptr)
-    throw std::logic_error("PagedFile::read_page: no page ever written");
+    throw SpillIoError("PagedFile::read_page: no page ever written", page, 0);
+  util::fault_point(util::FaultSite::kSpillRead);
   std::memcpy(dst, base_ + page * page_bytes_, page_bytes_);
 }
 
@@ -72,9 +89,12 @@ void PagedFile::reset() {
   const std::size_t total = page_bytes_ * num_pages_;
   // Truncate to zero and back: the kernel frees the blocks and the regrown
   // file reads as zeros — same state as a fresh, never-written file.
-  if (::ftruncate(fd_, 0) != 0) throw_errno("PagedFile::reset: ftruncate");
+  if (::ftruncate(fd_, 0) != 0)
+    throw SpillIoError("PagedFile::reset: ftruncate", SpillIoError::kNoPage,
+                       errno);
   if (::ftruncate(fd_, static_cast<off_t>(total)) != 0)
-    throw_errno("PagedFile::reset: ftruncate");
+    throw SpillIoError("PagedFile::reset: ftruncate", SpillIoError::kNoPage,
+                       errno);
 }
 
 }  // namespace tgnn::graph

@@ -14,9 +14,33 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 
 namespace tgnn::graph {
+
+/// Typed spill-I/O failure: every PagedFile error path (mkstemp,
+/// ftruncate, mmap, page-range violations) surfaces as one of these, with
+/// the operation that failed, the page involved (kNoPage for whole-file
+/// operations), and the errno when the kernel supplied one. VertexStore
+/// retries transient injected faults and converts the rest into a clean
+/// batch failure; counted in VertexStoreStats::io_failures.
+class SpillIoError : public std::runtime_error {
+ public:
+  static constexpr std::size_t kNoPage = static_cast<std::size_t>(-1);
+
+  SpillIoError(std::string op, std::size_t page, int err);
+
+  [[nodiscard]] const std::string& op() const { return op_; }
+  /// The page whose transfer failed, or kNoPage for open/reset failures.
+  [[nodiscard]] std::size_t page() const { return page_; }
+  [[nodiscard]] int error_code() const { return err_; }
+
+ private:
+  std::string op_;
+  std::size_t page_;
+  int err_;
+};
 
 class PagedFile {
  public:
@@ -37,10 +61,12 @@ class PagedFile {
   [[nodiscard]] bool open() const { return base_ != nullptr; }
 
   /// Copy one page out to the file; creates + maps the file on first call.
+  /// Throws SpillIoError on any failure (including injected spill faults).
   void write_page(std::size_t page, const std::byte* src);
   /// Copy one page back in. Only valid for pages previously written
   /// (the caller tracks which — reading an unwritten page returns the
   /// file's zeros, but that is a contract violation, not a feature).
+  /// Throws SpillIoError on any failure.
   void read_page(std::size_t page, std::byte* dst) const;
 
   /// Drop all spilled content (punch the whole file back to zero length

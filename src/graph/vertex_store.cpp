@@ -4,13 +4,31 @@
 #include <stdexcept>
 
 #include "util/check.hpp"
+#include "util/fault_injector.hpp"
 
 namespace tgnn::graph {
 
 namespace {
 constexpr std::size_t kMinFrames = 4;
+/// Bounded retry budget for transient spill-I/O faults. Permanent faults
+/// and real SpillIoErrors are never retried here — they propagate to the
+/// caller as the typed failure.
+constexpr int kSpillRetries = 3;
 
 std::size_t round_up8(std::size_t n) { return (n + 7) & ~std::size_t{7}; }
+
+template <class F>
+void retry_spill(F&& op, VertexStoreStats& stats) {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      op();
+      return;
+    } catch (const util::InjectedFault& e) {
+      if (!e.transient() || attempt >= kSpillRetries) throw;
+      ++stats.io_retries;
+    }
+  }
+}
 }  // namespace
 
 VertexStore::VertexStore(std::size_t num_rows, std::size_t row_bytes,
@@ -96,16 +114,19 @@ std::size_t VertexStore::frame_for(std::size_t page, bool prefetch) {
   const std::size_t f = find_victim_frame(/*allow_overcommit=*/!prefetch);
   Frame& fr = frames_[f];
   if (fr.page >= 0) evict_frame(f);
-  fr.page = static_cast<std::int64_t>(page);
-  fr.ref = true;
   fr.dirty.store(false, std::memory_order_relaxed);
   fr.queued_seq.store(0, std::memory_order_relaxed);
+  // Fill BEFORE claiming the page in the tables: a spill-read failure
+  // leaves the frame free and every table consistent (the typed error
+  // propagates as a clean batch failure, not a corrupted cache).
   if (on_disk_[page] != 0) {
-    file_->read_page(page, fr.data.get());
+    retry_spill([&] { file_->read_page(page, fr.data.get()); }, stats_);
     ++stats_.spill_page_reads;
   } else {
     std::memset(fr.data.get(), 0, page_bytes_);
   }
+  fr.page = static_cast<std::int64_t>(page);
+  fr.ref = true;
   frame_of_[page] = static_cast<std::int32_t>(f);
   // Publish AFTER the content is in place: a pinned-page reader that
   // loads this pointer sees a fully-faulted frame.
@@ -155,7 +176,16 @@ std::size_t VertexStore::find_victim_frame(bool allow_overcommit) {
 void VertexStore::evict_frame(std::size_t f) {
   Frame& fr = frames_[f];
   TGNN_CHECK(fr.pins == 0, "evicting a pinned frame");
-  if (fr.dirty.load(std::memory_order_relaxed)) write_back(f);
+  if (fr.dirty.load(std::memory_order_relaxed)) {
+    try {
+      write_back(f);
+    } catch (...) {
+      // Eviction must not lose the only copy: the frame stays resident
+      // and dirty, the typed error propagates to the faulting caller.
+      ++stats_.io_failures;
+      throw;
+    }
+  }
   frame_of_[static_cast<std::size_t>(fr.page)] = -1;
   page_frame_[static_cast<std::size_t>(fr.page)].store(
       nullptr, std::memory_order_release);
@@ -165,7 +195,10 @@ void VertexStore::evict_frame(std::size_t f) {
 
 void VertexStore::write_back(std::size_t f) {
   Frame& fr = frames_[f];
-  file_->write_page(static_cast<std::size_t>(fr.page), fr.data.get());
+  retry_spill(
+      [&] { file_->write_page(static_cast<std::size_t>(fr.page),
+                              fr.data.get()); },
+      stats_);
   on_disk_[static_cast<std::size_t>(fr.page)] = 1;
   ++stats_.spill_page_writes;
   fr.dirty.store(false, std::memory_order_relaxed);
@@ -185,22 +218,48 @@ void VertexStore::flush_queue(std::size_t max_entries) {
     Frame& fr = frames_[static_cast<std::size_t>(f)];
     if (fr.queued_seq.load(std::memory_order_relaxed) != e.seq) continue;
     if (fr.pins > 0) continue;  // re-pinned: its unpin re-queues
-    write_back(static_cast<std::size_t>(f));
+    try {
+      write_back(static_cast<std::size_t>(f));
+    } catch (const std::exception&) {
+      // Permanent write-back failure: the entry goes back at the head
+      // (its seq still matches the frame's queued_seq, and it is older
+      // than everything behind it) and this drain stops. The page stays
+      // resident and dirty — nothing is lost, the next flush retries.
+      ++stats_.io_failures;
+      wb_queue_.push_front(e);
+      return;
+    }
   }
 }
 
 void VertexStore::pin_rows(std::span<const NodeId> rows) {
   if (resident_) return;
   util::MutexLock lk(mu_);
-  for (const NodeId r : rows) {
-    const std::size_t page = static_cast<std::size_t>(r) / rows_per_page_;
-    if (frame_of_[page] >= 0)
-      ++stats_.hits;
-    else
-      ++stats_.misses;
-    Frame& fr = frames_[frame_for(page, /*prefetch=*/false)];
-    ++fr.pins;
-    ++total_pins_;
+  std::size_t done = 0;
+  try {
+    for (; done < rows.size(); ++done) {
+      const std::size_t page =
+          static_cast<std::size_t>(rows[done]) / rows_per_page_;
+      if (frame_of_[page] >= 0)
+        ++stats_.hits;
+      else
+        ++stats_.misses;
+      Frame& fr = frames_[frame_for(page, /*prefetch=*/false)];
+      ++fr.pins;
+      ++total_pins_;
+    }
+  } catch (...) {
+    // Strong guarantee: a spill fault mid-batch rolls the already-taken
+    // pins back, so the caller's abort path never sees a half-pinned
+    // batch (and no pin ever leaks into the eviction accounting).
+    for (std::size_t i = 0; i < done; ++i) {
+      const std::size_t page =
+          static_cast<std::size_t>(rows[i]) / rows_per_page_;
+      Frame& fr = frames_[static_cast<std::size_t>(frame_of_[page])];
+      --fr.pins;
+      --total_pins_;
+    }
+    throw;
   }
 }
 
@@ -277,6 +336,10 @@ void VertexStore::prefetch_rows(std::span<const NodeId> rows) {
       ++stats_.prefetch_loads;
     } catch (const std::logic_error&) {
       return;  // everything pinned right now; prefetch is best-effort
+    } catch (const util::InjectedFault&) {
+      return;  // spill fault on an advisory load: give up, pin will retry
+    } catch (const SpillIoError&) {
+      return;
     }
   }
 }

@@ -94,6 +94,13 @@ struct VertexStoreStats {
   /// Frames allocated past the configured budget because every frame was
   /// pinned at fault time (budget smaller than one batch's footprint).
   std::uint64_t overcommit_frames = 0;
+  /// Spill-I/O attempts retried after a transient (injected) fault.
+  std::uint64_t io_retries = 0;
+  /// Spill-I/O operations that failed permanently. A failed eviction
+  /// write-back propagates as a typed error (the frame stays resident and
+  /// dirty — no data loss); a failed queue flush re-queues the entry for
+  /// the next drain attempt.
+  std::uint64_t io_failures = 0;
 
   [[nodiscard]] double hit_rate() const {
     const std::uint64_t total = hits + misses;
@@ -110,6 +117,8 @@ struct VertexStoreStats {
     prefetch_hits += o.prefetch_hits;
     prefetch_loads += o.prefetch_loads;
     overcommit_frames += o.overcommit_frames;
+    io_retries += o.io_retries;
+    io_failures += o.io_failures;
     return *this;
   }
 };
@@ -140,7 +149,9 @@ class VertexStore {
 
   /// Fault in + reference-count the pages covering `rows`. Duplicate ids
   /// pin (and later must unpin) once each — pin/unpin calls are symmetric
-  /// per id, not per unique page.
+  /// per id, not per unique page. Strong exception guarantee: a spill
+  /// fault mid-call rolls back every pin the call already took, so the
+  /// batch either holds all its pins or none.
   void pin_rows(std::span<const NodeId> rows) TGNN_EXCLUDES(mu_);
   void unpin_rows(std::span<const NodeId> rows) TGNN_EXCLUDES(mu_);
   /// Best-effort fault-in without pinning (the NeighborGather-driven

@@ -72,6 +72,18 @@ class CpuBackend final : public Backend, public StagedBackend {
     return runner_.engine().state().store_stats();
   }
 
+  bool set_precision(kernels::Precision p) override {
+    runner_.engine().set_precision(p);
+    return true;
+  }
+  [[nodiscard]] kernels::Precision precision() const override {
+    return runner_.engine().precision();
+  }
+
+  [[nodiscard]] core::RuntimeState* runtime_state() override {
+    return &runner_.engine().state();
+  }
+
   // ---- StagedBackend --------------------------------------------------
   void prepare_pipeline(std::size_t slots,
                         std::size_t max_batch_edges) override {
@@ -101,6 +113,9 @@ class CpuBackend final : public Backend, public StagedBackend {
   }
   void finish_batch(std::size_t slot) override {
     (void)runner_.engine().stage_finish(slots_.at(slot));
+  }
+  void abort_batch(std::size_t slot) override {
+    runner_.engine().stage_abort(slots_.at(slot));
   }
   void read_footprint(const graph::BatchRange& r,
                       std::vector<graph::NodeId>& out) const override {
@@ -153,6 +168,10 @@ class GpuSimBackend final : public Backend {
   }
   [[nodiscard]] const data::Dataset& dataset() const override {
     return engine_.dataset();
+  }
+
+  [[nodiscard]] core::RuntimeState* runtime_state() override {
+    return &engine_.state();
   }
 
  private:
@@ -258,6 +277,10 @@ class FpgaBackend final : public Backend {
   [[nodiscard]] const data::Dataset& dataset() const override { return ds_; }
 
   [[nodiscard]] fpga::Accelerator& accelerator() { return acc_; }
+
+  [[nodiscard]] core::RuntimeState* runtime_state() override {
+    return &acc_.engine().state();
+  }
 
  private:
   std::string device_key_;

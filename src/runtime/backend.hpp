@@ -77,6 +77,28 @@ class Backend {
   [[nodiscard]] virtual graph::VertexStoreStats store_stats() const {
     return {};
   }
+
+  /// Switch the numeric mode of the hot path at runtime — the serving
+  /// engine's graceful-degradation seam (fp32 -> bf16 -> int8 under
+  /// sustained overload, and back up when pressure clears). Must only be
+  /// called with no batch in flight. Returns false when the backend has no
+  /// runtime-switchable precision (the modelled platforms) — the engine
+  /// then disables degradation rather than erroring.
+  virtual bool set_precision(kernels::Precision p) {
+    (void)p;
+    return false;
+  }
+  /// Numeric mode the hot path currently runs in (kFp32 for backends
+  /// without a switchable precision).
+  [[nodiscard]] virtual kernels::Precision precision() const {
+    return kernels::Precision::kFp32;
+  }
+
+  /// The engine's mutable per-vertex state, for checkpoint/restore through
+  /// core::save_state / load_state. Null on modelled platforms that keep
+  /// no restorable state of their own (apan); the engine-backed keys and
+  /// simulators expose theirs.
+  [[nodiscard]] virtual core::RuntimeState* runtime_state() { return nullptr; }
 };
 
 /// A backend that can execute several batches CONCURRENTLY over one shared
@@ -148,6 +170,12 @@ class StagedBackend {
   virtual void run_stage(core::Stage s, std::size_t slot) = 0;
   /// Release the slot's per-batch result; the slot is then reusable.
   virtual void finish_batch(std::size_t slot) = 0;
+  /// Abandon the slot's batch after a faulted stage: release its pin
+  /// window and clear the context. Legal at any point before kDecode has
+  /// run — stages 0..2 write only the slot's context, so an aborted batch
+  /// leaves per-vertex state untouched (no partial commit, chronology
+  /// preserved). The slot is then reusable.
+  virtual void abort_batch(std::size_t slot) = 0;
 
   /// Vertices the batch will READ beyond its own endpoints (the sampled
   /// temporal neighbors of every endpoint, from current state). Only safe

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <stdexcept>
+#include <thread>
 #include <unordered_set>
 
-#include "runtime/stream_result.hpp"
+#include "tgnn/serialize.hpp"
 #include "util/check.hpp"
+#include "util/fault_injector.hpp"
 
 namespace tgnn::runtime {
 
@@ -86,6 +89,27 @@ ServingEngine::ServingEngine(Backend& backend, ServingOptions opts)
         "ServingEngine: workers > 1 requires a ConcurrentBackend "
         "(e.g. \"sharded-cpu\"); backend '" +
         backend_.name() + "' is not one");
+  if (opts_.admission == AdmissionPolicy::kShed && opts_.shed_wait_s < 0.0)
+    throw std::invalid_argument("ServingEngine: shed_wait_s must be >= 0");
+  if (opts_.admission == AdmissionPolicy::kDeadline && opts_.deadline_s <= 0.0)
+    throw std::invalid_argument("ServingEngine: deadline_s must be > 0");
+  if (opts_.degrade_under_overload &&
+      !(opts_.degrade_low < opts_.degrade_high))
+    throw std::invalid_argument(
+        "ServingEngine: degrade_low must be < degrade_high");
+  {
+    // Degradation ladder, anchored at the backend's base numeric mode.
+    // One rung means "never degrade" — either the option is off or the
+    // backend already serves int8.
+    util::MutexLock lk(mu_);
+    ladder_.push_back(backend_.precision());
+    if (opts_.degrade_under_overload) {
+      if (ladder_.front() == kernels::Precision::kFp32)
+        ladder_.push_back(kernels::Precision::kBf16);
+      if (ladder_.front() != kernels::Precision::kInt8)
+        ladder_.push_back(kernels::Precision::kInt8);
+    }
+  }
   if (opts_.pipelined) {
     if (staged_ == nullptr)
       throw std::invalid_argument(
@@ -139,20 +163,21 @@ void ServingEngine::stop() {
   // The scheduler flushes and completes everything still queued or
   // mid-pipeline (next_batch keeps handing out batches until the queue is
   // empty), closes the stage FIFOs, and the workers drain them — so this
-  // returns only after every submitted request has been served.
+  // returns only after every submitted request has been resolved.
   pool_.wait_idle();
 }
 
-void ServingEngine::submit(std::size_t edge_index) {
-  util::MutexLock lk(mu_);
+void ServingEngine::check_submit_locked(std::size_t edge_index) const {
+  if (stop_)
+    throw std::logic_error("ServingEngine::submit: engine is stopped");
   if (have_origin_ && edge_index != next_index_)
     throw std::invalid_argument(
         "ServingEngine::submit: requests must arrive in stream order (got " +
         std::to_string(edge_index) + ", expected " +
         std::to_string(next_index_) + ")");
-  while (!stop_ && queue_.size() >= opts_.queue_capacity) cv_state_.wait(lk);
-  if (stop_)
-    throw std::logic_error("ServingEngine::submit: engine is stopped");
+}
+
+void ServingEngine::enqueue_locked(std::size_t edge_index) {
   have_origin_ = true;
   next_index_ = edge_index + 1;
   const double now = clock_.seconds();
@@ -160,6 +185,62 @@ void ServingEngine::submit(std::size_t edge_index) {
   queue_.push_back({edge_index, now});
   peak_queue_depth_ = std::max(peak_queue_depth_, queue_.size());
   cv_submit_.notify_all();
+}
+
+bool ServingEngine::wait_for_space(util::MutexLock& lk, double timeout_s) {
+  if (queue_.size() < opts_.queue_capacity) return true;
+  const double deadline = clock_.seconds() + std::max(timeout_s, 0.0);
+  while (!stop_ && queue_.size() >= opts_.queue_capacity) {
+    const double remaining = deadline - clock_.seconds();
+    if (remaining <= 0.0) return false;
+    cv_state_.wait_for(lk, std::chrono::duration<double>(remaining));
+  }
+  return !stop_ && queue_.size() < opts_.queue_capacity;
+}
+
+bool ServingEngine::submit(std::size_t edge_index) {
+  util::MutexLock lk(mu_);
+  check_submit_locked(edge_index);
+  if (opts_.admission == AdmissionPolicy::kShed) {
+    if (!wait_for_space(lk, opts_.shed_wait_s)) {
+      if (stop_)
+        throw std::logic_error("ServingEngine::submit: engine is stopped");
+      // Queue still full after the bounded wait: shed. The request is
+      // CONSUMED — the cursor advances so the stream stays in order and
+      // the caller moves on to the successor index.
+      have_origin_ = true;
+      next_index_ = edge_index + 1;
+      outcomes_.push_back({edge_index, RequestOutcome::kShed});
+      ++shed_;
+      return false;
+    }
+  } else {
+    while (!stop_ && queue_.size() >= opts_.queue_capacity) cv_state_.wait(lk);
+  }
+  if (stop_)
+    throw std::logic_error("ServingEngine::submit: engine is stopped");
+  enqueue_locked(edge_index);
+  return true;
+}
+
+bool ServingEngine::submit(std::size_t edge_index, double timeout_s) {
+  util::MutexLock lk(mu_);
+  check_submit_locked(edge_index);
+  if (!wait_for_space(lk, timeout_s)) {
+    if (stop_)
+      throw std::logic_error("ServingEngine::submit: engine is stopped");
+    return false;  // timed out; NOT consumed — the caller may retry
+  }
+  enqueue_locked(edge_index);
+  return true;
+}
+
+bool ServingEngine::try_submit(std::size_t edge_index) {
+  util::MutexLock lk(mu_);
+  check_submit_locked(edge_index);
+  if (queue_.size() >= opts_.queue_capacity) return false;  // NOT consumed
+  enqueue_locked(edge_index);
+  return true;
 }
 
 void ServingEngine::drain() {
@@ -173,37 +254,128 @@ void ServingEngine::drain() {
   while (!queue_.empty() || in_flight_ != 0) cv_state_.wait(lk);
 }
 
-bool ServingEngine::next_batch(util::MutexLock& lk, graph::BatchRange& range,
-                               std::vector<double>& arrivals) {
-  while (!stop_ && queue_.empty()) cv_submit_.wait(lk);
-  if (queue_.empty()) return false;  // only reachable when stopping
-  // Coalesce: hold the batch open until it is full, the oldest pending
-  // request hits the flush deadline, or a drain/stop forces a flush.
-  while (!stop_ && !flush_ && queue_.size() < opts_.max_batch) {
-    const double age = clock_.seconds() - queue_.front().arrival_s;
-    const double remaining = opts_.max_wait_s - age;
-    if (remaining <= 0.0) break;
-    cv_submit_.wait_for(lk, std::chrono::duration<double>(remaining));
-  }
-
-  const std::size_t n = std::min(queue_.size(), opts_.max_batch);
-  // Submission order is stream order, so the first n pending requests are
-  // a contiguous chronological range.
-  range = {queue_.front().index, queue_.front().index + n};
-  arrivals.clear();
-  arrivals.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    arrivals.push_back(queue_.front().arrival_s);
-    queue_.pop_front();
-  }
-  if (queue_.empty()) flush_ = false;  // forced flush fully served
-  ++in_flight_;                        // formed => counted until completed
-  peak_in_flight_ = std::max(peak_in_flight_, in_flight_);
-  cv_state_.notify_all();  // queue space freed for blocked submitters
-  return true;
+std::size_t ServingEngine::contiguous_run_locked() const {
+  std::size_t n = 1;
+  while (n < queue_.size() && n < opts_.max_batch &&
+         queue_[n].index == queue_[n - 1].index + 1)
+    ++n;
+  return n;
 }
 
-void ServingEngine::record_batch(const std::vector<double>& arrivals,
+void ServingEngine::expire_stale_locked() {
+  const double now = clock_.seconds();
+  bool dropped = false;
+  while (!queue_.empty() &&
+         now - queue_.front().arrival_s > opts_.deadline_s) {
+    outcomes_.push_back({queue_.front().index, RequestOutcome::kExpired});
+    ++expired_;
+    queue_.pop_front();
+    dropped = true;
+  }
+  // Space freed: wake blocked submitters, and a drain() whose last pending
+  // requests just expired.
+  if (dropped) cv_state_.notify_all();
+}
+
+bool ServingEngine::next_batch(util::MutexLock& lk, graph::BatchRange& range,
+                               std::vector<double>& arrivals) {
+  for (;;) {
+    while (!stop_ && queue_.empty()) cv_submit_.wait(lk);
+    if (queue_.empty()) return false;  // only reachable when stopping
+
+    // kDeadline: a request whose queue wait already exceeds the budget is
+    // dropped before dispatch (also during drain/stop — serving it late
+    // would be worse than the typed drop). Arrival times are monotone, so
+    // the expired set is exactly a prefix.
+    if (opts_.admission == AdmissionPolicy::kDeadline) {
+      expire_stale_locked();
+      if (queue_.empty()) continue;  // everything pending had expired
+    }
+
+    // Coalesce: hold the batch open until the leading contiguous run is
+    // full, the oldest pending request hits the flush deadline, or a
+    // drain/stop forces a flush. An index gap (left by a shed request)
+    // caps the batch early — a BatchRange must be contiguous and the run
+    // cannot grow past the gap. Under kDeadline the wait is also bounded
+    // by the front request's remaining budget so expiry happens on time.
+    bool expired_front = false;
+    while (!stop_ && !flush_) {
+      const std::size_t run = contiguous_run_locked();
+      if (run >= opts_.max_batch) break;
+      if (run < queue_.size()) break;  // gap: waiting cannot extend the run
+      const double age = clock_.seconds() - queue_.front().arrival_s;
+      double remaining = opts_.max_wait_s - age;
+      if (opts_.admission == AdmissionPolicy::kDeadline) {
+        const double budget = opts_.deadline_s - age;
+        if (budget <= 0.0) {
+          expired_front = true;
+          break;
+        }
+        remaining = std::min(remaining, budget);
+      }
+      if (remaining <= 0.0) break;
+      cv_submit_.wait_for(lk, std::chrono::duration<double>(remaining));
+    }
+    if (expired_front) continue;  // sweep the expired prefix, then re-form
+
+    const std::size_t n = contiguous_run_locked();
+    range = {queue_.front().index, queue_.front().index + n};
+    arrivals.clear();
+    arrivals.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      arrivals.push_back(queue_.front().arrival_s);
+      queue_.pop_front();
+    }
+    if (queue_.empty()) flush_ = false;  // forced flush fully served
+    ++in_flight_;                        // formed => counted until completed
+    peak_in_flight_ = std::max(peak_in_flight_, in_flight_);
+    maybe_degrade();
+    cv_state_.notify_all();  // queue space freed for blocked submitters
+    return true;
+  }
+}
+
+void ServingEngine::maybe_degrade() {
+  if (ladder_.size() <= 1) return;  // off, or the backend cannot degrade
+  const double fill = static_cast<double>(queue_.size()) /
+                      static_cast<double>(opts_.queue_capacity);
+  if (fill >= opts_.degrade_high) {
+    ++pressure_run_;
+    clear_run_ = 0;
+  } else if (fill <= opts_.degrade_low) {
+    ++clear_run_;
+    pressure_run_ = 0;
+  } else {
+    pressure_run_ = 0;
+    clear_run_ = 0;
+  }
+  std::size_t target = degrade_level_;
+  if (pressure_run_ >= opts_.degrade_patience &&
+      degrade_level_ + 1 < ladder_.size())
+    target = degrade_level_ + 1;
+  else if (clear_run_ >= opts_.degrade_patience && degrade_level_ > 0)
+    target = degrade_level_ - 1;
+  if (target == degrade_level_) return;
+  // Precision flips require backend quiescence. The only point this
+  // scheduler can guarantee it is right after batch formation when the
+  // formed batch is the sole in-flight work and nothing is dispatched —
+  // always true in serial mode, opportunistic (empty pipeline / idle
+  // lanes) otherwise. The flip happens under mu_: set_precision only
+  // rebuilds the model's precision caches, takes no engine lock, and
+  // holding mu_ keeps stats()'s precision read race-free.
+  if (in_flight_ != 1 || executing_ != 0) return;
+  pressure_run_ = 0;
+  clear_run_ = 0;
+  if (!backend_.set_precision(ladder_[target])) {
+    ladder_.resize(1);  // backend refused: never try again
+    return;
+  }
+  if (target > degrade_level_) ++degrade_steps_;
+  degrade_level_ = target;
+}
+
+void ServingEngine::record_batch(const graph::BatchRange& range,
+                                 const std::vector<double>& arrivals,
                                  double dispatch_s, double service_s) {
   const double done = clock_.seconds();
   for (double a : arrivals) {
@@ -212,10 +384,51 @@ void ServingEngine::record_batch(const std::vector<double>& arrivals,
     queue_waits_.push_back(wait);
     services_.push_back(service_s);
   }
+  for (std::size_t i = range.begin; i < range.end; ++i)
+    outcomes_.push_back({i, RequestOutcome::kServed});
   last_done_s_ = std::max(last_done_s_, done);
   TGNN_DCHECK(in_flight_ > 0, "batch completion with none in flight");
   --in_flight_;
   cv_state_.notify_all();
+}
+
+void ServingEngine::fail_batch(const graph::BatchRange& range) {
+  for (std::size_t i = range.begin; i < range.end; ++i)
+    outcomes_.push_back({i, RequestOutcome::kFailed});
+  failed_ += range.size();
+  last_done_s_ = std::max(last_done_s_, clock_.seconds());
+  TGNN_DCHECK(in_flight_ > 0, "batch failure with none in flight");
+  --in_flight_;
+  cv_state_.notify_all();
+}
+
+bool ServingEngine::run_with_retries(const std::function<void()>& op) {
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      op();
+      return true;
+    } catch (const util::InjectedFault& e) {
+      if (e.transient() && attempt < opts_.fault_retries) {
+        {
+          util::MutexLock lk(mu_);
+          ++fault_retries_;
+        }
+        if (opts_.retry_backoff_s > 0.0)
+          std::this_thread::sleep_for(std::chrono::duration<double>(
+              std::ldexp(opts_.retry_backoff_s, static_cast<int>(attempt))));
+        continue;
+      }
+      util::MutexLock lk(mu_);
+      last_error_ = e.what();
+      return false;
+    } catch (const std::exception& e) {
+      // Anything else — a SpillIoError that outlived the store's own
+      // retries, a backend error — is permanent for this batch.
+      util::MutexLock lk(mu_);
+      last_error_ = e.what();
+      return false;
+    }
+  }
 }
 
 void ServingEngine::scheduler_loop() {
@@ -236,10 +449,17 @@ void ServingEngine::scheduler_loop() {
     peak_executing_ = std::max(peak_executing_, executing_);
     lk.unlock();
     const double dispatch_s = clock_.seconds();
-    const BatchOutput out = backend_.process_batch(range);
+    BatchOutput out;
+    const bool ok = run_with_retries([&] {
+      util::fault_point(util::FaultSite::kStageExec);
+      out = backend_.process_batch(range);
+    });
     lk.lock();
     executing_ = 0;
-    record_batch(arrivals, dispatch_s, out.latency_s);
+    if (ok)
+      record_batch(range, arrivals, dispatch_s, out.latency_s);
+    else
+      fail_batch(range);
   }
 }
 
@@ -294,7 +514,11 @@ void ServingEngine::scheduler_loop_parallel() {
     lk.unlock();
     pool_.submit([this, &cb, lane, range, wfp, rfp, dispatch_s,
                   batch_arrivals = arrivals] {
-      const BatchOutput out = cb.process_batch_on(lane, range);
+      BatchOutput out;
+      const bool ok = run_with_retries([&] {
+        util::fault_point(util::FaultSite::kStageExec);
+        out = cb.process_batch_on(lane, range);
+      });
       util::MutexLock done_lk(mu_);
       for (graph::NodeId v : wfp) {
         TGNN_DCHECK(write_marks_[v] > 0, "write-mark release underflow");
@@ -304,7 +528,10 @@ void ServingEngine::scheduler_loop_parallel() {
       for (graph::NodeId v : rfp) --full_marks_[v];
       free_lanes_.push_back(lane);
       --executing_;
-      record_batch(batch_arrivals, dispatch_s, out.latency_s);
+      if (ok)
+        record_batch(range, batch_arrivals, dispatch_s, out.latency_s);
+      else
+        fail_batch(range);
     });
     lk.lock();
   }
@@ -368,6 +595,7 @@ void ServingEngine::scheduler_loop_pipelined() {
     meta.wfp.swap(wfp);
     meta.rfp.swap(rfp);
     meta.arrivals.swap(arrivals);
+    meta.range = range;
     meta.dispatch_s = clock_.seconds();
     if constexpr (util::kCheckedBuild) audit_in_flight_footprints();
 
@@ -379,8 +607,21 @@ void ServingEngine::scheduler_loop_pipelined() {
     // all-resident store.
     sb.prefetch_rows(meta.wfp);
     if (!meta.rfp.empty()) sb.prefetch_rows(meta.rfp);
-    sb.begin_batch(slot, range);   // reads only the immutable stream
-    stage_q_[0]->push(slot);       // stalls while the first stage is busy
+    // Pipeline entry runs under the same retry envelope as the stages:
+    // begin_batch reads only the immutable stream, and the handoff into
+    // the first FIFO is a fault site of its own. A permanent fault here
+    // aborts the batch before any stage ran.
+    bool ok = run_with_retries([&] {
+      util::fault_point(util::FaultSite::kStageExec);
+      sb.begin_batch(slot, range);
+    });
+    if (ok)
+      ok = run_with_retries(
+          [] { util::fault_point(util::FaultSite::kChannelHandoff); });
+    if (ok)
+      stage_q_[0]->push(slot);  // stalls while the first stage is busy
+    else
+      abort_slot(slot);
     lk.lock();
   }
   // Stream over (stop with an empty queue): close the pipe; the close
@@ -389,11 +630,51 @@ void ServingEngine::scheduler_loop_pipelined() {
   stage_q_[0]->close();
 }
 
+void ServingEngine::abort_slot(std::size_t slot) {
+  // Backend first (needs no engine lock): release the slot's pins and
+  // scratch. Stages before Decode write only the slot's context, so no
+  // persistent state was committed — per-vertex chronology is intact and
+  // the stream simply continues past the failed batch.
+  staged_->abort_batch(slot);
+  util::MutexLock lk(mu_);
+  SlotMeta& meta = slot_meta_[slot];
+  for (graph::NodeId v : meta.wfp) {
+    TGNN_DCHECK(write_marks_[v] > 0, "write-mark release underflow");
+    --write_marks_[v];
+    --full_marks_[v];
+  }
+  for (graph::NodeId v : meta.rfp) --full_marks_[v];
+  fail_batch(meta.range);
+  meta.wfp.clear();
+  meta.rfp.clear();
+  meta.arrivals.clear();
+  free_lanes_.push_back(slot);
+  --executing_;
+}
+
 void ServingEngine::stage_worker(std::size_t k) {
   StagedBackend& sb = *staged_;
   while (auto slot = stage_q_[k]->pop()) {
-    sb.run_stage(static_cast<core::Stage>(k), *slot);
+    // The stage body is a fault site: transient faults are retried before
+    // the stage runs (the fault point precedes the work, so a retry never
+    // re-executes a half-run stage); a permanent fault aborts the batch.
+    const bool ran = run_with_retries([&] {
+      util::fault_point(util::FaultSite::kStageExec);
+      sb.run_stage(static_cast<core::Stage>(k), *slot);
+    });
+    if (!ran) {
+      abort_slot(*slot);
+      continue;
+    }
     if (k + 1 < core::kNumStages) {
+      // Stage-channel handoff is the third fault site — the software
+      // analogue of a dropped FIFO beat between hardware modules.
+      const bool handed = run_with_retries(
+          [] { util::fault_point(util::FaultSite::kChannelHandoff); });
+      if (!handed) {
+        abort_slot(*slot);
+        continue;
+      }
       stage_q_[k + 1]->push(*slot);
       continue;
     }
@@ -410,7 +691,7 @@ void ServingEngine::stage_worker(std::size_t k) {
       --full_marks_[v];
     }
     for (graph::NodeId v : meta.rfp) --full_marks_[v];
-    record_batch(meta.arrivals, meta.dispatch_s,
+    record_batch(meta.range, meta.arrivals, meta.dispatch_s,
                  clock_.seconds() - meta.dispatch_s);
     // Emptying the meta is what marks the slot free for the hazard audit's
     // occupancy notion — do it before parking the slot.
@@ -421,6 +702,37 @@ void ServingEngine::stage_worker(std::size_t k) {
     --executing_;
   }
   if (k + 1 < core::kNumStages) stage_q_[k + 1]->close();
+}
+
+std::uint64_t ServingEngine::checkpoint(const std::string& path) {
+  core::RuntimeState* state = backend_.runtime_state();
+  if (state == nullptr)
+    throw std::logic_error("ServingEngine::checkpoint: backend '" +
+                           backend_.name() +
+                           "' does not expose its runtime state");
+  // Quiesce: queue empty, nothing in flight, every write committed. The
+  // caller must not submit concurrently with the snapshot.
+  drain();
+  std::uint64_t cursor = 0;
+  {
+    util::MutexLock lk(mu_);
+    cursor = next_index_;
+  }
+  if (!core::save_state(path, *state, cursor))
+    throw std::runtime_error("ServingEngine::checkpoint: cannot write '" +
+                             path + "'");
+  return cursor;
+}
+
+std::uint64_t restore_backend(Backend& backend, const std::string& path) {
+  core::RuntimeState* state = backend.runtime_state();
+  if (state == nullptr)
+    throw std::logic_error("restore_backend: backend '" + backend.name() +
+                           "' does not expose its runtime state");
+  std::uint64_t cursor = 0;
+  if (!core::load_state(path, *state, cursor))
+    throw std::runtime_error("restore_backend: cannot read '" + path + "'");
+  return cursor;
 }
 
 ServingStats ServingEngine::stats() const {
@@ -435,6 +747,14 @@ ServingStats ServingEngine::stats() const {
   s.peak_parallel_batches = peak_executing_;
   s.peak_in_flight_batches = peak_in_flight_;
   s.peak_queue_depth = peak_queue_depth_;
+  s.num_shed = shed_;
+  s.num_expired = expired_;
+  s.num_failed = failed_;
+  s.degrade_steps = degrade_steps_;
+  s.fault_retries = fault_retries_;
+  // Under mu_ so a concurrent degradation step (which flips under mu_)
+  // cannot race this read.
+  s.precision = backend_.precision();
   // Idle engine (or every batch still in flight): all-zero stats rather
   // than 0/0 = NaN percentiles and means. percentile_of itself returns 0
   // on an empty sample set, but the explicit gate keeps the contract
@@ -466,6 +786,16 @@ std::vector<double> ServingEngine::request_latency_s() const {
 std::vector<graph::BatchRange> ServingEngine::batch_log() const {
   util::MutexLock lk(mu_);
   return batches_;
+}
+
+std::vector<OutcomeRecord> ServingEngine::outcome_log() const {
+  util::MutexLock lk(mu_);
+  return outcomes_;
+}
+
+std::string ServingEngine::last_error() const {
+  util::MutexLock lk(mu_);
+  return last_error_;
 }
 
 }  // namespace tgnn::runtime

@@ -47,8 +47,39 @@
 //     so no in-flight batch ever observes another's effects — the served
 //     state and embeddings are bit-identical to the serial "cpu" backend.
 //
-// The submit queue is bounded: submit() blocks when `queue_capacity`
-// requests are pending (backpressure instead of unbounded growth).
+// The submit queue is bounded: what happens when it fills is the
+// engine's admission policy (overload behavior under §II-A's bursty
+// request arrivals):
+//   * kBlock (default): submit() blocks until space frees — backpressure
+//     instead of unbounded growth; today's behavior.
+//   * kShed: submit() waits at most `shed_wait_s`, then REJECTS the
+//     request with a typed RequestOutcome::kShed — the request is consumed
+//     (the stream cursor advances past it) and the engine stays
+//     responsive instead of propagating the stall upstream.
+//   * kDeadline: submit() blocks like kBlock, but a request whose queue
+//     wait exceeds `deadline_s` is dropped BEFORE dispatch with
+//     RequestOutcome::kExpired — a request that already blew its latency
+//     budget is worthless to serve, and dropping it lets the queue clear.
+// try_submit() (never blocks) and the timed submit() overload (bounded
+// wait, request NOT consumed on timeout) exist for callers that manage
+// their own admission.
+//
+// Under sustained overload the engine can optionally degrade gracefully:
+// when the queue stays above `degrade_high` of capacity for
+// `degrade_patience` consecutive batch formations it steps the backend's
+// numeric mode down one rung (fp32 -> bf16 -> int8, via
+// Backend::set_precision at a quiescent point), and steps back up when
+// the queue stays below `degrade_low` — trading accuracy for throughput
+// exactly along the quantization ladder of the inference path.
+//
+// Faults: every batch execution runs under a retry envelope. A transient
+// util::InjectedFault is retried up to `fault_retries` times with
+// exponential backoff; a permanent fault (or exhausted retries, or any
+// other exception) fails the BATCH — its requests end in
+// RequestOutcome::kFailed, pinned rows are released (StagedBackend::
+// abort_batch before Decode, so no partial state commits), the conflict
+// ledger is unwound, and the engine keeps serving. Nothing deadlocks and
+// per-vertex chronology is preserved: failed batches commit nothing.
 //
 // Per-request latency = queueing wait (measured) + batch service latency
 // (the backend's measured or modelled latency_s), so percentiles are
@@ -60,18 +91,29 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "runtime/backend.hpp"
 #include "runtime/stage_channel.hpp"
+#include "runtime/stream_result.hpp"
 #include "util/mutex.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_annotations.hpp"
 #include "util/threadpool.hpp"
 
 namespace tgnn::runtime {
+
+/// What submit() does when the bounded queue is full (see file comment).
+enum class AdmissionPolicy : std::uint8_t {
+  kBlock = 0,     ///< block until space frees (backpressure)
+  kShed = 1,      ///< wait shed_wait_s, then reject with kShed
+  kDeadline = 2,  ///< block, but drop requests whose queue wait exceeds
+                  ///< deadline_s before dispatch (kExpired)
+};
 
 struct ServingOptions {
   std::size_t max_batch = 256;       ///< micro-batch size cap
@@ -87,6 +129,24 @@ struct ServingOptions {
                            ///< workers > 1
   std::size_t pipeline_depth = core::kNumStages;  ///< max in-flight batches
                                                   ///< (StageContext slots)
+
+  // ---- Overload admission (see file comment) --------------------------
+  AdmissionPolicy admission = AdmissionPolicy::kBlock;
+  double shed_wait_s = 0.0;  ///< kShed: bounded wait before rejecting
+  double deadline_s = 10e-3; ///< kDeadline: queue-wait budget before a
+                             ///< pending request is dropped undispatched
+
+  // ---- Graceful degradation under sustained overload ------------------
+  bool degrade_under_overload = false;  ///< step fp32->bf16->int8 when the
+                                        ///< queue stays pressured
+  double degrade_high = 0.75;  ///< queue fill ratio that counts as pressure
+  double degrade_low = 0.25;   ///< queue fill ratio that counts as clear
+  std::size_t degrade_patience = 4;  ///< consecutive pressured (clear) batch
+                                     ///< formations before stepping down (up)
+
+  // ---- Fault handling -------------------------------------------------
+  std::size_t fault_retries = 3;   ///< transient-fault retries per batch
+  double retry_backoff_s = 1e-4;   ///< backoff base (doubles per attempt)
 };
 
 struct ServingStats {
@@ -114,10 +174,30 @@ struct ServingStats {
   /// serial occupancy observable next to peak_parallel_batches.
   std::size_t peak_in_flight_batches = 0;
   std::size_t peak_queue_depth = 0;
+  /// Overload / fault disposition counters. num_requests counts SERVED
+  /// requests only (they alone have latency samples); every submitted
+  /// request ends up in exactly one of served/shed/expired/failed.
+  std::size_t num_shed = 0;      ///< rejected at admission (kShed)
+  std::size_t num_expired = 0;   ///< dropped before dispatch (kDeadline)
+  std::size_t num_failed = 0;    ///< batch failed permanently (faults)
+  std::size_t degrade_steps = 0; ///< precision downshifts taken so far
+  std::size_t fault_retries = 0; ///< transient faults absorbed by retry
+  /// Numeric mode the backend is serving at right now (moves along the
+  /// fp32 -> bf16 -> int8 ladder when degradation is on).
+  kernels::Precision precision = kernels::Precision::kFp32;
   /// Out-of-core vertex-store counters (hit/miss/eviction/spill traffic,
-  /// write-back invalidations, prefetch effectiveness), queried from the
-  /// backend at stats() time. All-zero when serving all-resident.
+  /// write-back invalidations, prefetch effectiveness, spill I/O retries
+  /// and permanent failures), queried from the backend at stats() time.
+  /// All-zero when serving all-resident.
   graph::VertexStoreStats store;
+};
+
+/// One request's terminal disposition, in resolution order (the order
+/// outcomes were decided, not submission order — a shed is resolved at
+/// submit time, a served request at batch completion).
+struct OutcomeRecord {
+  std::size_t index;        ///< the request's stream index
+  RequestOutcome outcome;
 };
 
 /// Hazard-ledger audit primitive: TGNN_CHECK-aborts unless every vertex id
@@ -146,9 +226,25 @@ class ServingEngine {
   /// Enqueue one edge event. Indices must arrive in stream order (each call
   /// passes the successor of the previous index; the first call sets the
   /// origin) — out-of-order submission throws std::invalid_argument.
-  /// Blocks while the queue is at capacity. Throws std::logic_error after
-  /// stop().
-  void submit(std::size_t edge_index) TGNN_EXCLUDES(mu_);
+  /// Throws std::logic_error after stop().
+  ///
+  /// Queue-full behavior follows opts.admission: kBlock and kDeadline
+  /// block until space frees (always returns true); kShed waits at most
+  /// opts.shed_wait_s and then CONSUMES the request as shed — returns
+  /// false, the outcome is recorded as kShed, and the next submit must
+  /// pass the successor index.
+  bool submit(std::size_t edge_index) TGNN_EXCLUDES(mu_);
+
+  /// Bounded-wait admission: like submit(), but waits at most `timeout_s`
+  /// for queue space. Returns false when the timeout elapses with the
+  /// queue still full — the request is NOT consumed (regardless of the
+  /// admission policy), so the caller may retry or shed it itself.
+  bool submit(std::size_t edge_index, double timeout_s) TGNN_EXCLUDES(mu_);
+
+  /// Non-blocking admission: enqueue if there is space right now, else
+  /// return false WITHOUT consuming the request (the caller may retry the
+  /// same index). Same ordering/stopped checks as submit().
+  bool try_submit(std::size_t edge_index) TGNN_EXCLUDES(mu_);
 
   /// Block until every submitted request has been dispatched and completed.
   /// Pending partial batches are force-flushed rather than waiting out the
@@ -157,8 +253,10 @@ class ServingEngine {
 
   /// Graceful shutdown: everything submitted so far — including batches
   /// mid-pipeline — is flushed, executed in stream order, and recorded;
-  /// then the scheduler (and any stage workers) exit. Nothing is dropped
-  /// and no batch runs twice. Idempotent; further submits throw. The
+  /// then the scheduler (and any stage workers) exit. No batch runs
+  /// twice, and nothing is dropped silently: under kDeadline, requests
+  /// already past their budget still expire with a typed outcome rather
+  /// than being served late. Idempotent; further submits throw. The
   /// destructor calls this.
   void stop() TGNN_EXCLUDES(mu_);
 
@@ -171,6 +269,20 @@ class ServingEngine {
   /// Dispatched micro-batches, in dispatch (= chronological) order.
   [[nodiscard]] std::vector<graph::BatchRange> batch_log() const
       TGNN_EXCLUDES(mu_);
+  /// Terminal disposition of every resolved request, in resolution order.
+  [[nodiscard]] std::vector<OutcomeRecord> outcome_log() const
+      TGNN_EXCLUDES(mu_);
+  /// Message of the most recent permanent batch failure ("" when none).
+  [[nodiscard]] std::string last_error() const TGNN_EXCLUDES(mu_);
+
+  /// Snapshot the backend's runtime state (memory / mailbox / neighbor
+  /// table, including spilled pages) plus the stream cursor to `path`.
+  /// Drains first so the snapshot is quiescent; returns the cursor — the
+  /// stream index the restored engine must be fed next. Throws
+  /// std::logic_error when the backend exposes no runtime state and
+  /// std::runtime_error when the write fails. The engine keeps serving
+  /// afterwards.
+  std::uint64_t checkpoint(const std::string& path) TGNN_EXCLUDES(mu_);
 
   /// Worker lanes actually in use (opts.workers clamped to backend lanes).
   [[nodiscard]] std::size_t workers() const { return workers_; }
@@ -187,8 +299,38 @@ class ServingEngine {
   /// empty queue.
   bool next_batch(util::MutexLock& lk, graph::BatchRange& range,
                   std::vector<double>& arrivals) TGNN_REQUIRES(mu_);
-  void record_batch(const std::vector<double>& arrivals, double dispatch_s,
+  void record_batch(const graph::BatchRange& range,
+                    const std::vector<double>& arrivals, double dispatch_s,
                     double service_s) TGNN_REQUIRES(mu_);
+  /// Shared submit tail: stamp the arrival, enqueue, advance the cursor.
+  void enqueue_locked(std::size_t edge_index) TGNN_REQUIRES(mu_);
+  /// Order/stopped preconditions every admission entry point shares.
+  void check_submit_locked(std::size_t edge_index) const TGNN_REQUIRES(mu_);
+  /// Wait up to timeout_s for queue space; false on timeout or stop.
+  bool wait_for_space(util::MutexLock& lk, double timeout_s)
+      TGNN_REQUIRES(mu_);
+  /// Leading contiguous-index run of the queue, capped at max_batch — the
+  /// largest batch the front of the queue can form (shed / expired
+  /// requests leave index gaps, and a BatchRange must be contiguous).
+  [[nodiscard]] std::size_t contiguous_run_locked() const TGNN_REQUIRES(mu_);
+  /// kDeadline: drop the expired prefix of the queue (arrivals are
+  /// monotone, so the expired set is exactly a prefix).
+  void expire_stale_locked() TGNN_REQUIRES(mu_);
+  /// Degradation hysteresis, evaluated at each batch formation; steps the
+  /// backend's precision only at a quiescent point (the batch just formed
+  /// is the sole in-flight work and nothing is dispatched).
+  void maybe_degrade() TGNN_REQUIRES(mu_);
+  /// Runs `op` under the transient-fault retry envelope (fault_retries,
+  /// exponential backoff). False on permanent failure; last_error_ set.
+  bool run_with_retries(const std::function<void()>& op) TGNN_EXCLUDES(mu_);
+  /// Resolve every request of a permanently failed batch as kFailed and
+  /// retire the batch (in-flight count, completion signal).
+  void fail_batch(const graph::BatchRange& range) TGNN_REQUIRES(mu_);
+  /// Pipelined failure path: abort the slot's batch on the backend
+  /// (releases pins; no state was committed — stages before Decode only
+  /// write the slot's context), unwind its ledger marks, resolve its
+  /// requests as kFailed, and free the slot.
+  void abort_slot(std::size_t slot) TGNN_EXCLUDES(mu_);
   /// Checked-build hazard audit: rebuilds the in-flight picture from the
   /// occupied pipeline slots' stored write footprints (a slot is occupied
   /// iff its SlotMeta still holds one) and TGNN_CHECKs they are pairwise
@@ -230,6 +372,23 @@ class ServingEngine {
   /// Required index of the next submit.
   std::size_t next_index_ TGNN_GUARDED_BY(mu_) = 0;
 
+  // Overload / fault disposition state.
+  std::vector<OutcomeRecord> outcomes_ TGNN_GUARDED_BY(mu_);
+  std::size_t shed_ TGNN_GUARDED_BY(mu_) = 0;
+  std::size_t expired_ TGNN_GUARDED_BY(mu_) = 0;
+  std::size_t failed_ TGNN_GUARDED_BY(mu_) = 0;
+  std::size_t fault_retries_ TGNN_GUARDED_BY(mu_) = 0;
+  std::string last_error_ TGNN_GUARDED_BY(mu_);
+
+  // Degradation ladder (built from the backend's base precision at
+  // construction; shrunk to one rung when the backend refuses the flip)
+  // and the hysteresis run counters.
+  std::vector<kernels::Precision> ladder_ TGNN_GUARDED_BY(mu_);
+  std::size_t degrade_level_ TGNN_GUARDED_BY(mu_) = 0;
+  std::size_t degrade_steps_ TGNN_GUARDED_BY(mu_) = 0;
+  std::size_t pressure_run_ TGNN_GUARDED_BY(mu_) = 0;
+  std::size_t clear_run_ TGNN_GUARDED_BY(mu_) = 0;
+
   // Conflict ledger of the parallel and pipelined modes (incremented at
   // dispatch, decremented at completion). write = batch endpoints; full =
   // endpoints + tracked neighbor reads. free_lanes_ doubles as the free
@@ -245,6 +404,7 @@ class ServingEngine {
   struct SlotMeta {
     std::vector<graph::NodeId> wfp, rfp;  ///< marked footprints to release
     std::vector<double> arrivals;
+    graph::BatchRange range;  ///< for typed outcomes at completion/abort
     double dispatch_s = 0.0;
   };
   std::vector<SlotMeta> slot_meta_ TGNN_GUARDED_BY(mu_);
@@ -265,5 +425,15 @@ class ServingEngine {
   /// worker the scheduler is a strict serial executor.
   ThreadPool pool_;
 };
+
+/// Restore a ServingEngine::checkpoint into `backend` — load the saved
+/// runtime state over the backend's (shapes must match) and return the
+/// stream cursor: the index the first submit to a new engine over this
+/// backend must pass. Call BEFORE constructing the engine (the first
+/// submit sets its origin, so serving resumes exactly where the
+/// checkpointed engine left off). Throws std::logic_error when the
+/// backend exposes no runtime state, std::runtime_error on a missing /
+/// mismatched / corrupt checkpoint.
+std::uint64_t restore_backend(Backend& backend, const std::string& path);
 
 }  // namespace tgnn::runtime

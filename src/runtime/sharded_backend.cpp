@@ -96,4 +96,20 @@ void ShardedCpuBackend::finish_batch(std::size_t slot) {
   (void)lane_of(slot).stage_finish(slots_.at(slot));
 }
 
+void ShardedCpuBackend::abort_batch(std::size_t slot) {
+  lane_of(slot).stage_abort(slots_.at(slot));
+}
+
+bool ShardedCpuBackend::set_precision(kernels::Precision p) {
+  // Caller guarantees quiescence (no batch in flight on any lane); the
+  // lanes share one model whose precision caches are rebuilt once and
+  // reused by every lane.
+  for (auto& lane : lanes_) lane->set_precision(p);
+  return true;
+}
+
+kernels::Precision ShardedCpuBackend::precision() const {
+  return lanes_[0]->precision();
+}
+
 }  // namespace tgnn::runtime

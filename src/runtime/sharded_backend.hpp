@@ -55,6 +55,13 @@ class ShardedCpuBackend final : public ConcurrentBackend,
   [[nodiscard]] graph::VertexStoreStats store_stats() const override {
     return state_.store_stats();
   }
+  /// Degradation seam: flips every lane's numeric mode (legal only with no
+  /// batch in flight — the lanes share the model's precision caches).
+  bool set_precision(kernels::Precision p) override;
+  [[nodiscard]] kernels::Precision precision() const override;
+  [[nodiscard]] core::RuntimeState* runtime_state() override {
+    return &state_;
+  }
 
   [[nodiscard]] std::size_t lanes() const override { return lanes_.size(); }
   BatchOutput process_batch_on(
@@ -72,6 +79,7 @@ class ShardedCpuBackend final : public ConcurrentBackend,
   void begin_batch(std::size_t slot, const graph::BatchRange& r) override;
   void run_stage(core::Stage s, std::size_t slot) override;
   void finish_batch(std::size_t slot) override;
+  void abort_batch(std::size_t slot) override;
   [[nodiscard]] bool race_free_reads() const override { return true; }
   void prefetch_rows(std::span<const graph::NodeId> nodes) override {
     state_.prefetch_rows(nodes);

@@ -5,6 +5,16 @@
 
 namespace tgnn::runtime {
 
+const char* outcome_name(RequestOutcome o) {
+  switch (o) {
+    case RequestOutcome::kServed: return "served";
+    case RequestOutcome::kShed: return "shed";
+    case RequestOutcome::kExpired: return "expired";
+    case RequestOutcome::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
 double StreamResult::mean_latency_s() const {
   if (batch_latency_s.empty()) return 0.0;
   return std::accumulate(batch_latency_s.begin(), batch_latency_s.end(), 0.0) /

@@ -15,6 +15,22 @@
 
 namespace tgnn::runtime {
 
+/// Terminal disposition of one submitted request (edge event) under the
+/// serving engine's admission policies. Every request submitted to a
+/// ServingEngine ends in exactly one of these — the typed outcome the
+/// fault-tolerant serving path reports instead of blocking forever or
+/// dying on the first fault.
+enum class RequestOutcome : std::uint8_t {
+  kServed = 0,   ///< dispatched and completed (has a latency sample)
+  kShed = 1,     ///< rejected at admission (kShed policy, queue full)
+  kExpired = 2,  ///< dropped before dispatch (kDeadline policy, waited
+                 ///< longer than the budget)
+  kFailed = 3,   ///< batch execution failed permanently (fault injection /
+                 ///< spill I/O); state untouched, stream continued
+};
+
+[[nodiscard]] const char* outcome_name(RequestOutcome o);
+
 struct StreamResult {
   double total_seconds = 0.0;  ///< sum of per-batch service latencies
   std::size_t num_edges = 0;

@@ -69,7 +69,17 @@ std::size_t RuntimeState::state_bytes(graph::NodeId num_nodes,
 void RuntimeState::pin_rows(std::span<const graph::NodeId> nodes,
                             bool with_mail) {
   memory.pin_rows(nodes);
-  if (with_mail) mailbox.pin_rows(nodes);
+  if (with_mail) {
+    try {
+      mailbox.pin_rows(nodes);
+    } catch (...) {
+      // Keep the all-or-nothing pin contract across both stores: a spill
+      // fault in the mailbox pin releases the memory pins before it
+      // surfaces, so the batch abort path has nothing to clean up here.
+      memory.unpin_rows(nodes);
+      throw;
+    }
+  }
 }
 
 void RuntimeState::unpin_rows(std::span<const graph::NodeId> nodes,
@@ -237,10 +247,24 @@ void InferenceEngine::stage_begin(StageContext& ctx, const graph::BatchRange& r,
     ctx.pinned_nodes.clear();
   }
   if (state_->out_of_core()) {
+    // Pin BEFORE recording the pin set: if the pin faults (it rolls its
+    // own work back), the context must not claim pins it never got.
+    state_->pin_rows(ctx.res.nodes, /*with_mail=*/true);
     ctx.pinned_nodes = ctx.res.nodes;
-    state_->pin_rows(ctx.pinned_nodes, /*with_mail=*/true);
   }
   ctx.parts.sample += sw.seconds();
+}
+
+void InferenceEngine::stage_abort(StageContext& ctx) {
+  if (!ctx.pinned_nbrs.empty()) {
+    state_->unpin_rows(ctx.pinned_nbrs, /*with_mail=*/false);
+    ctx.pinned_nbrs.clear();
+  }
+  if (!ctx.pinned_nodes.empty()) {
+    state_->unpin_rows(ctx.pinned_nodes, /*with_mail=*/true);
+    ctx.pinned_nodes.clear();
+  }
+  ctx.res = BatchResult{};
 }
 
 void InferenceEngine::stage_run(Stage s, StageContext& ctx) {
@@ -331,7 +355,12 @@ void InferenceEngine::stage_neighbor_gather(StageContext& ctx) {
       for (const auto& hit : ws.nbrs[i]) pn.push_back(hit.node);
     std::sort(pn.begin(), pn.end());
     pn.erase(std::unique(pn.begin(), pn.end()), pn.end());
-    state_->pin_rows(pn, /*with_mail=*/false);
+    try {
+      state_->pin_rows(pn, /*with_mail=*/false);
+    } catch (...) {
+      pn.clear();  // pin rolled itself back; don't claim what we don't hold
+      throw;
+    }
   }
   ctx.parts.sample += sw.seconds();
 

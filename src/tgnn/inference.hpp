@@ -277,6 +277,12 @@ class InferenceEngine {
   void stage_run(Stage s, StageContext& ctx);
   /// Release the batch's functional result; `ctx` is reusable afterwards.
   BatchResult stage_finish(StageContext& ctx) { return std::move(ctx.res); }
+  /// Abandon a batch mid-pipeline (a faulted stage): release its pin
+  /// window and clear the context so it can be rebound. Safe before
+  /// Decode has run — stages 0..2 write only the context, so an aborted
+  /// batch leaves per-vertex state exactly as it was (no partial commit,
+  /// no chronology break).
+  void stage_abort(StageContext& ctx);
 
   /// Vertices a batch will READ beyond its own endpoints: the sampled
   /// temporal neighbors of every endpoint, from current state (sorted,

@@ -13,6 +13,9 @@ namespace {
 constexpr char kMagic[4] = {'T', 'G', 'N', 'N'};
 constexpr std::uint32_t kVersion = 1;
 
+constexpr char kStateMagic[4] = {'T', 'G', 'N', 'S'};
+constexpr std::uint32_t kStateVersion = 1;
+
 std::vector<nn::Parameter*> all_params(TgnModel& model, Decoder* decoder) {
   std::vector<nn::Parameter*> out = model.params().params();
   if (decoder)
@@ -108,6 +111,176 @@ bool load_checkpoint(const std::string& path, TgnModel& model,
   } else if (lut && edges.empty()) {
     throw std::runtime_error(
         "load_checkpoint: model expects LUT edges but file has none");
+  }
+  return true;
+}
+
+namespace {
+
+/// True if any lane of the span is nonzero — the "row was ever written"
+/// test that keeps the state checkpoint sparse.
+bool any_nonzero(std::span<const float> v) {
+  for (float x : v)
+    if (x != 0.0f) return true;
+  return false;
+}
+
+[[noreturn]] void state_fail(const std::string& what) {
+  throw std::runtime_error("load_state: " + what);
+}
+
+}  // namespace
+
+bool save_state(const std::string& path, const RuntimeState& state,
+                std::uint64_t stream_cursor) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  f.write(kStateMagic, 4);
+  write_pod(f, kStateVersion);
+
+  const auto num_nodes = static_cast<std::uint64_t>(state.memory.num_nodes());
+  write_pod(f, num_nodes);
+  write_pod(f, static_cast<std::uint64_t>(state.memory.dim()));
+  write_pod(f, static_cast<std::uint64_t>(state.mailbox.raw_dim()));
+  write_pod(f, static_cast<std::uint8_t>(state.table != nullptr ? 1 : 0));
+  write_pod(f, static_cast<std::uint64_t>(
+                   state.table != nullptr ? state.table->capacity() : 0));
+  write_pod(f, stream_cursor);
+
+  // Memory rows: only vertices ever updated. Reading through get() faults
+  // spilled pages in, so an out-of-core state serializes bit-exactly.
+  std::vector<graph::NodeId> touched;
+  for (graph::NodeId v = 0; v < num_nodes; ++v)
+    if (state.memory.last_update(v) != 0.0 || any_nonzero(state.memory.get(v)))
+      touched.push_back(v);
+  write_pod(f, static_cast<std::uint64_t>(touched.size()));
+  for (const graph::NodeId v : touched) {
+    write_pod(f, static_cast<std::uint64_t>(v));
+    write_pod(f, state.memory.last_update(v));
+    const auto row = state.memory.get(v);
+    f.write(reinterpret_cast<const char*>(row.data()),
+            static_cast<std::streamsize>(row.size() * sizeof(float)));
+  }
+
+  // Mailbox rows: only vertices holding a message (has_mail covers the
+  // valid byte; the separate consume-once flags follow as a flat vector).
+  touched.clear();
+  for (graph::NodeId v = 0; v < num_nodes; ++v)
+    if (state.mailbox.has_mail(v)) touched.push_back(v);
+  write_pod(f, static_cast<std::uint64_t>(touched.size()));
+  for (const graph::NodeId v : touched) {
+    write_pod(f, static_cast<std::uint64_t>(v));
+    write_pod(f, state.mailbox.mail_ts(v));
+    const auto row = state.mailbox.mail(v);
+    f.write(reinterpret_cast<const char*>(row.data()),
+            static_cast<std::streamsize>(row.size() * sizeof(float)));
+  }
+
+  f.write(reinterpret_cast<const char*>(state.mail_valid.data()),
+          static_cast<std::streamsize>(state.mail_valid.size()));
+
+  // Neighbor state, oldest -> newest per vertex — the order insert() (or
+  // restore_history) reproduces exactly.
+  touched.clear();
+  for (graph::NodeId v = 0; v < num_nodes; ++v) {
+    const std::size_t n = state.table != nullptr ? state.table->fill(v)
+                                                 : state.finder->degree(v);
+    if (n != 0) touched.push_back(v);
+  }
+  write_pod(f, static_cast<std::uint64_t>(touched.size()));
+  for (const graph::NodeId v : touched) {
+    const std::vector<graph::NeighborHit> hits =
+        state.table != nullptr ? state.table->row(v) : state.finder->history(v);
+    write_pod(f, static_cast<std::uint64_t>(v));
+    write_pod(f, static_cast<std::uint64_t>(hits.size()));
+    for (const auto& h : hits) {
+      write_pod(f, static_cast<std::uint64_t>(h.node));
+      write_pod(f, static_cast<std::uint64_t>(h.eid));
+      write_pod(f, h.ts);
+    }
+  }
+  return static_cast<bool>(f);
+}
+
+bool load_state(const std::string& path, RuntimeState& state,
+                std::uint64_t& stream_cursor) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  char magic[4];
+  f.read(magic, 4);
+  std::uint32_t version = 0;
+  if (!f || std::memcmp(magic, kStateMagic, 4) != 0 ||
+      !read_pod(f, version) || version != kStateVersion)
+    state_fail("bad magic/version");
+
+  std::uint64_t num_nodes = 0, mem_dim = 0, raw_dim = 0, fifo_cap = 0;
+  std::uint8_t use_fifo = 0;
+  if (!read_pod(f, num_nodes) || !read_pod(f, mem_dim) ||
+      !read_pod(f, raw_dim) || !read_pod(f, use_fifo) ||
+      !read_pod(f, fifo_cap) || !read_pod(f, stream_cursor))
+    state_fail("truncated header");
+  if (num_nodes != state.memory.num_nodes() || mem_dim != state.memory.dim() ||
+      raw_dim != state.mailbox.raw_dim())
+    state_fail("state shape mismatch (nodes/dims differ from checkpoint)");
+  if ((use_fifo != 0) != (state.table != nullptr))
+    state_fail("sampler kind mismatch (FIFO table vs unbounded finder)");
+  if (state.table != nullptr && fifo_cap != state.table->capacity())
+    state_fail("FIFO capacity mismatch");
+
+  state.reset();
+
+  std::uint64_t rows = 0;
+  if (!read_pod(f, rows)) state_fail("truncated memory section");
+  std::vector<float> buf(mem_dim);
+  for (std::uint64_t i = 0; i < rows; ++i) {
+    std::uint64_t v = 0;
+    double ts = 0.0;
+    if (!read_pod(f, v) || !read_pod(f, ts) || v >= num_nodes)
+      state_fail("bad memory row");
+    f.read(reinterpret_cast<char*>(buf.data()),
+           static_cast<std::streamsize>(mem_dim * sizeof(float)));
+    if (!f) state_fail("truncated memory row");
+    state.memory.set(static_cast<graph::NodeId>(v), buf, ts);
+  }
+
+  if (!read_pod(f, rows)) state_fail("truncated mailbox section");
+  buf.assign(raw_dim, 0.0f);
+  for (std::uint64_t i = 0; i < rows; ++i) {
+    std::uint64_t v = 0;
+    double ts = 0.0;
+    if (!read_pod(f, v) || !read_pod(f, ts) || v >= num_nodes)
+      state_fail("bad mailbox row");
+    f.read(reinterpret_cast<char*>(buf.data()),
+           static_cast<std::streamsize>(raw_dim * sizeof(float)));
+    if (!f) state_fail("truncated mailbox row");
+    state.mailbox.put(static_cast<graph::NodeId>(v), buf, ts);
+  }
+
+  f.read(reinterpret_cast<char*>(state.mail_valid.data()),
+         static_cast<std::streamsize>(state.mail_valid.size()));
+  if (!f) state_fail("truncated mail_valid section");
+
+  if (!read_pod(f, rows)) state_fail("truncated neighbor section");
+  for (std::uint64_t i = 0; i < rows; ++i) {
+    std::uint64_t v = 0, count = 0;
+    if (!read_pod(f, v) || !read_pod(f, count) || v >= num_nodes)
+      state_fail("bad neighbor row");
+    std::vector<graph::NeighborHit> hits(count);
+    for (auto& h : hits) {
+      std::uint64_t node = 0, eid = 0;
+      if (!read_pod(f, node) || !read_pod(f, eid) || !read_pod(f, h.ts))
+        state_fail("truncated neighbor entries");
+      h.node = static_cast<graph::NodeId>(node);
+      h.eid = static_cast<graph::EdgeId>(eid);
+    }
+    if (state.table != nullptr) {
+      for (const auto& h : hits)
+        state.table->insert(static_cast<graph::NodeId>(v), h.node, h.eid,
+                            h.ts);
+    } else {
+      state.finder->restore_history(static_cast<graph::NodeId>(v),
+                                    std::move(hits));
+    }
   }
   return true;
 }

@@ -13,9 +13,11 @@
 // model.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "tgnn/decoder.hpp"
+#include "tgnn/inference.hpp"
 #include "tgnn/model.hpp"
 
 namespace tgnn::core {
@@ -29,5 +31,38 @@ bool save_checkpoint(const std::string& path, TgnModel& model,
 /// returns false if the file cannot be opened.
 bool load_checkpoint(const std::string& path, TgnModel& model,
                      Decoder* decoder = nullptr);
+
+// ---- runtime-state checkpoint ----------------------------------------------
+//
+// Snapshot of the serving engine's mutable per-vertex state plus the
+// stream cursor — the fault-tolerance counterpart of the model checkpoint
+// above. Format (little-endian, magic "TGNS", version 1):
+//
+//   magic | u32 version
+//   u64 num_nodes | u64 mem_dim | u64 raw_mail_dim
+//   u8 use_fifo | u64 fifo_capacity (0 for the unbounded sampler)
+//   u64 stream_cursor            (next edge index to submit)
+//   u64 mem rows    | per row: u64 node | f64 ts | f32[mem_dim]
+//   u64 mail rows   | per row: u64 node | f64 ts | f32[raw_mail_dim]
+//   u8 mail_valid[num_nodes]
+//   u64 nbr rows    | per row: u64 node | u64 count
+//                              | count x (u64 node, u64 eid, f64 ts)
+//
+// Rows are sparse (only touched vertices appear), so a checkpoint costs
+// what the stream has actually written, not the full table footprint. On
+// an out-of-core state the save path reads through the store, faulting
+// spilled pages in as needed — spilled content round-trips bit-exactly.
+
+/// Save `state` + the stream cursor. Returns false on I/O error.
+bool save_state(const std::string& path, const RuntimeState& state,
+                std::uint64_t stream_cursor);
+
+/// Restore into an identically-configured RuntimeState (same node count,
+/// dims, and sampler kind): resets it, then replays the saved rows, so the
+/// restored engine continues bit-identically to an uninterrupted run.
+/// Throws std::runtime_error on format/config mismatch; returns false if
+/// the file cannot be opened.
+bool load_state(const std::string& path, RuntimeState& state,
+                std::uint64_t& stream_cursor);
 
 }  // namespace tgnn::core

@@ -1,0 +1,183 @@
+// Spill-I/O faults against the out-of-core vertex store: transient faults
+// are absorbed by the store's bounded internal retry (counted in
+// io_retries), permanent faults surface as typed errors that leave every
+// table consistent and never lose the only copy of a dirty page.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/vertex_store.hpp"
+#include "util/fault_injector.hpp"
+
+namespace tgnn::graph {
+namespace {
+
+struct InjectorGuard {
+  explicit InjectorGuard(std::uint64_t seed) : fi(seed) {
+    util::set_fault_injector(&fi);
+  }
+  ~InjectorGuard() { util::set_fault_injector(nullptr); }
+  util::FaultInjector fi;
+};
+
+void fill_row(VertexStore& s, std::size_t r, std::uint32_t salt) {
+  std::byte* p = s.row_mut(r);
+  for (std::size_t i = 0; i < s.row_bytes(); ++i)
+    p[i] = static_cast<std::byte>((r * 31 + salt + i) & 0xff);
+}
+
+bool check_row(const VertexStore& s, std::size_t r, std::uint32_t salt) {
+  const std::byte* p = s.row(r);
+  for (std::size_t i = 0; i < s.row_bytes(); ++i)
+    if (p[i] != static_cast<std::byte>((r * 31 + salt + i) & 0xff))
+      return false;
+  return true;
+}
+
+VertexStoreOptions small_opts(std::size_t budget_pages) {
+  VertexStoreOptions o;
+  o.rows_per_page = 8;
+  o.budget_bytes = budget_pages * 8 * 64;
+  o.writeback_batch = 4;
+  return o;
+}
+
+/// Dirty one row in each of pages 0..3 through the pin protocol. With 4
+/// frames and writeback_batch 4, the 4th unpin fills the write-back queue
+/// and triggers a flush of all four pages — a deterministic spill-write
+/// burst to aim fault plans at.
+void dirty_four_pages(VertexStore& s) {
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    const std::vector<NodeId> rows = {static_cast<NodeId>(p * 8)};
+    s.pin_rows(rows);
+    fill_row(s, rows[0], 21);
+    s.unpin_rows(rows);
+  }
+}
+
+TEST(SpillFault, TransientWriteFaultsAreRetriedAndCounted) {
+  VertexStore s(256, 64, small_opts(4));
+  ASSERT_TRUE(s.out_of_core());
+
+  InjectorGuard g(17);
+  util::FaultPlan plan;  // probability 1, transient
+  plan.max_faults = 2;
+  g.fi.arm(util::FaultSite::kSpillWrite, plan);
+
+  dirty_four_pages(s);  // flush at the 4th unpin eats both faults
+
+  const auto st = s.stats();
+  EXPECT_EQ(st.io_retries, 2u);
+  EXPECT_EQ(st.io_failures, 0u);
+  EXPECT_EQ(st.spill_page_writes, 4u);  // every page still spilled
+  for (std::uint32_t p = 0; p < 4; ++p)
+    EXPECT_TRUE(check_row(s, p * 8, 21));
+  s.check_invariants();
+}
+
+TEST(SpillFault, TransientOpenFaultIsAbsorbed) {
+  // The very first spill write lazily creates the file; transient faults
+  // at the open site ride the same retry loop as the write itself.
+  VertexStore s(256, 64, small_opts(4));
+  InjectorGuard g(23);
+  util::FaultPlan plan;
+  plan.max_faults = 2;
+  g.fi.arm(util::FaultSite::kSpillOpen, plan);
+
+  dirty_four_pages(s);
+
+  const auto st = s.stats();
+  EXPECT_EQ(st.io_retries, 2u);
+  EXPECT_EQ(st.io_failures, 0u);
+  EXPECT_EQ(st.spill_page_writes, 4u);
+  for (std::uint32_t p = 0; p < 4; ++p)
+    EXPECT_TRUE(check_row(s, p * 8, 21));
+}
+
+TEST(SpillFault, PermanentWriteFaultAtFlushLosesNoData) {
+  VertexStore s(256, 64, small_opts(4));
+
+  InjectorGuard g(29);
+  util::FaultPlan plan;
+  plan.transient = false;
+  plan.max_faults = 1;
+  g.fi.arm(util::FaultSite::kSpillWrite, plan);
+
+  // The flush's first write fails permanently: the entry is re-queued,
+  // the drain stops, and — crucially — the caller's unpin does NOT throw.
+  dirty_four_pages(s);
+
+  auto st = s.stats();
+  EXPECT_EQ(st.io_failures, 1u);
+  EXPECT_EQ(st.io_retries, 0u);  // permanent faults are not retried
+  EXPECT_EQ(st.spill_page_writes, 0u);  // drain aborted at the first entry
+  // The pages stayed resident and dirty: nothing was lost.
+  for (std::uint32_t p = 0; p < 4; ++p)
+    EXPECT_TRUE(check_row(s, p * 8, 21));
+  s.check_invariants();
+
+  // Once the fault clears, churning the store drains the re-queued entry
+  // and every row — including the four that failed to flush — survives a
+  // full spill round trip.
+  g.fi.disarm(util::FaultSite::kSpillWrite);
+  for (std::size_t r = 0; r < 256; ++r) fill_row(s, r, 21);
+  for (std::size_t r = 0; r < 256; ++r) EXPECT_TRUE(check_row(s, r, 21));
+  st = s.stats();
+  EXPECT_GT(st.spill_page_writes, 0u);
+  s.check_invariants();
+}
+
+TEST(SpillFault, PermanentReadFaultRollsBackPinsAndIsRecoverable) {
+  VertexStore s(256, 64, small_opts(4));
+  // Push every page through the spill file, then re-read so the resident
+  // frames are clean (evicting them later needs no write).
+  for (std::size_t r = 0; r < 256; ++r) fill_row(s, r, 13);
+  for (std::size_t r = 0; r < 256; ++r) ASSERT_TRUE(check_row(s, r, 13));
+
+  InjectorGuard g(31);
+  util::FaultPlan plan;
+  plan.transient = false;
+  plan.max_faults = 1;
+  g.fi.arm(util::FaultSite::kSpillRead, plan);
+
+  // Rows 0 and 8 live on two long-evicted pages: the first spill read
+  // faults permanently, and the pin call must roll back to "no pins held"
+  // (strong guarantee) with every table still consistent.
+  const std::vector<NodeId> cold = {0, 8};
+  EXPECT_THROW(s.pin_rows(cold), util::InjectedFault);
+  s.check_invariants();
+
+  // The fault plan is exhausted: the same pin now succeeds and the data
+  // was never corrupted.
+  s.pin_rows(cold);
+  EXPECT_TRUE(check_row(s, 0, 13));
+  EXPECT_TRUE(check_row(s, 8, 13));
+  s.unpin_rows(cold);
+  for (std::size_t r = 0; r < 256; ++r) EXPECT_TRUE(check_row(s, r, 13));
+  s.check_invariants();
+}
+
+TEST(SpillFault, ExhaustedTransientReadRetriesSurfaceTyped) {
+  // A transient fault that never clears: the store's bounded retry (3
+  // attempts) gives up and rethrows rather than spinning forever.
+  VertexStore s(256, 64, small_opts(4));
+  for (std::size_t r = 0; r < 256; ++r) fill_row(s, r, 4);
+  for (std::size_t r = 0; r < 256; ++r) ASSERT_TRUE(check_row(s, r, 4));
+
+  InjectorGuard g(37);
+  g.fi.arm(util::FaultSite::kSpillRead, util::FaultPlan{});  // p=1, no cap
+
+  const std::vector<NodeId> cold = {0};
+  EXPECT_THROW(s.pin_rows(cold), util::InjectedFault);
+  EXPECT_EQ(s.stats().io_retries, 3u);
+  s.check_invariants();
+
+  g.fi.disarm(util::FaultSite::kSpillRead);
+  s.pin_rows(cold);
+  EXPECT_TRUE(check_row(s, 0, 4));
+  s.unpin_rows(cold);
+}
+
+}  // namespace
+}  // namespace tgnn::graph

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -59,8 +60,21 @@ TEST(PagedFile, ResetDropsContentToZero) {
 TEST(PagedFile, RejectsOutOfRangeAndUnwrittenReads) {
   PagedFile f(64, 2);
   std::vector<std::byte> buf(64);
-  EXPECT_THROW(f.write_page(2, buf.data()), std::out_of_range);
-  EXPECT_THROW(f.read_page(0, buf.data()), std::logic_error);  // never open
+  // Both misuses surface as the typed spill error, naming the operation
+  // and the failing page so store-level retries can report precisely.
+  try {
+    f.write_page(2, buf.data());
+    FAIL() << "out-of-range write accepted";
+  } catch (const SpillIoError& e) {
+    EXPECT_EQ(e.page(), 2u);
+    EXPECT_NE(std::string(e.what()).find("write_page"), std::string::npos);
+  }
+  try {
+    f.read_page(0, buf.data());  // never open
+    FAIL() << "read before any write accepted";
+  } catch (const SpillIoError& e) {
+    EXPECT_EQ(e.page(), 0u);
+  }
 }
 
 TEST(VertexStore, ZeroBudgetIsAllResident) {
