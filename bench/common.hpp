@@ -11,18 +11,22 @@
 // backends and models to compare, never how to drive them.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "data/synthetic.hpp"
 #include "runtime/backend.hpp"
 #include "runtime/driver.hpp"
+#include "runtime/serving.hpp"
 #include "tgnn/config.hpp"
 #include "tgnn/inference.hpp"
 #include "tgnn/model.hpp"
 #include "util/argparse.hpp"
+#include "util/stopwatch.hpp"
 
 namespace tgnn::bench {
 
@@ -88,6 +92,10 @@ struct CommonFlagDefaults {
   /// platforms ("0" = all-resident; "25m", "512k", or "50%" of the state).
   /// Registered only by benches that route it into BackendOptions.
   const char* memory_budget = nullptr;
+  /// --autotune: run perf::AutoTuner::search() over the bench's workload
+  /// and add/use the tuned configuration. Registered only by serving
+  /// benches that actually route the result into a ServingEngine.
+  const char* autotune = nullptr;
 };
 
 struct CommonFlags {
@@ -97,6 +105,7 @@ struct CommonFlags {
   std::string backend;
   std::vector<std::string> datasets;
   std::string memory_budget = "0";  ///< raw spec; resolve per model+dataset
+  bool autotune = false;
 };
 
 inline void add_common_flags(ArgParser& args,
@@ -116,6 +125,10 @@ inline void add_common_flags(ArgParser& args,
   if (d.memory_budget != nullptr)
     args.add_flag("memory_budget", d.memory_budget,
                   "vertex-state budget: bytes, k/m/g, or % (0 = resident)");
+  if (d.autotune != nullptr)
+    args.add_flag("autotune", d.autotune,
+                  "run the measured-profile auto-tuner over this workload "
+                  "(1 = on)");
 }
 
 inline CommonFlags read_common_flags(const ArgParser& args,
@@ -128,7 +141,60 @@ inline CommonFlags read_common_flags(const ArgParser& args,
   if (d.backend != nullptr) f.backend = args.get("backend");
   if (d.datasets != nullptr) f.datasets = split_csv(args.get("datasets"));
   if (d.memory_budget != nullptr) f.memory_budget = args.get("memory_budget");
+  if (d.autotune != nullptr) f.autotune = args.get_int("autotune") != 0;
   return f;
+}
+
+// ---- shared serving sweep loop ----------------------------------------------
+//
+// fig5_sharded, fig_overload, and fig_autotune all measure the same thing:
+// construct a ServingEngine over a warmed backend, feed it a stream slice,
+// drain, read the stats. The submit discipline is the only difference —
+// closed loop (saturating, throughput measurement) versus a paced open
+// loop at a target offered rate (overload measurement). One helper covers
+// both so the sweep loop exists exactly once.
+
+/// One serving run's outcome: the engine's stats plus the row's wall time
+/// (submit of the first request to drain completion — the denominator for
+/// goodput in open-loop rows, where served < submitted).
+struct ServeRunResult {
+  runtime::ServingStats stats;
+  double wall_s = 0.0;
+};
+
+/// Serve `events` stream requests starting at `begin` on `backend` (which
+/// must already be fast-forwarded to `begin`) under `sopts`.
+/// offered_rps == 0: closed loop — submit as fast as admission allows.
+/// offered_rps > 0: open loop — pace submissions at the offered rate
+/// (sleep-wait, 20 us granularity, matching the overload bench's pacing).
+inline ServeRunResult serve_stream(runtime::Backend& backend,
+                                   std::size_t begin, std::size_t events,
+                                   const runtime::ServingOptions& sopts,
+                                   double offered_rps = 0.0) {
+  runtime::ServingEngine server(backend, sopts);
+  Stopwatch clock;
+  for (std::size_t i = 0; i < events; ++i) {
+    if (offered_rps > 0.0) {
+      const double target_s = static_cast<double>(i) / offered_rps;
+      while (clock.seconds() < target_s)
+        std::this_thread::sleep_for(std::chrono::microseconds(20));
+    }
+    server.submit(begin + i);
+  }
+  server.drain();
+  return {server.stats(), clock.seconds()};
+}
+
+/// Table-cell label of a stage profile's bottleneck: abbreviated stage
+/// name + its p95 in ms ("gnn 1.23").
+inline std::string bottleneck_cell(const runtime::ServingStats& s) {
+  static constexpr const char* kAbbrev[core::kNumStages] = {"mem", "gthr",
+                                                            "gnn", "dec"};
+  const std::size_t k = s.stage_profile.bottleneck_stage();
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%s %.2f", kAbbrev[k],
+                s.p95_stage_s[k] * 1e3);
+  return buf;
 }
 
 /// Resolve a --memory_budget spec against the vertex-state footprint of

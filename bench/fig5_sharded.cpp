@@ -23,6 +23,7 @@
 #include <thread>
 
 #include "bench/common.hpp"
+#include "perf/auto_tuner.hpp"
 #include "runtime/serving.hpp"
 #include "util/table.hpp"
 
@@ -31,7 +32,8 @@ using namespace tgnn;
 int main(int argc, char** argv) {
   ArgParser args;
   const bench::CommonFlagDefaults defaults{
-      .edge_scale = "2.0", .batch = "32", .memory_budget = "0"};
+      .edge_scale = "2.0", .batch = "32", .memory_budget = "0",
+      .autotune = "0"};
   bench::add_common_flags(args, defaults);
   args.add_flag("users", "20000", "synthetic users (graph size drives "
                                   "footprint conflict rate)");
@@ -92,7 +94,7 @@ int main(int argc, char** argv) {
 
   Table t({"shards", "workers", "mode", "thpt (kreq/s)", "speedup",
            "peak overlap", "in-flight", "p50 (ms)", "p95 (ms)",
-           "p50 queue (ms)", "p50 service (ms)"});
+           "p50 queue (ms)", "p50 service (ms)", "botlnk p95 (ms)"});
 
   const bool sweep_pipelined = args.get_int("pipelined") != 0;
   const auto depth =
@@ -128,12 +130,8 @@ int main(int argc, char** argv) {
         sopts.pipelined = pipelined;
         sopts.pipeline_depth = depth;
         sopts.deterministic = deterministic;
-        runtime::ServingEngine server(*backend, sopts);
-        for (std::size_t i = region.begin; i < region.begin + events; ++i)
-          server.submit(i);
-        server.drain();
-
-        const auto s = server.stats();
+        const auto s =
+            bench::serve_stream(*backend, region.begin, events, sopts).stats;
         if (!pipelined && lanes == 1) base_rps = s.throughput_rps;
         const double speedup =
             base_rps > 0.0 ? s.throughput_rps / base_rps : 1.0;
@@ -150,9 +148,58 @@ int main(int argc, char** argv) {
                    Table::num(s.p50_latency_s * 1e3, 2),
                    Table::num(s.p95_latency_s * 1e3, 2),
                    Table::num(s.p50_queue_wait_s * 1e3, 2),
-                   Table::num(s.p50_service_s * 1e3, 2)});
+                   Table::num(s.p50_service_s * 1e3, 2),
+                   bench::bottleneck_cell(s)});
       }
     }
+  }
+
+  // ---- auto-tuned row: the DSE loop picks the configuration ---------------
+  // Tuning runs on a throwaway backend (its calibration serves consume the
+  // same stream indices); the tuned config is then measured on a fresh
+  // backend over exactly the slice the sweep rows used, so the comparison
+  // is apples-to-apples.
+  if (common.autotune) {
+    const auto first_shards = static_cast<std::size_t>(
+        std::stoull(bench::split_csv(args.get("shards")).front()));
+    runtime::BackendOptions bopts;
+    bopts.threads = static_cast<int>(max_workers);
+    bopts.shards = first_shards;
+    bopts.memory_budget =
+        bench::resolve_memory_budget(common.memory_budget, model, ds);
+    perf::AutoTunerOptions topts;
+    topts.hardware_threads = hw;
+    // The search's calibration + validation serves must fit the stream
+    // region (2 calibration runs + top-K validation runs).
+    topts.calib_events =
+        std::min<std::size_t>(topts.calib_events, region.size() / 6);
+    topts.validate_events =
+        std::min<std::size_t>(topts.validate_events, region.size() / 6);
+    perf::TuneResult tuned;
+    {
+      auto scratch = runtime::make_backend("sharded-cpu", model, ds, bopts);
+      runtime::fast_forward(*scratch, region.begin);
+      perf::AutoTuner tuner(*scratch, topts);
+      tuned = tuner.search(region.begin);
+    }
+    std::printf("\n%s\n", tuned.describe().c_str());
+    auto backend = runtime::make_backend("sharded-cpu", model, ds, bopts);
+    runtime::fast_forward(*backend, region.begin);
+    const auto s =
+        bench::serve_stream(*backend, region.begin, events, tuned.options)
+            .stats;
+    t.add_row({std::to_string(first_shards),
+               std::to_string(tuned.options.pipelined
+                                  ? tuned.options.pipeline_depth
+                                  : tuned.options.workers),
+               "auto-tuned", Table::num(s.throughput_rps / 1e3, 2), "-",
+               std::to_string(s.peak_parallel_batches),
+               std::to_string(s.peak_in_flight_batches),
+               Table::num(s.p50_latency_s * 1e3, 2),
+               Table::num(s.p95_latency_s * 1e3, 2),
+               Table::num(s.p50_queue_wait_s * 1e3, 2),
+               Table::num(s.p50_service_s * 1e3, 2),
+               bench::bottleneck_cell(s)});
   }
   t.print(std::cout, "sharded-cpu serving sweep");
   t.write_csv("fig5_sharded.csv");

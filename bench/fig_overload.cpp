@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "bench/common.hpp"
+#include "perf/auto_tuner.hpp"
 #include "runtime/serving.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
@@ -82,7 +83,8 @@ void write_json(const std::string& path, double capacity_rps,
 
 int main(int argc, char** argv) {
   ArgParser args;
-  const bench::CommonFlagDefaults defaults{.batch = "64", .threads = nullptr};
+  const bench::CommonFlagDefaults defaults{
+      .batch = "64", .threads = nullptr, .autotune = "0"};
   bench::add_common_flags(args, defaults);
   args.add_flag("users", "4000", "synthetic users");
   args.add_flag("items", "2000", "synthetic items");
@@ -121,32 +123,53 @@ int main(int argc, char** argv) {
       region.size() / 2, static_cast<std::size_t>(args.get_int("events")));
   const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
 
+  // ---- phase 0 (optional): the auto-tuner picks the serving config --------
+  // Tuned on a throwaway backend over the same stream prefix; the probe and
+  // every sweep row then run the tuned batch/wait (admission overrides
+  // still applied per phase below).
+  runtime::ServingOptions base_sopts;
+  base_sopts.max_batch = common.batch;
+  base_sopts.max_wait_s = 1e-4;
+  if (common.autotune) {
+    runtime::BackendOptions bopts;
+    auto scratch = runtime::make_backend("cpu", model, ds, bopts);
+    runtime::fast_forward(*scratch, region.begin);
+    perf::AutoTunerOptions topts;
+    topts.hardware_threads = hw;
+    topts.calib_events =
+        std::min<std::size_t>(topts.calib_events, region.size() / 6);
+    topts.validate_events =
+        std::min<std::size_t>(topts.validate_events, region.size() / 6);
+    perf::AutoTuner tuner(*scratch, topts);
+    const auto tuned = tuner.search(region.begin);
+    std::printf("%s\n\n", tuned.describe().c_str());
+    base_sopts = tuned.options;
+  }
+
   // ---- phase 1: capacity probe (blocking admission, closed loop) ----------
   double capacity_rps = 0.0;
+  std::string probe_summary;
   {
     runtime::BackendOptions bopts;
     auto backend = runtime::make_backend("cpu", model, ds, bopts);
     runtime::fast_forward(*backend, region.begin);
-    runtime::ServingOptions sopts;
-    sopts.max_batch = common.batch;
-    sopts.max_wait_s = 1e-4;
-    runtime::ServingEngine server(*backend, sopts);
-    for (std::size_t i = region.begin; i < region.begin + events; ++i)
-      server.submit(i);
-    server.drain();
-    capacity_rps = server.stats().throughput_rps;
+    const auto probe =
+        bench::serve_stream(*backend, region.begin, events, base_sopts).stats;
+    capacity_rps = probe.throughput_rps;
+    probe_summary = probe.describe();
   }
   const double deadline_flag = std::stod(args.get("deadline_ms"));
   const double deadline_s =
       deadline_flag > 0.0
           ? deadline_flag * 1e-3
-          : 2.0 * static_cast<double>(common.batch) / capacity_rps;
+          : 2.0 * static_cast<double>(base_sopts.max_batch) / capacity_rps;
   std::printf("dataset: %zu nodes, %zu edges; %zu requests per row, batch "
               "%zu, %zu hardware thread(s)\n",
               static_cast<std::size_t>(ds.num_nodes()), ds.num_edges(), events,
-              common.batch, hw);
-  std::printf("probed capacity: %.0f req/s; deadline budget %.2f ms\n\n",
+              base_sopts.max_batch, hw);
+  std::printf("probed capacity: %.0f req/s; deadline budget %.2f ms\n",
               capacity_rps, deadline_s * 1e3);
+  std::printf("capacity-probe %s\n", probe_summary.c_str());
 
   // ---- phase 2: paced open-loop sweep under kDeadline ---------------------
   Table t({"offered", "req/s", "served", "expired", "shed",
@@ -161,25 +184,13 @@ int main(int argc, char** argv) {
     runtime::BackendOptions bopts;
     auto backend = runtime::make_backend("cpu", model, ds, bopts);
     runtime::fast_forward(*backend, region.begin);
-    runtime::ServingOptions sopts;
-    sopts.max_batch = common.batch;
-    sopts.max_wait_s = 1e-4;
+    runtime::ServingOptions sopts = base_sopts;
     sopts.admission = runtime::AdmissionPolicy::kDeadline;
     sopts.deadline_s = deadline_s;
-    runtime::ServingEngine server(*backend, sopts);
-
-    const double interval_s = 1.0 / r.offered_rps;
-    Stopwatch clock;
-    for (std::size_t i = 0; i < events; ++i) {
-      const double target_s = static_cast<double>(i) * interval_s;
-      while (clock.seconds() < target_s)
-        std::this_thread::sleep_for(std::chrono::microseconds(20));
-      server.submit(region.begin + i);
-    }
-    server.drain();
-    const double wall_s = clock.seconds();
-
-    const auto s = server.stats();
+    const auto run = bench::serve_stream(*backend, region.begin, events,
+                                         sopts, r.offered_rps);
+    const double wall_s = run.wall_s;
+    const auto& s = run.stats;
     r.served = s.num_requests;
     r.expired = s.num_expired;
     r.shed = s.num_shed;

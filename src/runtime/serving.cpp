@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
 #include <thread>
 #include <unordered_set>
 
+#include "kernels/quant.hpp"
+#include "perf/auto_tuner.hpp"
 #include "tgnn/serialize.hpp"
 #include "util/check.hpp"
 #include "util/fault_injector.hpp"
@@ -44,7 +47,46 @@ void write_footprint(const graph::TemporalGraph& g,
   wfp.erase(std::unique(wfp.begin(), wfp.end()), wfp.end());
 }
 
+/// PartTimes buckets in core::Stage order (memory -> MemoryUpdate,
+/// sample -> NeighborGather, gnn -> GnnCompute, update -> Decode); see
+/// perf/stage_profile.hpp for the attribution convention.
+std::array<double, core::kNumStages> stage_array(const core::PartTimes& p) {
+  return {p.memory, p.sample, p.gnn, p.update};
+}
+
 }  // namespace
+
+std::string ServingStats::describe() const {
+  char buf[256];
+  std::string out;
+  std::snprintf(buf, sizeof buf,
+                "%zu requests in %zu batches (mean %.1f/batch), %.0f req/s, "
+                "latency p50/p95/p99 %.2f/%.2f/%.2f ms\n",
+                num_requests, num_batches, mean_batch_size, throughput_rps,
+                p50_latency_s * 1e3, p95_latency_s * 1e3, p99_latency_s * 1e3);
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "  queue wait p50 %.2f ms, service p50 %.2f ms; stage "
+                "p50/p95 ms:",
+                p50_queue_wait_s * 1e3, p50_service_s * 1e3);
+  out += buf;
+  for (std::size_t k = 0; k < core::kNumStages; ++k) {
+    std::snprintf(buf, sizeof buf, " %s %.2f/%.2f",
+                  perf::stage_name(k), p50_stage_s[k] * 1e3,
+                  p95_stage_s[k] * 1e3);
+    out += buf;
+  }
+  out += '\n';
+  std::snprintf(buf, sizeof buf,
+                "  knobs: max_batch %zu, max_wait %.2f ms, precision %s; "
+                "%zu retune step(s), %zu degrade step(s)\n",
+                max_batch, max_wait_s * 1e3,
+                kernels::precision_name(precision), retune_steps,
+                degrade_steps);
+  out += buf;
+  if (stage_profile.batches > 0) out += stage_profile.describe();
+  return out;
+}
 
 void audit_disjoint_footprints(
     std::span<const std::span<const graph::NodeId>> footprints) {
@@ -78,6 +120,9 @@ ServingEngine::ServingEngine(Backend& backend, ServingOptions opts)
                              : nullptr),
       opts_(opts),
       workers_(resolve_workers(opts, concurrent_)),
+      base_max_wait_s_(opts.max_wait_s),
+      hw_threads_(std::max<std::size_t>(
+          1, std::thread::hardware_concurrency())),
       pool_(1 + (workers_ > 1 ? workers_ : 0) +
             (opts.pipelined ? core::kNumStages : 0)) {
   if (opts_.max_batch == 0)
@@ -97,6 +142,20 @@ ServingEngine::ServingEngine(Backend& backend, ServingOptions opts)
       !(opts_.degrade_low < opts_.degrade_high))
     throw std::invalid_argument(
         "ServingEngine: degrade_low must be < degrade_high");
+  if (opts_.autotune_online) {
+    if (opts_.retune_interval == 0)
+      throw std::invalid_argument(
+          "ServingEngine: retune_interval must be > 0");
+    if (opts_.retune_min_batch == 0 ||
+        opts_.retune_min_batch > opts_.retune_max_batch)
+      throw std::invalid_argument(
+          "ServingEngine: retune batch bounds must satisfy "
+          "0 < retune_min_batch <= retune_max_batch");
+    if (opts_.retune_margin < 1.0)
+      throw std::invalid_argument(
+          "ServingEngine: retune_margin must be >= 1 (a flip needs a "
+          "predicted gain, not a predicted tie)");
+  }
   {
     // Degradation ladder, anchored at the backend's base numeric mode.
     // One rung means "never degrade" — either the option is off or the
@@ -329,14 +388,15 @@ bool ServingEngine::next_batch(util::MutexLock& lk, graph::BatchRange& range,
     if (queue_.empty()) flush_ = false;  // forced flush fully served
     ++in_flight_;                        // formed => counted until completed
     peak_in_flight_ = std::max(peak_in_flight_, in_flight_);
-    maybe_degrade();
+    const bool degraded = maybe_degrade();
+    maybe_retune(degraded);
     cv_state_.notify_all();  // queue space freed for blocked submitters
     return true;
   }
 }
 
-void ServingEngine::maybe_degrade() {
-  if (ladder_.size() <= 1) return;  // off, or the backend cannot degrade
+bool ServingEngine::maybe_degrade() {
+  if (ladder_.size() <= 1) return false;  // off, or backend cannot degrade
   const double fill = static_cast<double>(queue_.size()) /
                       static_cast<double>(opts_.queue_capacity);
   if (fill >= opts_.degrade_high) {
@@ -355,7 +415,7 @@ void ServingEngine::maybe_degrade() {
     target = degrade_level_ + 1;
   else if (clear_run_ >= opts_.degrade_patience && degrade_level_ > 0)
     target = degrade_level_ - 1;
-  if (target == degrade_level_) return;
+  if (target == degrade_level_) return false;
   // Precision flips require backend quiescence. The only point this
   // scheduler can guarantee it is right after batch formation when the
   // formed batch is the sole in-flight work and nothing is dispatched —
@@ -363,15 +423,92 @@ void ServingEngine::maybe_degrade() {
   // lanes) otherwise. The flip happens under mu_: set_precision only
   // rebuilds the model's precision caches, takes no engine lock, and
   // holding mu_ keeps stats()'s precision read race-free.
-  if (in_flight_ != 1 || executing_ != 0) return;
+  if (in_flight_ != 1 || executing_ != 0) return false;
   pressure_run_ = 0;
   clear_run_ = 0;
   if (!backend_.set_precision(ladder_[target])) {
     ladder_.resize(1);  // backend refused: never try again
-    return;
+    return false;
   }
   if (target > degrade_level_) ++degrade_steps_;
   degrade_level_ = target;
+  tuning_log_.push_back({batches_.size(), TuningEvent::Kind::kPrecision,
+                         static_cast<std::size_t>(ladder_[target])});
+  return true;
+}
+
+void ServingEngine::maybe_retune(bool degrade_flipped) {
+  if (!opts_.autotune_online) return;
+  ++formations_since_retune_;
+  if (formations_since_retune_ < opts_.retune_interval) return;
+  // Compose with the degradation ladder instead of fighting it: never two
+  // knobs at one quiescent point, and a pressured ladder walk gets to act
+  // (or time out) before batches are resized under it.
+  if (degrade_flipped || pressure_run_ != 0) return;
+  // The same quiescent condition the precision flip requires: the batch
+  // just formed is the sole in-flight work. Resizing here means every
+  // batch — in any scheduler mode — still forms and executes in stream
+  // order against quiescent state, which is what keeps deterministic-mode
+  // results bit-identical to a serial replay of batch_log().
+  if (in_flight_ != 1 || executing_ != 0) return;
+  const perf::StageProfile prof = profiler_.snapshot();
+  // Need at least half a window of fresh evidence, and a backend that
+  // reports stage times at all (modelled platforms may not).
+  if (prof.batches < opts_.retune_interval / 2 || prof.total_ewma_s() <= 0.0)
+    return;
+  formations_since_retune_ = 0;
+
+  perf::SoftwarePerfModel model(prof);
+  model.set_hardware_threads(hw_threads_);
+  model.set_num_nodes(backend_.dataset().graph.num_nodes());
+
+  perf::SwCandidate cand;
+  cand.workers = workers_;
+  cand.pipelined = opts_.pipelined;
+  cand.pipeline_depth = opts_.pipeline_depth;
+  cand.max_batch = opts_.max_batch;
+  const double current_rps = model.predict(cand).throughput_rps;
+  std::size_t best_batch = opts_.max_batch;
+  double best_rps = current_rps;
+  perf::SwPrediction best_pred;
+  for (std::size_t b = opts_.retune_min_batch;
+       b <= std::min(opts_.retune_max_batch, opts_.queue_capacity); b *= 2) {
+    cand.max_batch = b;
+    const perf::SwPrediction pred = model.predict(cand);
+    if (pred.throughput_rps > best_rps) {
+      best_rps = pred.throughput_rps;
+      best_batch = b;
+      best_pred = pred;
+    }
+  }
+  if (best_batch == opts_.max_batch ||
+      best_rps < opts_.retune_margin * current_rps)
+    return;
+  // Direction hysteresis: reversing the previous flip needs two full
+  // intervals of evidence — the no-flip-flop contract the tests pin.
+  const int dir = best_batch > opts_.max_batch ? 1 : -1;
+  if (dir == -last_retune_dir_ &&
+      batches_.size() - last_retune_batch_ < 2 * opts_.retune_interval)
+    return;
+  opts_.max_batch = best_batch;
+  // Re-derive the formation wait from the predicted service time (holding
+  // a batch open much longer than it takes to serve one buys nothing),
+  // bounded to one order of magnitude around the configured wait.
+  opts_.max_wait_s = std::clamp(best_pred.batch_s, base_max_wait_s_ / 8.0,
+                                base_max_wait_s_ * 8.0);
+  ++retune_steps_;
+  last_retune_dir_ = dir;
+  last_retune_batch_ = batches_.size();
+  tuning_log_.push_back(
+      {batches_.size(), TuningEvent::Kind::kMaxBatch, best_batch});
+}
+
+void ServingEngine::record_stage_sample(
+    const std::array<double, core::kNumStages>& stage_s,
+    const graph::BatchRange& range, std::size_t unique_vertices) {
+  profiler_.record(stage_s, range.size(), unique_vertices, queue_.size());
+  for (std::size_t k = 0; k < core::kNumStages; ++k)
+    stage_samples_[k].push_back(stage_s[k]);
 }
 
 void ServingEngine::record_batch(const graph::BatchRange& range,
@@ -456,10 +593,13 @@ void ServingEngine::scheduler_loop() {
     });
     lk.lock();
     executing_ = 0;
-    if (ok)
+    if (ok) {
+      record_stage_sample(stage_array(out.parts), range,
+                          out.functional.nodes.size());
       record_batch(range, arrivals, dispatch_s, out.latency_s);
-    else
+    } else {
       fail_batch(range);
+    }
   }
 }
 
@@ -528,10 +668,14 @@ void ServingEngine::scheduler_loop_parallel() {
       for (graph::NodeId v : rfp) --full_marks_[v];
       free_lanes_.push_back(lane);
       --executing_;
-      if (ok)
+      if (ok) {
+        // The write footprint is the batch's unique endpoints — exactly
+        // the fan-out signal the profiler wants.
+        record_stage_sample(stage_array(out.parts), range, wfp.size());
         record_batch(range, batch_arrivals, dispatch_s, out.latency_s);
-      else
+      } else {
         fail_batch(range);
+      }
     });
     lk.lock();
   }
@@ -597,6 +741,7 @@ void ServingEngine::scheduler_loop_pipelined() {
     meta.arrivals.swap(arrivals);
     meta.range = range;
     meta.dispatch_s = clock_.seconds();
+    meta.stage_s.fill(0.0);
     if constexpr (util::kCheckedBuild) audit_in_flight_footprints();
 
     lk.unlock();
@@ -658,15 +803,25 @@ void ServingEngine::stage_worker(std::size_t k) {
     // The stage body is a fault site: transient faults are retried before
     // the stage runs (the fault point precedes the work, so a retry never
     // re-executes a half-run stage); a permanent fault aborts the batch.
+    const double stage_begin_s = clock_.seconds();
     const bool ran = run_with_retries([&] {
       util::fault_point(util::FaultSite::kStageExec);
       sb.run_stage(static_cast<core::Stage>(k), *slot);
     });
+    const double stage_s = clock_.seconds() - stage_begin_s;
     if (!ran) {
       abort_slot(*slot);
       continue;
     }
     if (k + 1 < core::kNumStages) {
+      // Bank this stage's wall time for the profiler record Decode will
+      // make. One short lock per stage per batch — microseconds against
+      // stage times themselves, and the annotation scheme keeps every
+      // SlotMeta access inside the capability.
+      {
+        util::MutexLock lk(mu_);
+        slot_meta_[*slot].stage_s[k] = stage_s;
+      }
       // Stage-channel handoff is the third fault site — the software
       // analogue of a dropped FIFO beat between hardware modules.
       const bool handed = run_with_retries(
@@ -691,6 +846,8 @@ void ServingEngine::stage_worker(std::size_t k) {
       --full_marks_[v];
     }
     for (graph::NodeId v : meta.rfp) --full_marks_[v];
+    meta.stage_s[k] = stage_s;
+    record_stage_sample(meta.stage_s, meta.range, meta.wfp.size());
     record_batch(meta.range, meta.arrivals, meta.dispatch_s,
                  clock_.seconds() - meta.dispatch_s);
     // Emptying the meta is what marks the slot free for the hazard audit's
@@ -752,6 +909,16 @@ ServingStats ServingEngine::stats() const {
   s.num_failed = failed_;
   s.degrade_steps = degrade_steps_;
   s.fault_retries = fault_retries_;
+  s.retune_steps = retune_steps_;
+  // Live knob values: under online autotune these move at quiescent
+  // points, and this read (under mu_) is how callers observe them.
+  s.max_batch = opts_.max_batch;
+  s.max_wait_s = opts_.max_wait_s;
+  s.stage_profile = profiler_.snapshot();
+  for (std::size_t k = 0; k < core::kNumStages; ++k) {
+    s.p50_stage_s[k] = percentile_of(stage_samples_[k], 0.50);
+    s.p95_stage_s[k] = percentile_of(stage_samples_[k], 0.95);
+  }
   // Under mu_ so a concurrent degradation step (which flips under mu_)
   // cannot race this read.
   s.precision = backend_.precision();
@@ -791,6 +958,11 @@ std::vector<graph::BatchRange> ServingEngine::batch_log() const {
 std::vector<OutcomeRecord> ServingEngine::outcome_log() const {
   util::MutexLock lk(mu_);
   return outcomes_;
+}
+
+std::vector<TuningEvent> ServingEngine::tuning_log() const {
+  util::MutexLock lk(mu_);
+  return tuning_log_;
 }
 
 std::string ServingEngine::last_error() const {

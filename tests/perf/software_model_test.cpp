@@ -1,0 +1,309 @@
+// SoftwarePerfModel: the model math on synthetic fits (pipelining, worker
+// discount, backend-thread dilation, overhead residual), and the
+// calibration contract the auto-tuner rests on — two-point calibration off
+// real serving profiles predicts measured throughput within a pinned
+// tolerance on every CPU backend flavor, including at a held-out batch
+// size neither calibration run used.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+
+#include "data/synthetic.hpp"
+#include "perf/auto_tuner.hpp"
+#include "runtime/serving.hpp"
+
+namespace tgnn::perf {
+namespace {
+
+/// A profile with known affine stage laws (so the model's inputs are
+/// exact): t_k(B) = fixed[k] + per_edge[k] * B.
+StageProfile synthetic_profile(const std::array<double, core::kNumStages>& fx,
+                               const std::array<double, core::kNumStages>& pe,
+                               double batch_edges) {
+  StageProfile p;
+  p.batches = 64;
+  p.ewma_batch_edges = batch_edges;
+  p.mean_batch_edges = batch_edges;
+  p.vertices_per_edge = 2.0;
+  for (std::size_t k = 0; k < core::kNumStages; ++k) {
+    p.stages[k].fixed_s = fx[k];
+    p.stages[k].per_edge_s = pe[k];
+    p.stages[k].ewma_s = fx[k] + pe[k] * batch_edges;
+    p.stages[k].mean_s = p.stages[k].ewma_s;
+  }
+  return p;
+}
+
+const std::array<double, core::kNumStages> kFx{1e-4, 2e-4, 4e-4, 1e-4};
+const std::array<double, core::kNumStages> kPe{1e-6, 2e-6, 6e-6, 1e-6};
+
+TEST(SoftwarePerfModel, SerialPeriodIsSumOfStages) {
+  SoftwarePerfModel m(synthetic_profile(kFx, kPe, 100));
+  SwCandidate c;
+  c.max_batch = 100;
+  const auto p = m.predict(c);
+  double expect = 0.0;
+  for (std::size_t k = 0; k < core::kNumStages; ++k)
+    expect += kFx[k] + kPe[k] * 100.0;
+  EXPECT_NEAR(p.batch_s, expect, 1e-12);
+  EXPECT_NEAR(p.period_s, expect, 1e-12);
+  EXPECT_NEAR(p.throughput_rps, 100.0 / expect, 1e-6);
+  EXPECT_NEAR(p.bottleneck_s, kFx[2] + kPe[2] * 100.0, 1e-12);
+}
+
+TEST(SoftwarePerfModel, FixedCostMakesLargerBatchesWin) {
+  // With a per-batch fixed cost, throughput must increase with batch size
+  // (amortization) — the gradient the online tuner climbs.
+  SoftwarePerfModel m(synthetic_profile(kFx, kPe, 100));
+  SwCandidate lo, hi;
+  lo.max_batch = 32;
+  hi.max_batch = 256;
+  EXPECT_GT(m.predict(hi).throughput_rps, m.predict(lo).throughput_rps);
+}
+
+TEST(SoftwarePerfModel, PipeliningBeatsSerialOnParallelHardware) {
+  SoftwarePerfModel m(synthetic_profile(kFx, kPe, 100));
+  m.set_hardware_threads(8);
+  SwCandidate serial, piped;
+  serial.max_batch = piped.max_batch = 128;
+  piped.pipelined = true;
+  piped.pipeline_depth = core::kNumStages;
+  const auto ps = m.predict(serial);
+  const auto pp = m.predict(piped);
+  // Steady state: period collapses toward the bottleneck stage...
+  EXPECT_LT(pp.period_s, ps.period_s);
+  EXPECT_GE(pp.period_s, pp.bottleneck_s - 1e-12);
+  // ...but the first batch still pays the full fill.
+  EXPECT_GE(pp.fill_s, ps.batch_s - 1e-12);
+}
+
+TEST(SoftwarePerfModel, PipeliningBuysNothingOnOneCore) {
+  SoftwarePerfModel m(synthetic_profile(kFx, kPe, 100));
+  m.set_hardware_threads(1);
+  SwCandidate serial, piped;
+  serial.max_batch = piped.max_batch = 128;
+  piped.pipelined = true;
+  EXPECT_NEAR(m.predict(piped).period_s, m.predict(serial).period_s, 1e-12);
+}
+
+TEST(SoftwarePerfModel, BackendThreadsDilatePipelinedStages) {
+  // A backend whose serial batch already used all the cores: concurrent
+  // stages contend, stage times dilate, and pipelining must predict no
+  // better than serial (within the model: equal at full dilation).
+  SoftwarePerfModel m(synthetic_profile(kFx, kPe, 100));
+  m.set_hardware_threads(4);
+  SwCandidate piped;
+  piped.max_batch = 128;
+  piped.pipelined = true;
+  piped.pipeline_depth = 4;
+  const auto lone = m.predict(piped);
+  m.set_backend_threads(4);
+  const auto contended = m.predict(piped);
+  EXPECT_GT(contended.period_s, lone.period_s);
+  SwCandidate serial;
+  serial.max_batch = 128;
+  EXPECT_GE(contended.period_s, m.predict(serial).period_s - 1e-12);
+}
+
+TEST(SoftwarePerfModel, WorkerDiscountShrinksWithFootprint) {
+  // Small batches on a big graph rarely collide -> near-linear speedup;
+  // batches whose footprints cover the graph collide always -> serial.
+  SoftwarePerfModel m(synthetic_profile(kFx, kPe, 100));
+  m.set_hardware_threads(8);
+  m.set_num_nodes(1000000);
+  SwCandidate w;
+  w.workers = 4;
+  w.max_batch = 16;
+  const auto small = m.predict(w);
+  SwCandidate serial = w;
+  serial.workers = 1;
+  EXPECT_LT(small.period_s, m.predict(serial).period_s);
+
+  m.set_num_nodes(100);  // footprint >> graph: every batch collides
+  const auto collide = m.predict(w);
+  serial.max_batch = w.max_batch;
+  // exp(-footprint^2/nodes) is ~3.6e-5, not exactly 0: near-serial.
+  const double serial_s = m.predict(serial).period_s;
+  EXPECT_NEAR(collide.period_s, serial_s, 1e-3 * serial_s);
+}
+
+TEST(SoftwarePerfModel, TwoPointCalibrationRecoversAffineLaw) {
+  const auto lo = synthetic_profile(kFx, kPe, 40);
+  const auto hi = synthetic_profile(kFx, kPe, 160);
+  SoftwarePerfModel m(lo, hi);
+  for (std::size_t k = 0; k < core::kNumStages; ++k) {
+    EXPECT_NEAR(m.stage_time_s(k, 40), kFx[k] + kPe[k] * 40.0, 1e-12);
+    EXPECT_NEAR(m.stage_time_s(k, 400), kFx[k] + kPe[k] * 400.0, 1e-12);
+  }
+}
+
+TEST(SoftwarePerfModel, DegenerateSpacingFallsBackToThroughOrigin) {
+  const auto p = synthetic_profile(kFx, kPe, 100);
+  SoftwarePerfModel m(p, p);  // zero spread
+  for (std::size_t k = 0; k < core::kNumStages; ++k)
+    EXPECT_NEAR(m.stage_time_s(k, 100), p.stages[k].ewma_s, 1e-12);
+}
+
+TEST(SoftwarePerfModel, OverheadCalibrationRecoversResidual) {
+  // Measured throughput implying a known affine scheduler overhead on top
+  // of the stage law: the residual fit must recover it exactly, and
+  // predict() must charge it to the period.
+  const auto lo = synthetic_profile(kFx, kPe, 40);
+  const auto hi = synthetic_profile(kFx, kPe, 160);
+  SoftwarePerfModel m(lo, hi);
+  const double oh_fx = 1e-3, oh_pi = 1e-5;
+  const auto rps_with_overhead = [&](double b) {
+    double stage_s = 0.0;
+    for (std::size_t k = 0; k < core::kNumStages; ++k)
+      stage_s += kFx[k] + kPe[k] * b;
+    return b / (stage_s + oh_fx + oh_pi * b);
+  };
+  EXPECT_NEAR(m.overhead_s(40), 0.0, 1e-15);  // zero before calibration
+  m.calibrate_overhead(lo, rps_with_overhead(40), hi, rps_with_overhead(160));
+  EXPECT_NEAR(m.overhead_s(40), oh_fx + oh_pi * 40.0, 1e-12);
+  EXPECT_NEAR(m.overhead_s(400), oh_fx + oh_pi * 400.0, 1e-12);
+  SwCandidate c;
+  c.max_batch = 100;
+  const auto p = m.predict(c);
+  double expect = oh_fx + oh_pi * 100.0;
+  for (std::size_t k = 0; k < core::kNumStages; ++k)
+    expect += kFx[k] + kPe[k] * 100.0;
+  EXPECT_NEAR(p.period_s, expect, 1e-12);
+}
+
+TEST(SoftwarePerfModel, NegativeResidualClampsToZeroOverhead) {
+  // A measurement FASTER than the bucketed stage sum (possible under
+  // noise) must not produce a negative overhead that inflates predictions.
+  const auto lo = synthetic_profile(kFx, kPe, 40);
+  const auto hi = synthetic_profile(kFx, kPe, 160);
+  SoftwarePerfModel m(lo, hi);
+  const auto fast_rps = [&](double b) {
+    double stage_s = 0.0;
+    for (std::size_t k = 0; k < core::kNumStages; ++k)
+      stage_s += kFx[k] + kPe[k] * b;
+    return b / (0.5 * stage_s);
+  };
+  m.calibrate_overhead(lo, fast_rps(40), hi, fast_rps(160));
+  EXPECT_NEAR(m.overhead_s(40), 0.0, 1e-15);
+  EXPECT_NEAR(m.overhead_s(160), 0.0, 1e-15);
+}
+
+// ---- calibration against real measurements ---------------------------------
+//
+// The pinned contract: tune-time calibration (two profile runs at batch 32
+// and 96, stage fits + overhead residual — exactly what AutoTuner::search
+// does) predicts the measured serial throughput of a HELD-OUT third run at
+// batch 64 within [1/3, 3]x on every CPU backend flavor, and reproduces
+// the two calibration points themselves. On a quiet machine the error is
+// well under 2x; the band leaves room for ctest -j neighbors stealing CPU
+// from some runs and not others. Without the overhead term the error at
+// small batches is 3-4x even when quiet — the scheduler work outside the
+// PartTimes buckets dominates there — so this also pins that the residual
+// fit earns its keep.
+
+constexpr double kRatioLo = 1.0 / 3.0;
+constexpr double kRatioHi = 3.0;
+
+void expect_calibrated(const std::string& key) {
+  data::SyntheticConfig dcfg;
+  dcfg.name = "swmodel";
+  dcfg.num_users = 600;
+  dcfg.num_items = 500;
+  dcfg.num_edges = 16000;  // room for warmup + nine measured runs
+  dcfg.edge_dim = 16;
+  dcfg.seed = 29;
+  const auto ds = data::make_synthetic(dcfg);
+  // Dims large enough that stage compute dominates the per-batch
+  // scheduler overhead PartTimes cannot see — the model predicts
+  // compute, so the workload must be compute-bound for the comparison
+  // to be stable.
+  core::ModelConfig cfg;
+  cfg.mem_dim = 64;
+  cfg.time_dim = 8;
+  cfg.emb_dim = 32;
+  cfg.edge_dim = ds.edge_dim();
+  cfg.num_neighbors = 10;
+  const core::TgnModel model(cfg, 5);
+  runtime::BackendOptions bopts;
+  bopts.threads = 2;
+  auto backend = runtime::make_backend(key, model, ds, bopts);
+
+  AutoTuner tuner(*backend, {});
+  // Divisible by 32, 96, AND the held-out 64 so every run's mean batch
+  // size is exact. This is a wall-clock test on a shared machine (ctest -j
+  // neighbors, container CPU steal, and a ~5x throughput ramp over a fresh
+  // process's first few hundred ms), so two defenses:
+  //  * a LONG warmup (re-serving the warmup region until enough wall time
+  //    has burned) to get past the ramp before anything is measured,
+  //  * each point measured best-of-3 with the three points interleaved
+  //    round-robin — interference only ever slows a run down, so max rps
+  //    is the quiet-machine throughput the model actually predicts, and
+  //    interleaving spreads any residual drift across all points instead
+  //    of biasing whichever was measured last.
+  const std::size_t kEvents = 1152;
+  const std::size_t kWarmup = 2304;
+  std::size_t cursor = 0;
+  runtime::ServingOptions sopts;
+  sopts.max_wait_s = 10.0;  // closed loop: every batch forms at the cap
+  struct Run {
+    StageProfile prof;
+    double rps = 0.0;
+  };
+  const auto measure = [&](std::size_t batch, Run& best) {
+    sopts.max_batch = batch;
+    double rps = 0.0;
+    auto prof = tuner.profile_run(sopts, cursor, kEvents, &rps);
+    cursor += kEvents;
+    if (rps > best.rps) best = {prof, rps};
+  };
+
+  // Warmup: re-serve the opening region until ~0.4 s of wall time has
+  // burned. Re-serving the same events keeps backend state valid (they
+  // are legal traffic) without consuming the measured regions.
+  sopts.max_batch = 64;
+  const auto warm_until =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(400);
+  do {
+    (void)tuner.profile_run(sopts, 0, kWarmup);
+  } while (std::chrono::steady_clock::now() < warm_until);
+  cursor = kWarmup;
+
+  Run lo, hi, mid;
+  for (int rep = 0; rep < 3; ++rep) {
+    measure(32, lo);
+    measure(96, hi);
+    measure(64, mid);
+  }
+  const double rps_lo = lo.rps, rps_hi = hi.rps, rps_mid = mid.rps;
+  ASSERT_GT(hi.prof.total_ewma_s(), 0.0) << key;
+  ASSERT_GT(rps_lo, 0.0) << key;
+  ASSERT_GT(rps_mid, 0.0) << key;
+
+  SoftwarePerfModel m(lo.prof, hi.prof);
+  m.set_num_nodes(ds.graph.num_nodes());
+  m.calibrate_overhead(lo.prof, rps_lo, hi.prof, rps_hi);
+  SwCandidate c;
+  const std::pair<std::size_t, double> points[] = {
+      {32, rps_lo}, {64, rps_mid}, {96, rps_hi}};
+  for (const auto& [batch, measured] : points) {
+    c.max_batch = batch;
+    const double predicted = m.predict(c).throughput_rps;
+    ASSERT_GT(predicted, 0.0) << key << " batch " << batch;
+    const double ratio = predicted / measured;
+    EXPECT_GE(ratio, kRatioLo) << key << " batch " << batch << ": predicted "
+                               << predicted << " vs measured " << measured;
+    EXPECT_LE(ratio, kRatioHi) << key << " batch " << batch << ": predicted "
+                               << predicted << " vs measured " << measured;
+  }
+}
+
+TEST(SoftwareModelCalibration, Cpu) { expect_calibrated("cpu"); }
+
+TEST(SoftwareModelCalibration, CpuMt) { expect_calibrated("cpu-mt"); }
+
+TEST(SoftwareModelCalibration, ShardedCpu) { expect_calibrated("sharded-cpu"); }
+
+}  // namespace
+}  // namespace tgnn::perf

@@ -1,0 +1,255 @@
+// Online auto-tuning (ServingOptions::autotune_online):
+//  * the engine actually retunes itself off the live profile when batch
+//    sizes vary enough to calibrate the cost model (bursty traffic),
+//  * the no-flip-flop contract — tuning events are spaced by the
+//    hysteresis windows (retune_interval between resizes, two intervals
+//    before a direction reversal, degrade_patience between precision
+//    steps) and never two knobs at one quiescent point — across serial,
+//    multi-worker, and pipelined scheduling, also under sustained
+//    overload with the degradation ladder active,
+//  * deterministic-mode bit-identity: resizing only moves BATCH BOUNDARIES;
+//    a serial replay of the exact batch_log() reproduces the final vertex
+//    state bit for bit,
+//  * option validation.
+// The concurrency-heavy cases double as TSan/ASan CI load.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/synthetic.hpp"
+#include "runtime/driver.hpp"
+#include "runtime/serving.hpp"
+#include "tensor/ops.hpp"
+
+namespace tgnn::runtime {
+namespace {
+
+data::Dataset retune_ds() {
+  data::SyntheticConfig dcfg;
+  dcfg.num_users = 400;
+  dcfg.num_items = 300;
+  dcfg.num_edges = 3000;
+  dcfg.edge_dim = 6;
+  dcfg.seed = 47;
+  return data::make_synthetic(dcfg);
+}
+
+core::TgnModel retune_model(const data::Dataset& ds) {
+  core::ModelConfig cfg;
+  cfg.mem_dim = 8;
+  cfg.time_dim = 4;
+  cfg.emb_dim = 6;
+  cfg.edge_dim = ds.edge_dim();
+  cfg.num_neighbors = 5;
+  return core::TgnModel(cfg, 19);
+}
+
+/// Submit [0, n) in alternating small/large bursts with a pause between
+/// bursts longer than the flush deadline: batches form at RAGGED sizes
+/// (max_wait flushes), which is the batch-size variance the live affine
+/// calibration needs. Closed-loop saturation would form every batch at
+/// the cap and give the fit nothing.
+void submit_bursty(ServingEngine& server, std::size_t n, double wait_s) {
+  std::size_t i = 0;
+  bool small = true;
+  while (i < n) {
+    const std::size_t burst = small ? 5 : 19;
+    for (std::size_t j = 0; j < burst && i < n; ++j) server.submit(i++);
+    small = !small;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(3.0 * wait_s));
+  }
+  server.drain();
+}
+
+ServingOptions retune_opts() {
+  ServingOptions opts;
+  opts.max_batch = 8;
+  opts.max_wait_s = 2e-4;
+  opts.autotune_online = true;
+  opts.retune_interval = 8;
+  opts.retune_margin = 1.05;
+  opts.retune_min_batch = 8;
+  opts.retune_max_batch = 256;
+  return opts;
+}
+
+/// The no-flip-flop contract over a tuning journal: resizes spaced by at
+/// least retune_interval batches, direction reversals by two intervals,
+/// precision steps by degrade_patience, and no two events at one point.
+void expect_hysteresis(const std::vector<TuningEvent>& log,
+                       const ServingOptions& opts) {
+  const TuningEvent* prev_batch_ev = nullptr;
+  const TuningEvent* prev_prec_ev = nullptr;
+  std::size_t prev_value = opts.max_batch;
+  int prev_dir = 0;
+  std::size_t prev_dir_at = 0;
+  for (const auto& ev : log) {
+    if (ev.kind == TuningEvent::Kind::kMaxBatch) {
+      EXPECT_GE(ev.value, opts.retune_min_batch);
+      EXPECT_LE(ev.value, opts.retune_max_batch);
+      EXPECT_NE(ev.value, prev_value);  // a no-op flip is a bug
+      if (prev_batch_ev != nullptr)
+        EXPECT_GE(ev.at_batch - prev_batch_ev->at_batch,
+                  opts.retune_interval);
+      const int dir = ev.value > prev_value ? 1 : -1;
+      if (dir == -prev_dir)
+        EXPECT_GE(ev.at_batch - prev_dir_at, 2 * opts.retune_interval);
+      prev_dir = dir;
+      prev_dir_at = ev.at_batch;
+      prev_value = ev.value;
+      prev_batch_ev = &ev;
+    } else {
+      if (prev_prec_ev != nullptr)
+        EXPECT_GE(ev.at_batch - prev_prec_ev->at_batch,
+                  opts.degrade_patience);
+      prev_prec_ev = &ev;
+    }
+    // One knob per quiescent point: a precision flip and a resize can
+    // never share a batch formation.
+    if (prev_batch_ev != nullptr && prev_prec_ev != nullptr)
+      EXPECT_NE(prev_batch_ev->at_batch, prev_prec_ev->at_batch);
+  }
+}
+
+TEST(OnlineRetune, BurstyTrafficCalibratesAndResizes) {
+  // Tiny batches at a tiny model: per-batch fixed cost dominates, so once
+  // ragged batch sizes let the affine fit see it, the model must predict
+  // larger batches faster and the engine must flip max_batch upward.
+  const auto ds = retune_ds();
+  const auto model = retune_model(ds);
+  auto backend = make_backend("cpu", model, ds);
+  const auto opts = retune_opts();
+  ServingEngine server(*backend, opts);
+  submit_bursty(server, 2000, opts.max_wait_s);
+
+  const auto s = server.stats();
+  EXPECT_EQ(s.num_requests, 2000u);
+  EXPECT_GE(s.retune_steps, 1u);
+  EXPECT_GT(s.max_batch, opts.max_batch);  // moved up, and stats track it
+  EXPECT_GE(s.max_wait_s, opts.max_wait_s / 8.0);
+  EXPECT_LE(s.max_wait_s, opts.max_wait_s * 8.0);
+  bool saw_resize = false;
+  for (const auto& ev : server.tuning_log())
+    saw_resize |= ev.kind == TuningEvent::Kind::kMaxBatch;
+  EXPECT_TRUE(saw_resize);
+  expect_hysteresis(server.tuning_log(), opts);
+}
+
+TEST(OnlineRetune, OffByDefault) {
+  const auto ds = retune_ds();
+  const auto model = retune_model(ds);
+  auto backend = make_backend("cpu", model, ds);
+  ServingOptions opts;
+  opts.max_batch = 8;
+  opts.max_wait_s = 2e-4;
+  ServingEngine server(*backend, opts);
+  submit_bursty(server, 600, opts.max_wait_s);
+  EXPECT_EQ(server.stats().retune_steps, 0u);
+  EXPECT_EQ(server.stats().max_batch, 8u);
+  EXPECT_TRUE(server.tuning_log().empty());
+}
+
+/// Sustained overload with BOTH adaptive mechanisms armed, in the given
+/// scheduler mode: whatever the engine decided to do, the journal must
+/// satisfy every hysteresis window.
+void expect_no_flip_flop_under_overload(std::size_t workers,
+                                        bool pipelined) {
+  const auto ds = retune_ds();
+  const auto model = retune_model(ds);
+  BackendOptions bopts;
+  bopts.threads = 4;
+  bopts.shards = 16;
+  auto backend = make_backend(workers > 1 || pipelined ? "sharded-cpu" : "cpu",
+                              model, ds, bopts);
+  ServingOptions opts = retune_opts();
+  opts.workers = workers;
+  opts.pipelined = pipelined;
+  opts.pipeline_depth = 4;
+  opts.queue_capacity = 64;  // tiny queue: bursts pin fill at 100%
+  opts.retune_max_batch = 48;
+  opts.degrade_under_overload = true;
+  opts.degrade_patience = 4;
+  ServingEngine server(*backend, opts);
+  submit_bursty(server, 1500, opts.max_wait_s);
+
+  const auto s = server.stats();
+  EXPECT_EQ(s.num_requests, 1500u);
+  expect_hysteresis(server.tuning_log(), opts);
+  // The resize search must respect the queue bound even under pressure.
+  EXPECT_LE(s.max_batch, opts.queue_capacity);
+}
+
+TEST(OnlineRetune, NoFlipFlopSerial) {
+  expect_no_flip_flop_under_overload(1, false);
+}
+
+TEST(OnlineRetune, NoFlipFlopMultiWorker) {
+  expect_no_flip_flop_under_overload(4, false);
+}
+
+TEST(OnlineRetune, NoFlipFlopPipelined) {
+  expect_no_flip_flop_under_overload(1, true);
+}
+
+TEST(OnlineRetune, DeterministicRetuneBitIdenticalToSerialReplay) {
+  // The acceptance contract: with deterministic pipelining AND online
+  // retuning, flips only move batch boundaries — replaying the logged
+  // ranges serially reproduces the exact vertex state, proven by the next
+  // batch being bit-identical.
+  const auto ds = retune_ds();
+  const auto model = retune_model(ds);
+  BackendOptions bopts;
+  bopts.threads = 4;
+  bopts.shards = 16;
+  auto piped = make_backend("sharded-cpu", model, ds, bopts);
+  ServingOptions opts = retune_opts();
+  opts.pipelined = true;
+  opts.pipeline_depth = 4;
+  opts.deterministic = true;
+  const std::size_t n = 1600;
+  ServingEngine server(*piped, opts);
+  submit_bursty(server, n, opts.max_wait_s);
+
+  EXPECT_EQ(server.stats().num_requests, n);
+  const auto batches = server.batch_log();
+  std::size_t expect = 0;
+  for (const auto& b : batches) {
+    EXPECT_EQ(b.begin, expect);  // in order, no gaps, nothing twice
+    expect = b.end;
+  }
+  EXPECT_EQ(expect, n);
+
+  auto serial = make_backend("cpu", model, ds);
+  for (const auto& b : batches) serial->process_batch(b);
+  const graph::BatchRange next{n, n + 50};
+  const auto a = piped->process_batch(next);
+  const auto b = serial->process_batch(next);
+  ASSERT_EQ(a.functional.nodes, b.functional.nodes);
+  EXPECT_EQ(
+      ops::max_abs_diff(a.functional.embeddings, b.functional.embeddings),
+      0.0f);
+}
+
+TEST(OnlineRetune, OptionValidation) {
+  const auto ds = retune_ds();
+  const auto model = retune_model(ds);
+  auto backend = make_backend("cpu", model, ds);
+  ServingOptions opts = retune_opts();
+  opts.retune_interval = 0;
+  EXPECT_THROW(ServingEngine(*backend, opts), std::invalid_argument);
+  opts = retune_opts();
+  opts.retune_min_batch = 64;
+  opts.retune_max_batch = 32;
+  EXPECT_THROW(ServingEngine(*backend, opts), std::invalid_argument);
+  opts = retune_opts();
+  opts.retune_margin = 0.5;
+  EXPECT_THROW(ServingEngine(*backend, opts), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tgnn::runtime
